@@ -1,0 +1,97 @@
+"""The broker-scalability claims of Sections 2 and 4.
+
+Two measurements:
+
+* **QoS state reduction** — the number of state entries the broker
+  manages for N user flows: per-flow service stores one entry per
+  flow per link, class-based service stores one entry per macroflow
+  per link regardless of N (the paper's motivation for flow
+  aggregation);
+* **request-processing throughput** — broker service requests per
+  second for per-flow versus class-based admission.
+"""
+
+import itertools
+
+from repro.core.broker import BandwidthBroker
+from repro.core.aggregate import ServiceClass
+from repro.experiments.reporting import render_table
+from repro.workloads.profiles import flow_type
+from repro.workloads.topologies import SchedulerSetting, fig8_domain
+
+SPEC = flow_type(0).spec
+
+
+def make_broker():
+    broker = BandwidthBroker()
+    fig8_domain(SchedulerSetting.MIXED).provision_broker(broker)
+    broker.register_class(ServiceClass("gold", 2.44, 0.24))
+    return broker
+
+
+def test_bench_state_reduction(benchmark):
+    def measure():
+        per_flow = make_broker()
+        class_based = make_broker()
+        n = 25
+        for index in range(n):
+            per_flow.request_service(
+                f"f{index}", SPEC, 2.44, "I1", "E1"
+            )
+            class_based.request_service(
+                f"f{index}", SPEC, 0.0, "I1", "E1", service_class="gold",
+                now=index * 1000.0,
+            )
+        class_based.advance(1e9)  # let contingency settle
+        return (
+            n,
+            per_flow.stats().qos_state_entries,
+            class_based.stats().qos_state_entries,
+        )
+
+    n, per_flow_entries, class_entries = benchmark.pedantic(
+        measure, rounds=3, warmup_rounds=1
+    )
+    print()
+    print(f"Broker QoS state entries for {n} user flows (5-hop path):")
+    print(render_table(
+        ["service model", "link-state entries"],
+        [["per-flow guaranteed", per_flow_entries],
+         ["class-based (1 macroflow)", class_entries]],
+    ))
+    assert per_flow_entries == n * 5
+    assert class_entries == 5  # one macroflow entry per hop, any N
+
+
+def test_bench_perflow_request_throughput(benchmark):
+    broker = make_broker()
+    counter = itertools.count()
+
+    def request():
+        flow_id = f"f{next(counter)}"
+        decision = broker.request_service(flow_id, SPEC, 2.44, "I1", "E1")
+        if decision.admitted:
+            broker.terminate(flow_id)
+        return decision
+
+    decision = benchmark(request)
+    assert decision.admitted
+
+
+def test_bench_classbased_request_throughput(benchmark):
+    broker = make_broker()
+    counter = itertools.count()
+    clock = itertools.count(1)
+
+    def request():
+        flow_id = f"f{next(counter)}"
+        now = next(clock) * 1000.0
+        decision = broker.request_service(
+            flow_id, SPEC, 0.0, "I1", "E1", service_class="gold", now=now
+        )
+        if decision.admitted:
+            broker.terminate(flow_id, now=now + 1.0)
+        return decision
+
+    decision = benchmark(request)
+    assert decision.admitted

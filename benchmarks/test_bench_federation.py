@@ -1,0 +1,114 @@
+"""Extension bench: distributed brokers vs the centralized one.
+
+Measures what the hierarchy costs: admission throughput through the
+coordinator (view gathering + stitched decision + two-phase commit
+across two regions) against the centralized broker's single-step
+admission, and asserts decision equivalence along the way.
+"""
+
+import itertools
+
+from repro.core.admission import AdmissionRequest, PerFlowAdmission
+from repro.federation import FederatedBroker, RegionalBroker
+from repro.workloads.profiles import flow_type
+from repro.workloads.topologies import SchedulerSetting, fig8_domain
+
+SPEC = flow_type(0).spec
+PATH1 = ("I1", "R2", "R3", "R4", "R5", "E1")
+
+
+def build_federation():
+    domain = fig8_domain(SchedulerSetting.MIXED)
+    west, east = RegionalBroker("west"), RegionalBroker("east")
+    west_sources = {"I1", "I2", "R2"}
+    for plan in domain.links:
+        target = west if plan.src in west_sources else east
+        target.add_link(plan.src, plan.dst, plan.capacity, plan.kind,
+                        max_packet=plan.max_packet)
+    federation = FederatedBroker([west, east])
+    for index in range(15):  # standing load
+        federation.request_service(f"pre{index}", SPEC, 2.19, PATH1)
+    return federation
+
+
+def build_centralized():
+    domain = fig8_domain(SchedulerSetting.MIXED)
+    node_mib, flow_mib, path_mib, path1, _ = domain.build_mibs()
+    ac = PerFlowAdmission(node_mib, flow_mib, path_mib)
+    for index in range(15):
+        ac.admit(AdmissionRequest(f"pre{index}", SPEC, 2.19), path1)
+    return ac, path1
+
+
+def test_bench_federated_admission(benchmark):
+    federation = build_federation()
+    counter = itertools.count()
+
+    def cycle():
+        flow_id = f"probe{next(counter)}"
+        decision = federation.request_service(flow_id, SPEC, 2.19, PATH1)
+        if decision.admitted:
+            federation.terminate(flow_id)
+        return decision
+
+    decision = benchmark(cycle)
+    assert decision.admitted
+
+
+def test_bench_centralized_admission_reference(benchmark):
+    ac, path1 = build_centralized()
+    counter = itertools.count()
+
+    def cycle():
+        flow_id = f"probe{next(counter)}"
+        decision = ac.admit(AdmissionRequest(flow_id, SPEC, 2.19), path1)
+        if decision.admitted:
+            ac.release(flow_id)
+        return decision
+
+    decision = benchmark(cycle)
+    assert decision.admitted
+
+
+def test_bench_federation_equivalence(benchmark):
+    """Full saturation sweep: identical admitted sets and rates."""
+
+    def sweep():
+        federation = FederatedBroker(
+            [region for region in _fresh_regions()]
+        )
+        ac, path1 = _fresh_central()
+        index = 0
+        while index < 60:
+            fed = federation.request_service(
+                f"f{index}", SPEC, 2.19, PATH1
+            )
+            cen = ac.admit(
+                AdmissionRequest(f"f{index}", SPEC, 2.19), path1
+            )
+            assert fed.admitted == cen.admitted
+            if not fed.admitted:
+                break
+            assert abs(fed.rate - cen.rate) < 1e-6
+            index += 1
+        return index
+
+    admitted = benchmark.pedantic(sweep, rounds=3, warmup_rounds=1)
+    assert admitted == 27  # Table 2, mixed / 2.19
+
+
+def _fresh_regions():
+    domain = fig8_domain(SchedulerSetting.MIXED)
+    west, east = RegionalBroker("west"), RegionalBroker("east")
+    west_sources = {"I1", "I2", "R2"}
+    for plan in domain.links:
+        target = west if plan.src in west_sources else east
+        target.add_link(plan.src, plan.dst, plan.capacity, plan.kind,
+                        max_packet=plan.max_packet)
+    return [west, east]
+
+
+def _fresh_central():
+    domain = fig8_domain(SchedulerSetting.MIXED)
+    node_mib, flow_mib, path_mib, path1, _ = domain.build_mibs()
+    return PerFlowAdmission(node_mib, flow_mib, path_mib), path1

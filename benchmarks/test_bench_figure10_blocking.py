@@ -1,0 +1,33 @@
+"""Figure 10 regenerator: flow blocking rate versus offered load.
+
+Poisson arrivals, exponential holding (mean 200 s), flows from S1 and
+S2, five seeded runs per point. Checks the paper's shape: per-flow
+BB/VTRS blocks least, aggregate-with-bounding blocks most,
+aggregate-with-feedback sits in between, and the gap shrinks toward
+saturation.
+"""
+
+from repro.experiments.figure10 import run_figure10
+from repro.experiments.reporting import render_figure10
+
+
+def test_bench_figure10(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_figure10(runs=5), rounds=1, warmup_rounds=0
+    )
+    print()
+    print(render_figure10(result))
+    perflow = result.curve("per-flow BB/VTRS")
+    bounding = result.curve("Aggr BB/VTRS (bounding)")
+    feedback = result.curve("Aggr BB/VTRS (feedback)")
+    for p, b, f in zip(perflow, bounding, feedback):
+        assert b >= f - 1e-9 >= -1e-9
+        assert b >= p - 1e-9
+    # Feedback hugs per-flow; bounding is clearly worse at light load.
+    assert bounding[0] > perflow[0] + 0.01
+    assert abs(feedback[0] - perflow[0]) < 0.05
+    # Relative convergence near saturation.
+    assert (bounding[-1] - perflow[-1]) < (bounding[0] - perflow[0]) + 0.02
+    # Monotone in offered load.
+    for curve in (perflow, bounding, feedback):
+        assert curve == sorted(curve)

@@ -1,0 +1,28 @@
+"""Figure 9 regenerator: mean reserved bandwidth per flow.
+
+Mixed scheduler setting, 2.19 s bound. Checks the paper's qualitative
+shape: IntServ/GS flat at the WFQ-reference rate; per-flow BB/VTRS
+rising from the mean rate but averaging below IntServ; aggregate
+BB/VTRS decaying to the mean rate and below both, while admitting
+more flows.
+"""
+
+import pytest
+
+from repro.experiments.figure9 import run_figure9
+from repro.experiments.reporting import render_figure9
+
+
+def test_bench_figure9(benchmark):
+    result = benchmark.pedantic(run_figure9, rounds=3, warmup_rounds=1)
+    print()
+    print(render_figure9(result))
+    intserv = result.series["IntServ/GS"]
+    perflow = result.series["Per-flow BB/VTRS"]
+    aggregate = result.series["Aggr BB/VTRS"]
+    assert all(v == pytest.approx(168000 / 3.11) for v in intserv)
+    assert perflow[0] == pytest.approx(50000)
+    assert perflow[-1] > perflow[0]
+    assert all(p <= i + 1e-6 for p, i in zip(perflow, intserv))
+    assert aggregate[-1] < perflow[-1]
+    assert len(aggregate) > len(perflow)  # Table 2's extra admissions

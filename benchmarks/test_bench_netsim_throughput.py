@@ -1,0 +1,45 @@
+"""Packet-simulator throughput (events/second) on the saturated domain.
+
+Not a paper figure — a harness health metric: it bounds how large a
+packet-level experiment (e.g. a long Figure 7 run) remains practical.
+"""
+
+from repro.core.admission import AdmissionRequest, PerFlowAdmission
+from repro.netsim.engine import Simulator
+from repro.netsim.harness import DataPlaneHarness
+from repro.workloads.profiles import flow_type
+from repro.workloads.topologies import SchedulerSetting, fig8_domain
+
+
+def saturated_run(sim_time=20.0):
+    domain = fig8_domain(SchedulerSetting.MIXED)
+    node_mib, flow_mib, path_mib, path1, _ = domain.build_mibs()
+    ac = PerFlowAdmission(node_mib, flow_mib, path_mib)
+    sim = Simulator()
+    network, schedulers = domain.build_netsim(sim)
+    harness = DataPlaneHarness(sim, network, schedulers)
+    spec = flow_type(0).spec
+    index = 0
+    while True:
+        decision = ac.admit(
+            AdmissionRequest(f"f{index}", spec, 2.19), path1
+        )
+        if not decision.admitted:
+            break
+        harness.provision_flow(
+            f"f{index}", spec, decision.rate, decision.delay, path1,
+            traffic="greedy", stop_time=sim_time,
+        )
+        index += 1
+    harness.run(until=sim_time + 10.0)
+    return sim.events_processed, harness.recorder.total_packets
+
+
+def test_bench_packet_simulator(benchmark):
+    events, packets = benchmark.pedantic(
+        saturated_run, rounds=3, warmup_rounds=1
+    )
+    print(f"\nSaturated mixed domain: {events} events, "
+          f"{packets} packets delivered per 20 s simulated")
+    assert packets > 1000
+    assert events > packets  # multiple events per packet

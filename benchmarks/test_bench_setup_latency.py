@@ -1,0 +1,67 @@
+"""Extension bench: reservation set-up latency vs path length.
+
+The broker's set-up latency is constant in the data-path hop count;
+RSVP's grows linearly (PATH + RESV walks with per-hop admission).
+Also grounds the model's processing constants in reality by timing an
+actual path-oriented admission on this machine.
+"""
+
+import itertools
+import time
+
+from repro.core.admission import AdmissionRequest, PerFlowAdmission
+from repro.experiments.reporting import render_table
+from repro.experiments.setup_latency import LatencyModel, run_setup_latency
+from repro.workloads.profiles import flow_type
+from repro.workloads.topologies import SchedulerSetting, fig8_domain
+
+
+def test_bench_setup_latency(benchmark):
+    result = benchmark(run_setup_latency)
+    rows = [
+        [hops, f"{rsvp * 1e3:.2f}", f"{broker * 1e3:.2f}",
+         f"{rsvp / broker:.2f}x"]
+        for hops, rsvp, broker in zip(result.hops, result.rsvp,
+                                      result.broker)
+    ]
+    print()
+    print("Reservation set-up latency (model: 1 ms/hop, broker 3 hops "
+          "from the edge):")
+    print(render_table(
+        ["data-path hops", "RSVP (ms)", "broker (ms)", "RSVP/broker"],
+        rows,
+    ))
+    # Broker latency is hop-count independent.
+    assert len(set(result.broker)) == 1
+    # RSVP grows strictly with the hop count.
+    assert result.rsvp == sorted(result.rsvp)
+    assert result.rsvp[-1] > result.rsvp[0]
+    # With the default model the broker wins from 4 hops on.
+    assert 0 < result.crossover_hops <= 4
+
+
+def test_bench_measured_admission_grounds_model(benchmark):
+    """The model's broker_admission constant must not understate the
+    real cost: time an actual admission on a loaded mixed path."""
+    domain = fig8_domain(SchedulerSetting.MIXED)
+    node_mib, flow_mib, path_mib, path1, _ = domain.build_mibs()
+    ac = PerFlowAdmission(node_mib, flow_mib, path_mib)
+    spec = flow_type(0).spec
+    for index in range(20):
+        ac.admit(AdmissionRequest(f"pre{index}", spec, 2.19), path1)
+    counter = itertools.count()
+
+    def test_only():
+        return ac.test(
+            AdmissionRequest(f"probe{next(counter)}", spec, 2.19), path1
+        )
+
+    decision = benchmark(test_only)
+    assert decision.admitted
+    mean_seconds = benchmark.stats.stats.mean
+    model = LatencyModel()
+    print(f"\nmeasured admission test: {mean_seconds * 1e6:.1f} us; "
+          f"model assumes {model.broker_admission * 1e6:.0f} us")
+    # The model's constant is within an order of magnitude of reality
+    # on any plausible machine (pure-Python today is well under 1 ms).
+    assert mean_seconds < 10 * model.broker_admission

@@ -1,0 +1,35 @@
+"""Extension bench: control-plane state versus user-flow count.
+
+Quantifies the scaling argument that motivates the architecture:
+router state is zero under the broker; broker state is O(flows x hops)
+per-flow and O(hops) class-based; RSVP state is O(flows x hops) at the
+routers with perpetual refresh traffic on top.
+"""
+
+from repro.experiments.state_scaling import (
+    render_state_scaling,
+    run_state_scaling,
+)
+
+
+def test_bench_state_scaling(benchmark):
+    result = benchmark.pedantic(run_state_scaling, rounds=3,
+                                warmup_rounds=1)
+    print()
+    print(render_state_scaling(result))
+    flows = result.flow_counts
+    # Routers hold nothing under either broker architecture.
+    assert all(v == 0 for v in result.router_state["per-flow BB"])
+    assert all(v == 0 for v in result.router_state["class-based BB"])
+    # RSVP router state is linear in flows (x 5 routers x 2 blocks,
+    # plus one reservation entry per link).
+    rsvp = result.router_state["RSVP/IntServ"]
+    assert rsvp == [count * 15 for count in flows]
+    # Per-flow broker state is linear; class-based is constant.
+    assert result.broker_state["per-flow BB"] == [
+        count * 5 for count in flows
+    ]
+    assert set(result.broker_state["class-based BB"]) == {5}
+    # Refresh load grows with the population and never stops.
+    assert result.refresh_per_second == sorted(result.refresh_per_second)
+    assert result.refresh_per_second[-1] > 0

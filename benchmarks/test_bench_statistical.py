@@ -1,0 +1,43 @@
+"""Extension bench: statistical multiplexing gain (Hoeffding admission).
+
+The paper's fourth open problem — statistical guarantees — quantified:
+flows admitted on one 1.5 Mb/s link under peak allocation,
+deterministic mean-rate allocation (the loose-bound broker), and
+Hoeffding admission across overflow probabilities.
+"""
+
+from repro.core.statistical import HoeffdingAdmission
+from repro.experiments.reporting import render_table
+from repro.workloads.profiles import flow_type
+
+
+def gain_table():
+    capacity = 1.5e6
+    rows = []
+    for type_id in (0, 3):
+        spec = flow_type(type_id).spec
+        peak_count = int(capacity / spec.peak)
+        mean_count = int(capacity / spec.rho)
+        row = [f"type {type_id}", peak_count]
+        for epsilon in (1e-6, 1e-3, 1e-2, 1e-1):
+            row.append(HoeffdingAdmission.max_identical_flows(
+                spec, capacity, epsilon
+            ))
+        row.append(mean_count)
+        rows.append(row)
+    return rows
+
+
+def test_bench_statistical_multiplexing(benchmark):
+    rows = benchmark(gain_table)
+    print()
+    print("Flows admitted on one 1.5 Mb/s link:")
+    print(render_table(
+        ["flow type", "peak alloc", "eps=1e-6", "eps=1e-3", "eps=1e-2",
+         "eps=0.1", "mean alloc"],
+        rows,
+    ))
+    for row in rows:
+        counts = row[1:]
+        assert counts == sorted(counts)  # monotone from peak to mean
+        assert counts[-2] > counts[0]    # real gain at eps = 0.1

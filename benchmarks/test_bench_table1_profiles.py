@@ -1,0 +1,35 @@
+"""Table 1 regenerator: the published delay-bound columns.
+
+Recomputes every flow type's loose end-to-end delay bound from
+eq. (4) at the mean rate over the Figure 8 path and checks it against
+the published Table 1 value. Also times the bound arithmetic itself,
+which is the inner loop of every admission decision the broker makes.
+"""
+
+import pytest
+
+from repro.experiments.reporting import render_table
+from repro.workloads.profiles import TABLE1_PROFILES, verify_table1_bounds
+
+
+def test_bench_table1_bounds(benchmark):
+    results = benchmark(verify_table1_bounds)
+    rows = []
+    for type_id, (published, recomputed) in sorted(results.items()):
+        profile = TABLE1_PROFILES[type_id]
+        rows.append([
+            type_id,
+            f"{profile.spec.sigma:.0f}",
+            f"{profile.spec.rho:.0f}",
+            f"{profile.spec.peak:.0f}",
+            f"{published:.2f}",
+            f"{recomputed:.4f}",
+        ])
+        assert recomputed == pytest.approx(published, abs=1e-3)
+    print()
+    print("Table 1 (delay bound column recomputed from eq. (4)):")
+    print(render_table(
+        ["type", "burst(b)", "mean(b/s)", "peak(b/s)",
+         "published bound(s)", "recomputed(s)"],
+        rows,
+    ))

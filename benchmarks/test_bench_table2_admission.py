@@ -1,0 +1,17 @@
+"""Table 2 regenerator: maximum calls admitted by every scheme.
+
+Reproduces all twenty cells (2 scheduler settings x 2 delay bounds x
+{IntServ/GS, per-flow BB, aggregate BB at cd in {0.10, 0.24, 0.50}})
+and asserts an exact match with the published table.
+"""
+
+from repro.experiments.reporting import render_table2
+from repro.experiments.table2 import run_table2
+
+
+def test_bench_table2(benchmark):
+    result = benchmark.pedantic(run_table2, rounds=3, warmup_rounds=1)
+    print()
+    print("Table 2 (ours (paper)):")
+    print(render_table2(result))
+    assert result.matches_paper(), result.mismatches()

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Inter-domain guaranteed service across three providers.
+
+A flow from a customer of provider WEST to a server hosted by
+provider EAST must cross provider TRANSIT in the middle. Each
+provider runs its own bandwidth broker; the only shared agreements
+are bilateral SLA trunks on the border links. The coordination
+(quote round, slack split, rollback) runs in WEST's broker:
+
+1. each provider **quotes** the best delay bound it could grant the
+   flow across its segment (binary search over its real admission
+   test, so quotes reflect current load);
+2. the requirement minus quotes minus trunk latencies is the slack,
+   split proportionally; each provider admits with its budget;
+3. the SLA trunks are debited at the granted rates.
+
+The example shows quotes tightening as load builds, an end-to-end
+admission with its per-provider budget breakdown, a trunk-exhaustion
+rejection with full rollback, and teardown.
+
+Run:  python examples/interdomain_sla.py
+"""
+
+from repro.core.broker import BandwidthBroker
+from repro.experiments.reporting import render_table
+from repro.interdomain import (
+    BrokeredDomain,
+    InterDomainCoordinator,
+    PeeringSLA,
+)
+from repro.interdomain.coordinator import DomainHop
+from repro.units import bytes_, mbps
+from repro.vtrs.timestamps import SchedulerKind
+from repro.workloads.profiles import flow_type
+
+R, D = SchedulerKind.RATE_BASED, SchedulerKind.DELAY_BASED
+PACKET = bytes_(1500)
+
+
+def provider(name, links, capacity=mbps(1.5)):
+    broker = BandwidthBroker()
+    for src, dst, kind in links:
+        broker.add_link(src, dst, capacity, kind, max_packet=PACKET)
+    return BrokeredDomain(name, broker)
+
+
+def main() -> None:
+    west = provider("WEST", [
+        ("cust", "w1", R), ("w1", "w2", R), ("w2", "wx", R),
+    ])
+    transit = provider("TRANSIT", [
+        ("tx1", "t1", R), ("t1", "t2", D), ("t2", "tx2", R),
+    ], capacity=mbps(4))
+    east = provider("EAST", [
+        ("ex", "e1", R), ("e1", "srv", R),
+    ])
+    slas = [
+        PeeringSLA("WEST", "TRANSIT", bandwidth=mbps(0.8), latency=0.004),
+        PeeringSLA("TRANSIT", "EAST", bandwidth=mbps(0.8), latency=0.004),
+    ]
+    coordinator = InterDomainCoordinator([west, transit, east], slas)
+    route = [
+        DomainHop("WEST", "cust", "wx"),
+        DomainHop("TRANSIT", "tx1", "tx2"),
+        DomainHop("EAST", "ex", "srv"),
+    ]
+
+    spec = flow_type(0).spec
+    print("Initial per-provider delay quotes for a type-0 flow:")
+    for domain, hop in zip((west, transit, east), route):
+        quote = domain.quote(spec, hop.ingress, hop.egress)
+        print(f"  {domain.name:8s} {hop.ingress}->{hop.egress}: "
+              f"{quote.min_delay * 1e3:7.1f} ms over {quote.hops} hops")
+
+    print("\nAdmitting flows end to end (D_req = 3.5 s):")
+    rows = []
+    admitted = 0
+    for index in range(20):
+        decision = coordinator.request_service(
+            f"flow-{index}", spec, 3.5, route
+        )
+        if decision.admitted:
+            admitted += 1
+            if index < 3:
+                rows.append([
+                    decision.flow_id,
+                    " + ".join(
+                        f"{g.domain}:{g.budget * 1e3:.0f}ms"
+                        for g in decision.grants
+                    ),
+                    f"{decision.sla_latency * 1e3:.0f}ms",
+                    f"{decision.e2e_bound:.3f}s",
+                ])
+        else:
+            rows.append([
+                decision.flow_id, decision.reason.value,
+                "-", decision.detail[:46],
+            ])
+            break
+    print(render_table(
+        ["flow", "budget split", "SLA latency", "e2e bound / detail"],
+        rows,
+    ))
+    print(f"\n{admitted} flows admitted before the "
+          f"{slas[0].bandwidth / 1e6:.1f} Mb/s trunk filled "
+          f"({slas[0].reserved / 1e3:.0f} kb/s reserved on WEST->TRANSIT)")
+
+    # Rollback check: WEST holds no state for the rejected flow.
+    assert west.broker.stats().active_flows == admitted
+    print("rollback verified: WEST holds reservations only for "
+          "admitted flows")
+
+    coordinator.terminate("flow-0")
+    print(f"after terminating flow-0: trunk carries "
+          f"{slas[0].flow_count} flows, "
+          f"{slas[0].residual / 1e3:.0f} kb/s residual")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's full evaluation section (Section 5).
+
+Runs every table and figure of the evaluation and prints them in
+paper-comparable form:
+
+* Table 1 — traffic profiles with the delay-bound column recomputed;
+* Table 2 — maximum calls admitted per scheme (ours vs published);
+* Figure 9 — mean reserved bandwidth per admitted flow;
+* Figure 10 — flow blocking rate versus offered load;
+* Figure 7 — the dynamic-aggregation delay violation and its repair.
+
+Run:  python examples/paper_evaluation.py [--fast]
+"""
+
+import argparse
+import sys
+
+from repro.experiments import (
+    run_figure7,
+    run_figure9,
+    run_figure10,
+    run_table2,
+)
+from repro.experiments.reporting import (
+    render_figure7,
+    render_figure9,
+    render_figure10,
+    render_table,
+    render_table2,
+)
+from repro.workloads.profiles import TABLE1_PROFILES, verify_table1_bounds
+
+
+def section(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="fewer seeds / coarser sweep for Figure 10",
+    )
+    args = parser.parse_args(argv)
+
+    section("Table 1 — traffic profiles (delay bound recomputed from eq. 4)")
+    rows = []
+    for type_id, (published, recomputed) in sorted(
+        verify_table1_bounds().items()
+    ):
+        spec = TABLE1_PROFILES[type_id].spec
+        rows.append([
+            type_id, f"{spec.sigma:.0f}", f"{spec.rho:.0f}",
+            f"{spec.peak:.0f}", f"{published:.2f}", f"{recomputed:.4f}",
+        ])
+    print(render_table(
+        ["type", "burst(b)", "mean(b/s)", "peak(b/s)", "published(s)",
+         "recomputed(s)"], rows,
+    ))
+
+    section("Table 2 — maximum number of calls admitted: ours (paper)")
+    table2 = run_table2()
+    print(render_table2(table2))
+    print("\nexact match with the published table:", table2.matches_paper())
+
+    section("Figure 9 — mean reserved bandwidth per flow "
+            "(mixed setting, D = 2.19 s)")
+    print(render_figure9(run_figure9()))
+
+    section("Figure 10 — flow blocking rate vs offered load")
+    if args.fast:
+        figure10 = run_figure10(
+            arrival_rates=(0.10, 0.20, 0.30), runs=2,
+            horizon=2000.0, warmup=400.0,
+        )
+    else:
+        figure10 = run_figure10(runs=5)
+    print(render_figure10(figure10))
+
+    section("Figure 7 — dynamic flow aggregation: edge delay violation "
+            "and the contingency-bandwidth repair")
+    print(render_figure7(run_figure7()))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

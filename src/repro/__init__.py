@@ -1,0 +1,70 @@
+"""repro — a bandwidth broker architecture with a core-stateless data plane.
+
+A faithful, self-contained reproduction of *"Decoupling QoS Control
+from Core Routers: A Novel Bandwidth Broker Architecture for Scalable
+Support of Guaranteed Services"* (Zhang, Duan, Gao, Hou — ACM SIGCOMM
+2000), including:
+
+* the **Virtual Time Reference System** data plane (packet state,
+  edge conditioning, core-stateless schedulers, analytic delay
+  bounds) — :mod:`repro.vtrs`;
+* the **bandwidth broker** control plane with path-oriented per-flow
+  admission and class-based admission under dynamic flow aggregation
+  — :mod:`repro.core`;
+* the **IntServ/Guaranteed Service** hop-by-hop baseline —
+  :mod:`repro.intserv`;
+* packet-level and call-level simulators — :mod:`repro.netsim`,
+  :mod:`repro.callsim`;
+* the paper's workloads and every evaluation table/figure —
+  :mod:`repro.workloads`, :mod:`repro.experiments`.
+
+Quickstart::
+
+    from repro import BandwidthBroker, TSpec
+    from repro.vtrs.timestamps import SchedulerKind
+
+    bb = BandwidthBroker()
+    bb.add_link("I1", "R1", 10e6, SchedulerKind.RATE_BASED,
+                max_packet=12000)
+    bb.add_link("R1", "E1", 10e6, SchedulerKind.RATE_BASED,
+                max_packet=12000)
+    spec = TSpec(sigma=60000, rho=50e3, peak=100e3, max_packet=12000)
+    decision = bb.request_service("flow-1", spec, 0.5, "I1", "E1")
+    assert decision.admitted
+"""
+
+from repro._version import __version__
+from repro.core.admission import (
+    AdmissionDecision,
+    AdmissionRequest,
+    PerFlowAdmission,
+    RejectionReason,
+)
+from repro.core.aggregate import (
+    AggregateAdmission,
+    ContingencyMethod,
+    ServiceClass,
+)
+from repro.core.broker import BandwidthBroker, BrokerStats
+from repro.errors import ReproError
+from repro.traffic.spec import ServiceSpec, TSpec, aggregate_tspec
+from repro.vtrs.delay_bounds import PathProfile, e2e_delay_bound
+
+__all__ = [
+    "__version__",
+    "BandwidthBroker",
+    "BrokerStats",
+    "AdmissionDecision",
+    "AdmissionRequest",
+    "PerFlowAdmission",
+    "AggregateAdmission",
+    "ContingencyMethod",
+    "ServiceClass",
+    "RejectionReason",
+    "TSpec",
+    "ServiceSpec",
+    "aggregate_tspec",
+    "PathProfile",
+    "e2e_delay_bound",
+    "ReproError",
+]

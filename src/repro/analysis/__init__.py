@@ -1,0 +1,26 @@
+"""Analytic capacity planning and cross-checks.
+
+Tools a provider would run *before* deploying the broker:
+
+* :mod:`repro.analysis.erlang` — the Erlang-B loss formula. With
+  Poisson arrivals, exponential holding times and a fixed per-flow
+  bandwidth, the domain is an M/M/c/c loss system whose blocking
+  probability is ``B(c, a)`` — an *independent analytic prediction*
+  of what the call-level simulator measures, used to validate the
+  whole Figure 10 pipeline;
+* :mod:`repro.analysis.capacity` — the planning table: how many flows
+  of a given profile each admission strategy (peak, deterministic
+  per-flow at a delay bound, class-based aggregate, statistical at
+  epsilon, mean) can carry on a path, and the implied blocking at a
+  target load.
+"""
+
+from repro.analysis.capacity import CapacityPlan, plan_capacity
+from repro.analysis.erlang import erlang_b, erlang_b_inverse_capacity
+
+__all__ = [
+    "erlang_b",
+    "erlang_b_inverse_capacity",
+    "CapacityPlan",
+    "plan_capacity",
+]

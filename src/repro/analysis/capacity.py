@@ -1,0 +1,115 @@
+"""Capacity planning across admission strategies.
+
+For a homogeneous population of one Table 1 (or custom) flow profile
+on a given path, compute how many simultaneous flows each strategy
+carries and the Erlang-B blocking each capacity implies at a target
+offered load:
+
+* ``peak``          — peak-rate allocation (zero risk, zero gain);
+* ``per-flow``      — the broker's deterministic admission at a given
+  end-to-end delay bound (Section 3);
+* ``aggregate``     — class-based admission (Section 4); capacity is
+  found by actually running the join sequence, so the peak-rate
+  contingency effect at the margin is included;
+* ``statistical``   — Hoeffding admission at a given epsilon;
+* ``mean``          — mean-rate allocation (the utilization ceiling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.analysis.erlang import erlang_b
+from repro.core.admission import AdmissionRequest, PerFlowAdmission
+from repro.core.aggregate import (
+    AggregateAdmission,
+    ContingencyMethod,
+    ServiceClass,
+)
+from repro.core.statistical import HoeffdingAdmission
+from repro.traffic.spec import TSpec
+from repro.workloads.topologies import Fig8Domain
+
+__all__ = ["CapacityPlan", "plan_capacity"]
+
+
+@dataclass
+class CapacityPlan:
+    """Planning-table row set: strategy -> max simultaneous flows."""
+
+    spec: TSpec
+    delay_bound: float
+    epsilon: float
+    capacities: Dict[str, int] = field(default_factory=dict)
+
+    def blocking_at(self, offered_load: float) -> Dict[str, float]:
+        """Erlang-B blocking per strategy at *offered_load* erlangs."""
+        return {
+            strategy: erlang_b(capacity, offered_load)
+            for strategy, capacity in self.capacities.items()
+        }
+
+
+def _saturate(admit, limit: int = 10_000) -> int:
+    count = 0
+    while count < limit and admit(count):
+        count += 1
+    return count
+
+
+def plan_capacity(
+    domain: Fig8Domain,
+    spec: TSpec,
+    *,
+    delay_bound: float,
+    class_delay: float = 0.0,
+    epsilon: float = 1e-2,
+    path_index: int = 0,
+) -> CapacityPlan:
+    """Build the capacity planning table for one flow profile.
+
+    :param domain: the topology plan (fresh MIBs are built per
+        strategy so nothing leaks between rows).
+    :param path_index: 0 = the S1 path, 1 = the S2 path.
+    """
+    plan = CapacityPlan(spec=spec, delay_bound=delay_bound,
+                        epsilon=epsilon)
+    bottleneck = min(link.capacity for link in domain.links)
+    plan.capacities["peak"] = int(bottleneck / spec.peak)
+    plan.capacities["mean"] = int(bottleneck / spec.rho)
+
+    def fresh_path():
+        mibs = domain.build_mibs()
+        return mibs, mibs[3 + path_index]
+
+    # deterministic per-flow at the delay bound
+    mibs, path = fresh_path()
+    perflow = PerFlowAdmission(*mibs[:3])
+    plan.capacities["per-flow"] = _saturate(
+        lambda index: perflow.admit(
+            AdmissionRequest(f"f{index}", spec, delay_bound), path
+        ).admitted
+    )
+
+    # class-based aggregate (widely spaced joins: contingency settles)
+    mibs, path = fresh_path()
+    aggregate = AggregateAdmission(
+        *mibs[:3], method=ContingencyMethod.BOUNDING
+    )
+    klass = ServiceClass("plan", delay_bound, class_delay)
+    plan.capacities["aggregate"] = _saturate(
+        lambda index: aggregate.join(
+            f"f{index}", spec, klass, path, now=(index + 1) * 1e4
+        ).admitted
+    )
+
+    # statistical at epsilon
+    mibs, path = fresh_path()
+    statistical = HoeffdingAdmission(epsilon=epsilon)
+    plan.capacities["statistical"] = _saturate(
+        lambda index: statistical.admit(
+            AdmissionRequest(f"f{index}", spec, delay_bound), path
+        ).admitted
+    )
+    return plan

@@ -1,0 +1,71 @@
+"""The Erlang-B loss formula and helpers.
+
+A domain admitting at most ``c`` identical flows, offered Poisson
+arrivals at rate ``lambda`` with mean holding time ``T``, is an
+M/M/c/c loss system with offered load ``a = lambda * T`` erlangs and
+blocking probability
+
+``B(c, a) = (a^c / c!) / sum_{k=0..c} a^k / k!``
+
+computed with the standard numerically-stable recurrence
+
+``B(0, a) = 1;   B(k, a) = a B(k-1, a) / (k + a B(k-1, a))``
+
+Because the admission schemes in this repository reduce, for a
+homogeneous flow population, to "at most c flows at once", Erlang B
+predicts the Figure 10 blocking rates analytically — a validation
+used by the tests and benches.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+__all__ = ["erlang_b", "erlang_b_inverse_capacity"]
+
+
+def erlang_b(servers: int, offered_load: float) -> float:
+    """Blocking probability ``B(c, a)`` of an M/M/c/c system.
+
+    :param servers: the capacity ``c`` (maximum simultaneous flows).
+    :param offered_load: ``a = lambda * T`` in erlangs.
+    """
+    if servers < 0:
+        raise ConfigurationError(f"servers must be >= 0, got {servers}")
+    if offered_load < 0:
+        raise ConfigurationError(
+            f"offered load must be >= 0, got {offered_load}"
+        )
+    if offered_load == 0:
+        return 0.0
+    blocking = 1.0
+    for k in range(1, servers + 1):
+        blocking = offered_load * blocking / (k + offered_load * blocking)
+    return blocking
+
+
+def erlang_b_inverse_capacity(offered_load: float,
+                              target_blocking: float) -> int:
+    """Smallest ``c`` with ``B(c, a) <= target`` (capacity planning).
+
+    :raises ConfigurationError: for a non-positive target (every finite
+        system blocks with positive probability under positive load).
+    """
+    if not 0.0 < target_blocking < 1.0:
+        raise ConfigurationError(
+            f"target blocking must be in (0, 1), got {target_blocking}"
+        )
+    if offered_load < 0:
+        raise ConfigurationError(
+            f"offered load must be >= 0, got {offered_load}"
+        )
+    servers = 0
+    blocking = 1.0
+    while blocking > target_blocking:
+        servers += 1
+        blocking = offered_load * blocking / (servers + offered_load * blocking)
+        if servers > 1_000_000:  # pragma: no cover - absurd inputs
+            raise ConfigurationError(
+                "no practical capacity reaches the target blocking"
+            )
+    return servers

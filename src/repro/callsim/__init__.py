@@ -1,0 +1,32 @@
+"""Call-level (flow-level) simulation.
+
+The blocking-rate experiments (Figure 10) operate at flow granularity:
+flows arrive, are admitted or blocked, hold for a while, and depart.
+This package replays a :class:`~repro.workloads.generators.CallWorkload`
+against any admission scheme:
+
+* :mod:`repro.callsim.schemes` — adapters presenting the per-flow
+  BB/VTRS, IntServ/GS and aggregate BB/VTRS admission controllers
+  through one :class:`~repro.callsim.schemes.AdmissionScheme`
+  interface (including the fluid edge-backlog model that drives the
+  contingency *feedback* method at call granularity);
+* :mod:`repro.callsim.driver` — the event loop and
+  :class:`~repro.callsim.driver.BlockingStats` accounting.
+"""
+
+from repro.callsim.driver import BlockingStats, CallSimulator
+from repro.callsim.schemes import (
+    AdmissionScheme,
+    AggregateVtrsScheme,
+    IntServGsScheme,
+    PerFlowVtrsScheme,
+)
+
+__all__ = [
+    "CallSimulator",
+    "BlockingStats",
+    "AdmissionScheme",
+    "PerFlowVtrsScheme",
+    "IntServGsScheme",
+    "AggregateVtrsScheme",
+]

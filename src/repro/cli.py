@@ -1,0 +1,204 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands regenerate the paper's evaluation artifacts from a terminal:
+
+* ``table1``  — traffic profiles with the delay-bound column verified;
+* ``table2``  — maximum calls admitted per scheme (ours vs published);
+* ``figure7`` — the dynamic-aggregation delay violation experiment;
+* ``figure9`` — mean reserved bandwidth per admitted flow;
+* ``figure10``— blocking rate versus offered load;
+* ``plan``    — the capacity-planning table (extension);
+* ``scaling`` — control-plane state vs flow count (extension);
+* ``all``     — the paper artifacts in paper order.
+
+Each command exits non-zero when the reproduction check fails (e.g. a
+Table 2 cell deviates from the published value), so the CLI doubles
+as a smoke test in CI pipelines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro._version import __version__
+from repro.experiments import (
+    run_figure7,
+    run_figure9,
+    run_figure10,
+    run_table2,
+)
+from repro.experiments.reporting import (
+    render_figure7,
+    render_figure9,
+    render_figure10,
+    render_table,
+    render_table2,
+)
+from repro.workloads.profiles import TABLE1_PROFILES, verify_table1_bounds
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_table1(_args: argparse.Namespace) -> int:
+    rows = []
+    ok = True
+    for type_id, (published, recomputed) in sorted(
+        verify_table1_bounds().items()
+    ):
+        spec = TABLE1_PROFILES[type_id].spec
+        rows.append([
+            type_id, f"{spec.sigma:.0f}", f"{spec.rho:.0f}",
+            f"{spec.peak:.0f}", f"{published:.2f}", f"{recomputed:.4f}",
+        ])
+        ok &= abs(published - recomputed) < 1e-3
+    print(render_table(
+        ["type", "burst(b)", "mean(b/s)", "peak(b/s)", "published(s)",
+         "recomputed(s)"], rows,
+    ))
+    return 0 if ok else 1
+
+
+def _cmd_table2(_args: argparse.Namespace) -> int:
+    result = run_table2()
+    print(render_table2(result))
+    if result.matches_paper():
+        print("\nexact match with the published Table 2")
+        return 0
+    print("\nMISMATCHES:", result.mismatches())
+    return 1
+
+
+def _cmd_figure7(_args: argparse.Namespace) -> int:
+    result = run_figure7()
+    print(render_figure7(result))
+    return 0 if (result.naive_violates and result.contingency_holds) else 1
+
+
+def _cmd_figure9(_args: argparse.Namespace) -> int:
+    result = run_figure9()
+    print(render_figure9(result))
+    perflow = result.series["Per-flow BB/VTRS"]
+    aggregate = result.series["Aggr BB/VTRS"]
+    ok = perflow[-1] > perflow[0] and aggregate[-1] < perflow[-1]
+    return 0 if ok else 1
+
+
+def _cmd_figure10(args: argparse.Namespace) -> int:
+    if args.fast:
+        result = run_figure10(
+            arrival_rates=(0.10, 0.20, 0.30), runs=2,
+            horizon=2000.0, warmup=400.0,
+        )
+    else:
+        result = run_figure10(runs=args.runs)
+    print(render_figure10(result))
+    bounding = result.curve("Aggr BB/VTRS (bounding)")
+    perflow = result.curve("per-flow BB/VTRS")
+    ok = all(b >= p - 1e-9 for b, p in zip(bounding, perflow))
+    return 0 if ok else 1
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    status = 0
+    for title, command in (
+        ("Table 1", _cmd_table1),
+        ("Table 2", _cmd_table2),
+        ("Figure 9", _cmd_figure9),
+        ("Figure 10", _cmd_figure10),
+        ("Figure 7", _cmd_figure7),
+    ):
+        print()
+        print("=" * 72)
+        print(title)
+        print("=" * 72)
+        status |= command(args)
+    return status
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.analysis.capacity import plan_capacity
+    from repro.workloads.profiles import flow_type
+    from repro.workloads.topologies import SchedulerSetting, fig8_domain
+
+    rows = []
+    for type_id in range(4):
+        profile = flow_type(type_id)
+        plan = plan_capacity(
+            fig8_domain(SchedulerSetting.RATE_ONLY),
+            profile.spec,
+            delay_bound=profile.delay_bound(tight=args.tight),
+            epsilon=args.epsilon,
+        )
+        c = plan.capacities
+        rows.append([
+            f"type {type_id}", c["peak"], c["per-flow"], c["aggregate"],
+            c["statistical"], c["mean"],
+        ])
+    print(render_table(
+        ["profile", "peak", "per-flow BB", "aggregate BB",
+         f"statistical (eps={args.epsilon:g})", "mean"],
+        rows,
+    ))
+    return 0
+
+
+def _cmd_scaling(_args: argparse.Namespace) -> int:
+    from repro.experiments.state_scaling import (
+        render_state_scaling,
+        run_state_scaling,
+    )
+
+    print(render_state_scaling(run_state_scaling()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Bandwidth broker (SIGCOMM 2000) reproduction toolkit",
+    )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("table1", help="Table 1 profile/bound verification"
+                   ).set_defaults(func=_cmd_table1)
+    sub.add_parser("table2", help="Table 2 admitted-call counts"
+                   ).set_defaults(func=_cmd_table2)
+    sub.add_parser("figure7", help="Figure 7 aggregation-delay experiment"
+                   ).set_defaults(func=_cmd_figure7)
+    sub.add_parser("figure9", help="Figure 9 reserved-bandwidth curves"
+                   ).set_defaults(func=_cmd_figure9)
+    fig10 = sub.add_parser("figure10", help="Figure 10 blocking curves")
+    fig10.add_argument("--runs", type=int, default=5,
+                       help="seeded runs per point (default 5)")
+    fig10.add_argument("--fast", action="store_true",
+                       help="coarse sweep for quick checks")
+    fig10.set_defaults(func=_cmd_figure10)
+    plan = sub.add_parser("plan", help="capacity-planning table (extension)")
+    plan.add_argument("--epsilon", type=float, default=0.05,
+                      help="statistical overflow target (default 0.05)")
+    plan.add_argument("--tight", action="store_true",
+                      help="use the tight Table 1 delay bounds")
+    plan.set_defaults(func=_cmd_plan)
+    sub.add_parser(
+        "scaling", help="control-plane state vs flow count (extension)"
+    ).set_defaults(func=_cmd_scaling)
+    everything = sub.add_parser("all", help="regenerate the whole evaluation")
+    everything.add_argument("--runs", type=int, default=5)
+    everything.add_argument("--fast", action="store_true")
+    everything.set_defaults(func=_cmd_all)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,415 @@
+"""Path-oriented per-flow admission control (Section 3 of the paper).
+
+The broker holds the QoS state of the whole domain, so a flow's
+admissibility is decided by examining **the entire path at once**
+instead of hop by hop:
+
+* **Rate-based-only paths** (Section 3.1): the end-to-end delay bound
+  (eq. (6)) inverts to a closed-form minimal rate
+
+  ``r_min = (T_on P + (h+1) L) / (D_req - D_tot + T_on)``
+
+  and the feasible range is ``[max(rho, r_min), min(P, C_res)]`` —
+  an O(1) test against two cached path aggregates.
+
+* **Mixed rate/delay-based paths** (Section 3.2, Figure 4): the
+  admissible region of rate-delay pairs ``<r, d>`` is swept along the
+  curve ``d = t - Xi / r`` (the end-to-end constraint (9) taken with
+  equality), interval by interval over the distinct existing deadlines
+  ``d^1 < ... < d^M``. Within the interval ``(d^{m-1}, d^m]`` every
+  constraint is linear in ``r``:
+
+  - end-to-end (eq. 7)     → ``Xi/(t - d^{m-1}) < r <= Xi/(t - d^m)``
+  - existing deadline d^k ≥ d (eq. 8 with d = t - Xi/r):
+      ``r (d^k - t) + Xi + L <= S^k``
+      → upper bound when ``d^k >= t``, lower bound when ``d^k < t``
+  - the new flow's own deadline (condition (5) at ``t = d``):
+      ``W_i(d) >= L`` at every delay-based hop — linear in ``d`` on
+      the open segment, hence a lower bound on ``r``
+  - traffic & capacity     → ``rho <= r <= min(P, C_res)``
+
+  The minimal feasible rate over all intervals is returned — the
+  *minimum-bandwidth* allocation the paper's Theorem 1 characterizes.
+  Every candidate is double-checked against the per-link ledgers
+  (the hop-by-hop ground truth), so the path-oriented and local tests
+  can never silently disagree.
+
+The module performs the paper's two admission phases: the
+*admissibility test* (:meth:`PerFlowAdmission.test`) is side-effect
+free; *bookkeeping* (:meth:`PerFlowAdmission.admit`) installs the
+reservation into the node/flow MIBs.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import StateError
+from repro.core.mibs import FlowMIB, FlowRecord, NodeMIB, PathMIB, PathRecord
+from repro.traffic.spec import TSpec
+from repro.vtrs.delay_bounds import e2e_delay_bound, min_feasible_rate_rate_based
+from repro.vtrs.timestamps import SchedulerKind
+
+__all__ = [
+    "RejectionReason",
+    "AdmissionRequest",
+    "AdmissionDecision",
+    "PerFlowAdmission",
+]
+
+_EPS = 1e-9
+
+
+class RejectionReason(enum.Enum):
+    """Why a service request was rejected."""
+
+    POLICY = "policy"
+    NO_PATH = "no-path"
+    DELAY_UNACHIEVABLE = "delay-unachievable"
+    INSUFFICIENT_BANDWIDTH = "insufficient-bandwidth"
+    UNSCHEDULABLE = "unschedulable"
+    DUPLICATE = "duplicate-flow"
+
+
+@dataclass(frozen=True)
+class AdmissionRequest:
+    """A new-flow service request, as delivered to the broker.
+
+    :param flow_id: unique flow identifier.
+    :param spec: dual-token-bucket traffic profile.
+    :param delay_requirement: end-to-end delay requirement ``D_req``.
+    """
+
+    flow_id: str
+    spec: TSpec
+    delay_requirement: float
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of the admissibility test.
+
+    ``rate``/``delay`` are the granted rate-delay parameter pair when
+    admitted (``delay`` is 0 on rate-based-only paths).
+    """
+
+    admitted: bool
+    flow_id: str
+    path_id: str = ""
+    rate: float = 0.0
+    delay: float = 0.0
+    reason: Optional[RejectionReason] = None
+    detail: str = ""
+
+    def __bool__(self) -> bool:
+        return self.admitted
+
+
+class PerFlowAdmission:
+    """Per-flow guaranteed-service admission control (Section 3).
+
+    :param node_mib: the broker's node/link QoS state base.
+    :param flow_mib: the broker's flow information base.
+    :param path_mib: the broker's path QoS state base.
+    """
+
+    def __init__(self, node_mib: NodeMIB, flow_mib: FlowMIB,
+                 path_mib: PathMIB) -> None:
+        self.node_mib = node_mib
+        self.flow_mib = flow_mib
+        self.path_mib = path_mib
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def test(self, request: AdmissionRequest, path: PathRecord
+             ) -> AdmissionDecision:
+        """Admissibility-test phase: no state is modified."""
+        if request.flow_id in self.flow_mib:
+            return AdmissionDecision(
+                admitted=False,
+                flow_id=request.flow_id,
+                path_id=path.path_id,
+                reason=RejectionReason.DUPLICATE,
+                detail=f"flow {request.flow_id!r} is already admitted",
+            )
+        if path.rate_based_hops == path.hops:
+            return self._test_rate_only(request, path)
+        return self._test_mixed(request, path)
+
+    def admit(self, request: AdmissionRequest, path: PathRecord,
+              *, now: float = 0.0) -> AdmissionDecision:
+        """Admissibility test followed by the bookkeeping phase."""
+        decision = self.test(request, path)
+        if not decision.admitted:
+            return decision
+        for link in path.links:
+            if link.kind is SchedulerKind.DELAY_BASED:
+                link.reserve(
+                    request.flow_id,
+                    decision.rate,
+                    deadline=decision.delay,
+                    max_packet=request.spec.max_packet,
+                )
+            else:
+                link.reserve(request.flow_id, decision.rate)
+        self.flow_mib.add(
+            FlowRecord(
+                flow_id=request.flow_id,
+                spec=request.spec,
+                delay_requirement=request.delay_requirement,
+                path_id=path.path_id,
+                rate=decision.rate,
+                delay=decision.delay,
+                admitted_at=now,
+            )
+        )
+        return decision
+
+    def release(self, flow_id: str) -> FlowRecord:
+        """Tear down a flow's reservation along its path."""
+        record = self.flow_mib.remove(flow_id)
+        path = self.path_mib.get(record.path_id)
+        for link in path.links:
+            link.release(flow_id)
+        return record
+
+    # ------------------------------------------------------------------
+    # Section 3.1 — rate-based-only path, O(1)
+    # ------------------------------------------------------------------
+
+    def _test_rate_only(self, request: AdmissionRequest, path: PathRecord
+                        ) -> AdmissionDecision:
+        spec = request.spec
+        r_min = min_feasible_rate_rate_based(
+            spec, request.delay_requirement, path.profile()
+        )
+        if math.isinf(r_min):
+            return AdmissionDecision(
+                admitted=False,
+                flow_id=request.flow_id,
+                path_id=path.path_id,
+                reason=RejectionReason.DELAY_UNACHIEVABLE,
+                detail="fixed path latency alone exceeds the requirement",
+            )
+        low = max(spec.rho, r_min)
+        high = min(spec.peak, path.residual_bandwidth())
+        if low > high * (1 + _EPS) + _EPS:
+            reason = (
+                RejectionReason.DELAY_UNACHIEVABLE
+                if r_min > spec.peak * (1 + _EPS)
+                else RejectionReason.INSUFFICIENT_BANDWIDTH
+            )
+            return AdmissionDecision(
+                admitted=False,
+                flow_id=request.flow_id,
+                path_id=path.path_id,
+                reason=reason,
+                detail=(
+                    f"feasible range empty: need r in "
+                    f"[{low:.1f}, {high:.1f}] b/s"
+                ),
+            )
+        return AdmissionDecision(
+            admitted=True,
+            flow_id=request.flow_id,
+            path_id=path.path_id,
+            rate=min(low, high),
+            delay=0.0,
+        )
+
+    # ------------------------------------------------------------------
+    # Section 3.2 — mixed rate/delay-based path (Figure 4)
+    # ------------------------------------------------------------------
+
+    def _test_mixed(self, request: AdmissionRequest, path: PathRecord
+                    ) -> AdmissionDecision:
+        spec = request.spec
+        result = self._find_min_rate_pair(
+            spec, request.delay_requirement, path
+        )
+        if isinstance(result, AdmissionDecision):
+            return result
+        rate, delay = result
+        return AdmissionDecision(
+            admitted=True,
+            flow_id=request.flow_id,
+            path_id=path.path_id,
+            rate=rate,
+            delay=delay,
+        )
+
+    def _find_min_rate_pair(
+        self, spec: TSpec, delay_requirement: float, path: PathRecord
+    ):
+        """Figure 4: minimal feasible ``<r, d>`` on a mixed path.
+
+        Returns either the pair or a rejecting
+        :class:`AdmissionDecision` (flow id left blank — the caller
+        fills it in).
+        """
+
+        def reject(reason: RejectionReason, detail: str) -> AdmissionDecision:
+            return AdmissionDecision(
+                admitted=False, flow_id="", path_id=path.path_id,
+                reason=reason, detail=detail,
+            )
+
+        profile = path.profile()
+        delay_hops = profile.delay_based_hops
+        t_nu = (delay_requirement - profile.d_tot + spec.t_on) / delay_hops
+        xi = (
+            spec.t_on * spec.peak
+            + (profile.rate_based_hops + 1) * spec.max_packet
+        ) / delay_hops
+        l_max = spec.max_packet
+
+        if t_nu <= 0:
+            return reject(
+                RejectionReason.DELAY_UNACHIEVABLE,
+                "fixed path latency alone exceeds the requirement",
+            )
+        rate_cap = min(spec.peak, path.residual_bandwidth())
+        if rate_cap < spec.rho * (1 - _EPS):
+            return reject(
+                RejectionReason.INSUFFICIENT_BANDWIDTH,
+                f"residual bandwidth {path.residual_bandwidth():.1f} b/s "
+                f"below the sustained rate {spec.rho:.1f} b/s",
+            )
+
+        breakpoints = path.deadline_breakpoints()  # merged (d^k, S^k)
+
+        # Upper bounds contributed by breakpoints at or beyond t_nu
+        # (constant across intervals): r (d^k - t) + Xi + L <= S^k.
+        hi_global = rate_cap
+        below: List[Tuple[float, float]] = []  # (d^k, S^k) with d^k < t_nu
+        for d_k, s_k in breakpoints:
+            gap = d_k - t_nu
+            if gap > _EPS:
+                hi_global = min(hi_global, (s_k - xi - l_max) / gap)
+            elif gap >= -_EPS:  # d^k == t_nu
+                if s_k + _EPS < xi + l_max:
+                    return reject(
+                        RejectionReason.UNSCHEDULABLE,
+                        f"residual service at deadline {d_k:.6f}s cannot "
+                        f"absorb the new flow at any rate",
+                    )
+            else:
+                below.append((d_k, s_k))
+        if hi_global <= 0:
+            return reject(
+                RejectionReason.UNSCHEDULABLE,
+                "a long-deadline reservation leaves no residual service",
+            )
+
+        # Suffix maxima of the lower bounds contributed by breakpoints
+        # below t_nu: for interval m, breakpoints k >= m bind.
+        #   r >= (Xi + L - S^k) / (t - d^k)
+        suffix_lb = [0.0] * (len(below) + 1)
+        for k in range(len(below) - 1, -1, -1):
+            d_k, s_k = below[k]
+            bound = (xi + l_max - s_k) / (t_nu - d_k)
+            suffix_lb[k] = max(suffix_lb[k + 1], bound)
+
+        delay_links = path.delay_based_links()
+        boundaries = [0.0] + [d for d, _ in below]  # d^0 .. d^{m*-1}
+
+        best: Optional[Tuple[float, float]] = None
+        for m in range(len(boundaries), 0, -1):
+            d_lo = boundaries[m - 1]
+            d_hi = below[m - 1][0] if m - 1 < len(below) else t_nu
+            lo = max(spec.rho, suffix_lb[m - 1])
+            if t_nu - d_lo <= _EPS:
+                continue
+            lo = max(lo, xi / (t_nu - d_lo))
+            hi = hi_global
+            if d_hi < t_nu - _EPS:
+                hi = min(hi, xi / (t_nu - d_hi))
+            if lo > hi * (1 + _EPS):
+                continue
+            # Own-deadline constraint W_i(d) >= L at every delay-based
+            # hop, linear on the open segment above d_lo.
+            lo_own, infeasible = self._own_deadline_bound(
+                delay_links, d_lo, t_nu, xi, l_max
+            )
+            if infeasible:
+                continue
+            lo = max(lo, lo_own)
+            if lo > hi * (1 + _EPS):
+                continue
+            rate = lo
+            delay = max(0.0, t_nu - xi / rate)
+            if self._locally_admissible(delay_links, rate, delay, l_max):
+                if best is None or rate < best[0]:
+                    best = (rate, delay)
+            else:
+                # Boundary numerics: nudge the candidate marginally up.
+                rate = lo * (1 + 1e-12) + 1e-12
+                delay = max(0.0, t_nu - xi / rate)
+                if rate <= hi * (1 + _EPS) and self._locally_admissible(
+                    delay_links, rate, delay, l_max
+                ):
+                    if best is None or rate < best[0]:
+                        best = (rate, delay)
+
+        if best is None:
+            return reject(
+                RejectionReason.UNSCHEDULABLE,
+                "no feasible rate-delay pair on any deadline interval",
+            )
+        return best
+
+    @staticmethod
+    def _own_deadline_bound(
+        delay_links, d_lo: float, t_nu: float, xi: float, l_max: float
+    ) -> Tuple[float, bool]:
+        """Lower bound on ``r`` from ``W_i(d) >= L`` with ``d = t - Xi/r``.
+
+        Returns ``(bound, infeasible)``; *infeasible* means no ``d``
+        in this segment can satisfy some hop regardless of ``r``.
+        """
+        bound = 0.0
+        for link in delay_links:
+            ledger = link.ledger
+            assert ledger is not None
+            rate_sum, rate_dl_sum, packet_sum = ledger.segment_aggregates(d_lo)
+            slope = ledger.capacity - rate_sum
+            intercept = rate_dl_sum - packet_sum
+            # W_i(d) = slope * d + intercept >= L
+            if slope <= _EPS * ledger.capacity:
+                if intercept + _EPS < l_max:
+                    return 0.0, True
+                continue
+            d_min = (l_max - intercept) / slope
+            if d_min <= d_lo:
+                continue
+            if d_min >= t_nu - _EPS:
+                return 0.0, True
+            bound = max(bound, xi / (t_nu - d_min))
+        return bound, False
+
+    @staticmethod
+    def _locally_admissible(delay_links, rate: float, delay: float,
+                            l_max: float) -> bool:
+        """Ground-truth check of the candidate at every delay-based hop."""
+        return all(
+            link.ledger.admissible(rate, delay, l_max) for link in delay_links
+        )
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+
+    def granted_delay_bound(self, flow_id: str) -> float:
+        """The analytic e2e delay bound of an admitted flow's reservation."""
+        record = self.flow_mib.get(flow_id)
+        if record is None:
+            raise StateError(f"flow {flow_id!r} is not admitted")
+        path = self.path_mib.get(record.path_id)
+        return e2e_delay_bound(
+            record.spec, record.rate, record.delay, path.profile()
+        )

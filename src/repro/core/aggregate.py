@@ -1,0 +1,495 @@
+"""Class-based guaranteed services with dynamic flow aggregation (Section 4).
+
+A **service class** fixes an end-to-end delay bound and a class delay
+parameter ``cd`` (used at delay-based schedulers). All microflows of a
+class sharing a path are aggregated into one **macroflow**: a single
+reservation in the core, a single edge conditioner, a single ledger
+entry — the broker's state no longer grows with the number of user
+flows.
+
+Microflows join and leave at any time, so the macroflow's reserved
+rate must be readjusted dynamically — and, as Section 4.1 shows,
+naive readjustment violates the delay bound: packets queued at the
+edge before the change linger ("old" backlog), and core packets paced
+at the old rate can collide with the new ones. The fix is
+**contingency bandwidth** (Theorems 2/3):
+
+* **join** at ``t*``: rate rises from ``r`` to ``r'``; additionally
+  ``Delta_r = P_nu - (r' - r)`` is granted temporarily, so the
+  macroflow holds ``r + P_nu`` during the contingency period;
+* **leave** at ``t*``: the rate is *kept* at ``r`` for the contingency
+  period (``Delta_r = r - r'``), and dropped only afterwards;
+* the contingency period ``tau`` must cover the backlog drain time
+  ``Q(t*) / Delta_r``. The **bounding** method uses the analytic
+  worst case (eq. 17); the **feedback** method lets the edge
+  conditioner report when its buffer empties and releases early.
+
+The resulting end-to-end bound is eq. (19):
+``d_edge(new profile, r') + max(d_core(r), d_core(r')) <= D_req``.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, StateError
+from repro.core.admission import AdmissionDecision, RejectionReason
+from repro.core.mibs import FlowMIB, FlowRecord, NodeMIB, PathMIB, PathRecord
+from repro.traffic.spec import TSpec
+from repro.vtrs.delay_bounds import core_delay_bound, min_macroflow_rate
+from repro.vtrs.timestamps import SchedulerKind
+
+__all__ = [
+    "ContingencyMethod",
+    "ServiceClass",
+    "ContingencyAllocation",
+    "Macroflow",
+    "AggregateAdmission",
+]
+
+_EPS = 1e-9
+
+
+class ContingencyMethod(enum.Enum):
+    """How the contingency period is determined (Section 4.2.1)."""
+
+    #: eq. (17): analytic worst-case backlog bound; conservative.
+    BOUNDING = "bounding"
+    #: edge conditioner reports when its buffer drains; eq. (17) caps it.
+    FEEDBACK = "feedback"
+    #: no contingency bandwidth at all — *unsafe*; provided so the
+    #: Figure 7 experiment can demonstrate the delay-bound violation.
+    NONE = "none"
+
+
+@dataclass(frozen=True)
+class ServiceClass:
+    """A guaranteed-delay service class.
+
+    :param class_id: label, e.g. ``"gold"``.
+    :param delay_bound: end-to-end delay bound ``D`` offered by the
+        class (seconds).
+    :param class_delay: the fixed delay parameter ``cd`` every
+        macroflow of this class uses at delay-based schedulers.
+    """
+
+    class_id: str
+    delay_bound: float
+    class_delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.delay_bound <= 0:
+            raise ConfigurationError(
+                f"class delay bound must be positive, got {self.delay_bound}"
+            )
+        if self.class_delay < 0:
+            raise ConfigurationError(
+                f"class delay parameter must be >= 0, got {self.class_delay}"
+            )
+
+
+@dataclass
+class ContingencyAllocation:
+    """One active temporary bandwidth grant on a macroflow."""
+
+    amount: float
+    granted_at: float
+    expires_at: float
+    prior_edge_bound: float
+    token: int
+
+
+class Macroflow:
+    """Broker-side state of one (service class, path) aggregate."""
+
+    def __init__(self, key: str, service_class: ServiceClass,
+                 path: PathRecord) -> None:
+        self.key = key
+        self.service_class = service_class
+        self.path = path
+        self.members: Dict[str, TSpec] = {}
+        self.aggregate: Optional[TSpec] = None
+        self.base_rate = 0.0  # r^alpha, excluding contingency
+        self.contingencies: List[ContingencyAllocation] = []
+        self.join_count = 0
+        self.leave_count = 0
+
+    @property
+    def member_count(self) -> int:
+        """Number of constituent microflows."""
+        return len(self.members)
+
+    @property
+    def contingency_rate(self) -> float:
+        """``Delta_r^alpha(t)`` — total active contingency bandwidth."""
+        return sum(c.amount for c in self.contingencies)
+
+    @property
+    def total_rate(self) -> float:
+        """Bandwidth currently held on every link of the path."""
+        return self.base_rate + self.contingency_rate
+
+    def edge_delay_bound(self) -> float:
+        """The edge delay bound currently in force (eq. 13).
+
+        ``max(d_edge(aggregate, base_rate), prior bounds of active
+        contingencies)`` — once every contingency expires this reduces
+        to the bound implied by the current profile alone.
+        """
+        bounds = [c.prior_edge_bound for c in self.contingencies]
+        if self.aggregate is not None and self.base_rate > 0:
+            bounds.append(self.aggregate.edge_delay(self.base_rate))
+        return max(bounds) if bounds else 0.0
+
+    def core_delay_bound(self) -> float:
+        """Core delay bound at the current base rate (eq. 12/18 term)."""
+        if self.base_rate <= 0:
+            return 0.0
+        return core_delay_bound(
+            self.base_rate,
+            self.service_class.class_delay,
+            self.path.profile(),
+            self.path.max_packet,
+        )
+
+
+class AggregateAdmission:
+    """Admission control for class-based services (Sections 4.2-4.3).
+
+    Timers are decoupled from any particular simulator: the owner
+    calls :meth:`advance` with the current time to release expired
+    contingency bandwidth, and :meth:`next_expiry` exposes the next
+    deadline so event-driven callers can schedule precisely.
+
+    :param node_mib: broker link-state base (shared with per-flow AC).
+    :param flow_mib: broker flow base.
+    :param path_mib: broker path base.
+    :param method: contingency-period determination method.
+    """
+
+    def __init__(
+        self,
+        node_mib: NodeMIB,
+        flow_mib: FlowMIB,
+        path_mib: PathMIB,
+        *,
+        method: ContingencyMethod = ContingencyMethod.BOUNDING,
+        rate_change_listener=None,
+    ) -> None:
+        self.node_mib = node_mib
+        self.flow_mib = flow_mib
+        self.path_mib = path_mib
+        self.method = method
+        #: optional callback ``(macroflow) -> None`` fired after every
+        #: total-rate change — the hook the broker uses to push
+        #: EdgeReconfigure messages to the ingress (Figure 1's COPS
+        #: arrow), and the data-plane bridge uses to re-pace the live
+        #: edge conditioner.
+        self.rate_change_listener = rate_change_listener
+        self.macroflows: Dict[str, Macroflow] = {}
+        self._expirations: List[Tuple[float, int, str]] = []
+        self._tokens = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # class / macroflow management
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def macroflow_key(service_class: ServiceClass, path: PathRecord) -> str:
+        """Stable identifier of the (class, path) aggregate."""
+        return f"{service_class.class_id}@{path.path_id}"
+
+    def macroflow(self, service_class: ServiceClass,
+                  path: PathRecord) -> Macroflow:
+        """Get or create the macroflow for (class, path)."""
+        key = self.macroflow_key(service_class, path)
+        flow = self.macroflows.get(key)
+        if flow is None:
+            flow = Macroflow(key, service_class, path)
+            self.macroflows[key] = flow
+        return flow
+
+    # ------------------------------------------------------------------
+    # microflow join (Section 4.3)
+    # ------------------------------------------------------------------
+
+    def join(
+        self,
+        flow_id: str,
+        spec: TSpec,
+        service_class: ServiceClass,
+        path: PathRecord,
+        *,
+        now: float = 0.0,
+    ) -> AdmissionDecision:
+        """Admit microflow *flow_id* into the class on *path*."""
+        self.advance(now)
+        if flow_id in self.flow_mib:
+            return AdmissionDecision(
+                admitted=False, flow_id=flow_id, path_id=path.path_id,
+                reason=RejectionReason.DUPLICATE,
+                detail=f"flow {flow_id!r} is already admitted",
+            )
+        macro = self.macroflow(service_class, path)
+        new_aggregate = (
+            macro.aggregate + spec if macro.aggregate is not None else spec
+        )
+        core_floor = macro.core_delay_bound()  # old-rate core bound, eq. (19)
+        new_rate = min_macroflow_rate(
+            new_aggregate,
+            service_class.delay_bound,
+            path.profile(),
+            service_class.class_delay,
+            core_bound_floor=core_floor,
+        )
+        if math.isinf(new_rate):
+            return AdmissionDecision(
+                admitted=False, flow_id=flow_id, path_id=path.path_id,
+                reason=RejectionReason.DELAY_UNACHIEVABLE,
+                detail="no rate up to the aggregate peak meets the class bound",
+            )
+        new_rate = max(new_rate, macro.base_rate)
+        increment = new_rate - macro.base_rate
+        # Theorem 2: Delta_r >= P_nu - r_nu, so the macroflow holds at
+        # least r_alpha + P_nu during the contingency period.
+        contingency = (
+            max(0.0, spec.peak - increment)
+            if self.method is not ContingencyMethod.NONE
+            else 0.0
+        )
+        total_increment = increment + contingency
+        if not self._path_can_grow(macro, total_increment):
+            return AdmissionDecision(
+                admitted=False, flow_id=flow_id, path_id=path.path_id,
+                reason=RejectionReason.INSUFFICIENT_BANDWIDTH,
+                detail=(
+                    f"path cannot supply {total_increment:.1f} b/s "
+                    f"(peak-rate allocation during the contingency period)"
+                ),
+            )
+        if not self._delay_hops_accept(macro, macro.total_rate + total_increment):
+            return AdmissionDecision(
+                admitted=False, flow_id=flow_id, path_id=path.path_id,
+                reason=RejectionReason.UNSCHEDULABLE,
+                detail="a delay-based hop cannot schedule the enlarged "
+                       "macroflow at the class delay",
+            )
+        # ---- bookkeeping -------------------------------------------------
+        prior_edge_bound = macro.edge_delay_bound()
+        macro.members[flow_id] = spec
+        macro.aggregate = new_aggregate
+        macro.join_count += 1
+        old_base = macro.base_rate
+        macro.base_rate = new_rate
+        if contingency > 0:
+            self._grant_contingency(
+                macro, contingency, prior_edge_bound, now,
+                prior_total=old_base + macro.contingency_rate,
+            )
+        self._apply_total_rate(macro)
+        self.flow_mib.add(
+            FlowRecord(
+                flow_id=flow_id,
+                spec=spec,
+                delay_requirement=service_class.delay_bound,
+                path_id=path.path_id,
+                rate=new_rate - old_base,
+                delay=service_class.class_delay,
+                class_id=macro.key,
+                admitted_at=now,
+            )
+        )
+        return AdmissionDecision(
+            admitted=True, flow_id=flow_id, path_id=path.path_id,
+            rate=new_rate, delay=service_class.class_delay,
+            detail=f"macroflow {macro.key} now {macro.member_count} members",
+        )
+
+    # ------------------------------------------------------------------
+    # microflow leave (Section 4.3)
+    # ------------------------------------------------------------------
+
+    def leave(self, flow_id: str, *, now: float = 0.0) -> Macroflow:
+        """Remove a microflow; the rate drop is deferred by contingency.
+
+        Theorem 3: the macroflow keeps its current rate for the
+        contingency period; only the *base* rate is lowered now, the
+        difference carried as contingency bandwidth until expiry.
+        """
+        self.advance(now)
+        record = self.flow_mib.remove(flow_id)
+        if not record.class_id:
+            raise StateError(f"flow {flow_id!r} is not a class-based flow")
+        macro = self.macroflows.get(record.class_id)
+        if macro is None or flow_id not in macro.members:
+            raise StateError(
+                f"flow {flow_id!r} not found in macroflow {record.class_id!r}"
+            )
+        prior_edge_bound = macro.edge_delay_bound()
+        spec = macro.members.pop(flow_id)
+        macro.leave_count += 1
+        if macro.member_count == 0:
+            new_aggregate: Optional[TSpec] = None
+            new_rate = 0.0
+        else:
+            new_aggregate = macro.aggregate - spec
+            new_rate = min_macroflow_rate(
+                new_aggregate,
+                macro.service_class.delay_bound,
+                macro.path.profile(),
+                macro.service_class.class_delay,
+            )
+            new_rate = min(new_rate, macro.base_rate)
+        released = macro.base_rate - new_rate
+        macro.aggregate = new_aggregate
+        macro.base_rate = new_rate
+        if released > _EPS and self.method is not ContingencyMethod.NONE:
+            self._grant_contingency(
+                macro, released, prior_edge_bound, now,
+                prior_total=macro.base_rate + released + macro.contingency_rate,
+            )
+        self._apply_total_rate(macro)
+        return macro
+
+    # ------------------------------------------------------------------
+    # contingency machinery (Section 4.2.1)
+    # ------------------------------------------------------------------
+
+    def _grant_contingency(
+        self,
+        macro: Macroflow,
+        amount: float,
+        prior_edge_bound: float,
+        now: float,
+        *,
+        prior_total: float,
+    ) -> None:
+        """Grant *amount* b/s until the eq.-(17) period elapses."""
+        period = self.contingency_period(prior_edge_bound, prior_total, amount)
+        token = next(self._tokens)
+        allocation = ContingencyAllocation(
+            amount=amount,
+            granted_at=now,
+            expires_at=now + period,
+            prior_edge_bound=prior_edge_bound,
+            token=token,
+        )
+        macro.contingencies.append(allocation)
+        heapq.heappush(self._expirations, (allocation.expires_at, token, macro.key))
+
+    @staticmethod
+    def contingency_period(
+        prior_edge_bound: float, prior_total_rate: float, amount: float
+    ) -> float:
+        """The bounding-method period, eq. (17).
+
+        ``tau_hat = d_edge^old * (r_alpha + Delta_r_alpha(t*)) / Delta_r_nu``
+
+        The worst-case backlog at ``t*`` is ``d_edge^old`` times the
+        total bandwidth then allocated (eq. 16); draining it with the
+        contingency bandwidth alone takes at most ``tau_hat``.
+        """
+        if amount <= 0:
+            return 0.0
+        return prior_edge_bound * prior_total_rate / amount
+
+    def advance(self, now: float) -> int:
+        """Release contingency allocations that have expired by *now*.
+
+        Returns the number of allocations released.
+        """
+        released = 0
+        while self._expirations and self._expirations[0][0] <= now + _EPS:
+            _at, token, key = heapq.heappop(self._expirations)
+            macro = self.macroflows.get(key)
+            if macro is None:
+                continue
+            before = len(macro.contingencies)
+            macro.contingencies = [
+                c for c in macro.contingencies if c.token != token
+            ]
+            if len(macro.contingencies) != before:
+                released += 1
+                self._apply_total_rate(macro)
+        return released
+
+    def next_expiry(self) -> Optional[float]:
+        """Time of the next contingency expiry (None when none pending)."""
+        return self._expirations[0][0] if self._expirations else None
+
+    def notify_edge_empty(self, macroflow_key: str, now: float) -> int:
+        """Feedback signal: the macroflow's edge buffer drained (Sec 4.2.1).
+
+        Under the *feedback* method every active contingency allocation
+        of the macroflow is released immediately ("the edge conditioner
+        can send a message to the BB to reset all of the contingency
+        bandwidth before a contingency period expires"). A no-op under
+        the other methods. Returns the number of allocations released.
+        """
+        if self.method is not ContingencyMethod.FEEDBACK:
+            return 0
+        macro = self.macroflows.get(macroflow_key)
+        if macro is None or not macro.contingencies:
+            return 0
+        released = len(macro.contingencies)
+        macro.contingencies.clear()
+        self._apply_total_rate(macro)
+        return released
+
+    # ------------------------------------------------------------------
+    # link bookkeeping
+    # ------------------------------------------------------------------
+
+    def _apply_total_rate(self, macro: Macroflow) -> None:
+        """Push the macroflow's current total rate into every link MIB."""
+        total = macro.total_rate
+        if self.rate_change_listener is not None:
+            self.rate_change_listener(macro)
+        for link in macro.path.links:
+            if total <= _EPS:
+                if link.holds(macro.key):
+                    link.release(macro.key)
+            elif not link.holds(macro.key):
+                if link.kind is SchedulerKind.DELAY_BASED:
+                    link.reserve(
+                        macro.key, total,
+                        deadline=macro.service_class.class_delay,
+                        max_packet=macro.path.max_packet,
+                    )
+                else:
+                    link.reserve(macro.key, total)
+            else:
+                link.adjust_rate(macro.key, total)
+
+    def _path_can_grow(self, macro: Macroflow, increment: float) -> bool:
+        """Can every link on the path supply *increment* more bandwidth?"""
+        if increment <= _EPS:
+            return True
+        slack = _EPS * macro.path.links[0].capacity
+        return macro.path.residual_bandwidth() + slack >= increment
+
+    def _delay_hops_accept(self, macro: Macroflow, new_total: float) -> bool:
+        """VT-EDF schedulability of the resized macroflow at each hop."""
+        cd = macro.service_class.class_delay
+        l_path = macro.path.max_packet
+        for link in macro.path.delay_based_links():
+            ledger = link.ledger
+            assert ledger is not None
+            if link.holds(macro.key):
+                entry = ledger.remove(macro.key)
+                try:
+                    ok = ledger.admissible(new_total, cd, entry.max_packet)
+                finally:
+                    ledger.add(
+                        macro.key, entry.rate, entry.deadline, entry.max_packet
+                    )
+            else:
+                ok = ledger.admissible(new_total, cd, l_path)
+            if not ok:
+                return False
+        return True

@@ -1,0 +1,326 @@
+"""The bandwidth broker facade.
+
+:class:`BandwidthBroker` wires the service modules of Figure 1
+together — policy control, routing, per-flow admission (Section 3) and
+class-based admission with dynamic aggregation (Section 4) — behind
+the two-call API of the paper's operational description:
+
+* :meth:`BandwidthBroker.request_service` — everything that happens
+  when an ingress forwards a new-flow service request: policy check,
+  path selection, admissibility test, bookkeeping, and the reply that
+  tells the ingress how to program the edge conditioner;
+* :meth:`BandwidthBroker.terminate` — flow teardown (with the deferred
+  rate decrease of Theorem 3 for class-based flows).
+
+The broker also acts as a :class:`~repro.core.signaling.MessageBus`
+endpoint named ``"bb"``, so experiments can drive it purely through
+signaling messages and count control-plane traffic.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.errors import SignalingError, StateError
+from repro.core.admission import (
+    AdmissionDecision,
+    AdmissionRequest,
+    PerFlowAdmission,
+    RejectionReason,
+)
+from repro.core.aggregate import (
+    AggregateAdmission,
+    ContingencyMethod,
+    ServiceClass,
+)
+from repro.core.mibs import (
+    FlowMIB,
+    LinkQoSState,
+    NodeMIB,
+    PathMIB,
+    PathRecord,
+)
+from repro.core.policy import PolicyModule
+from repro.core.routing import RoutingModule
+from repro.core.signaling import (
+    EdgeBufferEmpty,
+    EdgeReconfigure,
+    FlowServiceRequest,
+    FlowTeardown,
+    Message,
+    MessageBus,
+    ReservationReply,
+)
+from repro.traffic.spec import TSpec
+from repro.vtrs.timestamps import SchedulerKind
+
+__all__ = ["BandwidthBroker", "BrokerStats"]
+
+
+@dataclass
+class BrokerStats:
+    """A snapshot of the broker's control-plane counters."""
+
+    active_flows: int
+    admitted_total: int
+    rejected_total: int
+    terminated_total: int
+    rejections_by_reason: Dict[str, int] = field(default_factory=dict)
+    macroflows: int = 0
+    qos_state_entries: int = 0
+
+
+class BandwidthBroker:
+    """A centralized bandwidth broker for one network domain.
+
+    :param policy: optional policy module (default: allow everything).
+    :param contingency_method: how class-based admission determines
+        contingency periods (Section 4.2.1).
+    :param bus: optional shared message bus; the broker registers
+        itself as endpoint ``"bb"``.
+    """
+
+    def __init__(
+        self,
+        *,
+        policy: Optional[PolicyModule] = None,
+        contingency_method: ContingencyMethod = ContingencyMethod.BOUNDING,
+        bus: Optional[MessageBus] = None,
+    ) -> None:
+        self.node_mib = NodeMIB()
+        self.flow_mib = FlowMIB()
+        self.path_mib = PathMIB()
+        self.policy = policy or PolicyModule()
+        self.routing = RoutingModule(self.node_mib, self.path_mib)
+        self.perflow = PerFlowAdmission(
+            self.node_mib, self.flow_mib, self.path_mib
+        )
+        self.aggregate = AggregateAdmission(
+            self.node_mib, self.flow_mib, self.path_mib,
+            method=contingency_method,
+            rate_change_listener=self._push_edge_reconfigure,
+        )
+        self.classes: Dict[str, ServiceClass] = {}
+        self.rejections: Counter = Counter()
+        self.rejected_total = 0
+        self.bus = bus or MessageBus()
+        self.bus.register("bb", self.handle_message)
+
+    # ------------------------------------------------------------------
+    # domain provisioning
+    # ------------------------------------------------------------------
+
+    def add_link(
+        self,
+        src: str,
+        dst: str,
+        capacity: float,
+        kind: SchedulerKind,
+        *,
+        error_term: Optional[float] = None,
+        propagation: float = 0.0,
+        max_packet: float = 0.0,
+    ) -> LinkQoSState:
+        """Provision one unidirectional link in the broker's node MIB."""
+        return self.node_mib.register_link(
+            LinkQoSState(
+                (src, dst), capacity, kind,
+                error_term=error_term,
+                propagation=propagation,
+                max_packet=max_packet,
+            )
+        )
+
+    def register_class(self, service_class: ServiceClass) -> ServiceClass:
+        """Offer a guaranteed-delay service class in this domain."""
+        if service_class.class_id in self.classes:
+            raise StateError(
+                f"service class {service_class.class_id!r} already registered"
+            )
+        self.classes[service_class.class_id] = service_class
+        return service_class
+
+    # ------------------------------------------------------------------
+    # flow service
+    # ------------------------------------------------------------------
+
+    def request_service(
+        self,
+        flow_id: str,
+        spec: TSpec,
+        delay_requirement: float,
+        ingress: str,
+        egress: str,
+        *,
+        service_class: str = "",
+        path_nodes: Optional[Sequence[str]] = None,
+        now: float = 0.0,
+    ) -> AdmissionDecision:
+        """Process a new-flow service request end to end.
+
+        :param service_class: empty for per-flow guaranteed service;
+            a registered class id for class-based service (the flow's
+            *delay_requirement* is then the class's bound and may be
+            passed as 0).
+        :param path_nodes: explicit path pin; default: widest-shortest
+            path selected by the routing module.
+        """
+        klass: Optional[ServiceClass] = None
+        if service_class:
+            klass = self.classes.get(service_class)
+            if klass is None:
+                raise StateError(f"unknown service class {service_class!r}")
+        request = AdmissionRequest(
+            flow_id=flow_id,
+            spec=spec,
+            delay_requirement=delay_requirement
+            or (klass.delay_bound if klass is not None else 0.0),
+        )
+        verdict = self.policy.evaluate(request, ingress, egress)
+        if not verdict.allowed:
+            return self._rejected(
+                AdmissionDecision(
+                    admitted=False, flow_id=flow_id,
+                    reason=RejectionReason.POLICY,
+                    detail=f"{verdict.rule}: {verdict.detail}",
+                )
+            )
+        if path_nodes is not None:
+            candidates = [self.routing.pin_path(path_nodes)]
+        else:
+            candidates = self.routing.candidate_paths(ingress, egress)
+        if not candidates:
+            return self._rejected(
+                AdmissionDecision(
+                    admitted=False, flow_id=flow_id,
+                    reason=RejectionReason.NO_PATH,
+                    detail=f"{egress!r} unreachable from {ingress!r}",
+                )
+            )
+        if klass is not None:
+            # Class-based flows stay on the widest path: a macroflow's
+            # identity is (class, path), and splitting one class over
+            # parallel paths would fragment its aggregation benefit.
+            decision = self.aggregate.join(
+                flow_id, spec, klass, candidates[0], now=now
+            )
+            if not decision.admitted:
+                return self._rejected(decision)
+            return decision
+        # Per-flow service: walk the equal-length candidates widest
+        # first — path-wide optimization across alternatives, which a
+        # hop-by-hop protocol cannot do without crankback signaling.
+        decision = None
+        for path in candidates:
+            decision = self.perflow.admit(request, path, now=now)
+            if decision.admitted:
+                return decision
+        return self._rejected(decision)
+
+    def terminate(self, flow_id: str, *, now: float = 0.0) -> None:
+        """Tear down an admitted flow (per-flow or class-based)."""
+        record = self.flow_mib.get(flow_id)
+        if record is None:
+            raise StateError(f"flow {flow_id!r} is not admitted")
+        if record.class_id:
+            self.aggregate.leave(flow_id, now=now)
+        else:
+            self.perflow.release(flow_id)
+
+    def advance(self, now: float) -> int:
+        """Release expired contingency bandwidth (returns count)."""
+        return self.aggregate.advance(now)
+
+    def _rejected(self, decision: AdmissionDecision) -> AdmissionDecision:
+        self.rejected_total += 1
+        if decision.reason is not None:
+            self.rejections[decision.reason.value] += 1
+        return decision
+
+    def _push_edge_reconfigure(self, macro) -> None:
+        """Tell the macroflow's ingress to re-pace its conditioner.
+
+        Sent only when the ingress has registered a bus endpoint —
+        experiments that drive the broker without a data plane are
+        unaffected (Figure 1's COPS push is then a no-op).
+        """
+        ingress = macro.path.nodes[0]
+        if ingress not in getattr(self.bus, "_handlers", {}):
+            return
+        self.bus.send(EdgeReconfigure(
+            sender="bb",
+            receiver=ingress,
+            conditioner_key=macro.key,
+            rate=macro.total_rate,
+            delay=macro.service_class.class_delay,
+        ))
+
+    # ------------------------------------------------------------------
+    # signaling endpoint
+    # ------------------------------------------------------------------
+
+    def handle_message(self, message: Message) -> Optional[Message]:
+        """Bus endpoint: process ingress-originated signaling."""
+        if isinstance(message, FlowServiceRequest):
+            decision = self.request_service(
+                message.flow_id,
+                message.spec,
+                message.delay_requirement,
+                message.sender,
+                message.egress,
+                service_class=message.service_class,
+            )
+            path_nodes: Tuple[str, ...] = ()
+            if decision.admitted and decision.path_id:
+                path_nodes = self.path_mib.get(decision.path_id).nodes
+            macro_key = ""
+            if decision.admitted and message.service_class:
+                record = self.flow_mib.get(message.flow_id)
+                macro_key = record.class_id if record else ""
+            return ReservationReply(
+                sender="bb",
+                receiver=message.sender,
+                flow_id=message.flow_id,
+                admitted=decision.admitted,
+                rate=decision.rate,
+                delay=decision.delay,
+                path_nodes=path_nodes,
+                macroflow_key=macro_key,
+                detail=decision.detail,
+            )
+        if isinstance(message, FlowTeardown):
+            self.terminate(message.flow_id)
+            return None
+        if isinstance(message, EdgeBufferEmpty):
+            self.aggregate.notify_edge_empty(
+                message.conditioner_key, message.at_time
+            )
+            return None
+        raise SignalingError(
+            f"broker cannot handle message type {type(message).__name__}"
+        )
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def stats(self) -> BrokerStats:
+        """Snapshot of the broker's control-plane state."""
+        qos_entries = sum(
+            link.reservation_count for link in self.node_mib.links()
+        )
+        return BrokerStats(
+            active_flows=len(self.flow_mib),
+            admitted_total=self.flow_mib.admitted_total,
+            rejected_total=self.rejected_total,
+            terminated_total=self.flow_mib.terminated_total,
+            rejections_by_reason=dict(self.rejections),
+            macroflows=sum(
+                1
+                for flow in self.aggregate.macroflows.values()
+                if flow.member_count > 0
+            ),
+            qos_state_entries=qos_entries,
+        )

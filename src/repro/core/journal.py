@@ -1,0 +1,177 @@
+"""Broker decision journal: audit trail + exact failover replay.
+
+Checkpoints (:mod:`repro.core.persistence`) alone leave a gap: every
+request handled after the last checkpoint is lost on failover. The
+:class:`DecisionJournal` closes it — it records the *inputs* of every
+control operation (service requests, terminations, time advances) in
+arrival order, so a standby can
+
+1. restore the latest checkpoint, then
+2. :func:`replay` the journal suffix recorded after it,
+
+and arrive at the primary's exact state: because every admission
+decision is a deterministic function of broker state and request
+inputs, replaying inputs reproduces decisions (verified by tests).
+Entries are JSON-compatible, so the journal can be shipped over any
+transport or appended to a file.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import StateError
+from repro.core.broker import BandwidthBroker
+from repro.traffic.spec import TSpec
+
+__all__ = ["JournalEntry", "DecisionJournal", "JournaledBroker", "replay"]
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One recorded control operation."""
+
+    seq: int
+    kind: str  # "request" | "terminate" | "advance"
+    payload: Dict[str, Any]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible representation."""
+        return {"seq": self.seq, "kind": self.kind, "payload": self.payload}
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "JournalEntry":
+        """Inverse of :meth:`to_dict`."""
+        return JournalEntry(
+            seq=data["seq"], kind=data["kind"], payload=data["payload"]
+        )
+
+
+class DecisionJournal:
+    """Append-only, sequence-numbered operation log."""
+
+    def __init__(self) -> None:
+        self._entries: List[JournalEntry] = []
+        self._seq = itertools.count(1)
+
+    def append(self, kind: str, payload: Dict[str, Any]) -> JournalEntry:
+        """Record one operation."""
+        entry = JournalEntry(seq=next(self._seq), kind=kind,
+                             payload=payload)
+        self._entries.append(entry)
+        return entry
+
+    @property
+    def position(self) -> int:
+        """Sequence number of the latest entry (0 when empty)."""
+        return self._entries[-1].seq if self._entries else 0
+
+    def entries_after(self, seq: int) -> List[JournalEntry]:
+        """All entries recorded after sequence number *seq*."""
+        return [entry for entry in self._entries if entry.seq > seq]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+
+class JournaledBroker:
+    """A broker facade that journals every control operation.
+
+    Exposes the same three control calls as
+    :class:`~repro.core.broker.BandwidthBroker` (``request_service``,
+    ``terminate``, ``advance``) and records each *before* executing it
+    — write-ahead, so a crash mid-operation is replayed rather than
+    lost.
+    """
+
+    def __init__(self, broker: BandwidthBroker,
+                 journal: Optional[DecisionJournal] = None) -> None:
+        self.broker = broker
+        self.journal = journal or DecisionJournal()
+
+    def request_service(self, flow_id: str, spec: TSpec,
+                        delay_requirement: float, ingress: str,
+                        egress: str, *, service_class: str = "",
+                        now: float = 0.0):
+        """Journal + execute a service request."""
+        self.journal.append("request", {
+            "flow_id": flow_id,
+            "spec": {
+                "sigma": spec.sigma, "rho": spec.rho,
+                "peak": spec.peak, "max_packet": spec.max_packet,
+            },
+            "delay_requirement": delay_requirement,
+            "ingress": ingress,
+            "egress": egress,
+            "service_class": service_class,
+            "now": now,
+        })
+        return self.broker.request_service(
+            flow_id, spec, delay_requirement, ingress, egress,
+            service_class=service_class, now=now,
+        )
+
+    def terminate(self, flow_id: str, *, now: float = 0.0) -> None:
+        """Journal + execute a flow termination."""
+        self.journal.append("terminate", {"flow_id": flow_id, "now": now})
+        self.broker.terminate(flow_id, now=now)
+
+    def advance(self, now: float) -> int:
+        """Journal + execute a contingency-timer advance."""
+        self.journal.append("advance", {"now": now})
+        return self.broker.advance(now)
+
+
+def replay(broker: BandwidthBroker,
+           entries: Sequence[JournalEntry]) -> int:
+    """Apply journal *entries* to *broker* in order.
+
+    Rejected requests are re-executed and re-rejected (their outcome is
+    a function of the same state). Operations that *raised* on the
+    primary (journaling is write-ahead, so a failed terminate is still
+    recorded) raise identically here and are skipped — in both runs
+    they mutated nothing, so equivalence is preserved. Unknown entry
+    kinds raise.
+
+    Returns the number of entries applied.
+    """
+    from repro.errors import ReproError
+
+    applied = 0
+    for entry in entries:
+        payload = entry.payload
+        try:
+            if entry.kind == "request":
+                spec = TSpec(
+                    sigma=payload["spec"]["sigma"],
+                    rho=payload["spec"]["rho"],
+                    peak=payload["spec"]["peak"],
+                    max_packet=payload["spec"]["max_packet"],
+                )
+                broker.request_service(
+                    payload["flow_id"], spec,
+                    payload["delay_requirement"],
+                    payload["ingress"], payload["egress"],
+                    service_class=payload["service_class"],
+                    now=payload["now"],
+                )
+            elif entry.kind == "terminate":
+                broker.terminate(payload["flow_id"], now=payload["now"])
+            elif entry.kind == "advance":
+                broker.advance(payload["now"])
+            else:
+                raise StateError(
+                    f"unknown journal entry kind {entry.kind!r}"
+                )
+        except StateError:
+            if entry.kind not in ("request", "terminate"):
+                raise
+            # The same deterministic failure occurred on the primary;
+            # neither run mutated state for this entry.
+        applied += 1
+    return applied

@@ -1,0 +1,414 @@
+"""The broker's QoS state information bases (Section 2.2).
+
+Three MIBs back the admission-control module:
+
+* :class:`FlowMIB` — per-flow records: traffic profile, service
+  profile (end-to-end delay requirement) and the granted reservation
+  ``<r, d>``;
+* :class:`NodeMIB` — per-link QoS state: capacity, scheduler type
+  (rate- or delay-based), error term, propagation delay, current
+  reservations — including, for delay-based links, the full
+  :class:`~repro.core.schedulability.DeadlineLedger`;
+* :class:`PathMIB` — per-path aggregates enabling the *path-oriented*
+  admission tests: hop counts ``(h, q)``, ``D_tot``, the minimal
+  residual bandwidth ``C_res`` and the merged deadline/residual-service
+  breakpoints ``(d^m, S^m)`` of Section 3.2.
+
+Path aggregates are cached against a sum of per-link version counters,
+so repeated admission tests on a quiescent path are O(1)/O(M) exactly
+as the paper claims, while any reservation change transparently
+invalidates the cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, StateError, TopologyError
+from repro.core.schedulability import DeadlineLedger
+from repro.traffic.spec import TSpec
+from repro.vtrs.delay_bounds import PathProfile
+from repro.vtrs.timestamps import SchedulerKind
+
+__all__ = [
+    "LinkQoSState",
+    "NodeMIB",
+    "FlowRecord",
+    "FlowMIB",
+    "PathRecord",
+    "PathMIB",
+]
+
+
+class LinkQoSState:
+    """QoS state of one unidirectional link, as known to the broker.
+
+    :param link_id: ``(src, dst)`` node-name pair.
+    :param capacity: link bandwidth ``C`` (bits/s).
+    :param kind: rate- or delay-based scheduler.
+    :param error_term: the scheduler's ``Psi`` (seconds); defaults to
+        ``max_packet / capacity``, the minimum for the core-stateless
+        schedulers.
+    :param propagation: ``pi`` to the next hop (seconds).
+    :param max_packet: the largest packet size permissible on the link
+        (bits) — enters both ``Psi`` and the macroflow core bounds.
+    """
+
+    def __init__(
+        self,
+        link_id: Tuple[str, str],
+        capacity: float,
+        kind: SchedulerKind,
+        *,
+        error_term: Optional[float] = None,
+        propagation: float = 0.0,
+        max_packet: float = 0.0,
+    ) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(f"capacity must be positive, got {capacity}")
+        if propagation < 0:
+            raise ConfigurationError(
+                f"propagation must be >= 0, got {propagation}"
+            )
+        self.link_id = link_id
+        self.capacity = float(capacity)
+        self.kind = kind
+        self.propagation = float(propagation)
+        self.max_packet = float(max_packet)
+        self.error_term = (
+            float(error_term)
+            if error_term is not None
+            else self.max_packet / self.capacity
+        )
+        self._rates: Dict[str, float] = {}
+        self._reserved = 0.0
+        self.ledger: Optional[DeadlineLedger] = (
+            DeadlineLedger(capacity) if kind is SchedulerKind.DELAY_BASED else None
+        )
+        self._version = 0
+
+    # ------------------------------------------------------------------
+    # reservations
+    # ------------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Mutation counter, used by path-level caches."""
+        ledger_version = self.ledger.version if self.ledger is not None else 0
+        return self._version + ledger_version
+
+    @property
+    def reserved_rate(self) -> float:
+        """Total reserved bandwidth on this link (bits/s)."""
+        return self._reserved
+
+    @property
+    def residual_rate(self) -> float:
+        """``C_res`` for this link: unreserved bandwidth (bits/s)."""
+        return self.capacity - self._reserved
+
+    def reserve(
+        self,
+        key: str,
+        rate: float,
+        *,
+        deadline: float = 0.0,
+        max_packet: float = 0.0,
+    ) -> None:
+        """Book *rate* b/s for reservation *key*.
+
+        Delay-based links additionally record ``(deadline, max_packet)``
+        in the schedulability ledger.
+        """
+        if key in self._rates:
+            raise StateError(f"reservation {key!r} already on link {self.link_id}")
+        if rate <= 0:
+            raise ConfigurationError(f"rate must be positive, got {rate}")
+        if self.ledger is not None:
+            self.ledger.add(key, rate, deadline, max_packet or self.max_packet)
+        self._rates[key] = rate
+        self._reserved += rate
+        self._version += 1
+
+    def release(self, key: str) -> float:
+        """Release reservation *key*; returns the freed rate."""
+        rate = self._rates.pop(key, None)
+        if rate is None:
+            raise StateError(f"no reservation {key!r} on link {self.link_id}")
+        if self.ledger is not None:
+            self.ledger.remove(key)
+        self._reserved -= rate
+        self._version += 1
+        return rate
+
+    def adjust_rate(self, key: str, rate: float) -> None:
+        """Resize reservation *key* to *rate* (macroflow growth/shrink)."""
+        old = self._rates.get(key)
+        if old is None:
+            raise StateError(f"no reservation {key!r} on link {self.link_id}")
+        if rate <= 0:
+            raise ConfigurationError(f"rate must be positive, got {rate}")
+        if self.ledger is not None:
+            self.ledger.update_rate(key, rate)
+        self._rates[key] = rate
+        self._reserved += rate - old
+        self._version += 1
+
+    def rate_of(self, key: str) -> float:
+        """Current reserved rate of *key* on this link."""
+        try:
+            return self._rates[key]
+        except KeyError:
+            raise StateError(
+                f"no reservation {key!r} on link {self.link_id}"
+            ) from None
+
+    def holds(self, key: str) -> bool:
+        """Is there a reservation for *key* on this link?"""
+        return key in self._rates
+
+    @property
+    def reservation_count(self) -> int:
+        """Number of reservations the broker tracks for this link."""
+        return len(self._rates)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<LinkQoSState {self.link_id} C={self.capacity:.0f} "
+            f"reserved={self._reserved:.0f} kind={self.kind.value}>"
+        )
+
+
+class NodeMIB:
+    """The node QoS state information base: every link in the domain."""
+
+    def __init__(self) -> None:
+        self._links: Dict[Tuple[str, str], LinkQoSState] = {}
+
+    def register_link(self, state: LinkQoSState) -> LinkQoSState:
+        """Register a link's QoS state (once per link)."""
+        if state.link_id in self._links:
+            raise StateError(f"link {state.link_id} already registered")
+        self._links[state.link_id] = state
+        return state
+
+    def link(self, src: str, dst: str) -> LinkQoSState:
+        """Look up the state of link ``src -> dst``."""
+        try:
+            return self._links[(src, dst)]
+        except KeyError:
+            raise TopologyError(f"unknown link {src}->{dst}") from None
+
+    def __contains__(self, link_id: Tuple[str, str]) -> bool:
+        return link_id in self._links
+
+    def __len__(self) -> int:
+        return len(self._links)
+
+    def links(self) -> Tuple[LinkQoSState, ...]:
+        """All registered link states."""
+        return tuple(self._links.values())
+
+
+@dataclass
+class FlowRecord:
+    """One admitted flow as recorded in the flow MIB."""
+
+    flow_id: str
+    spec: TSpec
+    delay_requirement: float
+    path_id: str
+    rate: float
+    delay: float = 0.0
+    class_id: str = ""
+    admitted_at: float = 0.0
+
+
+class FlowMIB:
+    """The flow information base: all currently admitted flows."""
+
+    def __init__(self) -> None:
+        self._flows: Dict[str, FlowRecord] = {}
+        self.admitted_total = 0
+        self.terminated_total = 0
+
+    def add(self, record: FlowRecord) -> None:
+        """Record an admitted flow."""
+        if record.flow_id in self._flows:
+            raise StateError(f"flow {record.flow_id!r} already recorded")
+        self._flows[record.flow_id] = record
+        self.admitted_total += 1
+
+    def remove(self, flow_id: str) -> FlowRecord:
+        """Remove a terminated flow, returning its record."""
+        record = self._flows.pop(flow_id, None)
+        if record is None:
+            raise StateError(f"flow {flow_id!r} not in flow MIB")
+        self.terminated_total += 1
+        return record
+
+    def get(self, flow_id: str) -> Optional[FlowRecord]:
+        """Look up a flow record (None when absent)."""
+        return self._flows.get(flow_id)
+
+    def __contains__(self, flow_id: str) -> bool:
+        return flow_id in self._flows
+
+    def __len__(self) -> int:
+        return len(self._flows)
+
+    def records(self) -> Tuple[FlowRecord, ...]:
+        """All active flow records."""
+        return tuple(self._flows.values())
+
+
+class PathRecord:
+    """Path-level QoS state: the aggregates behind path-oriented admission.
+
+    :param path_id: stable identifier (e.g. ``"I1->E1"``).
+    :param nodes: node names, ingress first.
+    :param links: the :class:`LinkQoSState` of every hop, in order.
+    """
+
+    def __init__(
+        self, path_id: str, nodes: Sequence[str], links: Sequence[LinkQoSState]
+    ) -> None:
+        if len(nodes) != len(links) + 1:
+            raise TopologyError(
+                f"path {path_id!r}: {len(nodes)} nodes vs {len(links)} links"
+            )
+        if not links:
+            raise TopologyError(f"path {path_id!r} has no links")
+        self.path_id = path_id
+        self.nodes = tuple(nodes)
+        self.links = tuple(links)
+        self._cres_cache: Optional[Tuple[int, float]] = None
+        self._breakpoints_cache: Optional[Tuple[int, Tuple]] = None
+
+    # ------------------------------------------------------------------
+    # static aggregates
+    # ------------------------------------------------------------------
+
+    @property
+    def hops(self) -> int:
+        """Total number of schedulers ``h``."""
+        return len(self.links)
+
+    @property
+    def rate_based_hops(self) -> int:
+        """Number of rate-based schedulers ``q``."""
+        return sum(
+            1 for link in self.links if link.kind is SchedulerKind.RATE_BASED
+        )
+
+    @property
+    def d_tot(self) -> float:
+        """``D_tot = sum_i (Psi_i + pi_i)`` along the path."""
+        return sum(link.error_term + link.propagation for link in self.links)
+
+    @property
+    def max_packet(self) -> float:
+        """``L_path`` — the largest permissible packet along the path."""
+        return max(link.max_packet for link in self.links)
+
+    def profile(self) -> PathProfile:
+        """The :class:`PathProfile` used by the delay-bound formulas."""
+        return PathProfile(
+            hops=self.hops,
+            rate_based_hops=self.rate_based_hops,
+            d_tot=self.d_tot,
+            max_packet=self.max_packet,
+        )
+
+    def rate_based_prefix(self) -> List[int]:
+        """``q_i`` per hop, for edge-conditioner delta computation."""
+        prefix = [0]
+        for link in self.links[:-1]:
+            prefix.append(
+                prefix[-1] + (1 if link.kind is SchedulerKind.RATE_BASED else 0)
+            )
+        return prefix
+
+    def delay_based_links(self) -> Tuple[LinkQoSState, ...]:
+        """The delay-based hops, in path order."""
+        return tuple(
+            link for link in self.links if link.kind is SchedulerKind.DELAY_BASED
+        )
+
+    # ------------------------------------------------------------------
+    # dynamic aggregates (version-cached)
+    # ------------------------------------------------------------------
+
+    def _version_sum(self) -> int:
+        return sum(link.version for link in self.links)
+
+    def residual_bandwidth(self) -> float:
+        """``C_res`` — the minimal residual bandwidth along the path."""
+        version = self._version_sum()
+        if self._cres_cache is not None and self._cres_cache[0] == version:
+            return self._cres_cache[1]
+        value = min(link.residual_rate for link in self.links)
+        self._cres_cache = (version, value)
+        return value
+
+    def deadline_breakpoints(self) -> Tuple[Tuple[float, float], ...]:
+        """Merged ``(d^m, S^m)`` pairs over the path's delay-based hops.
+
+        ``S^m`` is the minimum residual service ``W_i(d^m)`` over the
+        delay-based schedulers that have a reservation with deadline
+        ``d^m`` (the paper's definition in Section 3.2). Sorted by
+        deadline.
+        """
+        version = self._version_sum()
+        if (
+            self._breakpoints_cache is not None
+            and self._breakpoints_cache[0] == version
+        ):
+            return self._breakpoints_cache[1]
+        merged: Dict[float, float] = {}
+        for link in self.delay_based_links():
+            assert link.ledger is not None
+            for deadline in link.ledger.distinct_deadlines:
+                slack = link.ledger.residual_service(deadline)
+                if deadline not in merged or slack < merged[deadline]:
+                    merged[deadline] = slack
+        result = tuple(sorted(merged.items()))
+        self._breakpoints_cache = (version, result)
+        return result
+
+
+class PathMIB:
+    """The path QoS state information base."""
+
+    def __init__(self) -> None:
+        self._paths: Dict[str, PathRecord] = {}
+
+    def register(self, record: PathRecord) -> PathRecord:
+        """Register a path (idempotent for identical node sequences)."""
+        existing = self._paths.get(record.path_id)
+        if existing is not None:
+            if existing.nodes != record.nodes:
+                raise StateError(
+                    f"path id {record.path_id!r} already maps to {existing.nodes}"
+                )
+            return existing
+        self._paths[record.path_id] = record
+        return record
+
+    def get(self, path_id: str) -> PathRecord:
+        """Look up a path record."""
+        try:
+            return self._paths[path_id]
+        except KeyError:
+            raise StateError(f"unknown path {path_id!r}") from None
+
+    def __contains__(self, path_id: str) -> bool:
+        return path_id in self._paths
+
+    def __len__(self) -> int:
+        return len(self._paths)
+
+    def records(self) -> Tuple[PathRecord, ...]:
+        """All registered paths."""
+        return tuple(self._paths.values())

@@ -1,0 +1,141 @@
+"""The broker's policy control module.
+
+Before any admissibility math runs, a service request is screened
+against the domain's policy information base (Figure 1 / Section 2.2:
+"the BB first checks the policy information base to determine whether
+the new flow is admissible. If not, the request is immediately
+rejected.").
+
+Policies are small predicate objects; the module evaluates them in
+registration order and rejects on the first violation, reporting which
+rule fired. A few ready-made rules cover the common cases (rate caps,
+delay floors, ingress-egress allow-lists, per-domain flow quota).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.admission import AdmissionRequest
+
+__all__ = [
+    "PolicyRule",
+    "PolicyModule",
+    "MaxPeakRateRule",
+    "MinDelayRequirementRule",
+    "AllowedPairsRule",
+    "FlowQuotaRule",
+]
+
+
+@dataclass(frozen=True)
+class PolicyVerdict:
+    """Outcome of a policy evaluation."""
+
+    allowed: bool
+    rule: str = ""
+    detail: str = ""
+
+
+class PolicyRule:
+    """Base class for policy rules; subclass and override :meth:`check`."""
+
+    name = "policy-rule"
+
+    def check(self, request: AdmissionRequest, ingress: str,
+              egress: str) -> Optional[str]:
+        """Return None to allow, or a human-readable violation message."""
+        raise NotImplementedError
+
+
+class MaxPeakRateRule(PolicyRule):
+    """Reject flows whose declared peak rate exceeds a cap."""
+
+    name = "max-peak-rate"
+
+    def __init__(self, max_peak: float) -> None:
+        self.max_peak = float(max_peak)
+
+    def check(self, request: AdmissionRequest, ingress: str,
+              egress: str) -> Optional[str]:
+        if request.spec.peak > self.max_peak:
+            return (
+                f"peak rate {request.spec.peak:.0f} b/s exceeds the "
+                f"policy cap {self.max_peak:.0f} b/s"
+            )
+        return None
+
+
+class MinDelayRequirementRule(PolicyRule):
+    """Reject delay requirements tighter than the domain supports."""
+
+    name = "min-delay-requirement"
+
+    def __init__(self, min_delay: float) -> None:
+        self.min_delay = float(min_delay)
+
+    def check(self, request: AdmissionRequest, ingress: str,
+              egress: str) -> Optional[str]:
+        if request.delay_requirement < self.min_delay:
+            return (
+                f"delay requirement {request.delay_requirement:.4f}s is below "
+                f"the domain minimum {self.min_delay:.4f}s"
+            )
+        return None
+
+
+class AllowedPairsRule(PolicyRule):
+    """Only listed (ingress, egress) pairs may request service."""
+
+    name = "allowed-pairs"
+
+    def __init__(self, pairs) -> None:
+        self.pairs = frozenset(tuple(p) for p in pairs)
+
+    def check(self, request: AdmissionRequest, ingress: str,
+              egress: str) -> Optional[str]:
+        if (ingress, egress) not in self.pairs:
+            return f"pair ({ingress}, {egress}) is not provisioned for service"
+        return None
+
+
+class FlowQuotaRule(PolicyRule):
+    """Cap the number of concurrently admitted flows in the domain."""
+
+    name = "flow-quota"
+
+    def __init__(self, quota: int, active_count: Callable[[], int]) -> None:
+        self.quota = int(quota)
+        self.active_count = active_count
+
+    def check(self, request: AdmissionRequest, ingress: str,
+              egress: str) -> Optional[str]:
+        active = self.active_count()
+        if active >= self.quota:
+            return f"domain quota reached ({active}/{self.quota} flows)"
+        return None
+
+
+class PolicyModule:
+    """The policy information base plus its evaluation engine."""
+
+    def __init__(self, rules: Optional[List[PolicyRule]] = None) -> None:
+        self.rules: List[PolicyRule] = list(rules or [])
+        self.evaluations = 0
+        self.rejections = 0
+
+    def add_rule(self, rule: PolicyRule) -> None:
+        """Append a rule to the evaluation chain."""
+        self.rules.append(rule)
+
+    def evaluate(self, request: AdmissionRequest, ingress: str,
+                 egress: str) -> PolicyVerdict:
+        """Evaluate all rules; first violation wins."""
+        self.evaluations += 1
+        for rule in self.rules:
+            violation = rule.check(request, ingress, egress)
+            if violation is not None:
+                self.rejections += 1
+                return PolicyVerdict(False, rule=rule.name, detail=violation)
+        return PolicyVerdict(True)

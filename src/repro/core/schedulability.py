@@ -1,0 +1,275 @@
+"""VT-EDF schedulability ledger (eq. (5)) — evaluated by the broker.
+
+Under the paper's architecture, core routers never run admission
+tests; the broker keeps, for every **delay-based** link, a ledger of
+the reservations ``(r_j, d_j, L_j)`` traversing it and evaluates the
+VT-EDF schedulability condition
+
+``sum_j [r_j (t - d_j) + L_j] 1{t >= d_j} <= C t   for all t >= 0``
+
+The left-hand side is piecewise linear in ``t`` with breakpoints at
+the distinct deadlines, so the condition holds everywhere iff it holds
+at every breakpoint **and** the aggregate rate does not exceed the
+capacity (the slope condition as ``t -> inf``).
+
+The central quantity is the **residual service**
+
+``W(t) = C t - sum_{j: d_j <= t} [r_j (t - d_j) + L_j]``
+
+(called ``S_i^k`` in the paper when evaluated at an existing deadline
+``d_i^k``): the service slack available at time-scale ``t``. A new
+reservation ``(r, d, L)`` is admissible iff
+
+* ``W(d) >= L``                       (its own deadline), and
+* ``W(d^k) >= r (d^k - d) + L``       for every existing ``d^k >= d``,
+* ``sum_j r_j + r <= C``              (the slope condition).
+
+The same condition, with per-hop reshaping to the reserved-rate
+envelope ``(r_j, L_j)``, is the classical RC-EDF schedulability test,
+so the IntServ baseline reuses this ledger.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, StateError
+
+__all__ = ["DeadlineLedger", "LedgerEntry"]
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One reservation known to the ledger."""
+
+    key: str
+    rate: float
+    deadline: float
+    max_packet: float
+
+
+class _DeadlineBucket:
+    """Aggregate of all reservations sharing one distinct deadline."""
+
+    __slots__ = ("deadline", "sum_rate", "sum_rate_deadline", "sum_packet", "count")
+
+    def __init__(self, deadline: float) -> None:
+        self.deadline = deadline
+        self.sum_rate = 0.0
+        self.sum_rate_deadline = 0.0
+        self.sum_packet = 0.0
+        self.count = 0
+
+    def add(self, rate: float, max_packet: float) -> None:
+        self.sum_rate += rate
+        self.sum_rate_deadline += rate * self.deadline
+        self.sum_packet += max_packet
+        self.count += 1
+
+    def remove(self, rate: float, max_packet: float) -> None:
+        self.sum_rate -= rate
+        self.sum_rate_deadline -= rate * self.deadline
+        self.sum_packet -= max_packet
+        self.count -= 1
+
+
+class DeadlineLedger:
+    """Reservation ledger for one delay-based link of capacity ``C``.
+
+    Maintains the distinct-deadline buckets in sorted order so that
+    ``W(t)`` queries are ``O(log M)`` via prefix sums and admission
+    tests are ``O(M)`` in the number of *distinct* deadlines — the
+    complexity the paper claims for the Figure 4 algorithm.
+
+    :param capacity: link capacity ``C`` in bits/s.
+    """
+
+    def __init__(self, capacity: float) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(f"capacity must be positive, got {capacity}")
+        self.capacity = float(capacity)
+        self._entries: Dict[str, LedgerEntry] = {}
+        self._deadlines: List[float] = []  # sorted distinct deadlines
+        self._buckets: Dict[float, _DeadlineBucket] = {}
+        self._total_rate = 0.0
+        # Prefix sums over buckets, rebuilt lazily.
+        self._prefix_dirty = True
+        self._prefix_rate: List[float] = []
+        self._prefix_rate_deadline: List[float] = []
+        self._prefix_packet: List[float] = []
+        self.version = 0  # bumped on every mutation (path-cache invalidation)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+
+    def add(self, key: str, rate: float, deadline: float, max_packet: float) -> None:
+        """Install reservation *key* = ``(rate, deadline, max_packet)``.
+
+        :raises StateError: when *key* is already present.
+        """
+        if key in self._entries:
+            raise StateError(f"reservation {key!r} already in ledger")
+        if rate <= 0 or max_packet <= 0 or deadline < 0:
+            raise ConfigurationError(
+                f"invalid reservation ({rate=}, {deadline=}, {max_packet=})"
+            )
+        entry = LedgerEntry(key, float(rate), float(deadline), float(max_packet))
+        self._entries[key] = entry
+        bucket = self._buckets.get(entry.deadline)
+        if bucket is None:
+            bucket = _DeadlineBucket(entry.deadline)
+            self._buckets[entry.deadline] = bucket
+            bisect.insort(self._deadlines, entry.deadline)
+        bucket.add(entry.rate, entry.max_packet)
+        self._total_rate += entry.rate
+        self._invalidate()
+
+    def remove(self, key: str) -> LedgerEntry:
+        """Remove reservation *key*, returning its entry.
+
+        :raises StateError: when *key* is unknown.
+        """
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            raise StateError(f"reservation {key!r} not in ledger")
+        bucket = self._buckets[entry.deadline]
+        bucket.remove(entry.rate, entry.max_packet)
+        if bucket.count == 0:
+            del self._buckets[entry.deadline]
+            index = bisect.bisect_left(self._deadlines, entry.deadline)
+            del self._deadlines[index]
+        self._total_rate -= entry.rate
+        self._invalidate()
+        return entry
+
+    def update_rate(self, key: str, rate: float) -> None:
+        """Change the rate of an existing reservation (macroflow resizing)."""
+        entry = self.remove(key)
+        self.add(key, rate, entry.deadline, entry.max_packet)
+
+    def _invalidate(self) -> None:
+        self._prefix_dirty = True
+        self.version += 1
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entry(self, key: str) -> LedgerEntry:
+        """Look up a reservation by key."""
+        try:
+            return self._entries[key]
+        except KeyError:
+            raise StateError(f"reservation {key!r} not in ledger") from None
+
+    @property
+    def total_rate(self) -> float:
+        """Aggregate reserved rate ``sum_j r_j``."""
+        return self._total_rate
+
+    @property
+    def residual_rate(self) -> float:
+        """``C - sum_j r_j`` — the slope-condition headroom."""
+        return self.capacity - self._total_rate
+
+    @property
+    def distinct_deadlines(self) -> Tuple[float, ...]:
+        """The sorted distinct deadlines ``d^1 < ... < d^M``."""
+        return tuple(self._deadlines)
+
+    def _rebuild_prefix(self) -> None:
+        if not self._prefix_dirty:
+            return
+        rate = rate_deadline = packet = 0.0
+        self._prefix_rate = []
+        self._prefix_rate_deadline = []
+        self._prefix_packet = []
+        for deadline in self._deadlines:
+            bucket = self._buckets[deadline]
+            rate += bucket.sum_rate
+            rate_deadline += bucket.sum_rate_deadline
+            packet += bucket.sum_packet
+            self._prefix_rate.append(rate)
+            self._prefix_rate_deadline.append(rate_deadline)
+            self._prefix_packet.append(packet)
+        self._prefix_dirty = False
+
+    def _aggregates_upto(self, t: float) -> Tuple[float, float, float]:
+        """``(sum r_j, sum r_j d_j, sum L_j)`` over flows with ``d_j <= t``."""
+        self._rebuild_prefix()
+        index = bisect.bisect_right(self._deadlines, t) - 1
+        if index < 0:
+            return 0.0, 0.0, 0.0
+        return (
+            self._prefix_rate[index],
+            self._prefix_rate_deadline[index],
+            self._prefix_packet[index],
+        )
+
+    def residual_service(self, t: float) -> float:
+        """``W(t) = C t - sum_{d_j <= t} [r_j (t - d_j) + L_j]``.
+
+        The paper's ``S_i^k`` when *t* is an existing deadline.
+        """
+        if t < 0:
+            raise ConfigurationError(f"time-scale must be >= 0, got {t}")
+        rate, rate_deadline, packet = self._aggregates_upto(t)
+        return self.capacity * t - (rate * t - rate_deadline + packet)
+
+    def demand(self, t: float) -> float:
+        """The schedulability left-hand side ``sum [r_j(t-d_j)+L_j] 1{...}``."""
+        rate, rate_deadline, packet = self._aggregates_upto(t)
+        return rate * t - rate_deadline + packet
+
+    def segment_aggregates(self, t: float) -> Tuple[float, float, float]:
+        """Aggregates over ``d_j <= t`` — the linear-segment coefficients.
+
+        Returns ``(R, A, B)`` with ``W(s) = (C - R) s + A - B`` for any
+        ``s`` in the open segment above *t* (no breakpoints crossed).
+        """
+        return self._aggregates_upto(t)
+
+    def is_schedulable(self) -> bool:
+        """Does the current reservation set satisfy eq. (5)?"""
+        if self._total_rate > self.capacity * (1 + 1e-12):
+            return False
+        return all(
+            self.residual_service(deadline) >= -1e-9
+            for deadline in self._deadlines
+        )
+
+    def admissible(self, rate: float, deadline: float, max_packet: float) -> bool:
+        """Would adding ``(rate, deadline, max_packet)`` keep eq. (5) true?
+
+        This is the **local** (hop-by-hop) admission test — the broker's
+        path-oriented algorithm avoids running it per hop, but it is
+        the ground truth the path algorithm is tested against, and the
+        IntServ baseline uses it directly.
+        """
+        slack = 1e-9 * self.capacity
+        if self._total_rate + rate > self.capacity + slack:
+            return False
+        # Own deadline: W(d) >= L.
+        if self.residual_service(deadline) + 1e-9 < max_packet:
+            return False
+        # Every existing breakpoint at or above d.
+        index = bisect.bisect_left(self._deadlines, deadline)
+        for existing in self._deadlines[index:]:
+            needed = rate * (existing - deadline) + max_packet
+            if self.residual_service(existing) + 1e-9 < needed:
+                return False
+        return True
+
+    def iter_entries(self) -> Iterator[LedgerEntry]:
+        """Iterate over all reservations (unspecified order)."""
+        return iter(self._entries.values())

@@ -1,0 +1,218 @@
+"""Statistical guaranteed services (the paper's fourth open problem).
+
+Section 6: *"We are also exploring ways to extend our virtual time
+reference system framework and the proposed BB architecture to support
+statistical and other forms of QoS guarantees."* This module adds the
+classic statistical-multiplexing admission test to the broker's
+toolbox so the trade-off can be studied quantitatively.
+
+**Model.** Each admitted flow is treated as a stationary on-off source
+whose instantaneous rate lies in ``[0, P_j]`` with mean ``rho_j``
+(exactly what the dual token bucket polices over long windows). By
+Hoeffding's inequality the aggregate arrival rate ``S`` satisfies
+
+``Pr[S >= sum(rho_j) + t]  <=  exp(-2 t^2 / sum(P_j^2))``
+
+so capping the overflow probability at ``epsilon`` requires
+
+``sum(rho_j) + sqrt(ln(1/epsilon) / 2 * sum(P_j^2))  <=  C``
+
+(the Hoeffding effective-bandwidth bound of Floyd '96, capped at the
+always-valid peak allocation ``sum(P_j)``). The admission state per
+link is three scalars — ``sum(rho_j)``, ``sum(P_j)``, ``sum(P_j^2)``
+— which is *even smaller* than the deterministic broker's state, and
+the test remains path-oriented: the broker checks the bound on every
+link of the path at once.
+
+The guarantee is statistical: the aggregate rate exceeds capacity (and
+delays can then exceed the deterministic bounds) with probability at
+most ``epsilon`` under the independence assumption. ``epsilon = 0``
+degenerates to peak-rate allocation; large ``epsilon`` approaches
+mean-rate allocation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, StateError
+from repro.core.admission import (
+    AdmissionDecision,
+    AdmissionRequest,
+    RejectionReason,
+)
+from repro.core.mibs import PathRecord
+from repro.traffic.spec import TSpec
+
+__all__ = ["HoeffdingAdmission", "StatisticalLinkState"]
+
+
+@dataclass
+class StatisticalLinkState:
+    """The three-scalar per-link state of Hoeffding admission."""
+
+    capacity: float
+    sum_mean: float = 0.0
+    sum_peak: float = 0.0
+    sum_peak_sq: float = 0.0
+    flows: int = 0
+
+    def effective_bandwidth(self, epsilon: float) -> float:
+        """``min(sum(rho) + sqrt(ln(1/eps)/2 * sum(P^2)), sum(P))``.
+
+        The second argument of the min is the trivial-but-valid cap:
+        the aggregate rate can never exceed the sum of the peaks, so
+        the Hoeffding deviation (which is loose for small populations
+        and tiny epsilon) never charges more than peak allocation.
+        """
+        if self.flows == 0:
+            return 0.0
+        deviation = math.sqrt(
+            math.log(1.0 / epsilon) / 2.0 * self.sum_peak_sq
+        )
+        return min(self.sum_mean + deviation, self.sum_peak)
+
+    def fits(self, spec: TSpec, epsilon: float) -> bool:
+        """Would adding *spec* keep the overflow bound below eps?"""
+        mean = self.sum_mean + spec.rho
+        peak = self.sum_peak + spec.peak
+        peak_sq = self.sum_peak_sq + spec.peak ** 2
+        deviation = math.sqrt(math.log(1.0 / epsilon) / 2.0 * peak_sq)
+        return min(mean + deviation, peak) <= self.capacity * (1 + 1e-12)
+
+    def add(self, spec: TSpec) -> None:
+        self.sum_mean += spec.rho
+        self.sum_peak += spec.peak
+        self.sum_peak_sq += spec.peak ** 2
+        self.flows += 1
+
+    def remove(self, spec: TSpec) -> None:
+        self.sum_mean -= spec.rho
+        self.sum_peak -= spec.peak
+        self.sum_peak_sq -= spec.peak ** 2
+        self.flows -= 1
+        if self.flows == 0:
+            # Kill accumulated float dust on the empty link.
+            self.sum_mean = 0.0
+            self.sum_peak = 0.0
+            self.sum_peak_sq = 0.0
+
+
+class HoeffdingAdmission:
+    """Path-oriented statistical admission control.
+
+    Flows are allocated their *mean* rate deterministically (that is
+    what the edge conditioner shapes to) while the admission test
+    keeps the probability that the aggregate *offered* rate exceeds
+    any link's capacity below ``epsilon``.
+
+    :param epsilon: target overflow probability per link, in (0, 1).
+    """
+
+    def __init__(self, *, epsilon: float = 1e-3) -> None:
+        if not 0.0 < epsilon < 1.0:
+            raise ConfigurationError(
+                f"epsilon must be in (0, 1), got {epsilon}"
+            )
+        self.epsilon = float(epsilon)
+        self._links: Dict[Tuple[str, str], StatisticalLinkState] = {}
+        self._flows: Dict[str, Tuple[TSpec, Tuple[Tuple[str, str], ...]]] = {}
+
+    # ------------------------------------------------------------------
+    # state plumbing
+    # ------------------------------------------------------------------
+
+    def _state_for(self, path: PathRecord) -> List[StatisticalLinkState]:
+        states = []
+        for link in path.links:
+            state = self._links.get(link.link_id)
+            if state is None:
+                state = StatisticalLinkState(capacity=link.capacity)
+                self._links[link.link_id] = state
+            states.append(state)
+        return states
+
+    def link_state(self, link_id: Tuple[str, str]
+                   ) -> Optional[StatisticalLinkState]:
+        """Inspect one link's statistical state (None if untouched)."""
+        return self._links.get(link_id)
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+
+    def test(self, request: AdmissionRequest, path: PathRecord
+             ) -> AdmissionDecision:
+        """Side-effect-free statistical admissibility test."""
+        if request.flow_id in self._flows:
+            return AdmissionDecision(
+                admitted=False, flow_id=request.flow_id,
+                path_id=path.path_id, reason=RejectionReason.DUPLICATE,
+                detail=f"flow {request.flow_id!r} is already admitted",
+            )
+        for link, state in zip(path.links, self._state_for(path)):
+            if not state.fits(request.spec, self.epsilon):
+                return AdmissionDecision(
+                    admitted=False, flow_id=request.flow_id,
+                    path_id=path.path_id,
+                    reason=RejectionReason.INSUFFICIENT_BANDWIDTH,
+                    detail=(
+                        f"link {link.link_id}: effective bandwidth would "
+                        f"exceed capacity at epsilon={self.epsilon:g}"
+                    ),
+                )
+        return AdmissionDecision(
+            admitted=True, flow_id=request.flow_id, path_id=path.path_id,
+            rate=request.spec.rho,  # mean-rate allocation
+            delay=0.0,
+        )
+
+    def admit(self, request: AdmissionRequest, path: PathRecord
+              ) -> AdmissionDecision:
+        """Test plus bookkeeping."""
+        decision = self.test(request, path)
+        if not decision.admitted:
+            return decision
+        for state in self._state_for(path):
+            state.add(request.spec)
+        self._flows[request.flow_id] = (
+            request.spec, tuple(link.link_id for link in path.links)
+        )
+        return decision
+
+    def release(self, flow_id: str) -> None:
+        """Tear down a statistical reservation."""
+        entry = self._flows.pop(flow_id, None)
+        if entry is None:
+            raise StateError(f"flow {flow_id!r} is not admitted")
+        spec, link_ids = entry
+        for link_id in link_ids:
+            self._links[link_id].remove(spec)
+
+    # ------------------------------------------------------------------
+    # analysis helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def max_identical_flows(spec: TSpec, capacity: float,
+                            epsilon: float) -> int:
+        """Closed-form: how many identical flows fit on one link.
+
+        Solves ``n rho + sqrt(ln(1/eps)/2 * n) P <= C`` for the
+        largest integer ``n``.
+        """
+        if not 0.0 < epsilon < 1.0:
+            raise ConfigurationError(
+                f"epsilon must be in (0, 1), got {epsilon}"
+            )
+        coeff = math.sqrt(math.log(1.0 / epsilon) / 2.0) * spec.peak
+        # n rho + coeff sqrt(n) - C = 0; substitute x = sqrt(n).
+        a, b, c = spec.rho, coeff, -capacity
+        x = (-b + math.sqrt(b * b - 4 * a * c)) / (2 * a)
+        hoeffding = int(x * x * (1 + 1e-12))
+        # Peak allocation is always a valid fallback (the min-cap in
+        # :meth:`StatisticalLinkState.fits`).
+        peak_allocation = int(capacity / spec.peak * (1 + 1e-12))
+        return max(hoeffding, peak_allocation, 0)

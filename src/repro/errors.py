@@ -1,0 +1,77 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by the library derive from :class:`ReproError`
+so that callers can catch library failures with a single ``except``
+clause while still being able to discriminate finer-grained causes.
+
+The admission-control plane deliberately does *not* signal an
+admission rejection with an exception: a rejected flow is a normal
+outcome, reported through :class:`repro.core.admission.AdmissionDecision`.
+Exceptions are reserved for *programming* or *configuration* errors
+(inconsistent topologies, malformed traffic specifications, broken
+invariants inside the simulator, ...).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "TopologyError",
+    "TrafficSpecError",
+    "SchedulingError",
+    "SimulationError",
+    "SignalingError",
+    "StateError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was configured with invalid or inconsistent values."""
+
+
+class TopologyError(ConfigurationError):
+    """The network topology is malformed (unknown node, missing link, ...)."""
+
+
+class TrafficSpecError(ConfigurationError):
+    """A traffic specification violates its own consistency constraints.
+
+    For the dual-token-bucket regulator ``(sigma, rho, P, L_max)`` the
+    paper requires ``sigma >= L_max``, ``P >= rho > 0`` and
+    ``L_max > 0``; violations raise this error.
+    """
+
+
+class SchedulingError(ReproError):
+    """A scheduler was driven outside its contract.
+
+    Examples: admitting a flow past the schedulability condition when
+    the scheduler was constructed with ``strict=True``, or dequeueing
+    from an empty scheduler.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator detected a broken invariant.
+
+    Examples: an event scheduled in the past, or a component observing
+    time running backwards.
+    """
+
+
+class SignalingError(ReproError):
+    """A control-plane message exchange violated the signaling protocol."""
+
+
+class StateError(ReproError):
+    """A QoS state information base was driven into an inconsistent state.
+
+    Raised, for instance, when releasing more bandwidth than is
+    currently reserved on a link, or removing a flow that was never
+    installed.
+    """

@@ -1,0 +1,30 @@
+"""Experiment reproductions: one module per paper table/figure.
+
+* :mod:`repro.experiments.table2` — maximum admitted calls under
+  IntServ/GS, per-flow BB/VTRS and aggregate BB/VTRS;
+* :mod:`repro.experiments.figure9` — mean reserved bandwidth per flow
+  versus the number of admitted flows;
+* :mod:`repro.experiments.figure10` — flow blocking rate versus
+  offered load for the three dynamic schemes;
+* :mod:`repro.experiments.figure7` — packet-level reconstruction of
+  the edge-delay-bound violation under naive dynamic aggregation,
+  and its repair by contingency bandwidth;
+* :mod:`repro.experiments.reporting` — plain-text table rendering
+  shared by the benches and examples.
+"""
+
+from repro.experiments.table2 import Table2Result, run_table2
+from repro.experiments.figure9 import Figure9Result, run_figure9
+from repro.experiments.figure10 import Figure10Result, run_figure10
+from repro.experiments.figure7 import Figure7Result, run_figure7
+
+__all__ = [
+    "Table2Result",
+    "run_table2",
+    "Figure9Result",
+    "run_figure9",
+    "Figure10Result",
+    "run_figure10",
+    "Figure7Result",
+    "run_figure7",
+]

@@ -1,0 +1,123 @@
+"""Figure 10: flow blocking rate versus offered load.
+
+Flows with finite holding times (exponential, mean 200 s) arrive
+Poisson from S1 and S2; the arrival rate sweeps the offered load.
+Three schemes are compared:
+
+* **per-flow BB/VTRS** — lowest blocking (admits at the minimal rate,
+  no transient over-allocation);
+* **Aggr BB/VTRS, contingency bounding** — highest blocking: every
+  join reserves the microflow's *peak* rate for the (conservative)
+  eq.-(17) contingency period, bandwidth that is not released early;
+* **Aggr BB/VTRS, contingency feedback** — between the two: the edge
+  conditioner's buffer-empty report releases the contingency
+  bandwidth almost immediately.
+
+As the load grows the three curves converge — near saturation, the
+transient contingency allocations stop being the binding constraint.
+Each point averages several seeded runs (the paper uses 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+from typing import Callable, Dict, List, Sequence
+
+from repro.callsim.driver import CallSimulator
+from repro.callsim.schemes import (
+    AdmissionScheme,
+    AggregateVtrsScheme,
+    PerFlowVtrsScheme,
+)
+from repro.core.aggregate import ContingencyMethod
+from repro.units import mbps
+from repro.workloads.generators import CallWorkload
+from repro.workloads.topologies import SchedulerSetting
+
+__all__ = ["Figure10Result", "run_figure10", "DEFAULT_ARRIVAL_RATES"]
+
+#: Arrival rates (flows/s, both sources combined) swept by default.
+#: With 200 s mean holding and 50 kb/s mean rate per flow on a 1.5 Mb/s
+#: bottleneck, saturation is at 0.15 flows/s; the sweep spans ~0.7x-2.7x.
+DEFAULT_ARRIVAL_RATES: Sequence[float] = (
+    0.10, 0.15, 0.20, 0.25, 0.30, 0.40,
+)
+
+
+@dataclass
+class Figure10Result:
+    """Blocking-rate curves: scheme -> list aligned with arrival_rates."""
+
+    arrival_rates: List[float] = field(default_factory=list)
+    offered_loads: List[float] = field(default_factory=list)
+    blocking: Dict[str, List[float]] = field(default_factory=dict)
+
+    def curve(self, scheme: str) -> List[float]:
+        """The blocking-rate series of one scheme."""
+        return self.blocking[scheme]
+
+
+def _make_schemes(
+    setting: SchedulerSetting, tight: bool, class_delay: float
+) -> List[Callable[[], AdmissionScheme]]:
+    return [
+        lambda: PerFlowVtrsScheme(setting, tight=tight),
+        lambda: AggregateVtrsScheme(
+            setting, tight=tight, method=ContingencyMethod.BOUNDING,
+            class_delay=class_delay,
+        ),
+        lambda: AggregateVtrsScheme(
+            setting, tight=tight, method=ContingencyMethod.FEEDBACK,
+            class_delay=class_delay,
+        ),
+    ]
+
+
+def run_figure10(
+    *,
+    arrival_rates: Sequence[float] = DEFAULT_ARRIVAL_RATES,
+    runs: int = 5,
+    horizon: float = 4000.0,
+    warmup: float = 800.0,
+    mean_holding: float = 200.0,
+    setting: SchedulerSetting = SchedulerSetting.RATE_ONLY,
+    tight: bool = False,
+    class_delay: float = 0.10,
+) -> Figure10Result:
+    """Reproduce Figure 10.
+
+    :param runs: seeded runs averaged per point (paper: 5).
+    :param horizon: simulated seconds of arrivals per run.
+    :param warmup: initial interval excluded from the statistics.
+    :param tight: the loose bounds (2.44 s for type 0) are the default:
+        there a mean-rate reservation suffices under *every* scheme, so
+        the blocking gap isolates exactly the transient contingency
+        cost the paper studies (per-flow lowest, bounding highest,
+        feedback in between, all converging near saturation). Under
+        the tight bounds aggregation additionally *admits more flows*
+        (the Table 2 effect), which can push the feedback curve below
+        the per-flow one.
+    """
+    result = Figure10Result()
+    factories = _make_schemes(setting, tight, class_delay)
+    # Fix the scheme names once (factories create fresh ones per run).
+    names = [factory().name for factory in factories]
+    for name in names:
+        result.blocking[name] = []
+    for rate in arrival_rates:
+        result.arrival_rates.append(rate)
+        workload_probe = CallWorkload(rate, mean_holding=mean_holding, seed=0)
+        result.offered_loads.append(workload_probe.offered_load(mbps(1.5)))
+        for name, factory in zip(names, factories):
+            rates = []
+            for seed in range(1, runs + 1):
+                workload = CallWorkload(
+                    rate, mean_holding=mean_holding, seed=seed
+                )
+                simulator = CallSimulator(
+                    factory(), workload, horizon=horizon, warmup=warmup
+                )
+                rates.append(simulator.run().blocking_rate)
+            result.blocking[name].append(mean(rates))
+    return result

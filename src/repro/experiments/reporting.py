@@ -1,0 +1,126 @@
+"""Plain-text rendering of experiment results.
+
+The benches and examples print paper-style tables through these
+helpers, so every regenerator produces directly comparable output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.experiments.figure7 import Figure7Result
+from repro.experiments.figure9 import Figure9Result
+from repro.experiments.figure10 import Figure10Result
+from repro.experiments.table2 import PAPER_TABLE2, Table2Result
+
+__all__ = [
+    "render_table",
+    "render_table2",
+    "render_figure9",
+    "render_figure10",
+    "render_figure7",
+]
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Monospace table with column auto-sizing."""
+    rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+    out = [line(headers), line(["-" * width for width in widths])]
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)
+
+
+def render_table2(result: Table2Result) -> str:
+    """Paper-style Table 2 with measured-vs-published columns."""
+    rows: List[List[str]] = []
+    schemes = [
+        ("IntServ/GS", None),
+        ("Per-flow BB/VTRS", None),
+        ("Aggr BB/VTRS", 0.10),
+        ("Aggr BB/VTRS", 0.24),
+        ("Aggr BB/VTRS", 0.50),
+    ]
+    for scheme, cd in schemes:
+        label = scheme if cd is None else f"{scheme} cd={cd}"
+        row = [label]
+        for setting in ("rate-only", "mixed"):
+            for bound in (2.44, 2.19):
+                key = (scheme, setting, bound, cd)
+                ours = result.cells.get(key, "-")
+                paper = PAPER_TABLE2.get(key, "-")
+                row.append(f"{ours} ({paper})")
+        rows.append(row)
+    headers = [
+        "Scheme (ours (paper))",
+        "rate 2.44", "rate 2.19", "mixed 2.44", "mixed 2.19",
+    ]
+    return render_table(headers, rows)
+
+
+def render_figure9(result: Figure9Result, *, step: int = 3) -> str:
+    """Figure 9 series, one row per admitted-flow count."""
+    longest = max(len(series) for series in result.series.values())
+    headers = ["flows admitted"] + list(result.series)
+    rows = []
+    for n in range(1, longest + 1):
+        # Always show the first flow (where the aggregate scheme's
+        # over-allocation is visible) and the final point.
+        if n % step and n not in (1, longest):
+            continue
+        row = [str(n)]
+        for scheme in result.series:
+            series = result.series[scheme]
+            row.append(f"{series[n - 1]:.0f}" if n <= len(series) else "-")
+        rows.append(row)
+    title = (
+        f"Mean reserved bandwidth per flow (b/s), setting={result.setting}, "
+        f"D={result.delay_bound}s, cd={result.class_delay}\n"
+    )
+    return title + render_table(headers, rows)
+
+
+def render_figure10(result: Figure10Result) -> str:
+    """Figure 10 blocking-rate curves."""
+    headers = ["arrival rate (/s)", "offered load"] + list(result.blocking)
+    rows = []
+    for index, rate in enumerate(result.arrival_rates):
+        row = [f"{rate:.3f}", f"{result.offered_loads[index]:.2f}"]
+        row.extend(
+            f"{result.blocking[scheme][index]:.3f}"
+            for scheme in result.blocking
+        )
+        rows.append(row)
+    return render_table(headers, rows)
+
+
+def render_figure7(result: Figure7Result) -> str:
+    """Figure 7 scenario summary."""
+    rows = [
+        ["t* (join instant)", f"{result.t_star:.3f} s"],
+        ["rate before / after", (
+            f"{result.rate_before:.0f} / {result.rate_after:.0f} b/s"
+        )],
+        ["contingency rate / period", (
+            f"{result.contingency_rate:.0f} b/s / "
+            f"{result.contingency_period:.2f} s"
+        )],
+        ["edge bound old / new", (
+            f"{result.edge_bound_old:.3f} / {result.edge_bound_new:.3f} s"
+        )],
+        ["eq.(13) bound", f"{result.theorem_bound:.3f} s"],
+        ["measured (immediate)", (
+            f"{result.measured['immediate']:.3f} s  "
+            f"{'VIOLATES new bound' if result.naive_violates else 'holds'}"
+        )],
+        ["measured (contingency)", (
+            f"{result.measured['contingency']:.3f} s  "
+            f"{'within eq.(13)' if result.contingency_holds else 'VIOLATION'}"
+        )],
+    ]
+    return render_table(["quantity", "value"], rows)

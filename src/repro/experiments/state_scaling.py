@@ -1,0 +1,128 @@
+"""Extension experiment: control-plane state versus user-flow count.
+
+The architectural scaling argument of Sections 1-2, quantified. For a
+growing population of identical flows on the Figure 8 path, count the
+QoS state the control plane must keep and where it lives:
+
+* **RSVP/IntServ** — two soft-state blocks (PATH + RESV) per flow at
+  *every router on the path*, plus a reservation entry per link:
+  O(flows x hops) at the routers, refreshed forever;
+* **per-flow BB** — one reservation entry per link *at the broker*
+  (routers keep nothing): O(flows x hops) at the broker, zero at the
+  routers;
+* **class-based BB** — one macroflow entry per link at the broker:
+  O(hops), independent of the flow count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.core.admission import AdmissionRequest, PerFlowAdmission
+from repro.core.aggregate import (
+    AggregateAdmission,
+    ContingencyMethod,
+    ServiceClass,
+)
+from repro.intserv.gs import IntServAdmission
+from repro.intserv.rsvp import RsvpSignaling
+from repro.workloads.profiles import flow_type
+from repro.workloads.topologies import SchedulerSetting, fig8_domain
+
+__all__ = ["StateScalingResult", "run_state_scaling"]
+
+
+@dataclass
+class StateScalingResult:
+    """State counts per population size, per architecture."""
+
+    flow_counts: List[int] = field(default_factory=list)
+    #: architecture -> (router-state series, broker-state series)
+    router_state: Dict[str, List[int]] = field(default_factory=dict)
+    broker_state: Dict[str, List[int]] = field(default_factory=dict)
+    refresh_per_second: List[float] = field(default_factory=list)
+
+
+def run_state_scaling(
+    *,
+    flow_counts: Sequence[int] = (1, 5, 10, 20, 29),
+    delay_bound: float = 2.44,
+) -> StateScalingResult:
+    """Measure control-plane state for each architecture and size."""
+    result = StateScalingResult()
+    for name in ("RSVP/IntServ", "per-flow BB", "class-based BB"):
+        result.router_state[name] = []
+        result.broker_state[name] = []
+    spec = flow_type(0).spec
+
+    for count in flow_counts:
+        result.flow_counts.append(count)
+
+        # --- RSVP/IntServ: state lives at the routers. ---------------
+        domain = fig8_domain(SchedulerSetting.RATE_ONLY)
+        mibs = domain.build_mibs()
+        intserv = IntServAdmission(*mibs[:3])
+        rsvp = RsvpSignaling(intserv)
+        for index in range(count):
+            rsvp.setup(
+                AdmissionRequest(f"f{index}", spec, delay_bound), mibs[3]
+            )
+        result.router_state["RSVP/IntServ"].append(
+            rsvp.total_state_entries()
+            + intserv.router_state_entries()
+        )
+        result.broker_state["RSVP/IntServ"].append(0)
+        result.refresh_per_second.append(rsvp.refresh_load_per_second())
+
+        # --- per-flow BB: state lives at the broker. ------------------
+        domain = fig8_domain(SchedulerSetting.RATE_ONLY)
+        mibs = domain.build_mibs()
+        perflow = PerFlowAdmission(*mibs[:3])
+        for index in range(count):
+            perflow.admit(
+                AdmissionRequest(f"f{index}", spec, delay_bound), mibs[3]
+            )
+        result.router_state["per-flow BB"].append(0)
+        result.broker_state["per-flow BB"].append(
+            sum(link.reservation_count for link in mibs[0].links())
+        )
+
+        # --- class-based BB: O(hops) regardless of count. -------------
+        domain = fig8_domain(SchedulerSetting.RATE_ONLY)
+        mibs = domain.build_mibs()
+        aggregate = AggregateAdmission(
+            *mibs[:3], method=ContingencyMethod.BOUNDING
+        )
+        klass = ServiceClass("scale", delay_bound, 0.0)
+        for index in range(count):
+            aggregate.join(
+                f"f{index}", spec, klass, mibs[3],
+                now=(index + 1) * 1e4,
+            )
+        aggregate.advance(1e12)
+        result.router_state["class-based BB"].append(0)
+        result.broker_state["class-based BB"].append(
+            sum(link.reservation_count for link in mibs[0].links())
+        )
+    return result
+
+
+def render_state_scaling(result: StateScalingResult) -> str:
+    """Paper-style text table for the scaling experiment."""
+    from repro.experiments.reporting import render_table
+
+    headers = ["flows"] + [
+        f"{name} ({where})"
+        for name in result.router_state
+        for where in ("routers", "broker")
+    ] + ["RSVP refresh msg/s"]
+    rows = []
+    for index, count in enumerate(result.flow_counts):
+        row = [count]
+        for name in result.router_state:
+            row.append(result.router_state[name][index])
+            row.append(result.broker_state[name][index])
+        row.append(f"{result.refresh_per_second[index]:.2f}")
+        rows.append(row)
+    return render_table(headers, rows)

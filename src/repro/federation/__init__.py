@@ -1,0 +1,37 @@
+"""Distributed / hierarchical bandwidth brokers (the paper's future work).
+
+Section 6 of the paper: *"to further improve scalability, a
+distributed (or hierarchical) architecture consisting of multiple BBs
+may be necessary to support QoS provisioning in a large network
+domain."* This package builds that architecture on top of the
+single-broker core:
+
+* :class:`~repro.federation.regional.RegionalBroker` — owns the QoS
+  state of one region (a subset of the domain's links), answers
+  segment-state queries with plain-data
+  :class:`~repro.federation.views.SegmentView` summaries, and
+  participates in two-phase reservation (prepare / commit / abort),
+  re-validating against its *live* state at prepare time;
+* :class:`~repro.federation.coordinator.FederatedBroker` — the parent
+  broker: splits a path into per-region segments, stitches the segment
+  views into a virtual path, runs the *same* path-oriented admission
+  algorithm as the centralized broker, and drives the two-phase
+  commit.
+
+The headline property (tested): on any domain and request sequence,
+the federation admits exactly the flows a centralized broker admits,
+with identical rate-delay pairs — decentralization costs nothing in
+decision quality, only in message round-trips (which are counted).
+"""
+
+from repro.federation.coordinator import FederatedBroker
+from repro.federation.regional import RegionalBroker
+from repro.federation.views import LedgerView, LinkView, SegmentView
+
+__all__ = [
+    "FederatedBroker",
+    "RegionalBroker",
+    "SegmentView",
+    "LinkView",
+    "LedgerView",
+]

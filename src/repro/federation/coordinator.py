@@ -1,0 +1,265 @@
+"""The federated (parent) bandwidth broker.
+
+:class:`FederatedBroker` coordinates admission across regional
+brokers:
+
+1. **segmentation** — the flow's path is split into maximal runs of
+   consecutive links owned by the same region;
+2. **view gathering** — each involved region serializes its segment
+   into a :class:`~repro.federation.views.SegmentView`;
+3. **stitched decision** — the views are reassembled into a virtual
+   path (temporary link states rebuilt from the snapshots) and the
+   *identical* path-oriented algorithm of
+   :class:`~repro.core.admission.PerFlowAdmission` picks the minimal
+   feasible ``<r, d>`` — the hierarchy changes where state lives, not
+   the math;
+4. **two-phase reservation** — prepare at every region (each
+   re-validates against live state), then commit; any refusal aborts
+   all prepared segments. A refusal caused by staleness (state changed
+   between view and prepare) triggers a bounded retry with fresh
+   views.
+
+Message-equivalent counters expose the cost of distribution: view
+requests, prepares, commits, aborts and retries.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import StateError, TopologyError
+from repro.core.admission import (
+    AdmissionDecision,
+    AdmissionRequest,
+    PerFlowAdmission,
+    RejectionReason,
+)
+from repro.core.mibs import FlowMIB, LinkQoSState, NodeMIB, PathMIB, PathRecord
+from repro.federation.regional import RegionalBroker
+from repro.federation.views import SegmentView
+from repro.traffic.spec import TSpec
+from repro.vtrs.timestamps import SchedulerKind
+
+__all__ = ["FederatedBroker"]
+
+
+@dataclass
+class _FlowBooking:
+    """What the coordinator remembers about a committed flow."""
+
+    rate: float
+    delay: float
+    segments: List[Tuple[RegionalBroker, Tuple[str, ...]]] = field(
+        default_factory=list
+    )
+
+
+class FederatedBroker:
+    """Admission coordination over a set of regional brokers.
+
+    :param regions: the child brokers; their link ownership must be
+        disjoint (checked lazily at segmentation time: the first owner
+        wins, duplicate ownership raises).
+    :param max_retries: staleness retries per request.
+    """
+
+    def __init__(self, regions: Sequence[RegionalBroker],
+                 *, max_retries: int = 2) -> None:
+        self.regions = list(regions)
+        self.max_retries = max_retries
+        self._txn_ids = itertools.count(1)
+        self._flows: Dict[str, _FlowBooking] = {}
+        # message-equivalent counters
+        self.view_rounds = 0
+        self.prepares = 0
+        self.commits = 0
+        self.aborts = 0
+        self.retries = 0
+
+    # ------------------------------------------------------------------
+    # segmentation
+    # ------------------------------------------------------------------
+
+    def _owner_of(self, src: str, dst: str) -> RegionalBroker:
+        owners = [r for r in self.regions if r.owns(src, dst)]
+        if not owners:
+            raise TopologyError(f"no region owns link {src}->{dst}")
+        if len(owners) > 1:
+            raise TopologyError(
+                f"link {src}->{dst} owned by multiple regions: "
+                f"{[r.region_id for r in owners]}"
+            )
+        return owners[0]
+
+    def segment_path(
+        self, nodes: Sequence[str]
+    ) -> List[Tuple[RegionalBroker, Tuple[str, ...]]]:
+        """Split *nodes* into per-region (broker, segment-nodes) runs."""
+        if len(nodes) < 2:
+            raise TopologyError(f"a path needs >= 2 nodes, got {list(nodes)}")
+        segments: List[Tuple[RegionalBroker, List[str]]] = []
+        for src, dst in zip(nodes, nodes[1:]):
+            owner = self._owner_of(src, dst)
+            if segments and segments[-1][0] is owner:
+                segments[-1][1].append(dst)
+            else:
+                segments.append((owner, [src, dst]))
+        return [(owner, tuple(seg)) for owner, seg in segments]
+
+    # ------------------------------------------------------------------
+    # stitched decision
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _materialize(views: List[SegmentView], path_id: str
+                     ) -> Tuple[PerFlowAdmission, PathRecord]:
+        """Rebuild a virtual path (and admission stack) from snapshots."""
+        node_mib = NodeMIB()
+        links: List[LinkQoSState] = []
+        nodes: List[str] = []
+        for view in views:
+            if nodes and nodes[-1] != view.nodes[0]:
+                raise TopologyError(
+                    f"segments do not join: {nodes[-1]} vs {view.nodes[0]}"
+                )
+            start = 1 if nodes else 0
+            nodes.extend(view.nodes[start:])
+            for link_view in view.links:
+                state = LinkQoSState(
+                    link_view.link_id,
+                    link_view.capacity,
+                    link_view.kind,
+                    error_term=link_view.error_term,
+                    propagation=link_view.propagation,
+                    max_packet=link_view.max_packet,
+                )
+                # Replay the snapshot's reservations. Delay-based links
+                # replay individual ledger entries (the schedulability
+                # state); rate-based links need only the total.
+                if link_view.kind is SchedulerKind.DELAY_BASED:
+                    for index, (deadline, rate, packet) in enumerate(
+                        link_view.ledger.entries
+                    ):
+                        state.reserve(
+                            f"_snapshot{index}", rate,
+                            deadline=deadline, max_packet=packet,
+                        )
+                elif link_view.reserved_rate > 0:
+                    state.reserve("_snapshot", link_view.reserved_rate)
+                node_mib.register_link(state)
+                links.append(state)
+        path = PathRecord(path_id, nodes, links)
+        path_mib = PathMIB()
+        path_mib.register(path)
+        return PerFlowAdmission(node_mib, FlowMIB(), path_mib), path
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def request_service(
+        self,
+        flow_id: str,
+        spec: TSpec,
+        delay_requirement: float,
+        path_nodes: Sequence[str],
+    ) -> AdmissionDecision:
+        """Admit a flow across regions (views -> decision -> 2PC)."""
+        if flow_id in self._flows:
+            return AdmissionDecision(
+                admitted=False, flow_id=flow_id,
+                reason=RejectionReason.DUPLICATE,
+                detail=f"flow {flow_id!r} is already admitted",
+            )
+        segments = self.segment_path(path_nodes)
+        path_id = "->".join(path_nodes)
+        last_detail = ""
+        for attempt in range(self.max_retries + 1):
+            if attempt:
+                self.retries += 1
+            self.view_rounds += 1
+            views = [owner.segment_view(seg) for owner, seg in segments]
+            stack, virtual_path = self._materialize(views, path_id)
+            decision = stack.test(
+                AdmissionRequest(flow_id, spec, delay_requirement),
+                virtual_path,
+            )
+            if not decision.admitted:
+                return decision
+            outcome = self._two_phase(
+                flow_id, segments, decision.rate, decision.delay,
+                spec.max_packet,
+            )
+            if outcome is None:
+                self._flows[flow_id] = _FlowBooking(
+                    rate=decision.rate, delay=decision.delay,
+                    segments=list(segments),
+                )
+                return decision
+            last_detail = outcome
+        return AdmissionDecision(
+            admitted=False, flow_id=flow_id, path_id=path_id,
+            reason=RejectionReason.INSUFFICIENT_BANDWIDTH,
+            detail=f"two-phase reservation kept failing: {last_detail}",
+        )
+
+    def _two_phase(
+        self,
+        flow_id: str,
+        segments: List[Tuple[RegionalBroker, Tuple[str, ...]]],
+        rate: float,
+        delay: float,
+        max_packet: float,
+    ) -> Optional[str]:
+        """Prepare everywhere, then commit; returns None on success or
+        the refusal detail on failure (after aborting)."""
+        # One transaction id per *segment*: a mesh path may re-enter
+        # the same region in non-contiguous segments, and each run
+        # must be its own prepared unit.
+        base = next(self._txn_ids)
+        prepared: List[Tuple[RegionalBroker, str]] = []
+        for index, (owner, seg) in enumerate(segments):
+            txn_id = f"txn-{base}-{index}"
+            self.prepares += 1
+            result = owner.prepare(
+                txn_id, flow_id, seg, rate, delay, max_packet
+            )
+            if not result.ok:
+                for region, prepared_txn in prepared:
+                    self.aborts += 1
+                    region.abort(prepared_txn)
+                return f"{result.region_id}: {result.detail}"
+            prepared.append((owner, txn_id))
+        for region, txn_id in prepared:
+            self.commits += 1
+            region.commit(txn_id)
+        return None
+
+    def terminate(self, flow_id: str) -> None:
+        """Release a committed flow in every involved region."""
+        booking = self._flows.pop(flow_id, None)
+        if booking is None:
+            raise StateError(f"flow {flow_id!r} is not admitted")
+        seen = set()
+        for owner, _seg in booking.segments:
+            if id(owner) not in seen:
+                seen.add(id(owner))
+                owner.release(flow_id)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    @property
+    def active_flows(self) -> int:
+        """Flows committed across the federation."""
+        return len(self._flows)
+
+    def granted(self, flow_id: str) -> Tuple[float, float]:
+        """The (rate, delay) pair granted to an admitted flow."""
+        booking = self._flows.get(flow_id)
+        if booking is None:
+            raise StateError(f"flow {flow_id!r} is not admitted")
+        return booking.rate, booking.delay

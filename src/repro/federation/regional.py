@@ -1,0 +1,230 @@
+"""Regional (child) bandwidth brokers.
+
+A :class:`RegionalBroker` owns the authoritative QoS state of one
+region — a subset of the domain's links — in the same
+:class:`~repro.core.mibs.NodeMIB` structure the centralized broker
+uses. It exposes:
+
+* **state queries** — :meth:`RegionalBroker.segment_view` serializes a
+  path segment into a plain-data snapshot for the parent;
+* **two-phase reservation** — :meth:`prepare` re-validates a proposed
+  ``<r, d>`` against the *live* ledgers (catching any staleness in the
+  parent's view) and installs the reservation provisionally;
+  :meth:`commit` finalizes it, :meth:`abort` rolls it back leaving no
+  residue;
+* **teardown** — :meth:`release`.
+
+Prepared-but-uncommitted reservations are genuinely booked (they must
+block competing admissions — that is what makes prepare a lock), and
+are indexed by transaction id so an abort can find them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import StateError, TopologyError
+from repro.core.mibs import LinkQoSState, NodeMIB
+from repro.federation.views import LedgerView, LinkView, SegmentView
+from repro.vtrs.timestamps import SchedulerKind
+
+__all__ = ["RegionalBroker", "PrepareResult"]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class PrepareResult:
+    """Outcome of a prepare request."""
+
+    ok: bool
+    region_id: str
+    detail: str = ""
+
+
+@dataclass
+class _Transaction:
+    flow_id: str
+    links: List[LinkQoSState] = field(default_factory=list)
+
+
+class RegionalBroker:
+    """The authoritative QoS broker of one region.
+
+    :param region_id: label, e.g. ``"west"``.
+    """
+
+    def __init__(self, region_id: str) -> None:
+        self.region_id = region_id
+        self.node_mib = NodeMIB()
+        self._transactions: Dict[str, _Transaction] = {}
+        self._flows: Dict[str, List[LinkQoSState]] = {}
+        # message-equivalent counters (the cost model of distribution)
+        self.view_requests = 0
+        self.prepare_requests = 0
+
+    # ------------------------------------------------------------------
+    # provisioning
+    # ------------------------------------------------------------------
+
+    def add_link(
+        self,
+        src: str,
+        dst: str,
+        capacity: float,
+        kind: SchedulerKind,
+        *,
+        error_term: Optional[float] = None,
+        propagation: float = 0.0,
+        max_packet: float = 0.0,
+    ) -> LinkQoSState:
+        """Provision one link owned by this region."""
+        return self.node_mib.register_link(
+            LinkQoSState(
+                (src, dst), capacity, kind,
+                error_term=error_term, propagation=propagation,
+                max_packet=max_packet,
+            )
+        )
+
+    def owns(self, src: str, dst: str) -> bool:
+        """Does this region own the link ``src -> dst``?"""
+        return (src, dst) in self.node_mib
+
+    @property
+    def version(self) -> int:
+        """Aggregate state version over all owned links."""
+        return sum(link.version for link in self.node_mib.links())
+
+    # ------------------------------------------------------------------
+    # state queries
+    # ------------------------------------------------------------------
+
+    def segment_view(self, nodes: Sequence[str]) -> SegmentView:
+        """Serialize the segment through *nodes* into a snapshot."""
+        self.view_requests += 1
+        links = []
+        for src, dst in zip(nodes, nodes[1:]):
+            state = self.node_mib.link(src, dst)
+            if state.ledger is not None:
+                ledger_view = LedgerView(
+                    capacity=state.ledger.capacity,
+                    entries=tuple(
+                        (entry.deadline, entry.rate, entry.max_packet)
+                        for entry in state.ledger.iter_entries()
+                    ),
+                )
+            else:
+                ledger_view = LedgerView(capacity=state.capacity, entries=())
+            links.append(LinkView(
+                link_id=state.link_id,
+                capacity=state.capacity,
+                kind=state.kind,
+                error_term=state.error_term,
+                propagation=state.propagation,
+                max_packet=state.max_packet,
+                reserved_rate=state.reserved_rate,
+                ledger=ledger_view,
+            ))
+        return SegmentView(
+            region_id=self.region_id,
+            nodes=tuple(nodes),
+            links=tuple(links),
+            version=self.version,
+        )
+
+    # ------------------------------------------------------------------
+    # two-phase reservation
+    # ------------------------------------------------------------------
+
+    def prepare(
+        self,
+        txn_id: str,
+        flow_id: str,
+        nodes: Sequence[str],
+        rate: float,
+        delay: float,
+        max_packet: float,
+    ) -> PrepareResult:
+        """Validate against live state and provisionally reserve.
+
+        The validation repeats the *local* admission checks (residual
+        bandwidth; ledger schedulability at delay-based hops), so a
+        stale parent view can never over-commit a region.
+        """
+        self.prepare_requests += 1
+        if txn_id in self._transactions:
+            return PrepareResult(False, self.region_id,
+                                 f"transaction {txn_id!r} already open")
+        links = [
+            self.node_mib.link(src, dst)
+            for src, dst in zip(nodes, nodes[1:])
+        ]
+        for link in links:
+            slack = _EPS * link.capacity
+            if link.holds(flow_id):
+                return PrepareResult(
+                    False, self.region_id,
+                    f"flow {flow_id!r} already reserved on {link.link_id}",
+                )
+            if link.reserved_rate + rate > link.capacity + slack:
+                return PrepareResult(
+                    False, self.region_id,
+                    f"link {link.link_id} lacks {rate:.1f} b/s",
+                )
+            if link.kind is SchedulerKind.DELAY_BASED:
+                assert link.ledger is not None
+                if not link.ledger.admissible(rate, delay, max_packet):
+                    return PrepareResult(
+                        False, self.region_id,
+                        f"link {link.link_id} unschedulable at "
+                        f"(r={rate:.1f}, d={delay:.4f})",
+                    )
+        txn = _Transaction(flow_id=flow_id)
+        for link in links:
+            if link.kind is SchedulerKind.DELAY_BASED:
+                link.reserve(flow_id, rate, deadline=delay,
+                             max_packet=max_packet)
+            else:
+                link.reserve(flow_id, rate)
+            txn.links.append(link)
+        self._transactions[txn_id] = txn
+        return PrepareResult(True, self.region_id)
+
+    def commit(self, txn_id: str) -> None:
+        """Finalize a prepared reservation."""
+        txn = self._transactions.pop(txn_id, None)
+        if txn is None:
+            raise StateError(f"no prepared transaction {txn_id!r}")
+        self._flows.setdefault(txn.flow_id, []).extend(txn.links)
+
+    def abort(self, txn_id: str) -> None:
+        """Roll back a prepared reservation (idempotent for unknown ids)."""
+        txn = self._transactions.pop(txn_id, None)
+        if txn is None:
+            return
+        for link in txn.links:
+            link.release(txn.flow_id)
+
+    def release(self, flow_id: str) -> None:
+        """Tear down a committed flow's reservations in this region."""
+        links = self._flows.pop(flow_id, None)
+        if links is None:
+            raise StateError(
+                f"flow {flow_id!r} not committed in region {self.region_id}"
+            )
+        for link in links:
+            link.release(flow_id)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def committed_flows(self) -> int:
+        """Number of flows with committed reservations here."""
+        return len(self._flows)
+
+    def pending_transactions(self) -> int:
+        """Open (prepared, not yet resolved) transactions."""
+        return len(self._transactions)

@@ -1,0 +1,79 @@
+"""Plain-data state summaries exchanged between brokers.
+
+A child (regional) broker never shares live object references with the
+parent: it serializes the QoS state of a path *segment* into the
+frozen dataclasses below. The parent reconstructs a virtual path from
+them and runs the ordinary path-oriented admission math. Because the
+views are immutable snapshots, the parent's decision can be stale —
+which is exactly why the two-phase protocol re-validates at prepare
+time against the child's live ledgers.
+
+The views also define the *information interface* of a hierarchy: a
+parent needs only ``(kind, capacity, error term, propagation, reserved
+rate, delay-ledger entries)`` per link — the same fields the paper's
+node QoS state MIB holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.vtrs.timestamps import SchedulerKind
+
+__all__ = ["LedgerView", "LinkView", "SegmentView"]
+
+
+@dataclass(frozen=True)
+class LedgerView:
+    """Snapshot of one delay-based link's reservation ledger.
+
+    Entries are ``(deadline, rate, max_packet)`` triples; reservation
+    identities are deliberately *not* shared with the parent (they are
+    local to the owning broker).
+    """
+
+    capacity: float
+    entries: Tuple[Tuple[float, float, float], ...]
+
+
+@dataclass(frozen=True)
+class LinkView:
+    """Snapshot of one link's QoS state."""
+
+    link_id: Tuple[str, str]
+    capacity: float
+    kind: SchedulerKind
+    error_term: float
+    propagation: float
+    max_packet: float
+    reserved_rate: float
+    ledger: LedgerView = LedgerView(capacity=1.0, entries=())
+
+    @property
+    def residual_rate(self) -> float:
+        """Unreserved bandwidth at snapshot time."""
+        return self.capacity - self.reserved_rate
+
+
+@dataclass(frozen=True)
+class SegmentView:
+    """Snapshot of a contiguous path segment inside one region.
+
+    :param region_id: the owning broker.
+    :param nodes: the segment's node sequence (inclusive endpoints).
+    :param links: per-hop :class:`LinkView` snapshots, in order.
+    :param version: the owning broker's state version at snapshot
+        time; echoed in prepare requests so the child can cheaply
+        detect staleness (it re-validates regardless).
+    """
+
+    region_id: str
+    nodes: Tuple[str, ...]
+    links: Tuple[LinkView, ...]
+    version: int
+
+    @property
+    def hops(self) -> int:
+        """Number of schedulers in the segment."""
+        return len(self.links)

@@ -1,0 +1,43 @@
+"""Inter-domain reservations and service-level agreements.
+
+The second open problem the paper names (Section 1): *"The problem of
+inter-domain QoS reservation and service-level agreement [2, 7] is
+another important issue that must be addressed."* This package builds
+the standard bilateral-SLA answer on top of the single-domain broker:
+
+* :class:`~repro.interdomain.domain.BrokeredDomain` — one
+  administrative domain: a :class:`~repro.core.broker.BandwidthBroker`
+  plus its border routers; it can *quote* the minimal end-to-end delay
+  it could grant a flow across a segment and *admit* the flow with a
+  delay budget assigned by the coordinator;
+* :class:`~repro.interdomain.sla.PeeringSLA` — a bilateral trunk
+  between adjacent domains: pre-provisioned aggregate bandwidth with
+  a fixed border-crossing latency; per-flow admission consumes trunk
+  bandwidth without any inter-broker signaling (that is the point of
+  an SLA);
+* :class:`~repro.interdomain.coordinator.InterDomainCoordinator` — the
+  source domain's broker acting as the flow's coordinator: it splits
+  the end-to-end delay requirement across the domain chain
+  (quote-then-distribute-slack), reserves the SLA trunks, and runs
+  each domain's local admission with its share — rolling everything
+  back if any stage refuses.
+
+The delay-budget split is *sound by construction*: each domain's
+granted reservation is verified against its budget, the budgets plus
+trunk latencies sum to at most ``D_req``, so the concatenated bound
+holds end to end.
+"""
+
+from repro.interdomain.coordinator import (
+    InterDomainCoordinator,
+    InterDomainDecision,
+)
+from repro.interdomain.domain import BrokeredDomain
+from repro.interdomain.sla import PeeringSLA
+
+__all__ = [
+    "BrokeredDomain",
+    "PeeringSLA",
+    "InterDomainCoordinator",
+    "InterDomainDecision",
+]

@@ -1,0 +1,273 @@
+"""End-to-end admission across a chain of domains.
+
+The source domain's broker coordinates (nothing in the architecture
+requires a global entity — reference [7]'s bilateral model):
+
+1. **quote round** — every domain on the route quotes the smallest
+   delay bound it could grant the flow between its border routers;
+2. **feasibility** — the quotes plus the SLA border latencies must fit
+   within the flow's requirement, and every trunk must have room for
+   at least the flow's sustained rate;
+3. **budget split** — the slack ``D_req - sum(quotes) - sum(SLA
+   latencies)`` is distributed over the domains proportionally to
+   their quotes (a domain that needs more gets more headroom);
+4. **segment admissions** — each domain admits with its budget
+   (guaranteed to succeed modulo races, since budget >= quote);
+   the trunks are reserved at the rate granted by the upstream
+   domain (that is the rate at which traffic exits toward the
+   border). Any refusal rolls back everything done so far.
+
+The resulting end-to-end guarantee is the sum of the granted per-
+domain bounds plus the contractual border latencies — ``<= D_req`` by
+construction, which the decision records and tests verify.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, StateError
+from repro.core.admission import RejectionReason
+from repro.interdomain.domain import BrokeredDomain
+from repro.interdomain.sla import PeeringSLA
+from repro.traffic.spec import TSpec
+
+__all__ = ["InterDomainCoordinator", "InterDomainDecision", "DomainHop"]
+
+
+@dataclass(frozen=True)
+class DomainHop:
+    """One domain crossing of a route: which borders the flow uses."""
+
+    domain: str
+    ingress: str
+    egress: str
+
+
+@dataclass(frozen=True)
+class SegmentGrant:
+    """What one domain granted."""
+
+    domain: str
+    budget: float
+    rate: float
+    delay: float
+
+
+@dataclass(frozen=True)
+class InterDomainDecision:
+    """Outcome of an end-to-end admission."""
+
+    admitted: bool
+    flow_id: str
+    grants: Tuple[SegmentGrant, ...] = ()
+    sla_latency: float = 0.0
+    reason: Optional[RejectionReason] = None
+    detail: str = ""
+
+    def __bool__(self) -> bool:
+        return self.admitted
+
+    @property
+    def e2e_bound(self) -> float:
+        """The guaranteed end-to-end delay bound."""
+        return sum(g.budget for g in self.grants) + self.sla_latency
+
+
+class InterDomainCoordinator:
+    """Coordinates admission over a domain chain joined by SLAs.
+
+    :param domains: participating domains, keyed by name.
+    :param slas: bilateral trunks; exactly one must exist for every
+        adjacent domain pair a route uses.
+    """
+
+    #: supported slack-split strategies
+    SPLIT_STRATEGIES = ("proportional", "equal")
+
+    def __init__(self, domains: Sequence[BrokeredDomain],
+                 slas: Sequence[PeeringSLA], *,
+                 split: str = "proportional") -> None:
+        self.domains: Dict[str, BrokeredDomain] = {
+            domain.name: domain for domain in domains
+        }
+        if len(self.domains) != len(domains):
+            raise ConfigurationError("duplicate domain names")
+        self.slas: Dict[Tuple[str, str], PeeringSLA] = {}
+        for sla in slas:
+            key = (sla.upstream, sla.downstream)
+            if key in self.slas:
+                raise ConfigurationError(f"duplicate SLA for {key}")
+            self.slas[key] = sla
+        if split not in self.SPLIT_STRATEGIES:
+            raise ConfigurationError(
+                f"unknown split strategy {split!r}; "
+                f"choose from {self.SPLIT_STRATEGIES}"
+            )
+        self.split = split
+        self._bookings: Dict[str, List[Tuple[str, List[PeeringSLA]]]] = {}
+        self.quote_rounds = 0
+
+    def _sla_between(self, upstream: str, downstream: str) -> PeeringSLA:
+        try:
+            return self.slas[(upstream, downstream)]
+        except KeyError:
+            raise ConfigurationError(
+                f"no SLA provisioned between {upstream} and {downstream}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+
+    def request_service(
+        self,
+        flow_id: str,
+        spec: TSpec,
+        delay_requirement: float,
+        route: Sequence[DomainHop],
+    ) -> InterDomainDecision:
+        """Admit *flow_id* across *route* within *delay_requirement*."""
+        if flow_id in self._bookings:
+            return InterDomainDecision(
+                admitted=False, flow_id=flow_id,
+                reason=RejectionReason.DUPLICATE,
+                detail=f"flow {flow_id!r} is already admitted",
+            )
+        if not route:
+            raise ConfigurationError("route must contain at least one hop")
+        hops = [self.domains[hop.domain] for hop in route]
+        trunks = [
+            self._sla_between(a.domain, b.domain)
+            for a, b in zip(route, route[1:])
+        ]
+
+        # --- 1. trunks must have room for at least the sustained rate.
+        for trunk in trunks:
+            if not trunk.can_carry(spec.rho):
+                return InterDomainDecision(
+                    admitted=False, flow_id=flow_id,
+                    reason=RejectionReason.INSUFFICIENT_BANDWIDTH,
+                    detail=(
+                        f"SLA {trunk.upstream}->{trunk.downstream} has "
+                        f"only {trunk.residual:.1f} b/s left"
+                    ),
+                )
+
+        # --- 2. quote round.
+        self.quote_rounds += 1
+        quotes = [
+            domain.quote(spec, hop.ingress, hop.egress)
+            for domain, hop in zip(hops, route)
+        ]
+        if any(not quote.feasible for quote in quotes):
+            bad = next(q for q in quotes if not q.feasible)
+            return InterDomainDecision(
+                admitted=False, flow_id=flow_id,
+                reason=RejectionReason.DELAY_UNACHIEVABLE,
+                detail=f"domain {bad.domain} cannot carry the flow at all",
+            )
+        sla_latency = sum(trunk.latency for trunk in trunks)
+        total_min = sum(quote.min_delay for quote in quotes) + sla_latency
+        if total_min > delay_requirement + 1e-12:
+            return InterDomainDecision(
+                admitted=False, flow_id=flow_id,
+                reason=RejectionReason.DELAY_UNACHIEVABLE,
+                detail=(
+                    f"best achievable bound {total_min:.4f}s exceeds the "
+                    f"requirement {delay_requirement:.4f}s"
+                ),
+            )
+
+        # --- 3. slack distribution across the domains.
+        slack = delay_requirement - total_min
+        quote_sum = sum(quote.min_delay for quote in quotes)
+        if self.split == "equal" or quote_sum <= 0:
+            budgets = [
+                quote.min_delay + slack / len(quotes) for quote in quotes
+            ]
+        else:  # proportional: a domain that needs more gets more slack
+            budgets = [
+                quote.min_delay + slack * quote.min_delay / quote_sum
+                for quote in quotes
+            ]
+
+        # --- 4. segment admissions + trunk reservations, rollback on
+        #        any refusal.
+        granted: List[SegmentGrant] = []
+        admitted_domains: List[BrokeredDomain] = []
+        reserved_trunks: List[PeeringSLA] = []
+        try:
+            for domain, hop, budget in zip(hops, route, budgets):
+                decision = domain.admit(
+                    flow_id, spec, budget, hop.ingress, hop.egress
+                )
+                if not decision.admitted:
+                    self._rollback(flow_id, admitted_domains,
+                                   reserved_trunks)
+                    return InterDomainDecision(
+                        admitted=False, flow_id=flow_id,
+                        reason=decision.reason,
+                        detail=f"domain {domain.name}: {decision.detail}",
+                    )
+                admitted_domains.append(domain)
+                granted.append(SegmentGrant(
+                    domain=domain.name, budget=budget,
+                    rate=decision.rate, delay=decision.delay,
+                ))
+            for trunk, upstream_grant in zip(trunks, granted):
+                if not trunk.can_carry(upstream_grant.rate):
+                    self._rollback(flow_id, admitted_domains,
+                                   reserved_trunks)
+                    return InterDomainDecision(
+                        admitted=False, flow_id=flow_id,
+                        reason=RejectionReason.INSUFFICIENT_BANDWIDTH,
+                        detail=(
+                            f"SLA {trunk.upstream}->{trunk.downstream} "
+                            f"cannot carry the granted "
+                            f"{upstream_grant.rate:.1f} b/s"
+                        ),
+                    )
+                trunk.reserve(flow_id, upstream_grant.rate)
+                reserved_trunks.append(trunk)
+        except Exception:
+            self._rollback(flow_id, admitted_domains, reserved_trunks)
+            raise
+
+        self._bookings[flow_id] = [
+            (domain.name, list(reserved_trunks))
+            for domain in admitted_domains
+        ]
+        return InterDomainDecision(
+            admitted=True, flow_id=flow_id, grants=tuple(granted),
+            sla_latency=sla_latency,
+        )
+
+    @staticmethod
+    def _rollback(flow_id: str, domains: List[BrokeredDomain],
+                  trunks: List[PeeringSLA]) -> None:
+        for domain in domains:
+            domain.release(flow_id)
+        for trunk in trunks:
+            trunk.release(flow_id)
+
+    def terminate(self, flow_id: str) -> None:
+        """Tear down an end-to-end flow in every domain and trunk."""
+        booking = self._bookings.pop(flow_id, None)
+        if booking is None:
+            raise StateError(f"flow {flow_id!r} is not admitted")
+        trunks_done = set()
+        for domain_name, trunks in booking:
+            self.domains[domain_name].release(flow_id)
+            for trunk in trunks:
+                key = (trunk.upstream, trunk.downstream)
+                if key not in trunks_done and trunk.holds(flow_id):
+                    trunk.release(flow_id)
+                    trunks_done.add(key)
+
+    @property
+    def active_flows(self) -> int:
+        """Flows admitted end to end."""
+        return len(self._bookings)

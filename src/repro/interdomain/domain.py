@@ -1,0 +1,122 @@
+"""One administrative domain in an inter-domain chain.
+
+:class:`BrokeredDomain` wraps a fully-fledged
+:class:`~repro.core.broker.BandwidthBroker` and adds the two
+operations inter-domain coordination needs:
+
+* :meth:`BrokeredDomain.quote` — the smallest end-to-end delay bound
+  this domain could currently grant a flow between two of its border
+  routers. Implemented as a binary search over the delay requirement
+  against the broker's (side-effect-free) admissibility test, so the
+  quote automatically reflects VT-EDF schedulability, residual
+  bandwidth and every other constraint the real admission applies;
+* :meth:`BrokeredDomain.admit` / :meth:`BrokeredDomain.release` —
+  local admission against an assigned delay budget.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.admission import AdmissionDecision
+from repro.core.broker import BandwidthBroker
+from repro.traffic.spec import TSpec
+
+__all__ = ["BrokeredDomain", "DelayQuote"]
+
+
+@dataclass(frozen=True)
+class DelayQuote:
+    """A domain's answer to "how fast could you carry this flow?"."""
+
+    domain: str
+    min_delay: float  # smallest grantable e2e bound (inf = cannot carry)
+    hops: int
+
+    @property
+    def feasible(self) -> bool:
+        """Can the domain carry the flow at all?"""
+        return math.isfinite(self.min_delay)
+
+
+class BrokeredDomain:
+    """A named domain: broker + border routers.
+
+    :param name: domain label (used in SLAs and decisions).
+    :param broker: the domain's bandwidth broker, already provisioned
+        with the domain's links.
+    """
+
+    def __init__(self, name: str, broker: Optional[BandwidthBroker] = None
+                 ) -> None:
+        self.name = name
+        self.broker = broker or BandwidthBroker()
+
+    # ------------------------------------------------------------------
+    # quoting
+    # ------------------------------------------------------------------
+
+    def quote(
+        self,
+        spec: TSpec,
+        ingress: str,
+        egress: str,
+        *,
+        ceiling: float = 60.0,
+        precision: float = 1e-4,
+    ) -> DelayQuote:
+        """Binary-search the smallest grantable delay bound.
+
+        :param ceiling: largest delay worth quoting (seconds); above
+            it the flow is treated as uncarriable.
+        :param precision: absolute quote resolution (the returned
+            value is guaranteed admissible — it is the *upper* end of
+            the final bracket).
+        """
+        from repro.core.admission import AdmissionRequest
+        from repro.errors import TopologyError
+
+        try:
+            path = self.broker.routing.select_path(ingress, egress)
+        except TopologyError:
+            path = None
+        if path is None:
+            return DelayQuote(self.name, math.inf, 0)
+
+        def admissible(delay: float) -> bool:
+            request = AdmissionRequest("_quote", spec, delay)
+            return self.broker.perflow.test(request, path).admitted
+
+        if not admissible(ceiling):
+            return DelayQuote(self.name, math.inf, path.hops)
+        low, high = 0.0, ceiling
+        while high - low > precision:
+            mid = (low + high) / 2
+            if admissible(mid):
+                high = mid
+            else:
+                low = mid
+        return DelayQuote(self.name, high, path.hops)
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+
+    def admit(
+        self,
+        flow_id: str,
+        spec: TSpec,
+        delay_budget: float,
+        ingress: str,
+        egress: str,
+    ) -> AdmissionDecision:
+        """Admit the flow's segment with the coordinator's budget."""
+        return self.broker.request_service(
+            flow_id, spec, delay_budget, ingress, egress
+        )
+
+    def release(self, flow_id: str) -> None:
+        """Tear down the flow's segment reservation."""
+        self.broker.terminate(flow_id)

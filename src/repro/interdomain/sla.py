@@ -1,0 +1,98 @@
+"""Bilateral peering SLAs (trunks) between adjacent domains.
+
+A :class:`PeeringSLA` models what two providers pre-negotiate for a
+border link: a bandwidth trunk with a contractual border-crossing
+latency. Per-flow admission *inside* the trunk is pure bookkeeping at
+the upstream domain's broker — no signaling crosses the border, which
+is exactly how DiffServ-style SLAs keep inter-domain QoS scalable
+(reference [7] of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import ConfigurationError, StateError
+
+__all__ = ["PeeringSLA"]
+
+
+class PeeringSLA:
+    """A provisioned bandwidth trunk between two adjacent domains.
+
+    :param upstream: name of the domain whose egress feeds the trunk.
+    :param downstream: name of the domain receiving the traffic.
+    :param bandwidth: contracted trunk bandwidth (bits/s).
+    :param latency: contractual border-crossing latency bound
+        (seconds) — enters the end-to-end delay budget.
+    """
+
+    def __init__(self, upstream: str, downstream: str, *,
+                 bandwidth: float, latency: float = 0.0) -> None:
+        if bandwidth <= 0:
+            raise ConfigurationError(
+                f"SLA bandwidth must be positive, got {bandwidth}"
+            )
+        if latency < 0:
+            raise ConfigurationError(
+                f"SLA latency must be >= 0, got {latency}"
+            )
+        self.upstream = upstream
+        self.downstream = downstream
+        self.bandwidth = float(bandwidth)
+        self.latency = float(latency)
+        self._reservations: Dict[str, float] = {}
+
+    @property
+    def reserved(self) -> float:
+        """Bandwidth currently committed on the trunk."""
+        return sum(self._reservations.values())
+
+    @property
+    def residual(self) -> float:
+        """Unreserved trunk bandwidth."""
+        return self.bandwidth - self.reserved
+
+    def can_carry(self, rate: float) -> bool:
+        """Would *rate* more fit on the trunk?"""
+        return rate <= self.residual + 1e-9 * self.bandwidth
+
+    def reserve(self, flow_id: str, rate: float) -> None:
+        """Commit trunk bandwidth for a flow."""
+        if flow_id in self._reservations:
+            raise StateError(
+                f"flow {flow_id!r} already reserved on SLA "
+                f"{self.upstream}->{self.downstream}"
+            )
+        if not self.can_carry(rate):
+            raise StateError(
+                f"SLA {self.upstream}->{self.downstream} cannot carry "
+                f"{rate:.1f} b/s (residual {self.residual:.1f})"
+            )
+        self._reservations[flow_id] = rate
+
+    def release(self, flow_id: str) -> float:
+        """Release a flow's trunk bandwidth; returns the freed rate."""
+        rate = self._reservations.pop(flow_id, None)
+        if rate is None:
+            raise StateError(
+                f"flow {flow_id!r} has no reservation on SLA "
+                f"{self.upstream}->{self.downstream}"
+            )
+        return rate
+
+    def holds(self, flow_id: str) -> bool:
+        """Does the trunk carry a reservation for *flow_id*?"""
+        return flow_id in self._reservations
+
+    @property
+    def flow_count(self) -> int:
+        """Number of flows on the trunk."""
+        return len(self._reservations)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<PeeringSLA {self.upstream}->{self.downstream} "
+            f"{self.reserved:.0f}/{self.bandwidth:.0f} b/s>"
+        )

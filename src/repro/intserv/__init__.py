@@ -1,0 +1,20 @@
+"""IntServ / Guaranteed Service baseline (the paper's comparison).
+
+The conventional architecture the bandwidth broker is evaluated
+against: **hop-by-hop** reservation set-up in which every router on
+the path keeps per-flow QoS state and runs a local admission test.
+
+* :mod:`repro.intserv.gs` — Guaranteed-Service admission on the WFQ
+  reference model (RFC 2212 style): the reserved rate is derived from
+  the end-to-end WFQ delay formula; delay-based (RC-EDF) hops receive
+  the per-hop WFQ delay ``L/R`` as their local deadline.
+* :mod:`repro.intserv.rsvp` — an RSVP-like signaling walk (PATH
+  downstream, RESV upstream with local admission at each hop) with
+  soft-state refresh accounting, used to compare control-plane message
+  and state loads against the broker's edge-only signaling.
+"""
+
+from repro.intserv.gs import IntServAdmission
+from repro.intserv.rsvp import RsvpRouterState, RsvpSignaling
+
+__all__ = ["IntServAdmission", "RsvpSignaling", "RsvpRouterState"]

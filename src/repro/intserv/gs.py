@@ -1,0 +1,178 @@
+"""IntServ Guaranteed Service admission control (hop-by-hop baseline).
+
+The paper's Section 5 comparison uses "the standard admission control
+scheme [5, 11] used for the GS in the IntServ model": the reserved
+rate ``R`` of a flow is determined from the **WFQ reference model** —
+the end-to-end delay of a flow served at rate ``R`` by ``h`` WFQ
+(or Virtual Clock) servers:
+
+``D = T_on (P - R)/R + (h + 1) L / R + D_tot``
+
+i.e. exactly the all-rate-based form of eq. (4). Admission then
+proceeds **hop by hop**: every router runs a local test against its
+own QoS state —
+
+* VC/WFQ hops: ``sum_j R_j + R <= C``;
+* RC-EDF hops: EDF schedulability with the per-hop deadline ``L / R``
+  implied by the WFQ reference (this is the coupling the paper points
+  out: "the reserved rate of a flow is determined using the WFQ
+  reference model, which then limits the range that the delay
+  parameter can be assigned to the flow in an RC-EDF scheduler").
+
+The contrast with the broker's Figure-4 algorithm is that IntServ/GS
+cannot trade the delay parameter against the rate path-wide: ``R`` is
+fixed first, the deadline follows.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.core.admission import (
+    AdmissionDecision,
+    AdmissionRequest,
+    RejectionReason,
+)
+from repro.core.mibs import FlowMIB, FlowRecord, NodeMIB, PathMIB, PathRecord
+from repro.traffic.spec import TSpec
+from repro.vtrs.timestamps import SchedulerKind
+
+__all__ = ["IntServAdmission"]
+
+_EPS = 1e-9
+
+
+class IntServAdmission:
+    """Hop-by-hop IntServ/GS admission over per-router state.
+
+    The router QoS state is modelled with the same
+    :class:`~repro.core.mibs.LinkQoSState` objects the broker uses —
+    but here each state entry conceptually lives *at the router*, and
+    the admission walk queries one router at a time (the
+    ``local_tests`` counter records how many local tests ran, the
+    control-plane cost RSVP pays on every set-up and refresh).
+    """
+
+    def __init__(self, node_mib: NodeMIB, flow_mib: FlowMIB,
+                 path_mib: PathMIB) -> None:
+        self.node_mib = node_mib
+        self.flow_mib = flow_mib
+        self.path_mib = path_mib
+        self.local_tests = 0
+
+    # ------------------------------------------------------------------
+    # the WFQ-reference rate
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def reference_rate(spec: TSpec, delay_requirement: float,
+                       hops: int, d_tot: float) -> float:
+        """Minimal rate from the WFQ end-to-end delay formula.
+
+        ``R_min = (T_on P + (h+1) L) / (D_req - D_tot + T_on)``;
+        ``inf`` when the requirement is unachievable at any rate.
+        """
+        denominator = delay_requirement - d_tot + spec.t_on
+        if denominator <= 0:
+            return math.inf
+        rate = (spec.t_on * spec.peak + (hops + 1) * spec.max_packet) / denominator
+        if rate > spec.peak * (1 + 1e-12):
+            return math.inf
+        return max(rate, spec.rho)
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+
+    def test(self, request: AdmissionRequest, path: PathRecord
+             ) -> AdmissionDecision:
+        """Hop-by-hop admissibility test (no state change)."""
+        if request.flow_id in self.flow_mib:
+            return AdmissionDecision(
+                admitted=False, flow_id=request.flow_id,
+                path_id=path.path_id, reason=RejectionReason.DUPLICATE,
+                detail=f"flow {request.flow_id!r} is already admitted",
+            )
+        spec = request.spec
+        rate = self.reference_rate(
+            spec, request.delay_requirement, path.hops, path.d_tot
+        )
+        if math.isinf(rate):
+            return AdmissionDecision(
+                admitted=False, flow_id=request.flow_id,
+                path_id=path.path_id,
+                reason=RejectionReason.DELAY_UNACHIEVABLE,
+                detail="the WFQ reference model admits no rate up to the peak",
+            )
+        deadline = spec.max_packet / rate  # the per-hop WFQ delay
+        for link in path.links:
+            self.local_tests += 1
+            slack = _EPS * link.capacity
+            if link.reserved_rate + rate > link.capacity + slack:
+                return AdmissionDecision(
+                    admitted=False, flow_id=request.flow_id,
+                    path_id=path.path_id,
+                    reason=RejectionReason.INSUFFICIENT_BANDWIDTH,
+                    detail=f"link {link.link_id} lacks {rate:.1f} b/s",
+                )
+            if link.kind is SchedulerKind.DELAY_BASED:
+                assert link.ledger is not None
+                if not link.ledger.admissible(rate, deadline, spec.max_packet):
+                    return AdmissionDecision(
+                        admitted=False, flow_id=request.flow_id,
+                        path_id=path.path_id,
+                        reason=RejectionReason.UNSCHEDULABLE,
+                        detail=(
+                            f"RC-EDF at {link.link_id} rejects deadline "
+                            f"{deadline:.4f}s"
+                        ),
+                    )
+        return AdmissionDecision(
+            admitted=True, flow_id=request.flow_id, path_id=path.path_id,
+            rate=rate, delay=deadline,
+        )
+
+    def admit(self, request: AdmissionRequest, path: PathRecord,
+              *, now: float = 0.0) -> AdmissionDecision:
+        """Test + install per-router reservation state on success."""
+        decision = self.test(request, path)
+        if not decision.admitted:
+            return decision
+        for link in path.links:
+            if link.kind is SchedulerKind.DELAY_BASED:
+                link.reserve(
+                    request.flow_id, decision.rate,
+                    deadline=decision.delay,
+                    max_packet=request.spec.max_packet,
+                )
+            else:
+                link.reserve(request.flow_id, decision.rate)
+        self.flow_mib.add(
+            FlowRecord(
+                flow_id=request.flow_id,
+                spec=request.spec,
+                delay_requirement=request.delay_requirement,
+                path_id=path.path_id,
+                rate=decision.rate,
+                delay=decision.delay,
+                admitted_at=now,
+            )
+        )
+        return decision
+
+    def release(self, flow_id: str) -> FlowRecord:
+        """Tear down per-router state hop by hop."""
+        record = self.flow_mib.remove(flow_id)
+        path = self.path_mib.get(record.path_id)
+        for link in path.links:
+            link.release(flow_id)
+        return record
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def router_state_entries(self) -> int:
+        """Total per-router reservation entries (IntServ's memory cost)."""
+        return sum(link.reservation_count for link in self.node_mib.links())

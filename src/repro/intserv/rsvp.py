@@ -1,0 +1,183 @@
+"""RSVP-style hop-by-hop signaling (control-plane cost baseline).
+
+A deliberately faithful-in-shape, simple-in-detail model of RSVP's
+reservation walk, used to quantify what the bandwidth broker removes
+from the network:
+
+* **PATH** messages travel ingress -> egress, leaving path state at
+  every router and accumulating the ADSPEC-like path properties
+  (hop count, ``D_tot``);
+* **RESV** messages travel egress -> ingress; each router runs its
+  local admission test and either installs a reservation or sends a
+  RESV-ERR back downstream (tearing down partial state);
+* both state types are **soft**: they expire unless refreshed every
+  refresh period, and the model counts the refresh messages a given
+  flow population generates per unit time.
+
+The interesting outputs are counters: messages per set-up, refresh
+messages per second, and per-router state entries — all of which are
+zero at core routers under the broker architecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.admission import AdmissionDecision, AdmissionRequest
+from repro.core.mibs import FlowMIB, NodeMIB, PathMIB, PathRecord
+from repro.intserv.gs import IntServAdmission
+
+__all__ = ["RsvpRouterState", "RsvpSignaling"]
+
+#: RSVP's default refresh period (RFC 2205), seconds.
+DEFAULT_REFRESH_PERIOD = 30.0
+
+
+@dataclass
+class RsvpRouterState:
+    """Soft state one router holds for one flow."""
+
+    flow_id: str
+    has_path_state: bool = False
+    has_resv_state: bool = False
+    last_refreshed: float = 0.0
+
+    @property
+    def entries(self) -> int:
+        """Number of state blocks (PATH and RESV count separately)."""
+        return int(self.has_path_state) + int(self.has_resv_state)
+
+
+class RsvpSignaling:
+    """RSVP-like set-up/teardown walks over an IntServ admission core.
+
+    :param admission: the hop-by-hop GS admission logic.
+    :param refresh_period: soft-state refresh interval (seconds).
+    """
+
+    def __init__(self, admission: IntServAdmission,
+                 *, refresh_period: float = DEFAULT_REFRESH_PERIOD) -> None:
+        self.admission = admission
+        self.refresh_period = float(refresh_period)
+        # router name -> flow id -> state
+        self.router_states: Dict[str, Dict[str, RsvpRouterState]] = {}
+        self.messages = {"PATH": 0, "RESV": 0, "RESV_ERR": 0,
+                         "PATH_TEAR": 0, "RESV_TEAR": 0, "REFRESH": 0}
+
+    # ------------------------------------------------------------------
+    # reservation walks
+    # ------------------------------------------------------------------
+
+    def _routers_of(self, path: PathRecord) -> List[str]:
+        # State is held at every node that forwards the flow (all but
+        # the final egress-attached host side; we charge every node on
+        # the path, matching RSVP's per-hop state).
+        return list(path.nodes[:-1])
+
+    def setup(self, request: AdmissionRequest, path: PathRecord,
+              *, now: float = 0.0) -> AdmissionDecision:
+        """PATH downstream, then RESV upstream with local admission."""
+        routers = self._routers_of(path)
+        # PATH: one message per hop traversed, installing path state.
+        for node in routers:
+            self.messages["PATH"] += 1
+            state = self._state(node, request.flow_id)
+            state.has_path_state = True
+            state.last_refreshed = now
+        # RESV: one message per hop upstream; admission is the GS test
+        # (run here once for the whole path — the per-link loop inside
+        # counts the local tests).
+        self.messages["RESV"] += len(routers)
+        decision = self.admission.admit(request, path, now=now)
+        if not decision.admitted:
+            # RESV-ERR travels back, and path state is torn down.
+            self.messages["RESV_ERR"] += len(routers)
+            self._forget(routers, request.flow_id)
+            return decision
+        for node in routers:
+            state = self._state(node, request.flow_id)
+            state.has_resv_state = True
+            state.last_refreshed = now
+        return decision
+
+    def teardown(self, flow_id: str) -> None:
+        """PATH-TEAR/RESV-TEAR walk removing all state for the flow."""
+        record = self.admission.release(flow_id)
+        path = self.admission.path_mib.get(record.path_id)
+        routers = self._routers_of(path)
+        self.messages["PATH_TEAR"] += len(routers)
+        self.messages["RESV_TEAR"] += len(routers)
+        self._forget(routers, flow_id)
+
+    # ------------------------------------------------------------------
+    # soft state
+    # ------------------------------------------------------------------
+
+    def refresh_all(self, now: float) -> int:
+        """Send one refresh per state block (what keeps soft state alive).
+
+        Returns the number of refresh messages generated; the paper's
+        critique is that this cost recurs every refresh period at
+        every router, for every flow.
+        """
+        sent = 0
+        for flows in self.router_states.values():
+            for state in flows.values():
+                sent += state.entries
+                state.last_refreshed = now
+        self.messages["REFRESH"] += sent
+        return sent
+
+    def expire_stale(self, now: float, *, lifetimes: float = 3.0) -> int:
+        """Drop state not refreshed within ``lifetimes`` refresh periods."""
+        horizon = now - lifetimes * self.refresh_period
+        dropped = 0
+        for flows in self.router_states.values():
+            stale = [fid for fid, s in flows.items() if s.last_refreshed < horizon]
+            for fid in stale:
+                dropped += flows.pop(fid).entries
+        return dropped
+
+    def refresh_load_per_second(self) -> float:
+        """Steady-state refresh messages per second for current flows."""
+        entries = self.total_state_entries()
+        return entries / self.refresh_period if self.refresh_period else 0.0
+
+    # ------------------------------------------------------------------
+    # bookkeeping helpers
+    # ------------------------------------------------------------------
+
+    def _state(self, node: str, flow_id: str) -> RsvpRouterState:
+        flows = self.router_states.setdefault(node, {})
+        state = flows.get(flow_id)
+        if state is None:
+            state = RsvpRouterState(flow_id)
+            flows[flow_id] = state
+        return state
+
+    def _forget(self, routers: List[str], flow_id: str) -> None:
+        for node in routers:
+            flows = self.router_states.get(node)
+            if flows is not None:
+                flows.pop(flow_id, None)
+
+    def total_state_entries(self) -> int:
+        """Soft-state blocks across all routers."""
+        return sum(
+            state.entries
+            for flows in self.router_states.values()
+            for state in flows.values()
+        )
+
+    def state_at(self, node: str) -> int:
+        """Soft-state blocks at one router."""
+        return sum(
+            state.entries
+            for state in self.router_states.get(node, {}).values()
+        )
+
+    @property
+    def total_messages(self) -> int:
+        """All signaling messages sent so far."""
+        return sum(self.messages.values())

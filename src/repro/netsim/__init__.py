@@ -1,0 +1,37 @@
+"""Packet-level discrete-event network simulator.
+
+A compact but complete discrete-event simulator used to validate the
+VTRS delay bounds empirically and to reconstruct the Figure 7
+dynamic-aggregation scenario:
+
+* :class:`~repro.netsim.engine.Simulator` — the event loop;
+* :class:`~repro.netsim.packet.Packet` — a packet with VTRS header;
+* :class:`~repro.netsim.link.Link` — an output link with a pluggable
+  scheduler and transmission/propagation timing;
+* :class:`~repro.netsim.topology.Network` — nodes, links, and path
+  construction;
+* :class:`~repro.netsim.edge.EdgeConditioner` — the per-(macro)flow
+  shaper that spaces packets at the reserved rate and stamps VTRS
+  state (with runtime rate changes for dynamic aggregation);
+* :class:`~repro.netsim.sources.FlowSource` /
+  :class:`~repro.netsim.sink.DelayRecorder` — traffic injection and
+  end-to-end delay measurement.
+"""
+
+from repro.netsim.engine import Simulator
+from repro.netsim.packet import Packet
+from repro.netsim.link import Link
+from repro.netsim.topology import Network
+from repro.netsim.edge import EdgeConditioner
+from repro.netsim.sources import FlowSource
+from repro.netsim.sink import DelayRecorder
+
+__all__ = [
+    "Simulator",
+    "Packet",
+    "Link",
+    "Network",
+    "EdgeConditioner",
+    "FlowSource",
+    "DelayRecorder",
+]

@@ -1,0 +1,315 @@
+"""End-to-end harness: broker decisions driving the packet data plane.
+
+The architectural loop of Figure 1 closed in code: flows admitted by a
+:class:`~repro.core.broker.BandwidthBroker` (or any admission module
+producing rate-delay pairs) are materialized as greedy packet sources
+behind per-flow (or per-macroflow) edge conditioners, injected through
+the live scheduler network, and measured at the egress.
+
+Used by the integration tests to validate the paper's soundness claim
+— *no admitted flow ever exceeds its end-to-end delay bound* — and by
+the examples to show the whole system running.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.mibs import PathRecord
+from repro.netsim.edge import EdgeConditioner
+from repro.netsim.engine import Simulator
+from repro.netsim.sink import DelayRecorder
+from repro.netsim.sources import FlowSource
+from repro.netsim.topology import Network
+from repro.traffic.sources import (
+    CbrProcess,
+    GreedyOnOffProcess,
+    PoissonProcess,
+)
+from repro.traffic.spec import TSpec
+from repro.vtrs.schedulers.stateful import StatefulScheduler
+
+__all__ = ["DataPlaneHarness", "ProvisionedFlow", "AggregateBridge"]
+
+
+@dataclass
+class ProvisionedFlow:
+    """One flow wired into the data plane."""
+
+    flow_id: str
+    spec: TSpec
+    rate: float
+    delay: float
+    path: PathRecord
+    class_id: str = ""
+    conditioner: Optional[EdgeConditioner] = None
+    source: Optional[FlowSource] = None
+
+
+class DataPlaneHarness:
+    """Wires admitted flows into a live packet-level network.
+
+    :param sim: the discrete-event simulator.
+    :param network: a network whose links carry real schedulers
+        (e.g. from :meth:`repro.workloads.topologies.Fig8Domain.build_netsim`).
+    :param schedulers: the per-link scheduler map (same call); used to
+        install per-flow state on stateful (IntServ) data planes.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        schedulers: Dict[Tuple[str, str], object],
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.schedulers = schedulers
+        self.recorder = DelayRecorder(sim)
+        self.flows: Dict[str, ProvisionedFlow] = {}
+        self.conditioners: Dict[str, EdgeConditioner] = {}
+        self._sinks_installed: set = set()
+
+    # ------------------------------------------------------------------
+    # provisioning
+    # ------------------------------------------------------------------
+
+    def _ensure_sink(self, node: str) -> None:
+        if node not in self._sinks_installed:
+            self.network.install_sink(node, self.recorder.receive)
+            self._sinks_installed.add(node)
+
+    def _install_stateful(self, path: PathRecord, key: str,
+                          rate: float, delay: float) -> None:
+        for src, dst in zip(path.nodes, path.nodes[1:]):
+            scheduler = self.schedulers.get((src, dst))
+            if isinstance(scheduler, StatefulScheduler):
+                scheduler.install_flow(key, rate, deadline=delay)
+
+    def provision_flow(
+        self,
+        flow_id: str,
+        spec: TSpec,
+        rate: float,
+        delay: float,
+        path: PathRecord,
+        *,
+        traffic: str = "greedy",
+        start_time: float = 0.0,
+        stop_time: Optional[float] = None,
+        seed: int = 0,
+    ) -> ProvisionedFlow:
+        """Create conditioner + source for one per-flow reservation.
+
+        :param traffic: ``"greedy"`` (worst case), ``"cbr"`` or
+            ``"poisson"``.
+        """
+        self._ensure_sink(path.nodes[-1])
+        self.network.install_route(flow_id, path.nodes)
+        conditioner = EdgeConditioner(
+            self.sim, flow_id, rate=rate, delay=delay,
+            rate_based_prefix=path.rate_based_prefix(),
+            inject=self.network.first_link(flow_id).receive,
+        )
+        self._install_stateful(path, flow_id, rate, delay)
+        source = FlowSource(
+            self.sim, flow_id,
+            self._process(spec, traffic, start_time, stop_time, seed),
+            conditioner.receive,
+        )
+        flow = ProvisionedFlow(
+            flow_id=flow_id, spec=spec, rate=rate, delay=delay, path=path,
+            conditioner=conditioner, source=source,
+        )
+        self.flows[flow_id] = flow
+        self.conditioners[flow_id] = conditioner
+        return flow
+
+    def provision_macroflow(
+        self,
+        macro_key: str,
+        rate: float,
+        delay: float,
+        path: PathRecord,
+    ) -> EdgeConditioner:
+        """Create the shared conditioner for a macroflow; microflow
+        sources are attached with :meth:`attach_microflow`."""
+        self._ensure_sink(path.nodes[-1])
+        self.network.install_route(macro_key, path.nodes)
+        conditioner = EdgeConditioner(
+            self.sim, macro_key, rate=rate, delay=delay,
+            rate_based_prefix=path.rate_based_prefix(),
+            inject=self.network.first_link(macro_key).receive,
+        )
+        self._install_stateful(path, macro_key, rate, delay)
+        self.conditioners[macro_key] = conditioner
+        return conditioner
+
+    def attach_microflow(
+        self,
+        macro_key: str,
+        flow_id: str,
+        spec: TSpec,
+        *,
+        traffic: str = "greedy",
+        start_time: float = 0.0,
+        stop_time: Optional[float] = None,
+        seed: int = 0,
+    ) -> FlowSource:
+        """Attach a microflow source to an existing macroflow conditioner."""
+        conditioner = self.conditioners[macro_key]
+        return FlowSource(
+            self.sim, flow_id,
+            self._process(spec, traffic, start_time, stop_time, seed),
+            conditioner.receive,
+            class_id=macro_key,
+        )
+
+    @staticmethod
+    def _process(spec: TSpec, traffic: str, start_time: float,
+                 stop_time: Optional[float], seed: int):
+        if traffic == "greedy":
+            return GreedyOnOffProcess(
+                spec, start_time=start_time, stop_time=stop_time
+            )
+        if traffic == "cbr":
+            return CbrProcess(spec, start_time=start_time,
+                              stop_time=stop_time)
+        if traffic == "poisson":
+            return PoissonProcess(
+                spec, random.Random(seed), start_time=start_time,
+                stop_time=stop_time,
+            )
+        raise ValueError(f"unknown traffic kind {traffic!r}")
+
+    # ------------------------------------------------------------------
+    # measurement
+    # ------------------------------------------------------------------
+
+    def run(self, until: float) -> None:
+        """Advance the simulation to *until* (sources drain first)."""
+        self.sim.run(until=until)
+
+    def violations(self, bounds: Dict[str, float]) -> List[Tuple[str, float, float]]:
+        """Flows whose measured max e2e delay exceeds their bound.
+
+        :param bounds: flow id -> analytic delay bound.
+        :returns: list of (flow_id, measured, bound) offenders.
+        """
+        offenders = []
+        for flow_id, bound in bounds.items():
+            stats = self.recorder.flow_stats(flow_id)
+            if stats is not None and stats.max_e2e > bound + 1e-9:
+                offenders.append((flow_id, stats.max_e2e, bound))
+        return offenders
+
+
+class AggregateBridge:
+    """Closes the control loop between the aggregate admission module
+    and a live macroflow edge conditioner.
+
+    This is the Figure 1 architecture for class-based services running
+    for real: the broker decides (joins, leaves, contingency grants and
+    releases), the bridge pushes every resulting rate change into the
+    data plane's edge conditioner, and the conditioner's buffer-empty
+    events travel back as the Section 4.2.1 feedback signal.
+
+    :param sim: the discrete-event simulator.
+    :param aggregate: the broker's aggregate admission module.
+    :param harness: a :class:`DataPlaneHarness` over the live network.
+    :param service_class: the class this bridge manages.
+    :param path: the macroflow's path record.
+    """
+
+    def __init__(self, sim, aggregate, harness: DataPlaneHarness,
+                 service_class, path: PathRecord) -> None:
+        self.sim = sim
+        self.aggregate = aggregate
+        self.harness = harness
+        self.service_class = service_class
+        self.path = path
+        self.macro_key = aggregate.macroflow_key(service_class, path)
+        self.conditioner: Optional[EdgeConditioner] = None
+        self.sources: Dict[str, FlowSource] = {}
+        self._expiry_handle = None
+        self.rate_changes = 0
+        self.feedback_signals = 0
+
+    # ------------------------------------------------------------------
+    # control plane -> data plane
+    # ------------------------------------------------------------------
+
+    def join(self, flow_id: str, spec: TSpec, *, traffic: str = "greedy",
+             stop_time: Optional[float] = None, seed: int = 0):
+        """Broker join + data-plane attachment in one step."""
+        decision = self.aggregate.join(
+            flow_id, spec, self.service_class, self.path,
+            now=self.sim.now,
+        )
+        if not decision.admitted:
+            return decision
+        if self.conditioner is None:
+            macro = self.aggregate.macroflows[self.macro_key]
+            self.conditioner = self.harness.provision_macroflow(
+                self.macro_key, macro.total_rate,
+                self.service_class.class_delay, self.path,
+            )
+            self.conditioner.on_empty = self._edge_empty
+        self.sources[flow_id] = self.harness.attach_microflow(
+            self.macro_key, flow_id, spec, traffic=traffic,
+            start_time=self.sim.now, stop_time=stop_time, seed=seed,
+        )
+        self._sync_rate()
+        return decision
+
+    def leave(self, flow_id: str) -> None:
+        """Broker leave; the departing source stops emitting and the
+        rate drop lands when the contingency period expires."""
+        source = self.sources.pop(flow_id, None)
+        if source is not None:
+            source.stop()
+        self.aggregate.leave(flow_id, now=self.sim.now)
+        self._sync_rate()
+
+    # ------------------------------------------------------------------
+    # data plane -> control plane (the feedback signal)
+    # ------------------------------------------------------------------
+
+    def _edge_empty(self, now: float) -> None:
+        self.feedback_signals += 1
+        released = self.aggregate.notify_edge_empty(self.macro_key, now)
+        if released:
+            self._sync_rate()
+
+    # ------------------------------------------------------------------
+    # timer plumbing
+    # ------------------------------------------------------------------
+
+    def _sync_rate(self) -> None:
+        macro = self.aggregate.macroflows.get(self.macro_key)
+        if macro is None or self.conditioner is None:
+            return
+        if macro.total_rate > 0 and (
+            abs(self.conditioner.rate - macro.total_rate)
+            > 1e-9 * macro.total_rate
+        ):
+            self.conditioner.set_rate(macro.total_rate)
+            self.rate_changes += 1
+        self._arm_expiry_timer()
+
+    def _arm_expiry_timer(self) -> None:
+        if self._expiry_handle is not None:
+            self._expiry_handle.cancel()
+            self._expiry_handle = None
+        expiry = self.aggregate.next_expiry()
+        if expiry is not None and expiry > self.sim.now:
+            self._expiry_handle = self.sim.schedule_at(
+                expiry, self._on_expiry
+            )
+
+    def _on_expiry(self) -> None:
+        self._expiry_handle = None
+        self.aggregate.advance(self.sim.now)
+        self._sync_rate()

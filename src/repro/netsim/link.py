@@ -1,0 +1,140 @@
+"""Output links: transmission serialization plus a pluggable scheduler.
+
+A :class:`Link` models one unidirectional output port of a router:
+
+* arriving packets are handed to the link's scheduler;
+* when idle, the link asks the scheduler for the next eligible packet
+  and transmits it for ``size / capacity`` seconds;
+* on transmission completion the link applies the VTRS concatenation
+  rule (eq. (1)) — rewriting the packet's virtual time stamp with this
+  hop's error term and propagation delay — and delivers the packet to
+  the downstream receiver after the propagation delay.
+
+Non-work-conserving schedulers (CJVC, RC-EDF) may hold backlogged
+packets; the link then arms a wake-up timer at the scheduler's next
+eligibility instant.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.errors import ConfigurationError
+from repro.netsim.engine import EventHandle, Simulator
+from repro.netsim.packet import Packet
+from repro.vtrs.timestamps import advance_virtual_time
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import
+    # cycle: schedulers.base needs netsim.packet, whose package pulls
+    # in this module)
+    from repro.vtrs.schedulers.base import Scheduler
+
+__all__ = ["Link"]
+
+
+class Link:
+    """One unidirectional link with an attached scheduler.
+
+    :param sim: the discrete-event simulator driving this link.
+    :param scheduler: queueing discipline for the output port.
+    :param propagation: propagation delay ``pi`` to the next hop (s).
+    :param receiver: downstream callback invoked with each delivered
+        packet (typically :meth:`repro.netsim.topology.Network.forward`
+        bound to this link, or a sink). May be set later via
+        :attr:`receiver`.
+    :param name: label, e.g. ``"R2->R3"``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        scheduler: "Scheduler",
+        *,
+        propagation: float = 0.0,
+        receiver: Optional[Callable[[Packet], None]] = None,
+        name: str = "",
+    ) -> None:
+        if propagation < 0:
+            raise ConfigurationError(
+                f"propagation delay must be >= 0, got {propagation}"
+            )
+        self.sim = sim
+        self.scheduler = scheduler
+        self.propagation = float(propagation)
+        self.receiver = receiver
+        self.name = name or scheduler.name
+        self._busy = False
+        self._wakeup: Optional[EventHandle] = None
+        #: observers called as ``tap(packet, now)`` on every arrival —
+        #: used by monitors and invariant auditors; keep them cheap.
+        self.taps: list = []
+        # statistics
+        self.packets_forwarded = 0
+        self.bits_forwarded = 0.0
+        self.busy_time = 0.0
+
+    @property
+    def capacity(self) -> float:
+        """Link capacity in bits/s (delegated to the scheduler)."""
+        return self.scheduler.capacity
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of elapsed simulation time spent transmitting."""
+        if self.sim.now <= 0:
+            return 0.0
+        return self.busy_time / self.sim.now
+
+    def receive(self, packet: Packet) -> None:
+        """A packet arrived at this output port."""
+        for tap in self.taps:
+            tap(packet, self.sim.now)
+        self.scheduler.on_arrival(packet, self.sim.now)
+        self._try_transmit()
+
+    # ------------------------------------------------------------------
+    # transmission machinery
+    # ------------------------------------------------------------------
+
+    def _try_transmit(self) -> None:
+        if self._busy:
+            return
+        if self._wakeup is not None:
+            self._wakeup.cancel()
+            self._wakeup = None
+        packet = self.scheduler.select(self.sim.now)
+        if packet is None:
+            eligible_at = self.scheduler.next_eligible_time(self.sim.now)
+            if eligible_at is not None:
+                self._wakeup = self.sim.schedule_at(eligible_at, self._try_transmit)
+            return
+        self._busy = True
+        duration = packet.size / self.capacity
+        self.busy_time += duration
+        self.sim.schedule(duration, lambda: self._complete(packet))
+
+    def _complete(self, packet: Packet) -> None:
+        self._busy = False
+        self.packets_forwarded += 1
+        self.bits_forwarded += packet.size
+        kind = self.scheduler.kind
+        if kind is not None and packet.state is not None:
+            advance_virtual_time(
+                packet.state, kind, self.scheduler.error_term, self.propagation
+            )
+        receiver = self.receiver
+        if receiver is None:
+            raise ConfigurationError(
+                f"link {self.name!r} has no downstream receiver"
+            )
+        if self.propagation > 0:
+            self.sim.schedule(self.propagation, lambda: receiver(packet))
+        else:
+            receiver(packet)
+        self._try_transmit()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Link {self.name!r} C={self.capacity:.0f}b/s "
+            f"queued={len(self.scheduler)} busy={self._busy}>"
+        )

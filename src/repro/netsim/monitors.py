@@ -1,0 +1,154 @@
+"""Simulation monitors and VTRS invariant auditors.
+
+* :class:`QueueSampler` — periodic time series of a link's queue depth
+  and cumulative utilization (capacity-planning telemetry).
+* :class:`VtrsAuditor` — checks the two correctness properties of the
+  virtual time reference system *at every hop of every packet*:
+
+  - **reality check**: the actual arrival time at a hop never exceeds
+    the virtual time stamp carried in the header;
+  - **virtual spacing**: consecutive packets of a flow observe
+    ``omega^{k+1} - omega^k >= L^{k+1} / r`` at every hop.
+
+  Violations are collected (not raised), so a test can assert the
+  audit came back clean after a full run. These are the invariants
+  [20] proves and everything in the paper's delay analysis rests on.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.netsim.engine import Simulator
+from repro.netsim.link import Link
+from repro.netsim.packet import Packet
+
+__all__ = ["QueueSampler", "QueueSample", "VtrsAuditor"]
+
+
+@dataclass(frozen=True)
+class QueueSample:
+    """One periodic observation of a link."""
+
+    time: float
+    queued_packets: int
+    queued_bits: float
+    utilization: float
+
+
+class QueueSampler:
+    """Samples a link's queue state on a fixed period.
+
+    :param sim: the simulator (sampling is event-driven).
+    :param link: the link to observe.
+    :param period: sampling interval in seconds.
+    """
+
+    def __init__(self, sim: Simulator, link: Link, *, period: float) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self.sim = sim
+        self.link = link
+        self.period = period
+        self.samples: List[QueueSample] = []
+        self._schedule()
+
+    def _schedule(self) -> None:
+        self.sim.schedule(self.period, self._sample)
+
+    def _sample(self) -> None:
+        try:
+            bits = self.link.scheduler.backlog_bits()
+        except NotImplementedError:  # pragma: no cover - exotic schedulers
+            bits = 0.0
+        self.samples.append(QueueSample(
+            time=self.sim.now,
+            queued_packets=len(self.link.scheduler),
+            queued_bits=bits,
+            utilization=self.link.utilization,
+        ))
+        self._schedule()
+
+    @property
+    def max_queued_packets(self) -> int:
+        """Largest sampled queue depth."""
+        return max((s.queued_packets for s in self.samples), default=0)
+
+    @property
+    def mean_queued_bits(self) -> float:
+        """Average sampled backlog in bits."""
+        if not self.samples:
+            return 0.0
+        return sum(s.queued_bits for s in self.samples) / len(self.samples)
+
+
+@dataclass(frozen=True)
+class _Violation:
+    kind: str  # "reality-check" | "virtual-spacing"
+    link: str
+    flow_id: str
+    detail: str
+
+
+class VtrsAuditor:
+    """Audits the reality-check and virtual-spacing properties.
+
+    Attach with :meth:`watch` (one call per link) *before* traffic
+    flows; inspect :attr:`violations` afterwards.
+    """
+
+    def __init__(self, *, tolerance: float = 1e-9) -> None:
+        self.tolerance = tolerance
+        self.violations: List[_Violation] = []
+        self.packets_checked = 0
+        # (link name, flow id) -> (last omega, last size)
+        self._last_seen: Dict[Tuple[str, str], Tuple[float, float]] = {}
+
+    def watch(self, link: Link) -> None:
+        """Audit every packet arriving at *link*."""
+        if link.scheduler.kind is None:
+            return  # not a VTRS hop; the invariants do not apply
+
+        def tap(packet: Packet, now: float, _name=link.name) -> None:
+            self._check(packet, now, _name)
+
+        link.taps.append(tap)
+
+    def watch_network(self, network) -> None:
+        """Audit every VTRS link of a network."""
+        for link in network.links:
+            self.watch(link)
+
+    def _check(self, packet: Packet, now: float, link_name: str) -> None:
+        state = packet.state
+        if state is None:
+            return
+        self.packets_checked += 1
+        if now > state.vtime + self.tolerance:
+            self.violations.append(_Violation(
+                kind="reality-check", link=link_name,
+                flow_id=state.flow_id,
+                detail=f"arrived {now:.9f} > omega {state.vtime:.9f}",
+            ))
+        key = (link_name, state.flow_id)
+        previous = self._last_seen.get(key)
+        if previous is not None:
+            last_omega, _last_size = previous
+            required = state.size / state.rate
+            if state.vtime - last_omega < required - self.tolerance:
+                self.violations.append(_Violation(
+                    kind="virtual-spacing", link=link_name,
+                    flow_id=state.flow_id,
+                    detail=(
+                        f"omega gap {state.vtime - last_omega:.9f} < "
+                        f"L/r {required:.9f}"
+                    ),
+                ))
+        self._last_seen[key] = (state.vtime, state.size)
+
+    @property
+    def clean(self) -> bool:
+        """True when no violation was recorded."""
+        return not self.violations

@@ -1,0 +1,76 @@
+"""Packets: payload metadata plus the VTRS header.
+
+A :class:`Packet` records every timestamp the experiments need:
+
+* :attr:`created_at` — when the source emitted it (arrival at the
+  edge conditioner); the paper's end-to-end delay bound covers the
+  interval from here to delivery;
+* :attr:`entered_core_at` — when the edge conditioner released it into
+  the first core hop (``a_1`` in the paper);
+* :attr:`delivered_at` — when the last hop finished transmitting it.
+
+The VTRS header (:class:`repro.vtrs.packet_state.PacketState`) is
+attached as :attr:`state` by the edge conditioner; packets that bypass
+VTRS (e.g. under a FIFO or WFQ data plane) leave it ``None``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.vtrs.packet_state import PacketState
+
+__all__ = ["Packet"]
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass
+class Packet:
+    """One simulated packet.
+
+    :param flow_id: microflow identifier.
+    :param class_id: macroflow / service-class identifier ("" when the
+        packet is not aggregated). Schedulers that need a per-"flow"
+        key (e.g. stateful VC, WFQ) use :meth:`sched_key`, which
+        returns the macroflow id when present — inside the core an
+        aggregated packet belongs to its macroflow.
+    :param size: packet size in bits.
+    :param created_at: source emission time (s).
+    """
+
+    flow_id: str
+    size: float
+    created_at: float
+    class_id: str = ""
+    state: Optional[PacketState] = None
+    entered_core_at: Optional[float] = None
+    delivered_at: Optional[float] = None
+    seq: int = field(default_factory=lambda: next(_packet_ids))
+
+    def sched_key(self) -> str:
+        """The identity a per-flow scheduler should state on."""
+        return self.class_id or self.flow_id
+
+    @property
+    def e2e_delay(self) -> Optional[float]:
+        """End-to-end delay (edge arrival to delivery), if delivered."""
+        if self.delivered_at is None:
+            return None
+        return self.delivered_at - self.created_at
+
+    @property
+    def core_delay(self) -> Optional[float]:
+        """Delay across the network core only, if delivered."""
+        if self.delivered_at is None or self.entered_core_at is None:
+            return None
+        return self.delivered_at - self.entered_core_at
+
+    @property
+    def edge_delay(self) -> Optional[float]:
+        """Queueing delay inside the edge conditioner, if released."""
+        if self.entered_core_at is None:
+            return None
+        return self.entered_core_at - self.created_at

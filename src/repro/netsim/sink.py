@@ -1,0 +1,95 @@
+"""Delay measurement at the egress.
+
+:class:`DelayRecorder` is installed as a network sink; it timestamps
+deliveries and accumulates the per-flow delay statistics the
+experiments report (max/mean end-to-end delay, core delay, counts).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.netsim.engine import Simulator
+from repro.netsim.packet import Packet
+
+__all__ = ["DelayRecorder", "FlowDelayStats"]
+
+
+@dataclass
+class FlowDelayStats:
+    """Accumulated delay statistics for one flow (or macroflow)."""
+
+    packets: int = 0
+    bits: float = 0.0
+    max_e2e: float = 0.0
+    sum_e2e: float = 0.0
+    max_core: float = 0.0
+    max_edge: float = 0.0
+    samples: List[float] = field(default_factory=list)
+
+    @property
+    def mean_e2e(self) -> float:
+        """Mean end-to-end delay over all delivered packets."""
+        return self.sum_e2e / self.packets if self.packets else 0.0
+
+    def percentile_e2e(self, fraction: float) -> float:
+        """Empirical delay percentile (``fraction`` in [0, 1])."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        index = min(len(ordered) - 1, max(0, math.ceil(fraction * len(ordered)) - 1))
+        return ordered[index]
+
+
+class DelayRecorder:
+    """Network sink recording per-flow and per-macroflow delays.
+
+    :param sim: the simulator (for delivery timestamps).
+    :param keep_samples: retain every e2e delay sample (enables
+        percentiles; costs memory on long runs).
+    """
+
+    def __init__(self, sim: Simulator, *, keep_samples: bool = False) -> None:
+        self.sim = sim
+        self.keep_samples = keep_samples
+        self.per_flow: Dict[str, FlowDelayStats] = defaultdict(FlowDelayStats)
+        self.per_class: Dict[str, FlowDelayStats] = defaultdict(FlowDelayStats)
+        self.total_packets = 0
+
+    def receive(self, packet: Packet) -> None:
+        """Sink entry point: record the delivery of *packet*."""
+        packet.delivered_at = self.sim.now
+        self.total_packets += 1
+        self._record(self.per_flow[packet.flow_id], packet)
+        if packet.class_id:
+            self._record(self.per_class[packet.class_id], packet)
+
+    def _record(self, stats: FlowDelayStats, packet: Packet) -> None:
+        e2e = packet.e2e_delay or 0.0
+        stats.packets += 1
+        stats.bits += packet.size
+        stats.sum_e2e += e2e
+        stats.max_e2e = max(stats.max_e2e, e2e)
+        if packet.core_delay is not None:
+            stats.max_core = max(stats.max_core, packet.core_delay)
+        if packet.edge_delay is not None:
+            stats.max_edge = max(stats.max_edge, packet.edge_delay)
+        if self.keep_samples:
+            stats.samples.append(e2e)
+
+    def flow_stats(self, flow_id: str) -> Optional[FlowDelayStats]:
+        """Stats for one microflow, or None if nothing was delivered."""
+        return self.per_flow.get(flow_id)
+
+    def class_stats(self, class_id: str) -> Optional[FlowDelayStats]:
+        """Stats for one macroflow, or None if nothing was delivered."""
+        return self.per_class.get(class_id)
+
+    def max_e2e_delay(self) -> float:
+        """Largest end-to-end delay observed across all flows."""
+        if not self.per_flow:
+            return 0.0
+        return max(stats.max_e2e for stats in self.per_flow.values())

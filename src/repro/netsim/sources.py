@@ -1,0 +1,84 @@
+"""Traffic injection: turning arrival processes into simulated packets.
+
+:class:`FlowSource` walks a packet arrival process (any iterable of
+:class:`~repro.traffic.sources.PacketArrival`, e.g. a greedy on-off
+process) and emits :class:`~repro.netsim.packet.Packet` objects into a
+target — normally an :class:`~repro.netsim.edge.EdgeConditioner`.
+Arrivals are scheduled lazily, one event ahead, so unbounded processes
+cost O(1) memory.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Optional
+
+from repro.netsim.engine import Simulator
+from repro.netsim.packet import Packet
+from repro.traffic.sources import PacketArrival
+
+__all__ = ["FlowSource"]
+
+
+class FlowSource:
+    """Injects one microflow's packets into the network edge.
+
+    :param sim: the discrete-event simulator.
+    :param flow_id: microflow identifier stamped on every packet.
+    :param process: iterable of :class:`PacketArrival` (must be
+        non-decreasing in time).
+    :param target: callback receiving each packet (e.g.
+        ``EdgeConditioner.receive``).
+    :param class_id: macroflow / service-class id, if aggregated.
+    :param max_packets: stop after this many packets (``None`` = run
+        the process to exhaustion).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        flow_id: str,
+        process: Iterable[PacketArrival],
+        target: Callable[[Packet], None],
+        *,
+        class_id: str = "",
+        max_packets: Optional[int] = None,
+    ) -> None:
+        self.sim = sim
+        self.flow_id = flow_id
+        self.class_id = class_id
+        self.target = target
+        self.max_packets = max_packets
+        self.packets_emitted = 0
+        self._iterator: Iterator[PacketArrival] = iter(process)
+        self._stopped = False
+        self._schedule_next()
+
+    def stop(self) -> None:
+        """Stop emitting packets (microflow leaves the network)."""
+        self._stopped = True
+
+    def _schedule_next(self) -> None:
+        if self._stopped:
+            return
+        if self.max_packets is not None and self.packets_emitted >= self.max_packets:
+            return
+        try:
+            arrival = next(self._iterator)
+        except StopIteration:
+            return
+        self.sim.schedule_at(
+            max(arrival.time, self.sim.now), lambda: self._emit(arrival)
+        )
+
+    def _emit(self, arrival: PacketArrival) -> None:
+        if self._stopped:
+            return
+        packet = Packet(
+            flow_id=self.flow_id,
+            class_id=self.class_id,
+            size=arrival.size,
+            created_at=self.sim.now,
+        )
+        self.packets_emitted += 1
+        self.target(packet)
+        self._schedule_next()

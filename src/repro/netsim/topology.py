@@ -1,0 +1,168 @@
+"""Network topology: nodes, links, and per-flow forwarding.
+
+The :class:`Network` assembles :class:`~repro.netsim.link.Link`
+objects into a directed graph of named nodes and forwards packets
+along *installed routes*. Routing is source-routed per flow (or per
+macroflow), mirroring the paper's architecture where the bandwidth
+broker's routing module pins the path (e.g. with MPLS) before any
+packet flows.
+
+Forwarding is keyed on :meth:`repro.netsim.packet.Packet.sched_key`,
+so all microflows of a macroflow follow the macroflow's route — the
+core genuinely cannot tell them apart.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.errors import TopologyError
+from repro.netsim.engine import Simulator
+from repro.netsim.link import Link
+from repro.netsim.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (import-cycle guard)
+    from repro.vtrs.schedulers.base import Scheduler
+
+__all__ = ["Network"]
+
+
+class Network:
+    """A directed network of links plus per-flow routes.
+
+    :param sim: the simulator all links share.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._nodes: set = set()
+        self._links: Dict[Tuple[str, str], Link] = {}
+        self._routes: Dict[str, List[str]] = {}
+        self._sinks: Dict[str, Callable[[Packet], None]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def add_node(self, name: str) -> None:
+        """Register a node (idempotent)."""
+        self._nodes.add(name)
+
+    def add_link(
+        self,
+        src: str,
+        dst: str,
+        scheduler: "Scheduler",
+        *,
+        propagation: float = 0.0,
+    ) -> Link:
+        """Create the directed link ``src -> dst`` with *scheduler*."""
+        if (src, dst) in self._links:
+            raise TopologyError(f"link {src}->{dst} already exists")
+        self.add_node(src)
+        self.add_node(dst)
+        link = Link(
+            self.sim,
+            scheduler,
+            propagation=propagation,
+            name=f"{src}->{dst}",
+        )
+        link.receiver = self._make_forwarder(dst)
+        self._links[(src, dst)] = link
+        return link
+
+    def link(self, src: str, dst: str) -> Link:
+        """Look up the directed link ``src -> dst``."""
+        try:
+            return self._links[(src, dst)]
+        except KeyError:
+            raise TopologyError(f"no link {src}->{dst}") from None
+
+    @property
+    def nodes(self) -> Iterable[str]:
+        """All registered node names."""
+        return frozenset(self._nodes)
+
+    @property
+    def links(self) -> Iterable[Link]:
+        """All link objects."""
+        return tuple(self._links.values())
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+
+    def install_route(self, key: str, nodes: Sequence[str]) -> List[Link]:
+        """Pin the path for flow/macroflow *key* through *nodes*.
+
+        Every consecutive node pair must be connected by a link.
+        Returns the list of links along the path (in order), which is
+        what the edge conditioner injects into (the first link).
+        """
+        if len(nodes) < 2:
+            raise TopologyError(f"route for {key!r} needs >= 2 nodes, got {nodes}")
+        links = []
+        for src, dst in zip(nodes, nodes[1:]):
+            links.append(self.link(src, dst))
+        self._routes[key] = list(nodes)
+        return links
+
+    def install_sink(self, node: str, callback: Callable[[Packet], None]) -> None:
+        """Deliver packets that terminate at *node* to *callback*."""
+        self.add_node(node)
+        self._sinks[node] = callback
+
+    def route_links(self, key: str) -> List[Link]:
+        """The links along *key*'s installed route."""
+        nodes = self._routes.get(key)
+        if nodes is None:
+            raise TopologyError(f"no route installed for {key!r}")
+        return [self.link(s, d) for s, d in zip(nodes, nodes[1:])]
+
+    def first_link(self, key: str) -> Link:
+        """The ingress link of *key*'s route."""
+        return self.route_links(key)[0]
+
+    # ------------------------------------------------------------------
+    # forwarding
+    # ------------------------------------------------------------------
+
+    def _make_forwarder(self, node: str) -> Callable[[Packet], None]:
+        def forward(packet: Packet) -> None:
+            self.forward(packet, node)
+
+        return forward
+
+    def forward(self, packet: Packet, at_node: str) -> None:
+        """Forward *packet* that just arrived at *at_node*."""
+        key = packet.sched_key()
+        nodes = self._routes.get(key)
+        if nodes is None:
+            raise TopologyError(
+                f"packet of flow {key!r} arrived at {at_node} without a route"
+            )
+        try:
+            position = nodes.index(at_node)
+        except ValueError:
+            raise TopologyError(
+                f"node {at_node} is not on the route of flow {key!r}: {nodes}"
+            ) from None
+        if position == len(nodes) - 1:
+            sink = self._sinks.get(at_node)
+            if sink is None:
+                raise TopologyError(
+                    f"flow {key!r} terminates at {at_node} but no sink is "
+                    f"installed there"
+                )
+            sink(packet)
+            return
+        self.link(at_node, nodes[position + 1]).receive(packet)

@@ -1,0 +1,135 @@
+"""Packet event tracing: per-hop records for offline analysis.
+
+:class:`PacketTracer` taps links (and optionally the sink) to build a
+flat event log — one record per packet per observation point — that
+can be filtered in memory or exported as JSON-lines / CSV for external
+tooling. Used by the examples for visual inspection and by tests to
+make fine-grained assertions about per-hop behaviour without
+instrumenting the components themselves.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import asdict, dataclass
+from typing import Callable, Iterable, List, Optional
+
+from repro.netsim.link import Link
+from repro.netsim.packet import Packet
+from repro.netsim.sink import DelayRecorder
+
+__all__ = ["TraceRecord", "PacketTracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One observation of a packet at a link (or at delivery)."""
+
+    time: float
+    point: str          # link name, or "delivered"
+    flow_id: str
+    class_id: str
+    packet_seq: int
+    size: float
+    vtime: Optional[float]  # VTRS stamp at observation (None: no header)
+
+    def to_dict(self) -> dict:
+        """JSON-compatible representation."""
+        return asdict(self)
+
+
+class PacketTracer:
+    """Collects :class:`TraceRecord` events from tapped links.
+
+    :param max_records: drop new records beyond this cap (protects
+        long simulations from unbounded memory; the counter
+        :attr:`dropped` says how many were lost).
+    """
+
+    def __init__(self, *, max_records: int = 1_000_000) -> None:
+        self.records: List[TraceRecord] = []
+        self.max_records = max_records
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # attachment
+    # ------------------------------------------------------------------
+
+    def watch_link(self, link: Link) -> None:
+        """Record every packet arriving at *link*."""
+
+        def tap(packet: Packet, now: float, _name=link.name) -> None:
+            self._record(packet, now, _name)
+
+        link.taps.append(tap)
+
+    def watch_network(self, network) -> None:
+        """Record every packet at every link of *network*."""
+        for link in network.links:
+            self.watch_link(link)
+
+    def wrap_sink(self, recorder: DelayRecorder) -> Callable[[Packet], None]:
+        """A sink callback that records delivery then forwards."""
+
+        def receive(packet: Packet) -> None:
+            recorder.receive(packet)
+            self._record(packet, packet.delivered_at or 0.0, "delivered")
+
+        return receive
+
+    def _record(self, packet: Packet, now: float, point: str) -> None:
+        if len(self.records) >= self.max_records:
+            self.dropped += 1
+            return
+        self.records.append(TraceRecord(
+            time=now,
+            point=point,
+            flow_id=packet.flow_id,
+            class_id=packet.class_id,
+            packet_seq=packet.seq,
+            size=packet.size,
+            vtime=packet.state.vtime if packet.state else None,
+        ))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def for_flow(self, flow_id: str) -> List[TraceRecord]:
+        """All records of one flow, in time order."""
+        return [r for r in self.records if r.flow_id == flow_id]
+
+    def for_point(self, point: str) -> List[TraceRecord]:
+        """All records at one observation point, in time order."""
+        return [r for r in self.records if r.point == point]
+
+    def packet_journey(self, packet_seq: int) -> List[TraceRecord]:
+        """The per-hop history of one packet."""
+        return [r for r in self.records if r.packet_seq == packet_seq]
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """Serialize all records as JSON-lines."""
+        return "\n".join(
+            json.dumps(record.to_dict()) for record in self.records
+        )
+
+    def to_csv(self) -> str:
+        """Serialize all records as CSV (header included)."""
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=[
+            "time", "point", "flow_id", "class_id", "packet_seq",
+            "size", "vtime",
+        ])
+        writer.writeheader()
+        for record in self.records:
+            writer.writerow(record.to_dict())
+        return buffer.getvalue()
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,38 @@
+"""Traffic model: dual-token-bucket specifications and arrival processes.
+
+This package contains the data-plane-independent traffic abstractions
+used throughout the library:
+
+* :class:`~repro.traffic.spec.TSpec` — the dual-token-bucket regulator
+  ``(sigma, rho, P, L_max)`` of the paper, with aggregation support
+  (Section 4.1) and the on-time ``T_on`` used in the edge delay bound;
+* :class:`~repro.traffic.spec.ServiceSpec` — an end-to-end delay
+  requirement ``D_req``;
+* :class:`~repro.traffic.envelope.ArrivalEnvelope` — the arrival
+  constraint function ``E(t) = min(P t + L_max, rho t + sigma)``;
+* :mod:`~repro.traffic.sources` — packet arrival processes (greedy,
+  on-off, CBR, Poisson) conforming to a TSpec, used to drive the
+  packet-level simulator.
+"""
+
+from repro.traffic.envelope import ArrivalEnvelope
+from repro.traffic.spec import ServiceSpec, TSpec, aggregate_tspec
+from repro.traffic.sources import (
+    CbrProcess,
+    GreedyOnOffProcess,
+    PacketArrival,
+    PoissonProcess,
+    TokenBucketEnforcer,
+)
+
+__all__ = [
+    "TSpec",
+    "ServiceSpec",
+    "aggregate_tspec",
+    "ArrivalEnvelope",
+    "PacketArrival",
+    "GreedyOnOffProcess",
+    "CbrProcess",
+    "PoissonProcess",
+    "TokenBucketEnforcer",
+]

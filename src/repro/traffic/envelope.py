@@ -1,0 +1,104 @@
+"""Arrival envelopes (traffic constraint functions).
+
+An arrival envelope ``E(t)`` upper-bounds the amount of traffic a flow
+may emit over any interval of length ``t``. The dual-token-bucket
+envelope is ``E(t) = min(P t + L_max, rho t + sigma)`` — piecewise
+linear and concave with a single breakpoint at ``T_on``.
+
+:class:`ArrivalEnvelope` wraps a :class:`~repro.traffic.spec.TSpec`
+with calculus helpers used by the fluid edge-conditioner model
+(Section 4.2 contingency analysis) and by the Figure 7 scenario
+reconstruction:
+
+* evaluating the envelope and its concave conjugate;
+* computing the worst-case backlog of a shaper draining at rate ``r``;
+* computing the time at which that backlog empties.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import TrafficSpecError
+from repro.traffic.spec import TSpec
+
+__all__ = ["ArrivalEnvelope"]
+
+
+@dataclass(frozen=True)
+class ArrivalEnvelope:
+    """Piecewise-linear dual-token-bucket arrival envelope.
+
+    :param spec: the generating traffic specification.
+    """
+
+    spec: TSpec
+
+    def __call__(self, interval: float) -> float:
+        """Evaluate ``E(interval)`` in bits (non-negative interval)."""
+        return self.spec.envelope(interval)
+
+    @property
+    def breakpoint(self) -> float:
+        """The on time ``T_on`` where the two linear pieces intersect."""
+        return self.spec.t_on
+
+    def rate_at(self, interval: float) -> float:
+        """The instantaneous worst-case rate at time *interval*.
+
+        ``P`` before the breakpoint, ``rho`` after it.
+        """
+        if interval < 0:
+            raise TrafficSpecError(f"interval must be >= 0, got {interval}")
+        t_on = self.spec.t_on
+        return self.spec.peak if interval < t_on else self.spec.rho
+
+    def max_backlog(self, drain_rate: float) -> float:
+        """Worst-case backlog of a shaper emptying this envelope at *drain_rate*.
+
+        For a greedy source, the queue of a server draining at constant
+        rate ``r`` peaks at the envelope breakpoint when
+        ``rho <= r <= P``:
+
+        ``Q_max = (P - r) * T_on + L_max``
+
+        For ``r >= P`` the backlog never exceeds one packet; for
+        ``r < rho`` the backlog is unbounded (``inf``).
+        """
+        if drain_rate <= 0:
+            raise TrafficSpecError(f"drain rate must be positive, got {drain_rate}")
+        if drain_rate < self.spec.rho and not math.isclose(
+            drain_rate, self.spec.rho, rel_tol=1e-12, abs_tol=1e-9
+        ):
+            return math.inf
+        if drain_rate >= self.spec.peak:
+            return self.spec.max_packet
+        return (self.spec.peak - drain_rate) * self.spec.t_on + self.spec.max_packet
+
+    def max_delay(self, drain_rate: float) -> float:
+        """Worst-case queueing delay through a shaper draining at *drain_rate*.
+
+        Equals eq. (3) of the paper, ``d_edge = T_on (P - r)/r + L_max/r``.
+        """
+        return self.spec.edge_delay(drain_rate)
+
+    def busy_period(self, drain_rate: float) -> float:
+        """Time for a greedy burst to fully drain at *drain_rate*.
+
+        The backlog of a greedy source served at rate ``r`` (with
+        ``rho < r <= P``) empties at
+        ``t = (sigma - L_max + ... )``; solving
+        ``E(t) = r t`` for the dual-token-bucket envelope gives
+        ``t = sigma / (r - rho)`` for ``t > T_on`` (taking the
+        sustained piece ``rho t + sigma = r t``). Returns ``inf`` when
+        ``r <= rho``.
+        """
+        if drain_rate <= self.spec.rho:
+            return math.inf
+        if drain_rate >= self.spec.peak:
+            # Served faster than the source can emit: the backlog never
+            # accumulates beyond a packet, which drains immediately in
+            # the fluid limit.
+            return self.spec.max_packet / drain_rate
+        return self.spec.sigma / (drain_rate - self.spec.rho)

@@ -1,0 +1,276 @@
+"""Packet arrival processes conforming to a dual-token-bucket TSpec.
+
+These processes generate ``(time, size)`` pairs that the packet-level
+simulator (:mod:`repro.netsim`) turns into packets. The paper's
+simulations rely on **greedy** sources — sources that at every instant
+have emitted exactly the envelope ``E(t) = min(P t + L_max, rho t + sigma)``
+— to exercise worst-case delays; the Figure 7 scenario is built from
+two greedy sources offset in time.
+
+* :class:`GreedyOnOffProcess` — emits maximum-size packets at the peak
+  rate until the burst bucket empties (at ``T_on``), then at the
+  sustained rate: the discrete-packet realization of a greedy source.
+* :class:`CbrProcess` — constant bit rate at the sustained rate.
+* :class:`PoissonProcess` — exponential inter-arrivals policed through
+  a token bucket so the output still conforms to the TSpec.
+* :class:`TokenBucketEnforcer` — an online conformance checker used by
+  tests and by the edge conditioner to assert its input contract.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.errors import TrafficSpecError
+from repro.traffic.spec import TSpec
+
+__all__ = [
+    "PacketArrival",
+    "GreedyOnOffProcess",
+    "CbrProcess",
+    "PoissonProcess",
+    "TokenBucketEnforcer",
+]
+
+
+@dataclass(frozen=True)
+class PacketArrival:
+    """A single packet emission: arrival *time* (s) and *size* (bits)."""
+
+    time: float
+    size: float
+
+
+class GreedyOnOffProcess:
+    """Discrete-packet realization of a greedy dual-token-bucket source.
+
+    Starting at *start_time* the source has an initial burst allowance
+    of ``sigma`` bits and emits maximum-size packets back to back at
+    the peak rate; once the burst bucket is exhausted it continues at
+    the sustained rate. This tracks the fluid envelope from below
+    within one packet, which is the worst admissible arrival pattern.
+
+    :param spec: traffic specification to saturate.
+    :param start_time: time of the first packet.
+    :param stop_time: no packets are generated at or after this time
+        (``None`` = unbounded; use :meth:`take` to cap the count).
+    """
+
+    def __init__(
+        self,
+        spec: TSpec,
+        *,
+        start_time: float = 0.0,
+        stop_time: Optional[float] = None,
+    ) -> None:
+        if stop_time is not None and stop_time < start_time:
+            raise TrafficSpecError(
+                f"stop_time ({stop_time}) precedes start_time ({start_time})"
+            )
+        self.spec = spec
+        self.start_time = float(start_time)
+        self.stop_time = stop_time
+
+    def __iter__(self) -> Iterator[PacketArrival]:
+        spec = self.spec
+        size = spec.max_packet
+        # Token-bucket state: the burst bucket starts full (sigma bits)
+        # and refills at rho; packets of `size` bits are released as
+        # soon as both the bucket and the peak-rate spacing permit.
+        tokens = spec.sigma
+        now = self.start_time
+        last_refill = self.start_time
+        while True:
+            # Refill the sustained-rate bucket up to sigma.
+            tokens = min(spec.sigma, tokens + spec.rho * (now - last_refill))
+            last_refill = now
+            if tokens + 1e-9 < size:
+                # Wait until enough tokens accumulate for one packet.
+                wait = (size - tokens) / spec.rho
+                now += wait
+                tokens = size
+                last_refill = now
+            if self.stop_time is not None and now >= self.stop_time:
+                return
+            yield PacketArrival(time=now, size=size)
+            tokens -= size
+            # Peak-rate spacing between consecutive packets.
+            now += size / spec.peak
+
+    def take(self, count: int) -> list:
+        """Return the first *count* arrivals as a list."""
+        out = []
+        for arrival in self:
+            out.append(arrival)
+            if len(out) >= count:
+                break
+        return out
+
+
+class CbrProcess:
+    """Constant-bit-rate source at the sustained rate of its TSpec.
+
+    Packets of ``L_max`` bits are emitted with spacing ``L_max / rho``,
+    which trivially conforms to the dual token bucket.
+    """
+
+    def __init__(
+        self,
+        spec: TSpec,
+        *,
+        start_time: float = 0.0,
+        stop_time: Optional[float] = None,
+    ) -> None:
+        if stop_time is not None and stop_time < start_time:
+            raise TrafficSpecError(
+                f"stop_time ({stop_time}) precedes start_time ({start_time})"
+            )
+        self.spec = spec
+        self.start_time = float(start_time)
+        self.stop_time = stop_time
+
+    def __iter__(self) -> Iterator[PacketArrival]:
+        spacing = self.spec.max_packet / self.spec.rho
+        now = self.start_time
+        while self.stop_time is None or now < self.stop_time:
+            yield PacketArrival(time=now, size=self.spec.max_packet)
+            now += spacing
+
+    def take(self, count: int) -> list:
+        """Return the first *count* arrivals as a list."""
+        out = []
+        for arrival in self:
+            out.append(arrival)
+            if len(out) >= count:
+                break
+        return out
+
+
+class PoissonProcess:
+    """Poisson packet arrivals policed to conform to the TSpec.
+
+    Inter-arrival times are exponential with mean ``L_max / rho``
+    (so the long-run rate equals the sustained rate); each candidate
+    arrival is delayed, if necessary, until the dual token bucket
+    permits it. The output therefore always conforms to *spec*.
+
+    :param spec: traffic specification to conform to.
+    :param rng: a seeded :class:`random.Random`; required so that
+        experiments are reproducible (no hidden global RNG use).
+    """
+
+    def __init__(
+        self,
+        spec: TSpec,
+        rng: random.Random,
+        *,
+        start_time: float = 0.0,
+        stop_time: Optional[float] = None,
+    ) -> None:
+        if stop_time is not None and stop_time < start_time:
+            raise TrafficSpecError(
+                f"stop_time ({stop_time}) precedes start_time ({start_time})"
+            )
+        self.spec = spec
+        self.rng = rng
+        self.start_time = float(start_time)
+        self.stop_time = stop_time
+
+    def __iter__(self) -> Iterator[PacketArrival]:
+        spec = self.spec
+        size = spec.max_packet
+        mean_gap = size / spec.rho
+        bucket = TokenBucketEnforcer(spec)
+        now = self.start_time
+        while True:
+            now += self.rng.expovariate(1.0 / mean_gap)
+            release = bucket.earliest_conforming_time(now, size)
+            if self.stop_time is not None and release >= self.stop_time:
+                return
+            bucket.record(release, size)
+            yield PacketArrival(time=release, size=size)
+            now = max(now, release)
+
+    def take(self, count: int) -> list:
+        """Return the first *count* arrivals as a list."""
+        out = []
+        for arrival in self:
+            out.append(arrival)
+            if len(out) >= count:
+                break
+        return out
+
+
+class TokenBucketEnforcer:
+    """Online dual-token-bucket conformance checker.
+
+    Tracks the bucket state of a flow and answers two questions:
+
+    * :meth:`conforms` — would a packet of *size* bits at *time* be
+      conforming?
+    * :meth:`earliest_conforming_time` — the earliest instant at or
+      after *time* at which such a packet becomes conforming.
+
+    Used by the Poisson source (to police itself), by the edge
+    conditioner (to assert its input contract in ``strict`` mode) and
+    by property-based tests (to verify that every source in this
+    module emits conforming traffic).
+    """
+
+    def __init__(self, spec: TSpec) -> None:
+        self.spec = spec
+        self._tokens = spec.sigma  # sustained-rate bucket, starts full
+        self._last_time = -math.inf  # time of last recorded packet
+        self._last_size = 0.0
+
+    def _tokens_at(self, time: float) -> float:
+        if self._last_time == -math.inf:
+            return self.spec.sigma
+        elapsed = time - self._last_time
+        return min(self.spec.sigma, self._tokens + self.spec.rho * elapsed)
+
+    def _peak_ready_time(self, size: float) -> float:
+        """Earliest time the peak-rate spacing permits the next packet."""
+        if self._last_time == -math.inf:
+            return -math.inf
+        return self._last_time + size / self.spec.peak
+
+    def conforms(self, time: float, size: float, *, slack: float = 1e-9) -> bool:
+        """Return True when a *size*-bit packet at *time* conforms."""
+        if size > self.spec.max_packet * (1 + slack):
+            return False
+        if time + slack < self._peak_ready_time(size):
+            return False
+        return self._tokens_at(time) + self.spec.sigma * slack + slack >= size
+
+    def earliest_conforming_time(self, time: float, size: float) -> float:
+        """Earliest instant >= *time* at which the packet conforms."""
+        if size > self.spec.max_packet * (1 + 1e-9):
+            raise TrafficSpecError(
+                f"packet of {size} bits exceeds L_max={self.spec.max_packet}"
+            )
+        ready = max(time, self._peak_ready_time(size))
+        tokens = self._tokens_at(ready)
+        if tokens + 1e-9 < size:
+            ready += (size - tokens) / self.spec.rho
+        return ready
+
+    def record(self, time: float, size: float) -> None:
+        """Record a packet emission, debiting the bucket.
+
+        :raises TrafficSpecError: when the packet does not conform
+            (callers should check or use
+            :meth:`earliest_conforming_time` first).
+        """
+        if not self.conforms(time, size, slack=1e-6):
+            raise TrafficSpecError(
+                f"non-conforming packet: {size} bits at t={time} "
+                f"(tokens={self._tokens_at(time):.3f}, "
+                f"peak-ready={self._peak_ready_time(size):.6f})"
+            )
+        self._tokens = self._tokens_at(time) - size
+        self._last_time = time
+        self._last_size = size

@@ -1,0 +1,152 @@
+"""Unit helpers and numerical tolerances.
+
+The paper (and this reproduction) works in the following base units:
+
+* **time** — seconds,
+* **data** — bits,
+* **rate** — bits per second.
+
+Table 1 of the paper mixes units (burst sizes in bits, packet sizes in
+bytes, rates in Mb/s); the helpers below make call sites explicit and
+self-documenting, e.g. ``mbps(1.5)`` or ``bytes_(1500)``.
+
+Floating-point comparisons in admission control are performed against
+:data:`EPSILON` via :func:`feq`, :func:`fle` and :func:`fge`. The
+tolerance is *relative* to the magnitudes involved so that the same
+code works for rates around 1e6 b/s and for delays around 1e-3 s.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "EPSILON",
+    "bits",
+    "kilobits",
+    "megabits",
+    "bytes_",
+    "kilobytes",
+    "bps",
+    "kbps",
+    "mbps",
+    "gbps",
+    "milliseconds",
+    "microseconds",
+    "seconds",
+    "feq",
+    "fle",
+    "fge",
+    "flt",
+    "fgt",
+    "is_finite_positive",
+]
+
+#: Relative tolerance used by all fuzzy float comparisons in the library.
+EPSILON = 1e-9
+
+
+# --------------------------------------------------------------------------
+# data sizes (result: bits)
+# --------------------------------------------------------------------------
+
+def bits(value: float) -> float:
+    """Identity helper; documents that *value* is already in bits."""
+    return float(value)
+
+
+def kilobits(value: float) -> float:
+    """Convert kilobits to bits."""
+    return float(value) * 1e3
+
+
+def megabits(value: float) -> float:
+    """Convert megabits to bits."""
+    return float(value) * 1e6
+
+
+def bytes_(value: float) -> float:
+    """Convert bytes to bits (the trailing underscore avoids the builtin)."""
+    return float(value) * 8.0
+
+
+def kilobytes(value: float) -> float:
+    """Convert kilobytes (1000 bytes) to bits."""
+    return float(value) * 8e3
+
+
+# --------------------------------------------------------------------------
+# rates (result: bits per second)
+# --------------------------------------------------------------------------
+
+def bps(value: float) -> float:
+    """Identity helper; documents that *value* is already in bits/second."""
+    return float(value)
+
+
+def kbps(value: float) -> float:
+    """Convert kilobits/second to bits/second."""
+    return float(value) * 1e3
+
+
+def mbps(value: float) -> float:
+    """Convert megabits/second to bits/second."""
+    return float(value) * 1e6
+
+
+def gbps(value: float) -> float:
+    """Convert gigabits/second to bits/second."""
+    return float(value) * 1e9
+
+
+# --------------------------------------------------------------------------
+# times (result: seconds)
+# --------------------------------------------------------------------------
+
+def seconds(value: float) -> float:
+    """Identity helper; documents that *value* is already in seconds."""
+    return float(value)
+
+
+def milliseconds(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return float(value) * 1e-3
+
+
+def microseconds(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return float(value) * 1e-6
+
+
+# --------------------------------------------------------------------------
+# fuzzy comparisons
+# --------------------------------------------------------------------------
+
+def feq(a: float, b: float, *, eps: float = EPSILON) -> bool:
+    """Return True when *a* and *b* are equal up to relative tolerance."""
+    return math.isclose(a, b, rel_tol=eps, abs_tol=eps)
+
+
+def fle(a: float, b: float, *, eps: float = EPSILON) -> bool:
+    """Return True when ``a <= b`` up to relative tolerance."""
+    return a <= b or feq(a, b, eps=eps)
+
+
+def fge(a: float, b: float, *, eps: float = EPSILON) -> bool:
+    """Return True when ``a >= b`` up to relative tolerance."""
+    return a >= b or feq(a, b, eps=eps)
+
+
+def flt(a: float, b: float, *, eps: float = EPSILON) -> bool:
+    """Return True when ``a < b`` and *a*, *b* are not fuzzily equal."""
+    return a < b and not feq(a, b, eps=eps)
+
+
+def fgt(a: float, b: float, *, eps: float = EPSILON) -> bool:
+    """Return True when ``a > b`` and *a*, *b* are not fuzzily equal."""
+    return a > b and not feq(a, b, eps=eps)
+
+
+def is_finite_positive(value: float) -> bool:
+    """Return True when *value* is a finite, strictly positive float."""
+    return math.isfinite(value) and value > 0.0

@@ -1,0 +1,51 @@
+"""Virtual Time Reference System (VTRS) substrate.
+
+The VTRS (reference [20] of the paper) is the core-stateless data
+plane the bandwidth broker is built on. It has three components,
+each mirrored by a module here:
+
+* **packet state** carried in packet headers —
+  :mod:`repro.vtrs.packet_state`;
+* **edge traffic conditioning** that spaces packets of a flow at its
+  reserved rate and initializes packet state —
+  :class:`repro.vtrs.packet_state.EdgeStateStamper` (the queueing
+  realization lives in :mod:`repro.netsim.edge`);
+* the **per-hop virtual time reference/update mechanism** —
+  :mod:`repro.vtrs.timestamps` — and the scheduler implementations in
+  :mod:`repro.vtrs.schedulers`.
+
+Analytic end-to-end delay bounds (eqs. (2)-(4), (12) and (18) of the
+paper) live in :mod:`repro.vtrs.delay_bounds`; they are the foundation
+of the broker's admission-control math.
+"""
+
+from repro.vtrs.packet_state import EdgeStateStamper, PacketState
+from repro.vtrs.timestamps import (
+    SchedulerKind,
+    advance_virtual_time,
+    virtual_deadline,
+    virtual_finish_time,
+)
+from repro.vtrs.delay_bounds import (
+    PathProfile,
+    core_delay_bound,
+    core_delay_bound_after_rate_change,
+    e2e_delay_bound,
+    macroflow_e2e_delay_bound,
+    min_feasible_rate_rate_based,
+)
+
+__all__ = [
+    "PacketState",
+    "EdgeStateStamper",
+    "SchedulerKind",
+    "virtual_deadline",
+    "virtual_finish_time",
+    "advance_virtual_time",
+    "PathProfile",
+    "core_delay_bound",
+    "core_delay_bound_after_rate_change",
+    "e2e_delay_bound",
+    "macroflow_e2e_delay_bound",
+    "min_feasible_rate_rate_based",
+]

@@ -1,0 +1,235 @@
+"""Analytic end-to-end delay bounds of the VTRS (eqs. (2)-(4), (12), (18)).
+
+These formulas are the mathematical heart of the broker's admission
+control. For a flow with dual-token-bucket profile
+``(sigma, rho, P, L_max)``, reserved rate ``r`` and delay parameter
+``d`` crossing a path with ``h`` hops of which ``q`` are rate-based:
+
+* **edge delay** (eq. 3):   ``d_edge = T_on (P - r)/r + L_max/r``
+* **core delay** (eq. 2):   ``d_core = q L_max/r + (h-q) d + D_tot``
+* **end-to-end** (eq. 4):   ``d_e2e = d_edge + d_core``
+
+where ``D_tot = sum_i (Psi_i + pi_i)`` aggregates the scheduler error
+terms and propagation delays of the path.
+
+For a **macroflow** (Section 4) the edge burst is the aggregate
+``L_agg = sum L_max_j`` but only one packet leaves the edge at a time,
+so the core term uses the per-packet maximum ``L_path`` instead
+(eq. 12). After a rate change ``r -> r'`` the core bound becomes
+eq. (18): ``q max(L_path/r, L_path/r') + (h-q) d + D_tot``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.traffic.spec import TSpec
+
+__all__ = [
+    "PathProfile",
+    "core_delay_bound",
+    "core_delay_bound_after_rate_change",
+    "e2e_delay_bound",
+    "macroflow_e2e_delay_bound",
+    "min_feasible_rate_rate_based",
+    "min_macroflow_rate",
+]
+
+
+@dataclass(frozen=True)
+class PathProfile:
+    """The path-level constants that enter the delay bounds.
+
+    :param hops: total number of schedulers ``h`` along the path.
+    :param rate_based_hops: number of rate-based schedulers ``q``.
+    :param d_tot: ``sum_i (Psi_i + pi_i)`` — error terms plus
+        propagation delays (seconds).
+    :param max_packet: ``L_path`` — the maximum packet size permissible
+        on the path, in bits (used by macroflow core bounds).
+    """
+
+    hops: int
+    rate_based_hops: int
+    d_tot: float
+    max_packet: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.hops < 1:
+            raise ConfigurationError(f"a path needs >= 1 hop, got {self.hops}")
+        if not 0 <= self.rate_based_hops <= self.hops:
+            raise ConfigurationError(
+                f"rate_based_hops ({self.rate_based_hops}) must lie in "
+                f"[0, {self.hops}]"
+            )
+        if self.d_tot < 0:
+            raise ConfigurationError(f"d_tot must be >= 0, got {self.d_tot}")
+        if self.max_packet < 0:
+            raise ConfigurationError(
+                f"max_packet must be >= 0, got {self.max_packet}"
+            )
+
+    @property
+    def delay_based_hops(self) -> int:
+        """Number of delay-based schedulers ``h - q``."""
+        return self.hops - self.rate_based_hops
+
+
+def core_delay_bound(
+    rate: float, delay: float, path: PathProfile, max_packet: float
+) -> float:
+    """Core delay bound, eq. (2): ``q L/r + (h-q) d + D_tot``.
+
+    :param max_packet: the per-packet maximum ``L`` used in the
+        rate-based term — the flow's ``L_max`` for a microflow, the
+        path's ``L_path`` for a macroflow.
+    """
+    if rate <= 0:
+        raise ConfigurationError(f"rate must be positive, got {rate}")
+    return (
+        path.rate_based_hops * max_packet / rate
+        + path.delay_based_hops * delay
+        + path.d_tot
+    )
+
+
+def core_delay_bound_after_rate_change(
+    old_rate: float,
+    new_rate: float,
+    delay: float,
+    path: PathProfile,
+    max_packet: float,
+) -> float:
+    """Modified core delay bound across a rate change, eq. (18).
+
+    ``q max(L/r, L/r') + (h-q) d + D_tot`` — packets of the new
+    macroflow may catch up with packets of the old one, so the slower
+    of the two rates governs the rate-based term.
+    """
+    if old_rate <= 0 or new_rate <= 0:
+        raise ConfigurationError("rates must be positive")
+    governing = min(old_rate, new_rate)
+    return core_delay_bound(governing, delay, path, max_packet)
+
+
+def e2e_delay_bound(
+    spec: TSpec, rate: float, delay: float, path: PathProfile
+) -> float:
+    """Per-flow end-to-end delay bound, eq. (4).
+
+    ``T_on (P-r)/r + (q+1) L_max/r + (h-q) d + D_tot``
+    """
+    return spec.edge_delay(rate) + core_delay_bound(
+        rate, delay, path, spec.max_packet
+    )
+
+
+def macroflow_e2e_delay_bound(
+    aggregate: TSpec,
+    rate: float,
+    delay: float,
+    path: PathProfile,
+    path_max_packet: float = 0.0,
+) -> float:
+    """Macroflow end-to-end delay bound (eq. (12) generalized to mixed paths).
+
+    ``T_on^a (P^a - r)/r + L^a/r  +  q L_path/r + (h-q) d + D_tot``
+
+    The edge term uses the aggregate burst ``L^a = sum L_max_j``; the
+    core term uses the per-packet maximum ``L_path`` because only one
+    packet of the macroflow leaves the edge conditioner at a time.
+
+    :param path_max_packet: overrides :attr:`PathProfile.max_packet`
+        when non-zero.
+    """
+    l_path = path_max_packet or path.max_packet
+    if l_path <= 0:
+        raise ConfigurationError(
+            "macroflow bounds need the path's max packet size (L_path)"
+        )
+    return aggregate.edge_delay(rate) + core_delay_bound(
+        rate, delay, path, l_path
+    )
+
+
+def min_feasible_rate_rate_based(
+    spec: TSpec, delay_requirement: float, path: PathProfile
+) -> float:
+    """Smallest reserved rate meeting *delay_requirement* on a rate-only path.
+
+    Section 3.1: solving eq. (6) for ``r`` gives
+
+    ``r_min = (T_on P + (h+1) L_max) / (D_req - D_tot + T_on)``
+
+    The result is **not** clamped to ``[rho, P]``; callers combine it
+    with the traffic constraints to build the feasible range. Returns
+    ``math.inf`` when the denominator is non-positive (the fixed path
+    latency alone already exceeds the requirement).
+    """
+    if path.rate_based_hops != path.hops:
+        raise ConfigurationError(
+            "min_feasible_rate_rate_based requires a rate-based-only path; "
+            "use the mixed-path admission algorithm instead"
+        )
+    denominator = delay_requirement - path.d_tot + spec.t_on
+    if denominator <= 0:
+        return math.inf
+    numerator = spec.t_on * spec.peak + (path.hops + 1) * spec.max_packet
+    return numerator / denominator
+
+
+def min_macroflow_rate(
+    aggregate: TSpec,
+    delay_requirement: float,
+    path: PathProfile,
+    class_delay: float,
+    path_max_packet: float = 0.0,
+    *,
+    core_bound_floor: float = 0.0,
+) -> float:
+    """Smallest macroflow rate meeting *delay_requirement* (Section 4.3).
+
+    Solves ``d_edge(r) + max(d_core(r), core_bound_floor) <= D_req``
+    for the minimal ``r``, where ``d_core(r)`` uses the fixed class
+    delay parameter *class_delay* at delay-based hops and the path
+    maximum packet size at rate-based hops.
+
+    * For a **microflow join** pass the pre-join core bound (computed
+      at the old, smaller rate) as *core_bound_floor*: eq. (19) keeps
+      the old core bound in force because in-flight packets may still
+      be paced at the old rate.
+    * For a **microflow leave** the new (smaller) rate governs the
+      core bound, so the default floor of ``0`` is correct.
+
+    Returns ``math.inf`` when no rate ``<= P^a`` satisfies the bound.
+    """
+    l_path = path_max_packet or path.max_packet
+    if l_path <= 0:
+        raise ConfigurationError(
+            "macroflow bounds need the path's max packet size (L_path)"
+        )
+    fixed = path.delay_based_hops * class_delay + path.d_tot
+
+    # Case A: the new rate governs the core bound.
+    #   T_on (P - r)/r + L_agg/r + q L_path/r + fixed <= D_req
+    #   => r >= (T_on P + L_agg + q L_path) / (D_req - fixed + T_on)
+    denominator = delay_requirement - fixed + aggregate.t_on
+    if denominator <= 0:
+        return math.inf
+    rate_new_governs = (
+        aggregate.t_on * aggregate.peak
+        + aggregate.max_packet
+        + path.rate_based_hops * l_path
+    ) / denominator
+
+    # Case B: the floor (old-rate core bound) governs.
+    #   d_edge(r) <= D_req - core_bound_floor
+    rate_floor_governs = aggregate.min_rate_for_edge_delay(
+        delay_requirement - core_bound_floor
+    ) if core_bound_floor > 0 else 0.0
+
+    needed = max(rate_new_governs, rate_floor_governs, aggregate.rho)
+    if needed > aggregate.peak * (1 + 1e-12):
+        return math.inf
+    return needed

@@ -1,0 +1,210 @@
+"""Dynamic packet state carried in VTRS packet headers.
+
+Under the VTRS every packet injected into the network core carries
+(Section 2.1 of the paper):
+
+1. the **rate-delay parameter pair** ``<r, d>`` of its flow, assigned
+   by the bandwidth broker;
+2. the **virtual time stamp** ``omega`` associated with the router
+   currently being traversed (initialized at the edge to the actual
+   time the packet enters the first core router); and
+3. the **virtual time adjustment term** ``delta``, computed at the
+   edge so that the *virtual spacing* property
+   ``omega_i^{k+1} - omega_i^k >= L^{k+1} / r`` holds at every hop.
+
+Core routers never write per-flow state: they read the header, compute
+a virtual finish time, and update ``omega`` with the concatenation
+rule (eq. (1)) when the packet departs.
+
+:class:`EdgeStateStamper` computes ``delta`` and the initial ``omega``
+for a flow's packet sequence. With fixed-size packets (the paper's
+simulation workloads) ``delta`` is identically zero; the general
+recursive computation below also covers variable packet sizes, where a
+shrinking packet can need extra virtual slack at downstream rate-based
+hops.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.errors import TrafficSpecError
+
+__all__ = ["PacketState", "EdgeStateStamper"]
+
+
+@dataclass
+class PacketState:
+    """The VTRS header fields of one packet.
+
+    Mutable by design: core routers update :attr:`vtime` in place as
+    the packet traverses the domain (this mirrors the paper's dynamic
+    packet state, which is rewritten at every hop).
+
+    :param flow_id: identifier of the (micro- or macro-)flow.
+    :param rate: reserved rate ``r`` in bits/s.
+    :param delay: delay parameter ``d`` in seconds (used only at
+        delay-based schedulers; ``0.0`` for rate-only paths).
+    :param size: packet size ``L`` in bits.
+    :param vtime: current virtual time stamp ``omega`` (seconds).
+    :param delta: virtual time adjustment term (seconds).
+    """
+
+    flow_id: str
+    rate: float
+    delay: float
+    size: float
+    vtime: float = 0.0
+    delta: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0 or not math.isfinite(self.rate):
+            raise TrafficSpecError(f"packet state rate must be > 0, got {self.rate}")
+        if self.size <= 0 or not math.isfinite(self.size):
+            raise TrafficSpecError(f"packet size must be > 0, got {self.size}")
+        if self.delay < 0:
+            raise TrafficSpecError(f"delay parameter must be >= 0, got {self.delay}")
+
+    def copy(self) -> "PacketState":
+        """Return an independent copy (used when forking simulations)."""
+        return PacketState(
+            flow_id=self.flow_id,
+            rate=self.rate,
+            delay=self.delay,
+            size=self.size,
+            vtime=self.vtime,
+            delta=self.delta,
+        )
+
+
+class EdgeStateStamper:
+    """Computes the initial VTRS packet state at the network edge.
+
+    One stamper instance is attached to each flow's edge conditioner.
+    For every packet released into the core it produces a
+    :class:`PacketState` with
+
+    * ``omega`` = the actual release time (by construction the release
+      times already satisfy the spacing ``>= L/r``), and
+    * ``delta`` from the recursion below.
+
+    **Delta recursion.** Expanding the concatenation rule over a path
+    whose first ``i-1`` hops contain ``q_i`` rate-based schedulers
+    (only those hops apply the per-packet virtual delay
+    ``L/r + delta``),
+
+    ``omega_i^k = omega_1^k + q_i (L^k / r^k + delta^k) + const(i)``
+
+    Virtual spacing at hop ``i`` — using each packet's *own* rate, so
+    the recursion stays correct across broker-initiated rate changes
+    (Theorem 4) — therefore requires, for every hop with ``q_i >= 1``:
+
+    ``delta^{k+1} >= delta^k
+        + (L^{k+1}/r^{k+1} - gap) / q_i
+        - (L^{k+1}/r^{k+1} - L^k/r^k)``
+
+    where ``gap = omega_1^{k+1} - omega_1^k`` is the edge release
+    spacing. The stamper takes the max over hops (which may be
+    negative, letting the slack decay back to zero after a rate-change
+    transient), clamped at zero. With fixed-size packets and a
+    constant rate this yields ``delta == 0``.
+
+    :param rate: reserved rate ``r`` of the flow.
+    :param delay: delay parameter ``d`` of the flow.
+    :param rate_based_prefix: ``q_i`` for ``i = 1..h`` — element ``i-1``
+        is the number of rate-based schedulers among hops ``1..i-1``
+        (so element 0 is always 0). A plain hop count may be passed
+        instead, in which case all hops are assumed rate-based.
+    """
+
+    def __init__(
+        self,
+        flow_id: str,
+        rate: float,
+        delay: float,
+        rate_based_prefix,
+    ) -> None:
+        if isinstance(rate_based_prefix, int):
+            hops = rate_based_prefix
+            rate_based_prefix = list(range(hops))
+        self.flow_id = flow_id
+        self.rate = float(rate)
+        self.delay = float(delay)
+        self.rate_based_prefix: Sequence[int] = list(rate_based_prefix)
+        if not self.rate_based_prefix:
+            raise TrafficSpecError("a path must have at least one hop")
+        if self.rate_based_prefix[0] != 0:
+            raise TrafficSpecError(
+                "rate_based_prefix[0] must be 0 (no hops precede hop 1)"
+            )
+        self._prev_release: Optional[float] = None
+        self._prev_size: Optional[float] = None
+        self._prev_rate: float = self.rate
+        self._prev_delta: float = 0.0
+
+    def reconfigure(self, *, rate: Optional[float] = None,
+                    delay: Optional[float] = None) -> None:
+        """Apply a broker-initiated rate/delay change (Section 4.2.2).
+
+        The delta recursion continues across the change; Theorem 4
+        shows virtual spacing and reality check still hold provided
+        packet release spacing switches to the new rate.
+        """
+        if rate is not None:
+            if rate <= 0:
+                raise TrafficSpecError(f"rate must be positive, got {rate}")
+            self.rate = float(rate)
+        if delay is not None:
+            if delay < 0:
+                raise TrafficSpecError(f"delay must be >= 0, got {delay}")
+            self.delay = float(delay)
+
+    def stamp(self, release_time: float, size: float) -> PacketState:
+        """Produce the packet state for a packet released at *release_time*.
+
+        :param release_time: instant the packet leaves the edge
+            conditioner and enters the first core hop (becomes the
+            initial ``omega``).
+        :param size: packet size in bits.
+        :raises TrafficSpecError: if releases violate the reserved-rate
+            spacing contract ``release^{k+1} - release^k >= L^{k+1}/r``
+            (the edge conditioner must enforce it before stamping).
+        """
+        delta = 0.0
+        if self._prev_release is not None:
+            gap = release_time - self._prev_release
+            required = size / self.rate
+            if gap + 1e-9 < required:
+                raise TrafficSpecError(
+                    f"edge spacing violated for flow {self.flow_id}: "
+                    f"gap {gap:.9f}s < L/r {required:.9f}s"
+                )
+            # Change in the rate-based per-hop virtual delay between
+            # this packet and the previous one (each at its own rate —
+            # the Theorem 4 rate-change case).
+            drift = size / self.rate - self._prev_size / self._prev_rate
+            worst: Optional[float] = None
+            for q_i in self.rate_based_prefix[1:]:
+                if q_i == 0:
+                    # No rate-based hop traversed yet: spacing there is
+                    # the edge gap itself, already checked above.
+                    continue
+                need = (required - gap) / q_i - drift
+                if worst is None or need > worst:
+                    worst = need
+            if worst is not None:
+                delta = max(0.0, self._prev_delta + worst)
+        self._prev_release = release_time
+        self._prev_size = size
+        self._prev_rate = self.rate
+        self._prev_delta = delta
+        return PacketState(
+            flow_id=self.flow_id,
+            rate=self.rate,
+            delay=self.delay,
+            size=size,
+            vtime=release_time,
+            delta=delta,
+        )

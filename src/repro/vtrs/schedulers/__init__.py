@@ -1,0 +1,46 @@
+"""Packet scheduler zoo.
+
+Core-stateless schedulers (keyed purely on packet state):
+
+* :class:`~repro.vtrs.schedulers.csvc.CsVC` — core-stateless virtual
+  clock (rate-based; work-conserving counterpart of CJVC);
+* :class:`~repro.vtrs.schedulers.csvc.CJVC` — core-jitter virtual
+  clock (rate-based, non-work-conserving);
+* :class:`~repro.vtrs.schedulers.vtedf.VTEDF` — virtual-time earliest
+  deadline first (delay-based, no per-flow rate control).
+
+Stateful baselines (the IntServ data plane):
+
+* :class:`~repro.vtrs.schedulers.stateful.VirtualClock` — classic VC
+  (counterpart of CsVC in the paper's comparison);
+* :class:`~repro.vtrs.schedulers.stateful.WFQ` — weighted fair
+  queueing via virtual-time emulation;
+* :class:`~repro.vtrs.schedulers.stateful.RCEDF` — rate-controlled
+  EDF with per-flow reshaping (counterpart of VT-EDF);
+* :class:`~repro.vtrs.schedulers.drr.DRR` — deficit round robin, the
+  frame-based stress case for the VTRS error-term abstraction;
+* :class:`~repro.vtrs.schedulers.fifo.FIFO` — best-effort baseline.
+
+All schedulers guarantee (when their schedulability condition holds)
+that a packet departs by its virtual finish time plus the error term
+``Psi = L*_max / C`` (``Psi = 0`` for FIFO, which guarantees nothing).
+"""
+
+from repro.vtrs.schedulers.base import Scheduler
+from repro.vtrs.schedulers.csvc import CJVC, CsVC
+from repro.vtrs.schedulers.drr import DRR
+from repro.vtrs.schedulers.vtedf import VTEDF
+from repro.vtrs.schedulers.fifo import FIFO
+from repro.vtrs.schedulers.stateful import RCEDF, WFQ, VirtualClock
+
+__all__ = [
+    "Scheduler",
+    "CsVC",
+    "CJVC",
+    "DRR",
+    "VTEDF",
+    "FIFO",
+    "VirtualClock",
+    "WFQ",
+    "RCEDF",
+]

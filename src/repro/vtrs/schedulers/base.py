@@ -1,0 +1,134 @@
+"""Scheduler interface shared by the core-stateless and stateful zoo.
+
+A scheduler is a *passive* queueing discipline: the owning
+:class:`~repro.netsim.link.Link` drives it. The contract is:
+
+* :meth:`Scheduler.on_arrival` — a packet arrived at the output queue;
+* :meth:`Scheduler.select` — pop the packet to transmit next, or
+  ``None`` when nothing is currently *eligible* (non-work-conserving
+  disciplines may hold backlogged packets);
+* :meth:`Scheduler.next_eligible_time` — when a held packet becomes
+  eligible, so the link can schedule a wake-up;
+* :attr:`Scheduler.kind` — rate-/delay-based for VTRS stamp updates,
+  or ``None`` for non-VTRS schedulers (FIFO, WFQ, VC, RC-EDF), whose
+  links skip the virtual-time rewrite;
+* :attr:`Scheduler.error_term` — the per-hop error term ``Psi`` that
+  enters the analytic delay bounds.
+
+Implementations must be deterministic: ties are broken by arrival
+sequence so simulations are reproducible.
+"""
+
+from __future__ import annotations
+
+import abc
+import heapq
+import itertools
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.netsim.packet import Packet
+from repro.vtrs.timestamps import SchedulerKind
+
+__all__ = ["Scheduler", "PriorityQueueScheduler"]
+
+
+class Scheduler(abc.ABC):
+    """Abstract queueing discipline for one output link.
+
+    :param capacity: link capacity ``C`` in bits/s (used to derive the
+        error term and, for stateful disciplines, virtual time).
+    :param max_packet: ``L*_max`` — the largest packet size among the
+        flows traversing this scheduler, in bits. Determines
+        ``Psi = L*_max / C`` for the guaranteed-service disciplines.
+    :param name: optional label for diagnostics.
+    """
+
+    #: VTRS stamp-update behaviour; ``None`` = not a VTRS scheduler.
+    kind: Optional[SchedulerKind] = None
+
+    def __init__(self, capacity: float, *, max_packet: float = 0.0,
+                 name: str = "") -> None:
+        if capacity <= 0:
+            raise ConfigurationError(f"capacity must be positive, got {capacity}")
+        if max_packet < 0:
+            raise ConfigurationError(
+                f"max_packet must be >= 0, got {max_packet}"
+            )
+        self.capacity = float(capacity)
+        self.max_packet = float(max_packet)
+        self.name = name or type(self).__name__
+
+    @property
+    def error_term(self) -> float:
+        """Per-hop error term ``Psi = L*_max / C`` (seconds)."""
+        return self.max_packet / self.capacity
+
+    @abc.abstractmethod
+    def on_arrival(self, packet: Packet, now: float) -> None:
+        """Accept a packet into the queue at time *now*."""
+
+    @abc.abstractmethod
+    def select(self, now: float) -> Optional[Packet]:
+        """Pop the next packet to transmit, or None if nothing is eligible."""
+
+    def next_eligible_time(self, now: float) -> Optional[float]:
+        """Earliest future instant a held packet becomes eligible.
+
+        Work-conserving schedulers (the default) never hold packets,
+        so this returns ``None``.
+        """
+        return None
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of queued packets."""
+
+    def backlog_bits(self) -> float:
+        """Total queued bits (disciplines may override for speed)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{type(self).__name__} {self.name!r} C={self.capacity:.0f}b/s "
+            f"queued={len(self)}>"
+        )
+
+
+class PriorityQueueScheduler(Scheduler):
+    """Base for disciplines that serve packets in increasing key order.
+
+    Subclasses implement :meth:`priority_key`, mapping a packet to its
+    service tag (e.g. the virtual finish time). Ties break by arrival
+    order. The queue is a binary heap, so arrival and selection are
+    ``O(log n)``.
+    """
+
+    def __init__(self, capacity: float, *, max_packet: float = 0.0,
+                 name: str = "") -> None:
+        super().__init__(capacity, max_packet=max_packet, name=name)
+        self._heap: list = []
+        self._tiebreak = itertools.count()
+        self._bits = 0.0
+
+    @abc.abstractmethod
+    def priority_key(self, packet: Packet, now: float) -> float:
+        """Service tag of *packet*; smaller keys are served first."""
+
+    def on_arrival(self, packet: Packet, now: float) -> None:
+        key = self.priority_key(packet, now)
+        heapq.heappush(self._heap, (key, next(self._tiebreak), packet))
+        self._bits += packet.size
+
+    def select(self, now: float) -> Optional[Packet]:
+        if not self._heap:
+            return None
+        _key, _seq, packet = heapq.heappop(self._heap)
+        self._bits -= packet.size
+        return packet
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def backlog_bits(self) -> float:
+        return self._bits

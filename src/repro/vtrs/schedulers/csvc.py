@@ -1,0 +1,112 @@
+"""Core-stateless virtual clock schedulers (rate-based).
+
+:class:`CsVC` — the work-conserving core-stateless virtual clock of
+[20]: packets are serviced in increasing order of their *virtual
+finish time* ``nu = omega + L/r + delta``, computed purely from the
+packet header. As long as the aggregate reserved rate does not exceed
+the capacity (``sum r_j <= C``) every flow is guaranteed its reserved
+rate with error term ``Psi = L*_max / C``.
+
+:class:`CJVC` — the core-jitter virtual clock of Stoica & Zhang
+(SIGCOMM'99): identical service order but **non-work-conserving** — a
+packet becomes eligible only at its virtual arrival time ``omega``,
+which removes downstream jitter at the cost of idling the link.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+from repro.netsim.packet import Packet
+from repro.vtrs.schedulers.base import PriorityQueueScheduler
+from repro.vtrs.timestamps import SchedulerKind, virtual_finish_time
+
+__all__ = ["CsVC", "CJVC"]
+
+
+class CsVC(PriorityQueueScheduler):
+    """Core-stateless virtual clock (work-conserving, rate-based).
+
+    Schedulability condition: ``sum_j r_j <= C``; then each flow ``j``
+    is guaranteed its reserved rate ``r_j`` with error term
+    ``Psi = L*_max / C``.
+    """
+
+    kind = SchedulerKind.RATE_BASED
+
+    def priority_key(self, packet: Packet, now: float) -> float:
+        if packet.state is None:
+            raise ValueError(
+                f"CsVC needs VTRS packet state; packet {packet.seq} of flow "
+                f"{packet.flow_id!r} has none (was it edge-conditioned?)"
+            )
+        return virtual_finish_time(packet.state, SchedulerKind.RATE_BASED)
+
+
+class CJVC(PriorityQueueScheduler):
+    """Core-jitter virtual clock (non-work-conserving, rate-based).
+
+    A packet is held until its virtual arrival time ``omega``
+    (the *eligibility time*); eligible packets are serviced in
+    increasing virtual finish order. Because ``omega`` upper-bounds
+    the actual arrival time (reality check property), holding until
+    ``omega`` fully regenerates the flow's spacing at every hop.
+
+    Implementation detail: eligibility order (by ``omega``) and
+    service order (by ``nu``) differ in general, so a second *pending*
+    heap keyed on ``omega`` feeds the ready heap inherited from
+    :class:`PriorityQueueScheduler`.
+    """
+
+    kind = SchedulerKind.RATE_BASED
+
+    def __init__(self, capacity: float, *, max_packet: float = 0.0,
+                 name: str = "") -> None:
+        super().__init__(capacity, max_packet=max_packet, name=name)
+        self._pending: list = []
+
+    def priority_key(self, packet: Packet, now: float) -> float:
+        if packet.state is None:
+            raise ValueError(
+                f"CJVC needs VTRS packet state; packet {packet.seq} of flow "
+                f"{packet.flow_id!r} has none"
+            )
+        return virtual_finish_time(packet.state, SchedulerKind.RATE_BASED)
+
+    def on_arrival(self, packet: Packet, now: float) -> None:
+        if packet.state is None:
+            raise ValueError(
+                f"CJVC needs VTRS packet state; packet {packet.seq} of flow "
+                f"{packet.flow_id!r} has none"
+            )
+        if packet.state.vtime <= now + 1e-12:
+            super().on_arrival(packet, now)
+        else:
+            heapq.heappush(
+                self._pending,
+                (packet.state.vtime, next(self._tiebreak), packet),
+            )
+            self._bits += packet.size
+
+    def _promote(self, now: float) -> None:
+        """Move pending packets whose eligibility time has passed."""
+        while self._pending and self._pending[0][0] <= now + 1e-12:
+            _omega, _seq, packet = heapq.heappop(self._pending)
+            self._bits -= packet.size  # re-added by on_arrival below
+            super().on_arrival(packet, now)
+
+    def select(self, now: float) -> Optional[Packet]:
+        self._promote(now)
+        return super().select(now)
+
+    def next_eligible_time(self, now: float) -> Optional[float]:
+        self._promote(now)
+        if self._heap:
+            return None  # something is ready right now
+        if self._pending:
+            return self._pending[0][0]
+        return None
+
+    def __len__(self) -> int:
+        return len(self._heap) + len(self._pending)

@@ -1,0 +1,50 @@
+"""First-in-first-out scheduler (best-effort baseline).
+
+Provides no guarantees; used as the null hypothesis in the scheduler
+zoo example and to demonstrate that the VTRS delay bounds genuinely
+depend on the scheduling discipline.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.netsim.packet import Packet
+from repro.vtrs.schedulers.base import Scheduler
+
+__all__ = ["FIFO"]
+
+
+class FIFO(Scheduler):
+    """Plain FIFO queue. ``kind`` is ``None``: no VTRS stamp updates."""
+
+    kind = None
+
+    def __init__(self, capacity: float, *, max_packet: float = 0.0,
+                 name: str = "") -> None:
+        super().__init__(capacity, max_packet=max_packet, name=name)
+        self._queue: deque = deque()
+        self._bits = 0.0
+
+    @property
+    def error_term(self) -> float:
+        """FIFO guarantees nothing; the error term is undefined (0)."""
+        return 0.0
+
+    def on_arrival(self, packet: Packet, now: float) -> None:
+        self._queue.append(packet)
+        self._bits += packet.size
+
+    def select(self, now: float) -> Optional[Packet]:
+        if not self._queue:
+            return None
+        packet = self._queue.popleft()
+        self._bits -= packet.size
+        return packet
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def backlog_bits(self) -> float:
+        return self._bits

@@ -1,0 +1,316 @@
+"""Stateful schedulers: the IntServ data-plane baselines.
+
+These disciplines keep **per-flow state at the router** — exactly what
+the bandwidth broker architecture removes. They are implemented as
+baselines for the paper's comparison (Section 5):
+
+* :class:`VirtualClock` — classic VC (Zhang, 1990), the stateful
+  counterpart of CsVC: each flow carries an auxiliary virtual clock
+  ``auxVC = max(arrival, auxVC) + L/r``; packets are serviced in
+  increasing stamp order. Error term ``Psi = L*_max / C``.
+* :class:`WFQ` — weighted fair queueing emulated through a GPS
+  virtual-time function. The active-set bookkeeping uses the standard
+  packetized approximation (flows are active while they have packets
+  in the WFQ system), which is exact whenever the system is busy with
+  the same flow population as GPS — sufficient for the experiments in
+  this repository.
+* :class:`RCEDF` — rate-controlled earliest deadline first
+  (Georgiadis et al.; Zhang & Ferrari), the stateful counterpart of
+  VT-EDF: each flow is reshaped at the hop to its reserved-rate
+  envelope ``(r, L_max)`` and then scheduled EDF with per-hop deadline
+  ``d``. The regulator makes the discipline non-work-conserving.
+
+Per-flow parameters are installed with :meth:`StatefulScheduler.install_flow`
+(rate, and for RC-EDF a local deadline); packets whose flow is not
+installed fall back to their VTRS header, if any — convenient in tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import SchedulingError
+from repro.netsim.packet import Packet
+from repro.vtrs.schedulers.base import Scheduler
+
+__all__ = ["StatefulScheduler", "VirtualClock", "WFQ", "RCEDF"]
+
+
+@dataclass
+class _FlowState:
+    rate: float
+    deadline: float = 0.0  # RC-EDF local deadline (seconds)
+    # VC / WFQ tags
+    stamp: float = 0.0  # last virtual finish tag handed out
+    # RC-EDF regulator state
+    last_eligible: float = -1.0
+    backlogged: int = 0  # packets currently inside this scheduler
+
+
+class StatefulScheduler(Scheduler):
+    """Base class holding a per-flow state table (what IntServ requires)."""
+
+    kind = None  # stateful schedulers do not rewrite VTRS stamps
+
+    def __init__(self, capacity: float, *, max_packet: float = 0.0,
+                 name: str = "") -> None:
+        super().__init__(capacity, max_packet=max_packet, name=name)
+        self._flows: Dict[str, _FlowState] = {}
+        self._tiebreak = itertools.count()
+        self._bits = 0.0
+
+    def install_flow(self, key: str, rate: float, *,
+                     deadline: float = 0.0) -> None:
+        """Install (or update) per-flow reservation state at this router.
+
+        :param key: the scheduling key (flow id, or macroflow id for
+            aggregates).
+        :param rate: reserved rate in bits/s.
+        :param deadline: local delay parameter (seconds); used by
+            RC-EDF only.
+        """
+        if rate <= 0:
+            raise SchedulingError(f"flow rate must be positive, got {rate}")
+        existing = self._flows.get(key)
+        if existing is None:
+            self._flows[key] = _FlowState(rate=rate, deadline=deadline)
+        else:
+            existing.rate = rate
+            existing.deadline = deadline
+
+    def remove_flow(self, key: str) -> None:
+        """Remove a flow's reservation state.
+
+        :raises SchedulingError: when the flow still has queued packets.
+        """
+        state = self._flows.get(key)
+        if state is None:
+            return
+        if state.backlogged:
+            raise SchedulingError(
+                f"cannot remove flow {key!r}: {state.backlogged} packets queued"
+            )
+        del self._flows[key]
+
+    @property
+    def installed_flows(self) -> int:
+        """Number of per-flow state entries (the IntServ scalability cost)."""
+        return len(self._flows)
+
+    def _flow_state(self, packet: Packet) -> _FlowState:
+        key = packet.sched_key()
+        state = self._flows.get(key)
+        if state is None:
+            if packet.state is not None:
+                state = _FlowState(rate=packet.state.rate,
+                                   deadline=packet.state.delay)
+                self._flows[key] = state
+            else:
+                raise SchedulingError(
+                    f"{type(self).__name__} has no installed state for "
+                    f"flow {key!r} and the packet carries no VTRS header"
+                )
+        return state
+
+    def backlog_bits(self) -> float:
+        return self._bits
+
+
+class VirtualClock(StatefulScheduler):
+    """Classic Virtual Clock: ``auxVC = max(now, auxVC) + L/r``."""
+
+    def __init__(self, capacity: float, *, max_packet: float = 0.0,
+                 name: str = "") -> None:
+        super().__init__(capacity, max_packet=max_packet, name=name)
+        self._heap: list = []
+
+    def on_arrival(self, packet: Packet, now: float) -> None:
+        state = self._flow_state(packet)
+        state.stamp = max(now, state.stamp) + packet.size / state.rate
+        state.backlogged += 1
+        heapq.heappush(self._heap, (state.stamp, next(self._tiebreak), packet))
+        self._bits += packet.size
+
+    def select(self, now: float) -> Optional[Packet]:
+        if not self._heap:
+            return None
+        _stamp, _seq, packet = heapq.heappop(self._heap)
+        self._flows[packet.sched_key()].backlogged -= 1
+        self._bits -= packet.size
+        return packet
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class WFQ(StatefulScheduler):
+    """Weighted fair queueing (PGPS) with *exact* GPS virtual time.
+
+    The GPS reference system is tracked exactly: the virtual time
+    ``V(t)`` advances with slope ``C / sum(r_j over GPS-backlogged
+    flows)``; a flow stays GPS-backlogged until ``V`` reaches its last
+    finish tag, at which point it deactivates and the slope steepens
+    (the classical *iterated deletion* computation). A packet of flow
+    ``j`` arriving at ``t`` receives start tag ``S = max(V(t), F_j)``
+    and finish tag ``F = S + L / r_j``; packets are serviced in
+    increasing finish-tag order, giving the PGPS guarantee
+    ``depart <= GPS finish + L_max / C``.
+    """
+
+    def __init__(self, capacity: float, *, max_packet: float = 0.0,
+                 name: str = "") -> None:
+        super().__init__(capacity, max_packet=max_packet, name=name)
+        self._heap: list = []
+        self._vtime = 0.0
+        self._vtime_updated_at = 0.0
+        self._active_rate = 0.0  # sum of rates of GPS-backlogged flows
+        # (final finish tag, seq, flow state) — candidates to deactivate
+        self._deactivations: list = []
+        self._gps_active: set = set()  # ids of GPS-backlogged states
+
+    def _advance_vtime(self, now: float) -> None:
+        """Advance V(t) to *now*, deactivating flows V passes."""
+        while self._vtime_updated_at < now - 1e-15:
+            if self._active_rate <= 1e-12:
+                # GPS idle: V freezes (tags already exceed it).
+                self._vtime_updated_at = now
+                return
+            slope = self.capacity / self._active_rate
+            # Next deactivation: the smallest final finish tag among
+            # GPS-backlogged flows.
+            while self._deactivations and (
+                id(self._deactivations[0][2]) not in self._gps_active
+                or self._deactivations[0][0]
+                < self._deactivations[0][2].stamp - 1e-12
+            ):
+                # Stale entry: the flow got new packets (larger stamp)
+                # or was already deactivated; re-queue or drop.
+                tag, _seq, state = heapq.heappop(self._deactivations)
+                if (
+                    id(state) in self._gps_active
+                    and tag < state.stamp - 1e-12
+                ):
+                    heapq.heappush(
+                        self._deactivations,
+                        (state.stamp, next(self._tiebreak), state),
+                    )
+            if not self._deactivations:
+                self._vtime += slope * (now - self._vtime_updated_at)
+                self._vtime_updated_at = now
+                return
+            next_tag = self._deactivations[0][0]
+            hit_time = self._vtime_updated_at + (
+                (next_tag - self._vtime) / slope
+            )
+            if hit_time <= now + 1e-15:
+                _tag, _seq, state = heapq.heappop(self._deactivations)
+                self._vtime = max(self._vtime, next_tag)
+                self._vtime_updated_at = max(
+                    self._vtime_updated_at, min(hit_time, now)
+                )
+                if id(state) in self._gps_active:
+                    self._gps_active.discard(id(state))
+                    self._active_rate -= state.rate
+                    if self._active_rate < 1e-9:
+                        self._active_rate = 0.0
+            else:
+                self._vtime += slope * (now - self._vtime_updated_at)
+                self._vtime_updated_at = now
+                return
+        self._vtime_updated_at = max(self._vtime_updated_at, now)
+
+    def on_arrival(self, packet: Packet, now: float) -> None:
+        self._advance_vtime(now)
+        state = self._flow_state(packet)
+        if id(state) not in self._gps_active:
+            # Flow (re)activates in the GPS reference system.
+            self._gps_active.add(id(state))
+            self._active_rate += state.rate
+            start = max(self._vtime, state.stamp)
+        else:
+            start = state.stamp
+        state.stamp = start + packet.size / state.rate
+        state.backlogged += 1
+        heapq.heappush(
+            self._deactivations, (state.stamp, next(self._tiebreak), state)
+        )
+        heapq.heappush(self._heap, (state.stamp, next(self._tiebreak), packet))
+        self._bits += packet.size
+
+    def select(self, now: float) -> Optional[Packet]:
+        if not self._heap:
+            return None
+        self._advance_vtime(now)
+        _tag, _seq, packet = heapq.heappop(self._heap)
+        state = self._flows[packet.sched_key()]
+        state.backlogged -= 1
+        self._bits -= packet.size
+        return packet
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class RCEDF(StatefulScheduler):
+    """Rate-controlled EDF with per-flow reserved-rate reshaping.
+
+    Regulator: packet ``k`` of flow ``j`` becomes *eligible* at
+    ``e_k = max(arrival_k, e_{k-1} + L_k / r_j)`` — this restores the
+    flow's reserved-rate envelope ``(r_j, L_max)`` at every hop.
+    Scheduler: eligible packets are serviced EDF with absolute
+    deadline ``e_k + d_j`` where ``d_j`` is the flow's local delay
+    parameter at this hop.
+
+    Schedulability matches eq. (5) with the reshaped envelopes, so the
+    comparison against VT-EDF isolates the *control-plane* difference
+    (hop-by-hop WFQ-derived parameters vs path-wide optimization).
+    """
+
+    def __init__(self, capacity: float, *, max_packet: float = 0.0,
+                 name: str = "") -> None:
+        super().__init__(capacity, max_packet=max_packet, name=name)
+        self._pending: list = []  # (eligible_time, seq, deadline, packet)
+        self._ready: list = []  # (deadline, seq, packet)
+
+    def on_arrival(self, packet: Packet, now: float) -> None:
+        state = self._flow_state(packet)
+        eligible = max(now, state.last_eligible + packet.size / state.rate)
+        state.last_eligible = eligible
+        state.backlogged += 1
+        deadline = eligible + state.deadline
+        self._bits += packet.size
+        if eligible <= now + 1e-12:
+            heapq.heappush(self._ready, (deadline, next(self._tiebreak), packet))
+        else:
+            heapq.heappush(
+                self._pending,
+                (eligible, next(self._tiebreak), deadline, packet),
+            )
+
+    def _promote(self, now: float) -> None:
+        while self._pending and self._pending[0][0] <= now + 1e-12:
+            _el, seq, deadline, packet = heapq.heappop(self._pending)
+            heapq.heappush(self._ready, (deadline, seq, packet))
+
+    def select(self, now: float) -> Optional[Packet]:
+        self._promote(now)
+        if not self._ready:
+            return None
+        _deadline, _seq, packet = heapq.heappop(self._ready)
+        self._flows[packet.sched_key()].backlogged -= 1
+        self._bits -= packet.size
+        return packet
+
+    def next_eligible_time(self, now: float) -> Optional[float]:
+        self._promote(now)
+        if self._ready:
+            return None
+        if self._pending:
+            return self._pending[0][0]
+        return None
+
+    def __len__(self) -> int:
+        return len(self._pending) + len(self._ready)

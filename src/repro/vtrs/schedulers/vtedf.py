@@ -1,0 +1,41 @@
+"""Virtual-time earliest deadline first (delay-based, core-stateless).
+
+VT-EDF services packets in increasing order of their virtual finish
+time ``nu = omega + d``, where ``d`` is the flow's delay parameter
+carried in the packet header. Unlike conventional rate-controlled EDF
+it needs **no per-flow rate control** at the scheduler: the virtual
+spacing property of the time stamps plays the role of the shaper.
+
+Schedulability (eq. (5) of the paper): with flows
+``0 <= d^1 <= ... <= d^N``,
+
+``sum_{j=1..N} [r^j (t - d^j) + L^{j,max}] * 1{t >= d^j} <= C t``
+for all ``t >= 0``
+
+Then every flow is guaranteed its delay parameter with error term
+``Psi = L*_max / C``. The condition itself is evaluated by the
+bandwidth broker (:mod:`repro.core.schedulability`), never by the
+scheduler — the whole point of the architecture.
+"""
+
+from __future__ import annotations
+
+from repro.netsim.packet import Packet
+from repro.vtrs.schedulers.base import PriorityQueueScheduler
+from repro.vtrs.timestamps import SchedulerKind, virtual_finish_time
+
+__all__ = ["VTEDF"]
+
+
+class VTEDF(PriorityQueueScheduler):
+    """Virtual-time EDF scheduler (delay-based)."""
+
+    kind = SchedulerKind.DELAY_BASED
+
+    def priority_key(self, packet: Packet, now: float) -> float:
+        if packet.state is None:
+            raise ValueError(
+                f"VT-EDF needs VTRS packet state; packet {packet.seq} of "
+                f"flow {packet.flow_id!r} has none (was it edge-conditioned?)"
+            )
+        return virtual_finish_time(packet.state, SchedulerKind.DELAY_BASED)

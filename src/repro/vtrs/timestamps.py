@@ -1,0 +1,74 @@
+"""Per-hop virtual time reference/update mechanism (eq. (1)).
+
+Each core router maintains the progression of the packet virtual time
+stamps. On arrival the stamp ``omega_i`` carried in the header is the
+*virtual arrival time*; the router derives
+
+* the **virtual delay** ``d_i = L/r + delta`` (rate-based scheduler)
+  or ``d_i = d`` (delay-based scheduler), and
+* the **virtual finish time** ``nu_i = omega_i + d_i``,
+
+services packets in increasing ``nu_i`` order (for the core-stateless
+schedulers), and on departure rewrites the header with the
+concatenation rule
+
+``omega_{i+1} = nu_i + Psi_i + pi_i``
+
+where ``Psi_i`` is the scheduler's error term and ``pi_i`` the
+propagation delay to the next hop. Two invariants follow ([20]):
+
+* **virtual spacing** — ``omega_i^{k+1} - omega_i^k >= L^{k+1}/r``;
+* **reality check** — the actual arrival time never exceeds the
+  virtual one.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.vtrs.packet_state import PacketState
+
+__all__ = [
+    "SchedulerKind",
+    "virtual_deadline",
+    "virtual_finish_time",
+    "advance_virtual_time",
+]
+
+
+class SchedulerKind(enum.Enum):
+    """How a scheduler derives virtual deadlines from packet state."""
+
+    RATE_BASED = "rate"
+    DELAY_BASED = "delay"
+
+
+def virtual_deadline(state: PacketState, kind: SchedulerKind) -> float:
+    """Virtual delay ``d_i`` of a packet at a scheduler of *kind*.
+
+    Rate-based: ``L/r + delta``; delay-based: ``d``.
+    """
+    if kind is SchedulerKind.RATE_BASED:
+        return state.size / state.rate + state.delta
+    return state.delay
+
+
+def virtual_finish_time(state: PacketState, kind: SchedulerKind) -> float:
+    """Virtual finish time ``nu_i = omega_i + d_i`` of a packet."""
+    return state.vtime + virtual_deadline(state, kind)
+
+
+def advance_virtual_time(
+    state: PacketState,
+    kind: SchedulerKind,
+    error_term: float,
+    propagation: float,
+) -> float:
+    """Apply the concatenation rule (eq. (1)) in place and return the new stamp.
+
+    ``omega_{i+1} = omega_i + d_i + Psi_i + pi_i``
+
+    Called by a scheduler when the packet departs toward the next hop.
+    """
+    state.vtime = virtual_finish_time(state, kind) + error_term + propagation
+    return state.vtime

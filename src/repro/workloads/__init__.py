@@ -1,0 +1,36 @@
+"""Workloads: the paper's traffic profiles, topology and flow generators.
+
+* :mod:`repro.workloads.profiles` — Table 1's four flow types with
+  their loose/tight end-to-end delay bounds;
+* :mod:`repro.workloads.topologies` — the Figure 8 topology in both
+  scheduler settings (rate-based-only and mixed rate/delay-based),
+  buildable as broker MIB state or as a packet-level simulation;
+* :mod:`repro.workloads.generators` — Poisson flow-arrival /
+  exponential holding-time call workloads for the blocking-rate study.
+"""
+
+from repro.workloads.profiles import (
+    TABLE1_PROFILES,
+    FlowTypeProfile,
+    flow_type,
+)
+from repro.workloads.topologies import (
+    Fig8Domain,
+    LinkPlan,
+    SchedulerSetting,
+    fig8_domain,
+)
+from repro.workloads.generators import CallEvent, CallWorkload, FlowArrival
+
+__all__ = [
+    "TABLE1_PROFILES",
+    "FlowTypeProfile",
+    "flow_type",
+    "SchedulerSetting",
+    "LinkPlan",
+    "Fig8Domain",
+    "fig8_domain",
+    "CallWorkload",
+    "CallEvent",
+    "FlowArrival",
+]

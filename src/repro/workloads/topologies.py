@@ -1,0 +1,222 @@
+"""The Figure 8 simulation topology.
+
+Nine nodes: sources S1/S2 feed ingress routers I1/I2, whose traffic
+shares the core chain R2 - R3 - R4 - R5 and exits via egress E1/E2 to
+destinations D1/D2. All core links run at 1.5 Mb/s with zero
+propagation delay; the ``Si -> Ii`` and ``Ei -> Di`` access links are
+infinite-capacity and are therefore not modelled as schedulers (the
+edge conditioner at Ii and the sink at Ei stand in for them).
+
+Two scheduler settings (Section 5):
+
+* **rate-based only** — every link runs CsVC;
+* **mixed** — CsVC on ``I1->R2``, ``I2->R2``, ``R2->R3``, ``R5->E1``;
+  VT-EDF on ``R3->R4``, ``R4->R5``, ``R5->E2``.
+
+Hence path 1 (``I1..E1``) has ``h=5, q=3`` and path 2 (``I2..E2``)
+``h=5, q=2`` in the mixed setting; both are ``q=h=5`` in the
+rate-based-only setting.
+
+The same :class:`Fig8Domain` plan can be materialized three ways:
+
+* :meth:`Fig8Domain.provision_broker` — load the links into a
+  :class:`~repro.core.broker.BandwidthBroker` and pin both paths;
+* :meth:`Fig8Domain.build_mibs` — bare MIBs for driving the admission
+  modules directly (used heavily in tests and benches);
+* :meth:`Fig8Domain.build_netsim` — a packet-level
+  :class:`~repro.netsim.topology.Network` with live scheduler objects.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.broker import BandwidthBroker
+from repro.core.mibs import (
+    FlowMIB,
+    LinkQoSState,
+    NodeMIB,
+    PathMIB,
+    PathRecord,
+)
+from repro.netsim.engine import Simulator
+from repro.netsim.topology import Network
+from repro.units import bytes_, mbps
+from repro.vtrs.schedulers import CJVC, CsVC, VTEDF
+from repro.vtrs.schedulers.base import Scheduler
+from repro.vtrs.schedulers.stateful import RCEDF, VirtualClock
+from repro.vtrs.timestamps import SchedulerKind
+
+__all__ = ["SchedulerSetting", "LinkPlan", "Fig8Domain", "fig8_domain"]
+
+
+class SchedulerSetting(enum.Enum):
+    """Which scheduler mix the core links run (Section 5)."""
+
+    RATE_ONLY = "rate-only"
+    MIXED = "mixed"
+
+
+@dataclass(frozen=True)
+class LinkPlan:
+    """Plan for one provisioned link."""
+
+    src: str
+    dst: str
+    capacity: float
+    kind: SchedulerKind
+    propagation: float
+    max_packet: float
+
+
+#: Links that run VT-EDF in the mixed setting.
+_MIXED_DELAY_LINKS = {("R3", "R4"), ("R4", "R5"), ("R5", "E2")}
+
+PATH1_NODES: Tuple[str, ...] = ("I1", "R2", "R3", "R4", "R5", "E1")
+PATH2_NODES: Tuple[str, ...] = ("I2", "R2", "R3", "R4", "R5", "E2")
+
+
+class Fig8Domain:
+    """The Figure 8 domain in one scheduler setting.
+
+    :param setting: rate-based-only or mixed.
+    :param capacity: core link bandwidth (paper: 1.5 Mb/s).
+    :param max_packet: the domain's maximum packet size in bits
+        (paper: 1500 bytes).
+    :param propagation: per-link propagation delay (paper: 0).
+    """
+
+    path1_nodes = PATH1_NODES
+    path2_nodes = PATH2_NODES
+
+    def __init__(
+        self,
+        setting: SchedulerSetting,
+        *,
+        capacity: float = mbps(1.5),
+        max_packet: float = bytes_(1500),
+        propagation: float = 0.0,
+    ) -> None:
+        self.setting = setting
+        self.capacity = float(capacity)
+        self.max_packet = float(max_packet)
+        self.propagation = float(propagation)
+        self.links: List[LinkPlan] = [
+            LinkPlan(
+                src, dst, self.capacity, self._kind(src, dst),
+                self.propagation, self.max_packet,
+            )
+            for src, dst in (
+                ("I1", "R2"), ("I2", "R2"), ("R2", "R3"),
+                ("R3", "R4"), ("R4", "R5"), ("R5", "E1"), ("R5", "E2"),
+            )
+        ]
+
+    def _kind(self, src: str, dst: str) -> SchedulerKind:
+        if (
+            self.setting is SchedulerSetting.MIXED
+            and (src, dst) in _MIXED_DELAY_LINKS
+        ):
+            return SchedulerKind.DELAY_BASED
+        return SchedulerKind.RATE_BASED
+
+    # ------------------------------------------------------------------
+    # broker / MIB materializations
+    # ------------------------------------------------------------------
+
+    def provision_broker(self, broker: BandwidthBroker
+                         ) -> Tuple[PathRecord, PathRecord]:
+        """Load the domain into *broker*; returns (path1, path2)."""
+        for plan in self.links:
+            broker.add_link(
+                plan.src, plan.dst, plan.capacity, plan.kind,
+                propagation=plan.propagation, max_packet=plan.max_packet,
+            )
+        path1 = broker.routing.pin_path(self.path1_nodes)
+        path2 = broker.routing.pin_path(self.path2_nodes)
+        return path1, path2
+
+    def build_mibs(self) -> Tuple[NodeMIB, FlowMIB, PathMIB,
+                                  PathRecord, PathRecord]:
+        """Bare MIBs plus the two pinned paths (for direct AC driving)."""
+        node_mib = NodeMIB()
+        for plan in self.links:
+            node_mib.register_link(
+                LinkQoSState(
+                    (plan.src, plan.dst), plan.capacity, plan.kind,
+                    propagation=plan.propagation, max_packet=plan.max_packet,
+                )
+            )
+        path_mib = PathMIB()
+
+        def pin(nodes: Tuple[str, ...]) -> PathRecord:
+            links = [
+                node_mib.link(s, d) for s, d in zip(nodes, nodes[1:])
+            ]
+            return path_mib.register(
+                PathRecord("->".join(nodes), nodes, links)
+            )
+
+        return node_mib, FlowMIB(), path_mib, pin(self.path1_nodes), pin(
+            self.path2_nodes
+        )
+
+    # ------------------------------------------------------------------
+    # packet-level materialization
+    # ------------------------------------------------------------------
+
+    def build_netsim(
+        self,
+        sim: Simulator,
+        *,
+        stateful: bool = False,
+        jitter_controlled: bool = False,
+    ) -> Tuple[Network, Dict[Tuple[str, str], Scheduler]]:
+        """Build a live packet-level network for this domain.
+
+        :param stateful: use the IntServ data plane (Virtual Clock and
+            RC-EDF) instead of the core-stateless CsVC/VT-EDF.
+        :param jitter_controlled: use CJVC (non-work-conserving) on the
+            rate-based links instead of CsVC — the Stoica-Zhang
+            scheduler the paper's CsVC is the work-conserving
+            counterpart of.
+        """
+        network = Network(sim)
+        schedulers: Dict[Tuple[str, str], Scheduler] = {}
+        for plan in self.links:
+            scheduler = self._make_scheduler(plan, stateful,
+                                             jitter_controlled)
+            schedulers[(plan.src, plan.dst)] = scheduler
+            network.add_link(
+                plan.src, plan.dst, scheduler, propagation=plan.propagation
+            )
+        return network, schedulers
+
+    def _make_scheduler(self, plan: LinkPlan, stateful: bool,
+                        jitter_controlled: bool = False) -> Scheduler:
+        name = f"{plan.src}->{plan.dst}"
+        if plan.kind is SchedulerKind.DELAY_BASED:
+            cls = RCEDF if stateful else VTEDF
+        elif stateful:
+            cls = VirtualClock
+        else:
+            cls = CJVC if jitter_controlled else CsVC
+        return cls(plan.capacity, max_packet=plan.max_packet, name=name)
+
+
+def fig8_domain(
+    setting: SchedulerSetting = SchedulerSetting.RATE_ONLY,
+    *,
+    capacity: float = mbps(1.5),
+    max_packet: float = bytes_(1500),
+    propagation: float = 0.0,
+) -> Fig8Domain:
+    """Convenience constructor for the Figure 8 domain."""
+    return Fig8Domain(
+        setting,
+        capacity=capacity,
+        max_packet=max_packet,
+        propagation=propagation,
+    )

@@ -1,0 +1,130 @@
+"""Erlang-B theory and the capacity planner — including the analytic
+validation of the call-level simulator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.capacity import plan_capacity
+from repro.analysis.erlang import erlang_b, erlang_b_inverse_capacity
+from repro.errors import ConfigurationError
+from repro.workloads.profiles import flow_type
+from repro.workloads.topologies import SchedulerSetting, fig8_domain
+
+
+class TestErlangB:
+    def test_known_values(self):
+        # Classic textbook checkpoints.
+        assert erlang_b(1, 1.0) == pytest.approx(0.5)
+        assert erlang_b(2, 1.0) == pytest.approx(0.2)
+        assert erlang_b(10, 5.0) == pytest.approx(0.018385, abs=1e-5)
+
+    def test_zero_load_no_blocking(self):
+        assert erlang_b(10, 0.0) == 0.0
+
+    def test_zero_servers_blocks_everything(self):
+        assert erlang_b(0, 3.0) == 1.0
+
+    def test_monotone_decreasing_in_servers(self):
+        values = [erlang_b(c, 20.0) for c in range(1, 40)]
+        assert values == sorted(values, reverse=True)
+
+    def test_monotone_increasing_in_load(self):
+        values = [erlang_b(20, a) for a in (5.0, 10.0, 20.0, 40.0)]
+        assert values == sorted(values)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            erlang_b(-1, 1.0)
+        with pytest.raises(ConfigurationError):
+            erlang_b(1, -1.0)
+
+    @given(
+        st.integers(min_value=1, max_value=200),
+        st.floats(min_value=0.01, max_value=300.0),
+    )
+    def test_is_a_probability(self, servers, load):
+        value = erlang_b(servers, load)
+        assert 0.0 <= value <= 1.0
+
+    def test_inverse_capacity(self):
+        capacity = erlang_b_inverse_capacity(30.0, 0.01)
+        assert erlang_b(capacity, 30.0) <= 0.01
+        assert erlang_b(capacity - 1, 30.0) > 0.01
+
+    def test_inverse_invalid_target(self):
+        with pytest.raises(ConfigurationError):
+            erlang_b_inverse_capacity(10.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            erlang_b_inverse_capacity(10.0, 1.5)
+
+
+class TestErlangValidatesCallsim:
+    @pytest.mark.parametrize("arrival_rate", [0.12, 0.15, 0.20])
+    def test_simulated_blocking_matches_erlang_b(self, arrival_rate):
+        """The Figure 10 pipeline vs queueing theory: per-flow
+        admission of identical type-0 flows at the loose bound is an
+        M/M/30/30 loss system; the simulated blocking must sit near
+        the Erlang-B prediction."""
+        from statistics import mean
+
+        from repro.callsim.driver import CallSimulator
+        from repro.callsim.schemes import PerFlowVtrsScheme
+        from repro.workloads.generators import CallWorkload
+
+        servers = 30  # mean-rate capacity of the 1.5 Mb/s bottleneck
+        offered = arrival_rate * 200.0
+        predicted = erlang_b(servers, offered)
+        measured = mean(
+            CallSimulator(
+                PerFlowVtrsScheme(SchedulerSetting.RATE_ONLY, tight=False),
+                CallWorkload(arrival_rate, seed=seed),
+                horizon=6000.0, warmup=1000.0,
+            ).run().blocking_rate
+            for seed in (1, 2, 3, 4)
+        )
+        assert measured == pytest.approx(predicted, abs=0.05)
+
+
+class TestCapacityPlan:
+    @pytest.fixture(scope="class")
+    def plan(self):
+        return plan_capacity(
+            fig8_domain(SchedulerSetting.RATE_ONLY),
+            flow_type(0).spec,
+            delay_bound=2.44,
+            epsilon=0.05,
+        )
+
+    def test_strategy_ordering(self, plan):
+        c = plan.capacities
+        assert c["peak"] == 15
+        assert c["mean"] == 30
+        assert c["per-flow"] == 30    # loose bound: mean-rate allocation
+        assert c["aggregate"] == 29   # Table 2's contingency cost
+        assert c["peak"] < c["statistical"] < c["mean"]
+
+    def test_blocking_table(self, plan):
+        blocking = plan.blocking_at(30.0)
+        assert set(blocking) == set(plan.capacities)
+        # More capacity => less blocking.
+        assert blocking["mean"] < blocking["statistical"] < blocking["peak"]
+
+    def test_tight_bound_shifts_perflow(self):
+        plan = plan_capacity(
+            fig8_domain(SchedulerSetting.RATE_ONLY),
+            flow_type(0).spec,
+            delay_bound=2.19,
+        )
+        assert plan.capacities["per-flow"] == 27
+        assert plan.capacities["aggregate"] == 29  # aggregation gain
+
+    def test_path_index_selects_path(self):
+        plan = plan_capacity(
+            fig8_domain(SchedulerSetting.MIXED),
+            flow_type(0).spec,
+            delay_bound=2.19,
+            class_delay=0.24,
+            path_index=1,
+        )
+        assert plan.capacities["per-flow"] > 0

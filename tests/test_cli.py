@@ -1,0 +1,72 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_figure10_options(self):
+        args = build_parser().parse_args(["figure10", "--runs", "2",
+                                          "--fast"])
+        assert args.runs == 2
+        assert args.fast
+
+
+class TestCommands:
+    def test_table1_passes(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "recomputed(s)" in out
+        assert "2.4400" in out
+
+    def test_table2_exact_match(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "exact match" in out
+        assert "30 (30)" in out
+
+    def test_figure7_demonstrates_violation(self, capsys):
+        assert main(["figure7"]) == 0
+        out = capsys.readouterr().out
+        assert "VIOLATES" in out
+
+    def test_figure9_shape(self, capsys):
+        assert main(["figure9"]) == 0
+        assert "Aggr BB/VTRS" in capsys.readouterr().out
+
+    def test_figure10_fast(self, capsys):
+        assert main(["figure10", "--fast"]) == 0
+        assert "offered load" in capsys.readouterr().out
+
+
+class TestExtensionCommands:
+    def test_plan(self, capsys):
+        assert main(["plan"]) == 0
+        out = capsys.readouterr().out
+        assert "statistical" in out
+        assert "type 3" in out
+
+    def test_plan_tight(self, capsys):
+        assert main(["plan", "--tight", "--epsilon", "0.01"]) == 0
+        assert "eps=0.01" in capsys.readouterr().out
+
+    def test_scaling(self, capsys):
+        assert main(["scaling"]) == 0
+        out = capsys.readouterr().out
+        assert "RSVP refresh msg/s" in out
+        assert "class-based BB" in out

@@ -1,0 +1,281 @@
+"""Class-based admission with dynamic flow aggregation (Section 4)."""
+
+import pytest
+
+from repro.core.admission import RejectionReason
+from repro.core.aggregate import (
+    AggregateAdmission,
+    ContingencyMethod,
+    ServiceClass,
+)
+from repro.errors import ConfigurationError, StateError
+from repro.workloads.profiles import flow_type
+from repro.workloads.topologies import SchedulerSetting, fig8_domain
+
+
+def build(method=ContingencyMethod.BOUNDING,
+          setting=SchedulerSetting.RATE_ONLY):
+    domain = fig8_domain(setting)
+    node_mib, flow_mib, path_mib, path1, path2 = domain.build_mibs()
+    ac = AggregateAdmission(node_mib, flow_mib, path_mib, method=method)
+    return ac, path1, path2, node_mib, flow_mib
+
+
+GOLD = ServiceClass("gold", 2.44, 0.24)
+
+
+class TestServiceClass:
+    def test_valid(self):
+        assert GOLD.delay_bound == 2.44
+
+    def test_invalid_bound(self):
+        with pytest.raises(ConfigurationError):
+            ServiceClass("bad", 0.0)
+
+    def test_invalid_class_delay(self):
+        with pytest.raises(ConfigurationError):
+            ServiceClass("bad", 1.0, -0.1)
+
+
+class TestJoin:
+    def test_first_join_creates_macroflow(self, type0_spec):
+        ac, path1, _p2, _node, flow_mib = build()
+        decision = ac.join("f0", type0_spec, GOLD, path1, now=0.0)
+        assert decision.admitted
+        macro = ac.macroflow(GOLD, path1)
+        assert macro.member_count == 1
+        assert macro.base_rate >= type0_spec.rho
+        assert "f0" in flow_mib
+
+    def test_join_reserves_on_every_link(self, type0_spec):
+        ac, path1, _p2, node_mib, _fm = build()
+        ac.join("f0", type0_spec, GOLD, path1, now=0.0)
+        macro = ac.macroflow(GOLD, path1)
+        for link in path1.links:
+            assert link.rate_of(macro.key) == pytest.approx(macro.total_rate)
+
+    def test_peak_allocated_during_contingency(self, type0_spec):
+        ac, path1, _p2, _node, _fm = build()
+        ac.join("f0", type0_spec, GOLD, path1, now=0.0)
+        macro = ac.macroflow(GOLD, path1)
+        # Total = base + contingency = old_base + peak of the joiner.
+        assert macro.total_rate == pytest.approx(type0_spec.peak)
+        assert macro.contingency_rate > 0
+
+    def test_contingency_expires(self, type0_spec):
+        ac, path1, _p2, _node, _fm = build()
+        ac.join("f0", type0_spec, GOLD, path1, now=0.0)
+        macro = ac.macroflow(GOLD, path1)
+        expiry = ac.next_expiry()
+        assert expiry is not None
+        released = ac.advance(expiry + 1.0)
+        assert released == 1
+        assert macro.contingency_rate == 0.0
+        for link in path1.links:
+            assert link.rate_of(macro.key) == pytest.approx(macro.base_rate)
+
+    def test_mean_rate_after_aggregation(self, type0_spec):
+        """n identical type-0 flows settle at the aggregate mean rate
+        under the loose class bound."""
+        ac, path1, _p2, _node, _fm = build()
+        now = 0.0
+        for index in range(5):
+            now += 1000.0
+            assert ac.join(f"f{index}", type0_spec, GOLD, path1, now=now)
+        ac.advance(now + 1000.0)
+        macro = ac.macroflow(GOLD, path1)
+        assert macro.base_rate == pytest.approx(5 * type0_spec.rho)
+
+    def test_duplicate_join_rejected(self, type0_spec):
+        ac, path1, _p2, _node, _fm = build()
+        ac.join("f0", type0_spec, GOLD, path1, now=0.0)
+        decision = ac.join("f0", type0_spec, GOLD, path1, now=1.0)
+        assert decision.reason is RejectionReason.DUPLICATE
+
+    def test_join_rejected_when_peak_does_not_fit(self, type0_spec):
+        """The paper's admission condition: P_nu <= C_res."""
+        ac, path1, _p2, _node, _fm = build()
+        now = 0.0
+        count = 0
+        while True:
+            now += 1000.0
+            if not ac.join(f"f{count}", type0_spec, GOLD, path1, now=now):
+                break
+            count += 1
+        assert count == 29  # Table 2: one fewer than the 30 per-flow
+
+    def test_unachievable_class_bound(self, type0_spec):
+        ac, path1, _p2, _node, _fm = build()
+        impossible = ServiceClass("impossible", 0.05)
+        decision = ac.join("f0", type0_spec, impossible, path1, now=0.0)
+        assert decision.reason is RejectionReason.DELAY_UNACHIEVABLE
+
+    def test_separate_paths_separate_macroflows(self, type0_spec):
+        ac, path1, path2, _node, _fm = build()
+        ac.join("a", type0_spec, GOLD, path1, now=0.0)
+        ac.join("b", type0_spec, GOLD, path2, now=0.0)
+        assert len(ac.macroflows) == 2
+
+    def test_none_method_skips_contingency(self, type0_spec):
+        ac, path1, _p2, _node, _fm = build(method=ContingencyMethod.NONE)
+        ac.join("f0", type0_spec, GOLD, path1, now=0.0)
+        macro = ac.macroflow(GOLD, path1)
+        assert macro.contingency_rate == 0.0
+        assert ac.next_expiry() is None
+
+
+class TestLeave:
+    def test_leave_keeps_rate_during_contingency(self, type0_spec):
+        """Theorem 3: the rate drop is deferred by the contingency
+        period."""
+        ac, path1, _p2, _node, _fm = build()
+        now = 0.0
+        for index in range(3):
+            now += 1000.0
+            ac.join(f"f{index}", type0_spec, GOLD, path1, now=now)
+        ac.advance(now + 500.0)
+        macro = ac.macroflow(GOLD, path1)
+        rate_before = macro.total_rate
+        ac.leave("f1", now=now + 600.0)
+        assert macro.member_count == 2
+        # Total allocation unchanged until the contingency expires.
+        assert macro.total_rate == pytest.approx(rate_before)
+        assert macro.base_rate < rate_before
+
+    def test_leave_rate_drops_after_expiry(self, type0_spec):
+        ac, path1, _p2, _node, _fm = build()
+        now = 0.0
+        for index in range(3):
+            now += 1000.0
+            ac.join(f"f{index}", type0_spec, GOLD, path1, now=now)
+        ac.advance(now + 500.0)
+        macro = ac.macroflow(GOLD, path1)
+        ac.leave("f1", now=now + 600.0)
+        ac.advance(now + 600.0 + ac.next_expiry())
+        assert macro.total_rate == pytest.approx(macro.base_rate)
+        assert macro.base_rate == pytest.approx(2 * type0_spec.rho)
+
+    def test_last_leave_tears_down_macroflow(self, type0_spec):
+        ac, path1, _p2, node_mib, _fm = build()
+        ac.join("f0", type0_spec, GOLD, path1, now=0.0)
+        ac.advance(1e6)
+        macro = ac.macroflow(GOLD, path1)
+        ac.leave("f0", now=2e6)
+        ac.advance(4e6)
+        assert macro.member_count == 0
+        assert macro.total_rate == 0.0
+        for link in path1.links:
+            assert not link.holds(macro.key)
+
+    def test_leave_unknown_flow_rejected(self):
+        ac, _p1, _p2, _node, _fm = build()
+        with pytest.raises(StateError):
+            ac.leave("ghost", now=0.0)
+
+    def test_leave_perflow_flow_rejected(self, type0_spec):
+        """A flow admitted per-flow cannot leave via the aggregate AC."""
+        from repro.core.mibs import FlowRecord
+        ac, path1, _p2, _node, flow_mib = build()
+        flow_mib.add(FlowRecord(
+            flow_id="solo", spec=type0_spec, delay_requirement=2.44,
+            path_id=path1.path_id, rate=50000,
+        ))
+        with pytest.raises(StateError):
+            ac.leave("solo", now=0.0)
+
+    def test_none_method_drops_rate_immediately(self, type0_spec):
+        ac, path1, _p2, _node, _fm = build(method=ContingencyMethod.NONE)
+        for index, now in ((0, 0.0), (1, 1.0)):
+            ac.join(f"f{index}", type0_spec, GOLD, path1, now=now)
+        macro = ac.macroflow(GOLD, path1)
+        ac.leave("f0", now=2.0)
+        assert macro.total_rate == pytest.approx(macro.base_rate)
+
+
+class TestFeedback:
+    def test_edge_empty_releases_contingency(self, type0_spec):
+        ac, path1, _p2, _node, _fm = build(method=ContingencyMethod.FEEDBACK)
+        ac.join("f0", type0_spec, GOLD, path1, now=0.0)
+        macro = ac.macroflow(GOLD, path1)
+        assert macro.contingency_rate > 0
+        released = ac.notify_edge_empty(macro.key, now=0.5)
+        assert released == 1
+        assert macro.contingency_rate == 0.0
+
+    def test_edge_empty_noop_for_bounding(self, type0_spec):
+        ac, path1, _p2, _node, _fm = build(method=ContingencyMethod.BOUNDING)
+        ac.join("f0", type0_spec, GOLD, path1, now=0.0)
+        macro = ac.macroflow(GOLD, path1)
+        assert ac.notify_edge_empty(macro.key, now=0.5) == 0
+        assert macro.contingency_rate > 0
+
+    def test_edge_empty_unknown_macroflow(self):
+        ac, _p1, _p2, _node, _fm = build(method=ContingencyMethod.FEEDBACK)
+        assert ac.notify_edge_empty("ghost", now=0.0) == 0
+
+
+class TestContingencyPeriod:
+    def test_eq17_formula(self):
+        # tau = d_edge_old * total_rate / delta_r
+        assert AggregateAdmission.contingency_period(1.2, 100000, 50000) == (
+            pytest.approx(2.4)
+        )
+
+    def test_zero_amount_is_zero_period(self):
+        assert AggregateAdmission.contingency_period(1.2, 100000, 0.0) == 0.0
+
+
+class TestEdgeDelayBoundTracking:
+    def test_in_force_bound_is_max_during_contingency(self, type0_spec):
+        ac, path1, _p2, _node, _fm = build()
+        ac.join("f0", type0_spec, GOLD, path1, now=0.0)
+        macro = ac.macroflow(GOLD, path1)
+        during = macro.edge_delay_bound()
+        ac.advance(1e9)
+        after = macro.edge_delay_bound()
+        assert after <= during + 1e-9
+        assert after == pytest.approx(
+            macro.aggregate.edge_delay(macro.base_rate)
+        )
+
+
+class TestMixedSettingAggregate:
+    def test_macroflow_occupies_delay_hops(self, type0_spec):
+        ac, path1, _p2, _node, _fm = build(setting=SchedulerSetting.MIXED)
+        klass = ServiceClass("gold-mixed", 2.44, 0.24)
+        ac.join("f0", type0_spec, klass, path1, now=0.0)
+        macro = ac.macroflow(klass, path1)
+        for link in path1.delay_based_links():
+            entry = link.ledger.entry(macro.key)
+            assert entry.deadline == 0.24
+            assert entry.rate == pytest.approx(macro.total_rate)
+
+    def test_rate_updates_propagate_to_ledger(self, type0_spec):
+        ac, path1, _p2, _node, _fm = build(setting=SchedulerSetting.MIXED)
+        klass = ServiceClass("gold-mixed", 2.44, 0.24)
+        now = 0.0
+        for index in range(3):
+            now += 1000.0
+            ac.join(f"f{index}", type0_spec, klass, path1, now=now)
+        macro = ac.macroflow(klass, path1)
+        for link in path1.delay_based_links():
+            assert link.ledger.entry(macro.key).rate == pytest.approx(
+                macro.total_rate
+            )
+            assert link.ledger.is_schedulable()
+
+    def test_mixed_table2_counts(self, type0_spec):
+        """cd = 0.50 at the tight bound loses one more flow (Table 2)."""
+        for class_delay, expected in ((0.10, 29), (0.24, 29), (0.50, 28)):
+            ac, path1, _p2, _node, _fm = build(
+                setting=SchedulerSetting.MIXED
+            )
+            klass = ServiceClass(f"cd{class_delay}", 2.19, class_delay)
+            now, count = 0.0, 0
+            while True:
+                now += 1000.0
+                if not ac.join(f"f{count}", type0_spec, klass, path1,
+                               now=now):
+                    break
+                count += 1
+            assert count == expected

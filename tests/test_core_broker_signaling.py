@@ -1,0 +1,321 @@
+"""The BandwidthBroker facade and the ingress<->broker signaling."""
+
+import pytest
+
+from repro.core.admission import RejectionReason
+from repro.core.aggregate import ContingencyMethod, ServiceClass
+from repro.core.broker import BandwidthBroker
+from repro.core.policy import MaxPeakRateRule, PolicyModule
+from repro.core.signaling import (
+    EdgeBufferEmpty,
+    FlowServiceRequest,
+    FlowTeardown,
+    MessageBus,
+    ReservationReply,
+)
+from repro.errors import SignalingError, StateError
+from repro.vtrs.timestamps import SchedulerKind
+from repro.workloads.topologies import SchedulerSetting, fig8_domain
+
+
+def make_broker(**kwargs):
+    broker = BandwidthBroker(**kwargs)
+    domain = fig8_domain(SchedulerSetting.MIXED)
+    path1, path2 = domain.provision_broker(broker)
+    return broker, path1, path2
+
+
+class TestRequestService:
+    def test_perflow_admission(self, type0_spec):
+        broker, _p1, _p2 = make_broker()
+        decision = broker.request_service(
+            "f1", type0_spec, 2.44, "I1", "E1"
+        )
+        assert decision.admitted
+        assert decision.rate == pytest.approx(50000)
+        assert broker.stats().active_flows == 1
+
+    def test_routing_finds_path(self, type0_spec):
+        broker, path1, _p2 = make_broker()
+        decision = broker.request_service(
+            "f1", type0_spec, 2.44, "I1", "E1"
+        )
+        assert decision.path_id == path1.path_id
+
+    def test_unreachable_rejected(self, type0_spec):
+        broker, _p1, _p2 = make_broker()
+        decision = broker.request_service(
+            "f1", type0_spec, 2.44, "E1", "I1"  # against link direction
+        )
+        assert decision.reason is RejectionReason.NO_PATH
+
+    def test_policy_rejection(self, type0_spec):
+        broker, _p1, _p2 = make_broker(
+            policy=PolicyModule([MaxPeakRateRule(10000)])
+        )
+        decision = broker.request_service(
+            "f1", type0_spec, 2.44, "I1", "E1"
+        )
+        assert decision.reason is RejectionReason.POLICY
+        assert broker.stats().rejected_total == 1
+
+    def test_explicit_path_pin(self, type0_spec):
+        broker, _p1, path2 = make_broker()
+        decision = broker.request_service(
+            "f1", type0_spec, 2.74, "I2", "E2",
+            path_nodes=path2.nodes,
+        )
+        assert decision.admitted
+        assert decision.path_id == path2.path_id
+
+    def test_class_based_admission(self, type0_spec):
+        broker, _p1, _p2 = make_broker()
+        broker.register_class(ServiceClass("gold", 2.44, 0.24))
+        decision = broker.request_service(
+            "f1", type0_spec, 0.0, "I1", "E1", service_class="gold"
+        )
+        assert decision.admitted
+        assert broker.stats().macroflows == 1
+
+    def test_unknown_class_raises(self, type0_spec):
+        broker, _p1, _p2 = make_broker()
+        with pytest.raises(StateError):
+            broker.request_service(
+                "f1", type0_spec, 0.0, "I1", "E1", service_class="ghost"
+            )
+
+    def test_duplicate_class_registration_rejected(self):
+        broker, _p1, _p2 = make_broker()
+        broker.register_class(ServiceClass("gold", 2.44))
+        with pytest.raises(StateError):
+            broker.register_class(ServiceClass("gold", 1.0))
+
+
+class TestTerminate:
+    def test_perflow_teardown(self, type0_spec):
+        broker, _p1, _p2 = make_broker()
+        broker.request_service("f1", type0_spec, 2.44, "I1", "E1")
+        broker.terminate("f1")
+        assert broker.stats().active_flows == 0
+        assert broker.stats().qos_state_entries == 0
+
+    def test_class_teardown_defers_rate(self, type0_spec):
+        broker, _p1, _p2 = make_broker()
+        broker.register_class(ServiceClass("gold", 2.44, 0.24))
+        broker.request_service(
+            "f1", type0_spec, 0.0, "I1", "E1", service_class="gold"
+        )
+        broker.advance(1e6)
+        broker.terminate("f1", now=2e6)
+        assert broker.stats().active_flows == 0
+        # Contingency still holds link state until expiry.
+        assert broker.stats().qos_state_entries > 0
+        broker.advance(1e9)
+        assert broker.stats().qos_state_entries == 0
+
+    def test_terminate_unknown_raises(self):
+        broker, _p1, _p2 = make_broker()
+        with pytest.raises(StateError):
+            broker.terminate("ghost")
+
+
+class TestStats:
+    def test_rejections_by_reason(self, type0_spec):
+        broker, _p1, _p2 = make_broker()
+        broker.request_service("f1", type0_spec, 0.2, "I1", "E1")
+        stats = broker.stats()
+        assert stats.rejected_total == 1
+        assert sum(stats.rejections_by_reason.values()) == 1
+
+    def test_qos_state_entries_counts_links(self, type0_spec):
+        broker, _p1, _p2 = make_broker()
+        broker.request_service("f1", type0_spec, 2.44, "I1", "E1")
+        assert broker.stats().qos_state_entries == 5  # one per hop
+
+
+class TestSignaling:
+    def test_request_reply_roundtrip(self, type0_spec):
+        broker, path1, _p2 = make_broker()
+        reply = broker.bus.send(FlowServiceRequest(
+            sender="I1", receiver="bb", flow_id="f1",
+            spec=type0_spec, delay_requirement=2.44, egress="E1",
+        ))
+        assert isinstance(reply, ReservationReply)
+        assert reply.admitted
+        assert reply.rate == pytest.approx(50000)
+        assert reply.path_nodes == path1.nodes
+
+    def test_rejection_reply(self, type0_spec):
+        broker, _p1, _p2 = make_broker()
+        reply = broker.bus.send(FlowServiceRequest(
+            sender="I1", receiver="bb", flow_id="f1",
+            spec=type0_spec, delay_requirement=0.2, egress="E1",
+        ))
+        assert not reply.admitted
+
+    def test_class_reply_carries_macroflow_key(self, type0_spec):
+        broker, _p1, _p2 = make_broker()
+        broker.register_class(ServiceClass("gold", 2.44, 0.24))
+        reply = broker.bus.send(FlowServiceRequest(
+            sender="I1", receiver="bb", flow_id="f1",
+            spec=type0_spec, egress="E1", service_class="gold",
+        ))
+        assert reply.macroflow_key.startswith("gold@")
+
+    def test_teardown_message(self, type0_spec):
+        broker, _p1, _p2 = make_broker()
+        broker.request_service("f1", type0_spec, 2.44, "I1", "E1")
+        broker.bus.send(FlowTeardown(sender="I1", receiver="bb",
+                                     flow_id="f1"))
+        assert broker.stats().active_flows == 0
+
+    def test_edge_empty_message(self, type0_spec):
+        broker, _p1, _p2 = make_broker(
+            contingency_method=ContingencyMethod.FEEDBACK
+        )
+        broker.register_class(ServiceClass("gold", 2.44, 0.24))
+        reply = broker.bus.send(FlowServiceRequest(
+            sender="I1", receiver="bb", flow_id="f1",
+            spec=type0_spec, egress="E1", service_class="gold",
+        ))
+        macro = broker.aggregate.macroflows[reply.macroflow_key]
+        assert macro.contingency_rate > 0
+        broker.bus.send(EdgeBufferEmpty(
+            sender="I1", receiver="bb",
+            conditioner_key=reply.macroflow_key, at_time=0.5,
+        ))
+        assert macro.contingency_rate == 0.0
+
+    def test_message_counting(self, type0_spec):
+        broker, _p1, _p2 = make_broker()
+        broker.bus.send(FlowServiceRequest(
+            sender="I1", receiver="bb", flow_id="f1",
+            spec=type0_spec, delay_requirement=2.44, egress="E1",
+        ))
+        assert broker.bus.sent["FlowServiceRequest"] == 1
+        assert broker.bus.total_messages == 1
+
+    def test_unknown_endpoint_raises(self):
+        bus = MessageBus()
+        with pytest.raises(SignalingError):
+            bus.send(FlowTeardown(sender="a", receiver="nowhere",
+                                  flow_id="f"))
+
+    def test_duplicate_endpoint_rejected(self):
+        bus = MessageBus()
+        bus.register("x", lambda m: None)
+        with pytest.raises(SignalingError):
+            bus.register("x", lambda m: None)
+
+    def test_unhandled_message_type_raises(self):
+        broker, _p1, _p2 = make_broker()
+        from repro.core.signaling import EdgeReconfigure
+        with pytest.raises(SignalingError):
+            broker.handle_message(EdgeReconfigure(
+                sender="x", receiver="bb", conditioner_key="k", rate=1.0,
+            ))
+
+    def test_message_log_optional(self, type0_spec):
+        broker, _p1, _p2 = make_broker()
+        broker.bus.keep_log = True
+        broker.bus.send(FlowServiceRequest(
+            sender="I1", receiver="bb", flow_id="f1",
+            spec=type0_spec, delay_requirement=2.44, egress="E1",
+        ))
+        assert len(broker.bus.log) == 1
+
+
+class TestEdgeReconfigurePush:
+    def test_rate_changes_pushed_to_registered_ingress(self, type0_spec):
+        """Figure 1's COPS arrow: when the ingress registers a bus
+        endpoint, every macroflow rate change reaches it."""
+        from repro.core.signaling import EdgeReconfigure
+
+        broker, path1, _p2 = make_broker()
+        broker.register_class(ServiceClass("gold", 2.44, 0.24))
+        received = []
+        broker.bus.register("I1", lambda msg: received.append(msg))
+        broker.request_service(
+            "f1", type0_spec, 0.0, "I1", "E1", service_class="gold",
+            now=0.0,
+        )
+        assert received, "no EdgeReconfigure arrived at the ingress"
+        assert isinstance(received[-1], EdgeReconfigure)
+        macro_key = received[-1].conditioner_key
+        first_rate = received[-1].rate
+        # Contingency expiry pushes another (lower) rate.
+        broker.advance(1e9)
+        assert received[-1].rate < first_rate
+        assert received[-1].conditioner_key == macro_key
+
+    def test_no_endpoint_no_push(self, type0_spec):
+        """Experiments without a data plane are unaffected."""
+        broker, _p1, _p2 = make_broker()
+        broker.register_class(ServiceClass("gold", 2.44, 0.24))
+        decision = broker.request_service(
+            "f1", type0_spec, 0.0, "I1", "E1", service_class="gold",
+        )
+        assert decision.admitted
+        assert broker.bus.sent.get("EdgeReconfigure", 0) == 0
+
+
+class TestMultipathAdmission:
+    def build_two_branch_broker(self):
+        """I -> {Atop, Btop} -> E: two equal-length branches."""
+        broker = BandwidthBroker()
+        for src, dst, kind in [
+            ("I", "A1", SchedulerKind.RATE_BASED),
+            ("A1", "E", SchedulerKind.DELAY_BASED),
+            ("I", "B1", SchedulerKind.RATE_BASED),
+            ("B1", "E", SchedulerKind.RATE_BASED),
+        ]:
+            broker.add_link(src, dst, 1.5e6, kind, max_packet=12000)
+        return broker
+
+    def test_retry_on_unschedulable_branch(self, type0_spec):
+        """Branch A's VT-EDF hop is clogged with tight deadlines; the
+        equal-bottleneck branch B admits the flow on retry — something
+        hop-by-hop signaling only achieves with crankback."""
+        broker = self.build_two_branch_broker()
+        # Clog A1->E's ledger without consuming much bandwidth:
+        # many tiny-rate, tight-deadline reservations exhaust the
+        # short-timescale residual service.
+        ledger_link = broker.node_mib.link("A1", "E")
+        for index in range(12):
+            ledger_link.reserve(f"clog{index}", 1000,
+                                deadline=0.05, max_packet=12000)
+        decision = broker.request_service(
+            "f1", type0_spec, 0.9, "I", "E"
+        )
+        assert decision.admitted
+        assert "B1" in decision.path_id
+
+    def test_retry_on_full_branch(self, type0_spec):
+        """Saturate whichever branch wins ties; later flows overflow
+        to the other branch instead of being rejected."""
+        broker = BandwidthBroker()
+        for src, dst in [("I", "A1"), ("A1", "E"), ("I", "B1"),
+                         ("B1", "E")]:
+            broker.add_link(src, dst, 1.5e6, SchedulerKind.RATE_BASED,
+                            max_packet=12000)
+        admitted_paths = set()
+        count = 0
+        while True:
+            decision = broker.request_service(
+                f"f{count}", type0_spec, 2.5, "I", "E"
+            )
+            if not decision.admitted:
+                break
+            admitted_paths.add(decision.path_id)
+            count += 1
+        assert count == 60  # both branches fill: 2 x 30 mean-rate flows
+        assert len(admitted_paths) == 2
+
+    def test_explicit_pin_disables_retry(self, type0_spec):
+        broker = self.build_two_branch_broker()
+        broker.node_mib.link("B1", "E").reserve("hog", 1.5e6 - 1000)
+        decision = broker.request_service(
+            "f1", type0_spec, 2.5, "I", "E",
+            path_nodes=("I", "B1", "E"),
+        )
+        assert not decision.admitted  # pinned to the full branch

@@ -1,0 +1,117 @@
+"""Buffer dimensioning: analytic bounds vs measured queue depths."""
+
+import pytest
+
+from repro.core.aggregate import ServiceClass
+from repro.core.broker import BandwidthBroker
+from repro.core.dimensioning import buffer_requirements
+from repro.netsim.engine import Simulator
+from repro.netsim.harness import DataPlaneHarness
+from repro.netsim.monitors import QueueSampler
+from repro.workloads.profiles import flow_type
+from repro.workloads.topologies import SchedulerSetting, fig8_domain
+
+
+def loaded_broker(*, flows=10, setting=SchedulerSetting.MIXED):
+    broker = BandwidthBroker()
+    domain = fig8_domain(setting)
+    path1, _ = domain.provision_broker(broker)
+    spec = flow_type(0).spec
+    for index in range(flows):
+        decision = broker.request_service(
+            f"f{index}", spec, 2.19, "I1", "E1"
+        )
+        assert decision.admitted
+    return broker, domain, path1
+
+
+class TestBounds:
+    def test_every_path_link_covered(self):
+        broker, _domain, path1 = loaded_broker()
+        bounds = buffer_requirements(broker)
+        for link in path1.links:
+            assert link.link_id in bounds
+            assert bounds[link.link_id].flows == 10
+            assert bounds[link.link_id].bits > 0
+
+    def test_empty_broker_no_requirements(self):
+        broker = BandwidthBroker()
+        fig8_domain(SchedulerSetting.MIXED).provision_broker(broker)
+        assert buffer_requirements(broker) == {}
+
+    def test_scales_with_population(self):
+        small, _d, _p = loaded_broker(flows=5)
+        large, _d2, _p2 = loaded_broker(flows=20)
+        key = ("R2", "R3")
+        assert buffer_requirements(large)[key].bits > (
+            buffer_requirements(small)[key].bits
+        )
+
+    def test_macroflow_single_charge(self, type0_spec):
+        """A macroflow contributes one bound regardless of members."""
+        broker = BandwidthBroker()
+        fig8_domain(SchedulerSetting.MIXED).provision_broker(broker)
+        broker.register_class(ServiceClass("gold", 2.44, 0.24))
+        for index in range(6):
+            broker.request_service(
+                f"f{index}", type0_spec, 0.0, "I1", "E1",
+                service_class="gold", now=index * 1000.0,
+            )
+        bounds = buffer_requirements(broker)
+        assert bounds[("R2", "R3")].flows == 1
+
+    def test_packets_of_helper(self):
+        broker, _d, _p = loaded_broker(flows=1)
+        bound = buffer_requirements(broker)[("R2", "R3")]
+        assert bound.packets_of == pytest.approx(bound.bits / 12000.0)
+
+
+class TestBoundsValidatedInSimulation:
+    @pytest.mark.parametrize("setting", [
+        SchedulerSetting.RATE_ONLY, SchedulerSetting.MIXED,
+    ], ids=["rate-only", "mixed"])
+    def test_measured_queues_within_bounds(self, setting):
+        """Greedy saturation: sampled queue depths never exceed the
+        broker's analytic buffer requirement on any link."""
+        broker = BandwidthBroker()
+        domain = fig8_domain(setting)
+        path1, _ = domain.provision_broker(broker)
+        spec = flow_type(0).spec
+        sim = Simulator()
+        network, schedulers = domain.build_netsim(sim)
+        harness = DataPlaneHarness(sim, network, schedulers)
+        index = 0
+        while True:
+            decision = broker.request_service(
+                f"f{index}", spec, 2.19, "I1", "E1"
+            )
+            if not decision.admitted:
+                break
+            harness.provision_flow(
+                f"f{index}", spec, decision.rate, decision.delay, path1,
+                traffic="greedy", stop_time=15.0,
+            )
+            index += 1
+        samplers = {
+            link.name: QueueSampler(sim, link, period=0.05)
+            for link in network.links
+        }
+        harness.run(until=25.0)
+        bounds = buffer_requirements(broker)
+        for link_id, bound in bounds.items():
+            name = f"{link_id[0]}->{link_id[1]}"
+            sampler = samplers[name]
+            measured = max(
+                (sample.queued_bits for sample in sampler.samples),
+                default=0.0,
+            )
+            assert measured <= bound.bits + 1e-6, (
+                f"{name}: measured {measured} > bound {bound.bits}"
+            )
+            # Bounds are meaningful, not vacuous: the busiest link
+            # must actually see queueing.
+        busiest = max(
+            max((s.queued_bits for s in sampler.samples), default=0.0)
+            for sampler in samplers.values()
+        )
+        assert busiest > 0

@@ -1,0 +1,173 @@
+"""Decision journal + checkpoint = exact warm failover."""
+
+import json
+import random
+
+import pytest
+
+from repro.core.aggregate import ServiceClass
+from repro.core.broker import BandwidthBroker
+from repro.core.journal import (
+    DecisionJournal,
+    JournalEntry,
+    JournaledBroker,
+    replay,
+)
+from repro.core.persistence import checkpoint_broker, restore_broker
+from repro.errors import StateError
+from repro.workloads.profiles import flow_type
+from repro.workloads.topologies import SchedulerSetting, fig8_domain
+
+
+def journaled_broker():
+    broker = BandwidthBroker()
+    fig8_domain(SchedulerSetting.MIXED).provision_broker(broker)
+    broker.register_class(ServiceClass("gold", 2.44, 0.24))
+    return JournaledBroker(broker)
+
+
+class TestJournalBasics:
+    def test_entries_sequence(self):
+        journal = DecisionJournal()
+        a = journal.append("request", {"x": 1})
+        b = journal.append("terminate", {"y": 2})
+        assert (a.seq, b.seq) == (1, 2)
+        assert journal.position == 2
+        assert len(journal) == 2
+
+    def test_entries_after(self):
+        journal = DecisionJournal()
+        for index in range(5):
+            journal.append("advance", {"now": float(index)})
+        suffix = journal.entries_after(3)
+        assert [entry.seq for entry in suffix] == [4, 5]
+
+    def test_empty_position_zero(self):
+        assert DecisionJournal().position == 0
+
+    def test_entry_roundtrips_through_json(self):
+        entry = JournalEntry(seq=7, kind="request", payload={"a": 1.5})
+        clone = JournalEntry.from_dict(
+            json.loads(json.dumps(entry.to_dict()))
+        )
+        assert clone == entry
+
+    def test_replay_unknown_kind_raises(self):
+        broker = BandwidthBroker()
+        with pytest.raises(StateError):
+            replay(broker, [JournalEntry(1, "frobnicate", {})])
+
+
+class TestJournaledBroker:
+    def test_operations_recorded(self, type0_spec):
+        jb = journaled_broker()
+        jb.request_service("f1", type0_spec, 2.44, "I1", "E1")
+        jb.terminate("f1")
+        jb.advance(100.0)
+        kinds = [entry.kind for entry in jb.journal]
+        assert kinds == ["request", "terminate", "advance"]
+
+    def test_rejections_also_recorded(self, type0_spec):
+        jb = journaled_broker()
+        decision = jb.request_service("f1", type0_spec, 0.2, "I1", "E1")
+        assert not decision.admitted
+        assert len(jb.journal) == 1
+
+
+class TestWarmFailover:
+    def drive(self, jb, operations, rng):
+        """Apply a random operation mix through the journaled broker."""
+        spec_pool = [flow_type(i).spec for i in range(4)]
+        active = []
+        now = 0.0
+        for index in range(operations):
+            now += rng.uniform(10.0, 400.0)
+            roll = rng.random()
+            if roll < 0.55 or not active:
+                spec = rng.choice(spec_pool)
+                use_class = rng.random() < 0.4
+                decision = jb.request_service(
+                    f"f{index}", spec,
+                    0.0 if use_class else rng.uniform(2.5, 6.0),
+                    "I1", "E1",
+                    service_class="gold" if use_class else "",
+                    now=now,
+                )
+                if decision.admitted:
+                    active.append(f"f{index}")
+            elif roll < 0.85:
+                jb.terminate(active.pop(rng.randrange(len(active))),
+                             now=now)
+            else:
+                jb.advance(now)
+        return now
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_checkpoint_plus_replay_equals_primary(self, seed, type0_spec):
+        rng = random.Random(seed)
+        primary = journaled_broker()
+        # Phase 1: operations before the checkpoint.
+        self.drive(primary, 25, rng)
+        snapshot = checkpoint_broker(primary.broker)
+        marker = primary.journal.position
+        # Phase 2: operations after the checkpoint.
+        now = self.drive(primary, 25, rng)
+
+        # Failover: restore + replay the suffix.
+        standby = restore_broker(snapshot)
+        replay(standby, primary.journal.entries_after(marker))
+
+        a, b = primary.broker.stats(), standby.stats()
+        assert (a.active_flows, a.macroflows, a.qos_state_entries) == (
+            b.active_flows, b.macroflows, b.qos_state_entries
+        )
+        for link in primary.broker.node_mib.links():
+            twin = standby.node_mib.link(*link.link_id)
+            assert twin.reserved_rate == pytest.approx(link.reserved_rate)
+        # And the next decision is identical on both.
+        now += 100.0
+        d1 = primary.request_service("post", type0_spec, 2.19, "I1",
+                                     "E1", now=now)
+        d2 = standby.request_service("post", type0_spec, 2.19, "I1",
+                                     "E1", now=now)
+        assert d1.admitted == d2.admitted
+        if d1.admitted:
+            assert d1.rate == pytest.approx(d2.rate)
+            assert d1.delay == pytest.approx(d2.delay)
+
+    def test_replay_from_empty_checkpoint(self, type0_spec):
+        """Replaying the whole journal onto a fresh broker works too
+        (checkpointless cold recovery)."""
+        primary = journaled_broker()
+        primary.request_service("f1", type0_spec, 2.44, "I1", "E1")
+        primary.request_service("f2", type0_spec, 0.0, "I1", "E1",
+                                service_class="gold", now=10.0)
+        primary.terminate("f1", now=20.0)
+
+        standby = journaled_broker().broker
+        applied = replay(standby, list(primary.journal))
+        assert applied == 3
+        assert standby.stats().active_flows == (
+            primary.broker.stats().active_flows
+        )
+
+
+class TestWriteAheadFailures:
+    def test_failed_terminate_replays_harmlessly(self, type0_spec):
+        """Write-ahead journaling records a terminate that raised on
+        the primary; replay must skip it identically instead of
+        crashing the standby."""
+        jb = journaled_broker()
+        jb.request_service("f1", type0_spec, 2.44, "I1", "E1")
+        with pytest.raises(StateError):
+            jb.terminate("ghost")  # journaled, then raised
+        assert len(jb.journal) == 2
+        standby = journaled_broker().broker
+        applied = replay(standby, list(jb.journal))
+        assert applied == 2
+        assert standby.stats().active_flows == 1
+
+    def test_unknown_kind_still_raises(self):
+        standby = journaled_broker().broker
+        with pytest.raises(StateError):
+            replay(standby, [JournalEntry(1, "frobnicate", {})])

@@ -1,0 +1,260 @@
+"""The three QoS state information bases (Section 2.2)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, StateError, TopologyError
+from repro.core.mibs import (
+    FlowMIB,
+    FlowRecord,
+    LinkQoSState,
+    NodeMIB,
+    PathMIB,
+    PathRecord,
+)
+from repro.vtrs.timestamps import SchedulerKind
+
+R, D = SchedulerKind.RATE_BASED, SchedulerKind.DELAY_BASED
+
+
+def link(src="A", dst="B", capacity=1.5e6, kind=R, **kw):
+    kw.setdefault("max_packet", 12000)
+    return LinkQoSState((src, dst), capacity, kind, **kw)
+
+
+class TestLinkQoSState:
+    def test_default_error_term(self):
+        assert link().error_term == pytest.approx(0.008)
+
+    def test_explicit_error_term(self):
+        assert link(error_term=0.5).error_term == 0.5
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            link(capacity=0)
+
+    def test_invalid_propagation(self):
+        with pytest.raises(ConfigurationError):
+            link(propagation=-1)
+
+    def test_reserve_and_release(self):
+        state = link()
+        state.reserve("f1", 50000)
+        assert state.reserved_rate == 50000
+        assert state.residual_rate == 1.45e6
+        assert state.holds("f1")
+        assert state.rate_of("f1") == 50000
+        assert state.release("f1") == 50000
+        assert state.reserved_rate == 0
+
+    def test_duplicate_reserve_rejected(self):
+        state = link()
+        state.reserve("f1", 50000)
+        with pytest.raises(StateError):
+            state.reserve("f1", 50000)
+
+    def test_release_unknown_rejected(self):
+        with pytest.raises(StateError):
+            link().release("ghost")
+
+    def test_rate_of_unknown_rejected(self):
+        with pytest.raises(StateError):
+            link().rate_of("ghost")
+
+    def test_adjust_rate(self):
+        state = link()
+        state.reserve("f1", 50000)
+        state.adjust_rate("f1", 80000)
+        assert state.reserved_rate == 80000
+
+    def test_adjust_unknown_rejected(self):
+        with pytest.raises(StateError):
+            link().adjust_rate("ghost", 100)
+
+    def test_delay_based_has_ledger(self):
+        state = link(kind=D)
+        state.reserve("f1", 50000, deadline=0.2, max_packet=12000)
+        assert state.ledger is not None
+        assert "f1" in state.ledger
+        state.release("f1")
+        assert "f1" not in state.ledger
+
+    def test_rate_based_has_no_ledger(self):
+        assert link().ledger is None
+
+    def test_adjust_rate_updates_ledger(self):
+        state = link(kind=D)
+        state.reserve("f1", 50000, deadline=0.2)
+        state.adjust_rate("f1", 75000)
+        assert state.ledger.entry("f1").rate == 75000
+        assert state.ledger.entry("f1").deadline == 0.2
+
+    def test_version_changes_on_mutation(self):
+        state = link()
+        v0 = state.version
+        state.reserve("f1", 50000)
+        assert state.version > v0
+
+    def test_reservation_count(self):
+        state = link()
+        state.reserve("a", 1)
+        state.reserve("b", 1)
+        assert state.reservation_count == 2
+
+
+class TestNodeMIB:
+    def test_register_and_lookup(self):
+        mib = NodeMIB()
+        state = mib.register_link(link())
+        assert mib.link("A", "B") is state
+        assert ("A", "B") in mib
+        assert len(mib) == 1
+
+    def test_duplicate_rejected(self):
+        mib = NodeMIB()
+        mib.register_link(link())
+        with pytest.raises(StateError):
+            mib.register_link(link())
+
+    def test_unknown_link_rejected(self):
+        with pytest.raises(TopologyError):
+            NodeMIB().link("X", "Y")
+
+
+class TestFlowMIB:
+    def record(self, flow_id="f1"):
+        from repro.workloads.profiles import flow_type
+        return FlowRecord(
+            flow_id=flow_id, spec=flow_type(0).spec,
+            delay_requirement=2.44, path_id="p", rate=50000,
+        )
+
+    def test_add_get_remove(self):
+        mib = FlowMIB()
+        mib.add(self.record())
+        assert "f1" in mib
+        assert mib.get("f1").rate == 50000
+        removed = mib.remove("f1")
+        assert removed.flow_id == "f1"
+        assert "f1" not in mib
+
+    def test_counters(self):
+        mib = FlowMIB()
+        mib.add(self.record("a"))
+        mib.add(self.record("b"))
+        mib.remove("a")
+        assert mib.admitted_total == 2
+        assert mib.terminated_total == 1
+        assert len(mib) == 1
+
+    def test_duplicate_rejected(self):
+        mib = FlowMIB()
+        mib.add(self.record())
+        with pytest.raises(StateError):
+            mib.add(self.record())
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(StateError):
+            FlowMIB().remove("ghost")
+
+    def test_get_unknown_returns_none(self):
+        assert FlowMIB().get("ghost") is None
+
+
+class TestPathRecord:
+    def make_path(self):
+        links = [
+            link("I1", "R2", kind=R),
+            link("R2", "R3", kind=R),
+            link("R3", "R4", kind=D),
+            link("R4", "R5", kind=D),
+            link("R5", "E1", kind=R),
+        ]
+        return PathRecord("p1", ["I1", "R2", "R3", "R4", "R5", "E1"], links)
+
+    def test_counts(self):
+        path = self.make_path()
+        assert path.hops == 5
+        assert path.rate_based_hops == 3
+        assert path.profile().delay_based_hops == 2
+
+    def test_d_tot(self):
+        path = self.make_path()
+        assert path.d_tot == pytest.approx(5 * 0.008)
+
+    def test_max_packet(self):
+        assert self.make_path().max_packet == 12000
+
+    def test_rate_based_prefix(self):
+        # Hops: R R D D R -> q_i before hop i: 0,1,2,2,2
+        assert self.make_path().rate_based_prefix() == [0, 1, 2, 2, 2]
+
+    def test_node_link_count_mismatch_rejected(self):
+        with pytest.raises(TopologyError):
+            PathRecord("bad", ["A", "B"], [link(), link("B", "C")])
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(TopologyError):
+            PathRecord("bad", ["A"], [])
+
+    def test_residual_bandwidth_is_bottleneck(self):
+        path = self.make_path()
+        path.links[2].reserve("f", 500000, deadline=0.1)
+        assert path.residual_bandwidth() == pytest.approx(1e6)
+
+    def test_residual_cache_invalidation(self):
+        path = self.make_path()
+        assert path.residual_bandwidth() == pytest.approx(1.5e6)
+        path.links[0].reserve("f", 100000)
+        assert path.residual_bandwidth() == pytest.approx(1.4e6)
+
+    def test_deadline_breakpoints_merge_min(self):
+        path = self.make_path()
+        # Same deadline on both delay-based hops, different loads.
+        path.links[2].reserve("a", 200000, deadline=0.2)
+        path.links[3].reserve("a", 200000, deadline=0.2)
+        path.links[3].reserve("b", 300000, deadline=0.2)
+        breakpoints = path.deadline_breakpoints()
+        assert len(breakpoints) == 1
+        deadline, slack = breakpoints[0]
+        assert deadline == 0.2
+        # The minimum is over the more loaded hop (links[3]).
+        assert slack == pytest.approx(
+            path.links[3].ledger.residual_service(0.2)
+        )
+
+    def test_deadline_breakpoints_sorted(self):
+        path = self.make_path()
+        path.links[2].reserve("a", 1000, deadline=0.9)
+        path.links[3].reserve("b", 1000, deadline=0.1)
+        deadlines = [d for d, _s in path.deadline_breakpoints()]
+        assert deadlines == [0.1, 0.9]
+
+    def test_delay_based_links(self):
+        path = self.make_path()
+        assert len(path.delay_based_links()) == 2
+
+
+class TestPathMIB:
+    def test_register_and_get(self):
+        mib = PathMIB()
+        path = PathRecord("p", ["A", "B"], [link()])
+        assert mib.register(path) is path
+        assert mib.get("p") is path
+        assert "p" in mib
+        assert len(mib) == 1
+
+    def test_reregister_same_nodes_returns_existing(self):
+        mib = PathMIB()
+        first = mib.register(PathRecord("p", ["A", "B"], [link()]))
+        second = mib.register(PathRecord("p", ["A", "B"], [link()]))
+        assert second is first
+
+    def test_conflicting_id_rejected(self):
+        mib = PathMIB()
+        mib.register(PathRecord("p", ["A", "B"], [link()]))
+        with pytest.raises(StateError):
+            mib.register(PathRecord("p", ["A", "C"], [link("A", "C")]))
+
+    def test_get_unknown_rejected(self):
+        with pytest.raises(StateError):
+            PathMIB().get("ghost")

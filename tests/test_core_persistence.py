@@ -1,0 +1,145 @@
+"""Broker checkpoint / restore: warm failover must be decision-identical."""
+
+import json
+
+import pytest
+
+from repro.core.aggregate import ContingencyMethod, ServiceClass
+from repro.core.broker import BandwidthBroker
+from repro.core.persistence import (
+    CHECKPOINT_VERSION,
+    checkpoint_broker,
+    restore_broker,
+)
+from repro.errors import StateError
+from repro.workloads.profiles import flow_type
+from repro.workloads.topologies import SchedulerSetting, fig8_domain
+
+
+def loaded_broker(*, flows=8, class_flows=5, now=0.0):
+    broker = BandwidthBroker(
+        contingency_method=ContingencyMethod.BOUNDING
+    )
+    fig8_domain(SchedulerSetting.MIXED).provision_broker(broker)
+    broker.register_class(ServiceClass("gold", 2.44, 0.24))
+    spec = flow_type(0).spec
+    for index in range(flows):
+        decision = broker.request_service(
+            f"pf{index}", spec, 2.19, "I1", "E1"
+        )
+        assert decision.admitted
+    t = now
+    for index in range(class_flows):
+        t += 500.0
+        decision = broker.request_service(
+            f"cf{index}", flow_type(index % 4).spec, 0.0, "I2", "E2",
+            service_class="gold", now=t,
+        )
+        assert decision.admitted
+    return broker, t
+
+
+class TestRoundTrip:
+    def test_checkpoint_is_json_serializable(self):
+        broker, _t = loaded_broker()
+        data = checkpoint_broker(broker)
+        restored = json.loads(json.dumps(data))
+        assert restored["version"] == CHECKPOINT_VERSION
+
+    def test_stats_preserved(self):
+        broker, _t = loaded_broker()
+        clone = restore_broker(checkpoint_broker(broker))
+        original, restored = broker.stats(), clone.stats()
+        assert restored.active_flows == original.active_flows
+        assert restored.macroflows == original.macroflows
+        assert restored.qos_state_entries == original.qos_state_entries
+
+    def test_link_reservations_identical(self):
+        broker, _t = loaded_broker()
+        clone = restore_broker(checkpoint_broker(broker))
+        for link in broker.node_mib.links():
+            twin = clone.node_mib.link(*link.link_id)
+            assert twin.reserved_rate == pytest.approx(link.reserved_rate)
+            if link.ledger is not None:
+                assert twin.ledger.distinct_deadlines == (
+                    link.ledger.distinct_deadlines
+                )
+                for t in link.ledger.distinct_deadlines:
+                    assert twin.ledger.residual_service(t) == (
+                        pytest.approx(link.ledger.residual_service(t))
+                    )
+
+    def test_subsequent_decisions_identical(self):
+        """The crux: the standby must decide exactly like the primary."""
+        broker, t = loaded_broker()
+        clone = restore_broker(checkpoint_broker(broker))
+        spec = flow_type(0).spec
+        index = 0
+        while index < 60:
+            a = broker.request_service(f"post{index}", spec, 2.19,
+                                       "I1", "E1")
+            b = clone.request_service(f"post{index}", spec, 2.19,
+                                      "I1", "E1")
+            assert a.admitted == b.admitted
+            if not a.admitted:
+                break
+            assert a.rate == pytest.approx(b.rate)
+            assert a.delay == pytest.approx(b.delay)
+            index += 1
+        assert index > 0
+
+    def test_class_joins_continue_identically(self):
+        broker, t = loaded_broker()
+        clone = restore_broker(checkpoint_broker(broker))
+        spec = flow_type(0).spec
+        for step in range(8):
+            t += 700.0
+            a = broker.request_service(
+                f"postc{step}", spec, 0.0, "I2", "E2",
+                service_class="gold", now=t,
+            )
+            b = clone.request_service(
+                f"postc{step}", spec, 0.0, "I2", "E2",
+                service_class="gold", now=t,
+            )
+            assert a.admitted == b.admitted
+            if a.admitted:
+                assert a.rate == pytest.approx(b.rate)
+
+    def test_contingency_expiry_survives_restore(self):
+        """Live contingency allocations keep their deadlines."""
+        broker, t = loaded_broker(class_flows=1)
+        macro_key = next(iter(broker.aggregate.macroflows))
+        macro = broker.aggregate.macroflows[macro_key]
+        assert macro.contingency_rate > 0
+        clone = restore_broker(checkpoint_broker(broker))
+        twin = clone.aggregate.macroflows[macro_key]
+        assert twin.contingency_rate == pytest.approx(
+            macro.contingency_rate
+        )
+        assert clone.aggregate.next_expiry() == pytest.approx(
+            broker.aggregate.next_expiry()
+        )
+        clone.advance(clone.aggregate.next_expiry() + 1.0)
+        assert twin.contingency_rate == 0.0
+
+    def test_terminate_after_restore(self):
+        broker, _t = loaded_broker(flows=3, class_flows=2)
+        clone = restore_broker(checkpoint_broker(broker))
+        clone.terminate("pf0")
+        clone.terminate("cf0", now=1e6)
+        assert clone.stats().active_flows == 3
+
+    def test_empty_broker_roundtrip(self):
+        broker = BandwidthBroker()
+        fig8_domain(SchedulerSetting.RATE_ONLY).provision_broker(broker)
+        clone = restore_broker(checkpoint_broker(broker))
+        assert clone.stats().active_flows == 0
+        assert len(clone.node_mib) == 7
+
+    def test_version_mismatch_rejected(self):
+        broker, _t = loaded_broker(flows=1, class_flows=0)
+        data = checkpoint_broker(broker)
+        data["version"] = 99
+        with pytest.raises(StateError):
+            restore_broker(data)

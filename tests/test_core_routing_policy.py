@@ -1,0 +1,156 @@
+"""Routing module (widest-shortest paths) and policy control."""
+
+import pytest
+
+from repro.core.admission import AdmissionRequest
+from repro.core.mibs import LinkQoSState, NodeMIB, PathMIB
+from repro.core.policy import (
+    AllowedPairsRule,
+    FlowQuotaRule,
+    MaxPeakRateRule,
+    MinDelayRequirementRule,
+    PolicyModule,
+)
+from repro.core.routing import RoutingModule
+from repro.errors import TopologyError
+from repro.vtrs.timestamps import SchedulerKind
+
+R = SchedulerKind.RATE_BASED
+
+
+def make_routing(edges, capacities=None):
+    node_mib = NodeMIB()
+    for index, (src, dst) in enumerate(edges):
+        capacity = (capacities or {}).get((src, dst), 1e6)
+        node_mib.register_link(
+            LinkQoSState((src, dst), capacity, R, max_packet=12000)
+        )
+    return RoutingModule(node_mib, PathMIB()), node_mib
+
+
+class TestShortestPaths:
+    def test_single_path(self):
+        routing, _mib = make_routing([("A", "B"), ("B", "C")])
+        assert routing.shortest_paths("A", "C") == [["A", "B", "C"]]
+
+    def test_all_shortest_enumerated(self):
+        routing, _mib = make_routing(
+            [("A", "B1"), ("A", "B2"), ("B1", "C"), ("B2", "C")]
+        )
+        assert routing.shortest_paths("A", "C") == [
+            ["A", "B1", "C"], ["A", "B2", "C"],
+        ]
+
+    def test_shorter_beats_wider(self):
+        routing, _mib = make_routing(
+            [("A", "C"), ("A", "B"), ("B", "C")]
+        )
+        assert routing.shortest_paths("A", "C") == [["A", "C"]]
+
+    def test_unreachable_is_empty(self):
+        routing, _mib = make_routing([("A", "B"), ("C", "D")])
+        assert routing.shortest_paths("A", "D") == []
+
+    def test_unknown_nodes_rejected(self):
+        routing, _mib = make_routing([("A", "B")])
+        with pytest.raises(TopologyError):
+            routing.shortest_paths("X", "B")
+        with pytest.raises(TopologyError):
+            routing.shortest_paths("A", "Y")
+
+    def test_directedness(self):
+        routing, _mib = make_routing([("A", "B")])
+        assert routing.shortest_paths("B", "A") == []
+
+
+class TestSelectPath:
+    def test_widest_among_equal_length(self):
+        routing, node_mib = make_routing(
+            [("A", "B1"), ("A", "B2"), ("B1", "C"), ("B2", "C")]
+        )
+        node_mib.link("A", "B1").reserve("f", 900000)  # narrow the B1 branch
+        path = routing.select_path("A", "C")
+        assert path.nodes == ("A", "B2", "C")
+
+    def test_returns_none_when_unreachable(self):
+        routing, _mib = make_routing([("A", "B")])
+        assert routing.select_path("A", "Z") is None if False else True
+        # unreachable registered node:
+        routing2, _mib2 = make_routing([("A", "B"), ("C", "D")])
+        assert routing2.select_path("A", "D") is None
+
+    def test_registers_in_path_mib(self):
+        routing, _mib = make_routing([("A", "B"), ("B", "C")])
+        path = routing.select_path("A", "C")
+        assert routing.path_mib.get(path.path_id) is path
+
+    def test_pin_path_explicit(self):
+        routing, _mib = make_routing([("A", "B"), ("B", "C")])
+        path = routing.pin_path(["A", "B", "C"])
+        assert path.path_id == "A->B->C"
+        # Pinning the same nodes again returns the same record.
+        assert routing.pin_path(["A", "B", "C"]) is path
+
+    def test_bottleneck(self):
+        routing, node_mib = make_routing([("A", "B"), ("B", "C")])
+        node_mib.link("B", "C").reserve("f", 400000)
+        assert routing.bottleneck(["A", "B", "C"]) == pytest.approx(600000)
+
+
+class TestPolicyRules:
+    def request(self, *, peak=100000, delay=1.0):
+        from repro.traffic.spec import TSpec
+        return AdmissionRequest(
+            "f", TSpec(sigma=20000, rho=10000, peak=peak, max_packet=8000),
+            delay,
+        )
+
+    def test_max_peak_rate(self):
+        rule = MaxPeakRateRule(50000)
+        assert rule.check(self.request(peak=100000), "I", "E") is not None
+        assert rule.check(self.request(peak=40000), "I", "E") is None
+
+    def test_min_delay_requirement(self):
+        rule = MinDelayRequirementRule(0.5)
+        assert rule.check(self.request(delay=0.1), "I", "E") is not None
+        assert rule.check(self.request(delay=1.0), "I", "E") is None
+
+    def test_allowed_pairs(self):
+        rule = AllowedPairsRule([("I1", "E1")])
+        assert rule.check(self.request(), "I1", "E1") is None
+        assert rule.check(self.request(), "I2", "E1") is not None
+
+    def test_flow_quota(self):
+        count = [0]
+        rule = FlowQuotaRule(2, lambda: count[0])
+        assert rule.check(self.request(), "I", "E") is None
+        count[0] = 2
+        assert rule.check(self.request(), "I", "E") is not None
+
+    def test_module_first_violation_wins(self):
+        module = PolicyModule([
+            MaxPeakRateRule(50000),
+            MinDelayRequirementRule(0.5),
+        ])
+        verdict = module.evaluate(self.request(peak=100000, delay=0.1),
+                                  "I", "E")
+        assert not verdict.allowed
+        assert verdict.rule == "max-peak-rate"
+
+    def test_module_allows_when_all_pass(self):
+        module = PolicyModule([MaxPeakRateRule(1e9)])
+        verdict = module.evaluate(self.request(), "I", "E")
+        assert verdict.allowed
+
+    def test_module_counters(self):
+        module = PolicyModule([MaxPeakRateRule(50000)])
+        module.evaluate(self.request(peak=100000), "I", "E")
+        module.evaluate(self.request(peak=10000), "I", "E")
+        assert module.evaluations == 2
+        assert module.rejections == 1
+
+    def test_add_rule(self):
+        module = PolicyModule()
+        assert module.evaluate(self.request(), "I", "E").allowed
+        module.add_rule(AllowedPairsRule([]))
+        assert not module.evaluate(self.request(), "I", "E").allowed

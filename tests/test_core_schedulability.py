@@ -1,0 +1,258 @@
+"""DeadlineLedger: residual service, admission, brute-force equivalence."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, StateError
+from repro.core.schedulability import DeadlineLedger
+
+
+def brute_force_demand(entries, t):
+    """Direct evaluation of the eq. (5) left-hand side."""
+    return sum(
+        rate * (t - deadline) + packet
+        for rate, deadline, packet in entries
+        if t >= deadline
+    )
+
+
+def brute_force_schedulable(entries, capacity):
+    """Check eq. (5) at every breakpoint plus the slope condition."""
+    if sum(rate for rate, _d, _l in entries) > capacity * (1 + 1e-12):
+        return False
+    return all(
+        brute_force_demand(entries, d) <= capacity * d + 1e-9
+        for _r, d, _l in entries
+    )
+
+
+class TestBasics:
+    def test_empty_ledger(self):
+        ledger = DeadlineLedger(1e6)
+        assert len(ledger) == 0
+        assert ledger.total_rate == 0.0
+        assert ledger.residual_rate == 1e6
+        assert ledger.is_schedulable()
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeadlineLedger(0)
+
+    def test_add_and_lookup(self):
+        ledger = DeadlineLedger(1e6)
+        ledger.add("f1", 50000, 0.1, 12000)
+        assert "f1" in ledger
+        entry = ledger.entry("f1")
+        assert entry.rate == 50000
+        assert entry.deadline == 0.1
+
+    def test_duplicate_add_rejected(self):
+        ledger = DeadlineLedger(1e6)
+        ledger.add("f1", 50000, 0.1, 12000)
+        with pytest.raises(StateError):
+            ledger.add("f1", 10000, 0.2, 12000)
+
+    def test_invalid_reservation_rejected(self):
+        ledger = DeadlineLedger(1e6)
+        with pytest.raises(ConfigurationError):
+            ledger.add("f1", 0, 0.1, 12000)
+        with pytest.raises(ConfigurationError):
+            ledger.add("f2", 100, -0.1, 12000)
+        with pytest.raises(ConfigurationError):
+            ledger.add("f3", 100, 0.1, 0)
+
+    def test_remove_restores_state(self):
+        ledger = DeadlineLedger(1e6)
+        ledger.add("f1", 50000, 0.1, 12000)
+        ledger.remove("f1")
+        assert len(ledger) == 0
+        assert ledger.total_rate == 0.0
+        assert ledger.distinct_deadlines == ()
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(StateError):
+            DeadlineLedger(1e6).remove("ghost")
+
+    def test_entry_unknown_rejected(self):
+        with pytest.raises(StateError):
+            DeadlineLedger(1e6).entry("ghost")
+
+    def test_distinct_deadlines_sorted_and_deduped(self):
+        ledger = DeadlineLedger(1e6)
+        ledger.add("a", 1000, 0.3, 100)
+        ledger.add("b", 1000, 0.1, 100)
+        ledger.add("c", 1000, 0.3, 100)
+        assert ledger.distinct_deadlines == (0.1, 0.3)
+
+    def test_update_rate(self):
+        ledger = DeadlineLedger(1e6)
+        ledger.add("f1", 50000, 0.1, 12000)
+        ledger.update_rate("f1", 80000)
+        assert ledger.entry("f1").rate == 80000
+        assert ledger.total_rate == 80000
+
+    def test_version_bumps_on_mutation(self):
+        ledger = DeadlineLedger(1e6)
+        v0 = ledger.version
+        ledger.add("f1", 50000, 0.1, 12000)
+        assert ledger.version > v0
+
+
+class TestResidualService:
+    def test_empty_is_ct(self):
+        ledger = DeadlineLedger(1e6)
+        assert ledger.residual_service(0.5) == pytest.approx(5e5)
+
+    def test_single_flow(self):
+        ledger = DeadlineLedger(1e6)
+        ledger.add("f1", 100000, 0.2, 12000)
+        # W(0.5) = C*0.5 - (r*(0.5-0.2) + L)
+        assert ledger.residual_service(0.5) == pytest.approx(
+            5e5 - (100000 * 0.3 + 12000)
+        )
+
+    def test_before_deadline_excluded(self):
+        ledger = DeadlineLedger(1e6)
+        ledger.add("f1", 100000, 0.2, 12000)
+        assert ledger.residual_service(0.1) == pytest.approx(1e5)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeadlineLedger(1e6).residual_service(-1.0)
+
+    def test_demand_complements_residual(self):
+        ledger = DeadlineLedger(1e6)
+        ledger.add("a", 50000, 0.1, 12000)
+        ledger.add("b", 30000, 0.4, 6000)
+        for t in (0.05, 0.1, 0.25, 0.4, 1.0):
+            assert ledger.demand(t) + ledger.residual_service(t) == (
+                pytest.approx(1e6 * t)
+            )
+
+    def test_segment_aggregates(self):
+        ledger = DeadlineLedger(1e6)
+        ledger.add("a", 50000, 0.1, 12000)
+        ledger.add("b", 30000, 0.4, 6000)
+        rate, rate_dl, packet = ledger.segment_aggregates(0.2)
+        assert rate == 50000
+        assert rate_dl == pytest.approx(5000)
+        assert packet == 12000
+
+
+class TestAdmissible:
+    def test_fits_easily(self):
+        ledger = DeadlineLedger(1.5e6)
+        assert ledger.admissible(50000, 0.24, 12000)
+
+    def test_paper_capacity_boundary(self):
+        """30 type-0 flows at d = 0.24 fill the 1.5 Mb/s VT-EDF link
+        exactly; the 31st does not fit."""
+        ledger = DeadlineLedger(1.5e6)
+        for index in range(30):
+            assert ledger.admissible(50000, 0.24, 12000)
+            ledger.add(f"f{index}", 50000, 0.24, 12000)
+        assert not ledger.admissible(50000, 0.24, 12000)
+
+    def test_rate_slope_condition(self):
+        ledger = DeadlineLedger(1e5)
+        ledger.add("a", 90000, 0.5, 1000)
+        assert not ledger.admissible(20000, 10.0, 1000)
+
+    def test_own_deadline_needs_packet_slack(self):
+        ledger = DeadlineLedger(1e6)
+        # W(d) = C d = 1000 at d = 1e-3; a 12000-bit packet cannot fit.
+        assert not ledger.admissible(1000, 1e-3, 12000)
+        assert ledger.admissible(1000, 0.1, 12000)
+
+    def test_existing_deadline_protection(self):
+        """A new short-deadline flow must not break an existing flow's
+        deadline even when the slope condition passes."""
+        ledger = DeadlineLedger(1e5)
+        ledger.add("tight", 10000, 0.05, 4000)  # W(0.05) = 1000
+        # Candidate (50k, 0.01, 900): slope fine (60k < 100k), own
+        # deadline fine (W(0.01) = 1000 >= 900), but at t = 0.05 it
+        # injects 50000*0.04 + 900 = 2900 > 1000 of residual service.
+        assert not ledger.admissible(50000, 0.01, 900)
+        # A gentler candidate fits: 1000*0.04 + 900 = 940 <= 1000.
+        assert ledger.admissible(1000, 0.01, 900)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=1000, max_value=200000),   # rate
+            st.floats(min_value=0.01, max_value=2.0),      # deadline
+            st.floats(min_value=100, max_value=12000),     # packet
+        ),
+        min_size=0,
+        max_size=8,
+    ),
+    st.tuples(
+        st.floats(min_value=1000, max_value=200000),
+        st.floats(min_value=0.01, max_value=2.0),
+        st.floats(min_value=100, max_value=12000),
+    ),
+)
+def test_property_admissible_matches_brute_force(existing, candidate):
+    """ledger.admissible == brute-force re-check of eq. (5) with the
+    candidate inserted (up to boundary tolerance)."""
+    capacity = 5e5
+    ledger = DeadlineLedger(capacity)
+    kept = []
+    for index, (rate, deadline, packet) in enumerate(existing):
+        if ledger.admissible(rate, deadline, packet):
+            ledger.add(f"f{index}", rate, deadline, packet)
+            kept.append((rate, deadline, packet))
+    verdict = ledger.admissible(*candidate)
+    brute = brute_force_schedulable(kept + [candidate], capacity)
+    # Allow disagreement only within a hair of the boundary.
+    if verdict != brute:
+        demand_gap = min(
+            abs(
+                brute_force_demand(kept + [candidate], d) - capacity * d
+            )
+            for _r, d, _l in kept + [candidate]
+        )
+        rate_gap = abs(
+            sum(r for r, _d, _l in kept) + candidate[0] - capacity
+        )
+        assert min(demand_gap, rate_gap) < 1e-3
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=1000, max_value=100000),
+            st.floats(min_value=0.01, max_value=2.0),
+            st.floats(min_value=100, max_value=12000),
+        ),
+        min_size=1,
+        max_size=8,
+    ),
+    st.floats(min_value=0.0, max_value=3.0),
+)
+def test_property_residual_matches_brute_force(entries, t):
+    """W(t) from prefix sums equals the direct sum."""
+    ledger = DeadlineLedger(1e6)
+    for index, (rate, deadline, packet) in enumerate(entries):
+        ledger.add(f"f{index}", rate, deadline, packet)
+    expected = 1e6 * t - brute_force_demand(entries, t)
+    assert ledger.residual_service(t) == pytest.approx(expected, abs=1e-3)
+
+
+def test_property_add_remove_roundtrip():
+    """Adding then removing any subset restores all queries."""
+    ledger = DeadlineLedger(1e6)
+    base = [(50000, 0.1, 12000), (30000, 0.4, 6000), (20000, 0.4, 3000)]
+    for index, entry in enumerate(base):
+        ledger.add(f"base{index}", *entry)
+    before = [ledger.residual_service(t) for t in (0.05, 0.1, 0.4, 1.0)]
+    ledger.add("temp1", 10000, 0.2, 1000)
+    ledger.add("temp2", 5000, 0.1, 2000)
+    ledger.remove("temp1")
+    ledger.remove("temp2")
+    after = [ledger.residual_service(t) for t in (0.05, 0.1, 0.4, 1.0)]
+    assert before == pytest.approx(after)

@@ -1,0 +1,153 @@
+"""Statistical (Hoeffding) admission control."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.admission import AdmissionRequest, PerFlowAdmission
+from repro.core.statistical import HoeffdingAdmission
+from repro.errors import ConfigurationError, StateError
+from repro.workloads.profiles import flow_type
+from repro.workloads.topologies import SchedulerSetting, fig8_domain
+
+
+def build():
+    domain = fig8_domain(SchedulerSetting.RATE_ONLY)
+    node_mib, flow_mib, path_mib, path1, path2 = domain.build_mibs()
+    return path1, path2, node_mib
+
+
+def saturate(ac, path, spec, bound_or_none=None, limit=200):
+    count = 0
+    while count < limit:
+        request = AdmissionRequest(f"f{count}", spec, bound_or_none or 60.0)
+        if not ac.admit(request, path).admitted:
+            break
+        count += 1
+    return count
+
+
+class TestParameters:
+    def test_invalid_epsilon_rejected(self):
+        for epsilon in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ConfigurationError):
+                HoeffdingAdmission(epsilon=epsilon)
+
+    def test_duplicate_flow_rejected(self, type0_spec):
+        path1, _p2, _mib = build()
+        ac = HoeffdingAdmission(epsilon=1e-3)
+        ac.admit(AdmissionRequest("f", type0_spec, 1.0), path1)
+        assert not ac.test(
+            AdmissionRequest("f", type0_spec, 1.0), path1
+        ).admitted
+
+    def test_release_unknown_rejected(self):
+        with pytest.raises(StateError):
+            HoeffdingAdmission(epsilon=1e-3).release("ghost")
+
+
+class TestMultiplexingGain:
+    def test_between_peak_and_mean_allocation(self, type0_spec):
+        """eps -> 0 approaches peak-rate counts, eps -> 1 approaches
+        mean-rate counts; a practical eps sits strictly between."""
+        path1, _p2, _mib = build()
+        capacity = 1.5e6
+        peak_count = int(capacity / type0_spec.peak)   # 15
+        mean_count = int(capacity / type0_spec.rho)    # 30
+        ac = HoeffdingAdmission(epsilon=0.05)
+        admitted = saturate(ac, path1, type0_spec)
+        assert peak_count < admitted < mean_count
+
+    def test_monotone_in_epsilon(self, type0_spec):
+        counts = []
+        for epsilon in (1e-9, 1e-6, 1e-3, 1e-1, 0.9):
+            path1, _p2, _mib = build()
+            ac = HoeffdingAdmission(epsilon=epsilon)
+            counts.append(saturate(ac, path1, type0_spec))
+        assert counts == sorted(counts)
+
+    def test_closed_form_matches_sequential(self, type0_spec):
+        for epsilon in (1e-4, 1e-2):
+            path1, _p2, _mib = build()
+            ac = HoeffdingAdmission(epsilon=epsilon)
+            sequential = saturate(ac, path1, type0_spec)
+            closed = HoeffdingAdmission.max_identical_flows(
+                type0_spec, 1.5e6, epsilon
+            )
+            assert sequential == closed
+
+    def test_beats_peak_allocation_on_bursty_flows(self, type3_spec):
+        """Multiplexing gain grows with burstiness: type-3 flows
+        (P/rho = 5) double the peak-allocation count at eps = 1%."""
+        path1, _p2, _mib = build()
+        stat = HoeffdingAdmission(epsilon=1e-2)
+        statistical = saturate(stat, path1, type3_spec)
+        peak_count = int(1.5e6 / type3_spec.peak)  # 15
+        assert statistical >= 2 * peak_count
+
+
+class TestStateAndRelease:
+    def test_two_scalar_state(self, type0_spec):
+        path1, _p2, _mib = build()
+        ac = HoeffdingAdmission(epsilon=1e-3)
+        for index in range(5):
+            ac.admit(AdmissionRequest(f"f{index}", type0_spec, 1.0), path1)
+        state = ac.link_state(("R2", "R3"))
+        assert state.flows == 5
+        assert state.sum_mean == pytest.approx(5 * type0_spec.rho)
+        assert state.sum_peak_sq == pytest.approx(5 * type0_spec.peak ** 2)
+
+    def test_release_restores_capacity(self, type0_spec):
+        path1, _p2, _mib = build()
+        ac = HoeffdingAdmission(epsilon=1e-3)
+        full = saturate(ac, path1, type0_spec)
+        for index in range(3):
+            ac.release(f"f{index}")
+        recovered = 0
+        while ac.admit(
+            AdmissionRequest(f"g{recovered}", type0_spec, 1.0), path1
+        ).admitted:
+            recovered += 1
+        assert recovered == 3
+
+    def test_empty_link_state_is_exactly_zero(self, type0_spec):
+        path1, _p2, _mib = build()
+        ac = HoeffdingAdmission(epsilon=1e-3)
+        ac.admit(AdmissionRequest("f", type0_spec, 1.0), path1)
+        ac.release("f")
+        state = ac.link_state(("R2", "R3"))
+        assert state.sum_mean == 0.0
+        assert state.sum_peak_sq == 0.0
+
+    def test_effective_bandwidth_empty(self):
+        from repro.core.statistical import StatisticalLinkState
+        assert StatisticalLinkState(1e6).effective_bandwidth(1e-3) == 0.0
+
+
+class TestGuaranteeEmpirically:
+    def test_overflow_probability_within_epsilon(self, type0_spec):
+        """Monte-Carlo check of the Hoeffding bound: admit to
+        saturation, model each flow as an independent on-off source
+        with on-probability rho/P, and measure how often the aggregate
+        instantaneous rate exceeds capacity."""
+        capacity = 1.5e6
+        epsilon = 0.05
+        n = HoeffdingAdmission.max_identical_flows(
+            type0_spec, capacity, epsilon
+        )
+        p_on = type0_spec.rho / type0_spec.peak
+        rng = random.Random(7)
+        trials = 20000
+        overflows = sum(
+            1
+            for _ in range(trials)
+            if sum(
+                type0_spec.peak
+                for _f in range(n)
+                if rng.random() < p_on
+            ) > capacity
+        )
+        assert overflows / trials <= epsilon

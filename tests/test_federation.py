@@ -1,0 +1,348 @@
+"""Distributed/hierarchical bandwidth brokers.
+
+The headline property: the federation makes *exactly* the decisions a
+centralized broker makes — same admitted set, same rate-delay pairs —
+on any domain split. Plus the two-phase protocol's safety properties:
+stale views never over-commit, failed prepares leave no residue.
+"""
+
+import pytest
+
+from repro.core.admission import AdmissionRequest, PerFlowAdmission
+from repro.errors import StateError, TopologyError
+from repro.federation import FederatedBroker, RegionalBroker
+from repro.vtrs.timestamps import SchedulerKind
+from repro.workloads.profiles import flow_type
+from repro.workloads.topologies import SchedulerSetting, fig8_domain
+
+R, D = SchedulerKind.RATE_BASED, SchedulerKind.DELAY_BASED
+
+
+def split_fig8(setting=SchedulerSetting.MIXED, split_at=("R3",)):
+    """Build the Figure 8 domain split into regions at given nodes.
+
+    Links whose source node sorts before the first split node go to
+    region "west", the rest to "east" (a simple but real partition:
+    path I1..E1 crosses both).
+    """
+    domain = fig8_domain(setting)
+    west = RegionalBroker("west")
+    east = RegionalBroker("east")
+    west_sources = {"I1", "I2", "R2"}
+    for plan in domain.links:
+        target = west if plan.src in west_sources else east
+        target.add_link(
+            plan.src, plan.dst, plan.capacity, plan.kind,
+            propagation=plan.propagation, max_packet=plan.max_packet,
+        )
+    return FederatedBroker([west, east]), west, east, domain
+
+
+def central_stack(setting=SchedulerSetting.MIXED):
+    domain = fig8_domain(setting)
+    node_mib, flow_mib, path_mib, path1, path2 = domain.build_mibs()
+    return PerFlowAdmission(node_mib, flow_mib, path_mib), path1, path2
+
+
+PATH1 = ("I1", "R2", "R3", "R4", "R5", "E1")
+
+
+class TestSegmentation:
+    def test_path_splits_at_region_border(self):
+        federation, west, east, _domain = split_fig8()
+        segments = federation.segment_path(PATH1)
+        assert [(owner.region_id, seg) for owner, seg in segments] == [
+            ("west", ("I1", "R2", "R3")),
+            ("east", ("R3", "R4", "R5", "E1")),
+        ]
+
+    def test_single_region_path(self):
+        federation, _west, _east, _domain = split_fig8()
+        segments = federation.segment_path(("I1", "R2", "R3"))
+        assert len(segments) == 1
+
+    def test_unowned_link_rejected(self):
+        federation, _w, _e, _d = split_fig8()
+        with pytest.raises(TopologyError):
+            federation.segment_path(("I1", "Mars"))
+
+    def test_duplicate_ownership_rejected(self):
+        west = RegionalBroker("west")
+        east = RegionalBroker("east")
+        for region in (west, east):
+            region.add_link("A", "B", 1e6, R, max_packet=12000)
+        federation = FederatedBroker([west, east])
+        with pytest.raises(TopologyError):
+            federation.segment_path(("A", "B"))
+
+    def test_short_path_rejected(self):
+        federation, _w, _e, _d = split_fig8()
+        with pytest.raises(TopologyError):
+            federation.segment_path(("I1",))
+
+
+class TestEquivalenceWithCentralized:
+    @pytest.mark.parametrize("setting", [
+        SchedulerSetting.RATE_ONLY, SchedulerSetting.MIXED,
+    ], ids=["rate-only", "mixed"])
+    @pytest.mark.parametrize("bound", [2.44, 2.19])
+    def test_same_admissions_and_rates(self, setting, bound):
+        """Sequential saturation: the federation admits the same flows
+        at the same rate-delay pairs as the centralized broker."""
+        federation, _w, _e, _domain = split_fig8(setting)
+        central, path1, _p2 = central_stack(setting)
+        spec = flow_type(0).spec
+        index = 0
+        while True:
+            fed = federation.request_service(
+                f"f{index}", spec, bound, PATH1
+            )
+            cen = central.admit(
+                AdmissionRequest(f"f{index}", spec, bound), path1
+            )
+            assert fed.admitted == cen.admitted
+            if not fed.admitted:
+                break
+            assert fed.rate == pytest.approx(cen.rate)
+            assert fed.delay == pytest.approx(cen.delay)
+            index += 1
+        assert index in (30, 27)  # Table 2 counts
+
+    def test_mixed_population_equivalence(self):
+        """Heterogeneous types and interleaved terminations."""
+        federation, _w, _e, _domain = split_fig8()
+        central, path1, _p2 = central_stack()
+        log = []
+        for index in range(40):
+            profile = flow_type(index % 4)
+            fed = federation.request_service(
+                f"f{index}", profile.spec, profile.tight_delay, PATH1
+            )
+            cen = central.admit(
+                AdmissionRequest(
+                    f"f{index}", profile.spec, profile.tight_delay
+                ),
+                path1,
+            )
+            assert fed.admitted == cen.admitted, index
+            if fed.admitted:
+                assert fed.rate == pytest.approx(cen.rate)
+                log.append(f"f{index}")
+            if index % 7 == 3 and log:
+                victim = log.pop(0)
+                federation.terminate(victim)
+                central.release(victim)
+
+
+class TestTwoPhaseProtocol:
+    def test_commit_books_both_regions(self, type0_spec):
+        federation, west, east, _domain = split_fig8()
+        decision = federation.request_service("f1", type0_spec, 2.44, PATH1)
+        assert decision.admitted
+        assert west.committed_flows() == 1
+        assert east.committed_flows() == 1
+        assert west.pending_transactions() == 0
+        assert federation.active_flows == 1
+
+    def test_terminate_releases_everywhere(self, type0_spec):
+        federation, west, east, _domain = split_fig8()
+        federation.request_service("f1", type0_spec, 2.44, PATH1)
+        federation.terminate("f1")
+        assert west.committed_flows() == 0
+        assert east.committed_flows() == 0
+        assert west.node_mib.link("I1", "R2").reserved_rate == 0
+        assert east.node_mib.link("R4", "R5").reserved_rate == 0
+
+    def test_terminate_unknown_raises(self):
+        federation, _w, _e, _d = split_fig8()
+        with pytest.raises(StateError):
+            federation.terminate("ghost")
+
+    def test_duplicate_flow_rejected(self, type0_spec):
+        federation, _w, _e, _d = split_fig8()
+        federation.request_service("f1", type0_spec, 2.44, PATH1)
+        decision = federation.request_service("f1", type0_spec, 2.44, PATH1)
+        assert not decision.admitted
+
+    def test_stale_view_cannot_overcommit(self, type0_spec):
+        """A competing reservation lands between view and prepare: the
+        region's live re-validation refuses, the 2PC aborts cleanly,
+        and the retry with fresh views reaches the right decision."""
+        federation, west, east, _domain = split_fig8(
+            SchedulerSetting.RATE_ONLY
+        )
+        # Fill the domain to one flow short of capacity.
+        for index in range(29):
+            assert federation.request_service(
+                f"f{index}", type0_spec, 2.44, PATH1
+            ).admitted
+
+        # A raced regional reservation grabs the last slot directly.
+        class RacingWest(RegionalBroker):
+            pass
+
+        west_link = west.node_mib.link("R2", "R3")
+        original_view = west.segment_view
+
+        def racing_view(nodes):
+            view = original_view(nodes)
+            if not west_link.holds("racer"):
+                west_link.reserve("racer", 50000)
+            return view
+
+        west.segment_view = racing_view  # type: ignore[assignment]
+        decision = federation.request_service(
+            "late", type0_spec, 2.44, PATH1
+        )
+        # The view said "one slot left", live prepare says no.
+        assert not decision.admitted
+        assert west.pending_transactions() == 0
+        assert east.pending_transactions() == 0
+        # No residue anywhere: the east region was never left holding
+        # a prepared reservation.
+        assert east.node_mib.link("R4", "R5").reserved_rate == (
+            pytest.approx(29 * 50000)
+        )
+
+    def test_failed_prepare_leaves_no_residue(self, type0_spec):
+        """Reject at the *second* region: the first region's prepared
+        reservation must be rolled back."""
+        federation, west, east, _domain = split_fig8(
+            SchedulerSetting.RATE_ONLY
+        )
+        # Saturate only the east region via a flow that crosses it alone.
+        for index in range(30):
+            assert east.prepare(
+                f"pre{index}", f"e{index}", ("R3", "R4", "R5", "E1"),
+                50000, 0.0, 12000,
+            ).ok
+            east.commit(f"pre{index}")
+        west_before = west.node_mib.link("I1", "R2").reserved_rate
+        decision = federation.request_service(
+            "f1", type0_spec, 2.44, PATH1
+        )
+        assert not decision.admitted
+        assert west.node_mib.link("I1", "R2").reserved_rate == west_before
+        assert west.pending_transactions() == 0
+
+    def test_message_accounting(self, type0_spec):
+        federation, _w, _e, _d = split_fig8()
+        federation.request_service("f1", type0_spec, 2.44, PATH1)
+        assert federation.view_rounds == 1
+        assert federation.prepares == 2  # two regions
+        assert federation.commits == 2
+        assert federation.aborts == 0
+
+
+class TestRegionalBroker:
+    def test_prepare_blocks_competitors(self, type0_spec):
+        """A prepared (uncommitted) reservation already consumes
+        capacity — that is what makes prepare a lock."""
+        region = RegionalBroker("solo")
+        region.add_link("A", "B", 100000, R, max_packet=12000)
+        assert region.prepare("t1", "f1", ("A", "B"), 80000, 0.0, 12000).ok
+        refused = region.prepare("t2", "f2", ("A", "B"), 50000, 0.0, 12000)
+        assert not refused.ok
+        region.abort("t1")
+        assert region.prepare("t3", "f2", ("A", "B"), 50000, 0.0, 12000).ok
+
+    def test_abort_unknown_txn_is_noop(self):
+        RegionalBroker("solo").abort("ghost")
+
+    def test_commit_unknown_txn_raises(self):
+        with pytest.raises(StateError):
+            RegionalBroker("solo").commit("ghost")
+
+    def test_release_unknown_flow_raises(self):
+        with pytest.raises(StateError):
+            RegionalBroker("solo").release("ghost")
+
+    def test_duplicate_txn_id_refused(self, type0_spec):
+        region = RegionalBroker("solo")
+        region.add_link("A", "B", 1e6, R, max_packet=12000)
+        assert region.prepare("t1", "f1", ("A", "B"), 1000, 0.0, 12000).ok
+        assert not region.prepare("t1", "f2", ("A", "B"), 1000, 0.0,
+                                  12000).ok
+
+    def test_delay_based_prepare_validates_ledger(self):
+        region = RegionalBroker("solo")
+        region.add_link("A", "B", 1e5, D, max_packet=12000)
+        # Deadline too tight for the packet: W(d) < L.
+        refused = region.prepare("t1", "f1", ("A", "B"), 1000, 0.01, 12000)
+        assert not refused.ok
+        assert region.prepare("t2", "f1", ("A", "B"), 1000, 0.5, 12000).ok
+
+    def test_segment_view_snapshot_isolation(self, type0_spec):
+        """Mutating live state does not change an existing view."""
+        region = RegionalBroker("solo")
+        region.add_link("A", "B", 1e6, D, max_packet=12000)
+        view = region.segment_view(("A", "B"))
+        assert region.prepare("t1", "f1", ("A", "B"), 1000, 0.5, 12000).ok
+        region.commit("t1")
+        assert view.links[0].reserved_rate == 0
+        assert view.links[0].ledger.entries == ()
+
+
+class TestEquivalenceOnRandomMeshes:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_partition_of_random_mesh(self, seed):
+        """Partition a random mesh into 2-3 regions arbitrarily; the
+        federation must still match the centralized broker decision
+        for decision across a random request stream."""
+        import random as _random
+
+        from repro.core.mibs import PathMIB
+        from repro.core.routing import RoutingModule
+        from repro.workloads.random_topologies import random_domain
+
+        rng = _random.Random(seed * 101 + 7)
+        domain = random_domain(seed, core_nodes=6, extra_links=6)
+
+        # Centralized stack over the generated links.
+        from repro.core.mibs import FlowMIB, LinkQoSState, NodeMIB
+        central_mib = NodeMIB()
+        for link in domain.node_mib.links():
+            central_mib.register_link(LinkQoSState(
+                link.link_id, link.capacity, link.kind,
+                max_packet=link.max_packet,
+            ))
+        central_paths = PathMIB()
+        central_routing = RoutingModule(central_mib, central_paths)
+        central = PerFlowAdmission(central_mib, FlowMIB(), central_paths)
+
+        # Random partition into regions.
+        region_count = rng.choice([2, 3])
+        regions = [RegionalBroker(f"r{i}") for i in range(region_count)]
+        for link in domain.node_mib.links():
+            target = rng.choice(regions)
+            target.add_link(
+                link.link_id[0], link.link_id[1], link.capacity,
+                link.kind, max_packet=link.max_packet,
+            )
+        federation = FederatedBroker(regions)
+
+        active = []
+        for index in range(40):
+            profile = flow_type(rng.randrange(4))
+            ingress = rng.choice(domain.ingresses)
+            egress = rng.choice(domain.egresses)
+            requirement = rng.uniform(0.5, 4.0)
+            # Use the same explicit path on both sides (the federation
+            # takes explicit paths; pick the centralized router's).
+            path = central_routing.select_path(ingress, egress)
+            fed = federation.request_service(
+                f"f{index}", profile.spec, requirement, path.nodes
+            )
+            cen = central.admit(
+                AdmissionRequest(f"f{index}", profile.spec, requirement),
+                path,
+            )
+            assert fed.admitted == cen.admitted, (seed, index)
+            if fed.admitted:
+                assert fed.rate == pytest.approx(cen.rate)
+                assert fed.delay == pytest.approx(cen.delay)
+                active.append(f"f{index}")
+            if active and rng.random() < 0.3:
+                victim = active.pop(rng.randrange(len(active)))
+                federation.terminate(victim)
+                central.release(victim)

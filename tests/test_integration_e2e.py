@@ -1,0 +1,242 @@
+"""End-to-end integration: the paper's soundness claim.
+
+Every flow the broker admits is driven through the *actual* packet
+data plane with worst-case (greedy) sources, and its measured
+end-to-end delay is checked against both the granted analytic bound
+and the flow's requirement. This closes the loop between the
+admission math (Sections 3-4) and the VTRS scheduling machinery.
+"""
+
+import pytest
+
+from repro.core.admission import AdmissionRequest, PerFlowAdmission
+from repro.core.broker import BandwidthBroker
+from repro.intserv.gs import IntServAdmission
+from repro.netsim.engine import Simulator
+from repro.netsim.harness import DataPlaneHarness
+from repro.vtrs.delay_bounds import e2e_delay_bound
+from repro.workloads.profiles import flow_type
+from repro.workloads.topologies import SchedulerSetting, fig8_domain
+
+
+def run_admitted_flows(setting, delay_req, *, admission="vtrs",
+                       stateful=False, flows=40, sim_time=25.0):
+    """Admit type-0 flows to saturation, simulate greedily, and return
+    (harness, bounds, requirement violations)."""
+    domain = fig8_domain(setting)
+    node_mib, flow_mib, path_mib, path1, _path2 = domain.build_mibs()
+    if admission == "vtrs":
+        ac = PerFlowAdmission(node_mib, flow_mib, path_mib)
+    else:
+        ac = IntServAdmission(node_mib, flow_mib, path_mib)
+    sim = Simulator()
+    network, schedulers = domain.build_netsim(sim, stateful=stateful)
+    harness = DataPlaneHarness(sim, network, schedulers)
+    bounds = {}
+    spec = flow_type(0).spec
+    for index in range(flows):
+        decision = ac.admit(
+            AdmissionRequest(f"f{index}", spec, delay_req), path1
+        )
+        if not decision.admitted:
+            break
+        harness.provision_flow(
+            f"f{index}", spec, decision.rate, decision.delay, path1,
+            traffic="greedy", stop_time=sim_time - 10.0,
+        )
+        bounds[f"f{index}"] = e2e_delay_bound(
+            spec, decision.rate, decision.delay, path1.profile()
+        )
+    harness.run(until=sim_time)
+    return harness, bounds
+
+
+class TestPerFlowSoundness:
+    @pytest.mark.parametrize("delay_req", [2.44, 2.19])
+    def test_rate_only_bounds_hold_at_saturation(self, delay_req):
+        harness, bounds = run_admitted_flows(
+            SchedulerSetting.RATE_ONLY, delay_req
+        )
+        assert len(bounds) >= 27
+        assert harness.violations(bounds) == []
+        # And every bound is within the requirement.
+        assert all(b <= delay_req + 1e-6 for b in bounds.values())
+
+    @pytest.mark.parametrize("delay_req", [2.44, 2.19])
+    def test_mixed_bounds_hold_at_saturation(self, delay_req):
+        harness, bounds = run_admitted_flows(
+            SchedulerSetting.MIXED, delay_req
+        )
+        assert len(bounds) >= 27
+        assert harness.violations(bounds) == []
+
+    def test_packets_actually_flowed(self):
+        harness, bounds = run_admitted_flows(
+            SchedulerSetting.RATE_ONLY, 2.44, flows=5, sim_time=15.0
+        )
+        assert harness.recorder.total_packets > 100
+
+    def test_intserv_data_plane_bounds_hold(self):
+        """The stateful baseline (VC + RC-EDF) honours its own bounds."""
+        harness, bounds = run_admitted_flows(
+            SchedulerSetting.MIXED, 2.19, admission="intserv",
+            stateful=True, flows=28, sim_time=20.0,
+        )
+        assert len(bounds) == 27
+        assert harness.violations(bounds) == []
+
+    def test_near_saturation_delays_approach_bound(self):
+        """The bounds are not vacuous: at saturation the worst measured
+        delay reaches a sizeable fraction of the analytic bound."""
+        harness, bounds = run_admitted_flows(
+            SchedulerSetting.RATE_ONLY, 2.44, sim_time=30.0
+        )
+        worst = max(
+            harness.recorder.flow_stats(fid).max_e2e for fid in bounds
+        )
+        assert worst > 0.4 * max(bounds.values())
+
+
+class TestBrokerToDataPlane:
+    def test_signaled_reservation_drives_conditioner(self, type0_spec):
+        """Full loop: signaling request -> broker decision -> edge
+        conditioner configuration -> measured delay within bound."""
+        from repro.core.signaling import FlowServiceRequest
+
+        broker = BandwidthBroker()
+        domain = fig8_domain(SchedulerSetting.MIXED)
+        path1, _path2 = domain.provision_broker(broker)
+        reply = broker.bus.send(FlowServiceRequest(
+            sender="I1", receiver="bb", flow_id="f1",
+            spec=type0_spec, delay_requirement=2.19, egress="E1",
+        ))
+        assert reply.admitted
+        sim = Simulator()
+        network, schedulers = domain.build_netsim(sim)
+        harness = DataPlaneHarness(sim, network, schedulers)
+        harness.provision_flow(
+            "f1", type0_spec, reply.rate, reply.delay,
+            broker.path_mib.get("->".join(reply.path_nodes)),
+            traffic="greedy", stop_time=10.0,
+        )
+        harness.run(until=20.0)
+        stats = harness.recorder.flow_stats("f1")
+        assert stats.packets > 0
+        assert stats.max_e2e <= 2.19 + 1e-9
+
+
+class TestMacroflowSoundness:
+    def test_static_macroflow_bound_holds(self, type0_spec):
+        """A macroflow of greedy microflows at the aggregate mean rate
+        stays within the eq. (12) bound."""
+        from repro.traffic.spec import aggregate_tspec
+        from repro.vtrs.delay_bounds import macroflow_e2e_delay_bound
+
+        domain = fig8_domain(SchedulerSetting.RATE_ONLY)
+        _n, _f, _p, path1, _p2 = domain.build_mibs()
+        sim = Simulator()
+        network, schedulers = domain.build_netsim(sim)
+        harness = DataPlaneHarness(sim, network, schedulers)
+        n = 6
+        aggregate = aggregate_tspec([type0_spec] * n)
+        rate = aggregate.rho
+        harness.provision_macroflow("gold@p1", rate, 0.0, path1)
+        for index in range(n):
+            harness.attach_microflow(
+                "gold@p1", f"m{index}", type0_spec, traffic="greedy",
+                stop_time=15.0,
+            )
+        harness.run(until=30.0)
+        bound = macroflow_e2e_delay_bound(
+            aggregate, rate, 0.0, path1.profile(), path1.max_packet
+        )
+        stats = harness.recorder.class_stats("gold@p1")
+        assert stats.packets > 0
+        assert stats.max_e2e <= bound + 1e-9
+
+    def test_vtedf_mixed_macroflow_bound_holds(self, type0_spec):
+        from repro.traffic.spec import aggregate_tspec
+        from repro.vtrs.delay_bounds import macroflow_e2e_delay_bound
+
+        domain = fig8_domain(SchedulerSetting.MIXED)
+        _n, _f, _p, path1, _p2 = domain.build_mibs()
+        sim = Simulator()
+        network, schedulers = domain.build_netsim(sim)
+        harness = DataPlaneHarness(sim, network, schedulers)
+        n, cd = 4, 0.24
+        aggregate = aggregate_tspec([type0_spec] * n)
+        rate = aggregate.rho
+        harness.provision_macroflow("gold@p1", rate, cd, path1)
+        for index in range(n):
+            harness.attach_microflow(
+                "gold@p1", f"m{index}", type0_spec, traffic="greedy",
+                stop_time=12.0,
+            )
+        harness.run(until=25.0)
+        bound = macroflow_e2e_delay_bound(
+            aggregate, rate, cd, path1.profile(), path1.max_packet
+        )
+        stats = harness.recorder.class_stats("gold@p1")
+        assert stats.max_e2e <= bound + 1e-9
+
+
+class TestTrafficVariants:
+    def test_cbr_and_poisson_also_within_bounds(self, type0_spec):
+        """Non-greedy conforming sources are, a fortiori, within the
+        bound (they are dominated by the envelope)."""
+        domain = fig8_domain(SchedulerSetting.RATE_ONLY)
+        node_mib, flow_mib, path_mib, path1, _ = domain.build_mibs()
+        ac = PerFlowAdmission(node_mib, flow_mib, path_mib)
+        sim = Simulator()
+        network, schedulers = domain.build_netsim(sim)
+        harness = DataPlaneHarness(sim, network, schedulers)
+        bounds = {}
+        for index, traffic in enumerate(["cbr", "poisson", "greedy"] * 3):
+            decision = ac.admit(
+                AdmissionRequest(f"f{index}", type0_spec, 2.44), path1
+            )
+            assert decision.admitted
+            harness.provision_flow(
+                f"f{index}", type0_spec, decision.rate, decision.delay,
+                path1, traffic=traffic, stop_time=10.0, seed=index,
+            )
+            bounds[f"f{index}"] = 2.44
+        harness.run(until=20.0)
+        assert harness.violations(bounds) == []
+
+
+class TestJitterControlledDataPlane:
+    def test_cjvc_bounds_hold_at_saturation(self):
+        """The CJVC (non-work-conserving) data plane — the Stoica-Zhang
+        scheduler CsVC is the work-conserving counterpart of — honours
+        the same bounds, and regenerates per-flow spacing at each hop."""
+        domain = fig8_domain(SchedulerSetting.RATE_ONLY)
+        node_mib, flow_mib, path_mib, path1, _ = domain.build_mibs()
+        ac = PerFlowAdmission(node_mib, flow_mib, path_mib)
+        sim = Simulator()
+        network, schedulers = domain.build_netsim(
+            sim, jitter_controlled=True
+        )
+        from repro.vtrs.schedulers import CJVC
+        assert isinstance(schedulers[("I1", "R2")], CJVC)
+        harness = DataPlaneHarness(sim, network, schedulers)
+        spec = flow_type(0).spec
+        bounds = {}
+        index = 0
+        while True:
+            decision = ac.admit(
+                AdmissionRequest(f"f{index}", spec, 2.44), path1
+            )
+            if not decision.admitted:
+                break
+            harness.provision_flow(
+                f"f{index}", spec, decision.rate, decision.delay, path1,
+                traffic="greedy", stop_time=12.0,
+            )
+            bounds[f"f{index}"] = e2e_delay_bound(
+                spec, decision.rate, decision.delay, path1.profile()
+            )
+            index += 1
+        harness.run(until=30.0)
+        assert index == 30
+        assert harness.violations(bounds) == []

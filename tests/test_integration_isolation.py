@@ -1,0 +1,209 @@
+"""Isolation, ordering and propagation: more soundness properties.
+
+* **Isolation** — the edge conditioner is the policer: a rogue source
+  blasting far beyond its declared profile hurts only itself; every
+  conforming flow keeps its delay bound (the property that makes
+  per-flow guarantees *guarantees*).
+* **Ordering** — no scheduler reorders packets within a flow.
+* **Propagation** — non-zero link propagation delays enter D_tot and
+  the measured delays stay within the (larger) bounds.
+"""
+
+import pytest
+
+from repro.core.admission import AdmissionRequest, PerFlowAdmission
+from repro.core.mibs import FlowMIB, LinkQoSState, NodeMIB, PathMIB, PathRecord
+from repro.netsim.edge import EdgeConditioner
+from repro.netsim.engine import Simulator
+from repro.netsim.harness import DataPlaneHarness
+from repro.netsim.link import Link
+from repro.netsim.packet import Packet
+from repro.netsim.sink import DelayRecorder
+from repro.netsim.sources import FlowSource
+from repro.netsim.topology import Network
+from repro.traffic.sources import PacketArrival
+from repro.traffic.spec import TSpec
+from repro.vtrs.delay_bounds import e2e_delay_bound
+from repro.vtrs.schedulers import CJVC, FIFO, WFQ, CsVC, VTEDF, VirtualClock
+from repro.vtrs.timestamps import SchedulerKind
+from repro.workloads.profiles import flow_type
+from repro.workloads.topologies import SchedulerSetting, fig8_domain
+
+
+class TestRogueFlowIsolation:
+    def test_rogue_source_cannot_break_conforming_flows(self):
+        """25 conforming greedy flows + 1 rogue source sending at 6x
+        its declared profile: the rogue's own delay explodes, the
+        conforming flows' bounds hold."""
+        domain = fig8_domain(SchedulerSetting.RATE_ONLY)
+        node_mib, flow_mib, path_mib, path1, _ = domain.build_mibs()
+        ac = PerFlowAdmission(node_mib, flow_mib, path_mib)
+        sim = Simulator()
+        network, schedulers = domain.build_netsim(sim)
+        harness = DataPlaneHarness(sim, network, schedulers)
+        spec = flow_type(0).spec
+        bounds = {}
+        for index in range(25):
+            decision = ac.admit(
+                AdmissionRequest(f"good{index}", spec, 2.44), path1
+            )
+            assert decision.admitted
+            harness.provision_flow(
+                f"good{index}", spec, decision.rate, decision.delay,
+                path1, traffic="greedy", stop_time=15.0,
+            )
+            bounds[f"good{index}"] = e2e_delay_bound(
+                spec, decision.rate, decision.delay, path1.profile()
+            )
+        # The rogue declared the same profile and got the same
+        # reservation, but its application blasts 6x the declared
+        # rate. The edge conditioner shapes it down — its own queue
+        # explodes, the core never sees the excess.
+        decision = ac.admit(AdmissionRequest("rogue", spec, 2.44), path1)
+        assert decision.admitted
+        network.install_route("rogue", path1.nodes)
+        conditioner = EdgeConditioner(
+            sim, "rogue", rate=decision.rate,
+            rate_based_prefix=path1.rate_based_prefix(),
+            inject=network.first_link("rogue").receive,
+        )
+        blast = [
+            PacketArrival(time=k * 12000 / (6 * spec.rho), size=12000)
+            for k in range(400)
+        ]
+        FlowSource(sim, "rogue", blast, conditioner.receive)
+        harness.run(until=30.0)
+        assert harness.violations(bounds) == [], "isolation broken"
+        rogue_stats = harness.recorder.flow_stats("rogue")
+        good_worst = max(
+            harness.recorder.flow_stats(fid).max_e2e for fid in bounds
+        )
+        assert rogue_stats.max_e2e > 3 * good_worst  # it hurt itself
+
+    def test_rogue_cannot_flood_the_core(self):
+        """What leaves the rogue's conditioner still conforms to its
+        reserved rate: the core carries no excess."""
+        sim = Simulator()
+        released = []
+        conditioner = EdgeConditioner(
+            sim, "rogue", rate=50000, rate_based_prefix=1,
+            inject=lambda p: released.append(sim.now),
+        )
+        for k in range(100):
+            conditioner.receive(
+                Packet(flow_id="rogue", size=12000,
+                       created_at=k * 0.001)  # 12 Mb/s offered
+            )
+        sim.run(until=30.0)
+        for earlier, later in zip(released, released[1:]):
+            assert later - earlier >= 12000 / 50000 - 1e-9
+
+
+class TestPerFlowOrdering:
+    @pytest.mark.parametrize("scheduler_cls", [
+        CsVC, CJVC, VTEDF, VirtualClock, WFQ, FIFO,
+    ])
+    def test_no_intra_flow_reordering(self, scheduler_cls):
+        """Packets of one flow depart every scheduler in arrival
+        order, even under heavy competing load."""
+        from repro.vtrs.schedulers.stateful import StatefulScheduler
+
+        spec = flow_type(0).spec
+        sim = Simulator()
+        scheduler = scheduler_cls(1.5e6, max_packet=12000)
+        order = []
+        link = Link(sim, scheduler,
+                    receiver=lambda p: order.append((p.flow_id, p.seq)))
+        network_flows = 10
+        conditioners = []
+        for index in range(network_flows):
+            flow_id = f"f{index}"
+            if isinstance(scheduler, StatefulScheduler):
+                scheduler.install_flow(flow_id, 50000, deadline=0.24)
+            conditioner = EdgeConditioner(
+                sim, flow_id, rate=50000, delay=0.24,
+                rate_based_prefix=[0] if scheduler_cls is VTEDF else 1,
+                inject=link.receive,
+            )
+            conditioners.append(conditioner)
+            from repro.traffic.sources import GreedyOnOffProcess
+            FlowSource(
+                sim, flow_id, GreedyOnOffProcess(spec, stop_time=5.0),
+                conditioner.receive,
+            )
+        sim.run(until=20.0)
+        per_flow = {}
+        for flow_id, seq in order:
+            per_flow.setdefault(flow_id, []).append(seq)
+        assert per_flow
+        for flow_id, seqs in per_flow.items():
+            assert seqs == sorted(seqs), f"{flow_id} reordered"
+
+
+class TestPropagationDelays:
+    def build_path(self, propagation):
+        node_mib = NodeMIB()
+        names = ["A", "B", "C", "D"]
+        links = []
+        for src, dst in zip(names, names[1:]):
+            links.append(node_mib.register_link(LinkQoSState(
+                (src, dst), 1.5e6, SchedulerKind.RATE_BASED,
+                propagation=propagation, max_packet=12000,
+            )))
+        path = PathRecord("p", names, links)
+        path_mib = PathMIB()
+        path_mib.register(path)
+        return PerFlowAdmission(node_mib, FlowMIB(), path_mib), path
+
+    def test_propagation_enters_d_tot(self):
+        _ac, with_prop = self.build_path(0.010)
+        _ac2, without = self.build_path(0.0)
+        assert with_prop.d_tot == pytest.approx(without.d_tot + 0.030)
+
+    def test_propagation_tightens_admission(self, type0_spec):
+        """The same requirement needs a higher rate on a long path."""
+        ac_near, path_near = self.build_path(0.0)
+        ac_far, path_far = self.build_path(0.200)
+        near = ac_near.admit(
+            AdmissionRequest("f", type0_spec, 2.0), path_near
+        )
+        far = ac_far.admit(
+            AdmissionRequest("f", type0_spec, 2.0), path_far
+        )
+        assert near.admitted and far.admitted
+        assert far.rate > near.rate
+
+    def test_measured_delay_within_bound_with_propagation(self, type0_spec):
+        """Packet-level check over links with real propagation."""
+        propagation = 0.015
+        sim = Simulator()
+        network = Network(sim)
+        names = ["A", "B", "C", "D"]
+        for src, dst in zip(names, names[1:]):
+            network.add_link(
+                src, dst, CsVC(1.5e6, max_packet=12000),
+                propagation=propagation,
+            )
+        recorder = DelayRecorder(sim)
+        network.install_sink("D", recorder.receive)
+        ac, path = self.build_path(propagation)
+        decision = ac.admit(AdmissionRequest("f", type0_spec, 2.0), path)
+        assert decision.admitted
+        network.install_route("f", names)
+        conditioner = EdgeConditioner(
+            sim, "f", rate=decision.rate,
+            rate_based_prefix=path.rate_based_prefix(),
+            inject=network.first_link("f").receive,
+        )
+        from repro.traffic.sources import GreedyOnOffProcess
+        FlowSource(sim, "f", GreedyOnOffProcess(type0_spec, stop_time=8.0),
+                   conditioner.receive)
+        sim.run(until=20.0)
+        stats = recorder.flow_stats("f")
+        assert stats.packets > 30
+        bound = e2e_delay_bound(
+            type0_spec, decision.rate, decision.delay, path.profile()
+        )
+        assert stats.max_e2e <= bound + 1e-9
+        # Propagation is real: even the best case pays 3 x 15 ms.
+        assert stats.max_e2e >= 3 * propagation

@@ -1,0 +1,294 @@
+"""Inter-domain reservations: quotes, budget splits, SLA trunks."""
+
+import math
+
+import pytest
+
+from repro.core.admission import RejectionReason
+from repro.core.broker import BandwidthBroker
+from repro.errors import ConfigurationError, StateError
+from repro.interdomain import (
+    BrokeredDomain,
+    InterDomainCoordinator,
+    PeeringSLA,
+)
+from repro.interdomain.coordinator import DomainHop
+from repro.units import mbps
+from repro.vtrs.timestamps import SchedulerKind
+from repro.workloads.profiles import flow_type
+
+R, D = SchedulerKind.RATE_BASED, SchedulerKind.DELAY_BASED
+PACKET = 12000.0
+
+
+def make_domain(name, links, capacity=mbps(1.5)):
+    broker = BandwidthBroker()
+    for src, dst, kind in links:
+        broker.add_link(src, dst, capacity, kind, max_packet=PACKET)
+    return BrokeredDomain(name, broker)
+
+
+def two_domain_world(*, trunk_bandwidth=mbps(1.5), trunk_latency=0.005):
+    west = make_domain("west", [
+        ("wI", "wR1", R), ("wR1", "wR2", R), ("wR2", "wE", R),
+    ])
+    east = make_domain("east", [
+        ("eI", "eR1", R), ("eR1", "eR2", D), ("eR2", "eE", R),
+    ])
+    sla = PeeringSLA("west", "east", bandwidth=trunk_bandwidth,
+                     latency=trunk_latency)
+    coordinator = InterDomainCoordinator([west, east], [sla])
+    route = [DomainHop("west", "wI", "wE"), DomainHop("east", "eI", "eE")]
+    return coordinator, west, east, sla, route
+
+
+class TestPeeringSLA:
+    def test_accounting(self):
+        sla = PeeringSLA("a", "b", bandwidth=1e6)
+        sla.reserve("f1", 4e5)
+        assert sla.reserved == 4e5
+        assert sla.residual == 6e5
+        assert sla.holds("f1")
+        assert sla.release("f1") == 4e5
+        assert sla.flow_count == 0
+
+    def test_overbooking_rejected(self):
+        sla = PeeringSLA("a", "b", bandwidth=1e6)
+        sla.reserve("f1", 9e5)
+        assert not sla.can_carry(2e5)
+        with pytest.raises(StateError):
+            sla.reserve("f2", 2e5)
+
+    def test_duplicate_rejected(self):
+        sla = PeeringSLA("a", "b", bandwidth=1e6)
+        sla.reserve("f1", 1e5)
+        with pytest.raises(StateError):
+            sla.reserve("f1", 1e5)
+
+    def test_release_unknown_rejected(self):
+        with pytest.raises(StateError):
+            PeeringSLA("a", "b", bandwidth=1e6).release("ghost")
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            PeeringSLA("a", "b", bandwidth=0)
+        with pytest.raises(ConfigurationError):
+            PeeringSLA("a", "b", bandwidth=1e6, latency=-1)
+
+
+class TestDelayQuote:
+    def test_quote_is_admissible_and_tight(self, type0_spec):
+        domain = make_domain("solo", [
+            ("I", "R1", R), ("R1", "R2", R), ("R2", "E", R),
+        ])
+        quote = domain.quote(type0_spec, "I", "E")
+        assert quote.feasible
+        assert quote.hops == 3
+        # The quoted value is admissible...
+        decision = domain.admit("probe", type0_spec, quote.min_delay,
+                                "I", "E")
+        assert decision.admitted
+        domain.release("probe")
+        # ...and (almost) nothing below it is.
+        tighter = domain.admit(
+            "probe2", type0_spec, quote.min_delay - 0.01, "I", "E"
+        )
+        assert not tighter.admitted
+
+    def test_quote_reflects_load(self, type0_spec):
+        domain = make_domain("solo", [("I", "R1", R), ("R1", "E", R)])
+        fresh = domain.quote(type0_spec, "I", "E").min_delay
+        # Load the domain until the residual drops below the peak rate
+        # (only then does the best grantable rate — and the quote —
+        # degrade).
+        for index in range(29):
+            assert domain.admit(f"bg{index}", type0_spec, 60.0, "I", "E")
+        loaded = domain.quote(type0_spec, "I", "E").min_delay
+        assert loaded > fresh
+
+    def test_unreachable_quote_infeasible(self, type0_spec):
+        domain = make_domain("solo", [("I", "R1", R)])
+        quote = domain.quote(type0_spec, "I", "Mars")
+        assert not quote.feasible
+
+    def test_saturated_quote_infeasible(self, type0_spec):
+        domain = make_domain("solo", [("I", "E", R)], capacity=2e5)
+        for index in range(4):
+            domain.admit(f"bg{index}", type0_spec, 60.0, "I", "E")
+        assert not domain.quote(type0_spec, "I", "E").feasible
+
+
+class TestEndToEndAdmission:
+    def test_admit_across_two_domains(self, type0_spec):
+        coordinator, west, east, sla, route = two_domain_world()
+        decision = coordinator.request_service(
+            "f1", type0_spec, 3.5, route
+        )
+        assert decision.admitted
+        assert decision.e2e_bound <= 3.5 + 1e-9
+        assert len(decision.grants) == 2
+        assert sla.holds("f1")
+        assert west.broker.stats().active_flows == 1
+        assert east.broker.stats().active_flows == 1
+
+    def test_budgets_cover_quotes_and_fit_requirement(self, type0_spec):
+        coordinator, _w, _e, sla, route = two_domain_world(
+            trunk_latency=0.01
+        )
+        decision = coordinator.request_service("f1", type0_spec, 4.0,
+                                               route)
+        assert decision.admitted
+        assert sum(g.budget for g in decision.grants) + 0.01 == (
+            pytest.approx(4.0)
+        )
+
+    def test_unachievable_requirement_rejected(self, type0_spec):
+        coordinator, _w, _e, _sla, route = two_domain_world()
+        decision = coordinator.request_service("f1", type0_spec, 0.7,
+                                               route)
+        assert not decision.admitted
+        assert decision.reason is RejectionReason.DELAY_UNACHIEVABLE
+
+    def test_sla_latency_counts_against_budget(self, type0_spec):
+        tight = 2.9  # feasible without trunk latency, infeasible with
+        coordinator, *_rest, route = two_domain_world(trunk_latency=0.0)
+        assert coordinator.request_service("f1", type0_spec, tight, route)
+        slow, *_rest2, route2 = two_domain_world(trunk_latency=10.0)
+        decision = slow.request_service("f1", type0_spec, tight, route2)
+        assert not decision.admitted
+
+    def test_trunk_exhaustion_rejected(self, type0_spec):
+        coordinator, _w, _e, sla, route = two_domain_world(
+            trunk_bandwidth=75000.0  # room for one flow, not two
+        )
+        assert coordinator.request_service("f1", type0_spec, 3.5, route)
+        decision = coordinator.request_service("f2", type0_spec, 3.5,
+                                               route)
+        assert not decision.admitted
+        assert decision.reason is RejectionReason.INSUFFICIENT_BANDWIDTH
+
+    def test_domain_refusal_rolls_back(self, type0_spec):
+        """Saturate the east domain: the west segment and the trunk
+        must be released when the east admission fails."""
+        coordinator, west, east, sla, route = two_domain_world()
+        for index in range(30):
+            east.admit(f"bg{index}", type0_spec, 60.0, "eI", "eE")
+        decision = coordinator.request_service("f1", type0_spec, 3.5,
+                                               route)
+        assert not decision.admitted
+        assert west.broker.stats().active_flows == 0
+        assert not sla.holds("f1")
+
+    def test_terminate_releases_everything(self, type0_spec):
+        coordinator, west, east, sla, route = two_domain_world()
+        coordinator.request_service("f1", type0_spec, 3.5, route)
+        coordinator.terminate("f1")
+        assert coordinator.active_flows == 0
+        assert west.broker.stats().active_flows == 0
+        assert east.broker.stats().active_flows == 0
+        assert not sla.holds("f1")
+
+    def test_terminate_unknown_rejected(self):
+        coordinator, *_rest, _route = two_domain_world()
+        with pytest.raises(StateError):
+            coordinator.terminate("ghost")
+
+    def test_duplicate_flow_rejected(self, type0_spec):
+        coordinator, *_rest, route = two_domain_world()
+        coordinator.request_service("f1", type0_spec, 3.5, route)
+        decision = coordinator.request_service("f1", type0_spec, 3.5,
+                                               route)
+        assert decision.reason is RejectionReason.DUPLICATE
+
+    def test_missing_sla_rejected(self, type0_spec):
+        west = make_domain("west", [("wI", "wE", R)])
+        east = make_domain("east", [("eI", "eE", R)])
+        coordinator = InterDomainCoordinator([west, east], [])
+        with pytest.raises(ConfigurationError):
+            coordinator.request_service(
+                "f1", type0_spec, 3.5,
+                [DomainHop("west", "wI", "wE"),
+                 DomainHop("east", "eI", "eE")],
+            )
+
+    def test_three_domain_chain(self, type0_spec):
+        domains = [
+            make_domain(f"d{i}", [
+                (f"{i}I", f"{i}R", R), (f"{i}R", f"{i}E", R),
+            ])
+            for i in range(3)
+        ]
+        slas = [
+            PeeringSLA("d0", "d1", bandwidth=mbps(1.5), latency=0.002),
+            PeeringSLA("d1", "d2", bandwidth=mbps(1.5), latency=0.002),
+        ]
+        coordinator = InterDomainCoordinator(domains, slas)
+        route = [DomainHop(f"d{i}", f"{i}I", f"{i}E") for i in range(3)]
+        decision = coordinator.request_service("f1", type0_spec, 5.0,
+                                               route)
+        assert decision.admitted
+        assert len(decision.grants) == 3
+        assert decision.sla_latency == pytest.approx(0.004)
+        assert decision.e2e_bound <= 5.0 + 1e-9
+
+    def test_capacity_matches_single_domain_intuition(self, type0_spec):
+        """With generous per-domain delay slack, the chain admits
+        about as many mean-rate flows as its 1.5 Mb/s bottleneck."""
+        coordinator, *_rest, route = two_domain_world()
+        count = 0
+        while coordinator.request_service(
+            f"f{count}", type0_spec, 8.0, route
+        ):
+            count += 1
+            if count > 40:
+                break
+        assert 27 <= count <= 30
+
+
+class TestSlackSplitStrategies:
+    def test_unknown_strategy_rejected(self):
+        west = make_domain("west", [("wI", "wE", R)])
+        with pytest.raises(ConfigurationError):
+            InterDomainCoordinator([west], [], split="zigzag")
+
+    @pytest.mark.parametrize("split", ["proportional", "equal"])
+    def test_both_strategies_fit_the_requirement(self, split, type0_spec):
+        coordinator, _w, _e, _sla, route = two_domain_world()
+        coordinator.split = split
+        decision = coordinator.request_service("f1", type0_spec, 3.5,
+                                               route)
+        assert decision.admitted
+        assert decision.e2e_bound <= 3.5 + 1e-9
+
+    def test_proportional_gives_needier_domain_more(self, type0_spec):
+        """WEST quotes a larger minimum than EAST, so proportional
+        splitting must grant it the larger share of the slack."""
+        prop, _w, _e, _sla, route = two_domain_world()
+        decision = prop.request_service("f1", type0_spec, 4.0, route)
+        west_grant, east_grant = decision.grants
+        west_quote = _quote_of(prop, route[0], type0_spec)
+        east_quote = _quote_of(prop, route[1], type0_spec)
+        assert west_quote > east_quote  # premise
+        west_slack = west_grant.budget - west_quote
+        east_slack = east_grant.budget - east_quote
+        assert west_slack > east_slack
+
+    def test_equal_split_is_equal(self, type0_spec):
+        coordinator, _w, _e, _sla, route = two_domain_world()
+        coordinator.split = "equal"
+        decision = coordinator.request_service("f1", type0_spec, 4.0,
+                                               route)
+        west_grant, east_grant = decision.grants
+        west_quote = _quote_of(coordinator, route[0], type0_spec)
+        east_quote = _quote_of(coordinator, route[1], type0_spec)
+        assert west_grant.budget - west_quote == pytest.approx(
+            east_grant.budget - east_quote, rel=0.05
+        )
+
+
+def _quote_of(coordinator, hop, spec):
+    """A domain's current quote for the hop (post-admission quotes
+    shift slightly with load; tolerance in the tests accounts for
+    the single admitted probe flow)."""
+    domain = coordinator.domains[hop.domain]
+    return domain.quote(spec, hop.ingress, hop.egress).min_delay

@@ -1,0 +1,200 @@
+"""IntServ/GS hop-by-hop baseline and RSVP signaling model."""
+
+import math
+
+import pytest
+
+from repro.core.admission import AdmissionRequest, RejectionReason
+from repro.intserv.gs import IntServAdmission
+from repro.intserv.rsvp import RsvpSignaling
+from repro.workloads.profiles import flow_type
+from repro.workloads.topologies import SchedulerSetting, fig8_domain
+
+
+def build(setting=SchedulerSetting.MIXED):
+    domain = fig8_domain(setting)
+    node_mib, flow_mib, path_mib, path1, path2 = domain.build_mibs()
+    return IntServAdmission(node_mib, flow_mib, path_mib), path1, path2
+
+
+class TestReferenceRate:
+    def test_loose_bound_is_mean_rate(self, type0_spec):
+        rate = IntServAdmission.reference_rate(type0_spec, 2.44, 5, 0.04)
+        assert rate == pytest.approx(50000)
+
+    def test_tight_bound(self, type0_spec):
+        rate = IntServAdmission.reference_rate(type0_spec, 2.19, 5, 0.04)
+        assert rate == pytest.approx(168000 / 3.11)
+
+    def test_unachievable_is_inf(self, type0_spec):
+        assert math.isinf(
+            IntServAdmission.reference_rate(type0_spec, 0.3, 5, 0.04)
+        )
+
+    def test_clamped_to_rho(self, type0_spec):
+        rate = IntServAdmission.reference_rate(type0_spec, 100.0, 5, 0.04)
+        assert rate == type0_spec.rho
+
+
+class TestAdmission:
+    def test_admits_with_wfq_rate(self, type0_spec):
+        ac, path1, _p2 = build()
+        decision = ac.admit(AdmissionRequest("f", type0_spec, 2.19), path1)
+        assert decision.admitted
+        assert decision.rate == pytest.approx(168000 / 3.11)
+        # Per-hop deadline is the WFQ per-hop delay L/R.
+        assert decision.delay == pytest.approx(12000 / decision.rate)
+
+    def test_same_counts_as_vtrs_perflow(self, type0_spec, any_setting):
+        """The paper's headline: IntServ/GS and per-flow BB/VTRS admit
+        exactly the same number of flows in all settings."""
+        from repro.core.admission import PerFlowAdmission
+        for bound in (2.44, 2.19):
+            counts = {}
+            for name in ("intserv", "vtrs"):
+                domain = fig8_domain(any_setting)
+                node_mib, flow_mib, path_mib, path1, _p2 = domain.build_mibs()
+                if name == "intserv":
+                    ac = IntServAdmission(node_mib, flow_mib, path_mib)
+                else:
+                    ac = PerFlowAdmission(node_mib, flow_mib, path_mib)
+                count = 0
+                while ac.admit(
+                    AdmissionRequest(f"f{count}", type0_spec, bound), path1
+                ).admitted:
+                    count += 1
+                counts[name] = count
+            assert counts["intserv"] == counts["vtrs"]
+
+    def test_vtrs_mean_rate_below_intserv(self, type0_spec):
+        """Path-wide optimization: the broker's *average* reserved
+        rate stays below the WFQ-reference rate at every population
+        size (the paper's Figure 9 claim — individual late flows may
+        exceed it as the VT-EDF deadlines fill up)."""
+        from repro.core.admission import PerFlowAdmission
+        domain_a = fig8_domain(SchedulerSetting.MIXED)
+        domain_b = fig8_domain(SchedulerSetting.MIXED)
+        mibs_a = domain_a.build_mibs()
+        mibs_b = domain_b.build_mibs()
+        intserv = IntServAdmission(*mibs_a[:3])
+        vtrs = PerFlowAdmission(*mibs_b[:3])
+        path_a, path_b = mibs_a[3], mibs_b[3]
+        total_intserv = total_vtrs = 0.0
+        for index in range(27):
+            d_i = intserv.admit(
+                AdmissionRequest(f"f{index}", type0_spec, 2.19), path_a
+            )
+            d_v = vtrs.admit(
+                AdmissionRequest(f"f{index}", type0_spec, 2.19), path_b
+            )
+            assert d_i.admitted and d_v.admitted
+            total_intserv += d_i.rate
+            total_vtrs += d_v.rate
+            assert total_vtrs <= total_intserv + 1e-6
+
+    def test_release(self, type0_spec):
+        ac, path1, _p2 = build()
+        ac.admit(AdmissionRequest("f", type0_spec, 2.19), path1)
+        assert ac.router_state_entries() == 5
+        ac.release("f")
+        assert ac.router_state_entries() == 0
+
+    def test_duplicate_rejected(self, type0_spec):
+        ac, path1, _p2 = build()
+        ac.admit(AdmissionRequest("f", type0_spec, 2.44), path1)
+        decision = ac.test(AdmissionRequest("f", type0_spec, 2.44), path1)
+        assert decision.reason is RejectionReason.DUPLICATE
+
+    def test_unachievable_rejected(self, type0_spec):
+        ac, path1, _p2 = build()
+        decision = ac.test(AdmissionRequest("f", type0_spec, 0.3), path1)
+        assert decision.reason is RejectionReason.DELAY_UNACHIEVABLE
+
+    def test_local_tests_counted(self, type0_spec):
+        ac, path1, _p2 = build()
+        ac.admit(AdmissionRequest("f", type0_spec, 2.44), path1)
+        assert ac.local_tests == 5  # one per hop
+
+
+class TestRsvp:
+    def test_setup_installs_soft_state(self, type0_spec):
+        ac, path1, _p2 = build()
+        rsvp = RsvpSignaling(ac)
+        decision = rsvp.setup(
+            AdmissionRequest("f", type0_spec, 2.44), path1
+        )
+        assert decision.admitted
+        # PATH + RESV state at every router on the path (5 routers).
+        assert rsvp.total_state_entries() == 10
+        assert rsvp.messages["PATH"] == 5
+        assert rsvp.messages["RESV"] == 5
+
+    def test_failed_setup_leaves_no_state(self, type0_spec):
+        ac, path1, _p2 = build()
+        rsvp = RsvpSignaling(ac)
+        decision = rsvp.setup(
+            AdmissionRequest("f", type0_spec, 0.3), path1
+        )
+        assert not decision.admitted
+        assert rsvp.total_state_entries() == 0
+        assert rsvp.messages["RESV_ERR"] == 5
+
+    def test_teardown_clears_state(self, type0_spec):
+        ac, path1, _p2 = build()
+        rsvp = RsvpSignaling(ac)
+        rsvp.setup(AdmissionRequest("f", type0_spec, 2.44), path1)
+        rsvp.teardown("f")
+        assert rsvp.total_state_entries() == 0
+        assert rsvp.messages["PATH_TEAR"] == 5
+
+    def test_refresh_load_scales_with_flows(self, type0_spec):
+        ac, path1, _p2 = build()
+        rsvp = RsvpSignaling(ac, refresh_period=30.0)
+        for index in range(5):
+            rsvp.setup(
+                AdmissionRequest(f"f{index}", type0_spec, 2.44), path1
+            )
+        # 5 flows x 5 routers x 2 state blocks / 30 s
+        assert rsvp.refresh_load_per_second() == pytest.approx(50 / 30)
+        sent = rsvp.refresh_all(now=30.0)
+        assert sent == 50
+
+    def test_expire_stale(self, type0_spec):
+        ac, path1, _p2 = build()
+        rsvp = RsvpSignaling(ac, refresh_period=30.0)
+        rsvp.setup(AdmissionRequest("f", type0_spec, 2.44), path1, now=0.0)
+        dropped = rsvp.expire_stale(now=1000.0)
+        assert dropped == 10
+        assert rsvp.total_state_entries() == 0
+
+    def test_refresh_prevents_expiry(self, type0_spec):
+        ac, path1, _p2 = build()
+        rsvp = RsvpSignaling(ac, refresh_period=30.0)
+        rsvp.setup(AdmissionRequest("f", type0_spec, 2.44), path1, now=0.0)
+        rsvp.refresh_all(now=950.0)
+        assert rsvp.expire_stale(now=1000.0) == 0
+
+    def test_state_at_specific_router(self, type0_spec):
+        ac, path1, _p2 = build()
+        rsvp = RsvpSignaling(ac)
+        rsvp.setup(AdmissionRequest("f", type0_spec, 2.44), path1)
+        assert rsvp.state_at("R3") == 2
+        assert rsvp.state_at("E1") == 0  # egress holds no forwarding state
+
+    def test_broker_signaling_is_path_length_independent(self, type0_spec):
+        """The architectural contrast: RSVP messages grow with the hop
+        count, the broker's per-flow messages do not."""
+        from repro.core.broker import BandwidthBroker
+        from repro.core.signaling import FlowServiceRequest
+        ac, path1, _p2 = build()
+        rsvp = RsvpSignaling(ac)
+        rsvp.setup(AdmissionRequest("f", type0_spec, 2.44), path1)
+
+        broker = BandwidthBroker()
+        fig8_domain(SchedulerSetting.MIXED).provision_broker(broker)
+        broker.bus.send(FlowServiceRequest(
+            sender="I1", receiver="bb", flow_id="f",
+            spec=type0_spec, delay_requirement=2.44, egress="E1",
+        ))
+        assert broker.bus.total_messages == 1  # request (+1 reply inline)
+        assert rsvp.total_messages == 10

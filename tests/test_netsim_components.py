@@ -1,0 +1,351 @@
+"""Links, topology, edge conditioner, sources and sinks."""
+
+import pytest
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.netsim.edge import EdgeConditioner
+from repro.netsim.engine import Simulator
+from repro.netsim.link import Link
+from repro.netsim.packet import Packet
+from repro.netsim.sink import DelayRecorder
+from repro.netsim.sources import FlowSource
+from repro.netsim.topology import Network
+from repro.traffic.sources import GreedyOnOffProcess, PacketArrival
+from repro.vtrs.packet_state import PacketState
+from repro.vtrs.schedulers import CJVC, FIFO, CsVC
+
+
+def stamped_packet(flow_id, *, size=12000.0, rate=50000.0, vtime=0.0,
+                   created=0.0):
+    packet = Packet(flow_id=flow_id, size=size, created_at=created)
+    packet.state = PacketState(flow_id=flow_id, rate=rate, delay=0.0,
+                               size=size, vtime=vtime)
+    return packet
+
+
+class TestLink:
+    def test_transmission_time(self):
+        sim = Simulator()
+        delivered = []
+        link = Link(sim, FIFO(1e6), receiver=delivered.append)
+        link.receive(Packet(flow_id="f", size=1e6, created_at=0.0))
+        sim.run()
+        assert sim.now == pytest.approx(1.0)  # 1e6 bits at 1e6 b/s
+        assert len(delivered) == 1
+
+    def test_serialization(self):
+        """Two packets cannot overlap on the wire."""
+        sim = Simulator()
+        times = []
+        link = Link(sim, FIFO(1e6), receiver=lambda p: times.append(sim.now))
+        link.receive(Packet(flow_id="a", size=5e5, created_at=0.0))
+        link.receive(Packet(flow_id="b", size=5e5, created_at=0.0))
+        sim.run()
+        assert times == [pytest.approx(0.5), pytest.approx(1.0)]
+
+    def test_propagation_delay(self):
+        sim = Simulator()
+        times = []
+        link = Link(sim, FIFO(1e6), propagation=0.25,
+                    receiver=lambda p: times.append(sim.now))
+        link.receive(Packet(flow_id="a", size=1e6, created_at=0.0))
+        sim.run()
+        assert times == [pytest.approx(1.25)]
+
+    def test_vtrs_stamp_updated_on_departure(self):
+        sim = Simulator()
+        out = []
+        link = Link(sim, CsVC(1e6, max_packet=12000), propagation=0.002,
+                    receiver=out.append)
+        packet = stamped_packet("f", vtime=0.0)
+        link.receive(packet)
+        sim.run()
+        # omega' = omega + L/r + Psi + pi = 0 + 0.24 + 12000/1e6 + 0.002
+        assert out[0].state.vtime == pytest.approx(0.254)
+
+    def test_fifo_leaves_stamp_untouched(self):
+        sim = Simulator()
+        out = []
+        link = Link(sim, FIFO(1e6), receiver=out.append)
+        packet = stamped_packet("f", vtime=7.0)
+        link.receive(packet)
+        sim.run()
+        assert out[0].state.vtime == 7.0
+
+    def test_nonworkconserving_wakeup(self):
+        """CJVC holds a future-eligible packet; the link must wake up."""
+        sim = Simulator()
+        out = []
+        link = Link(sim, CJVC(1e6, max_packet=12000), receiver=out.append)
+        link.receive(stamped_packet("f", vtime=2.0))
+        sim.run()
+        assert out
+        # Released at vtime 2.0 plus transmission 0.012.
+        assert sim.now == pytest.approx(2.012)
+
+    def test_missing_receiver_raises(self):
+        sim = Simulator()
+        link = Link(sim, FIFO(1e6))
+        link.receive(Packet(flow_id="f", size=100, created_at=0.0))
+        with pytest.raises(ConfigurationError):
+            sim.run()
+
+    def test_negative_propagation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Link(Simulator(), FIFO(1e6), propagation=-1.0)
+
+    def test_utilization_accounting(self):
+        sim = Simulator()
+        link = Link(sim, FIFO(1e6), receiver=lambda p: None)
+        link.receive(Packet(flow_id="f", size=5e5, created_at=0.0))
+        sim.run(until=1.0)
+        assert link.utilization == pytest.approx(0.5)
+        assert link.packets_forwarded == 1
+        assert link.bits_forwarded == 5e5
+
+
+class TestNetwork:
+    def build(self):
+        sim = Simulator()
+        net = Network(sim)
+        net.add_link("A", "B", FIFO(1e6))
+        net.add_link("B", "C", FIFO(1e6))
+        return sim, net
+
+    def test_forwarding_along_route(self):
+        sim, net = self.build()
+        sink = DelayRecorder(sim)
+        net.install_sink("C", sink.receive)
+        net.install_route("f", ["A", "B", "C"])
+        net.first_link("f").receive(Packet(flow_id="f", size=1e5,
+                                           created_at=0.0))
+        sim.run()
+        assert sink.total_packets == 1
+
+    def test_duplicate_link_rejected(self):
+        _sim, net = self.build()
+        with pytest.raises(TopologyError):
+            net.add_link("A", "B", FIFO(1e6))
+
+    def test_unknown_link_rejected(self):
+        _sim, net = self.build()
+        with pytest.raises(TopologyError):
+            net.link("A", "C")
+
+    def test_route_requires_links(self):
+        _sim, net = self.build()
+        with pytest.raises(TopologyError):
+            net.install_route("f", ["A", "C"])
+
+    def test_short_route_rejected(self):
+        _sim, net = self.build()
+        with pytest.raises(TopologyError):
+            net.install_route("f", ["A"])
+
+    def test_packet_without_route_rejected(self):
+        sim, net = self.build()
+        with pytest.raises(TopologyError):
+            net.forward(Packet(flow_id="ghost", size=1, created_at=0.0), "B")
+
+    def test_missing_sink_rejected(self):
+        sim, net = self.build()
+        net.install_route("f", ["A", "B", "C"])
+        net.first_link("f").receive(Packet(flow_id="f", size=1e5,
+                                           created_at=0.0))
+        with pytest.raises(TopologyError):
+            sim.run()
+
+    def test_macroflow_routes_by_class_id(self):
+        sim, net = self.build()
+        sink = DelayRecorder(sim)
+        net.install_sink("C", sink.receive)
+        net.install_route("macro", ["A", "B", "C"])
+        packet = Packet(flow_id="micro-1", size=1e5, created_at=0.0,
+                        class_id="macro")
+        net.first_link("macro").receive(packet)
+        sim.run()
+        assert sink.total_packets == 1
+
+    def test_diverging_routes_share_a_link(self):
+        sim = Simulator()
+        net = Network(sim)
+        net.add_link("A", "B", FIFO(1e6))
+        net.add_link("B", "C", FIFO(1e6))
+        net.add_link("B", "D", FIFO(1e6))
+        sink_c, sink_d = DelayRecorder(sim), DelayRecorder(sim)
+        net.install_sink("C", sink_c.receive)
+        net.install_sink("D", sink_d.receive)
+        net.install_route("to-c", ["A", "B", "C"])
+        net.install_route("to-d", ["A", "B", "D"])
+        net.first_link("to-c").receive(
+            Packet(flow_id="to-c", size=1e4, created_at=0.0)
+        )
+        net.first_link("to-d").receive(
+            Packet(flow_id="to-d", size=1e4, created_at=0.0)
+        )
+        sim.run()
+        assert sink_c.total_packets == 1
+        assert sink_d.total_packets == 1
+
+
+class TestEdgeConditioner:
+    def test_spacing_at_reserved_rate(self):
+        sim = Simulator()
+        released = []
+        cond = EdgeConditioner(
+            sim, "f", rate=50000, rate_based_prefix=1,
+            inject=lambda p: released.append((sim.now, p)),
+        )
+        for _ in range(3):
+            cond.receive(Packet(flow_id="f", size=12000, created_at=0.0))
+        sim.run()
+        times = [t for t, _p in released]
+        assert times == [
+            pytest.approx(0.0), pytest.approx(0.24), pytest.approx(0.48)
+        ]
+
+    def test_stamps_vtrs_state(self):
+        sim = Simulator()
+        released = []
+        cond = EdgeConditioner(
+            sim, "f", rate=50000, delay=0.1, rate_based_prefix=3,
+            inject=released.append,
+        )
+        cond.receive(Packet(flow_id="f", size=12000, created_at=0.0))
+        sim.run()
+        state = released[0].state
+        assert state.rate == 50000
+        assert state.delay == 0.1
+        assert state.vtime == released[0].entered_core_at
+
+    def test_rate_change_respaces_future_releases(self):
+        sim = Simulator()
+        released = []
+        cond = EdgeConditioner(
+            sim, "f", rate=50000, rate_based_prefix=1,
+            inject=lambda p: released.append(sim.now),
+        )
+        for _ in range(3):
+            cond.receive(Packet(flow_id="f", size=12000, created_at=0.0))
+        sim.schedule(0.25, lambda: cond.set_rate(100000))
+        sim.run()
+        # First at 0, second at 0.24 (old spacing), third re-spaced:
+        # last release 0.24 + 12000/100000 = 0.36.
+        assert released == [
+            pytest.approx(0.0), pytest.approx(0.24), pytest.approx(0.36)
+        ]
+
+    def test_backlog_and_empty_callback(self):
+        sim = Simulator()
+        empties = []
+        cond = EdgeConditioner(
+            sim, "f", rate=50000, rate_based_prefix=1,
+            inject=lambda p: None, on_empty=empties.append,
+        )
+        cond.receive(Packet(flow_id="f", size=12000, created_at=0.0))
+        cond.receive(Packet(flow_id="f", size=12000, created_at=0.0))
+        assert cond.backlog_bits() == 24000
+        assert cond.backlog_packets() == 2
+        sim.run()
+        assert cond.backlog_bits() == 0
+        assert empties == [pytest.approx(0.24)]
+        assert cond.max_backlog_bits == 24000
+
+    def test_invalid_rate_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ConfigurationError):
+            EdgeConditioner(sim, "f", rate=0, inject=lambda p: None)
+        cond = EdgeConditioner(sim, "f", rate=100, inject=lambda p: None)
+        with pytest.raises(ConfigurationError):
+            cond.set_rate(-5)
+
+    def test_missing_inject_raises(self):
+        sim = Simulator()
+        cond = EdgeConditioner(sim, "f", rate=50000)
+        cond.receive(Packet(flow_id="f", size=12000, created_at=0.0))
+        with pytest.raises(ConfigurationError):
+            sim.run()
+
+
+class TestFlowSourceAndSink:
+    def test_source_emits_process_arrivals(self, type0_spec):
+        sim = Simulator()
+        got = []
+        FlowSource(
+            sim, "f", GreedyOnOffProcess(type0_spec, stop_time=1.0),
+            got.append,
+        )
+        sim.run()
+        assert got
+        assert all(p.flow_id == "f" for p in got)
+
+    def test_max_packets_cap(self, type0_spec):
+        sim = Simulator()
+        got = []
+        FlowSource(
+            sim, "f", GreedyOnOffProcess(type0_spec), got.append,
+            max_packets=5,
+        )
+        sim.run()
+        assert len(got) == 5
+
+    def test_stop_halts_emission(self, type0_spec):
+        sim = Simulator()
+        got = []
+        source = FlowSource(
+            sim, "f", GreedyOnOffProcess(type0_spec), got.append,
+        )
+        sim.schedule(0.2, source.stop)
+        sim.run(until=5.0)
+        assert all(p.created_at <= 0.2 for p in got)
+
+    def test_class_id_propagates(self, type0_spec):
+        sim = Simulator()
+        got = []
+        FlowSource(
+            sim, "micro", GreedyOnOffProcess(type0_spec), got.append,
+            class_id="macro", max_packets=1,
+        )
+        sim.run()
+        assert got[0].class_id == "macro"
+
+    def test_explicit_arrival_list(self):
+        sim = Simulator()
+        got = []
+        arrivals = [PacketArrival(0.5, 100), PacketArrival(1.5, 200)]
+        FlowSource(sim, "f", arrivals, got.append)
+        sim.run()
+        assert [p.created_at for p in got] == [0.5, 1.5]
+        assert [p.size for p in got] == [100, 200]
+
+    def test_sink_stats(self):
+        sim = Simulator()
+        sink = DelayRecorder(sim, keep_samples=True)
+        packet = Packet(flow_id="f", size=100, created_at=0.0,
+                        class_id="macro")
+        packet.entered_core_at = 0.3
+        sim.schedule(1.0, lambda: sink.receive(packet))
+        sim.run()
+        stats = sink.flow_stats("f")
+        assert stats.packets == 1
+        assert stats.max_e2e == pytest.approx(1.0)
+        assert stats.max_edge == pytest.approx(0.3)
+        assert stats.max_core == pytest.approx(0.7)
+        assert sink.class_stats("macro").packets == 1
+        assert stats.percentile_e2e(0.5) == pytest.approx(1.0)
+
+    def test_sink_mean_and_max(self):
+        sim = Simulator()
+        sink = DelayRecorder(sim)
+        for delay in (1.0, 2.0, 3.0):
+            packet = Packet(flow_id="f", size=10, created_at=0.0)
+            sim.schedule_at(delay, lambda p=packet: sink.receive(p))
+        sim.run()
+        stats = sink.flow_stats("f")
+        assert stats.mean_e2e == pytest.approx(2.0)
+        assert sink.max_e2e_delay() == pytest.approx(3.0)
+
+    def test_empty_sink(self):
+        sink = DelayRecorder(Simulator())
+        assert sink.max_e2e_delay() == 0.0
+        assert sink.flow_stats("nope") is None

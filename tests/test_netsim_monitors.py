@@ -1,0 +1,115 @@
+"""Queue sampling and the VTRS invariant auditor."""
+
+import pytest
+
+from repro.core.admission import AdmissionRequest, PerFlowAdmission
+from repro.netsim.engine import Simulator
+from repro.netsim.harness import DataPlaneHarness
+from repro.netsim.link import Link
+from repro.netsim.monitors import QueueSampler, VtrsAuditor
+from repro.netsim.packet import Packet
+from repro.vtrs.packet_state import PacketState
+from repro.vtrs.schedulers import CsVC, FIFO
+from repro.workloads.profiles import flow_type
+from repro.workloads.topologies import SchedulerSetting, fig8_domain
+
+
+class TestQueueSampler:
+    def test_invalid_period_rejected(self):
+        sim = Simulator()
+        link = Link(sim, FIFO(1e6), receiver=lambda p: None)
+        with pytest.raises(ValueError):
+            QueueSampler(sim, link, period=0.0)
+
+    def test_samples_accumulate(self):
+        sim = Simulator()
+        link = Link(sim, FIFO(1e6), receiver=lambda p: None)
+        sampler = QueueSampler(sim, link, period=0.1)
+        for _ in range(5):
+            link.receive(Packet(flow_id="f", size=2e5, created_at=0.0))
+        sim.run(until=1.0)
+        assert len(sampler.samples) == 10
+        assert sampler.max_queued_packets >= 1
+        assert sampler.mean_queued_bits > 0
+
+    def test_empty_link_samples_zero(self):
+        sim = Simulator()
+        link = Link(sim, FIFO(1e6), receiver=lambda p: None)
+        sampler = QueueSampler(sim, link, period=0.5)
+        sim.run(until=2.0)
+        assert sampler.max_queued_packets == 0
+        assert sampler.mean_queued_bits == 0.0
+
+
+class TestVtrsAuditor:
+    def _saturated_run(self, setting):
+        domain = fig8_domain(setting)
+        node_mib, flow_mib, path_mib, path1, _ = domain.build_mibs()
+        ac = PerFlowAdmission(node_mib, flow_mib, path_mib)
+        sim = Simulator()
+        network, schedulers = domain.build_netsim(sim)
+        auditor = VtrsAuditor()
+        auditor.watch_network(network)
+        harness = DataPlaneHarness(sim, network, schedulers)
+        spec = flow_type(0).spec
+        index = 0
+        while True:
+            decision = ac.admit(
+                AdmissionRequest(f"f{index}", spec, 2.19), path1
+            )
+            if not decision.admitted:
+                break
+            harness.provision_flow(
+                f"f{index}", spec, decision.rate, decision.delay, path1,
+                traffic="greedy", stop_time=10.0,
+            )
+            index += 1
+        harness.run(until=20.0)
+        return auditor
+
+    @pytest.mark.parametrize("setting", [
+        SchedulerSetting.RATE_ONLY, SchedulerSetting.MIXED,
+    ], ids=["rate-only", "mixed"])
+    def test_invariants_hold_at_saturation(self, setting):
+        """Reality check and virtual spacing hold for every packet at
+        every hop — the foundations of the delay analysis."""
+        auditor = self._saturated_run(setting)
+        assert auditor.packets_checked > 1000
+        assert auditor.clean, auditor.violations[:5]
+
+    def test_reality_check_violation_detected(self):
+        """Sanity: the auditor actually fires on a doctored packet."""
+        sim = Simulator()
+        link = Link(sim, CsVC(1e6, max_packet=12000),
+                    receiver=lambda p: None)
+        auditor = VtrsAuditor()
+        auditor.watch(link)
+        packet = Packet(flow_id="f", size=12000, created_at=0.0)
+        # omega claims the packet is from the past: reality check fails.
+        packet.state = PacketState("f", rate=50000, delay=0.0,
+                                   size=12000, vtime=-5.0)
+        link.receive(packet)
+        assert not auditor.clean
+        assert auditor.violations[0].kind == "reality-check"
+
+    def test_spacing_violation_detected(self):
+        sim = Simulator()
+        link = Link(sim, CsVC(1e6, max_packet=12000),
+                    receiver=lambda p: None)
+        auditor = VtrsAuditor()
+        auditor.watch(link)
+        for omega in (10.0, 10.01):  # L/r = 0.24 required
+            packet = Packet(flow_id="f", size=12000, created_at=0.0)
+            packet.state = PacketState("f", rate=50000, delay=0.0,
+                                       size=12000, vtime=omega)
+            link.receive(packet)
+        kinds = {v.kind for v in auditor.violations}
+        assert "virtual-spacing" in kinds
+
+    def test_fifo_links_not_audited(self):
+        sim = Simulator()
+        link = Link(sim, FIFO(1e6), receiver=lambda p: None)
+        auditor = VtrsAuditor()
+        auditor.watch(link)
+        link.receive(Packet(flow_id="f", size=100, created_at=0.0))
+        assert auditor.packets_checked == 0

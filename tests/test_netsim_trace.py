@@ -1,0 +1,112 @@
+"""Packet tracing: collection, queries, export."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.netsim.edge import EdgeConditioner
+from repro.netsim.engine import Simulator
+from repro.netsim.link import Link
+from repro.netsim.packet import Packet
+from repro.netsim.sink import DelayRecorder
+from repro.netsim.sources import FlowSource
+from repro.netsim.topology import Network
+from repro.netsim.trace import PacketTracer
+from repro.traffic.sources import GreedyOnOffProcess
+from repro.vtrs.schedulers import CsVC
+from repro.workloads.profiles import flow_type
+
+
+def traced_run(*, packets=5, hops=3):
+    spec = flow_type(0).spec
+    sim = Simulator()
+    network = Network(sim)
+    nodes = [f"N{i}" for i in range(hops + 1)]
+    for src, dst in zip(nodes, nodes[1:]):
+        network.add_link(src, dst, CsVC(1.5e6, max_packet=12000))
+    tracer = PacketTracer()
+    tracer.watch_network(network)
+    recorder = DelayRecorder(sim)
+    network.install_sink(nodes[-1], tracer.wrap_sink(recorder))
+    network.install_route("f", nodes)
+    conditioner = EdgeConditioner(
+        sim, "f", rate=50000, rate_based_prefix=hops,
+        inject=network.first_link("f").receive,
+    )
+    FlowSource(sim, "f", GreedyOnOffProcess(spec), conditioner.receive,
+               max_packets=packets)
+    sim.run(until=60.0)
+    return tracer, recorder
+
+
+class TestCollection:
+    def test_one_record_per_hop_plus_delivery(self):
+        tracer, recorder = traced_run(packets=4, hops=3)
+        assert recorder.total_packets == 4
+        # 4 packets x (3 link arrivals + 1 delivery)
+        assert len(tracer) == 16
+
+    def test_packet_journey_in_order(self):
+        tracer, _recorder = traced_run(packets=2, hops=3)
+        seq = tracer.records[0].packet_seq
+        journey = tracer.packet_journey(seq)
+        assert [r.point for r in journey] == [
+            "N0->N1", "N1->N2", "N2->N3", "delivered",
+        ]
+        times = [r.time for r in journey]
+        assert times == sorted(times)
+
+    def test_vtime_advances_along_journey(self):
+        tracer, _recorder = traced_run(packets=1, hops=3)
+        journey = tracer.packet_journey(tracer.records[0].packet_seq)
+        vtimes = [r.vtime for r in journey[:-1]]  # link arrivals
+        assert vtimes == sorted(vtimes)
+        assert vtimes[-1] > vtimes[0]
+
+    def test_for_flow_and_point_filters(self):
+        tracer, _recorder = traced_run(packets=3, hops=2)
+        assert len(tracer.for_flow("f")) == len(tracer)
+        assert len(tracer.for_flow("ghost")) == 0
+        assert len(tracer.for_point("N0->N1")) == 3
+
+    def test_record_cap(self):
+        sim = Simulator()
+        link = Link(sim, CsVC(1e6, max_packet=100),
+                    receiver=lambda p: None)
+        tracer = PacketTracer(max_records=2)
+        tracer.watch_link(link)
+        from repro.vtrs.packet_state import PacketState
+        for _ in range(5):
+            packet = Packet(flow_id="f", size=100, created_at=0.0)
+            packet.state = PacketState("f", rate=1000, delay=0.0,
+                                       size=100)
+            link.receive(packet)
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+
+
+class TestExport:
+    def test_jsonl_parses(self):
+        tracer, _recorder = traced_run(packets=2, hops=2)
+        lines = tracer.to_jsonl().splitlines()
+        assert len(lines) == len(tracer)
+        parsed = [json.loads(line) for line in lines]
+        assert all("vtime" in record for record in parsed)
+
+    def test_csv_parses(self):
+        tracer, _recorder = traced_run(packets=2, hops=2)
+        rows = list(csv.DictReader(io.StringIO(tracer.to_csv())))
+        assert len(rows) == len(tracer)
+        assert rows[0]["flow_id"] == "f"
+
+    def test_stateless_packet_vtime_none(self):
+        from repro.vtrs.schedulers import FIFO
+        sim = Simulator()
+        link = Link(sim, FIFO(1e6), receiver=lambda p: None)
+        tracer = PacketTracer()
+        tracer.watch_link(link)
+        link.receive(Packet(flow_id="f", size=100, created_at=0.0))
+        assert tracer.records[0].vtime is None
+        assert json.loads(tracer.to_jsonl())["vtime"] is None

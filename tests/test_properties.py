@@ -1,0 +1,240 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These hammer the control plane with randomized domains and operation
+sequences and check the global invariants that make the architecture
+sound:
+
+* after *any* sequence of admissions and releases, every link's
+  reserved rate is within capacity and every delay-based ledger is
+  schedulable;
+* whatever the Figure 4 algorithm grants is locally admissible at
+  every hop and meets the requested bound, and is minimal up to the
+  brute-force oracle's grid;
+* aggregate joins/leaves keep the macroflow's link reservations equal
+  to its total rate on every hop;
+* the call-level simulator is a deterministic function of its seed.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.admission import AdmissionRequest, PerFlowAdmission
+from repro.core.aggregate import (
+    AggregateAdmission,
+    ContingencyMethod,
+    ServiceClass,
+)
+from repro.core.mibs import FlowMIB, LinkQoSState, NodeMIB, PathMIB, PathRecord
+from repro.traffic.spec import TSpec
+from repro.vtrs.delay_bounds import e2e_delay_bound
+from repro.vtrs.timestamps import SchedulerKind
+from repro.workloads.profiles import flow_type
+
+R, D = SchedulerKind.RATE_BASED, SchedulerKind.DELAY_BASED
+
+
+def build_path(kinds, capacity):
+    node_mib = NodeMIB()
+    names = [f"N{i}" for i in range(len(kinds) + 1)]
+    links = [
+        node_mib.register_link(
+            LinkQoSState((s, d), capacity, kind, max_packet=12000)
+        )
+        for (s, d), kind in zip(zip(names, names[1:]), kinds)
+    ]
+    path = PathRecord("p", names, links)
+    path_mib = PathMIB()
+    path_mib.register(path)
+    return PerFlowAdmission(node_mib, FlowMIB(), path_mib), path
+
+
+def spec_from(rho, peak_extra, sigma_extra):
+    return TSpec(
+        sigma=12000 + sigma_extra, rho=rho, peak=rho + peak_extra,
+        max_packet=12000,
+    )
+
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["admit", "release"]),
+        st.floats(min_value=5000, max_value=120000),   # rho
+        st.floats(min_value=1000, max_value=150000),   # peak - rho
+        st.floats(min_value=0, max_value=100000),      # sigma - L
+        st.floats(min_value=0.3, max_value=5.0),       # delay requirement
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    kinds=st.lists(st.sampled_from([R, D]), min_size=1, max_size=5),
+    capacity=st.floats(min_value=3e5, max_value=5e6),
+    ops=operations,
+)
+def test_admission_sequences_preserve_invariants(kinds, capacity, ops):
+    ac, path = build_path(kinds, capacity)
+    active = []
+    for index, (op, rho, peak_extra, sigma_extra, d_req) in enumerate(ops):
+        if op == "release" and active:
+            ac.release(active.pop(0))
+            continue
+        spec = spec_from(rho, peak_extra, sigma_extra)
+        decision = ac.admit(
+            AdmissionRequest(f"f{index}", spec, d_req), path
+        )
+        if decision.admitted:
+            active.append(f"f{index}")
+            # Granted pair meets the requirement.
+            bound = e2e_delay_bound(
+                spec, decision.rate, decision.delay, path.profile()
+            )
+            assert bound <= d_req + 1e-6
+        # Invariants after every operation.
+        for link in path.links:
+            assert link.reserved_rate <= link.capacity * (1 + 1e-9)
+            if link.ledger is not None:
+                assert link.ledger.is_schedulable()
+    # Releasing everything restores a clean slate.
+    for flow_id in active:
+        ac.release(flow_id)
+    for link in path.links:
+        assert link.reserved_rate == pytest.approx(0.0, abs=1e-6)
+        if link.ledger is not None:
+            assert len(link.ledger) == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    preload=st.lists(
+        st.tuples(
+            st.floats(min_value=5000, max_value=80000),
+            st.floats(min_value=1000, max_value=100000),
+            st.floats(min_value=0, max_value=80000),
+            st.floats(min_value=0.4, max_value=4.0),
+        ),
+        max_size=15,
+    ),
+    probe=st.tuples(
+        st.floats(min_value=5000, max_value=80000),
+        st.floats(min_value=1000, max_value=100000),
+        st.floats(min_value=0, max_value=80000),
+        st.floats(min_value=0.4, max_value=4.0),
+    ),
+)
+def test_figure4_minimality_property(preload, probe):
+    """Randomized: the Figure 4 result is feasible and minimal up to
+    the oracle grid; rejections imply the oracle finds (almost)
+    nothing either."""
+    from tests.test_core_admission import brute_force_admissible
+
+    ac, path = build_path([R, D, D], 1.5e6)
+    for index, (rho, peak_extra, sigma_extra, d_req) in enumerate(preload):
+        ac.admit(
+            AdmissionRequest(
+                f"pre{index}", spec_from(rho, peak_extra, sigma_extra),
+                d_req,
+            ),
+            path,
+        )
+    rho, peak_extra, sigma_extra, d_req = probe
+    spec = spec_from(rho, peak_extra, sigma_extra)
+    decision = ac.test(AdmissionRequest("probe", spec, d_req), path)
+    oracle = brute_force_admissible(spec, d_req, path, grid=2000)
+    if decision.admitted:
+        for link in path.delay_based_links():
+            assert link.ledger.admissible(
+                decision.rate, decision.delay, spec.max_packet
+            )
+        if oracle is not None:
+            assert decision.rate <= oracle + 1e-6
+    else:
+        if oracle is not None:
+            cap = min(spec.peak, path.residual_bandwidth())
+            # Only a sliver at the very top of the range may disagree.
+            assert oracle >= cap - max(1e-3 * cap, 1.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    events=st.lists(
+        st.tuples(
+            st.sampled_from(["join", "leave"]),
+            st.integers(min_value=0, max_value=3),  # flow type
+        ),
+        min_size=1,
+        max_size=30,
+    ),
+)
+def test_aggregate_link_consistency(events):
+    """After any join/leave sequence, every link's reservation for the
+    macroflow equals its total rate; advancing time releases all
+    contingency; emptying the class releases the links entirely."""
+    from repro.workloads.topologies import SchedulerSetting, fig8_domain
+
+    domain = fig8_domain(SchedulerSetting.MIXED)
+    node_mib, flow_mib, path_mib, path1, _ = domain.build_mibs()
+    ac = AggregateAdmission(node_mib, flow_mib, path_mib,
+                            method=ContingencyMethod.BOUNDING)
+    klass = ServiceClass("prop", 3.5, 0.24)
+    members = []
+    now = 0.0
+    counter = 0
+    for op, type_id in events:
+        now += 37.0
+        if op == "join":
+            flow_id = f"f{counter}"
+            counter += 1
+            decision = ac.join(
+                flow_id, flow_type(type_id).spec, klass, path1, now=now
+            )
+            if decision.admitted:
+                members.append(flow_id)
+        elif members:
+            ac.leave(members.pop(0), now=now)
+        macro = ac.macroflow(klass, path1)
+        for link in path1.links:
+            if macro.total_rate > 1e-9:
+                assert link.rate_of(macro.key) == pytest.approx(
+                    macro.total_rate
+                )
+            else:
+                assert not link.holds(macro.key)
+            if link.ledger is not None:
+                assert link.ledger.is_schedulable()
+    # Drain everything.
+    for flow_id in members:
+        now += 37.0
+        ac.leave(flow_id, now=now)
+    ac.advance(now + 1e9)
+    macro = ac.macroflow(klass, path1)
+    assert macro.total_rate == pytest.approx(0.0, abs=1e-6)
+    for link in path1.links:
+        assert not link.holds(macro.key)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=1, max_value=10_000))
+def test_callsim_deterministic_in_seed(seed):
+    from repro.callsim.driver import CallSimulator
+    from repro.callsim.schemes import PerFlowVtrsScheme
+    from repro.workloads.generators import CallWorkload
+    from repro.workloads.topologies import SchedulerSetting
+
+    def run():
+        workload = CallWorkload(0.2, seed=seed)
+        return CallSimulator(
+            PerFlowVtrsScheme(SchedulerSetting.RATE_ONLY, tight=False),
+            workload, horizon=600.0,
+        ).run()
+
+    first, second = run(), run()
+    assert first.offered == second.offered
+    assert first.blocked == second.blocked
+    assert first.peak_reserved == second.peak_reserved

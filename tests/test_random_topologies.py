@@ -1,0 +1,133 @@
+"""Random meshes: generation invariants, routing, broker end-to-end."""
+
+import random
+
+import pytest
+
+from repro.core.admission import AdmissionRequest, PerFlowAdmission
+from repro.core.broker import BandwidthBroker
+from repro.core.routing import RoutingModule
+from repro.core.mibs import PathMIB
+from repro.errors import ConfigurationError
+from repro.vtrs.delay_bounds import e2e_delay_bound
+from repro.workloads.profiles import flow_type
+from repro.workloads.random_topologies import random_domain
+
+
+class TestGeneration:
+    def test_deterministic_in_seed(self):
+        a = random_domain(7)
+        b = random_domain(7)
+        links_a = sorted(link.link_id for link in a.node_mib.links())
+        links_b = sorted(link.link_id for link in b.node_mib.links())
+        assert links_a == links_b
+
+    def test_different_seeds_differ(self):
+        a = random_domain(1, extra_links=8)
+        b = random_domain(2, extra_links=8)
+        assert sorted(l.link_id for l in a.node_mib.links()) != (
+            sorted(l.link_id for l in b.node_mib.links())
+        )
+
+    def test_too_few_core_nodes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            random_domain(1, core_nodes=1)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_every_egress_reachable_from_every_ingress(self, seed):
+        domain = random_domain(seed, core_nodes=7, extra_links=6)
+        routing = RoutingModule(domain.node_mib, PathMIB())
+        for ingress in domain.ingresses:
+            for egress in domain.egresses:
+                assert routing.shortest_paths(ingress, egress), (
+                    f"{ingress} cannot reach {egress} (seed {seed})"
+                )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_mesh_is_acyclic(self, seed):
+        """Forward-only shortcuts keep the mesh loop-free."""
+        domain = random_domain(seed, extra_links=10)
+        adjacency = {}
+        for link in domain.node_mib.links():
+            adjacency.setdefault(link.link_id[0], []).append(
+                link.link_id[1]
+            )
+        state = {}
+
+        def visit(node):
+            if state.get(node) == 1:
+                raise AssertionError(f"cycle through {node}")
+            if state.get(node) == 2:
+                return
+            state[node] = 1
+            for neighbour in adjacency.get(node, []):
+                visit(neighbour)
+            state[node] = 2
+
+        for node in list(adjacency):
+            visit(node)
+
+
+class TestAdmissionOnMeshes:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_broker_admissions_sound_on_random_mesh(self, seed):
+        """On arbitrary meshes, every granted reservation satisfies its
+        requested bound and every link invariant."""
+        domain = random_domain(seed, core_nodes=6, extra_links=5)
+        broker = BandwidthBroker()
+        # Re-register the generated links into a broker.
+        for link in domain.node_mib.links():
+            broker.add_link(
+                link.link_id[0], link.link_id[1], link.capacity,
+                link.kind, max_packet=link.max_packet,
+            )
+        rng = random.Random(seed * 31 + 1)
+        admitted = 0
+        for index in range(60):
+            profile = flow_type(rng.randrange(4))
+            ingress = rng.choice(domain.ingresses)
+            egress = rng.choice(domain.egresses)
+            requirement = rng.uniform(0.5, 4.0)
+            decision = broker.request_service(
+                f"f{index}", profile.spec, requirement, ingress, egress
+            )
+            if not decision.admitted:
+                continue
+            admitted += 1
+            path = broker.path_mib.get(decision.path_id)
+            bound = e2e_delay_bound(
+                profile.spec, decision.rate, decision.delay,
+                path.profile(),
+            )
+            assert bound <= requirement + 1e-6
+            for link in path.links:
+                assert link.reserved_rate <= link.capacity * (1 + 1e-9)
+                if link.ledger is not None:
+                    assert link.ledger.is_schedulable()
+        assert admitted > 0
+
+    def test_widest_shortest_prefers_unloaded_branch(self):
+        """Load one branch of a mesh; routing must steer around it
+        when an equal-length alternative exists."""
+        domain = random_domain(3, core_nodes=6, extra_links=8)
+        node_mib, flow_mib, path_mib = domain.fresh_mibs()
+        routing = RoutingModule(node_mib, path_mib)
+        ingress, egress = domain.ingresses[0], domain.egresses[0]
+        candidates = routing.shortest_paths(ingress, egress)
+        if len(candidates) < 2:
+            pytest.skip("this seed has a unique shortest path")
+        first = routing.select_path(ingress, egress)
+        # Saturate the selected path's first distinctive link.
+        for nodes in candidates:
+            if tuple(nodes) == first.nodes:
+                continue
+        distinctive = None
+        other = [c for c in candidates if tuple(c) != first.nodes][0]
+        for src, dst in zip(first.nodes, first.nodes[1:]):
+            if (src, dst) not in zip(other, other[1:]):
+                distinctive = node_mib.link(src, dst)
+                break
+        assert distinctive is not None
+        distinctive.reserve("load", distinctive.capacity * 0.95)
+        second = routing.select_path(ingress, egress)
+        assert second.nodes != first.nodes

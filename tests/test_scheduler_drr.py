@@ -1,0 +1,164 @@
+"""Deficit Round Robin under the VTRS error-term abstraction."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.netsim.edge import EdgeConditioner
+from repro.netsim.engine import Simulator
+from repro.netsim.link import Link
+from repro.netsim.packet import Packet
+from repro.netsim.sink import DelayRecorder
+from repro.netsim.sources import FlowSource
+from repro.netsim.topology import Network
+from repro.traffic.sources import GreedyOnOffProcess
+from repro.vtrs.delay_bounds import PathProfile, e2e_delay_bound
+from repro.vtrs.schedulers.drr import DRR
+from repro.vtrs.timestamps import SchedulerKind
+from repro.workloads.profiles import flow_type
+
+
+def pkt(flow_id, size=1000.0):
+    return Packet(flow_id=flow_id, size=size, created_at=0.0)
+
+
+class TestMechanics:
+    def test_round_robin_equal_quanta(self):
+        drr = DRR(1e6, max_packet=1000)
+        for name in ("a", "b"):
+            drr.install_flow(name, rate=1000)
+        for _ in range(4):
+            drr.on_arrival(pkt("a"), 0.0)
+            drr.on_arrival(pkt("b"), 0.0)
+        served = [drr.select(0.0).flow_id for _ in range(8)]
+        for index in range(0, 8, 2):
+            assert {served[index], served[index + 1]} == {"a", "b"}
+
+    def test_quantum_proportional_to_rate(self):
+        drr = DRR(1e6, max_packet=1000)
+        drr.install_flow("heavy", rate=3000)
+        drr.install_flow("light", rate=1000)
+        for _ in range(12):
+            drr.on_arrival(pkt("heavy"), 0.0)
+            drr.on_arrival(pkt("light"), 0.0)
+        first_round = [drr.select(0.0).flow_id for _ in range(8)]
+        # Heavy gets ~3 packets per light packet.
+        assert first_round.count("heavy") >= 5
+
+    def test_deficit_carries_for_large_packets(self):
+        """A packet bigger than one quantum is sent after enough
+        rounds accumulate deficit — never starved, never split."""
+        drr = DRR(1e6, max_packet=1000)
+        drr.install_flow("big", rate=1000)
+        drr.install_flow("small", rate=1000)
+        drr.on_arrival(pkt("big", size=2500), 0.0)
+        for _ in range(5):
+            drr.on_arrival(pkt("small", size=500), 0.0)
+        order = []
+        while True:
+            packet = drr.select(0.0)
+            if packet is None:
+                break
+            order.append(packet.flow_id)
+        assert "big" in order
+        assert order.index("big") > 0  # needed extra rounds
+
+    def test_uninstalled_flow_rejected(self):
+        drr = DRR(1e6, max_packet=1000)
+        with pytest.raises(SchedulingError):
+            drr.on_arrival(pkt("ghost"), 0.0)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(SchedulingError):
+            DRR(1e6, max_packet=1000).install_flow("f", rate=0)
+
+    def test_empty_select_none(self):
+        drr = DRR(1e6, max_packet=1000)
+        drr.install_flow("a", rate=1000)
+        assert drr.select(0.0) is None
+
+    def test_len_and_backlog(self):
+        drr = DRR(1e6, max_packet=1000)
+        drr.install_flow("a", rate=1000)
+        drr.on_arrival(pkt("a"), 0.0)
+        drr.on_arrival(pkt("a", size=500), 0.0)
+        assert len(drr) == 2
+        assert drr.backlog_bits() == 1500
+
+    def test_error_term_grows_with_population(self):
+        drr = DRR(1.5e6, max_packet=12000)
+        drr.install_flow("a", rate=50000)
+        small = drr.error_term
+        for index in range(9):
+            drr.install_flow(f"b{index}", rate=50000)
+        assert drr.error_term > small
+
+    def test_kind_is_rate_based(self):
+        assert DRR(1e6).kind is SchedulerKind.RATE_BASED
+
+
+class TestDelayBoundUnderVtrs:
+    def test_measured_delay_within_drr_error_term_bound(self):
+        """The paper's abstraction at work: plug DRR's latency-rate
+        error term into eq. (4) and the measured worst-case delay of a
+        saturated greedy population respects the bound."""
+        spec = flow_type(0).spec
+        capacity, flows, rate, hops = 1.5e6, 28, 50000.0, 3
+        sim = Simulator()
+        network = Network(sim)
+        nodes = [f"N{i}" for i in range(hops + 1)]
+        schedulers = []
+        for src, dst in zip(nodes, nodes[1:]):
+            scheduler = DRR(capacity, max_packet=spec.max_packet)
+            for index in range(flows):
+                scheduler.install_flow(f"f{index}", rate)
+            schedulers.append(scheduler)
+            network.add_link(src, dst, scheduler)
+        recorder = DelayRecorder(sim)
+        network.install_sink(nodes[-1], recorder.receive)
+        for index in range(flows):
+            flow_id = f"f{index}"
+            network.install_route(flow_id, nodes)
+            conditioner = EdgeConditioner(
+                sim, flow_id, rate=rate, rate_based_prefix=hops,
+                inject=network.first_link(flow_id).receive,
+            )
+            FlowSource(sim, flow_id,
+                       GreedyOnOffProcess(spec, stop_time=15.0),
+                       conditioner.receive)
+        sim.run(until=40.0)
+        psi = schedulers[0].error_term
+        profile = PathProfile(hops=hops, rate_based_hops=hops,
+                              d_tot=hops * psi,
+                              max_packet=spec.max_packet)
+        bound = e2e_delay_bound(spec, rate, 0.0, profile)
+        measured = recorder.max_e2e_delay()
+        assert recorder.total_packets > 1000
+        assert measured <= bound + 1e-9
+        # The DRR bound is meaningfully looser than the CsVC bound —
+        # that is the latency price of O(1) scheduling.
+        csvc_profile = PathProfile(
+            hops=hops, rate_based_hops=hops,
+            d_tot=hops * spec.max_packet / capacity,
+            max_packet=spec.max_packet,
+        )
+        assert bound > e2e_delay_bound(spec, rate, 0.0, csvc_profile)
+
+
+class TestDrrFairnessProperty:
+    def test_backlogged_shares_proportional_to_rates(self):
+        """Hypothesis-style sweep (deterministic grid): for arbitrary
+        rate ratios, the long-run service shares of continuously
+        backlogged flows track the installed rates within one frame."""
+        for ratio in (1, 2, 3, 5, 8):
+            drr = DRR(1e6, max_packet=1000)
+            drr.install_flow("a", rate=1000.0)
+            drr.install_flow("b", rate=1000.0 * ratio)
+            for _ in range(20 * (1 + ratio)):
+                drr.on_arrival(pkt("a"), 0.0)
+                drr.on_arrival(pkt("b"), 0.0)
+            served = {"a": 0, "b": 0}
+            for _ in range(10 * (1 + ratio)):
+                packet = drr.select(0.0)
+                served[packet.flow_id] += 1
+            measured = served["b"] / max(served["a"], 1)
+            assert measured == pytest.approx(ratio, rel=0.3), ratio

@@ -1,0 +1,313 @@
+"""Scheduler zoo unit tests: service order, eligibility, error terms."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SchedulingError
+from repro.netsim.packet import Packet
+from repro.vtrs.packet_state import PacketState
+from repro.vtrs.schedulers import CJVC, FIFO, RCEDF, WFQ, CsVC, VTEDF, VirtualClock
+from repro.vtrs.timestamps import SchedulerKind
+
+
+def make_packet(flow_id, *, rate=50000.0, delay=0.0, size=12000.0,
+                vtime=0.0, delta=0.0, created=0.0, class_id=""):
+    packet = Packet(flow_id=flow_id, size=size, created_at=created,
+                    class_id=class_id)
+    packet.state = PacketState(
+        flow_id=flow_id, rate=rate, delay=delay, size=size,
+        vtime=vtime, delta=delta,
+    )
+    return packet
+
+
+class TestSchedulerBase:
+    def test_error_term_is_lmax_over_c(self):
+        sched = CsVC(1.5e6, max_packet=12000)
+        assert sched.error_term == pytest.approx(0.008)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CsVC(0.0)
+
+    def test_negative_max_packet_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CsVC(1e6, max_packet=-1)
+
+    def test_default_name(self):
+        assert CsVC(1e6).name == "CsVC"
+
+    def test_backlog_bits_tracks_queue(self):
+        sched = CsVC(1e6, max_packet=12000)
+        sched.on_arrival(make_packet("a"), 0.0)
+        sched.on_arrival(make_packet("b", size=6000), 0.0)
+        assert sched.backlog_bits() == 18000
+        # The smaller packet has the earlier virtual finish time (same
+        # rate and vtime), so it is served first.
+        assert sched.select(0.0).size == 6000
+        assert sched.backlog_bits() == 12000
+
+
+class TestCsVC:
+    def test_orders_by_virtual_finish(self):
+        sched = CsVC(1e6, max_packet=12000)
+        late = make_packet("late", vtime=1.0)
+        early = make_packet("early", vtime=0.2)
+        sched.on_arrival(late, 0.0)
+        sched.on_arrival(early, 0.0)
+        assert sched.select(0.0).flow_id == "early"
+        assert sched.select(0.0).flow_id == "late"
+
+    def test_rate_breaks_ties(self):
+        # Same vtime; higher rate means earlier virtual finish.
+        sched = CsVC(1e6, max_packet=12000)
+        slow = make_packet("slow", rate=10000, vtime=0.0)
+        fast = make_packet("fast", rate=100000, vtime=0.0)
+        sched.on_arrival(slow, 0.0)
+        sched.on_arrival(fast, 0.0)
+        assert sched.select(0.0).flow_id == "fast"
+
+    def test_delta_shifts_deadline(self):
+        sched = CsVC(1e6, max_packet=12000)
+        plain = make_packet("plain", vtime=0.0)
+        pushed = make_packet("pushed", vtime=0.0, delta=1.0)
+        sched.on_arrival(pushed, 0.0)
+        sched.on_arrival(plain, 0.0)
+        assert sched.select(0.0).flow_id == "plain"
+
+    def test_work_conserving(self):
+        sched = CsVC(1e6, max_packet=12000)
+        sched.on_arrival(make_packet("future", vtime=100.0), 0.0)
+        assert sched.select(0.0) is not None
+
+    def test_missing_state_raises(self):
+        sched = CsVC(1e6, max_packet=12000)
+        bare = Packet(flow_id="x", size=100, created_at=0.0)
+        with pytest.raises(ValueError):
+            sched.on_arrival(bare, 0.0)
+
+    def test_empty_select_returns_none(self):
+        assert CsVC(1e6).select(0.0) is None
+
+    def test_kind_rate_based(self):
+        assert CsVC(1e6).kind is SchedulerKind.RATE_BASED
+
+
+class TestCJVC:
+    def test_holds_until_virtual_arrival(self):
+        sched = CJVC(1e6, max_packet=12000)
+        sched.on_arrival(make_packet("f", vtime=5.0), 0.0)
+        assert sched.select(0.0) is None
+        assert sched.next_eligible_time(0.0) == pytest.approx(5.0)
+        assert sched.select(5.0).flow_id == "f"
+
+    def test_eligible_immediately_when_vtime_passed(self):
+        sched = CJVC(1e6, max_packet=12000)
+        sched.on_arrival(make_packet("f", vtime=1.0), 2.0)
+        assert sched.select(2.0).flow_id == "f"
+
+    def test_eligibility_and_service_order_differ(self):
+        """A packet with a later finish time can become eligible first;
+        once both are eligible the finish order wins."""
+        sched = CJVC(1e6, max_packet=12000)
+        # early eligibility, late finish (slow rate)
+        a = make_packet("a", vtime=1.0, rate=5000)
+        # later eligibility, earlier finish (fast rate)
+        b = make_packet("b", vtime=2.0, rate=1e6)
+        sched.on_arrival(a, 0.0)
+        sched.on_arrival(b, 0.0)
+        assert sched.select(1.5).flow_id == "a"  # only a eligible
+        sched.on_arrival(a, 1.5)  # put it back
+        assert sched.select(3.0).flow_id == "b"  # both eligible: b finishes first
+
+    def test_len_counts_pending_and_ready(self):
+        sched = CJVC(1e6, max_packet=12000)
+        sched.on_arrival(make_packet("now", vtime=0.0), 0.0)
+        sched.on_arrival(make_packet("later", vtime=9.0), 0.0)
+        assert len(sched) == 2
+
+    def test_next_eligible_none_when_ready(self):
+        sched = CJVC(1e6, max_packet=12000)
+        sched.on_arrival(make_packet("now", vtime=0.0), 0.0)
+        assert sched.next_eligible_time(0.0) is None
+
+
+class TestVTEDF:
+    def test_orders_by_vtime_plus_delay(self):
+        sched = VTEDF(1e6, max_packet=12000)
+        tight = make_packet("tight", delay=0.1, vtime=0.0)
+        loose = make_packet("loose", delay=0.5, vtime=0.0)
+        sched.on_arrival(loose, 0.0)
+        sched.on_arrival(tight, 0.0)
+        assert sched.select(0.0).flow_id == "tight"
+
+    def test_earlier_vtime_wins_at_equal_delay(self):
+        sched = VTEDF(1e6, max_packet=12000)
+        a = make_packet("a", delay=0.1, vtime=0.5)
+        b = make_packet("b", delay=0.1, vtime=0.1)
+        sched.on_arrival(a, 0.0)
+        sched.on_arrival(b, 0.0)
+        assert sched.select(0.0).flow_id == "b"
+
+    def test_kind_delay_based(self):
+        assert VTEDF(1e6).kind is SchedulerKind.DELAY_BASED
+
+    def test_missing_state_raises(self):
+        sched = VTEDF(1e6)
+        with pytest.raises(ValueError):
+            sched.on_arrival(Packet(flow_id="x", size=1, created_at=0.0), 0.0)
+
+
+class TestFIFO:
+    def test_arrival_order(self):
+        sched = FIFO(1e6)
+        first = Packet(flow_id="first", size=100, created_at=0.0)
+        second = Packet(flow_id="second", size=100, created_at=0.0)
+        sched.on_arrival(first, 0.0)
+        sched.on_arrival(second, 0.0)
+        assert sched.select(0.0).flow_id == "first"
+
+    def test_no_error_term(self):
+        assert FIFO(1e6, max_packet=12000).error_term == 0.0
+
+    def test_no_vtrs_kind(self):
+        assert FIFO(1e6).kind is None
+
+    def test_handles_stateless_packets(self):
+        sched = FIFO(1e6)
+        sched.on_arrival(Packet(flow_id="x", size=10, created_at=0.0), 0.0)
+        assert len(sched) == 1
+
+
+class TestVirtualClock:
+    def test_serves_reserved_share_under_overload(self):
+        """A flow sending at twice another's rate gets served in
+        proportion to its reservation, not its arrival count."""
+        sched = VirtualClock(1e6, max_packet=1000)
+        sched.install_flow("a", rate=10000)
+        sched.install_flow("b", rate=10000)
+        # Flow a dumps 10 packets at t=0; flow b dumps 2.
+        for _ in range(10):
+            sched.on_arrival(
+                Packet(flow_id="a", size=1000, created_at=0.0), 0.0
+            )
+        for _ in range(2):
+            sched.on_arrival(
+                Packet(flow_id="b", size=1000, created_at=0.0), 0.0
+            )
+        first_four = [sched.select(0.0).flow_id for _ in range(4)]
+        # VC interleaves: b's stamps (0.1, 0.2) beat a's 3rd+ (0.3...).
+        assert first_four.count("b") == 2
+
+    def test_falls_back_to_packet_state(self):
+        sched = VirtualClock(1e6)
+        sched.on_arrival(make_packet("auto", rate=5000), 0.0)
+        assert sched.installed_flows == 1
+
+    def test_uninstalled_stateless_packet_raises(self):
+        sched = VirtualClock(1e6)
+        with pytest.raises(SchedulingError):
+            sched.on_arrival(Packet(flow_id="x", size=1, created_at=0.0), 0.0)
+
+    def test_remove_flow_with_backlog_raises(self):
+        sched = VirtualClock(1e6)
+        sched.install_flow("a", rate=1000)
+        sched.on_arrival(Packet(flow_id="a", size=10, created_at=0.0), 0.0)
+        with pytest.raises(SchedulingError):
+            sched.remove_flow("a")
+
+    def test_remove_flow_after_drain(self):
+        sched = VirtualClock(1e6)
+        sched.install_flow("a", rate=1000)
+        sched.on_arrival(Packet(flow_id="a", size=10, created_at=0.0), 0.0)
+        sched.select(0.0)
+        sched.remove_flow("a")
+        assert sched.installed_flows == 0
+
+    def test_remove_unknown_flow_is_noop(self):
+        sched = VirtualClock(1e6)
+        sched.remove_flow("ghost")
+
+    def test_install_invalid_rate(self):
+        sched = VirtualClock(1e6)
+        with pytest.raises(SchedulingError):
+            sched.install_flow("a", rate=0)
+
+    def test_macroflow_key_used(self):
+        sched = VirtualClock(1e6)
+        sched.install_flow("macro", rate=1000)
+        packet = Packet(flow_id="micro-7", size=10, created_at=0.0,
+                        class_id="macro")
+        sched.on_arrival(packet, 0.0)
+        assert sched.installed_flows == 1
+
+
+class TestWFQ:
+    def test_bandwidth_share_proportional_to_rate(self):
+        """With both flows continuously backlogged, service counts
+        approximate the 3:1 weight ratio."""
+        sched = WFQ(1e6, max_packet=1000)
+        sched.install_flow("heavy", rate=750000)
+        sched.install_flow("light", rate=250000)
+        for _ in range(40):
+            sched.on_arrival(
+                Packet(flow_id="heavy", size=1000, created_at=0.0), 0.0
+            )
+            sched.on_arrival(
+                Packet(flow_id="light", size=1000, created_at=0.0), 0.0
+            )
+        served = [sched.select(0.0).flow_id for _ in range(40)]
+        heavy = served.count("heavy")
+        assert 25 <= heavy <= 35  # ~30 of 40
+
+    def test_idle_flow_does_not_bank_credit(self):
+        """A flow idle for a long time must not claim all future slots
+        (virtual time jumps forward on reactivation)."""
+        sched = WFQ(1e6, max_packet=1000)
+        sched.install_flow("a", rate=500000)
+        sched.install_flow("b", rate=500000)
+        sched.on_arrival(Packet(flow_id="a", size=1000, created_at=0.0), 0.0)
+        assert sched.select(0.0).flow_id == "a"
+        # b was idle for 100s; a's new packet should not starve.
+        sched.on_arrival(Packet(flow_id="b", size=1000, created_at=100.0), 100.0)
+        sched.on_arrival(Packet(flow_id="a", size=1000, created_at=100.0), 100.0)
+        first = sched.select(100.0).flow_id
+        second = sched.select(100.0).flow_id
+        assert {first, second} == {"a", "b"}
+
+
+class TestRCEDF:
+    def test_regulator_spaces_packets(self):
+        """Back-to-back arrivals become eligible L/r apart."""
+        sched = RCEDF(1e6, max_packet=1000)
+        sched.install_flow("a", rate=10000, deadline=0.5)
+        for _ in range(3):
+            sched.on_arrival(
+                Packet(flow_id="a", size=1000, created_at=0.0), 0.0
+            )
+        assert sched.select(0.0) is not None  # first eligible at once
+        assert sched.select(0.0) is None  # second held by the regulator
+        assert sched.next_eligible_time(0.0) == pytest.approx(0.1)
+        assert sched.select(0.1) is not None
+
+    def test_edf_order_among_eligible(self):
+        sched = RCEDF(1e6, max_packet=1000)
+        sched.install_flow("tight", rate=100000, deadline=0.01)
+        sched.install_flow("loose", rate=100000, deadline=1.0)
+        sched.on_arrival(Packet(flow_id="loose", size=1000, created_at=0.0), 0.0)
+        sched.on_arrival(Packet(flow_id="tight", size=1000, created_at=0.0), 0.0)
+        assert sched.select(0.0).flow_id == "tight"
+
+    def test_len_spans_regulator_and_queue(self):
+        sched = RCEDF(1e6, max_packet=1000)
+        sched.install_flow("a", rate=1000, deadline=0.5)
+        for _ in range(3):
+            sched.on_arrival(
+                Packet(flow_id="a", size=1000, created_at=0.0), 0.0
+            )
+        assert len(sched) == 3
+
+    def test_update_flow_rate(self):
+        sched = RCEDF(1e6, max_packet=1000)
+        sched.install_flow("a", rate=1000, deadline=0.5)
+        sched.install_flow("a", rate=2000, deadline=0.25)  # update in place
+        assert sched.installed_flows == 1

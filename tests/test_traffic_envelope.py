@@ -1,0 +1,83 @@
+"""ArrivalEnvelope calculus: backlog, delay, busy period."""
+
+import math
+
+import pytest
+
+from repro.errors import TrafficSpecError
+from repro.traffic.envelope import ArrivalEnvelope
+
+
+@pytest.fixture
+def env(type0_spec):
+    return ArrivalEnvelope(type0_spec)
+
+
+class TestEvaluation:
+    def test_call_matches_spec(self, env, type0_spec):
+        for t in (0.0, 0.5, 0.96, 2.0):
+            assert env(t) == type0_spec.envelope(t)
+
+    def test_breakpoint_is_t_on(self, env, type0_spec):
+        assert env.breakpoint == type0_spec.t_on
+
+    def test_rate_at_before_breakpoint(self, env, type0_spec):
+        assert env.rate_at(0.1) == type0_spec.peak
+
+    def test_rate_at_after_breakpoint(self, env, type0_spec):
+        assert env.rate_at(5.0) == type0_spec.rho
+
+    def test_rate_at_negative_rejected(self, env):
+        with pytest.raises(TrafficSpecError):
+            env.rate_at(-0.1)
+
+
+class TestMaxBacklog:
+    def test_at_mean_rate(self, env, type0_spec):
+        # (P - r) T_on + L = 50000*0.96 + 12000 = 60000 = sigma
+        assert env.max_backlog(type0_spec.rho) == pytest.approx(60000)
+
+    def test_at_peak_one_packet(self, env, type0_spec):
+        assert env.max_backlog(type0_spec.peak) == type0_spec.max_packet
+
+    def test_below_mean_unbounded(self, env, type0_spec):
+        assert math.isinf(env.max_backlog(type0_spec.rho / 2))
+
+    def test_zero_rate_rejected(self, env):
+        with pytest.raises(TrafficSpecError):
+            env.max_backlog(0.0)
+
+    def test_monotone_in_rate(self, env):
+        backlogs = [env.max_backlog(r) for r in (50000, 70000, 90000)]
+        assert backlogs == sorted(backlogs, reverse=True)
+
+
+class TestMaxDelay:
+    def test_matches_edge_delay_formula(self, env, type0_spec):
+        for rate in (50000, 75000, 100000):
+            assert env.max_delay(rate) == pytest.approx(
+                type0_spec.edge_delay(rate)
+            )
+
+
+class TestBusyPeriod:
+    def test_below_mean_infinite(self, env, type0_spec):
+        assert math.isinf(env.busy_period(type0_spec.rho))
+
+    def test_between_mean_and_peak(self, env, type0_spec):
+        rate = 75000.0
+        expected = type0_spec.sigma / (rate - type0_spec.rho)
+        assert env.busy_period(rate) == pytest.approx(expected)
+
+    def test_above_peak_one_packet_time(self, env, type0_spec):
+        rate = 2 * type0_spec.peak
+        assert env.busy_period(rate) == pytest.approx(
+            type0_spec.max_packet / rate
+        )
+
+    def test_busy_period_covers_backlog_drain(self, env, type0_spec):
+        """Draining the peak backlog at (r - rho) net rate fits in the
+        busy period."""
+        rate = 80000.0
+        drain_time = env.max_backlog(rate) / (rate - type0_spec.rho)
+        assert drain_time <= env.busy_period(rate) + 1e-9

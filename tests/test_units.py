@@ -1,0 +1,114 @@
+"""Unit helpers and fuzzy comparisons."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+class TestDataSizes:
+    def test_bits_identity(self):
+        assert units.bits(12000) == 12000.0
+
+    def test_kilobits(self):
+        assert units.kilobits(12) == 12000.0
+
+    def test_megabits(self):
+        assert units.megabits(1.5) == 1.5e6
+
+    def test_bytes(self):
+        assert units.bytes_(1500) == 12000.0
+
+    def test_kilobytes(self):
+        assert units.kilobytes(1.5) == 12000.0
+
+
+class TestRates:
+    def test_bps_identity(self):
+        assert units.bps(100) == 100.0
+
+    def test_kbps(self):
+        assert units.kbps(50) == 50000.0
+
+    def test_mbps(self):
+        assert units.mbps(1.5) == 1.5e6
+
+    def test_gbps(self):
+        assert units.gbps(0.01) == 1e7
+
+
+class TestTimes:
+    def test_seconds_identity(self):
+        assert units.seconds(2.44) == 2.44
+
+    def test_milliseconds(self):
+        assert units.milliseconds(240) == pytest.approx(0.24)
+
+    def test_microseconds(self):
+        assert units.microseconds(8) == pytest.approx(8e-6)
+
+
+class TestFuzzyComparisons:
+    def test_feq_exact(self):
+        assert units.feq(1.0, 1.0)
+
+    def test_feq_within_tolerance(self):
+        assert units.feq(1.0, 1.0 + 1e-12)
+
+    def test_feq_outside_tolerance(self):
+        assert not units.feq(1.0, 1.001)
+
+    def test_fle_strictly_less(self):
+        assert units.fle(1.0, 2.0)
+
+    def test_fle_equal_within_eps(self):
+        assert units.fle(1.0 + 1e-12, 1.0)
+
+    def test_fle_greater(self):
+        assert not units.fle(2.0, 1.0)
+
+    def test_fge_mirror_of_fle(self):
+        assert units.fge(2.0, 1.0)
+        assert units.fge(1.0, 1.0 + 1e-12)
+        assert not units.fge(1.0, 2.0)
+
+    def test_flt_excludes_fuzzy_equal(self):
+        assert units.flt(1.0, 2.0)
+        assert not units.flt(1.0, 1.0 + 1e-12)
+
+    def test_fgt_excludes_fuzzy_equal(self):
+        assert units.fgt(2.0, 1.0)
+        assert not units.fgt(1.0 + 1e-12, 1.0)
+
+    @given(st.floats(min_value=1e-6, max_value=1e12))
+    def test_feq_reflexive(self, value):
+        assert units.feq(value, value)
+
+    @given(
+        st.floats(min_value=1e-6, max_value=1e9),
+        st.floats(min_value=1e-6, max_value=1e9),
+    )
+    def test_trichotomy(self, a, b):
+        """Exactly one of flt / feq / fgt holds for any pair."""
+        outcomes = [units.flt(a, b), units.feq(a, b), units.fgt(a, b)]
+        assert sum(outcomes) == 1
+
+
+class TestFinitePositive:
+    def test_positive(self):
+        assert units.is_finite_positive(1.5)
+
+    def test_zero(self):
+        assert not units.is_finite_positive(0.0)
+
+    def test_negative(self):
+        assert not units.is_finite_positive(-3.0)
+
+    def test_inf(self):
+        assert not units.is_finite_positive(math.inf)
+
+    def test_nan(self):
+        assert not units.is_finite_positive(math.nan)

@@ -1,0 +1,230 @@
+"""The analytic delay-bound formulas (eqs. 2-4, 12, 18) and inversions."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.traffic.spec import TSpec
+from repro.vtrs.delay_bounds import (
+    PathProfile,
+    core_delay_bound,
+    core_delay_bound_after_rate_change,
+    e2e_delay_bound,
+    macroflow_e2e_delay_bound,
+    min_feasible_rate_rate_based,
+    min_macroflow_rate,
+)
+
+FIG8_DTOT = 5 * 12000 / 1.5e6  # five hops, Psi = L/C each, zero propagation
+
+
+@pytest.fixture
+def rate_path():
+    return PathProfile(hops=5, rate_based_hops=5, d_tot=FIG8_DTOT,
+                       max_packet=12000)
+
+
+@pytest.fixture
+def mixed_path():
+    return PathProfile(hops=5, rate_based_hops=3, d_tot=FIG8_DTOT,
+                       max_packet=12000)
+
+
+class TestPathProfile:
+    def test_delay_based_hops(self, mixed_path):
+        assert mixed_path.delay_based_hops == 2
+
+    def test_zero_hops_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PathProfile(hops=0, rate_based_hops=0, d_tot=0.0)
+
+    def test_q_exceeding_h_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PathProfile(hops=3, rate_based_hops=4, d_tot=0.0)
+
+    def test_negative_dtot_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PathProfile(hops=3, rate_based_hops=3, d_tot=-1.0)
+
+
+class TestCoreDelayBound:
+    def test_rate_only(self, rate_path):
+        # 5 * 12000/50000 + D_tot = 1.2 + 0.04
+        assert core_delay_bound(50000, 0.0, rate_path, 12000) == (
+            pytest.approx(1.24)
+        )
+
+    def test_mixed(self, mixed_path):
+        expected = 3 * 12000 / 50000 + 2 * 0.24 + FIG8_DTOT
+        assert core_delay_bound(50000, 0.24, mixed_path, 12000) == (
+            pytest.approx(expected)
+        )
+
+    def test_zero_rate_rejected(self, rate_path):
+        with pytest.raises(ConfigurationError):
+            core_delay_bound(0.0, 0.0, rate_path, 12000)
+
+
+class TestE2EDelayBound:
+    def test_type0_loose_bound(self, type0_spec, rate_path):
+        """Table 1's loose bound: the e2e bound at the mean rate."""
+        assert e2e_delay_bound(type0_spec, 50000, 0.0, rate_path) == (
+            pytest.approx(2.44)
+        )
+
+    def test_all_table1_loose_bounds(self, rate_path):
+        from repro.workloads.profiles import TABLE1_PROFILES
+        for profile in TABLE1_PROFILES.values():
+            bound = e2e_delay_bound(
+                profile.spec, profile.spec.rho, 0.0, rate_path
+            )
+            assert bound == pytest.approx(profile.loose_delay, abs=5e-3)
+
+    def test_mixed_with_deadline(self, type0_spec, mixed_path):
+        # r = rho, d = 0.24: 0.96 + 4*0.24 + 2*0.24 + 0.04 = 2.44
+        assert e2e_delay_bound(type0_spec, 50000, 0.24, mixed_path) == (
+            pytest.approx(2.44)
+        )
+
+    def test_decreasing_in_rate(self, type0_spec, rate_path):
+        bounds = [
+            e2e_delay_bound(type0_spec, r, 0.0, rate_path)
+            for r in (50000, 60000, 80000, 100000)
+        ]
+        assert bounds == sorted(bounds, reverse=True)
+
+
+class TestMinFeasibleRate:
+    def test_loose_bound_needs_mean_rate(self, type0_spec, rate_path):
+        rate = min_feasible_rate_rate_based(type0_spec, 2.44, rate_path)
+        assert rate == pytest.approx(50000)
+
+    def test_tight_bound_value(self, type0_spec, rate_path):
+        # (0.96*100000 + 6*12000) / (2.19 - 0.04 + 0.96) = 54019.3
+        rate = min_feasible_rate_rate_based(type0_spec, 2.19, rate_path)
+        assert rate == pytest.approx(168000 / 3.11)
+
+    def test_impossible_requirement(self, type0_spec):
+        """When fixed path latency exceeds D_req + T_on, no rate helps."""
+        laggy = PathProfile(hops=5, rate_based_hops=5, d_tot=2.0,
+                            max_packet=12000)
+        assert math.isinf(
+            min_feasible_rate_rate_based(type0_spec, 1.0, laggy)
+        )
+
+    def test_rate_above_peak_not_clamped(self, type0_spec, rate_path):
+        """The raw minimum may exceed the peak; clamping is the
+        caller's job (it combines with the traffic constraints)."""
+        rate = min_feasible_rate_rate_based(type0_spec, 0.5, rate_path)
+        assert math.isfinite(rate)
+        assert rate > type0_spec.peak
+
+    def test_mixed_path_rejected(self, type0_spec, mixed_path):
+        with pytest.raises(ConfigurationError):
+            min_feasible_rate_rate_based(type0_spec, 2.44, mixed_path)
+
+    @given(st.floats(min_value=1.4, max_value=10.0))
+    def test_inversion_consistency(self, requirement):
+        """e2e bound at the minimal rate equals the requirement."""
+        spec = TSpec(sigma=60000, rho=50000, peak=100000, max_packet=12000)
+        path = PathProfile(hops=5, rate_based_hops=5, d_tot=FIG8_DTOT,
+                           max_packet=12000)
+        rate = min_feasible_rate_rate_based(spec, requirement, path)
+        if math.isfinite(rate) and spec.rho <= rate <= spec.peak:
+            assert e2e_delay_bound(spec, rate, 0.0, path) == (
+                pytest.approx(requirement)
+            )
+
+
+class TestMacroflowBounds:
+    def test_aggregate_of_identical_flows(self, type0_spec, rate_path):
+        """Eq. (12): with n flows at the aggregate mean rate, the core
+        term shrinks to one path packet instead of n."""
+        n = 5
+        aggregate = type0_spec.scaled(n)
+        rate = aggregate.rho
+        bound = macroflow_e2e_delay_bound(
+            aggregate, rate, 0.0, rate_path, 12000
+        )
+        # edge: T_on (P-r)/r + L_agg/r = 0.96 + 0.24; core: 5*12000/r + Dtot
+        expected = 0.96 + 0.24 + 5 * 12000 / rate + FIG8_DTOT
+        assert bound == pytest.approx(expected)
+
+    def test_aggregate_beats_per_flow_bound(self, type0_spec, rate_path):
+        """For n >= 2 the macroflow bound at the aggregate mean rate is
+        tighter than the per-flow bound at the individual mean rate."""
+        for n in (2, 5, 10):
+            aggregate = type0_spec.scaled(n)
+            agg_bound = macroflow_e2e_delay_bound(
+                aggregate, aggregate.rho, 0.0, rate_path, 12000
+            )
+            flow_bound = e2e_delay_bound(
+                type0_spec, type0_spec.rho, 0.0, rate_path
+            )
+            assert agg_bound < flow_bound
+
+    def test_missing_path_packet_rejected(self, type0_spec):
+        path = PathProfile(hops=5, rate_based_hops=5, d_tot=0.0)
+        with pytest.raises(ConfigurationError):
+            macroflow_e2e_delay_bound(type0_spec, 50000, 0.0, path)
+
+
+class TestRateChangeBound:
+    def test_slower_rate_governs(self, rate_path):
+        up = core_delay_bound_after_rate_change(
+            50000, 100000, 0.0, rate_path, 12000
+        )
+        down = core_delay_bound_after_rate_change(
+            100000, 50000, 0.0, rate_path, 12000
+        )
+        at_slow = core_delay_bound(50000, 0.0, rate_path, 12000)
+        assert up == pytest.approx(at_slow)
+        assert down == pytest.approx(at_slow)
+
+    def test_equal_rates_reduce_to_plain_bound(self, rate_path):
+        assert core_delay_bound_after_rate_change(
+            70000, 70000, 0.0, rate_path, 12000
+        ) == pytest.approx(core_delay_bound(70000, 0.0, rate_path, 12000))
+
+    def test_invalid_rates_rejected(self, rate_path):
+        with pytest.raises(ConfigurationError):
+            core_delay_bound_after_rate_change(0, 100, 0.0, rate_path, 12000)
+
+
+class TestMinMacroflowRate:
+    def test_meets_bound_exactly(self, type0_spec, rate_path):
+        aggregate = type0_spec.scaled(3)
+        rate = min_macroflow_rate(aggregate, 2.0, rate_path, 0.0, 12000)
+        if rate > aggregate.rho:  # not clamped by the mean
+            bound = macroflow_e2e_delay_bound(
+                aggregate, rate, 0.0, rate_path, 12000
+            )
+            assert bound == pytest.approx(2.0)
+
+    def test_clamped_at_mean(self, type0_spec, rate_path):
+        aggregate = type0_spec.scaled(3)
+        rate = min_macroflow_rate(aggregate, 50.0, rate_path, 0.0, 12000)
+        assert rate == aggregate.rho
+
+    def test_unachievable_is_inf(self, type0_spec, rate_path):
+        assert math.isinf(
+            min_macroflow_rate(type0_spec, 0.01, rate_path, 0.0, 12000)
+        )
+
+    def test_core_floor_raises_rate(self, type0_spec, rate_path):
+        aggregate = type0_spec.scaled(2)
+        base = min_macroflow_rate(aggregate, 1.6, rate_path, 0.0, 12000)
+        floored = min_macroflow_rate(
+            aggregate, 1.6, rate_path, 0.0, 12000, core_bound_floor=1.0
+        )
+        assert floored >= base
+        # With the floor, the edge bound alone must fit in D - floor.
+        assert aggregate.edge_delay(floored) <= 1.6 - 1.0 + 1e-9
+
+    def test_missing_path_packet_rejected(self, type0_spec):
+        path = PathProfile(hops=5, rate_based_hops=5, d_tot=0.0)
+        with pytest.raises(ConfigurationError):
+            min_macroflow_rate(type0_spec, 2.0, path, 0.0)

@@ -1,0 +1,142 @@
+"""Packet state and the edge stamper's delta recursion."""
+
+import pytest
+
+from repro.errors import TrafficSpecError
+from repro.vtrs.packet_state import EdgeStateStamper, PacketState
+
+
+class TestPacketState:
+    def test_fields(self):
+        state = PacketState("f1", rate=50000, delay=0.1, size=12000)
+        assert state.flow_id == "f1"
+        assert state.vtime == 0.0
+        assert state.delta == 0.0
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(TrafficSpecError):
+            PacketState("f1", rate=0, delay=0.1, size=12000)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(TrafficSpecError):
+            PacketState("f1", rate=1000, delay=0.1, size=0)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(TrafficSpecError):
+            PacketState("f1", rate=1000, delay=-0.1, size=100)
+
+    def test_copy_is_independent(self):
+        state = PacketState("f1", rate=50000, delay=0.1, size=12000,
+                            vtime=3.0)
+        clone = state.copy()
+        clone.vtime = 9.0
+        assert state.vtime == 3.0
+
+
+class TestStamperBasics:
+    def test_initial_vtime_is_release_time(self):
+        stamper = EdgeStateStamper("f1", 50000, 0.0, 3)
+        state = stamper.stamp(1.5, 12000)
+        assert state.vtime == 1.5
+
+    def test_fixed_size_packets_have_zero_delta(self):
+        stamper = EdgeStateStamper("f1", 50000, 0.0, 5)
+        spacing = 12000 / 50000
+        for k in range(10):
+            state = stamper.stamp(k * spacing, 12000)
+            assert state.delta == 0.0
+
+    def test_spacing_violation_rejected(self):
+        stamper = EdgeStateStamper("f1", 50000, 0.0, 3)
+        stamper.stamp(0.0, 12000)
+        with pytest.raises(TrafficSpecError):
+            stamper.stamp(0.1, 12000)  # needs >= 0.24
+
+    def test_int_prefix_means_all_rate_based(self):
+        stamper = EdgeStateStamper("f1", 50000, 0.0, 4)
+        assert list(stamper.rate_based_prefix) == [0, 1, 2, 3]
+
+    def test_empty_prefix_rejected(self):
+        with pytest.raises(TrafficSpecError):
+            EdgeStateStamper("f1", 50000, 0.0, [])
+
+    def test_nonzero_first_prefix_rejected(self):
+        with pytest.raises(TrafficSpecError):
+            EdgeStateStamper("f1", 50000, 0.0, [1, 2])
+
+
+class TestDeltaRecursion:
+    def test_shrinking_packets_get_positive_delta(self):
+        """A smaller packet after a larger one needs virtual slack at
+        downstream rate-based hops."""
+        rate = 10000.0
+        stamper = EdgeStateStamper("f1", rate, 0.0, [0, 1, 2])
+        stamper.stamp(0.0, 8000)
+        # Release the 4000-bit packet at exactly L2/r spacing.
+        state = stamper.stamp(0.4, 4000)
+        assert state.delta > 0.0
+
+    def test_growing_packets_keep_zero_delta(self):
+        rate = 10000.0
+        stamper = EdgeStateStamper("f1", rate, 0.0, [0, 1, 2])
+        stamper.stamp(0.0, 4000)
+        state = stamper.stamp(0.8, 8000)
+        assert state.delta == 0.0
+
+    def test_delta_guarantees_virtual_spacing_at_every_hop(self):
+        """The spacing property must hold at all hops when stamps are
+        propagated with the concatenation rule."""
+        from repro.vtrs.timestamps import SchedulerKind, advance_virtual_time
+
+        rate = 10000.0
+        prefix = [0, 1, 2, 3]
+        stamper = EdgeStateStamper("f1", rate, 0.0, prefix)
+        sizes = [8000, 4000, 8000, 2000, 6000]
+        releases = []
+        time = 0.0
+        states = []
+        for size in sizes:
+            time = max(time, (releases[-1] + size / rate) if releases else 0.0)
+            releases.append(time)
+            states.append(stamper.stamp(time, size))
+        # Propagate each packet's stamp through 4 rate-based hops.
+        per_hop_stamps = [[s.vtime for s in states]]
+        hops = 4
+        for _hop in range(hops - 1):
+            row = []
+            for state in states:
+                advance_virtual_time(
+                    state, SchedulerKind.RATE_BASED,
+                    error_term=0.001, propagation=0.0,
+                )
+                row.append(state.vtime)
+            per_hop_stamps.append(row)
+        for hop, stamps in enumerate(per_hop_stamps):
+            for k in range(1, len(stamps)):
+                spacing = sizes[k] / rate
+                assert stamps[k] - stamps[k - 1] >= spacing - 1e-9, (
+                    f"virtual spacing violated at hop {hop}, packet {k}"
+                )
+
+    def test_reconfigure_rate(self):
+        stamper = EdgeStateStamper("f1", 50000, 0.0, 3)
+        stamper.stamp(0.0, 12000)
+        stamper.reconfigure(rate=100000)
+        # New spacing requirement is L/r' = 0.12.
+        state = stamper.stamp(0.12, 12000)
+        assert state.vtime == pytest.approx(0.12)
+
+    def test_reconfigure_invalid_rate(self):
+        stamper = EdgeStateStamper("f1", 50000, 0.0, 3)
+        with pytest.raises(TrafficSpecError):
+            stamper.reconfigure(rate=0)
+
+    def test_reconfigure_delay(self):
+        stamper = EdgeStateStamper("f1", 50000, 0.1, 3)
+        stamper.reconfigure(delay=0.2)
+        assert stamper.stamp(0.0, 12000).delay == 0.2
+
+    def test_reconfigure_negative_delay(self):
+        stamper = EdgeStateStamper("f1", 50000, 0.1, 3)
+        with pytest.raises(TrafficSpecError):
+            stamper.reconfigure(delay=-1.0)

@@ -1,0 +1,81 @@
+"""Virtual deadlines, finish times and the concatenation rule (eq. 1)."""
+
+import pytest
+
+from repro.vtrs.packet_state import PacketState
+from repro.vtrs.timestamps import (
+    SchedulerKind,
+    advance_virtual_time,
+    virtual_deadline,
+    virtual_finish_time,
+)
+
+
+@pytest.fixture
+def state():
+    return PacketState(
+        "f1", rate=50000, delay=0.24, size=12000, vtime=10.0, delta=0.01
+    )
+
+
+class TestVirtualDeadline:
+    def test_rate_based_is_l_over_r_plus_delta(self, state):
+        assert virtual_deadline(state, SchedulerKind.RATE_BASED) == (
+            pytest.approx(12000 / 50000 + 0.01)
+        )
+
+    def test_delay_based_is_d(self, state):
+        assert virtual_deadline(state, SchedulerKind.DELAY_BASED) == 0.24
+
+
+class TestVirtualFinishTime:
+    def test_rate_based(self, state):
+        assert virtual_finish_time(state, SchedulerKind.RATE_BASED) == (
+            pytest.approx(10.0 + 0.24 + 0.01)
+        )
+
+    def test_delay_based(self, state):
+        assert virtual_finish_time(state, SchedulerKind.DELAY_BASED) == (
+            pytest.approx(10.24)
+        )
+
+
+class TestConcatenationRule:
+    def test_advance_rate_based(self, state):
+        new = advance_virtual_time(
+            state, SchedulerKind.RATE_BASED, error_term=0.008,
+            propagation=0.002,
+        )
+        assert new == pytest.approx(10.0 + 0.25 + 0.008 + 0.002)
+        assert state.vtime == new
+
+    def test_advance_delay_based(self, state):
+        new = advance_virtual_time(
+            state, SchedulerKind.DELAY_BASED, error_term=0.008,
+            propagation=0.0,
+        )
+        assert new == pytest.approx(10.24 + 0.008)
+
+    def test_repeated_advance_accumulates(self, state):
+        start = state.vtime
+        for _ in range(3):
+            advance_virtual_time(
+                state, SchedulerKind.DELAY_BASED, error_term=0.008,
+                propagation=0.001,
+            )
+        assert state.vtime == pytest.approx(start + 3 * (0.24 + 0.009))
+
+    def test_matches_e2e_delay_decomposition(self):
+        """Summing per-hop virtual delays reproduces the core term of
+        eq. (2): q L/r + (h-q) d + sum(Psi + pi)."""
+        state = PacketState("f", rate=50000, delay=0.1, size=12000, vtime=0.0)
+        kinds = [
+            SchedulerKind.RATE_BASED,
+            SchedulerKind.DELAY_BASED,
+            SchedulerKind.RATE_BASED,
+        ]
+        psi, pi = 0.008, 0.002
+        for kind in kinds:
+            advance_virtual_time(state, kind, psi, pi)
+        expected = 2 * (12000 / 50000) + 1 * 0.1 + 3 * (psi + pi)
+        assert state.vtime == pytest.approx(expected)

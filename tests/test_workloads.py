@@ -1,0 +1,184 @@
+"""Workloads: Table 1 profiles, Figure 8 topology, call generators."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.units import mbps
+from repro.vtrs.timestamps import SchedulerKind
+from repro.workloads.generators import CallWorkload
+from repro.workloads.profiles import (
+    TABLE1_PROFILES,
+    flow_type,
+    verify_table1_bounds,
+)
+from repro.workloads.topologies import (
+    PATH1_NODES,
+    PATH2_NODES,
+    SchedulerSetting,
+    fig8_domain,
+)
+
+
+class TestTable1Profiles:
+    def test_four_types(self):
+        assert set(TABLE1_PROFILES) == {0, 1, 2, 3}
+
+    @pytest.mark.parametrize("type_id,mean,burst", [
+        (0, 50000, 60000), (1, 40000, 48000),
+        (2, 30000, 36000), (3, 20000, 24000),
+    ])
+    def test_published_parameters(self, type_id, mean, burst):
+        profile = flow_type(type_id)
+        assert profile.spec.rho == mean
+        assert profile.spec.sigma == burst
+        assert profile.spec.peak == 100000
+        assert profile.spec.max_packet == 12000
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ConfigurationError):
+            flow_type(7)
+
+    def test_delay_bound_selector(self):
+        profile = flow_type(0)
+        assert profile.delay_bound(tight=False) == 2.44
+        assert profile.delay_bound(tight=True) == 2.19
+
+    def test_loose_bounds_recompute_from_eq4(self):
+        """Every Table 1 loose bound is the eq. (4) value at the mean
+        rate on the 5-hop Figure 8 path — proof the delay-bound
+        arithmetic matches the paper's."""
+        for type_id, (published, recomputed) in (
+            verify_table1_bounds().items()
+        ):
+            assert recomputed == pytest.approx(published, abs=1e-3), (
+                f"type {type_id}"
+            )
+
+    def test_tight_bounds_are_tighter(self):
+        for profile in TABLE1_PROFILES.values():
+            assert profile.tight_delay < profile.loose_delay
+
+
+class TestFig8Topology:
+    def test_seven_links(self, any_setting):
+        assert len(fig8_domain(any_setting).links) == 7
+
+    def test_paths_have_five_hops(self):
+        assert len(PATH1_NODES) == 6
+        assert len(PATH2_NODES) == 6
+
+    def test_rate_only_setting_all_rate_based(self):
+        domain = fig8_domain(SchedulerSetting.RATE_ONLY)
+        assert all(
+            plan.kind is SchedulerKind.RATE_BASED for plan in domain.links
+        )
+
+    def test_mixed_setting_delay_links(self):
+        domain = fig8_domain(SchedulerSetting.MIXED)
+        delay_links = {
+            (plan.src, plan.dst)
+            for plan in domain.links
+            if plan.kind is SchedulerKind.DELAY_BASED
+        }
+        assert delay_links == {("R3", "R4"), ("R4", "R5"), ("R5", "E2")}
+
+    def test_paper_hop_counts(self):
+        """Mixed setting: path 1 has q=3, path 2 has q=2."""
+        domain = fig8_domain(SchedulerSetting.MIXED)
+        _n, _f, _p, path1, path2 = domain.build_mibs()
+        assert (path1.hops, path1.rate_based_hops) == (5, 3)
+        assert (path2.hops, path2.rate_based_hops) == (5, 2)
+
+    def test_capacity_and_error_terms(self):
+        domain = fig8_domain(SchedulerSetting.RATE_ONLY)
+        _n, _f, _p, path1, _path2 = domain.build_mibs()
+        assert path1.links[0].capacity == mbps(1.5)
+        assert path1.d_tot == pytest.approx(5 * 12000 / 1.5e6)
+
+    def test_build_netsim_core_stateless(self):
+        from repro.netsim.engine import Simulator
+        from repro.vtrs.schedulers import CsVC, VTEDF
+        domain = fig8_domain(SchedulerSetting.MIXED)
+        network, schedulers = domain.build_netsim(Simulator())
+        assert isinstance(schedulers[("I1", "R2")], CsVC)
+        assert isinstance(schedulers[("R3", "R4")], VTEDF)
+
+    def test_build_netsim_stateful(self):
+        from repro.netsim.engine import Simulator
+        from repro.vtrs.schedulers.stateful import RCEDF, VirtualClock
+        domain = fig8_domain(SchedulerSetting.MIXED)
+        _network, schedulers = domain.build_netsim(
+            Simulator(), stateful=True
+        )
+        assert isinstance(schedulers[("I1", "R2")], VirtualClock)
+        assert isinstance(schedulers[("R3", "R4")], RCEDF)
+
+    def test_provision_broker(self):
+        from repro.core.broker import BandwidthBroker
+        broker = BandwidthBroker()
+        path1, path2 = fig8_domain(
+            SchedulerSetting.RATE_ONLY
+        ).provision_broker(broker)
+        assert len(broker.node_mib) == 7
+        assert path1.nodes == PATH1_NODES
+        assert path2.nodes == PATH2_NODES
+
+
+class TestCallWorkload:
+    def test_deterministic_given_seed(self):
+        a = CallWorkload(0.2, seed=9).arrivals(500.0)
+        b = CallWorkload(0.2, seed=9).arrivals(500.0)
+        assert [x.arrival_time for x in a] == [x.arrival_time for x in b]
+
+    def test_different_seeds_differ(self):
+        a = CallWorkload(0.2, seed=1).arrivals(500.0)
+        b = CallWorkload(0.2, seed=2).arrivals(500.0)
+        assert [x.arrival_time for x in a] != [x.arrival_time for x in b]
+
+    def test_rate_approximates_target(self):
+        arrivals = CallWorkload(0.5, seed=3).arrivals(4000.0)
+        assert len(arrivals) == pytest.approx(2000, rel=0.15)
+
+    def test_mean_holding_time(self):
+        arrivals = CallWorkload(0.5, mean_holding=200.0, seed=4).arrivals(
+            4000.0
+        )
+        mean = sum(a.holding_time for a in arrivals) / len(arrivals)
+        assert mean == pytest.approx(200.0, rel=0.2)
+
+    def test_sources_both_used(self):
+        arrivals = CallWorkload(0.5, seed=5).arrivals(2000.0)
+        assert {a.source for a in arrivals} == {"S1", "S2"}
+
+    def test_type_mix(self):
+        workload = CallWorkload(
+            0.5, seed=6, type_mix=((0, 1.0), (3, 1.0))
+        )
+        arrivals = workload.arrivals(2000.0)
+        types = {a.profile.type_id for a in arrivals}
+        assert types == {0, 3}
+
+    def test_events_ordered(self):
+        events = list(CallWorkload(0.3, seed=7).events(2000.0))
+        times = [e.time for e in events]
+        assert times == sorted(times)
+
+    def test_departures_match_arrivals(self):
+        events = list(CallWorkload(0.3, seed=8).events(2000.0))
+        arrivals = [e for e in events if e.kind == "arrival"]
+        departures = [e for e in events if e.kind == "departure"]
+        arrival_ids = {e.flow.flow_id for e in arrivals}
+        assert all(e.flow.flow_id in arrival_ids for e in departures)
+
+    def test_offered_load_formula(self):
+        workload = CallWorkload(0.15, mean_holding=200.0, seed=1)
+        # 0.15/s * 200 s * 50 kb/s / 1.5 Mb/s = 1.0
+        assert workload.offered_load(mbps(1.5)) == pytest.approx(1.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CallWorkload(0.0)
+        with pytest.raises(ConfigurationError):
+            CallWorkload(0.1, mean_holding=0.0)
+        with pytest.raises(ConfigurationError):
+            CallWorkload(0.1, type_mix=())
