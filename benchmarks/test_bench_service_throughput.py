@@ -1,0 +1,115 @@
+"""Extension bench: concurrent service runtime throughput.
+
+Sweeps the worker-pool size and link-state shard count over a
+link-disjoint workload and measures closed-loop request throughput.
+With one worker the simulated edge-programming round-trip (the COPS
+leg the paper's Section 5 setup experiments time) serializes every
+admission; with the state sharded by path, extra workers overlap the
+edge waits of disjoint paths.  The headline claim: 4 workers over 8
+shards sustain at least twice the single-worker throughput, while
+1 worker (or 1 shard, where every path contends for the same lock)
+stays flat.
+
+Emits a JSON artifact with the full grid for offline comparison.
+"""
+
+import json
+
+from repro.core.broker import BandwidthBroker
+from repro.experiments.reporting import render_table
+from repro.service import (
+    BrokerService,
+    FlowTemplate,
+    provision_parallel_paths,
+    run_closed_loop,
+)
+from repro.workloads.profiles import flow_type
+
+SPEC = flow_type(0).spec
+EDGE_RTT = 0.002
+CLIENTS = 8
+REQUESTS_PER_CLIENT = 12
+PATHS = 8
+GRID = [(1, 1), (1, 8), (2, 8), (4, 1), (4, 8)]
+
+
+def measure_config(workers: int, shards: int) -> dict:
+    broker = BandwidthBroker()
+    pinned = provision_parallel_paths(broker, paths=PATHS)
+    templates = [
+        FlowTemplate(SPEC, 2.44, nodes[0], nodes[-1], path_nodes=nodes)
+        for nodes in pinned
+    ]
+    with BrokerService(broker, workers=workers, shards=shards,
+                       edge_rtt=EDGE_RTT) as service:
+        report = run_closed_loop(
+            service, templates,
+            clients=CLIENTS, requests_per_client=REQUESTS_PER_CLIENT,
+        )
+    assert report.errors == 0
+    assert report.rejected == 0  # disjoint fan is conflict-free
+    return {"workers": workers, "shards": shards, **report.as_dict()}
+
+
+def test_bench_service_throughput_grid(benchmark, tmp_path):
+    results = benchmark.pedantic(
+        lambda: [measure_config(w, s) for w, s in GRID],
+        rounds=1, warmup_rounds=0,
+    )
+    artifact = tmp_path / "service_throughput.json"
+    artifact.write_text(json.dumps(results, indent=2))
+
+    print()
+    print(f"Closed-loop service throughput ({CLIENTS} clients, "
+          f"{PATHS} disjoint paths, edge RTT {EDGE_RTT * 1e3:g} ms):")
+    print(render_table(
+        ["workers", "shards", "req/s", "p50(ms)", "p99(ms)", "shed"],
+        [[entry["workers"], entry["shards"],
+          f"{entry['throughput_rps']:.0f}",
+          f"{entry['p50_ms']:.2f}", f"{entry['p99_ms']:.2f}",
+          entry["shed"]]
+         for entry in results],
+    ))
+    print(f"artifact: {artifact}")
+
+    by_config = {
+        (entry["workers"], entry["shards"]): entry["throughput_rps"]
+        for entry in results
+    }
+    single_worker_best = max(
+        rps for (workers, _), rps in by_config.items() if workers == 1
+    )
+    # The tentpole acceptance criterion: sharded concurrency wins.
+    assert by_config[(4, 8)] >= 2.0 * single_worker_best, (
+        f"4 workers x 8 shards ({by_config[(4, 8)]:.0f} req/s) "
+        f"must at least double the best single-worker config "
+        f"({single_worker_best:.0f} req/s)"
+    )
+    # One shard serializes every path: more workers must not help
+    # (allow generous scheduling noise).
+    assert by_config[(4, 1)] <= 1.5 * by_config[(1, 1)]
+
+
+def test_bench_single_request_service_time(benchmark):
+    """Baseline: one in-flight request end to end through the service
+    (queue + resolve + shard lock + edge RTT)."""
+    broker = BandwidthBroker()
+    pinned = provision_parallel_paths(broker, paths=1)
+    nodes = pinned[0]
+    service = BrokerService(broker, workers=1, shards=1,
+                            edge_rtt=EDGE_RTT)
+    service.start()
+    counter = iter(range(10 ** 9))
+
+    def roundtrip():
+        flow_id = f"f{next(counter)}"
+        reply = service.request(flow_id, SPEC, 2.44, nodes[0], nodes[-1],
+                                path_nodes=nodes)
+        service.teardown(flow_id)
+        return reply
+
+    reply = benchmark(roundtrip)
+    service.stop()
+    assert reply.admitted
+    # Service time is dominated by the edge RTT, not the runtime.
+    assert reply.service_time >= EDGE_RTT

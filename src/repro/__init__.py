@@ -47,6 +47,7 @@ from repro.core.aggregate import (
 )
 from repro.core.broker import BandwidthBroker, BrokerStats
 from repro.errors import ReproError
+from repro.service import BrokerService, ServiceStats
 from repro.traffic.spec import ServiceSpec, TSpec, aggregate_tspec
 from repro.vtrs.delay_bounds import PathProfile, e2e_delay_bound
 
@@ -54,6 +55,8 @@ __all__ = [
     "__version__",
     "BandwidthBroker",
     "BrokerStats",
+    "BrokerService",
+    "ServiceStats",
     "AdmissionDecision",
     "AdmissionRequest",
     "PerFlowAdmission",

@@ -9,6 +9,8 @@ Commands regenerate the paper's evaluation artifacts from a terminal:
 * ``figure10``— blocking rate versus offered load;
 * ``plan``    — the capacity-planning table (extension);
 * ``scaling`` — control-plane state vs flow count (extension);
+* ``serve-bench`` — closed-loop throughput of the concurrent broker
+  service runtime (extension, see ``docs/SERVICE.md``);
 * ``all``     — the paper artifacts in paper order.
 
 Each command exits non-zero when the reproduction check fails (e.g. a
@@ -154,6 +156,71 @@ def _cmd_scaling(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.broker import BandwidthBroker
+    from repro.service import (
+        BrokerService,
+        FlowTemplate,
+        provision_parallel_paths,
+        run_closed_loop,
+    )
+    from repro.workloads.profiles import flow_type
+
+    spec = flow_type(0).spec
+    rows = []
+    results = []
+    for workers in args.workers:
+        for shards in args.shards:
+            broker = BandwidthBroker()
+            pinned = provision_parallel_paths(broker, paths=args.paths)
+            templates = [
+                FlowTemplate(
+                    spec, 2.44, nodes[0], nodes[-1], path_nodes=nodes
+                )
+                for nodes in pinned
+            ]
+            with BrokerService(
+                broker,
+                workers=workers,
+                shards=shards,
+                edge_rtt=args.edge_rtt_ms / 1000.0,
+            ) as service:
+                report = run_closed_loop(
+                    service,
+                    templates,
+                    clients=args.clients,
+                    requests_per_client=args.requests,
+                )
+            stats = report.stats
+            rows.append([
+                workers, shards, f"{report.throughput_rps:.0f}",
+                f"{report.latency_ms(0.50):.2f}",
+                f"{report.latency_ms(0.99):.2f}",
+                sum(stats.shard_contention), report.shed,
+            ])
+            results.append({
+                "workers": workers,
+                "shards": shards,
+                **report.as_dict(),
+            })
+    print(f"Closed-loop service throughput "
+          f"({args.clients} clients, {args.paths} disjoint paths, "
+          f"edge RTT {args.edge_rtt_ms:g} ms):")
+    print(render_table(
+        ["workers", "shards", "req/s", "p50(ms)", "p99(ms)",
+         "contention", "shed"],
+        rows,
+    ))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(results, handle, indent=2)
+        print(f"\nwrote {args.json}")
+    errors = sum(result["errors"] for result in results)
+    return 0 if errors == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -186,6 +253,27 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "scaling", help="control-plane state vs flow count (extension)"
     ).set_defaults(func=_cmd_scaling)
+    serve = sub.add_parser(
+        "serve-bench",
+        help="concurrent service runtime throughput grid (extension)",
+    )
+    serve.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4],
+                       help="worker-pool sizes to sweep (default 1 2 4)")
+    serve.add_argument("--shards", type=int, nargs="+", default=[1, 8],
+                       help="link-state shard counts to sweep (default 1 8)")
+    serve.add_argument("--clients", type=int, default=8,
+                       help="closed-loop client threads (default 8)")
+    serve.add_argument("--requests", type=int, default=25,
+                       help="admit requests per client (default 25)")
+    serve.add_argument("--paths", type=int, default=8,
+                       help="link-disjoint paths in the domain (default 8)")
+    serve.add_argument("--edge-rtt-ms", type=float, default=2.0,
+                       help="simulated edge-programming RTT in ms "
+                            "(default 2.0)")
+    serve.add_argument("--json", default="",
+                       help="also write the per-config reports to this "
+                            "JSON file")
+    serve.set_defaults(func=_cmd_serve_bench)
     everything = sub.add_parser("all", help="regenerate the whole evaluation")
     everything.add_argument("--runs", type=int, default=5)
     everything.add_argument("--fast", action="store_true")

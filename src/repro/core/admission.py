@@ -45,7 +45,7 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import StateError
 from repro.core.mibs import FlowMIB, FlowRecord, NodeMIB, PathMIB, PathRecord
@@ -72,6 +72,10 @@ class RejectionReason(enum.Enum):
     INSUFFICIENT_BANDWIDTH = "insufficient-bandwidth"
     UNSCHEDULABLE = "unschedulable"
     DUPLICATE = "duplicate-flow"
+    #: The broker service shed the request (full queue / blown
+    #: deadline) without evaluating it — the caller may retry, unlike
+    #: the capacity-based rejections above.
+    TRY_AGAIN = "try-again"
 
 
 @dataclass(frozen=True)
@@ -169,6 +173,102 @@ class PerFlowAdmission:
             )
         )
         return decision
+
+    def admit_batch(
+        self,
+        requests: Sequence[AdmissionRequest],
+        path: PathRecord,
+        *,
+        now: float = 0.0,
+    ) -> List[AdmissionDecision]:
+        """Admit a batch of requests on one path with one hoisted scan.
+
+        Decisions are, by construction, **identical** to calling
+        :meth:`admit` once per request in order.  On a rate-based-only
+        path the minimal feasible rate ``r_min`` of eq. (6) depends
+        only on the *static* path profile, so it is computed once for
+        a batch of identical ``(spec, D_req)`` requests and each flow
+        then needs only the O(1) feasible-range check plus bookkeeping
+        — the amortization the service layer's admission batcher
+        relies on.  Mixed rate/delay paths (whose Figure-4 breakpoints
+        shift with every admission) and heterogeneous batches fall
+        back to the per-request sequential loop.
+        """
+        if not requests:
+            return []
+        first = requests[0]
+        homogeneous = all(
+            r.spec == first.spec
+            and r.delay_requirement == first.delay_requirement
+            for r in requests[1:]
+        )
+        if not homogeneous or path.rate_based_hops != path.hops:
+            return [self.admit(r, path, now=now) for r in requests]
+        spec = first.spec
+        r_min = min_feasible_rate_rate_based(
+            spec, first.delay_requirement, path.profile()
+        )
+        decisions: List[AdmissionDecision] = []
+        for request in requests:
+            if request.flow_id in self.flow_mib:
+                decisions.append(AdmissionDecision(
+                    admitted=False,
+                    flow_id=request.flow_id,
+                    path_id=path.path_id,
+                    reason=RejectionReason.DUPLICATE,
+                    detail=f"flow {request.flow_id!r} is already admitted",
+                ))
+                continue
+            if math.isinf(r_min):
+                decisions.append(AdmissionDecision(
+                    admitted=False,
+                    flow_id=request.flow_id,
+                    path_id=path.path_id,
+                    reason=RejectionReason.DELAY_UNACHIEVABLE,
+                    detail="fixed path latency alone exceeds the requirement",
+                ))
+                continue
+            low = max(spec.rho, r_min)
+            high = min(spec.peak, path.residual_bandwidth())
+            if low > high * (1 + _EPS) + _EPS:
+                reason = (
+                    RejectionReason.DELAY_UNACHIEVABLE
+                    if r_min > spec.peak * (1 + _EPS)
+                    else RejectionReason.INSUFFICIENT_BANDWIDTH
+                )
+                decisions.append(AdmissionDecision(
+                    admitted=False,
+                    flow_id=request.flow_id,
+                    path_id=path.path_id,
+                    reason=reason,
+                    detail=(
+                        f"feasible range empty: need r in "
+                        f"[{low:.1f}, {high:.1f}] b/s"
+                    ),
+                ))
+                continue
+            decision = AdmissionDecision(
+                admitted=True,
+                flow_id=request.flow_id,
+                path_id=path.path_id,
+                rate=min(low, high),
+                delay=0.0,
+            )
+            for link in path.links:
+                link.reserve(request.flow_id, decision.rate)
+            self.flow_mib.add(
+                FlowRecord(
+                    flow_id=request.flow_id,
+                    spec=request.spec,
+                    delay_requirement=request.delay_requirement,
+                    path_id=path.path_id,
+                    rate=decision.rate,
+                    delay=decision.delay,
+                    admitted_at=now,
+                )
+            )
+            decisions.append(decision)
+        return decisions
 
     def release(self, flow_id: str) -> FlowRecord:
         """Tear down a flow's reservation along its path."""

@@ -18,10 +18,24 @@ Path aggregates are cached against a sum of per-link version counters,
 so repeated admission tests on a quiescent path are O(1)/O(M) exactly
 as the paper claims, while any reservation change transparently
 invalidates the cache.
+
+Locking contract (see :mod:`repro.service` for the concurrent
+runtime):
+
+* :class:`FlowMIB`, :class:`NodeMIB` and :class:`PathMIB` registries
+  and their lifetime counters are guarded by internal locks, so
+  registrations and the ``admitted_total``/``terminated_total``
+  counters may be read and written from any thread;
+* :class:`LinkQoSState` and :class:`PathRecord` are **not** internally
+  locked — reservations on a link (and the version-cached aggregates
+  of every path crossing it) must be serialized by the owner.  The
+  service layer does this with per-shard locks over a partition of the
+  links; single-threaded callers need nothing.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -181,16 +195,22 @@ class LinkQoSState:
 
 
 class NodeMIB:
-    """The node QoS state information base: every link in the domain."""
+    """The node QoS state information base: every link in the domain.
+
+    Registration is lock-guarded; lookups are lock-free (a link, once
+    registered, is never removed or replaced).
+    """
 
     def __init__(self) -> None:
         self._links: Dict[Tuple[str, str], LinkQoSState] = {}
+        self._lock = threading.Lock()
 
     def register_link(self, state: LinkQoSState) -> LinkQoSState:
         """Register a link's QoS state (once per link)."""
-        if state.link_id in self._links:
-            raise StateError(f"link {state.link_id} already registered")
-        self._links[state.link_id] = state
+        with self._lock:
+            if state.link_id in self._links:
+                raise StateError(f"link {state.link_id} already registered")
+            self._links[state.link_id] = state
         return state
 
     def link(self, src: str, dst: str) -> LinkQoSState:
@@ -226,26 +246,37 @@ class FlowRecord:
 
 
 class FlowMIB:
-    """The flow information base: all currently admitted flows."""
+    """The flow information base: all currently admitted flows.
+
+    The registry and the ``admitted_total``/``terminated_total``
+    lifetime counters are updated under an internal lock: per-flow and
+    class-based admission running on disjoint link shards still share
+    this one MIB, so :meth:`add`/:meth:`remove` must be safe from any
+    worker thread.  Lookups stay lock-free (dict reads are atomic and
+    records are immutable once inserted).
+    """
 
     def __init__(self) -> None:
         self._flows: Dict[str, FlowRecord] = {}
+        self._lock = threading.Lock()
         self.admitted_total = 0
         self.terminated_total = 0
 
     def add(self, record: FlowRecord) -> None:
         """Record an admitted flow."""
-        if record.flow_id in self._flows:
-            raise StateError(f"flow {record.flow_id!r} already recorded")
-        self._flows[record.flow_id] = record
-        self.admitted_total += 1
+        with self._lock:
+            if record.flow_id in self._flows:
+                raise StateError(f"flow {record.flow_id!r} already recorded")
+            self._flows[record.flow_id] = record
+            self.admitted_total += 1
 
     def remove(self, flow_id: str) -> FlowRecord:
         """Remove a terminated flow, returning its record."""
-        record = self._flows.pop(flow_id, None)
-        if record is None:
-            raise StateError(f"flow {flow_id!r} not in flow MIB")
-        self.terminated_total += 1
+        with self._lock:
+            record = self._flows.pop(flow_id, None)
+            if record is None:
+                raise StateError(f"flow {flow_id!r} not in flow MIB")
+            self.terminated_total += 1
         return record
 
     def get(self, flow_id: str) -> Optional[FlowRecord]:
@@ -379,21 +410,28 @@ class PathRecord:
 
 
 class PathMIB:
-    """The path QoS state information base."""
+    """The path QoS state information base.
+
+    Registration is lock-guarded so two workers racing to pin the
+    same path both end up holding the single registered record.
+    """
 
     def __init__(self) -> None:
         self._paths: Dict[str, PathRecord] = {}
+        self._lock = threading.Lock()
 
     def register(self, record: PathRecord) -> PathRecord:
         """Register a path (idempotent for identical node sequences)."""
-        existing = self._paths.get(record.path_id)
-        if existing is not None:
-            if existing.nodes != record.nodes:
-                raise StateError(
-                    f"path id {record.path_id!r} already maps to {existing.nodes}"
-                )
-            return existing
-        self._paths[record.path_id] = record
+        with self._lock:
+            existing = self._paths.get(record.path_id)
+            if existing is not None:
+                if existing.nodes != record.nodes:
+                    raise StateError(
+                        f"path id {record.path_id!r} already maps to "
+                        f"{existing.nodes}"
+                    )
+                return existing
+            self._paths[record.path_id] = record
         return record
 
     def get(self, path_id: str) -> PathRecord:

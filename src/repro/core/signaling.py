@@ -23,6 +23,7 @@ touch every router on the path, see :mod:`repro.intserv.rsvp`).
 from __future__ import annotations
 
 import itertools
+import threading
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
@@ -111,10 +112,19 @@ class MessageBus:
     synchronously (the experiments model message *counts*, not
     latencies — transport latency can be added by the caller when
     studying admission set-up delay).
+
+    Locking contract: registration, the per-type ``sent`` counters and
+    the optional log are guarded by an internal lock, so the bus may
+    be driven from any number of threads (the concurrent broker
+    service sends edge pushes from its workers while experiments read
+    the counters).  Handlers themselves are invoked **outside** the
+    lock — a handler may therefore re-enter :meth:`send` — and must
+    provide their own synchronization if they touch shared state.
     """
 
     def __init__(self) -> None:
         self._handlers: Dict[str, Callable[[Message], Optional[Message]]] = {}
+        self._lock = threading.Lock()
         self.sent: Counter = Counter()
         self.log: List[Message] = []
         self.keep_log = False
@@ -122,21 +132,31 @@ class MessageBus:
     def register(self, name: str,
                  handler: Callable[[Message], Optional[Message]]) -> None:
         """Register *handler* as the endpoint called *name*."""
-        if name in self._handlers:
-            raise SignalingError(f"endpoint {name!r} already registered")
-        self._handlers[name] = handler
+        with self._lock:
+            if name in self._handlers:
+                raise SignalingError(f"endpoint {name!r} already registered")
+            self._handlers[name] = handler
 
     def send(self, message: Message) -> Optional[Message]:
         """Deliver *message*; returns the receiver's (optional) reply."""
-        handler = self._handlers.get(message.receiver)
-        if handler is None:
-            raise SignalingError(f"no endpoint {message.receiver!r} on the bus")
-        self.sent[type(message).__name__] += 1
-        if self.keep_log:
-            self.log.append(message)
+        with self._lock:
+            handler = self._handlers.get(message.receiver)
+            if handler is None:
+                raise SignalingError(
+                    f"no endpoint {message.receiver!r} on the bus"
+                )
+            self.sent[type(message).__name__] += 1
+            if self.keep_log:
+                self.log.append(message)
         return handler(message)
 
     @property
     def total_messages(self) -> int:
         """Total messages delivered since construction."""
-        return sum(self.sent.values())
+        with self._lock:
+            return sum(self.sent.values())
+
+    def sent_snapshot(self) -> Counter:
+        """A consistent copy of the per-type delivery counters."""
+        with self._lock:
+            return Counter(self.sent)

@@ -1,0 +1,597 @@
+"""The concurrent broker service runtime.
+
+The paper decouples QoS control into a centralized bandwidth broker —
+which makes the broker itself the scalability bottleneck its Section 5
+measures.  :class:`BrokerService` turns the purely synchronous
+:class:`~repro.core.broker.BandwidthBroker` library into a runnable
+daemon engineered around that bottleneck:
+
+* **bounded request queue + worker pool** — stdlib threads pull
+  requests from a bounded queue; when the queue is full, a submit is
+  answered *immediately* with a distinct
+  :data:`~repro.core.admission.RejectionReason.TRY_AGAIN` rejection
+  instead of blocking the signaling path (backpressure);
+* **per-request deadlines** — a request whose deadline passes while
+  it waits is shed with ``TRY_AGAIN`` at dequeue time instead of
+  being serviced uselessly (graceful degradation);
+* **sharded link-state** — links are partitioned across N lock
+  shards (:class:`~repro.service.shards.LinkShards`); a request's
+  critical section takes only the shards its candidate paths cross,
+  so admission on link-disjoint paths runs in parallel while any two
+  requests sharing a link are serialized — keeping aggregate
+  decisions identical to sequential admission;
+* **admission batching** — queued requests with the same batch key
+  are coalesced and served with one resolution + one hoisted
+  schedulability scan (:mod:`repro.service.batching`);
+* **observability** — :meth:`BrokerService.stats` returns a
+  :class:`~repro.service.stats.ServiceStats` snapshot (queue depth,
+  shed/expired counts, batch shape, p50/p99 service time, per-shard
+  contention).
+
+Two orderings are intentionally relaxed relative to a strict FIFO
+single thread, and documented here because they are visible to
+clients: (1) requests on disjoint shards may complete out of arrival
+order; (2) the batcher serves same-key requests ahead of an older
+different-key request a worker skipped over.  Neither affects the
+aggregate accept/reject outcome for conflict-free traces (the stress
+tests assert this), because reordering only ever exchanges requests
+that do not contend for the same bottleneck decision — contended
+requests share a shard and stay ordered.
+
+The optional ``edge_rtt`` models the COPS round-trip that programs
+the ingress edge conditioner (the paper's Figure 1 push; its Section
+5 setup-latency experiments measure exactly this leg).  The worker
+blocks — GIL released — with the batch's shard locks held, because a
+reservation is not durable until the edge acknowledges it; this is
+the component of service time that a larger worker pool genuinely
+overlaps, and what ``repro serve-bench`` measures.
+
+Class-based requests and teardowns serialize across **all** shards:
+a microflow join calls :meth:`AggregateAdmission.advance`, which may
+release expired contingency bandwidth on any macroflow in the domain,
+so its write set is not path-local.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Sequence, Tuple
+
+from repro.core.admission import AdmissionDecision, RejectionReason
+from repro.core.broker import BandwidthBroker
+from repro.core.signaling import (
+    FlowServiceRequest,
+    FlowTeardown,
+    Message,
+    MessageBus,
+)
+from repro.errors import SignalingError, StateError
+from repro.service.batching import AdmissionBatcher, batch_key
+from repro.service.shards import LinkShards
+from repro.service.stats import ServiceStats, StatsRecorder
+from repro.traffic.spec import TSpec
+
+__all__ = [
+    "ServiceRequest",
+    "ServiceReply",
+    "PendingReply",
+    "BrokerService",
+    "OK",
+    "SHED",
+    "EXPIRED",
+    "ERROR",
+]
+
+#: Reply status values.
+OK = "ok"            # a real admission/teardown decision
+SHED = "shed"        # queue full at submit time -> TRY_AGAIN
+EXPIRED = "expired"  # deadline passed while queued -> TRY_AGAIN
+ERROR = "error"      # the request raised inside the worker
+
+
+@dataclass(frozen=True)
+class ServiceRequest:
+    """One unit of work submitted to the service.
+
+    :param flow_id: the flow the operation concerns.
+    :param op: ``"admit"`` or ``"teardown"``.
+    :param spec: traffic profile (admit only).
+    :param delay_requirement: ``D_req``; 0 with a service class.
+    :param ingress: ingress edge router (admit only).
+    :param egress: egress edge router (admit only).
+    :param service_class: registered class id, empty for per-flow.
+    :param path_nodes: explicit path pin (else widest-shortest).
+    :param now: the *domain* clock for admission bookkeeping
+        (``admitted_at``, contingency periods) — decoupled from the
+        wall clock that drives deadlines.
+    :param timeout: seconds this request may spend queued before it
+        is shed (``None``: the service default).
+    """
+
+    flow_id: str
+    op: str = "admit"
+    spec: Optional[TSpec] = None
+    delay_requirement: float = 0.0
+    ingress: str = ""
+    egress: str = ""
+    service_class: str = ""
+    path_nodes: Optional[Tuple[str, ...]] = None
+    now: float = 0.0
+    timeout: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class ServiceReply:
+    """The service's answer to one :class:`ServiceRequest`.
+
+    ``decision`` is always present for admissions — shed and expired
+    requests carry an ``admitted=False`` decision with reason
+    :data:`~repro.core.admission.RejectionReason.TRY_AGAIN`, which is
+    how clients distinguish "come back later" from a capacity
+    rejection.  Completed teardowns have ``decision None``.
+    """
+
+    request: ServiceRequest
+    status: str
+    decision: Optional[AdmissionDecision]
+    detail: str = ""
+    service_time: float = 0.0
+    batch_size: int = 1
+
+    @property
+    def admitted(self) -> bool:
+        return self.decision is not None and self.decision.admitted
+
+    @property
+    def try_again(self) -> bool:
+        """Was the request shed (backpressure/deadline), not judged?"""
+        return self.status in (SHED, EXPIRED)
+
+
+class PendingReply:
+    """A future for one submitted request."""
+
+    __slots__ = ("_event", "_reply", "enqueued_at", "deadline")
+
+    def __init__(self, enqueued_at: float,
+                 deadline: Optional[float]) -> None:
+        self._event = threading.Event()
+        self._reply: Optional[ServiceReply] = None
+        self.enqueued_at = enqueued_at
+        self.deadline = deadline
+
+    def _resolve(self, reply: ServiceReply) -> None:
+        self._reply = reply
+        self._event.set()
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> ServiceReply:
+        """Block until the reply arrives (raises ``TimeoutError``)."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("no service reply within the wait timeout")
+        assert self._reply is not None
+        return self._reply
+
+
+class _Job:
+    __slots__ = ("request", "pending")
+
+    def __init__(self, request: ServiceRequest,
+                 pending: PendingReply) -> None:
+        self.request = request
+        self.pending = pending
+
+
+class BrokerService:
+    """A concurrent service front-end over one :class:`BandwidthBroker`.
+
+    :param broker: the broker whose admission machinery is served.
+    :param workers: worker-thread pool size.
+    :param shards: link-state shard count (parallelism knob).
+    :param queue_limit: bounded queue depth; submits beyond it shed.
+    :param batch_limit: max requests coalesced into one batch.
+    :param default_timeout: default per-request queueing deadline in
+        seconds (``None``: no deadline).
+    :param edge_rtt: simulated edge-programming round-trip in seconds
+        (0 disables; see the module docstring).
+
+    Use as a context manager, or call :meth:`start`/:meth:`stop`.
+    The broker must not be driven concurrently through its
+    single-threaded entry points while the service is running.
+    """
+
+    def __init__(
+        self,
+        broker: BandwidthBroker,
+        *,
+        workers: int = 4,
+        shards: int = 8,
+        queue_limit: int = 256,
+        batch_limit: int = 16,
+        default_timeout: Optional[float] = None,
+        edge_rtt: float = 0.0,
+    ) -> None:
+        if workers < 1:
+            raise StateError(f"need at least one worker, got {workers}")
+        if queue_limit < 1:
+            raise StateError(f"queue limit must be >= 1, got {queue_limit}")
+        self.broker = broker
+        self.workers = int(workers)
+        self.queue_limit = int(queue_limit)
+        self.batch_limit = max(1, int(batch_limit))
+        self.default_timeout = default_timeout
+        self.edge_rtt = float(edge_rtt)
+        self.shards = LinkShards(shards)
+        self._batcher = AdmissionBatcher(broker)
+        self._recorder = StatsRecorder()
+        self._queue: Deque[_Job] = deque()
+        self._cond = threading.Condition()
+        self._threads: List[threading.Thread] = []
+        self._running = False
+        self.bus_name: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "BrokerService":
+        """Spawn the worker pool (idempotent).
+
+        Shard assignment is planned from the paths pinned so far
+        (path-locality co-location, see
+        :meth:`~repro.service.shards.LinkShards.plan_paths`); paths
+        pinned after start fall back to the hashed shard map.
+        """
+        with self._cond:
+            if self._running:
+                return self
+            self._running = True
+        self.shards.plan_paths(self.broker.path_mib.records())
+        self._threads = [
+            threading.Thread(
+                target=self._run_worker,
+                name=f"bb-worker-{index}",
+                daemon=True,
+            )
+            for index in range(self.workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Drain the queue, answer everything, and join the workers."""
+        with self._cond:
+            self._running = False
+            self._cond.notify_all()
+        for thread in self._threads:
+            thread.join()
+        self._threads = []
+
+    def __enter__(self) -> "BrokerService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+
+    def submit(self, request: ServiceRequest) -> PendingReply:
+        """Enqueue *request*; never blocks.
+
+        When the queue is at its bound the returned future is already
+        resolved with a ``TRY_AGAIN`` rejection (status ``shed``) —
+        the backpressure contract: the signaling path always gets an
+        immediate, retriable answer instead of an unbounded wait.
+        """
+        timeout = (
+            request.timeout
+            if request.timeout is not None
+            else self.default_timeout
+        )
+        submitted_at = time.monotonic()
+        deadline = submitted_at + timeout if timeout is not None else None
+        pending = PendingReply(submitted_at, deadline)
+        with self._cond:
+            if not self._running:
+                raise StateError("broker service is not running")
+            if len(self._queue) >= self.queue_limit:
+                depth = len(self._queue)
+                shed = True
+            else:
+                self._queue.append(_Job(request, pending))
+                self._cond.notify()
+                shed = False
+        self._recorder.on_submit()
+        if shed:
+            self._recorder.on_shed()
+            pending._resolve(ServiceReply(
+                request=request,
+                status=SHED,
+                decision=self._try_again(
+                    request, f"service queue full ({depth} waiting)"
+                ),
+                detail=f"service queue full ({depth} waiting)",
+                service_time=0.0,
+            ))
+        return pending
+
+    def request(
+        self,
+        flow_id: str,
+        spec: Optional[TSpec] = None,
+        delay_requirement: float = 0.0,
+        ingress: str = "",
+        egress: str = "",
+        *,
+        op: str = "admit",
+        service_class: str = "",
+        path_nodes: Optional[Sequence[str]] = None,
+        now: float = 0.0,
+        timeout: Optional[float] = None,
+        wait: Optional[float] = None,
+    ) -> ServiceReply:
+        """Submit one request and block for its reply (closed loop)."""
+        pending = self.submit(ServiceRequest(
+            flow_id=flow_id,
+            op=op,
+            spec=spec,
+            delay_requirement=delay_requirement,
+            ingress=ingress,
+            egress=egress,
+            service_class=service_class,
+            path_nodes=tuple(path_nodes) if path_nodes is not None else None,
+            now=now,
+            timeout=timeout,
+        ))
+        return pending.wait(wait)
+
+    def teardown(self, flow_id: str, *, now: float = 0.0,
+                 wait: Optional[float] = None) -> ServiceReply:
+        """Submit a teardown and block for its completion."""
+        return self.request(flow_id, op="teardown", now=now, wait=wait)
+
+    # ------------------------------------------------------------------
+    # signaling endpoint
+    # ------------------------------------------------------------------
+
+    def attach_to_bus(self, bus: Optional[MessageBus] = None,
+                      name: str = "bb-service") -> "BrokerService":
+        """Register this service as endpoint *name* on *bus*.
+
+        Defaults to the broker's own bus, so experiments can drive the
+        concurrent runtime with the same
+        :class:`~repro.core.signaling.FlowServiceRequest` messages the
+        synchronous ``"bb"`` endpoint accepts.
+        """
+        (bus or self.broker.bus).register(name, self.handle_message)
+        self.bus_name = name
+        return self
+
+    def handle_message(self, message: Message) -> Optional[Message]:
+        """Bus endpoint: the concurrent counterpart of the broker's."""
+        if isinstance(message, FlowServiceRequest):
+            reply = self.request(
+                message.flow_id,
+                message.spec,
+                message.delay_requirement,
+                message.sender,
+                message.egress,
+                service_class=message.service_class,
+            )
+            decision = reply.decision or AdmissionDecision(
+                admitted=False, flow_id=message.flow_id,
+                detail=reply.detail,
+            )
+            return self.broker.build_reply(
+                decision, message, sender=self.bus_name or "bb-service"
+            )
+        if isinstance(message, FlowTeardown):
+            reply = self.request(message.flow_id, op="teardown")
+            if reply.status == ERROR:
+                raise StateError(reply.detail)
+            return None
+        raise SignalingError(
+            f"broker service cannot handle {type(message).__name__}"
+        )
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def stats(self) -> ServiceStats:
+        """A :class:`ServiceStats` snapshot, safe under load."""
+        with self._cond:
+            depth = len(self._queue)
+        acquisitions, contention = self.shards.counters()
+        return self._recorder.snapshot(
+            workers=self.workers,
+            shards=self.shards.num_shards,
+            queue_capacity=self.queue_limit,
+            queue_depth=depth,
+            shard_acquisitions=acquisitions,
+            shard_contention=contention,
+        )
+
+    # ------------------------------------------------------------------
+    # worker internals
+    # ------------------------------------------------------------------
+
+    def _run_worker(self) -> None:
+        while True:
+            batch = self._next_batch()
+            if batch is None:
+                return
+            self._serve_batch(batch)
+
+    def _next_batch(self) -> Optional[List[_Job]]:
+        """Pop the queue head plus every same-key request behind it.
+
+        Non-matching requests keep their relative order and are left
+        for the other workers (which are re-notified when any
+        remain).  Returns ``None`` on shutdown with a drained queue.
+        """
+        with self._cond:
+            while not self._queue:
+                if not self._running:
+                    return None
+                self._cond.wait()
+            head = self._queue.popleft()
+            batch = [head]
+            key = batch_key(head.request)
+            if key is not None and self.batch_limit > 1 and self._queue:
+                rest: Deque[_Job] = deque()
+                while self._queue and len(batch) < self.batch_limit:
+                    job = self._queue.popleft()
+                    if batch_key(job.request) == key:
+                        batch.append(job)
+                    else:
+                        rest.append(job)
+                rest.extend(self._queue)
+                self._queue.clear()
+                self._queue.extend(rest)
+                if self._queue:
+                    self._cond.notify_all()
+        return batch
+
+    def _serve_batch(self, jobs: List[_Job]) -> None:
+        live: List[_Job] = []
+        for job in jobs:
+            deadline = job.pending.deadline
+            if deadline is not None and time.monotonic() > deadline:
+                self._recorder.on_expired(self._elapsed(job))
+                self._finish(job, EXPIRED, self._try_again(
+                    job.request, "deadline passed while queued"
+                ), detail="deadline passed while queued")
+            else:
+                live.append(job)
+        if not live:
+            return
+        if live[0].request.op == "teardown":
+            for job in live:
+                self._serve_teardown(job)
+            return
+        self._serve_admissions(live)
+
+    def _serve_admissions(self, jobs: List[_Job]) -> None:
+        head = jobs[0].request
+        self._recorder.on_batch(len(jobs))
+        try:
+            resolved = self._batcher.resolve(head)
+        except Exception as exc:  # e.g. unknown service class
+            for job in jobs:
+                self._recorder.on_error(self._elapsed(job))
+                self._finish(job, ERROR, AdmissionDecision(
+                    admitted=False, flow_id=job.request.flow_id,
+                    detail=str(exc),
+                ), detail=str(exc))
+            return
+        if resolved.rejection is not None:
+            # Policy/routing rejection: no reservation state involved,
+            # fan out without taking any shard lock.
+            decisions = self._batcher.fan_out_rejection(
+                resolved, [job.request for job in jobs]
+            )
+            self._reply_all(jobs, decisions)
+            return
+        if resolved.service_class is not None:
+            shard_ids = self.shards.all_shards()
+        else:
+            shard_ids = self.shards.shards_for(resolved.links())
+        try:
+            with self.shards.locked(shard_ids):
+                decisions = self._batcher.execute(
+                    resolved, [job.request for job in jobs]
+                )
+                if self.edge_rtt > 0 and any(
+                    decision.admitted for decision in decisions
+                ):
+                    # One coalesced edge-programming round-trip per
+                    # batch, with the shard locks held: the
+                    # reservation is durable only once the edge acks.
+                    time.sleep(self.edge_rtt)
+        except Exception as exc:
+            for job in jobs:
+                self._recorder.on_error(self._elapsed(job))
+                self._finish(job, ERROR, AdmissionDecision(
+                    admitted=False, flow_id=job.request.flow_id,
+                    detail=str(exc),
+                ), detail=str(exc))
+            return
+        self._reply_all(jobs, decisions)
+
+    def _serve_teardown(self, job: _Job) -> None:
+        flow_id = job.request.flow_id
+        record = self.broker.flow_mib.get(flow_id)
+        if record is None:
+            detail = f"flow {flow_id!r} is not admitted"
+            self._recorder.on_error(self._elapsed(job))
+            self._finish(job, ERROR, None, detail=detail)
+            return
+        if record.class_id:
+            shard_ids = self.shards.all_shards()
+        else:
+            path = self.broker.path_mib.get(record.path_id)
+            shard_ids = self.shards.shards_for(path.links)
+        try:
+            with self.shards.locked(shard_ids):
+                self.broker.terminate(flow_id, now=job.request.now)
+                if self.edge_rtt > 0:
+                    time.sleep(self.edge_rtt)
+        except Exception as exc:
+            self._recorder.on_error(self._elapsed(job))
+            self._finish(job, ERROR, None, detail=str(exc))
+            return
+        self._recorder.on_reply("done", self._elapsed(job))
+        self._finish(job, OK, None)
+
+    # ------------------------------------------------------------------
+    # reply plumbing
+    # ------------------------------------------------------------------
+
+    def _reply_all(self, jobs: List[_Job],
+                   decisions: List[AdmissionDecision]) -> None:
+        for job, decision in zip(jobs, decisions):
+            outcome = "admitted" if decision.admitted else "rejected"
+            self._recorder.on_reply(outcome, self._elapsed(job))
+            self._finish(job, OK, decision, batch_size=len(jobs))
+
+    def _finish(self, job: _Job, status: str,
+                decision: Optional[AdmissionDecision], *,
+                detail: str = "", batch_size: int = 1) -> None:
+        job.pending._resolve(ServiceReply(
+            request=job.request,
+            status=status,
+            decision=decision,
+            detail=detail or (decision.detail if decision else ""),
+            service_time=self._elapsed(job),
+            batch_size=batch_size,
+        ))
+
+    @staticmethod
+    def _elapsed(job: _Job) -> float:
+        return time.monotonic() - job.pending.enqueued_at
+
+    @staticmethod
+    def _try_again(request: ServiceRequest, detail: str
+                   ) -> AdmissionDecision:
+        """The distinct retriable rejection for shed/expired work.
+
+        Not routed through the broker's rejection accounting: the
+        admission machinery never saw the request, and the service's
+        own ``shed``/``expired`` counters carry the signal.
+        """
+        return AdmissionDecision(
+            admitted=False,
+            flow_id=request.flow_id,
+            reason=RejectionReason.TRY_AGAIN,
+            detail=detail,
+        )

@@ -1,0 +1,143 @@
+"""Sharded link-state locking for the concurrent broker runtime.
+
+The broker's reservation state is per-link (:class:`LinkQoSState` and
+the version-cached aggregates of every path crossing the link), and
+links are static for the lifetime of a serving domain.  That makes a
+simple partition safe: every link hashes to one of N **shards**, each
+shard owns one lock, and a request's critical section takes exactly
+the locks of the shards its candidate paths cross.  Admission tests
+on link-disjoint paths that land on different shards therefore run in
+parallel, while two requests contending for any common link are
+serialized by its shard — which is what keeps concurrent decisions
+identical in aggregate to sequential admission.
+
+Deadlock freedom: multi-shard requests (paths spanning several
+shards, or class-based requests that take every shard) acquire their
+locks in ascending shard order, so no cycle of waiters can form.
+
+Shard assignment is **path-locality aware**: links crossed by the
+same pinned path must be locked together anyway, so
+:meth:`LinkShards.plan_paths` co-locates each path's links on one
+shard (paths taken round-robin in sorted-id order; a link shared by
+several paths keeps its first assignment, correctly coupling the
+paths that really do share state).  Links no plan covers fall back to
+``crc32(src->dst) mod N`` — stable across processes and runs (unlike
+``hash()`` under ``PYTHONHASHSEED``), so a trace replayed elsewhere
+contends on the same shards.  A purely hashed map would scatter every
+path over ~min(hops, N) shards and make two link-disjoint paths
+collide with high probability — false sharing that serializes
+workers; the plan is what makes "disjoint paths admit in parallel"
+actually hold.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from contextlib import contextmanager
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.core.mibs import LinkQoSState, PathRecord
+
+__all__ = ["LinkShards"]
+
+
+class LinkShards:
+    """A partition of the domain's links across lock-protected shards.
+
+    :param num_shards: number of shards (clamped to >= 1).  More
+        shards admit more parallelism on link-disjoint workloads at
+        the price of more locks per path-spanning request; the
+        per-shard contention counters say which way to turn the knob.
+    """
+
+    def __init__(self, num_shards: int) -> None:
+        self.num_shards = max(1, int(num_shards))
+        self._locks = [threading.Lock() for _ in range(self.num_shards)]
+        # Written only by plan_paths/assign before serving starts;
+        # read-only afterwards, hence safe to read without a lock.
+        self._assigned: Dict[Tuple[str, str], int] = {}
+        # Counters are only mutated by the thread that holds the
+        # corresponding shard lock, so they need no extra guard.
+        self.acquisitions = [0] * self.num_shards
+        self.contention = [0] * self.num_shards
+
+    # ------------------------------------------------------------------
+    # shard mapping
+    # ------------------------------------------------------------------
+
+    def assign(self, link_id: Tuple[str, str], shard: int) -> None:
+        """Pin *link_id* to *shard* (first assignment wins).
+
+        Must happen before serving starts — the map is read lock-free
+        by the workers.
+        """
+        self._assigned.setdefault(link_id, shard % self.num_shards)
+
+    def plan_paths(self, paths: Iterable[PathRecord]) -> None:
+        """Co-locate each pinned path's links on one shard.
+
+        Paths are taken in sorted-id order (deterministic across
+        runs) and dealt round-robin across the shards; a link already
+        assigned — i.e. shared with an earlier path — keeps its
+        shard, so genuinely coupled paths share locks while
+        link-disjoint paths land on disjoint shards whenever
+        ``len(paths) <= num_shards`` permits.
+        """
+        ordered = sorted(paths, key=lambda path: path.path_id)
+        for index, path in enumerate(ordered):
+            shard = index % self.num_shards
+            for link in path.links:
+                self.assign(link.link_id, shard)
+
+    def shard_of(self, link_id: Tuple[str, str]) -> int:
+        """The shard owning link ``(src, dst)`` (stable across runs)."""
+        assigned = self._assigned.get(link_id)
+        if assigned is not None:
+            return assigned
+        src, dst = link_id
+        return zlib.crc32(f"{src}->{dst}".encode()) % self.num_shards
+
+    def shards_for(self, links: Iterable[LinkQoSState]) -> Tuple[int, ...]:
+        """Ascending, de-duplicated shard ids covering *links*."""
+        return tuple(sorted({self.shard_of(link.link_id) for link in links}))
+
+    def all_shards(self) -> Tuple[int, ...]:
+        """Every shard id — the global lock set for class-based work."""
+        return tuple(range(self.num_shards))
+
+    # ------------------------------------------------------------------
+    # locking
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def locked(self, shard_ids: Sequence[int]) -> Iterator[None]:
+        """Hold the locks of *shard_ids* (must be sorted ascending).
+
+        Acquisition is in the given ascending order — the global order
+        that makes multi-shard acquisition deadlock-free.  Each
+        acquisition is first tried without blocking so the contention
+        counter records how often workers actually collided.
+        """
+        acquired: List[int] = []
+        try:
+            for shard in shard_ids:
+                lock = self._locks[shard]
+                if not lock.acquire(blocking=False):
+                    lock.acquire()
+                    self.contention[shard] += 1
+                self.acquisitions[shard] += 1
+                acquired.append(shard)
+            yield
+        finally:
+            for shard in reversed(acquired):
+                self._locks[shard].release()
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def counters(self) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """``(acquisitions, contention)`` per shard (racy best-effort
+        reads — each element is an atomic int read)."""
+        return tuple(self.acquisitions), tuple(self.contention)

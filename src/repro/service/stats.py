@@ -1,0 +1,213 @@
+"""Observability for the concurrent broker service runtime.
+
+:class:`ServiceStats` is the immutable snapshot the operator sees —
+queue depth, shed counts, batch shape and service-time percentiles —
+and :class:`StatsRecorder` is the lock-guarded accumulator the worker
+threads write into.  Workers record each reply exactly once, so a
+snapshot's counters always reconcile:
+
+``submitted == completed + shed + expired + queue_depth + in_flight``
+
+where ``in_flight`` is the handful of requests a worker has dequeued
+but not yet answered.  Service times are kept in a bounded reservoir
+(the most recent :data:`SAMPLE_WINDOW` replies), which bounds memory
+for a long-lived daemon while keeping the p50/p99 responsive to the
+current load level.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Tuple
+
+__all__ = ["ServiceStats", "StatsRecorder", "SAMPLE_WINDOW"]
+
+#: Size of the service-time reservoir (most recent replies).
+SAMPLE_WINDOW = 4096
+
+
+def _percentile(ordered: Tuple[float, ...], fraction: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample."""
+    if not ordered:
+        return 0.0
+    rank = max(0, min(len(ordered) - 1, int(fraction * len(ordered))))
+    return ordered[rank]
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """One consistent snapshot of the service runtime's counters.
+
+    :param workers: size of the worker pool.
+    :param shards: number of link-state shards.
+    :param queue_capacity: bound of the request queue.
+    :param queue_depth: requests waiting at snapshot time.
+    :param submitted: requests accepted into the queue, ever.
+    :param completed: requests answered with a real decision.
+    :param admitted: completed requests whose decision admitted.
+    :param rejected: completed requests rejected by admission control.
+    :param shed: requests answered ``TRY_AGAIN`` because the queue was
+        full at submit time (backpressure, never evaluated).
+    :param expired: requests answered ``TRY_AGAIN`` because their
+        deadline passed while queued (graceful degradation).
+    :param errors: requests that raised inside the worker (the
+        exception text is returned in the reply detail).
+    :param batches: admission batches executed.
+    :param batched_requests: requests served through those batches
+        (``batched_requests / batches`` is the mean batch size).
+    :param max_batch: largest batch coalesced so far.
+    :param p50_ms: median service time (submit -> reply) over the
+        sample window, milliseconds.
+    :param p99_ms: 99th-percentile service time, milliseconds.
+    :param shard_acquisitions: per-shard lock acquisition counts.
+    :param shard_contention: per-shard counts of acquisitions that
+        had to wait for another worker (the contention signal that
+        says whether more shards would help).
+    """
+
+    workers: int
+    shards: int
+    queue_capacity: int
+    queue_depth: int
+    submitted: int
+    completed: int
+    admitted: int
+    rejected: int
+    shed: int
+    expired: int
+    errors: int
+    batches: int
+    batched_requests: int
+    max_batch: int
+    p50_ms: float
+    p99_ms: float
+    shard_acquisitions: Tuple[int, ...]
+    shard_contention: Tuple[int, ...]
+
+    @property
+    def mean_batch(self) -> float:
+        """Mean coalesced batch size (1.0 when nothing ever batched)."""
+        return self.batched_requests / self.batches if self.batches else 0.0
+
+    @property
+    def try_again_total(self) -> int:
+        """Requests answered ``TRY_AGAIN`` for any reason."""
+        return self.shed + self.expired
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (used by the bench artifacts)."""
+        return {
+            "workers": self.workers,
+            "shards": self.shards,
+            "queue_capacity": self.queue_capacity,
+            "queue_depth": self.queue_depth,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "shed": self.shed,
+            "expired": self.expired,
+            "errors": self.errors,
+            "batches": self.batches,
+            "mean_batch": round(self.mean_batch, 3),
+            "max_batch": self.max_batch,
+            "p50_ms": round(self.p50_ms, 3),
+            "p99_ms": round(self.p99_ms, 3),
+            "shard_acquisitions": list(self.shard_acquisitions),
+            "shard_contention": list(self.shard_contention),
+        }
+
+
+class StatsRecorder:
+    """Lock-guarded accumulator behind :class:`ServiceStats`.
+
+    Every method takes the internal lock, so workers and observers may
+    call concurrently; none is held while admission math runs.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.submitted = 0
+        self.completed = 0
+        self.admitted = 0
+        self.rejected = 0
+        self.shed = 0
+        self.expired = 0
+        self.errors = 0
+        self.batches = 0
+        self.batched_requests = 0
+        self.max_batch = 0
+        self._samples: Deque[float] = deque(maxlen=SAMPLE_WINDOW)
+
+    def on_submit(self) -> None:
+        with self._lock:
+            self.submitted += 1
+
+    def on_shed(self) -> None:
+        with self._lock:
+            self.shed += 1
+
+    def on_expired(self, service_time: float) -> None:
+        with self._lock:
+            self.expired += 1
+            self._samples.append(service_time)
+
+    def on_error(self, service_time: float) -> None:
+        with self._lock:
+            self.errors += 1
+            self.completed += 1
+            self._samples.append(service_time)
+
+    def on_reply(self, outcome: str, service_time: float) -> None:
+        """Record a real decision: ``admitted`` / ``rejected`` for
+        admissions, ``done`` for completed teardowns."""
+        with self._lock:
+            self.completed += 1
+            if outcome == "admitted":
+                self.admitted += 1
+            elif outcome == "rejected":
+                self.rejected += 1
+            self._samples.append(service_time)
+
+    def on_batch(self, size: int) -> None:
+        with self._lock:
+            self.batches += 1
+            self.batched_requests += size
+            if size > self.max_batch:
+                self.max_batch = size
+
+    def snapshot(
+        self,
+        *,
+        workers: int,
+        shards: int,
+        queue_capacity: int,
+        queue_depth: int,
+        shard_acquisitions: Tuple[int, ...],
+        shard_contention: Tuple[int, ...],
+    ) -> ServiceStats:
+        """A consistent :class:`ServiceStats` at this instant."""
+        with self._lock:
+            ordered = tuple(sorted(self._samples))
+            return ServiceStats(
+                workers=workers,
+                shards=shards,
+                queue_capacity=queue_capacity,
+                queue_depth=queue_depth,
+                submitted=self.submitted,
+                completed=self.completed,
+                admitted=self.admitted,
+                rejected=self.rejected,
+                shed=self.shed,
+                expired=self.expired,
+                errors=self.errors,
+                batches=self.batches,
+                batched_requests=self.batched_requests,
+                max_batch=self.max_batch,
+                p50_ms=_percentile(ordered, 0.50) * 1000.0,
+                p99_ms=_percentile(ordered, 0.99) * 1000.0,
+                shard_acquisitions=shard_acquisitions,
+                shard_contention=shard_contention,
+            )

@@ -70,3 +70,27 @@ class TestExtensionCommands:
         out = capsys.readouterr().out
         assert "RSVP refresh msg/s" in out
         assert "class-based BB" in out
+
+    def test_serve_bench_defaults(self):
+        args = build_parser().parse_args(["serve-bench"])
+        assert args.workers == [1, 2, 4]
+        assert args.shards == [1, 8]
+        assert args.edge_rtt_ms == 2.0
+
+    def test_serve_bench_small_grid(self, capsys, tmp_path):
+        artifact = tmp_path / "serve.json"
+        assert main([
+            "serve-bench", "--workers", "1", "2", "--shards", "2",
+            "--clients", "2", "--requests", "3", "--paths", "2",
+            "--edge-rtt-ms", "1.0", "--json", str(artifact),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "req/s" in out
+        assert "p99(ms)" in out
+        assert artifact.exists()
+        import json
+
+        payload = json.loads(artifact.read_text())
+        assert len(payload) == 2
+        assert {entry["workers"] for entry in payload} == {1, 2}
+        assert all(entry["errors"] == 0 for entry in payload)

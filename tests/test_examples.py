@@ -78,3 +78,11 @@ def test_interdomain_sla():
     out = run_example("interdomain_sla.py")
     assert "budget split" in out
     assert "rollback verified" in out
+
+
+def test_concurrent_broker():
+    out = run_example("concurrent_broker.py")
+    assert "reconciles: True" in out
+    assert "TRY_AGAIN" in out
+    assert "shard acquisitions" in out
+    assert "concurrent service runtime OK" in out

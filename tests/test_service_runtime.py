@@ -1,0 +1,298 @@
+"""The concurrent service runtime: lifecycle, backpressure, batching.
+
+Covers :mod:`repro.service.runtime` — the queue/worker front-end over
+the broker.  The concurrency *correctness* properties (sequential
+equivalence, capacity safety) live in ``test_service_shards.py``;
+here we exercise the service contract itself: replies always arrive,
+overload sheds with ``TRY_AGAIN`` instead of blocking, deadlines are
+honoured, errors become error replies, and the stats reconcile.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.admission import RejectionReason
+from repro.core.aggregate import ServiceClass
+from repro.core.broker import BandwidthBroker
+from repro.core.signaling import FlowServiceRequest, FlowTeardown
+from repro.errors import StateError
+from repro.service import (
+    EXPIRED,
+    OK,
+    SHED,
+    BrokerService,
+    ServiceRequest,
+)
+from repro.workloads.profiles import flow_type
+from repro.workloads.topologies import SchedulerSetting, fig8_domain
+
+SPEC = flow_type(0).spec
+
+
+@pytest.fixture
+def broker() -> BandwidthBroker:
+    broker = BandwidthBroker()
+    fig8_domain(SchedulerSetting.RATE_ONLY).provision_broker(broker)
+    broker.register_class(
+        ServiceClass("gold", delay_bound=2.44, class_delay=0.24)
+    )
+    return broker
+
+
+def admit_request(flow_id: str, **overrides) -> ServiceRequest:
+    fields = dict(
+        flow_id=flow_id, spec=SPEC, delay_requirement=2.44,
+        ingress="I1", egress="E1",
+    )
+    fields.update(overrides)
+    return ServiceRequest(**fields)
+
+
+class TestLifecycle:
+    def test_admit_then_teardown_roundtrip(self, broker):
+        with BrokerService(broker, workers=2, shards=4) as service:
+            reply = service.request("f1", SPEC, 2.44, "I1", "E1")
+            assert reply.status == OK and reply.admitted
+            assert broker.flow_mib.get("f1") is not None
+            down = service.teardown("f1")
+            assert down.status == OK and down.decision is None
+        assert broker.flow_mib.get("f1") is None
+        assert broker.stats().active_flows == 0
+
+    def test_class_based_request_creates_macroflow(self, broker):
+        with BrokerService(broker, workers=2, shards=4) as service:
+            reply = service.request(
+                "g1", SPEC, 0.0, "I2", "E2", service_class="gold"
+            )
+        assert reply.admitted
+        assert broker.stats().macroflows == 1
+
+    def test_submit_when_stopped_raises(self, broker):
+        service = BrokerService(broker, workers=1)
+        with pytest.raises(StateError):
+            service.submit(admit_request("f1"))
+
+    def test_stop_drains_queued_work(self, broker):
+        service = BrokerService(broker, workers=1, edge_rtt=0.005)
+        service.start()
+        pendings = [
+            service.submit(admit_request(f"f{index}"))
+            for index in range(6)
+        ]
+        service.stop()
+        replies = [pending.wait(5.0) for pending in pendings]
+        assert all(reply.status == OK for reply in replies)
+        assert service.stats().queue_depth == 0
+
+    def test_context_manager_restart_is_idempotent(self, broker):
+        service = BrokerService(broker, workers=1)
+        with service:
+            service.start()  # second start is a no-op
+            assert service.request("f1", SPEC, 2.44, "I1", "E1").admitted
+
+
+class TestBackpressure:
+    def test_full_queue_sheds_with_try_again(self, broker):
+        """Satellite: overload never blocks and never raises — every
+        submit gets an immediate answer, surplus ones a distinct
+        ``TRY_AGAIN`` rejection, and the stats account for the shed."""
+        with BrokerService(broker, workers=1, shards=2, queue_limit=2,
+                           batch_limit=1, edge_rtt=0.02) as service:
+            pendings = [
+                service.submit(admit_request(f"f{index}"))
+                for index in range(20)
+            ]
+            replies = [pending.wait(10.0) for pending in pendings]
+            stats = service.stats()
+        shed = [reply for reply in replies if reply.status == SHED]
+        served = [reply for reply in replies if reply.status == OK]
+        assert len(shed) + len(served) == 20
+        assert shed, "a 20-deep burst into a 2-deep queue must shed"
+        for reply in shed:
+            assert reply.try_again
+            assert not reply.admitted
+            assert reply.decision is not None
+            assert reply.decision.reason is RejectionReason.TRY_AGAIN
+        # Shed replies resolve synchronously at submit time.
+        assert all(reply.service_time == 0.0 for reply in shed)
+        assert stats.shed == len(shed)
+        assert stats.submitted == stats.completed + stats.shed
+        assert stats.try_again_total == len(shed)
+        # Shedding happened in the service; the broker's admission
+        # machinery never saw those requests.
+        assert broker.stats().rejected_total == 0
+
+    def test_deadline_expiry_sheds_at_dequeue(self, broker):
+        with BrokerService(broker, workers=1, shards=2, batch_limit=1,
+                           edge_rtt=0.05) as service:
+            slow = service.submit(admit_request("slow"))
+            hasty = service.submit(
+                admit_request("hasty", timeout=0.001)
+            )
+            slow_reply = slow.wait(5.0)
+            hasty_reply = hasty.wait(5.0)
+            stats = service.stats()
+        assert slow_reply.status == OK and slow_reply.admitted
+        assert hasty_reply.status == EXPIRED
+        assert hasty_reply.try_again
+        assert hasty_reply.decision.reason is RejectionReason.TRY_AGAIN
+        assert stats.expired == 1
+        assert broker.flow_mib.get("hasty") is None
+
+    def test_default_timeout_applies_when_request_has_none(self, broker):
+        with BrokerService(broker, workers=1, shards=2, batch_limit=1,
+                           default_timeout=0.001,
+                           edge_rtt=0.05) as service:
+            first = service.submit(admit_request("first"))
+            second = service.submit(admit_request("second"))
+            assert first.wait(5.0).status == OK
+            assert second.wait(5.0).status == EXPIRED
+
+
+class TestErrorsAndRejections:
+    def test_unknown_service_class_yields_error_reply(self, broker):
+        with BrokerService(broker, workers=1, shards=2) as service:
+            reply = service.request(
+                "f1", SPEC, 0.0, "I1", "E1", service_class="platinum"
+            )
+        assert reply.status == "error"
+        assert not reply.admitted
+        assert "platinum" in reply.detail
+        assert service.stats().errors == 1
+
+    def test_no_route_is_a_real_rejection_not_an_error(self, broker):
+        # E1 -> I1 runs against the (directed) Figure 8 topology:
+        # both nodes exist but no route does.
+        with BrokerService(broker, workers=1, shards=2) as service:
+            reply = service.request("f1", SPEC, 2.44, "E1", "I1")
+        assert reply.status == OK
+        assert not reply.admitted
+        assert reply.decision.reason is RejectionReason.NO_PATH
+        assert broker.stats().rejected_total == 1
+
+    def test_teardown_of_unknown_flow_is_an_error(self, broker):
+        with BrokerService(broker, workers=1, shards=2) as service:
+            reply = service.teardown("ghost")
+        assert reply.status == "error"
+        assert "ghost" in reply.detail
+
+    def test_capacity_rejections_fan_out_per_flow(self, broker):
+        """A batch that exhausts the path rejects the surplus flows
+        with per-flow decisions carrying their own flow ids."""
+        with BrokerService(broker, workers=1, shards=2,
+                           batch_limit=64, edge_rtt=0.01) as service:
+            pendings = [
+                service.submit(admit_request(f"f{index}"))
+                for index in range(40)
+            ]
+            replies = [pending.wait(10.0) for pending in pendings]
+        admitted = [reply for reply in replies if reply.admitted]
+        rejected = [
+            reply for reply in replies
+            if reply.status == OK and not reply.admitted
+        ]
+        assert admitted and rejected, "40 type-0 flows must overrun path 1"
+        for reply in rejected:
+            assert reply.decision.flow_id == reply.request.flow_id
+            assert reply.decision.reason in (
+                RejectionReason.INSUFFICIENT_BANDWIDTH,
+                RejectionReason.UNSCHEDULABLE,
+            )
+        assert broker.stats().active_flows == len(admitted)
+
+
+class TestBatching:
+    def test_same_key_burst_is_coalesced(self, broker):
+        with BrokerService(broker, workers=1, shards=2, batch_limit=16,
+                           edge_rtt=0.02) as service:
+            pendings = [
+                service.submit(admit_request(f"f{index}"))
+                for index in range(10)
+            ]
+            replies = [pending.wait(10.0) for pending in pendings]
+            stats = service.stats()
+        assert all(reply.admitted for reply in replies)
+        assert stats.max_batch >= 2
+        assert stats.batches < 10
+        assert stats.batched_requests == 10
+        assert max(reply.batch_size for reply in replies) == stats.max_batch
+
+    def test_mixed_keys_all_get_served(self, broker):
+        with BrokerService(broker, workers=2, shards=4, batch_limit=8,
+                           edge_rtt=0.005) as service:
+            pendings = [
+                service.submit(admit_request(
+                    f"f{index}",
+                    ingress="I1" if index % 2 == 0 else "I2",
+                    egress="E1" if index % 2 == 0 else "E2",
+                ))
+                for index in range(12)
+            ]
+            replies = [pending.wait(10.0) for pending in pendings]
+        assert all(reply.status == OK for reply in replies)
+        assert all(reply.admitted for reply in replies)
+
+
+class TestBusEndpoint:
+    def test_service_answers_flow_service_requests(self, broker):
+        with BrokerService(broker, workers=2, shards=4) as service:
+            service.attach_to_bus()
+            reply = broker.bus.send(FlowServiceRequest(
+                sender="I1", receiver="bb-service", flow_id="f1",
+                spec=SPEC, delay_requirement=2.44, egress="E1",
+            ))
+            assert reply.admitted and reply.flow_id == "f1"
+            assert reply.rate > 0
+            assert broker.bus.send(FlowTeardown(
+                sender="I1", receiver="bb-service", flow_id="f1",
+            )) is None
+        assert broker.stats().active_flows == 0
+        counts = broker.bus.sent_snapshot()
+        assert counts["FlowServiceRequest"] == 1
+        assert counts["FlowTeardown"] == 1
+
+    def test_teardown_of_unknown_flow_raises_on_bus(self, broker):
+        with BrokerService(broker, workers=1, shards=2) as service:
+            service.attach_to_bus(name="svc")
+            with pytest.raises(StateError):
+                broker.bus.send(FlowTeardown(
+                    sender="I1", receiver="svc", flow_id="ghost",
+                ))
+
+
+class TestStats:
+    def test_snapshot_shape_and_reconciliation(self, broker):
+        with BrokerService(broker, workers=2, shards=4,
+                           edge_rtt=0.002) as service:
+            for index in range(8):
+                service.request(f"f{index}", SPEC, 2.44, "I1", "E1")
+            stats = service.stats()
+        assert stats.workers == 2
+        assert stats.shards == 4
+        assert stats.queue_capacity == 256
+        assert stats.queue_depth == 0
+        assert stats.submitted == 8
+        assert stats.completed == 8
+        assert stats.admitted + stats.rejected == 8
+        assert stats.p99_ms >= stats.p50_ms > 0
+        assert len(stats.shard_acquisitions) == 4
+        assert sum(stats.shard_acquisitions) >= stats.batches
+        payload = stats.as_dict()
+        assert payload["workers"] == 2
+        assert payload["p50_ms"] == pytest.approx(stats.p50_ms, abs=5e-4)
+        assert payload["shard_contention"] == list(stats.shard_contention)
+
+    def test_mean_batch_property(self, broker):
+        with BrokerService(broker, workers=1, shards=2,
+                           batch_limit=8, edge_rtt=0.01) as service:
+            pendings = [
+                service.submit(admit_request(f"f{index}"))
+                for index in range(6)
+            ]
+            for pending in pendings:
+                pending.wait(10.0)
+            stats = service.stats()
+        assert stats.mean_batch == pytest.approx(
+            stats.batched_requests / stats.batches
+        )

@@ -1,0 +1,410 @@
+"""Concurrency correctness of the sharded broker runtime.
+
+The load-bearing property of the service layer is **sequential
+equivalence**: whatever interleaving the worker pool produces, the
+aggregate accept/reject outcome and the final reservation state must
+be exactly what a single-threaded broker replaying the same trace
+would compute — and at no instant may a link's reserved bandwidth
+exceed its capacity.  These tests drive deterministic traces through
+the concurrent service, replay them sequentially on a fresh broker,
+and reconcile both.
+
+Also covered: the :class:`~repro.service.shards.LinkShards`
+partition itself (stable mapping, path-locality planning, ordered
+acquisition, contention accounting) and the batched admission fast
+path's decision-for-decision equivalence with sequential admission.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.admission import (
+    AdmissionRequest,
+    PerFlowAdmission,
+    RejectionReason,
+)
+from repro.core.broker import BandwidthBroker
+from repro.service import BrokerService, LinkShards, ServiceRequest
+from repro.service.loadgen import provision_parallel_paths
+from repro.workloads.profiles import flow_type
+from repro.workloads.topologies import SchedulerSetting, fig8_domain
+
+SPEC = flow_type(0).spec
+#: Small enough that a few dozen type-0 flows exhaust a path.
+TIGHT_CAPACITY = 1.5e6
+
+
+def constrained_broker(paths: int):
+    """A fresh broker with *paths* link-disjoint, tightly-sized chains."""
+    broker = BandwidthBroker()
+    pinned = provision_parallel_paths(
+        broker, paths=paths, capacity=TIGHT_CAPACITY
+    )
+    return broker, pinned
+
+
+def assert_capacity_safe(broker: BandwidthBroker) -> None:
+    for link in broker.node_mib.links():
+        assert link.reserved_rate <= link.capacity + 1e-6, (
+            f"link {link.link_id} over-reserved: "
+            f"{link.reserved_rate} > {link.capacity}"
+        )
+
+
+def replay_sequentially(trace):
+    """Run *trace* (ServiceRequests) through a single-threaded broker."""
+    broker, _ = constrained_broker(
+        1 + max(int(req.ingress[1:]) for req in trace)
+    )
+    decisions = []
+    for req in trace:
+        if req.op == "teardown":
+            broker.terminate(req.flow_id, now=req.now)
+        else:
+            decisions.append(broker.request_service(
+                req.flow_id, req.spec, req.delay_requirement,
+                req.ingress, req.egress, path_nodes=req.path_nodes,
+                now=req.now,
+            ))
+    return broker, decisions
+
+
+class TestLinkShards:
+    def test_hashed_map_is_stable_and_in_range(self):
+        shards = LinkShards(8)
+        link = ("R1", "R2")
+        shard = shards.shard_of(link)
+        assert 0 <= shard < 8
+        assert shard == shards.shard_of(link)
+        assert shard == LinkShards(8).shard_of(link)
+
+    def test_assign_first_wins(self):
+        shards = LinkShards(4)
+        shards.assign(("A", "B"), 1)
+        shards.assign(("A", "B"), 3)
+        assert shards.shard_of(("A", "B")) == 1
+
+    def test_plan_colocates_disjoint_paths_on_distinct_shards(self):
+        broker, _ = constrained_broker(4)
+        shards = LinkShards(4)
+        shards.plan_paths(broker.path_mib.records())
+        owners = set()
+        for path in broker.path_mib.records():
+            path_shards = shards.shards_for(path.links)
+            assert len(path_shards) == 1, (
+                f"path {path.path_id} scattered over {path_shards}"
+            )
+            owners.add(path_shards[0])
+        assert owners == {0, 1, 2, 3}
+
+    def test_plan_couples_paths_sharing_links(self):
+        # Figure 8: both paths cross the R2..R5 core, so their lock
+        # sets must overlap after planning.
+        broker = BandwidthBroker()
+        fig8_domain(SchedulerSetting.RATE_ONLY).provision_broker(broker)
+        shards = LinkShards(4)
+        shards.plan_paths(broker.path_mib.records())
+        sets = [
+            set(shards.shards_for(path.links))
+            for path in broker.path_mib.records()
+        ]
+        assert len(sets) == 2
+        assert sets[0] & sets[1]
+
+    def test_shards_for_is_sorted_and_deduplicated(self):
+        broker, _ = constrained_broker(3)
+        shards = LinkShards(2)
+        shards.plan_paths(broker.path_mib.records())
+        all_links = list(broker.node_mib.links())
+        covering = shards.shards_for(all_links)
+        assert covering == tuple(sorted(set(covering)))
+        assert covering == (0, 1)
+
+    def test_locked_counts_contention(self):
+        shards = LinkShards(4)
+        entered = threading.Event()
+        release = threading.Event()
+
+        def holder():
+            with shards.locked((1,)):
+                entered.set()
+                release.wait(5.0)
+
+        thread = threading.Thread(target=holder)
+        thread.start()
+        assert entered.wait(5.0)
+        contender_done = threading.Event()
+
+        def contender():
+            with shards.locked((0, 1, 2)):
+                contender_done.set()
+
+        waited = threading.Thread(target=contender)
+        waited.start()
+        time.sleep(0.05)  # let the contender block on shard 1
+        release.set()
+        thread.join(5.0)
+        waited.join(5.0)
+        assert contender_done.is_set()
+        acquisitions, contention = shards.counters()
+        assert acquisitions[1] == 2
+        assert contention[1] == 1
+        assert contention[0] == contention[2] == 0
+
+    def test_ordered_acquisition_never_deadlocks(self):
+        shards = LinkShards(3)
+        lock_sets = [(0, 1), (1, 2), (0, 2), (0, 1, 2)]
+        rounds = 200
+        done = []
+
+        def worker(offset: int) -> None:
+            for index in range(rounds):
+                with shards.locked(lock_sets[(index + offset) % 4]):
+                    pass
+            done.append(offset)
+
+        threads = [
+            threading.Thread(target=worker, args=(offset,), daemon=True)
+            for offset in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30.0)
+        assert len(done) == 4, "ordered acquisition must not deadlock"
+
+    def test_at_least_one_shard(self):
+        assert LinkShards(0).num_shards == 1
+        assert LinkShards(-3).num_shards == 1
+
+
+class TestBatchedAdmissionEquivalence:
+    """``admit_batch`` must be decision-for-decision identical to a
+    sequential loop of ``admit`` — it is what licenses the service to
+    hoist one schedulability scan over a coalesced batch."""
+
+    @staticmethod
+    def build_stack(setting: SchedulerSetting):
+        domain = fig8_domain(setting)
+        node_mib, flow_mib, path_mib, path1, _path2 = domain.build_mibs()
+        return PerFlowAdmission(node_mib, flow_mib, path_mib), path1
+
+    @staticmethod
+    def requests(count: int, delay: float = 2.44):
+        return [
+            AdmissionRequest(f"f{index}", SPEC, delay)
+            for index in range(count)
+        ]
+
+    def compare(self, setting, requests):
+        ac_seq, path_seq = self.build_stack(setting)
+        sequential = [ac_seq.admit(req, path_seq) for req in requests]
+        ac_bat, path_bat = self.build_stack(setting)
+        batched = ac_bat.admit_batch(requests, path_bat)
+        assert len(batched) == len(sequential)
+        for seq, bat in zip(sequential, batched):
+            assert bat.flow_id == seq.flow_id
+            assert bat.admitted == seq.admitted
+            assert bat.reason == seq.reason
+            assert bat.rate == pytest.approx(seq.rate)
+        assert (
+            path_bat.residual_bandwidth()
+            == pytest.approx(path_seq.residual_bandwidth())
+        )
+        return sequential
+
+    def test_homogeneous_batch_to_exhaustion_rate_only(self):
+        # 40 type-0 flows overrun path 1 at 1.5 Mb/s, so the batch
+        # crosses the accept/reject boundary mid-way.
+        sequential = self.compare(SchedulerSetting.RATE_ONLY,
+                                  self.requests(40))
+        assert any(decision.admitted for decision in sequential)
+        assert any(not decision.admitted for decision in sequential)
+
+    def test_mixed_path_falls_back_to_sequential_scan(self):
+        # rate_based_hops != hops on the mixed domain, so the r_min
+        # hoist is invalid and admit_batch must take the slow path —
+        # equivalence still has to hold.
+        self.compare(SchedulerSetting.MIXED, self.requests(20))
+
+    def test_heterogeneous_batch_falls_back(self):
+        mixed_requests = [
+            AdmissionRequest(f"f{index}", SPEC,
+                             2.44 if index % 2 == 0 else 3.0)
+            for index in range(10)
+        ]
+        self.compare(SchedulerSetting.RATE_ONLY, mixed_requests)
+
+    def test_duplicate_flow_in_batch_is_rejected(self):
+        requests = [
+            AdmissionRequest("dup", SPEC, 2.44),
+            AdmissionRequest("dup", SPEC, 2.44),
+        ]
+        ac, path = self.build_stack(SchedulerSetting.RATE_ONLY)
+        first, second = ac.admit_batch(requests, path)
+        assert first.admitted
+        assert not second.admitted
+        assert second.reason is RejectionReason.DUPLICATE
+
+
+class TestSequentialEquivalence:
+    """The multi-thread stress satellite: concurrent service outcomes
+    reconcile exactly with a sequential replay of the same trace."""
+
+    @staticmethod
+    def drive_concurrently(broker, trace, *, workers, shards,
+                           batch_limit=8, threads=4):
+        """Partition *trace* round-robin over client threads and run
+        it through a BrokerService; returns {flow_id: admitted}."""
+        outcomes = {}
+        outcome_lock = threading.Lock()
+        with BrokerService(broker, workers=workers, shards=shards,
+                           batch_limit=batch_limit) as service:
+
+            def client(offset: int) -> None:
+                for req in trace[offset::threads]:
+                    pending = service.submit(req)
+                    reply = pending.wait(30.0)
+                    assert reply.status == "ok", reply.detail
+                    with outcome_lock:
+                        outcomes[req.flow_id] = reply.admitted
+
+            pool = [
+                threading.Thread(target=client, args=(offset,))
+                for offset in range(threads)
+            ]
+            for thread in pool:
+                thread.start()
+            for thread in pool:
+                thread.join()
+            stats = service.stats()
+        return outcomes, stats
+
+    @staticmethod
+    def admit_trace(pinned, per_path: int):
+        trace = []
+        for path_index, nodes in enumerate(pinned):
+            for iteration in range(per_path):
+                trace.append(ServiceRequest(
+                    flow_id=f"p{path_index}-f{iteration}",
+                    spec=SPEC,
+                    delay_requirement=2.44,
+                    ingress=nodes[0],
+                    egress=nodes[-1],
+                    path_nodes=nodes,
+                ))
+        return trace
+
+    def test_disjoint_paths_match_sequential_replay(self):
+        """4 paths × 30 identical flows, driven by 4 threads through 4
+        workers: per-path accept counts, total accepts, and final
+        per-link reservations must equal the sequential replay's."""
+        broker, pinned = constrained_broker(4)
+        trace = self.admit_trace(pinned, per_path=30)
+        outcomes, stats = self.drive_concurrently(
+            broker, trace, workers=4, shards=4
+        )
+        assert len(outcomes) == len(trace)
+        assert_capacity_safe(broker)
+
+        seq_broker, seq_decisions = replay_sequentially(trace)
+        seq_outcomes = {
+            decision.flow_id: decision.admitted
+            for decision in seq_decisions
+        }
+        for path_index, nodes in enumerate(pinned):
+            prefix = f"p{path_index}-"
+            concurrent_accepts = sum(
+                admitted for flow_id, admitted in outcomes.items()
+                if flow_id.startswith(prefix)
+            )
+            sequential_accepts = sum(
+                admitted for flow_id, admitted in seq_outcomes.items()
+                if flow_id.startswith(prefix)
+            )
+            assert concurrent_accepts == sequential_accepts
+        assert sum(outcomes.values()) == sum(seq_outcomes.values())
+        assert (
+            broker.stats().active_flows
+            == seq_broker.stats().active_flows
+        )
+        for link, seq_link in zip(
+            sorted(broker.node_mib.links(), key=lambda l: l.link_id),
+            sorted(seq_broker.node_mib.links(), key=lambda l: l.link_id),
+        ):
+            assert link.link_id == seq_link.link_id
+            assert link.reserved_rate == pytest.approx(
+                seq_link.reserved_rate
+            )
+        assert stats.completed == len(trace)
+
+    def test_contended_single_path_matches_sequential(self):
+        """Every request fights for the same path (and shard): the
+        shard lock serializes them, so the accept count must equal the
+        sequential replay's even with batching disabled."""
+        broker, pinned = constrained_broker(1)
+        trace = self.admit_trace(pinned, per_path=45)
+        outcomes, stats = self.drive_concurrently(
+            broker, trace, workers=4, shards=4, batch_limit=1,
+        )
+        assert_capacity_safe(broker)
+        _seq_broker, seq_decisions = replay_sequentially(trace)
+        assert sum(outcomes.values()) == sum(
+            decision.admitted for decision in seq_decisions
+        )
+        # One path -> one planned shard: every acquisition lands there.
+        acquisitions = stats.shard_acquisitions
+        assert sum(1 for count in acquisitions if count > 0) == 1
+
+    def test_utilization_never_exceeds_capacity_during_churn(self):
+        """A sampler thread watches every link while admits and
+        teardowns race: reserved bandwidth must never exceed capacity
+        at any sampled instant, and the final state must be empty."""
+        broker, pinned = constrained_broker(2)
+        links = list(broker.node_mib.links())
+        over_capacity = []
+        stop = threading.Event()
+
+        def sampler() -> None:
+            while not stop.is_set():
+                for link in links:
+                    if link.reserved_rate > link.capacity + 1e-6:
+                        over_capacity.append(
+                            (link.link_id, link.reserved_rate)
+                        )
+                time.sleep(0.0005)
+
+        watcher = threading.Thread(target=sampler, daemon=True)
+        watcher.start()
+        with BrokerService(broker, workers=4, shards=2,
+                           batch_limit=4) as service:
+
+            def churn(offset: int) -> None:
+                nodes = pinned[offset % len(pinned)]
+                for iteration in range(25):
+                    flow_id = f"c{offset}-f{iteration}"
+                    reply = service.request(
+                        flow_id, SPEC, 2.44, nodes[0], nodes[-1],
+                        path_nodes=nodes,
+                    )
+                    if reply.admitted:
+                        service.teardown(flow_id)
+
+            pool = [
+                threading.Thread(target=churn, args=(offset,))
+                for offset in range(4)
+            ]
+            for thread in pool:
+                thread.start()
+            for thread in pool:
+                thread.join()
+        stop.set()
+        watcher.join(5.0)
+        assert not over_capacity
+        assert broker.stats().active_flows == 0
+        for link in links:
+            assert link.reserved_rate == pytest.approx(0.0)
