@@ -14,11 +14,13 @@ Emits a JSON artifact with the full grid for offline comparison.
 """
 
 import json
+import tempfile
 
 from repro.core.broker import BandwidthBroker
 from repro.experiments.reporting import render_table
 from repro.service import (
     BrokerService,
+    FileJournal,
     FlowTemplate,
     provision_parallel_paths,
     run_closed_loop,
@@ -33,22 +35,34 @@ PATHS = 8
 GRID = [(1, 1), (1, 8), (2, 8), (4, 1), (4, 8)]
 
 
-def measure_config(workers: int, shards: int) -> dict:
+def measure_config(workers: int, shards: int,
+                   durability: bool = False) -> dict:
     broker = BandwidthBroker()
     pinned = provision_parallel_paths(broker, paths=PATHS)
     templates = [
         FlowTemplate(SPEC, 2.44, nodes[0], nodes[-1], path_nodes=nodes)
         for nodes in pinned
     ]
-    with BrokerService(broker, workers=workers, shards=shards,
-                       edge_rtt=EDGE_RTT) as service:
-        report = run_closed_loop(
-            service, templates,
-            clients=CLIENTS, requests_per_client=REQUESTS_PER_CLIENT,
-        )
+    with tempfile.TemporaryDirectory(prefix="repro-bench-wal-") as wdir:
+        wal = FileJournal(wdir) if durability else None
+        with BrokerService(broker, workers=workers, shards=shards,
+                           edge_rtt=EDGE_RTT, wal=wal) as service:
+            report = run_closed_loop(
+                service, templates,
+                clients=CLIENTS,
+                requests_per_client=REQUESTS_PER_CLIENT,
+            )
+            stats = service.stats()
+        if wal is not None:
+            wal.close()
     assert report.errors == 0
     assert report.rejected == 0  # disjoint fan is conflict-free
-    return {"workers": workers, "shards": shards, **report.as_dict()}
+    return {
+        "workers": workers, "shards": shards,
+        "durability": durability,
+        "wal_mean_group": round(stats.wal_mean_group, 3),
+        **report.as_dict(),
+    }
 
 
 def test_bench_service_throughput_grid(benchmark, tmp_path):
@@ -88,6 +102,38 @@ def test_bench_service_throughput_grid(benchmark, tmp_path):
     # One shard serializes every path: more workers must not help
     # (allow generous scheduling noise).
     assert by_config[(4, 1)] <= 1.5 * by_config[(1, 1)]
+
+
+def test_bench_durable_service_throughput(benchmark, tmp_path):
+    """The WAL's cost: the headline 4x8 config with group-committed
+    fsyncs on every reply.  Group commit must amortize the fsyncs
+    across concurrent clients (mean group > 1), and durability must
+    not collapse the concurrency win."""
+    results = benchmark.pedantic(
+        lambda: [measure_config(4, 8, durability=flag)
+                 for flag in (False, True)],
+        rounds=1, warmup_rounds=0,
+    )
+    artifact = tmp_path / "service_durable_throughput.json"
+    artifact.write_text(json.dumps(results, indent=2))
+    plain, durable = results
+
+    print()
+    print(render_table(
+        ["mode", "req/s", "p50(ms)", "p99(ms)", "mean fsync group"],
+        [["no WAL", f"{plain['throughput_rps']:.0f}",
+          f"{plain['p50_ms']:.2f}", f"{plain['p99_ms']:.2f}", "-"],
+         ["durable", f"{durable['throughput_rps']:.0f}",
+          f"{durable['p50_ms']:.2f}", f"{durable['p99_ms']:.2f}",
+          f"{durable['wal_mean_group']:.2f}"]],
+    ))
+    print(f"artifact: {artifact}")
+
+    assert durable["wal_mean_group"] >= 1.0
+    # Durable replies may not be free, but group commit keeps the
+    # concurrent configuration comfortably above half the lock-free
+    # rate on ordinary storage.
+    assert durable["throughput_rps"] >= 0.3 * plain["throughput_rps"]
 
 
 def test_bench_single_request_service_time(benchmark):

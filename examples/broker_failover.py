@@ -11,13 +11,19 @@ machinery that pays it:
 3. the primary "crashes"; a **standby** restores the checkpoint and
    replays the journal suffix — then both answer the next request
    identically (verified);
-4. finally the broker's state is used for **buffer dimensioning**:
+4. the same stream runs again with a **durable** on-disk WAL
+   (`repro.service.durability`); the "crash" tears the journal's tail
+   record, and `recover_broker` rebuilds the exact state anyway;
+5. finally the broker's state is used for **buffer dimensioning**:
    the worst-case queue each router needs, computed centrally.
 
 Run:  python examples/broker_failover.py
 """
 
+import os
 import random
+import tempfile
+import warnings
 
 from repro.core import (
     BandwidthBroker,
@@ -29,6 +35,7 @@ from repro.core import (
     restore_broker,
 )
 from repro.experiments.reporting import render_table
+from repro.service import FileJournal, recover_broker, write_checkpoint
 from repro.workloads.profiles import flow_type
 from repro.workloads.topologies import SchedulerSetting, fig8_domain
 
@@ -85,7 +92,9 @@ def main() -> None:
 
     # ---- the primary "crashes"; bring up the standby -----------------
     standby = restore_broker(snapshot)
-    replay(standby, suffix)
+    applied, skipped = replay(standby, suffix)
+    print(f"standby replayed {applied} entries "
+          f"({skipped} skipped as deterministic failures)")
     a, b = primary.broker.stats(), standby.stats()
     print("failover check           primary  standby")
     print(f"  active flows          {a.active_flows:7d}  {b.active_flows:7d}")
@@ -104,6 +113,35 @@ def main() -> None:
     print(f"  next decision         {'ADMIT' if d1.admitted else 'reject':>7}"
           f"  {'ADMIT' if d2.admitted else 'reject':>7}  "
           f"(r = {d1.rate:.1f} b/s on both)")
+
+    # ---- the same story, durably: WAL + torn tail + recovery ---------
+    print("\nDurable replay (file-backed WAL, torn-tail crash):")
+    rng = random.Random(2026)
+    durable = fresh_primary()
+    with tempfile.TemporaryDirectory(prefix="repro-failover-") as state:
+        wal = FileJournal(state)
+        write_checkpoint(state, durable.broker, wal)  # topology anchor
+        drive(durable, 30, rng, 0, 0.0)
+        for entry in durable.journal:                 # mirror to disk
+            wal.append(entry.kind, entry.payload)
+        wal.commit()
+        wal.close()
+        # The crash tears the last record mid-write.
+        segment = max(
+            os.path.join(state, name) for name in os.listdir(state)
+            if name.startswith("wal-")
+        )
+        with open(segment, "r+b") as handle:
+            handle.truncate(os.path.getsize(segment) - 5)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            report = recover_broker(state)
+        print(f"  recovered {report.applied} entries "
+              f"(torn tail: {report.torn_tail}; "
+              f"{len(caught)} warning(s))")
+        print(f"  active flows after recovery: "
+              f"{report.broker.stats().active_flows} "
+              f"(the torn operation was never acknowledged)")
 
     # ---- buffer dimensioning from the same state ----------------------
     print("\nWorst-case buffer requirements (from broker state alone):")

@@ -10,7 +10,11 @@ Commands regenerate the paper's evaluation artifacts from a terminal:
 * ``plan``    — the capacity-planning table (extension);
 * ``scaling`` — control-plane state vs flow count (extension);
 * ``serve-bench`` — closed-loop throughput of the concurrent broker
-  service runtime (extension, see ``docs/SERVICE.md``);
+  service runtime (extension, see ``docs/SERVICE.md``); with
+  ``--durability`` every decision goes through the write-ahead
+  journal so the fsync cost shows up in the grid;
+* ``recover`` — rebuild a broker from a durability directory
+  (checkpoint + journal suffix) and report what was replayed;
 * ``all``     — the paper artifacts in paper order.
 
 Each command exits non-zero when the reproduction check fails (e.g. a
@@ -158,10 +162,12 @@ def _cmd_scaling(_args: argparse.Namespace) -> int:
 
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     import json
+    import tempfile
 
     from repro.core.broker import BandwidthBroker
     from repro.service import (
         BrokerService,
+        FileJournal,
         FlowTemplate,
         provision_parallel_paths,
         run_closed_loop,
@@ -181,36 +187,44 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                 )
                 for nodes in pinned
             ]
-            with BrokerService(
-                broker,
-                workers=workers,
-                shards=shards,
-                edge_rtt=args.edge_rtt_ms / 1000.0,
-            ) as service:
-                report = run_closed_loop(
-                    service,
-                    templates,
-                    clients=args.clients,
-                    requests_per_client=args.requests,
-                )
+            with tempfile.TemporaryDirectory(prefix="repro-wal-") as wal_dir:
+                wal = FileJournal(wal_dir) if args.durability else None
+                with BrokerService(
+                    broker,
+                    workers=workers,
+                    shards=shards,
+                    edge_rtt=args.edge_rtt_ms / 1000.0,
+                    wal=wal,
+                ) as service:
+                    report = run_closed_loop(
+                        service,
+                        templates,
+                        clients=args.clients,
+                        requests_per_client=args.requests,
+                    )
+                if wal is not None:
+                    wal.close()
             stats = report.stats
             rows.append([
                 workers, shards, f"{report.throughput_rps:.0f}",
                 f"{report.latency_ms(0.50):.2f}",
                 f"{report.latency_ms(0.99):.2f}",
                 sum(stats.shard_contention), report.shed,
+                stats.wal_fsyncs, f"{stats.wal_mean_group:.1f}",
             ])
             results.append({
                 "workers": workers,
                 "shards": shards,
+                "durability": bool(args.durability),
                 **report.as_dict(),
             })
+    mode = "durable WAL" if args.durability else "no WAL"
     print(f"Closed-loop service throughput "
           f"({args.clients} clients, {args.paths} disjoint paths, "
-          f"edge RTT {args.edge_rtt_ms:g} ms):")
+          f"edge RTT {args.edge_rtt_ms:g} ms, {mode}):")
     print(render_table(
         ["workers", "shards", "req/s", "p50(ms)", "p99(ms)",
-         "contention", "shed"],
+         "contention", "shed", "fsyncs", "grp"],
         rows,
     ))
     if args.json:
@@ -219,6 +233,42 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         print(f"\nwrote {args.json}")
     errors = sum(result["errors"] for result in results)
     return 0 if errors == 0 else 1
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    import warnings as _warnings
+
+    from repro.service import recover_broker
+
+    try:
+        with _warnings.catch_warnings(record=True) as caught:
+            _warnings.simplefilter("always")
+            report = recover_broker(args.directory)
+    except Exception as exc:
+        print(f"recovery failed: {exc}", file=sys.stderr)
+        return 1
+    for warning in caught:
+        print(f"warning: {warning.message}")
+    stats = report.broker.stats()
+    checkpoint = (
+        report.checkpoint_path if report.checkpoint_path else "(none)"
+    )
+    print(render_table(
+        ["field", "value"],
+        [
+            ["checkpoint", checkpoint],
+            ["checkpoint seq", report.checkpoint_seq],
+            ["entries replayed", report.applied],
+            ["entries skipped", report.skipped],
+            ["torn tail", "yes (truncated)" if report.torn_tail
+             else "no"],
+            ["recovered to seq", report.last_seq],
+            ["active flows", stats.active_flows],
+            ["macroflows", stats.macroflows],
+            ["QoS state entries", stats.qos_state_entries],
+        ],
+    ))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -273,7 +323,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--json", default="",
                        help="also write the per-config reports to this "
                             "JSON file")
+    serve.add_argument("--durability", action="store_true",
+                       help="journal every decision through a "
+                            "write-ahead log (group-committed fsync) "
+                            "so the durability cost shows in the grid")
     serve.set_defaults(func=_cmd_serve_bench)
+    recover = sub.add_parser(
+        "recover",
+        help="rebuild a broker from a durability directory "
+             "(checkpoint + journal replay)",
+    )
+    recover.add_argument("directory",
+                         help="directory holding checkpoint-*.json and "
+                              "wal-*.log files")
+    recover.set_defaults(func=_cmd_recover)
     everything = sub.add_parser("all", help="regenerate the whole evaluation")
     everything.add_argument("--runs", type=int, default=5)
     everything.add_argument("--fast", action="store_true")

@@ -392,10 +392,11 @@ class BandwidthBroker:
                 message.sender,
                 message.egress,
                 service_class=message.service_class,
+                now=message.now,
             )
             return self.build_reply(decision, message, sender="bb")
         if isinstance(message, FlowTeardown):
-            self.terminate(message.flow_id)
+            self.terminate(message.flow_id, now=message.now)
             return None
         if isinstance(message, EdgeBufferEmpty):
             self.aggregate.notify_edge_empty(

@@ -20,13 +20,44 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import StateError
 from repro.core.broker import BandwidthBroker
 from repro.traffic.spec import TSpec
 
-__all__ = ["JournalEntry", "DecisionJournal", "JournaledBroker", "replay"]
+__all__ = [
+    "JournalEntry",
+    "DecisionJournal",
+    "JournaledBroker",
+    "replay",
+    "request_payload",
+]
+
+
+def request_payload(flow_id: str, spec: TSpec, delay_requirement: float,
+                    ingress: str, egress: str, *,
+                    service_class: str = "", path_nodes=None,
+                    now: float = 0.0) -> Dict[str, Any]:
+    """The JSON-compatible journal payload of one service request.
+
+    Shared by every write path (the in-memory :class:`JournaledBroker`
+    and the file-backed service WAL) so :func:`replay` reads one
+    format.
+    """
+    return {
+        "flow_id": flow_id,
+        "spec": {
+            "sigma": spec.sigma, "rho": spec.rho,
+            "peak": spec.peak, "max_packet": spec.max_packet,
+        },
+        "delay_requirement": delay_requirement,
+        "ingress": ingress,
+        "egress": egress,
+        "service_class": service_class,
+        "path_nodes": list(path_nodes) if path_nodes is not None else None,
+        "now": now,
+    }
 
 
 @dataclass(frozen=True)
@@ -97,23 +128,19 @@ class JournaledBroker:
     def request_service(self, flow_id: str, spec: TSpec,
                         delay_requirement: float, ingress: str,
                         egress: str, *, service_class: str = "",
-                        now: float = 0.0):
+                        path_nodes=None, now: float = 0.0):
         """Journal + execute a service request."""
-        self.journal.append("request", {
-            "flow_id": flow_id,
-            "spec": {
-                "sigma": spec.sigma, "rho": spec.rho,
-                "peak": spec.peak, "max_packet": spec.max_packet,
-            },
-            "delay_requirement": delay_requirement,
-            "ingress": ingress,
-            "egress": egress,
-            "service_class": service_class,
-            "now": now,
-        })
+        self.journal.append(
+            "request",
+            request_payload(
+                flow_id, spec, delay_requirement, ingress, egress,
+                service_class=service_class, path_nodes=path_nodes,
+                now=now,
+            ),
+        )
         return self.broker.request_service(
             flow_id, spec, delay_requirement, ingress, egress,
-            service_class=service_class, now=now,
+            service_class=service_class, path_nodes=path_nodes, now=now,
         )
 
     def terminate(self, flow_id: str, *, now: float = 0.0) -> None:
@@ -128,21 +155,24 @@ class JournaledBroker:
 
 
 def replay(broker: BandwidthBroker,
-           entries: Sequence[JournalEntry]) -> int:
+           entries: Sequence[JournalEntry]) -> Tuple[int, int]:
     """Apply journal *entries* to *broker* in order.
 
     Rejected requests are re-executed and re-rejected (their outcome is
     a function of the same state). Operations that *raised* on the
     primary (journaling is write-ahead, so a failed terminate is still
-    recorded) raise identically here and are skipped — in both runs
-    they mutated nothing, so equivalence is preserved. Unknown entry
-    kinds raise.
+    recorded) raise identically here and are **skipped** — in both
+    runs they mutated nothing, so equivalence is preserved. Unknown
+    entry kinds raise.
 
-    Returns the number of entries applied.
+    Returns ``(applied, skipped)``: entries executed to a decision
+    versus entries whose re-execution raised the primary's
+    deterministic :class:`~repro.errors.StateError` — so a recovery
+    path can report exactly what it skipped instead of silently
+    counting failures as applied.
     """
-    from repro.errors import ReproError
-
     applied = 0
+    skipped = 0
     for entry in entries:
         payload = entry.payload
         try:
@@ -153,11 +183,16 @@ def replay(broker: BandwidthBroker,
                     peak=payload["spec"]["peak"],
                     max_packet=payload["spec"]["max_packet"],
                 )
+                path_nodes = payload.get("path_nodes")
                 broker.request_service(
                     payload["flow_id"], spec,
                     payload["delay_requirement"],
                     payload["ingress"], payload["egress"],
                     service_class=payload["service_class"],
+                    path_nodes=(
+                        tuple(path_nodes) if path_nodes is not None
+                        else None
+                    ),
                     now=payload["now"],
                 )
             elif entry.kind == "terminate":
@@ -173,5 +208,7 @@ def replay(broker: BandwidthBroker,
                 raise
             # The same deterministic failure occurred on the primary;
             # neither run mutated state for this entry.
+            skipped += 1
+            continue
         applied += 1
-    return applied
+    return applied, skipped

@@ -34,7 +34,11 @@ from repro.vtrs.timestamps import SchedulerKind
 
 __all__ = ["checkpoint_broker", "restore_broker", "CHECKPOINT_VERSION"]
 
-CHECKPOINT_VERSION = 1
+#: Version 2 added ``journal_seq`` — the decision-journal position at
+#: checkpoint time, so recovery knows exactly which journal suffix to
+#: replay.  Version-1 checkpoints (no position) still restore, with
+#: ``journal_seq`` taken as 0.
+CHECKPOINT_VERSION = 2
 
 
 def _tspec_to_dict(spec: TSpec) -> Dict[str, float]:
@@ -53,11 +57,18 @@ def _tspec_from_dict(data: Dict[str, float]) -> TSpec:
     )
 
 
-def checkpoint_broker(broker: BandwidthBroker) -> Dict[str, Any]:
+def checkpoint_broker(broker: BandwidthBroker, *,
+                      journal_seq: int = 0) -> Dict[str, Any]:
     """Serialize the broker's full control-plane state.
 
     The result contains only JSON-compatible types (dicts, lists,
     strings, numbers), so it can be written with ``json.dump``.
+
+    :param journal_seq: the decision-journal sequence number this
+        checkpoint is consistent with (every journal entry with
+        ``seq <= journal_seq`` is already reflected in the state).
+        Recovery replays only entries after it; checkpointing also
+        lets the journal prune segments at or before it.
     """
     links = [
         {
@@ -123,6 +134,7 @@ def checkpoint_broker(broker: BandwidthBroker) -> Dict[str, Any]:
     ]
     return {
         "version": CHECKPOINT_VERSION,
+        "journal_seq": int(journal_seq),
         "contingency_method": broker.aggregate.method.value,
         "links": links,
         "paths": paths,
@@ -143,10 +155,10 @@ def restore_broker(
     construction.
     """
     version = data.get("version")
-    if version != CHECKPOINT_VERSION:
+    if version not in (1, CHECKPOINT_VERSION):
         raise StateError(
             f"unsupported checkpoint version {version!r} "
-            f"(expected {CHECKPOINT_VERSION})"
+            f"(expected <= {CHECKPOINT_VERSION})"
         )
     broker = BandwidthBroker(
         policy=policy,

@@ -54,13 +54,19 @@ class Message:
 
 @dataclass(frozen=True)
 class FlowServiceRequest(Message):
-    """Ingress -> broker: a new flow asks for guaranteed service."""
+    """Ingress -> broker: a new flow asks for guaranteed service.
+
+    ``now`` is the domain clock at which the flow arrived at the
+    ingress; the broker bookkeeps the admission (``admitted_at``,
+    contingency periods) at this time rather than at a default of 0.
+    """
 
     flow_id: str = ""
     spec: Optional[TSpec] = None
     delay_requirement: float = 0.0
     egress: str = ""
     service_class: str = ""  # empty = per-flow service
+    now: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -83,9 +89,14 @@ class ReservationReply(Message):
 
 @dataclass(frozen=True)
 class FlowTeardown(Message):
-    """Ingress -> broker: a flow terminated; release its reservation."""
+    """Ingress -> broker: a flow terminated; release its reservation.
+
+    ``now`` is the domain clock of the teardown — it drives the
+    deferred rate decrease of Theorem 3 for class-based flows.
+    """
 
     flow_id: str = ""
+    now: float = 0.0
 
 
 @dataclass(frozen=True)

@@ -8,12 +8,22 @@ deadlines and ``TRY_AGAIN`` backpressure
 locking so disjoint paths admit in parallel
 (:class:`~repro.service.shards.LinkShards`), admission batching that
 amortizes the schedulability scan across coalesced arrivals
-(:mod:`repro.service.batching`), and a closed-loop load driver for
+(:mod:`repro.service.batching`), a durable write-ahead journal with
+group commit and crash recovery
+(:mod:`repro.service.durability`), and a closed-loop load driver for
 throughput studies (:mod:`repro.service.loadgen`); see
 ``docs/SERVICE.md`` for the architecture sketch and knobs.
 """
 
 from repro.service.batching import AdmissionBatcher, batch_key
+from repro.service.durability import (
+    FileJournal,
+    JournalScan,
+    RecoveryReport,
+    read_journal,
+    recover_broker,
+    write_checkpoint,
+)
 from repro.service.loadgen import (
     FlowTemplate,
     LoadReport,
@@ -36,6 +46,12 @@ from repro.service.stats import ServiceStats, StatsRecorder
 __all__ = [
     "AdmissionBatcher",
     "batch_key",
+    "FileJournal",
+    "JournalScan",
+    "RecoveryReport",
+    "read_journal",
+    "recover_broker",
+    "write_checkpoint",
     "BrokerService",
     "PendingReply",
     "ServiceReply",

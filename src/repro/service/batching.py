@@ -48,9 +48,13 @@ def batch_key(request) -> Optional[Hashable]:
     """The coalescing key of *request*, or ``None`` if unbatchable.
 
     Two requests may share a batch when every admission-relevant
-    parameter except the flow identity matches.  Teardowns return
-    ``None`` — each releases a different path's state, so there is
-    nothing to amortize.
+    parameter except the flow identity matches — **including** the
+    domain clock ``now``: the hoisted scan admits the whole batch at
+    one timestamp, so coalescing mixed-``now`` requests would stamp
+    every flow with the head request's ``admitted_at`` and contingency
+    clock instead of its own (and make journal replay diverge from
+    the live run).  Teardowns return ``None`` — each releases a
+    different path's state, so there is nothing to amortize.
     """
     if request.op != "admit":
         return None
@@ -61,6 +65,7 @@ def batch_key(request) -> Optional[Hashable]:
         request.egress,
         request.service_class,
         request.path_nodes,
+        request.now,
     )
 
 

@@ -1,0 +1,551 @@
+"""Durable write-ahead journaling and crash recovery for the broker.
+
+The paper's footnote 2 names broker reliability as the price of
+centralizing a domain's QoS state.  :mod:`repro.core.journal` already
+gives the *logical* half of the answer — every control operation is a
+deterministic function of broker state and request inputs, so a log of
+inputs replays to identical decisions — but its journal lives in
+memory and dies with the process.  This module is the *physical* half:
+
+* :class:`FileJournal` — an append-only, file-backed journal of
+  length-prefixed, CRC-checksummed JSON records with **segment
+  rotation** and **group commit**: any number of worker threads append
+  entries concurrently, and one ``fsync`` (issued by whichever caller
+  of :meth:`FileJournal.commit` becomes the flush leader) covers every
+  entry written since the previous flush — durability cost is
+  amortized across concurrent requests exactly like admission
+  batching amortizes the schedulability scan;
+* :func:`write_checkpoint` — atomically persists a broker checkpoint
+  (:func:`~repro.core.persistence.checkpoint_broker`) that **embeds
+  the journal sequence number** it is consistent with, then prunes
+  journal segments wholly covered by it;
+* :func:`recover_broker` — restores the newest *valid* checkpoint in
+  a directory, replays the journal suffix recorded after it, and
+  tolerates a torn tail record (the partial write of a crash mid-
+  append): the tail is truncated with a warning, never a crash.
+
+Record format (one record per journal entry)::
+
+    +----------------+----------------+------------------------+
+    | length: u32 BE | crc32:  u32 BE | payload: length bytes  |
+    +----------------+----------------+------------------------+
+
+where the payload is the UTF-8 JSON of
+:meth:`~repro.core.journal.JournalEntry.to_dict`.  Segments are named
+``wal-<first-seq>.log``; a segment's name is the sequence number of
+its first record, so the segment covering any sequence number is
+found without reading file contents.
+
+Crash-consistency contract: a request's reply future is resolved only
+*after* the group commit covering its journal entry returns, so every
+**acknowledged** operation survives a crash; an operation whose entry
+was torn by the crash was, by construction, never acknowledged.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import threading
+import warnings
+import zlib
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.broker import BandwidthBroker
+from repro.core.journal import JournalEntry, replay
+from repro.core.persistence import checkpoint_broker, restore_broker
+from repro.core.policy import PolicyModule
+from repro.errors import StateError
+
+__all__ = [
+    "FileJournal",
+    "JournalScan",
+    "RecoveryReport",
+    "read_journal",
+    "recover_broker",
+    "write_checkpoint",
+]
+
+#: ``(length, crc32)`` header prepended to every record.
+_HEADER = struct.Struct(">II")
+
+#: Default segment-rotation threshold.
+DEFAULT_SEGMENT_BYTES = 4 * 1024 * 1024
+
+_SEGMENT_PREFIX = "wal-"
+_SEGMENT_SUFFIX = ".log"
+_CHECKPOINT_PREFIX = "checkpoint-"
+_CHECKPOINT_SUFFIX = ".json"
+
+
+def _segment_name(first_seq: int) -> str:
+    return f"{_SEGMENT_PREFIX}{first_seq:016d}{_SEGMENT_SUFFIX}"
+
+
+def _checkpoint_name(journal_seq: int) -> str:
+    return f"{_CHECKPOINT_PREFIX}{journal_seq:016d}{_CHECKPOINT_SUFFIX}"
+
+
+def _list_segments(directory: str) -> List[Tuple[int, str]]:
+    """``(first_seq, path)`` of every journal segment, oldest first."""
+    found = []
+    for name in os.listdir(directory):
+        if not (name.startswith(_SEGMENT_PREFIX)
+                and name.endswith(_SEGMENT_SUFFIX)):
+            continue
+        stem = name[len(_SEGMENT_PREFIX):-len(_SEGMENT_SUFFIX)]
+        try:
+            first_seq = int(stem)
+        except ValueError:
+            continue
+        found.append((first_seq, os.path.join(directory, name)))
+    return sorted(found)
+
+
+def _list_checkpoints(directory: str) -> List[Tuple[int, str]]:
+    """``(journal_seq, path)`` of every checkpoint, oldest first."""
+    found = []
+    for name in os.listdir(directory):
+        if not (name.startswith(_CHECKPOINT_PREFIX)
+                and name.endswith(_CHECKPOINT_SUFFIX)):
+            continue
+        stem = name[len(_CHECKPOINT_PREFIX):-len(_CHECKPOINT_SUFFIX)]
+        try:
+            seq = int(stem)
+        except ValueError:
+            continue
+        found.append((seq, os.path.join(directory, name)))
+    return sorted(found)
+
+
+def _scan_segment(path: str) -> Tuple[List[JournalEntry], int, str]:
+    """Parse one segment file.
+
+    Returns ``(entries, valid_bytes, defect)`` where *valid_bytes* is
+    the offset of the first byte that could not be parsed into a
+    complete, checksummed record and *defect* describes why parsing
+    stopped ("" when the whole file parsed cleanly).
+    """
+    entries: List[JournalEntry] = []
+    offset = 0
+    with open(path, "rb") as handle:
+        data = handle.read()
+    size = len(data)
+    while offset < size:
+        if size - offset < _HEADER.size:
+            return entries, offset, "torn record header"
+        length, crc = _HEADER.unpack_from(data, offset)
+        start = offset + _HEADER.size
+        if size - start < length:
+            return entries, offset, "torn record payload"
+        blob = data[start:start + length]
+        if zlib.crc32(blob) != crc:
+            return entries, offset, "record checksum mismatch"
+        try:
+            entry = JournalEntry.from_dict(json.loads(blob.decode("utf-8")))
+        except (ValueError, KeyError, UnicodeDecodeError):
+            return entries, offset, "undecodable record payload"
+        entries.append(entry)
+        offset = start + length
+    return entries, offset, ""
+
+
+@dataclass
+class JournalScan:
+    """The result of reading a journal directory from disk.
+
+    :param entries: every decodable entry, in sequence order.
+    :param torn_tail: a partial/corrupt record terminated the final
+        segment (the signature of a crash mid-append).
+    :param dropped_bytes: bytes discarded after the last good record.
+    """
+
+    entries: List[JournalEntry]
+    torn_tail: bool = False
+    dropped_bytes: int = 0
+
+
+def read_journal(directory: str, *, repair: bool = False) -> JournalScan:
+    """Read every journal entry under *directory*.
+
+    A torn or corrupt record in the **final** segment is tolerated:
+    parsing stops there, a warning is emitted, and with ``repair=True``
+    the segment is truncated back to its last complete record so
+    subsequent appends produce a clean log.  Corruption in any
+    *earlier* segment is real damage (complete records followed it in
+    a later segment) and raises :class:`~repro.errors.StateError`
+    rather than silently dropping acknowledged operations.
+    """
+    segments = _list_segments(directory)
+    scan = JournalScan(entries=[])
+    last_seq: Optional[int] = None
+    for index, (first_seq, path) in enumerate(segments):
+        entries, valid_bytes, defect = _scan_segment(path)
+        if defect:
+            if index != len(segments) - 1:
+                raise StateError(
+                    f"journal segment {os.path.basename(path)!r} is "
+                    f"corrupt mid-stream ({defect} at byte "
+                    f"{valid_bytes}) but later segments exist"
+                )
+            total = os.path.getsize(path)
+            scan.torn_tail = True
+            scan.dropped_bytes = total - valid_bytes
+            warnings.warn(
+                f"journal segment {os.path.basename(path)!r}: {defect} "
+                f"at byte {valid_bytes}; dropping {scan.dropped_bytes} "
+                f"trailing byte(s) "
+                f"({'truncating' if repair else 'left on disk'})",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            if repair:
+                with open(path, "r+b") as handle:
+                    handle.truncate(valid_bytes)
+        for entry in entries:
+            if last_seq is not None and entry.seq != last_seq + 1:
+                raise StateError(
+                    f"journal sequence gap: entry {entry.seq} follows "
+                    f"{last_seq} in {os.path.basename(path)!r}"
+                )
+            last_seq = entry.seq
+            scan.entries.append(entry)
+    return scan
+
+
+class FileJournal:
+    """A durable, concurrent decision journal backed by segment files.
+
+    Append is thread-safe and cheap (a buffered write under a lock);
+    durability happens in :meth:`commit`, which implements **group
+    commit**: the first committer becomes the flush leader and issues
+    one ``fsync`` covering every entry appended before it ran —
+    concurrent committers whose entries are covered simply wait for
+    the leader instead of issuing their own ``fsync``.  Appends keep
+    landing *during* the leader's fsync, growing the next group.
+
+    Opening a directory with existing segments resumes the sequence
+    from the last record on disk, repairing (truncating) a torn tail
+    left by a crash.
+
+    :param directory: journal directory (created if missing).
+    :param segment_bytes: rotate to a fresh segment file once the
+        active one reaches this size (checked at commit time, so a
+        segment may overshoot by the last group).
+    :param fsync: set ``False`` to skip the physical ``fsync`` calls
+        (for tests and benchmarks of the non-durable configuration);
+        all sequencing and group accounting still runs.
+    """
+
+    def __init__(self, directory, *,
+                 segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+                 fsync: bool = True) -> None:
+        if segment_bytes < 1:
+            raise StateError(
+                f"segment size must be >= 1 byte, got {segment_bytes}"
+            )
+        self.directory = os.fspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self.segment_bytes = int(segment_bytes)
+        self.use_fsync = bool(fsync)
+        # _io guards the active file handle, sequence assignment and
+        # the written-seq watermark; _sync guards the group-commit
+        # watermark and leader election.  Lock order: _io before
+        # _sync is never required (they are not nested).
+        self._io = threading.Lock()
+        self._sync = threading.Condition()
+        self._sync_running = False
+        #: Entries appended, ever (includes pre-existing on-disk ones).
+        self.appends = 0
+        #: Physical flushes issued (leader fsyncs + rotation fsyncs).
+        self.fsyncs = 0
+        #: Largest number of entries one commit group covered.
+        self.max_group = 0
+
+        scan = read_journal(self.directory, repair=True)
+        last = scan.entries[-1].seq if scan.entries else 0
+        self._next_seq = last + 1
+        self._written_seq = last
+        self._synced_seq = last
+        segments = _list_segments(self.directory)
+        if segments:
+            path = segments[-1][1]
+        else:
+            path = os.path.join(self.directory, _segment_name(self._next_seq))
+        self._file = open(path, "ab")
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+
+    def append(self, kind: str, payload: Dict[str, Any]) -> JournalEntry:
+        """Buffer one entry into the active segment (no fsync).
+
+        The entry is durable only after a subsequent :meth:`commit`
+        returns — callers must not acknowledge the operation before
+        that.
+        """
+        with self._io:
+            if self._file is None:
+                raise StateError("journal is closed")
+            seq = self._next_seq
+            entry = JournalEntry(seq=seq, kind=kind, payload=payload)
+            blob = json.dumps(
+                entry.to_dict(), separators=(",", ":")
+            ).encode("utf-8")
+            self._file.write(_HEADER.pack(len(blob), zlib.crc32(blob)))
+            self._file.write(blob)
+            # Push into the OS buffer now, so the leader's fsync (which
+            # runs without _io) covers this entry.
+            self._file.flush()
+            self._next_seq = seq + 1
+            self._written_seq = seq
+            self.appends += 1
+        return entry
+
+    def commit(self, upto: Optional[int] = None) -> int:
+        """Make every entry up to *upto* (default: all appended so
+        far) durable; returns the synced sequence number.
+
+        Group commit: if a flush covering *upto* is already running,
+        wait for it (or for a successor) instead of issuing another
+        ``fsync``.
+        """
+        with self._io:
+            target = self._written_seq if upto is None else min(
+                upto, self._written_seq
+            )
+        while True:
+            with self._sync:
+                if self._synced_seq >= target:
+                    return self._synced_seq
+                if self._sync_running:
+                    self._sync.wait()
+                    continue
+                self._sync_running = True
+                previous = self._synced_seq
+            cover = previous
+            try:
+                cover = self._flush()
+            finally:
+                with self._sync:
+                    if cover > self._synced_seq:
+                        group = cover - previous
+                        if group > self.max_group:
+                            self.max_group = group
+                        self._synced_seq = cover
+                    self._sync_running = False
+                    self._sync.notify_all()
+
+    def _flush(self) -> int:
+        """Leader body: one fsync of the active segment, then rotate
+        it if it outgrew the threshold.  Returns the covered seq."""
+        with self._io:
+            if self._file is None:
+                raise StateError("journal is closed")
+            cover = self._written_seq
+            # fsync under _io: the leader is unique, so the only cost
+            # is that appends landing mid-fsync wait for it — and then
+            # form the next group, which is the group-commit contract.
+            if self.use_fsync:
+                os.fsync(self._file.fileno())
+            self.fsyncs += 1
+            if self._file.tell() >= self.segment_bytes:
+                self._file.close()
+                self._file = open(
+                    os.path.join(
+                        self.directory, _segment_name(self._next_seq)
+                    ),
+                    "ab",
+                )
+        return cover
+
+    # ------------------------------------------------------------------
+    # positions and reading
+    # ------------------------------------------------------------------
+
+    @property
+    def position(self) -> int:
+        """Sequence number of the latest appended entry (0 if none)."""
+        with self._io:
+            return self._written_seq
+
+    @property
+    def durable_position(self) -> int:
+        """Sequence number covered by the latest completed flush."""
+        with self._sync:
+            return self._synced_seq
+
+    def entries_after(self, seq: int) -> List[JournalEntry]:
+        """All on-disk entries recorded after sequence number *seq*."""
+        return [
+            entry
+            for entry in read_journal(self.directory).entries
+            if entry.seq > seq
+        ]
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+
+    def prune(self, upto_seq: int) -> List[str]:
+        """Delete rotated segments wholly covered by *upto_seq*.
+
+        A segment may go once every entry in it has sequence number
+        ``<= upto_seq`` — i.e. the *next* segment starts at or before
+        ``upto_seq + 1``.  The active segment is never deleted.
+        Returns the removed paths.
+        """
+        removed: List[str] = []
+        with self._io:
+            active = self._file.name if self._file is not None else None
+            segments = _list_segments(self.directory)
+            for (first_seq, path), (next_first, _next_path) in zip(
+                segments, segments[1:]
+            ):
+                if path == active:
+                    continue
+                if next_first <= upto_seq + 1:
+                    os.remove(path)
+                    removed.append(path)
+        return removed
+
+    def close(self) -> None:
+        """Flush pending entries and close the active segment."""
+        self.commit()
+        with self._io:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+
+# ----------------------------------------------------------------------
+# checkpointing and recovery
+# ----------------------------------------------------------------------
+
+
+def write_checkpoint(directory, broker: BandwidthBroker,
+                     journal: Optional[FileJournal] = None) -> str:
+    """Atomically persist a checkpoint of *broker* into *directory*.
+
+    The checkpoint embeds the journal position it is consistent with
+    (``journal.position`` after a final group commit; 0 without a
+    journal), is written via temp-file + rename so a crash mid-write
+    can never leave a half checkpoint under a valid name, and finally
+    prunes journal segments the checkpoint makes redundant.  Returns
+    the checkpoint path.
+
+    The caller must quiesce the broker (e.g. stop the service, or
+    call between requests) so the serialized state actually reflects
+    every journal entry up to the embedded position.
+    """
+    directory = os.fspath(directory)
+    os.makedirs(directory, exist_ok=True)
+    seq = 0
+    if journal is not None:
+        seq = journal.commit()
+    data = checkpoint_broker(broker, journal_seq=seq)
+    path = os.path.join(directory, _checkpoint_name(seq))
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, separators=(",", ":"))
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
+    if journal is not None:
+        journal.prune(seq)
+    return path
+
+
+@dataclass
+class RecoveryReport:
+    """What :func:`recover_broker` rebuilt and from where.
+
+    :param broker: the recovered broker, ready to serve.
+    :param checkpoint_path: the checkpoint restored (``None`` when
+        recovery started from a caller-provided factory broker).
+    :param checkpoint_seq: journal position embedded in it.
+    :param applied: journal entries replayed to a decision.
+    :param skipped: journal entries whose replay raised the primary's
+        deterministic failure (reported, not silently applied).
+    :param torn_tail: the journal ended in a partial record that was
+        dropped (the crash signature; the torn operation was never
+        acknowledged).
+    :param last_seq: sequence number of the last replayed entry
+        (``checkpoint_seq`` when the suffix was empty).
+    """
+
+    broker: BandwidthBroker
+    checkpoint_path: Optional[str]
+    checkpoint_seq: int
+    applied: int
+    skipped: int
+    torn_tail: bool
+    last_seq: int
+
+
+def recover_broker(
+    directory,
+    *,
+    policy: Optional[PolicyModule] = None,
+    broker_factory: Optional[Callable[[], BandwidthBroker]] = None,
+    repair: bool = True,
+) -> RecoveryReport:
+    """Rebuild a broker from *directory* after a crash.
+
+    Restores the newest checkpoint that parses and restores cleanly
+    (corrupt ones are warned about and skipped in favor of older
+    ones), then replays the journal suffix recorded after its embedded
+    position.  A torn tail record is truncated with a warning when
+    ``repair`` is true — never a crash: the torn operation was never
+    acknowledged, so dropping it preserves the durability contract.
+
+    Without any usable checkpoint the journal alone cannot seed a
+    broker (topology provisioning is not journaled), so a
+    *broker_factory* producing the provisioned-but-empty broker must
+    be supplied for cold recovery; otherwise :class:`StateError`.
+    """
+    directory = os.fspath(directory)
+    if not os.path.isdir(directory):
+        raise StateError(f"no such recovery directory: {directory!r}")
+    broker: Optional[BandwidthBroker] = None
+    checkpoint_path: Optional[str] = None
+    checkpoint_seq = 0
+    for seq, path in reversed(_list_checkpoints(directory)):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            broker = restore_broker(data, policy=policy)
+        except (OSError, ValueError, KeyError, StateError) as exc:
+            warnings.warn(
+                f"skipping unusable checkpoint "
+                f"{os.path.basename(path)!r}: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            continue
+        checkpoint_path = path
+        checkpoint_seq = int(data.get("journal_seq", seq))
+        break
+    if broker is None:
+        if broker_factory is None:
+            raise StateError(
+                f"no usable checkpoint in {directory!r} and no "
+                "broker_factory for cold recovery"
+            )
+        broker = broker_factory()
+        checkpoint_seq = 0
+    scan = read_journal(directory, repair=repair)
+    suffix = [e for e in scan.entries if e.seq > checkpoint_seq]
+    applied, skipped = replay(broker, suffix)
+    return RecoveryReport(
+        broker=broker,
+        checkpoint_path=checkpoint_path,
+        checkpoint_seq=checkpoint_seq,
+        applied=applied,
+        skipped=skipped,
+        torn_tail=scan.torn_tail,
+        last_seq=suffix[-1].seq if suffix else checkpoint_seq,
+    )

@@ -62,6 +62,7 @@ from typing import Deque, List, Optional, Sequence, Tuple
 
 from repro.core.admission import AdmissionDecision, RejectionReason
 from repro.core.broker import BandwidthBroker
+from repro.core.journal import request_payload
 from repro.core.signaling import (
     FlowServiceRequest,
     FlowTeardown,
@@ -70,6 +71,7 @@ from repro.core.signaling import (
 )
 from repro.errors import SignalingError, StateError
 from repro.service.batching import AdmissionBatcher, batch_key
+from repro.service.durability import FileJournal
 from repro.service.shards import LinkShards
 from repro.service.stats import ServiceStats, StatsRecorder
 from repro.traffic.spec import TSpec
@@ -96,8 +98,9 @@ ERROR = "error"      # the request raised inside the worker
 class ServiceRequest:
     """One unit of work submitted to the service.
 
-    :param flow_id: the flow the operation concerns.
-    :param op: ``"admit"`` or ``"teardown"``.
+    :param flow_id: the flow the operation concerns (empty for
+        ``"advance"``).
+    :param op: ``"admit"``, ``"teardown"`` or ``"advance"``.
     :param spec: traffic profile (admit only).
     :param delay_requirement: ``D_req``; 0 with a service class.
     :param ingress: ingress edge router (admit only).
@@ -200,6 +203,15 @@ class BrokerService:
         seconds (``None``: no deadline).
     :param edge_rtt: simulated edge-programming round-trip in seconds
         (0 disables; see the module docstring).
+    :param wal: optional :class:`~repro.service.durability.FileJournal`
+        — every admit/teardown/advance is then journaled *before* its
+        reply resolves: entries are appended **under the batch's shard
+        locks** (so two operations that contend for the same state are
+        journaled in their commit order and replay reproduces it), and
+        the reply future is resolved only after the group commit
+        covering the entry returns.  One fsync covers the whole batch
+        plus whatever other workers appended meanwhile — durability is
+        amortized exactly like admission batching.
 
     Use as a context manager, or call :meth:`start`/:meth:`stop`.
     The broker must not be driven concurrently through its
@@ -216,6 +228,7 @@ class BrokerService:
         batch_limit: int = 16,
         default_timeout: Optional[float] = None,
         edge_rtt: float = 0.0,
+        wal: Optional[FileJournal] = None,
     ) -> None:
         if workers < 1:
             raise StateError(f"need at least one worker, got {workers}")
@@ -227,6 +240,7 @@ class BrokerService:
         self.batch_limit = max(1, int(batch_limit))
         self.default_timeout = default_timeout
         self.edge_rtt = float(edge_rtt)
+        self.wal = wal
         self.shards = LinkShards(shards)
         self._batcher = AdmissionBatcher(broker)
         self._recorder = StatsRecorder()
@@ -273,6 +287,8 @@ class BrokerService:
         for thread in self._threads:
             thread.join()
         self._threads = []
+        if self.wal is not None:
+            self.wal.commit()
 
     def __enter__(self) -> "BrokerService":
         return self.start()
@@ -303,6 +319,12 @@ class BrokerService:
         with self._cond:
             if not self._running:
                 raise StateError("broker service is not running")
+            # Count the submit *before* the job becomes visible in the
+            # queue: a concurrent stats() must never observe the queue
+            # depth incremented ahead of `submitted`, or the
+            # submitted == completed+shed+expired+depth+in_flight
+            # identity transiently goes negative.
+            self._recorder.on_submit()
             if len(self._queue) >= self.queue_limit:
                 depth = len(self._queue)
                 shed = True
@@ -310,7 +332,6 @@ class BrokerService:
                 self._queue.append(_Job(request, pending))
                 self._cond.notify()
                 shed = False
-        self._recorder.on_submit()
         if shed:
             self._recorder.on_shed()
             pending._resolve(ServiceReply(
@@ -359,6 +380,15 @@ class BrokerService:
         """Submit a teardown and block for its completion."""
         return self.request(flow_id, op="teardown", now=now, wait=wait)
 
+    def advance(self, now: float, *,
+                wait: Optional[float] = None) -> ServiceReply:
+        """Advance the domain clock: release expired contingency
+        bandwidth (:meth:`~repro.core.broker.BandwidthBroker.advance`)
+        through the service queue, so the advance is serialized —
+        and, with a WAL attached, journaled — like every other
+        control operation."""
+        return self.request("", op="advance", now=now, wait=wait)
+
     # ------------------------------------------------------------------
     # signaling endpoint
     # ------------------------------------------------------------------
@@ -386,6 +416,7 @@ class BrokerService:
                 message.sender,
                 message.egress,
                 service_class=message.service_class,
+                now=message.now,
             )
             decision = reply.decision or AdmissionDecision(
                 admitted=False, flow_id=message.flow_id,
@@ -395,7 +426,8 @@ class BrokerService:
                 decision, message, sender=self.bus_name or "bb-service"
             )
         if isinstance(message, FlowTeardown):
-            reply = self.request(message.flow_id, op="teardown")
+            reply = self.request(message.flow_id, op="teardown",
+                                 now=message.now)
             if reply.status == ERROR:
                 raise StateError(reply.detail)
             return None
@@ -419,6 +451,11 @@ class BrokerService:
             queue_depth=depth,
             shard_acquisitions=acquisitions,
             shard_contention=contention,
+            wal_appends=self.wal.appends if self.wal is not None else 0,
+            wal_fsyncs=self.wal.fsyncs if self.wal is not None else 0,
+            wal_max_group=(
+                self.wal.max_group if self.wal is not None else 0
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -479,6 +516,10 @@ class BrokerService:
             for job in live:
                 self._serve_teardown(job)
             return
+        if live[0].request.op == "advance":
+            for job in live:
+                self._serve_advance(job)
+            return
         self._serve_admissions(live)
 
     def _serve_admissions(self, jobs: List[_Job]) -> None:
@@ -496,10 +537,16 @@ class BrokerService:
             return
         if resolved.rejection is not None:
             # Policy/routing rejection: no reservation state involved,
-            # fan out without taking any shard lock.
+            # fan out without taking any shard lock.  Still journaled
+            # (replay re-rejects identically, keeping the rejection
+            # accounting in step) — rejections mutate no shard state,
+            # so their journal order relative to other entries is
+            # free.
+            self._journal_requests(jobs)
             decisions = self._batcher.fan_out_rejection(
                 resolved, [job.request for job in jobs]
             )
+            self._commit_wal()
             self._reply_all(jobs, decisions)
             return
         if resolved.service_class is not None:
@@ -508,6 +555,12 @@ class BrokerService:
             shard_ids = self.shards.shards_for(resolved.links())
         try:
             with self.shards.locked(shard_ids):
+                # Write-ahead: the batch's entries hit the journal
+                # before its decisions mutate any reservation state,
+                # and *under* the shard locks — two batches contending
+                # for a shard journal in the same order they commit,
+                # so replay order matches commit order.
+                self._journal_requests(jobs)
                 decisions = self._batcher.execute(
                     resolved, [job.request for job in jobs]
                 )
@@ -526,6 +579,12 @@ class BrokerService:
                     detail=str(exc),
                 ), detail=str(exc))
             return
+        # Group commit outside the locks: the fsync (the slow part)
+        # overlaps other workers' admission math, and one flush covers
+        # every entry queued since the last one.  Replies resolve only
+        # after it returns — nothing is acknowledged before it is
+        # durable.
+        self._commit_wal()
         self._reply_all(jobs, decisions)
 
     def _serve_teardown(self, job: _Job) -> None:
@@ -543,6 +602,10 @@ class BrokerService:
             shard_ids = self.shards.shards_for(path.links)
         try:
             with self.shards.locked(shard_ids):
+                if self.wal is not None:
+                    self.wal.append("terminate", {
+                        "flow_id": flow_id, "now": job.request.now,
+                    })
                 self.broker.terminate(flow_id, now=job.request.now)
                 if self.edge_rtt > 0:
                     time.sleep(self.edge_rtt)
@@ -550,8 +613,52 @@ class BrokerService:
             self._recorder.on_error(self._elapsed(job))
             self._finish(job, ERROR, None, detail=str(exc))
             return
+        self._commit_wal()
         self._recorder.on_reply("done", self._elapsed(job))
         self._finish(job, OK, None)
+
+    def _serve_advance(self, job: _Job) -> None:
+        # An advance may release contingency bandwidth on any
+        # macroflow in the domain, so it serializes across all shards
+        # (same write-set argument as class-based joins).
+        try:
+            with self.shards.locked(self.shards.all_shards()):
+                if self.wal is not None:
+                    self.wal.append("advance", {"now": job.request.now})
+                self.broker.advance(job.request.now)
+        except Exception as exc:
+            self._recorder.on_error(self._elapsed(job))
+            self._finish(job, ERROR, None, detail=str(exc))
+            return
+        self._commit_wal()
+        self._recorder.on_reply("done", self._elapsed(job))
+        self._finish(job, OK, None)
+
+    # ------------------------------------------------------------------
+    # durability plumbing
+    # ------------------------------------------------------------------
+
+    def _journal_requests(self, jobs: List[_Job]) -> None:
+        """Append one write-ahead entry per admission in the batch."""
+        if self.wal is None:
+            return
+        for job in jobs:
+            request = job.request
+            self.wal.append("request", request_payload(
+                request.flow_id,
+                request.spec,
+                request.delay_requirement,
+                request.ingress,
+                request.egress,
+                service_class=request.service_class,
+                path_nodes=request.path_nodes,
+                now=request.now,
+            ))
+
+    def _commit_wal(self) -> None:
+        """Group-commit everything journaled so far (no-op sans WAL)."""
+        if self.wal is not None:
+            self.wal.commit()
 
     # ------------------------------------------------------------------
     # reply plumbing

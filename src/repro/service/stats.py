@@ -65,6 +65,12 @@ class ServiceStats:
     :param shard_contention: per-shard counts of acquisitions that
         had to wait for another worker (the contention signal that
         says whether more shards would help).
+    :param wal_appends: write-ahead journal entries appended (0 when
+        the service runs without a WAL).
+    :param wal_fsyncs: physical journal flushes issued;
+        ``wal_appends / wal_fsyncs`` is the mean group-commit size —
+        the amortization the durable throughput grid measures.
+    :param wal_max_group: largest number of entries one flush covered.
     """
 
     workers: int
@@ -85,6 +91,9 @@ class ServiceStats:
     p99_ms: float
     shard_acquisitions: Tuple[int, ...]
     shard_contention: Tuple[int, ...]
+    wal_appends: int = 0
+    wal_fsyncs: int = 0
+    wal_max_group: int = 0
 
     @property
     def mean_batch(self) -> float:
@@ -95,6 +104,11 @@ class ServiceStats:
     def try_again_total(self) -> int:
         """Requests answered ``TRY_AGAIN`` for any reason."""
         return self.shed + self.expired
+
+    @property
+    def wal_mean_group(self) -> float:
+        """Mean entries per journal flush (0.0 without a WAL)."""
+        return self.wal_appends / self.wal_fsyncs if self.wal_fsyncs else 0.0
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-ready representation (used by the bench artifacts)."""
@@ -117,6 +131,10 @@ class ServiceStats:
             "p99_ms": round(self.p99_ms, 3),
             "shard_acquisitions": list(self.shard_acquisitions),
             "shard_contention": list(self.shard_contention),
+            "wal_appends": self.wal_appends,
+            "wal_fsyncs": self.wal_fsyncs,
+            "wal_mean_group": round(self.wal_mean_group, 3),
+            "wal_max_group": self.wal_max_group,
         }
 
 
@@ -187,6 +205,9 @@ class StatsRecorder:
         queue_depth: int,
         shard_acquisitions: Tuple[int, ...],
         shard_contention: Tuple[int, ...],
+        wal_appends: int = 0,
+        wal_fsyncs: int = 0,
+        wal_max_group: int = 0,
     ) -> ServiceStats:
         """A consistent :class:`ServiceStats` at this instant."""
         with self._lock:
@@ -210,4 +231,7 @@ class StatsRecorder:
                 p99_ms=_percentile(ordered, 0.99) * 1000.0,
                 shard_acquisitions=shard_acquisitions,
                 shard_contention=shard_contention,
+                wal_appends=wal_appends,
+                wal_fsyncs=wal_fsyncs,
+                wal_max_group=wal_max_group,
             )

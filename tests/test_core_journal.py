@@ -145,8 +145,8 @@ class TestWarmFailover:
         primary.terminate("f1", now=20.0)
 
         standby = journaled_broker().broker
-        applied = replay(standby, list(primary.journal))
-        assert applied == 3
+        applied, skipped = replay(standby, list(primary.journal))
+        assert (applied, skipped) == (3, 0)
         assert standby.stats().active_flows == (
             primary.broker.stats().active_flows
         )
@@ -163,11 +163,70 @@ class TestWriteAheadFailures:
             jb.terminate("ghost")  # journaled, then raised
         assert len(jb.journal) == 2
         standby = journaled_broker().broker
-        applied = replay(standby, list(jb.journal))
-        assert applied == 2
+        applied, skipped = replay(standby, list(jb.journal))
+        assert (applied, skipped) == (1, 1)
         assert standby.stats().active_flows == 1
 
     def test_unknown_kind_still_raises(self):
         standby = journaled_broker().broker
         with pytest.raises(StateError):
             replay(standby, [JournalEntry(1, "frobnicate", {})])
+
+    def test_capacity_rejections_replay_as_applied(self, type0_spec):
+        """A capacity rejection is a *decision*, not a failure: replay
+        re-executes and re-rejects it, counting it applied — only
+        entries that raised on the primary count as skipped — and the
+        replayed broker's next decisions match the primary's."""
+        jb = journaled_broker()
+        admitted = rejected = 0
+        index = 0
+        # Saturate the I1->E1 capacity so the tail of the stream is
+        # genuinely rejected for bandwidth.
+        while rejected < 3 and index < 400:
+            decision = jb.request_service(
+                f"f{index}", type0_spec, 2.44, "I1", "E1",
+                now=float(index),
+            )
+            if decision.admitted:
+                admitted += 1
+            else:
+                rejected += 1
+            index += 1
+        assert admitted > 0 and rejected >= 3
+        # One failed terminate mid-journal (raised on the primary).
+        with pytest.raises(StateError):
+            jb.terminate("never-admitted", now=float(index))
+        standby = journaled_broker().broker
+        applied, skipped = replay(standby, list(jb.journal))
+        assert applied == admitted + rejected
+        assert skipped == 1
+        a, b = jb.broker.stats(), standby.stats()
+        assert a.active_flows == b.active_flows
+        assert a.rejected_total == b.rejected_total
+        d1 = jb.broker.request_service(
+            "probe", type0_spec, 2.44, "I1", "E1", now=float(index + 1)
+        )
+        d2 = standby.request_service(
+            "probe", type0_spec, 2.44, "I1", "E1", now=float(index + 1)
+        )
+        assert d1.admitted == d2.admitted
+        assert d1.rate == pytest.approx(d2.rate)
+
+    def test_failed_terminate_then_readmit_replays_identically(
+            self, type0_spec):
+        """Replay over a trace holding a failed terminate keeps later
+        entries aligned: the skipped entry must not shift decisions."""
+        jb = journaled_broker()
+        jb.request_service("f1", type0_spec, 2.44, "I1", "E1")
+        with pytest.raises(StateError):
+            jb.terminate("f2")       # skipped on replay
+        jb.terminate("f1", now=5.0)  # applied
+        decision = jb.request_service(
+            "f1", type0_spec, 2.44, "I1", "E1", now=10.0
+        )
+        assert decision.admitted    # re-admission after teardown
+        standby = journaled_broker().broker
+        applied, skipped = replay(standby, list(jb.journal))
+        assert (applied, skipped) == (3, 1)
+        record = standby.flow_mib.get("f1")
+        assert record is not None and record.admitted_at == 10.0

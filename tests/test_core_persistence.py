@@ -143,3 +143,24 @@ class TestRoundTrip:
         data["version"] = 99
         with pytest.raises(StateError):
             restore_broker(data)
+
+    def test_journal_seq_embedded_and_defaulted(self):
+        """v2 checkpoints carry the journal position they are
+        consistent with; omitting it defaults to 0."""
+        broker, _t = loaded_broker(flows=1, class_flows=0)
+        data = checkpoint_broker(broker, journal_seq=417)
+        assert data["journal_seq"] == 417
+        assert checkpoint_broker(broker)["journal_seq"] == 0
+        # The embedded position does not affect state restoration.
+        clone = restore_broker(data)
+        assert clone.stats().active_flows == broker.stats().active_flows
+
+    def test_version_1_checkpoint_still_restores(self):
+        """Checkpoints written before the durability work (no
+        ``journal_seq`` field) must keep restoring."""
+        broker, _t = loaded_broker(flows=2, class_flows=1)
+        data = checkpoint_broker(broker)
+        data["version"] = 1
+        del data["journal_seq"]
+        clone = restore_broker(data)
+        assert clone.stats().active_flows == broker.stats().active_flows

@@ -1,0 +1,481 @@
+"""Durable WAL + crash recovery: fault injection and bit-identity.
+
+Covers :mod:`repro.service.durability` — the file-backed write-ahead
+journal (record framing, CRC, segment rotation, group commit), the
+checkpoint that embeds a journal position and prunes covered segments,
+and :func:`~repro.service.durability.recover_broker`.  The central
+property under test is the paper's footnote-2 reliability bar: after a
+crash (simulated by torn/corrupted journal tails), recovery rebuilds a
+broker whose checkpoint is **byte-identical** to the pre-crash
+primary's for every durably-acknowledged operation, and whose
+subsequent decisions match the survivor's exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.core.aggregate import ServiceClass
+from repro.core.broker import BandwidthBroker
+from repro.core.persistence import checkpoint_broker
+from repro.errors import StateError
+from repro.service import (
+    BrokerService,
+    FileJournal,
+    provision_parallel_paths,
+    read_journal,
+    recover_broker,
+    write_checkpoint,
+)
+from repro.workloads.profiles import flow_type
+from repro.workloads.topologies import SchedulerSetting, fig8_domain
+
+SPEC = flow_type(0).spec
+
+
+def fig8_broker() -> BandwidthBroker:
+    broker = BandwidthBroker()
+    fig8_domain(SchedulerSetting.MIXED).provision_broker(broker)
+    broker.register_class(ServiceClass("gold", 2.44, 0.24))
+    return broker
+
+
+def canonical(broker: BandwidthBroker) -> str:
+    """A canonical byte string of the broker's checkpointable state.
+
+    Flow/macroflow lists are sorted because concurrent primaries
+    insert MIB records in worker-scheduling order while recovery
+    inserts them in journal order — same set, possibly different
+    sequence.
+    """
+    data = checkpoint_broker(broker)
+    data["flows"] = sorted(data["flows"], key=lambda f: f["flow_id"])
+    data["macroflows"] = sorted(data["macroflows"],
+                                key=lambda m: m["key"])
+    return json.dumps(data, sort_keys=True)
+
+
+def wal_segments(directory: str):
+    return sorted(
+        name for name in os.listdir(directory)
+        if name.startswith("wal-") and name.endswith(".log")
+    )
+
+
+class TestFileJournal:
+    def test_append_commit_reopen_roundtrip(self, tmp_path):
+        wal = FileJournal(tmp_path)
+        wal.append("advance", {"now": 1.0})
+        wal.append("terminate", {"flow_id": "f1", "now": 2.0})
+        assert wal.position == 2
+        assert wal.durable_position == 0
+        assert wal.commit() == 2
+        assert wal.durable_position == 2
+        wal.close()
+
+        reopened = FileJournal(tmp_path)
+        assert reopened.position == 2
+        entries = reopened.entries_after(0)
+        assert [(e.seq, e.kind) for e in entries] == [
+            (1, "advance"), (2, "terminate"),
+        ]
+        # The sequence resumes, it does not restart.
+        assert reopened.append("advance", {"now": 3.0}).seq == 3
+        reopened.close()
+
+    def test_entries_after_filters(self, tmp_path):
+        wal = FileJournal(tmp_path)
+        for index in range(5):
+            wal.append("advance", {"now": float(index)})
+        wal.commit()
+        assert [e.seq for e in wal.entries_after(3)] == [4, 5]
+        wal.close()
+
+    def test_segment_rotation_and_prune(self, tmp_path):
+        wal = FileJournal(tmp_path, segment_bytes=256)
+        for index in range(30):
+            wal.append("advance", {"now": float(index)})
+            wal.commit()  # rotation happens at commit boundaries
+        segments = wal_segments(tmp_path)
+        assert len(segments) > 1
+        # All 30 entries survive rotation, in order.
+        assert [e.seq for e in wal.entries_after(0)] == list(range(1, 31))
+
+        removed = wal.prune(30)
+        assert removed  # everything but the active segment
+        remaining = wal_segments(tmp_path)
+        assert len(remaining) < len(segments)
+        # The active segment is never pruned, and appends continue.
+        assert wal.append("advance", {"now": 99.0}).seq == 31
+        wal.close()
+
+    def test_prune_keeps_uncovered_segments(self, tmp_path):
+        wal = FileJournal(tmp_path, segment_bytes=256)
+        for index in range(30):
+            wal.append("advance", {"now": float(index)})
+            wal.commit()
+        before = wal_segments(tmp_path)
+        wal.prune(1)  # covers nothing beyond the first segment's head
+        assert wal_segments(tmp_path) == before
+        wal.close()
+
+    def test_torn_tail_truncated_with_warning(self, tmp_path):
+        wal = FileJournal(tmp_path)
+        wal.append("advance", {"now": 1.0})
+        wal.append("advance", {"now": 2.0})
+        wal.commit()
+        wal.close()
+        path = os.path.join(tmp_path, wal_segments(tmp_path)[-1])
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size - 3)  # tear the last record mid-payload
+
+        with pytest.warns(RuntimeWarning, match="torn record"):
+            scan = read_journal(tmp_path, repair=True)
+        assert [e.seq for e in scan.entries] == [1]
+        assert scan.torn_tail and scan.dropped_bytes > 0
+        # Repair truncated the file: a fresh read is clean.
+        clean = read_journal(tmp_path)
+        assert not clean.torn_tail
+        # And the journal reopens for appends at the right sequence.
+        reopened = FileJournal(tmp_path)
+        assert reopened.append("advance", {"now": 3.0}).seq == 2
+        reopened.close()
+
+    def test_corrupt_crc_in_tail_dropped(self, tmp_path):
+        wal = FileJournal(tmp_path)
+        wal.append("advance", {"now": 1.0})
+        wal.append("advance", {"now": 2.0})
+        wal.commit()
+        wal.close()
+        path = os.path.join(tmp_path, wal_segments(tmp_path)[-1])
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.seek(size - 1)  # flip bits inside the last payload
+            handle.write(b"\xff")
+        with pytest.warns(RuntimeWarning, match="checksum"):
+            scan = read_journal(tmp_path)
+        assert [e.seq for e in scan.entries] == [1]
+
+    def test_mid_stream_corruption_raises(self, tmp_path):
+        """Damage in a *rotated* segment (complete records follow in a
+        later one) is real data loss, not a torn tail — it must raise,
+        never silently drop acknowledged operations."""
+        wal = FileJournal(tmp_path, segment_bytes=64)
+        for index in range(10):
+            wal.append("advance", {"now": float(index)})
+            wal.commit()
+        wal.close()
+        segments = wal_segments(tmp_path)
+        assert len(segments) >= 2
+        first = os.path.join(tmp_path, segments[0])
+        with open(first, "r+b") as handle:
+            handle.seek(os.path.getsize(first) - 1)
+            handle.write(b"\xff")
+        with pytest.raises(StateError, match="corrupt mid-stream"):
+            read_journal(tmp_path)
+
+    def test_group_commit_coalesces_fsyncs(self, tmp_path):
+        """Concurrent committers must share flushes: with T threads
+        each appending+committing, the journal issues strictly fewer
+        fsyncs than commits (the group-commit amortization)."""
+        wal = FileJournal(tmp_path)
+        threads = []
+        per_thread = 25
+
+        def hammer(base: int) -> None:
+            for index in range(per_thread):
+                wal.append("advance", {"now": float(base + index)})
+                wal.commit()
+
+        for base in range(0, 800, 100):
+            threads.append(threading.Thread(target=hammer, args=(base,)))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        total = len(threads) * per_thread
+        assert wal.position == total
+        assert wal.durable_position == total
+        assert wal.fsyncs < total  # at least one flush covered >1 entry
+        assert wal.max_group >= 2
+        assert len(wal.entries_after(0)) == total
+        wal.close()
+
+    def test_closed_journal_rejects_appends(self, tmp_path):
+        wal = FileJournal(tmp_path)
+        wal.close()
+        with pytest.raises(StateError):
+            wal.append("advance", {"now": 1.0})
+
+
+class TestCheckpointing:
+    def test_checkpoint_embeds_journal_seq_and_prunes(self, tmp_path):
+        broker = fig8_broker()
+        wal = FileJournal(tmp_path, segment_bytes=128)
+        service = BrokerService(broker, workers=1, shards=2, wal=wal)
+        with service:
+            for index in range(8):
+                reply = service.request(
+                    f"f{index}", SPEC, 2.44, "I1", "E1",
+                    now=float(index),
+                )
+                assert reply.status == "ok"
+        rotated_before = len(wal_segments(tmp_path))
+        assert rotated_before > 1
+        path = write_checkpoint(tmp_path, broker, wal)
+        data = json.loads(open(path).read())
+        assert data["journal_seq"] == wal.position
+        assert os.path.basename(path) == (
+            f"checkpoint-{wal.position:016d}.json"
+        )
+        # Rotated segments wholly covered by the checkpoint are gone.
+        assert len(wal_segments(tmp_path)) < rotated_before
+        wal.close()
+
+    def test_checkpoint_write_is_atomic(self, tmp_path):
+        broker = fig8_broker()
+        path = write_checkpoint(tmp_path, broker)
+        assert not os.path.exists(path + ".tmp")
+        assert json.loads(open(path).read())["version"] >= 2
+
+
+class TestRecovery:
+    def drive(self, service, count, *, start=0, cls_every=4):
+        """Sequential acknowledged operations through the service."""
+        admitted = []
+        for offset in range(count):
+            index = start + offset
+            use_class = cls_every and index % cls_every == 0
+            reply = service.request(
+                f"f{index}", SPEC,
+                0.0 if use_class else 2.44,
+                "I1", "E1",
+                service_class="gold" if use_class else "",
+                now=float(index) * 10.0,
+            )
+            assert reply.status == "ok"
+            if reply.admitted:
+                admitted.append(f"f{index}")
+            if len(admitted) > 4:
+                down = service.teardown(
+                    admitted.pop(0), now=float(index) * 10.0 + 5.0
+                )
+                assert down.status == "ok"
+        return admitted
+
+    def test_recover_replays_suffix_after_checkpoint(self, tmp_path):
+        broker = fig8_broker()
+        wal = FileJournal(tmp_path)
+        with BrokerService(broker, workers=1, shards=2, wal=wal) as svc:
+            self.drive(svc, 10)
+        write_checkpoint(tmp_path, broker, wal)
+        marker = wal.position
+        with BrokerService(broker, workers=1, shards=2, wal=wal) as svc:
+            self.drive(svc, 10, start=10)
+        wal.close()
+
+        report = recover_broker(tmp_path)
+        assert report.checkpoint_seq == marker
+        assert report.applied == wal.position - marker
+        assert report.skipped == 0
+        assert not report.torn_tail
+        assert canonical(report.broker) == canonical(broker)
+
+    def test_kill_mid_write_recovers_bit_identical(self, tmp_path):
+        """The acceptance-criterion fault injection: truncate the
+        journal mid-record (a crash tearing the write of an operation
+        that was never acknowledged) and recover.  The recovered
+        broker's checkpoint must be byte-identical to a survivor that
+        executed exactly the durably-acknowledged prefix, and its next
+        decisions must match."""
+        broker = fig8_broker()
+        wal = FileJournal(tmp_path)
+        write_checkpoint(tmp_path, broker, wal)  # seq-0 topology anchor
+        with BrokerService(broker, workers=1, shards=2, wal=wal) as svc:
+            self.drive(svc, 16)
+        wal.close()
+
+        # Survivor: a twin that executes only the acknowledged prefix —
+        # all entries minus the final one, which the "crash" tears.
+        entries = read_journal(tmp_path).entries
+        survivor_report = recover_broker(
+            tmp_path, broker_factory=fig8_broker
+        )
+        assert canonical(survivor_report.broker) == canonical(broker)
+
+        path = os.path.join(tmp_path, wal_segments(tmp_path)[-1])
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size - 7)  # tear the final record
+
+        with pytest.warns(RuntimeWarning):
+            report = recover_broker(tmp_path)
+        assert report.torn_tail
+        assert report.last_seq == entries[-1].seq - 1
+
+        # Bit-identity for the durably-acknowledged prefix: rebuild the
+        # same prefix on a fresh twin and compare canonical bytes.
+        twin = fig8_broker()
+        from repro.core.journal import replay
+        replay(twin, entries[:-1])
+        assert canonical(report.broker) == canonical(twin)
+
+        # And the recovered broker's *subsequent* decisions are
+        # bit-identical to the twin's.
+        d1 = report.broker.request_service(
+            "probe", SPEC, 2.44, "I1", "E1", now=1000.0
+        )
+        d2 = twin.request_service(
+            "probe", SPEC, 2.44, "I1", "E1", now=1000.0
+        )
+        assert (d1.admitted, d1.rate, d1.delay) == (
+            d2.admitted, d2.rate, d2.delay
+        )
+
+    def test_recover_skips_corrupt_checkpoint(self, tmp_path):
+        broker = fig8_broker()
+        wal = FileJournal(tmp_path)
+        write_checkpoint(tmp_path, broker, wal)
+        with BrokerService(broker, workers=1, shards=2, wal=wal) as svc:
+            self.drive(svc, 6)
+        good_seq = wal.position
+        write_checkpoint(tmp_path, broker, wal)
+        with BrokerService(broker, workers=1, shards=2, wal=wal) as svc:
+            self.drive(svc, 4, start=6)
+        wal.close()
+        # A newer checkpoint arrives torn (crash mid-rename window is
+        # impossible, but disk corruption afterwards is not).
+        bogus = os.path.join(
+            tmp_path, f"checkpoint-{wal.position:016d}.json"
+        )
+        with open(bogus, "w") as handle:
+            handle.write('{"version": 2, "journal_seq": ')
+
+        with pytest.warns(RuntimeWarning, match="unusable checkpoint"):
+            report = recover_broker(tmp_path)
+        assert report.checkpoint_seq == good_seq
+        assert canonical(report.broker) == canonical(broker)
+
+    def test_recover_without_checkpoint_needs_factory(self, tmp_path):
+        wal = FileJournal(tmp_path)
+        wal.append("advance", {"now": 1.0})
+        wal.commit()
+        wal.close()
+        with pytest.raises(StateError, match="no usable checkpoint"):
+            recover_broker(tmp_path)
+        report = recover_broker(tmp_path, broker_factory=fig8_broker)
+        assert report.applied == 1 and report.checkpoint_path is None
+
+    def test_recover_reports_skipped_entries(self, tmp_path):
+        """Recovery surfaces replayed-but-raising entries (the failed
+        terminate the write-ahead discipline records) instead of
+        silently counting them applied."""
+        broker = fig8_broker()
+        wal = FileJournal(tmp_path)
+        write_checkpoint(tmp_path, broker, wal)
+        with BrokerService(broker, workers=1, shards=2, wal=wal) as svc:
+            reply = svc.request("f0", SPEC, 2.44, "I1", "E1", now=1.0)
+            assert reply.admitted
+        # A terminate that raises *inside the broker*, after the
+        # write-ahead append: inject directly, as the service's
+        # pre-check would answer ERROR without journaling.
+        wal.append("terminate", {"flow_id": "ghost", "now": 2.0})
+        wal.commit()
+        wal.close()
+        report = recover_broker(tmp_path)
+        assert (report.applied, report.skipped) == (1, 1)
+        assert canonical(report.broker) == canonical(broker)
+
+
+class TestConcurrentDurability:
+    def test_concurrent_service_recovers_identically(self, tmp_path):
+        """Multi-worker, multi-client run over disjoint paths with the
+        WAL attached: every acknowledged reply is durable, and
+        recovery replays the journal to the same aggregate state the
+        primary reached (canonical comparison — MIB insertion order
+        may differ between a concurrent primary and its replay)."""
+        broker = BandwidthBroker()
+        pinned = provision_parallel_paths(broker, paths=4)
+        wal = FileJournal(tmp_path)
+
+        def factory() -> BandwidthBroker:
+            twin = BandwidthBroker()
+            provision_parallel_paths(twin, paths=4)
+            return twin
+
+        write_checkpoint(tmp_path, broker, wal)
+        errors = []
+
+        def client(index: int) -> None:
+            nodes = pinned[index % len(pinned)]
+            for iteration in range(12):
+                flow_id = f"c{index}-r{iteration}"
+                reply = service.request(
+                    flow_id, SPEC, 2.44, nodes[0], nodes[-1],
+                    path_nodes=nodes, now=float(iteration),
+                )
+                if reply.status != "ok":
+                    errors.append(reply)
+                    continue
+                if reply.admitted and iteration % 2 == 0:
+                    down = service.teardown(
+                        flow_id, now=float(iteration) + 0.5
+                    )
+                    if down.status != "ok":
+                        errors.append(down)
+
+        with BrokerService(broker, workers=4, shards=4, wal=wal) as service:
+            threads = [
+                threading.Thread(target=client, args=(index,))
+                for index in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        wal.close()
+        assert not errors
+
+        report = recover_broker(tmp_path, broker_factory=factory)
+        assert report.skipped == 0
+        assert canonical(report.broker) == canonical(broker)
+        stats_a = broker.stats()
+        stats_b = report.broker.stats()
+        assert stats_a.active_flows == stats_b.active_flows
+        assert stats_a.qos_state_entries == stats_b.qos_state_entries
+
+    def test_every_acknowledged_reply_is_durable(self, tmp_path):
+        """The write-ahead contract under concurrency: at any moment,
+        every flow whose admit was acknowledged `ok` has its journal
+        entry already durable (replay reaches it)."""
+        broker = BandwidthBroker()
+        pinned = provision_parallel_paths(broker, paths=2)
+        wal = FileJournal(tmp_path)
+        acknowledged = []
+        with BrokerService(broker, workers=2, shards=2, wal=wal) as svc:
+            for index in range(10):
+                nodes = pinned[index % 2]
+                reply = svc.request(
+                    f"f{index}", SPEC, 2.44, nodes[0], nodes[-1],
+                    path_nodes=nodes, now=float(index),
+                )
+                if reply.status == "ok":
+                    acknowledged.append(f"f{index}")
+                    # Submissions are sequential here, so by the time
+                    # the Nth reply resolves, at least N entries must
+                    # already be durable — replies never outrun fsync.
+                    assert wal.durable_position >= len(acknowledged), (
+                        "reply resolved before its entry was committed"
+                    )
+        wal.close()
+        journaled = {
+            entry.payload["flow_id"]
+            for entry in read_journal(tmp_path).entries
+            if entry.kind == "request"
+        }
+        assert set(acknowledged) <= journaled

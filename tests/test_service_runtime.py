@@ -10,6 +10,8 @@ honoured, errors become error replies, and the stats reconcile.
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro.core.admission import RejectionReason
@@ -22,6 +24,7 @@ from repro.service import (
     OK,
     SHED,
     BrokerService,
+    FileJournal,
     ServiceRequest,
 )
 from repro.workloads.profiles import flow_type
@@ -67,6 +70,23 @@ class TestLifecycle:
             )
         assert reply.admitted
         assert broker.stats().macroflows == 1
+
+    def test_advance_serializes_through_the_queue(self, broker):
+        """``advance`` is a first-class queued op: it runs under all
+        shard locks (and, with a WAL, is journaled) rather than
+        mutating the broker behind the workers' backs."""
+        with BrokerService(broker, workers=2, shards=4) as service:
+            reply = service.request(
+                "g1", SPEC, 0.0, "I1", "E1",
+                service_class="gold", now=10.0,
+            )
+            assert reply.admitted
+            assert service.teardown("g1", now=20.0).status == OK
+            assert broker.stats().qos_state_entries > 0
+            advanced = service.advance(1e9)
+            assert advanced.status == OK
+            assert advanced.decision is None
+            assert broker.stats().qos_state_entries == 0
 
     def test_submit_when_stopped_raises(self, broker):
         service = BrokerService(broker, workers=1)
@@ -218,6 +238,53 @@ class TestBatching:
         assert stats.batched_requests == 10
         assert max(reply.batch_size for reply in replies) == stats.max_batch
 
+    def test_mixed_now_requests_keep_their_own_clock(self, broker):
+        """Regression: ``batch_key`` used to omit ``request.now``, so
+        a burst of same-spec requests with *different* domain clocks
+        coalesced into one batch and every flow was bookkept at the
+        head request's ``now`` — replay would then diverge from the
+        live run.  Each flow must be admitted at its own clock, and
+        the batched trace must match its sequential execution."""
+        nows = [float(index) * 7.0 for index in range(8)]
+        with BrokerService(broker, workers=1, shards=2, batch_limit=16,
+                           edge_rtt=0.02) as service:
+            pendings = [
+                service.submit(admit_request(f"f{index}", now=now))
+                for index, now in enumerate(nows)
+            ]
+            replies = [pending.wait(10.0) for pending in pendings]
+        assert all(reply.admitted for reply in replies)
+        for index, now in enumerate(nows):
+            record = broker.flow_mib.get(f"f{index}")
+            assert record.admitted_at == now
+
+        # Sequential twin: the same trace executed one-by-one on a
+        # fresh broker lands on identical per-flow state.
+        twin = BandwidthBroker()
+        fig8_domain(SchedulerSetting.RATE_ONLY).provision_broker(twin)
+        for index, now in enumerate(nows):
+            decision = twin.request_service(
+                f"f{index}", SPEC, 2.44, "I1", "E1", now=now
+            )
+            assert decision.admitted
+            assert twin.flow_mib.get(f"f{index}").admitted_at == (
+                broker.flow_mib.get(f"f{index}").admitted_at
+            )
+
+    def test_same_now_requests_still_coalesce(self, broker):
+        """The clock fix must not cost the batching win: identical
+        ``now`` values still share a batch."""
+        with BrokerService(broker, workers=1, shards=2, batch_limit=16,
+                           edge_rtt=0.02) as service:
+            pendings = [
+                service.submit(admit_request(f"f{index}", now=5.0))
+                for index in range(8)
+            ]
+            for pending in pendings:
+                assert pending.wait(10.0).admitted
+            stats = service.stats()
+        assert stats.max_batch >= 2
+
     def test_mixed_keys_all_get_served(self, broker):
         with BrokerService(broker, workers=2, shards=4, batch_limit=8,
                            edge_rtt=0.005) as service:
@@ -252,6 +319,33 @@ class TestBusEndpoint:
         assert counts["FlowServiceRequest"] == 1
         assert counts["FlowTeardown"] == 1
 
+    def test_bus_messages_carry_domain_clock(self, broker):
+        """Regression: the bus endpoint used to drop the domain clock
+        — every bus-admitted flow was bookkept at ``now=0.0``.  Both
+        message types must thread ``now`` through to the broker."""
+        with BrokerService(broker, workers=1, shards=2) as service:
+            service.attach_to_bus()
+            reply = broker.bus.send(FlowServiceRequest(
+                sender="I1", receiver="bb-service", flow_id="g1",
+                spec=SPEC, delay_requirement=0.0, egress="E1",
+                service_class="gold", now=42.0,
+            ))
+            assert reply.admitted
+            assert broker.flow_mib.get("g1").admitted_at == 42.0
+            broker.bus.send(FlowTeardown(
+                sender="I1", receiver="bb-service", flow_id="g1",
+                now=2e6,
+            ))
+        # The teardown's clock anchors the Theorem-3 contingency
+        # period.  Had the bus dropped it (now=0.0), the entry would
+        # already be expired at t=1e6; anchored at 2e6 it must still
+        # hold there and release only far later.
+        assert broker.stats().qos_state_entries > 0
+        broker.advance(1e6)
+        assert broker.stats().qos_state_entries > 0
+        broker.advance(1e9)
+        assert broker.stats().qos_state_entries == 0
+
     def test_teardown_of_unknown_flow_raises_on_bus(self, broker):
         with BrokerService(broker, workers=1, shards=2) as service:
             service.attach_to_bus(name="svc")
@@ -282,6 +376,74 @@ class TestStats:
         assert payload["workers"] == 2
         assert payload["p50_ms"] == pytest.approx(stats.p50_ms, abs=5e-4)
         assert payload["shard_contention"] == list(stats.shard_contention)
+
+    def test_submit_accounting_never_outrun_by_workers(self, broker):
+        """Regression hammer for the stats race: ``submit`` used to
+        bump ``submitted`` *after* releasing the queue lock, so a fast
+        worker could complete the job first and a concurrent snapshot
+        observed ``completed > submitted`` — the reconciliation
+        identity transiently went negative.  Counters now move before
+        the job becomes visible, so at every concurrent sample the
+        lock-atomic side of the identity holds:
+        ``completed + shed + expired <= submitted``."""
+        violations = []
+        stop = threading.Event()
+
+        def observer() -> None:
+            while not stop.is_set():
+                stats = service.stats()
+                drained = stats.completed + stats.shed + stats.expired
+                if drained > stats.submitted:
+                    violations.append(stats)
+
+        def client(base: int) -> None:
+            for index in range(40):
+                service.request(
+                    f"h{base}-{index}", SPEC, 2.44, "I1", "E1"
+                )
+                service.teardown(f"h{base}-{index}")
+
+        with BrokerService(broker, workers=4, shards=4,
+                           queue_limit=16) as service:
+            threads = [threading.Thread(target=observer)
+                       for _ in range(2)]
+            threads += [threading.Thread(target=client, args=(base,))
+                        for base in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads[2:]:
+                thread.join()
+            stop.set()
+            for thread in threads[:2]:
+                thread.join()
+            final = service.stats()
+        assert not violations
+        # Quiesced, the full identity is exact.
+        assert final.queue_depth == 0
+        assert final.submitted == (
+            final.completed + final.shed + final.expired
+        )
+
+    def test_wal_counters_surface_in_stats(self, broker, tmp_path):
+        wal = FileJournal(tmp_path)
+        with BrokerService(broker, workers=2, shards=4,
+                           wal=wal) as service:
+            for index in range(6):
+                service.request(f"f{index}", SPEC, 2.44, "I1", "E1",
+                                now=float(index))
+            stats = service.stats()
+        wal.close()
+        assert stats.wal_appends >= 6
+        assert 1 <= stats.wal_fsyncs <= stats.wal_appends
+        assert stats.wal_max_group >= 1
+        assert stats.wal_mean_group == pytest.approx(
+            stats.wal_appends / stats.wal_fsyncs
+        )
+        payload = stats.as_dict()
+        assert payload["wal_appends"] == stats.wal_appends
+        assert payload["wal_mean_group"] == pytest.approx(
+            stats.wal_mean_group, abs=5e-4
+        )
 
     def test_mean_batch_property(self, broker):
         with BrokerService(broker, workers=1, shards=2,
