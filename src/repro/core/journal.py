@@ -62,21 +62,34 @@ def request_payload(flow_id: str, spec: TSpec, delay_requirement: float,
 
 @dataclass(frozen=True)
 class JournalEntry:
-    """One recorded control operation."""
+    """One recorded control operation.
+
+    :param epoch: the primary **epoch** under which the entry was
+        written (0 for an unreplicated broker).  Replication stamps a
+        monotonically increasing epoch into every shipped record so a
+        demoted primary's stale writes can be fenced off by followers
+        (:mod:`repro.service.replication`); replay ignores it — the
+        decision inputs are ``kind``/``payload`` alone.
+    """
 
     seq: int
     kind: str  # "request" | "terminate" | "advance"
     payload: Dict[str, Any]
+    epoch: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-compatible representation."""
-        return {"seq": self.seq, "kind": self.kind, "payload": self.payload}
+        return {
+            "seq": self.seq, "kind": self.kind, "payload": self.payload,
+            "epoch": self.epoch,
+        }
 
     @staticmethod
     def from_dict(data: Dict[str, Any]) -> "JournalEntry":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict` (pre-epoch records read as 0)."""
         return JournalEntry(
-            seq=data["seq"], kind=data["kind"], payload=data["payload"]
+            seq=data["seq"], kind=data["kind"], payload=data["payload"],
+            epoch=int(data.get("epoch", 0)),
         )
 
 

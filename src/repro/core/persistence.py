@@ -36,9 +36,12 @@ __all__ = ["checkpoint_broker", "restore_broker", "CHECKPOINT_VERSION"]
 
 #: Version 2 added ``journal_seq`` — the decision-journal position at
 #: checkpoint time, so recovery knows exactly which journal suffix to
-#: replay.  Version-1 checkpoints (no position) still restore, with
-#: ``journal_seq`` taken as 0.
-CHECKPOINT_VERSION = 2
+#: replay.  Version 3 added ``epoch`` — the replication fencing term
+#: (:mod:`repro.service.replication`): a promoted standby checkpoints
+#: under a strictly higher epoch, so any state restored from disk
+#: knows which primary generation wrote it.  Older checkpoints still
+#: restore, with the missing fields taken as 0.
+CHECKPOINT_VERSION = 3
 
 
 def _tspec_to_dict(spec: TSpec) -> Dict[str, float]:
@@ -58,7 +61,8 @@ def _tspec_from_dict(data: Dict[str, float]) -> TSpec:
 
 
 def checkpoint_broker(broker: BandwidthBroker, *,
-                      journal_seq: int = 0) -> Dict[str, Any]:
+                      journal_seq: int = 0,
+                      epoch: int = 0) -> Dict[str, Any]:
     """Serialize the broker's full control-plane state.
 
     The result contains only JSON-compatible types (dicts, lists,
@@ -69,6 +73,9 @@ def checkpoint_broker(broker: BandwidthBroker, *,
         ``seq <= journal_seq`` is already reflected in the state).
         Recovery replays only entries after it; checkpointing also
         lets the journal prune segments at or before it.
+    :param epoch: the replication epoch this state was written under
+        (0 for an unreplicated broker); recovery reports it so a
+        promoted standby resumes above every epoch it has seen.
     """
     links = [
         {
@@ -135,6 +142,7 @@ def checkpoint_broker(broker: BandwidthBroker, *,
     return {
         "version": CHECKPOINT_VERSION,
         "journal_seq": int(journal_seq),
+        "epoch": int(epoch),
         "contingency_method": broker.aggregate.method.value,
         "links": links,
         "paths": paths,
@@ -155,7 +163,7 @@ def restore_broker(
     construction.
     """
     version = data.get("version")
-    if version not in (1, CHECKPOINT_VERSION):
+    if version not in (1, 2, CHECKPOINT_VERSION):
         raise StateError(
             f"unsupported checkpoint version {version!r} "
             f"(expected <= {CHECKPOINT_VERSION})"

@@ -10,7 +10,10 @@ locking so disjoint paths admit in parallel
 amortizes the schedulability scan across coalesced arrivals
 (:mod:`repro.service.batching`), a durable write-ahead journal with
 group commit and crash recovery
-(:mod:`repro.service.durability`), and a closed-loop load driver for
+(:mod:`repro.service.durability`), WAL log-shipping replication to
+hot-standby brokers with fenced failover and read replicas
+(:mod:`repro.service.replication` over
+:mod:`repro.service.transport`), and a closed-loop load driver for
 throughput studies (:mod:`repro.service.loadgen`); see
 ``docs/SERVICE.md`` for the architecture sketch and knobs.
 """
@@ -30,6 +33,17 @@ from repro.service.loadgen import (
     provision_parallel_paths,
     run_closed_loop,
 )
+from repro.service.replication import (
+    ASYNC,
+    REPLICATION_MODES,
+    SEMI_SYNC,
+    SYNC,
+    FollowerStatus,
+    PromotionReport,
+    ReplicaServer,
+    ReplicationHub,
+    promote_directory,
+)
 from repro.service.runtime import (
     ERROR,
     EXPIRED,
@@ -42,6 +56,14 @@ from repro.service.runtime import (
 )
 from repro.service.shards import LinkShards
 from repro.service.stats import ServiceStats, StatsRecorder
+from repro.service.transport import (
+    PipeConnection,
+    TcpConnection,
+    TcpListener,
+    TransportClosed,
+    connect_tcp,
+    pipe_pair,
+)
 
 __all__ = [
     "AdmissionBatcher",
@@ -67,4 +89,19 @@ __all__ = [
     "SHED",
     "EXPIRED",
     "ERROR",
+    "ASYNC",
+    "SEMI_SYNC",
+    "SYNC",
+    "REPLICATION_MODES",
+    "FollowerStatus",
+    "PromotionReport",
+    "ReplicaServer",
+    "ReplicationHub",
+    "promote_directory",
+    "PipeConnection",
+    "TcpConnection",
+    "TcpListener",
+    "TransportClosed",
+    "connect_tcp",
+    "pipe_pair",
 ]

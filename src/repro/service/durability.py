@@ -80,6 +80,24 @@ _CHECKPOINT_PREFIX = "checkpoint-"
 _CHECKPOINT_SUFFIX = ".json"
 
 
+def _fsync_dir(directory: str) -> None:
+    """Flush a directory's entries (file creations/renames) to disk.
+
+    An ``fsync`` on a file makes its *contents* durable but not the
+    directory entry pointing at it — a crash right after segment
+    rotation or a checkpoint rename could otherwise lose the new
+    name.  Directory file descriptors are a POSIX notion; on other
+    platforms this is a no-op.
+    """
+    if os.name != "posix":  # pragma: no cover - platform dependent
+        return
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
 def _segment_name(first_seq: int) -> str:
     return f"{_SEGMENT_PREFIX}{first_seq:016d}{_SEGMENT_SUFFIX}"
 
@@ -269,12 +287,23 @@ class FileJournal:
         self._next_seq = last + 1
         self._written_seq = last
         self._synced_seq = last
+        # Resume the highest epoch any record on disk was written
+        # under; new appends are stamped with it until set_epoch.
+        self._epoch = max(
+            (entry.epoch for entry in scan.entries), default=0
+        )
         segments = _list_segments(self.directory)
         if segments:
             path = segments[-1][1]
+            fresh = False
         else:
             path = os.path.join(self.directory, _segment_name(self._next_seq))
+            fresh = True
         self._file = open(path, "ab")
+        if fresh and self.use_fsync:
+            # The first segment's directory entry must survive a crash
+            # just like a rotated one's (see _flush).
+            _fsync_dir(self.directory)
 
     # ------------------------------------------------------------------
     # writing
@@ -283,27 +312,59 @@ class FileJournal:
     def append(self, kind: str, payload: Dict[str, Any]) -> JournalEntry:
         """Buffer one entry into the active segment (no fsync).
 
-        The entry is durable only after a subsequent :meth:`commit`
-        returns — callers must not acknowledge the operation before
-        that.
+        The entry is stamped with the journal's current epoch.  It is
+        durable only after a subsequent :meth:`commit` returns —
+        callers must not acknowledge the operation before that.
         """
         with self._io:
-            if self._file is None:
-                raise StateError("journal is closed")
-            seq = self._next_seq
-            entry = JournalEntry(seq=seq, kind=kind, payload=payload)
-            blob = json.dumps(
-                entry.to_dict(), separators=(",", ":")
-            ).encode("utf-8")
-            self._file.write(_HEADER.pack(len(blob), zlib.crc32(blob)))
-            self._file.write(blob)
-            # Push into the OS buffer now, so the leader's fsync (which
-            # runs without _io) covers this entry.
-            self._file.flush()
-            self._next_seq = seq + 1
-            self._written_seq = seq
-            self.appends += 1
+            entry = JournalEntry(
+                seq=self._next_seq, kind=kind, payload=payload,
+                epoch=self._epoch,
+            )
+            self._write_record(entry)
         return entry
+
+    def append_entry(self, entry: JournalEntry) -> JournalEntry:
+        """Append a pre-sequenced entry verbatim (log shipping).
+
+        A replica persists the records its primary ships *unchanged* —
+        same sequence number, same epoch — so the replica's journal is
+        byte-for-byte replayable like the primary's.  The sequence
+        must continue the local journal (gaps mean shipped records
+        were lost).  A record's epoch is *provenance*, not a fence: a
+        just-promoted primary legitimately ships history written under
+        older epochs, so entries below the journal's stamped epoch are
+        accepted verbatim while newer ones raise the stamp — fencing
+        stale *primaries* is the replication frame protocol's job
+        (:mod:`repro.service.replication`), enforced per frame before
+        any of its records reach this method.
+        """
+        with self._io:
+            if entry.seq != self._next_seq:
+                raise StateError(
+                    f"shipped entry {entry.seq} does not continue the "
+                    f"journal (expected {self._next_seq})"
+                )
+            self._write_record(entry)
+            if entry.epoch > self._epoch:
+                self._epoch = entry.epoch
+        return entry
+
+    def _write_record(self, entry: JournalEntry) -> None:
+        """Write one framed record (caller holds ``_io``)."""
+        if self._file is None:
+            raise StateError("journal is closed")
+        blob = json.dumps(
+            entry.to_dict(), separators=(",", ":")
+        ).encode("utf-8")
+        self._file.write(_HEADER.pack(len(blob), zlib.crc32(blob)))
+        self._file.write(blob)
+        # Push into the OS buffer now, so the leader's fsync (which
+        # runs without _io) covers this entry.
+        self._file.flush()
+        self._next_seq = entry.seq + 1
+        self._written_seq = entry.seq
+        self.appends += 1
 
     def commit(self, upto: Optional[int] = None) -> int:
         """Make every entry up to *upto* (default: all appended so
@@ -360,6 +421,11 @@ class FileJournal:
                     ),
                     "ab",
                 )
+                if self.use_fsync:
+                    # Make the new segment's directory entry durable:
+                    # a crash right after rotation must not lose the
+                    # name the next records land under.
+                    _fsync_dir(self.directory)
         return cover
 
     # ------------------------------------------------------------------
@@ -378,6 +444,26 @@ class FileJournal:
         with self._sync:
             return self._synced_seq
 
+    @property
+    def epoch(self) -> int:
+        """The epoch stamped into newly appended entries."""
+        with self._io:
+            return self._epoch
+
+    def set_epoch(self, epoch: int) -> int:
+        """Raise the journal's epoch (promotion fencing).
+
+        Epochs are monotonic: attempting to lower one raises
+        :class:`~repro.errors.StateError`.  Returns the new epoch.
+        """
+        with self._io:
+            if epoch < self._epoch:
+                raise StateError(
+                    f"epoch may not regress: {epoch} < {self._epoch}"
+                )
+            self._epoch = int(epoch)
+            return self._epoch
+
     def entries_after(self, seq: int) -> List[JournalEntry]:
         """All on-disk entries recorded after sequence number *seq*."""
         return [
@@ -385,6 +471,51 @@ class FileJournal:
             for entry in read_journal(self.directory).entries
             if entry.seq > seq
         ]
+
+    def read_durable(self, after_seq: int,
+                     limit: Optional[int] = None) -> List[JournalEntry]:
+        """The shippable suffix: durable entries in
+        ``(after_seq, durable_position]``, oldest first.
+
+        This is the replication read path, so it is engineered to run
+        concurrently with appends: the segment covering ``after_seq``
+        is located by *name* (no scan of earlier segments), a torn
+        record at the active segment's tail is an in-flight append —
+        not damage — and is simply not yielded, and nothing past the
+        last completed flush is returned (an entry is shippable only
+        once the group commit covering it made it crash-safe locally).
+        """
+        upto = self.durable_position
+        if upto <= after_seq:
+            return []
+        with self._io:
+            segments = _list_segments(self.directory)
+        start = 0
+        for index, (first_seq, _path) in enumerate(segments):
+            if first_seq <= after_seq + 1:
+                start = index
+            else:
+                break
+        shippable: List[JournalEntry] = []
+        for first_seq, path in segments[start:]:
+            if first_seq > upto:
+                break
+            try:
+                entries, _valid, _defect = _scan_segment(path)
+            except FileNotFoundError:
+                # Pruned between listing and open: those records are
+                # covered by a checkpoint; a follower that far behind
+                # must bootstrap from the checkpoint, not the stream.
+                continue
+            for entry in entries:
+                if entry.seq <= after_seq:
+                    continue
+                if entry.seq > upto:
+                    return shippable
+                shippable.append(entry)
+                if limit is not None and len(shippable) >= limit:
+                    return shippable
+        return shippable
 
     # ------------------------------------------------------------------
     # maintenance
@@ -427,13 +558,16 @@ class FileJournal:
 
 
 def write_checkpoint(directory, broker: BandwidthBroker,
-                     journal: Optional[FileJournal] = None) -> str:
+                     journal: Optional[FileJournal] = None, *,
+                     epoch: Optional[int] = None) -> str:
     """Atomically persist a checkpoint of *broker* into *directory*.
 
     The checkpoint embeds the journal position it is consistent with
     (``journal.position`` after a final group commit; 0 without a
-    journal), is written via temp-file + rename so a crash mid-write
-    can never leave a half checkpoint under a valid name, and finally
+    journal) and the replication epoch (the journal's unless *epoch*
+    overrides it), is written via temp-file + rename + a directory
+    fsync so a crash mid-write can never leave a half checkpoint under
+    a valid name — nor lose the renamed entry itself — and finally
     prunes journal segments the checkpoint makes redundant.  Returns
     the checkpoint path.
 
@@ -446,7 +580,9 @@ def write_checkpoint(directory, broker: BandwidthBroker,
     seq = 0
     if journal is not None:
         seq = journal.commit()
-    data = checkpoint_broker(broker, journal_seq=seq)
+    if epoch is None:
+        epoch = journal.epoch if journal is not None else 0
+    data = checkpoint_broker(broker, journal_seq=seq, epoch=epoch)
     path = os.path.join(directory, _checkpoint_name(seq))
     tmp_path = path + ".tmp"
     with open(tmp_path, "w", encoding="utf-8") as handle:
@@ -454,6 +590,7 @@ def write_checkpoint(directory, broker: BandwidthBroker,
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(tmp_path, path)
+    _fsync_dir(directory)
     if journal is not None:
         journal.prune(seq)
     return path
@@ -475,6 +612,9 @@ class RecoveryReport:
         acknowledged).
     :param last_seq: sequence number of the last replayed entry
         (``checkpoint_seq`` when the suffix was empty).
+    :param epoch: the highest replication epoch seen in the restored
+        checkpoint or any replayed record — a promotion must fence
+        *above* this.
     """
 
     broker: BandwidthBroker
@@ -484,6 +624,7 @@ class RecoveryReport:
     skipped: int
     torn_tail: bool
     last_seq: int
+    epoch: int = 0
 
 
 def recover_broker(
@@ -513,12 +654,18 @@ def recover_broker(
     broker: Optional[BandwidthBroker] = None
     checkpoint_path: Optional[str] = None
     checkpoint_seq = 0
+    checkpoint_epoch = 0
     for seq, path in reversed(_list_checkpoints(directory)):
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 data = json.load(handle)
             broker = restore_broker(data, policy=policy)
-        except (OSError, ValueError, KeyError, StateError) as exc:
+        # TypeError/AttributeError cover structurally mangled
+        # checkpoints that *parse* as JSON (wrong shapes, nulls where
+        # dicts belong): the newest checkpoint being garbage must mean
+        # falling back to an older one, never a failed recovery.
+        except (OSError, ValueError, KeyError, TypeError,
+                AttributeError, StateError) as exc:
             warnings.warn(
                 f"skipping unusable checkpoint "
                 f"{os.path.basename(path)!r}: {exc}",
@@ -528,6 +675,7 @@ def recover_broker(
             continue
         checkpoint_path = path
         checkpoint_seq = int(data.get("journal_seq", seq))
+        checkpoint_epoch = int(data.get("epoch", 0))
         break
     if broker is None:
         if broker_factory is None:
@@ -548,4 +696,8 @@ def recover_broker(
         skipped=skipped,
         torn_tail=scan.torn_tail,
         last_seq=suffix[-1].seq if suffix else checkpoint_seq,
+        epoch=max(
+            [checkpoint_epoch]
+            + [entry.epoch for entry in scan.entries]
+        ),
     )

@@ -58,7 +58,14 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Deque,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.core.admission import AdmissionDecision, RejectionReason
 from repro.core.broker import BandwidthBroker
@@ -75,6 +82,9 @@ from repro.service.durability import FileJournal
 from repro.service.shards import LinkShards
 from repro.service.stats import ServiceStats, StatsRecorder
 from repro.traffic.spec import TSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.service.replication import ReplicationHub
 
 __all__ = [
     "ServiceRequest",
@@ -212,6 +222,17 @@ class BrokerService:
         covering the entry returns.  One fsync covers the whole batch
         plus whatever other workers appended meanwhile — durability is
         amortized exactly like admission batching.
+    :param replicator: optional
+        :class:`~repro.service.replication.ReplicationHub` over the
+        same ``wal`` (which is then required) — after each group
+        commit the service wakes the hub's shipping threads and blocks
+        on the hub's mode gate (``sync``/``semi-sync``/``async``)
+        before resolving the group's replies, so an acknowledged
+        operation carries the configured replication guarantee.  A
+        gate failure (ack timeout, or the primary was fenced by a
+        newer epoch) turns the whole group into ``ERROR`` replies —
+        clients are never told "admitted" for an operation whose
+        guarantee does not hold.
 
     Use as a context manager, or call :meth:`start`/:meth:`stop`.
     The broker must not be driven concurrently through its
@@ -229,11 +250,20 @@ class BrokerService:
         default_timeout: Optional[float] = None,
         edge_rtt: float = 0.0,
         wal: Optional[FileJournal] = None,
+        replicator: Optional["ReplicationHub"] = None,
     ) -> None:
         if workers < 1:
             raise StateError(f"need at least one worker, got {workers}")
         if queue_limit < 1:
             raise StateError(f"queue limit must be >= 1, got {queue_limit}")
+        if replicator is not None and wal is None:
+            raise StateError(
+                "a replicator requires the wal it ships (pass wal=)"
+            )
+        if replicator is not None and replicator.journal is not wal:
+            raise StateError(
+                "the replicator must ship this service's own wal"
+            )
         self.broker = broker
         self.workers = int(workers)
         self.queue_limit = int(queue_limit)
@@ -241,6 +271,7 @@ class BrokerService:
         self.default_timeout = default_timeout
         self.edge_rtt = float(edge_rtt)
         self.wal = wal
+        self.replicator = replicator
         self.shards = LinkShards(shards)
         self._batcher = AdmissionBatcher(broker)
         self._recorder = StatsRecorder()
@@ -288,7 +319,12 @@ class BrokerService:
             thread.join()
         self._threads = []
         if self.wal is not None:
-            self.wal.commit()
+            seq = self.wal.commit()
+            if self.replicator is not None:
+                # Final wake so idle shipping threads drain the tail;
+                # stop() does not block on acks (the hub's close/status
+                # is the caller's to manage).
+                self.replicator.publish(seq)
 
     def __enter__(self) -> "BrokerService":
         return self.start()
@@ -444,6 +480,21 @@ class BrokerService:
         with self._cond:
             depth = len(self._queue)
         acquisitions, contention = self.shards.counters()
+        followers: Tuple[Tuple[str, int, int, float, float], ...] = ()
+        epoch = 0
+        mode = ""
+        quorum = 0
+        if self.replicator is not None:
+            epoch = self.replicator.epoch
+            mode = self.replicator.mode
+            quorum = self.replicator.quorum
+            followers = tuple(
+                (f.name, f.acked_seq, f.lag_records, f.lag_seconds,
+                 f.ack_ms)
+                for f in self.replicator.status()
+            )
+        elif self.wal is not None:
+            epoch = self.wal.epoch
         return self._recorder.snapshot(
             workers=self.workers,
             shards=self.shards.num_shards,
@@ -456,6 +507,10 @@ class BrokerService:
             wal_max_group=(
                 self.wal.max_group if self.wal is not None else 0
             ),
+            epoch=epoch,
+            replication_mode=mode,
+            replication_quorum=quorum,
+            followers=followers,
         )
 
     # ------------------------------------------------------------------
@@ -546,7 +601,10 @@ class BrokerService:
             decisions = self._batcher.fan_out_rejection(
                 resolved, [job.request for job in jobs]
             )
-            self._commit_wal()
+            stall = self._commit_wal()
+            if stall is not None:
+                self._fail_group(jobs, stall)
+                return
             self._reply_all(jobs, decisions)
             return
         if resolved.service_class is not None:
@@ -583,8 +641,11 @@ class BrokerService:
         # overlaps other workers' admission math, and one flush covers
         # every entry queued since the last one.  Replies resolve only
         # after it returns — nothing is acknowledged before it is
-        # durable.
-        self._commit_wal()
+        # durable (and, with a replicator, replicated per its mode).
+        stall = self._commit_wal()
+        if stall is not None:
+            self._fail_group(jobs, stall)
+            return
         self._reply_all(jobs, decisions)
 
     def _serve_teardown(self, job: _Job) -> None:
@@ -613,7 +674,10 @@ class BrokerService:
             self._recorder.on_error(self._elapsed(job))
             self._finish(job, ERROR, None, detail=str(exc))
             return
-        self._commit_wal()
+        stall = self._commit_wal()
+        if stall is not None:
+            self._fail_group([job], stall)
+            return
         self._recorder.on_reply("done", self._elapsed(job))
         self._finish(job, OK, None)
 
@@ -630,9 +694,21 @@ class BrokerService:
             self._recorder.on_error(self._elapsed(job))
             self._finish(job, ERROR, None, detail=str(exc))
             return
-        self._commit_wal()
+        stall = self._commit_wal()
+        if stall is not None:
+            self._fail_group([job], stall)
+            return
         self._recorder.on_reply("done", self._elapsed(job))
         self._finish(job, OK, None)
+
+    def _fail_group(self, jobs: List[_Job], detail: str) -> None:
+        """Answer a whole group with ``ERROR`` replies (gate failure)."""
+        for job in jobs:
+            self._recorder.on_error(self._elapsed(job))
+            self._finish(job, ERROR, AdmissionDecision(
+                admitted=False, flow_id=job.request.flow_id,
+                detail=detail,
+            ) if job.request.op == "admit" else None, detail=detail)
 
     # ------------------------------------------------------------------
     # durability plumbing
@@ -655,10 +731,31 @@ class BrokerService:
                 now=request.now,
             ))
 
-    def _commit_wal(self) -> None:
-        """Group-commit everything journaled so far (no-op sans WAL)."""
-        if self.wal is not None:
-            self.wal.commit()
+    def _commit_wal(self) -> Optional[str]:
+        """Group-commit everything journaled so far (no-op sans WAL),
+        then hold the group to the replication guarantee.
+
+        Returns ``None`` on success, or an error detail when the
+        replication gate failed — the caller must then answer its
+        whole group with ``ERROR`` instead of the decisions, because
+        the operations are applied locally but their configured
+        guarantee (quorum/semi-sync ack, or simply "this primary is
+        still the primary") does not hold.  Never raises: a gate
+        failure must not kill the worker thread and strand the
+        batch's futures.
+        """
+        if self.wal is None:
+            return None
+        seq = self.wal.commit()
+        if self.replicator is None:
+            return None
+        try:
+            self.replicator.publish(seq)
+            self.replicator.wait_durable(seq)
+        except StateError as exc:
+            self._recorder.on_replication_stall()
+            return str(exc)
+        return None
 
     # ------------------------------------------------------------------
     # reply plumbing

@@ -71,6 +71,16 @@ class ServiceStats:
         ``wal_appends / wal_fsyncs`` is the mean group-commit size —
         the amortization the durable throughput grid measures.
     :param wal_max_group: largest number of entries one flush covered.
+    :param epoch: the primary's replication epoch (0 unreplicated).
+    :param replication_mode: ``async`` / ``semi-sync`` / ``sync``
+        ("" when the service runs without a replicator).
+    :param replication_quorum: follower acks required in ``sync`` mode.
+    :param replication_stalls: group commits whose replication gate
+        failed (ack timeout or fencing) — each turned its whole group
+        into ``ERROR`` replies.
+    :param followers: per-follower replication health at snapshot
+        time: ``(name, acked_seq, lag_records, lag_seconds, ack_ms)``
+        tuples, session order.
     """
 
     workers: int
@@ -94,6 +104,11 @@ class ServiceStats:
     wal_appends: int = 0
     wal_fsyncs: int = 0
     wal_max_group: int = 0
+    epoch: int = 0
+    replication_mode: str = ""
+    replication_quorum: int = 0
+    replication_stalls: int = 0
+    followers: Tuple[Tuple[str, int, int, float, float], ...] = ()
 
     @property
     def mean_batch(self) -> float:
@@ -109,6 +124,14 @@ class ServiceStats:
     def wal_mean_group(self) -> float:
         """Mean entries per journal flush (0.0 without a WAL)."""
         return self.wal_appends / self.wal_fsyncs if self.wal_fsyncs else 0.0
+
+    @property
+    def max_follower_lag(self) -> int:
+        """Records the slowest follower is behind (0 without one)."""
+        return max(
+            (lag for _name, _seq, lag, _s, _ms in self.followers),
+            default=0,
+        )
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-ready representation (used by the bench artifacts)."""
@@ -135,6 +158,21 @@ class ServiceStats:
             "wal_fsyncs": self.wal_fsyncs,
             "wal_mean_group": round(self.wal_mean_group, 3),
             "wal_max_group": self.wal_max_group,
+            "epoch": self.epoch,
+            "replication_mode": self.replication_mode,
+            "replication_quorum": self.replication_quorum,
+            "replication_stalls": self.replication_stalls,
+            "followers": [
+                {
+                    "name": name,
+                    "acked_seq": acked_seq,
+                    "lag_records": lag_records,
+                    "lag_seconds": round(lag_seconds, 3),
+                    "ack_ms": round(ack_ms, 3),
+                }
+                for name, acked_seq, lag_records, lag_seconds, ack_ms
+                in self.followers
+            ],
         }
 
 
@@ -157,6 +195,7 @@ class StatsRecorder:
         self.batches = 0
         self.batched_requests = 0
         self.max_batch = 0
+        self.replication_stalls = 0
         self._samples: Deque[float] = deque(maxlen=SAMPLE_WINDOW)
 
     def on_submit(self) -> None:
@@ -189,6 +228,11 @@ class StatsRecorder:
                 self.rejected += 1
             self._samples.append(service_time)
 
+    def on_replication_stall(self) -> None:
+        """A group commit's replication gate failed (timeout/fence)."""
+        with self._lock:
+            self.replication_stalls += 1
+
     def on_batch(self, size: int) -> None:
         with self._lock:
             self.batches += 1
@@ -208,6 +252,10 @@ class StatsRecorder:
         wal_appends: int = 0,
         wal_fsyncs: int = 0,
         wal_max_group: int = 0,
+        epoch: int = 0,
+        replication_mode: str = "",
+        replication_quorum: int = 0,
+        followers: Tuple[Tuple[str, int, int, float, float], ...] = (),
     ) -> ServiceStats:
         """A consistent :class:`ServiceStats` at this instant."""
         with self._lock:
@@ -234,4 +282,9 @@ class StatsRecorder:
                 wal_appends=wal_appends,
                 wal_fsyncs=wal_fsyncs,
                 wal_max_group=wal_max_group,
+                epoch=epoch,
+                replication_mode=replication_mode,
+                replication_quorum=replication_quorum,
+                replication_stalls=self.replication_stalls,
+                followers=followers,
             )

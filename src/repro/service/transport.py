@@ -1,0 +1,267 @@
+"""Replication transport: framed peer-to-peer frame exchange.
+
+The log-shipping protocol (:mod:`repro.service.replication`) is
+transport-agnostic: a primary's follower session and a replica's
+apply loop each hold one *connection* — an ordered, bidirectional
+channel of JSON-compatible **frames** (plain dicts) — and never care
+how the bytes move.  Two implementations are provided:
+
+* :func:`pipe_pair` — an in-process pipe (two mailboxes guarded by
+  condition variables).  Zero setup, deterministic, used by the tests
+  and the single-process demos; also the honest model of "the standby
+  runs in the same failure domain", which is exactly what it is.
+* :class:`TcpConnection` / :class:`TcpListener` — a length-prefixed
+  TCP socket (4-byte big-endian frame length, then the UTF-8 JSON of
+  the frame), for a standby on another machine.  The primary listens
+  (:class:`TcpListener`), followers dial in (:func:`connect_tcp`) —
+  the same direction as classic streaming replication, so only the
+  primary needs a well-known address.
+
+Connection contract (both implementations):
+
+* ``send(frame)`` delivers the whole frame or raises
+  :class:`TransportClosed`;
+* ``recv(timeout)`` returns the next frame, ``None`` on timeout
+  (a partially received TCP frame stays buffered — timeouts never
+  lose sync), or raises :class:`TransportClosed` once the peer is
+  gone *and* every already-delivered frame has been drained;
+* ``close()`` is idempotent and unblocks any pending ``recv``.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, Optional, Tuple
+
+from repro.errors import SignalingError
+
+__all__ = [
+    "TransportClosed",
+    "PipeConnection",
+    "pipe_pair",
+    "TcpConnection",
+    "TcpListener",
+    "connect_tcp",
+]
+
+#: 4-byte big-endian frame-length prefix (TCP framing).
+_FRAME_HEADER = struct.Struct(">I")
+
+#: Refuse absurd frame lengths instead of allocating them (a stray
+#: connection speaking another protocol would otherwise look like a
+#: multi-gigabyte frame).
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+Frame = Dict[str, Any]
+
+
+class TransportClosed(SignalingError):
+    """The peer closed the connection (or it was closed locally)."""
+
+
+# ----------------------------------------------------------------------
+# in-process pipe
+# ----------------------------------------------------------------------
+
+
+class _Mailbox:
+    """One direction of an in-process pipe: a bounded-by-trust queue."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._frames: Deque[Frame] = deque()
+        self._closed = False
+
+    def put(self, frame: Frame) -> None:
+        with self._cond:
+            if self._closed:
+                raise TransportClosed("pipe is closed")
+            self._frames.append(frame)
+            self._cond.notify_all()
+
+    def get(self, timeout: Optional[float]) -> Optional[Frame]:
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        with self._cond:
+            while True:
+                if self._frames:
+                    return self._frames.popleft()
+                if self._closed:
+                    raise TransportClosed("pipe is closed")
+                if deadline is None:
+                    self._cond.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                    self._cond.wait(remaining)
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+
+class PipeConnection:
+    """One endpoint of an in-process pipe (see :func:`pipe_pair`)."""
+
+    def __init__(self, outbox: _Mailbox, inbox: _Mailbox) -> None:
+        self._outbox = outbox
+        self._inbox = inbox
+
+    def send(self, frame: Frame) -> None:
+        """Deliver *frame* to the peer."""
+        self._outbox.put(frame)
+
+    def recv(self, timeout: Optional[float] = None) -> Optional[Frame]:
+        """Next frame from the peer; ``None`` on timeout."""
+        return self._inbox.get(timeout)
+
+    def close(self) -> None:
+        """Close both directions (the peer sees TransportClosed)."""
+        self._outbox.close()
+        self._inbox.close()
+
+
+def pipe_pair() -> Tuple[PipeConnection, PipeConnection]:
+    """Two connected in-process endpoints ``(a, b)``.
+
+    Whatever ``a`` sends, ``b`` receives, and vice versa; closing
+    either endpoint closes the pipe for both.
+    """
+    a_to_b = _Mailbox()
+    b_to_a = _Mailbox()
+    return (
+        PipeConnection(outbox=a_to_b, inbox=b_to_a),
+        PipeConnection(outbox=b_to_a, inbox=a_to_b),
+    )
+
+
+# ----------------------------------------------------------------------
+# length-prefixed TCP
+# ----------------------------------------------------------------------
+
+
+class TcpConnection:
+    """A connection over a TCP socket with length-prefixed frames."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        self._send_lock = threading.Lock()
+        self._recv_lock = threading.Lock()
+        self._buffer = bytearray()
+        self._closed = False
+
+    def send(self, frame: Frame) -> None:
+        """Serialize and deliver *frame* (whole or not at all)."""
+        blob = json.dumps(frame, separators=(",", ":")).encode("utf-8")
+        with self._send_lock:
+            if self._closed:
+                raise TransportClosed("connection is closed")
+            try:
+                self._sock.sendall(_FRAME_HEADER.pack(len(blob)) + blob)
+            except OSError as exc:
+                raise TransportClosed(f"send failed: {exc}") from exc
+
+    def recv(self, timeout: Optional[float] = None) -> Optional[Frame]:
+        """Next frame; ``None`` on timeout (partial reads buffered)."""
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        with self._recv_lock:
+            while True:
+                frame = self._parse_buffered()
+                if frame is not None:
+                    return frame
+                if self._closed:
+                    raise TransportClosed("connection is closed")
+                remaining: Optional[float] = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                try:
+                    self._sock.settimeout(remaining)
+                    chunk = self._sock.recv(65536)
+                except socket.timeout:
+                    return None
+                except OSError as exc:
+                    raise TransportClosed(f"recv failed: {exc}") from exc
+                if not chunk:
+                    raise TransportClosed("peer closed the connection")
+                self._buffer.extend(chunk)
+
+    def _parse_buffered(self) -> Optional[Frame]:
+        if len(self._buffer) < _FRAME_HEADER.size:
+            return None
+        (length,) = _FRAME_HEADER.unpack_from(self._buffer, 0)
+        if length > MAX_FRAME_BYTES:
+            raise TransportClosed(
+                f"frame length {length} exceeds {MAX_FRAME_BYTES} "
+                "(peer is not speaking the replication protocol)"
+            )
+        end = _FRAME_HEADER.size + length
+        if len(self._buffer) < end:
+            return None
+        blob = bytes(self._buffer[_FRAME_HEADER.size:end])
+        del self._buffer[:end]
+        return json.loads(blob.decode("utf-8"))
+
+    def close(self) -> None:
+        """Close the socket (idempotent; unblocks pending recv)."""
+        self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+
+class TcpListener:
+    """The primary's accept socket for dialing followers.
+
+    Binding to port 0 (the default) picks a free ephemeral port —
+    read it back from :attr:`port`.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, port))
+        self._sock.listen(16)
+        self.host, self.port = self._sock.getsockname()[:2]
+
+    def accept(self, timeout: Optional[float] = None
+               ) -> Optional[TcpConnection]:
+        """Accept one follower; ``None`` on timeout."""
+        try:
+            self._sock.settimeout(timeout)
+            sock, _addr = self._sock.accept()
+        except socket.timeout:
+            return None
+        except OSError as exc:
+            raise TransportClosed(f"accept failed: {exc}") from exc
+        return TcpConnection(sock)
+
+    def close(self) -> None:
+        self._sock.close()
+
+
+def connect_tcp(host: str, port: int, *,
+                timeout: float = 5.0) -> TcpConnection:
+    """Dial a primary's :class:`TcpListener` and return the connection."""
+    try:
+        sock = socket.create_connection((host, port), timeout=timeout)
+    except OSError as exc:
+        raise TransportClosed(
+            f"cannot reach primary at {host}:{port}: {exc}"
+        ) from exc
+    sock.settimeout(None)
+    return TcpConnection(sock)

@@ -213,6 +213,76 @@ class TestFileJournal:
             wal.append("advance", {"now": 1.0})
 
 
+class TestDirectoryDurability:
+    """POSIX durability of the directory *entries* themselves.
+
+    fsyncing a new file's bytes is not enough: until the containing
+    directory is fsynced, a crash can forget the file's very name —
+    a freshly created segment, a rotated segment, or a just-renamed
+    checkpoint would vanish with its acknowledged contents.  These
+    tests inject a recorder for the directory-fsync hook and assert
+    it fires at each of the three creation points.
+    """
+
+    def _record(self, monkeypatch):
+        import repro.service.durability as durability
+
+        calls = []
+        real = durability._fsync_dir
+
+        def recorder(directory):
+            calls.append(os.fspath(directory))
+            real(directory)
+
+        monkeypatch.setattr(durability, "_fsync_dir", recorder)
+        return calls
+
+    def test_fresh_segment_fsyncs_directory(self, tmp_path, monkeypatch):
+        calls = self._record(monkeypatch)
+        wal = FileJournal(tmp_path)  # creates wal-...0001.log
+        assert calls.count(os.fspath(tmp_path)) == 1
+        wal.close()
+        # Reopening an existing segment creates nothing: no new fsync.
+        reopened = FileJournal(tmp_path)
+        assert calls.count(os.fspath(tmp_path)) == 1
+        reopened.close()
+
+    def test_rotation_fsyncs_directory(self, tmp_path, monkeypatch):
+        calls = self._record(monkeypatch)
+        wal = FileJournal(tmp_path, segment_bytes=128)
+        before = len(calls)
+        for index in range(12):
+            wal.append("advance", {"now": float(index)})
+            wal.commit()
+        rotations = len(wal_segments(tmp_path)) - 1
+        assert rotations >= 1
+        # One directory fsync per new segment file.
+        assert len(calls) - before == rotations
+        wal.close()
+
+    def test_checkpoint_rename_fsyncs_directory(self, tmp_path,
+                                                monkeypatch):
+        calls = self._record(monkeypatch)
+        broker = fig8_broker()
+        before = len(calls)
+        path = write_checkpoint(tmp_path, broker)
+        assert os.path.exists(path)
+        assert len(calls) == before + 1
+        assert calls[-1] == os.fspath(tmp_path)
+
+    def test_no_directory_fsync_when_disabled(self, tmp_path,
+                                              monkeypatch):
+        """``fsync=False`` (tests/benchmarks) skips the physical
+        directory fsync along with the file ones."""
+        calls = self._record(monkeypatch)
+        wal = FileJournal(tmp_path, fsync=False, segment_bytes=128)
+        for index in range(12):
+            wal.append("advance", {"now": float(index)})
+            wal.commit()
+        assert calls == []
+        wal.close()
+
+
 class TestCheckpointing:
     def test_checkpoint_embeds_journal_seq_and_prunes(self, tmp_path):
         broker = fig8_broker()
@@ -355,6 +425,47 @@ class TestRecovery:
         )
         with open(bogus, "w") as handle:
             handle.write('{"version": 2, "journal_seq": ')
+
+        with pytest.warns(RuntimeWarning, match="unusable checkpoint"):
+            report = recover_broker(tmp_path)
+        assert report.checkpoint_seq == good_seq
+        assert canonical(report.broker) == canonical(broker)
+
+    def test_recover_falls_back_past_mangled_json_checkpoint(
+        self, tmp_path
+    ):
+        """The newest checkpoint can be *valid JSON* yet structurally
+        garbage (bit rot inside a string, a half-written value that
+        still parses).  Recovery must fall back to the older good
+        checkpoint — never crash on the shape mismatch."""
+        broker = fig8_broker()
+        wal = FileJournal(tmp_path)
+        write_checkpoint(tmp_path, broker, wal)
+        with BrokerService(broker, workers=1, shards=2, wal=wal) as svc:
+            self.drive(svc, 6)
+        good_seq = wal.position
+        write_checkpoint(tmp_path, broker, wal)
+        with BrokerService(broker, workers=1, shards=2, wal=wal) as svc:
+            self.drive(svc, 4, start=6)
+        wal.close()
+        # Parses fine, restores not at all: links must be a list of
+        # dicts, flows must be dicts — these raise TypeError/KeyError
+        # inside restore_broker, not json.JSONDecodeError.
+        bogus = os.path.join(
+            tmp_path, f"checkpoint-{wal.position:016d}.json"
+        )
+        with open(bogus, "w") as handle:
+            json.dump({
+                "version": 3,
+                "journal_seq": wal.position,
+                "epoch": 0,
+                "contingency_method": "bounding",
+                "links": "notalist",
+                "paths": [],
+                "classes": [],
+                "flows": [None],
+                "macroflows": [],
+            }, handle)
 
         with pytest.warns(RuntimeWarning, match="unusable checkpoint"):
             report = recover_broker(tmp_path)

@@ -1,0 +1,713 @@
+"""WAL log-shipping replication: standbys, fencing, failover.
+
+Covers :mod:`repro.service.replication` and
+:mod:`repro.service.transport` — the hot-standby answer to the
+paper's footnote-2 reliability question.  The central properties
+under test:
+
+* **sync-mode guarantee** — kill the primary at any point: every
+  acknowledged admission is already applied on a quorum of standbys,
+  and a promoted standby's state is bit-identical to recovering the
+  same WAL from disk;
+* **epoch fencing** — a demoted primary's writes are rejected by
+  followers carrying a newer epoch; its clients get errors, never
+  silently diverging state (no split brain);
+* **read replicas** — MIB snapshots and dry-run admissibility checks
+  served from a follower leave its replicated state untouched.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import threading
+import time
+
+import pytest
+
+from repro.core.admission import RejectionReason
+from repro.core.broker import BandwidthBroker
+from repro.core.journal import JournalEntry
+from repro.core.persistence import CHECKPOINT_VERSION, checkpoint_broker
+from repro.errors import StateError
+from repro.service import (
+    ASYNC,
+    ERROR,
+    SEMI_SYNC,
+    SYNC,
+    BrokerService,
+    FileJournal,
+    ReplicaServer,
+    ReplicationHub,
+    TcpListener,
+    TransportClosed,
+    connect_tcp,
+    pipe_pair,
+    promote_directory,
+    provision_parallel_paths,
+    recover_broker,
+)
+from repro.workloads.profiles import flow_type
+
+SPEC = flow_type(0).spec
+
+PATHS = 4
+
+
+def make_broker() -> BandwidthBroker:
+    broker = BandwidthBroker()
+    provision_parallel_paths(broker, paths=PATHS)
+    return broker
+
+
+def canonical(broker: BandwidthBroker) -> str:
+    data = checkpoint_broker(broker)
+    data["flows"] = sorted(data["flows"], key=lambda f: f["flow_id"])
+    data["macroflows"] = sorted(data["macroflows"],
+                                key=lambda m: m["key"])
+    return json.dumps(data, sort_keys=True)
+
+
+def pinned_nodes(broker: BandwidthBroker):
+    return [tuple(r.nodes) for r in broker.path_mib.records()]
+
+
+def make_replica(directory, follower_id: str) -> ReplicaServer:
+    replica = ReplicaServer(
+        directory, make_broker, follower_id=follower_id, fsync=False,
+    )
+    return replica
+
+
+def attach(hub: ReplicationHub, replica: ReplicaServer):
+    primary_end, follower_end = pipe_pair()
+    session = hub.add_follower(primary_end)
+    replica.connect(follower_end)
+    return session
+
+
+def wait_for(predicate, timeout: float = 5.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return predicate()
+
+
+class Cluster:
+    """A primary service + N pipe-attached replicas, for the tests."""
+
+    def __init__(self, tmp_path, *, mode: str, quorum: int = 2,
+                 followers: int = 2, ack_timeout: float = 5.0,
+                 workers: int = 2) -> None:
+        self.primary_dir = os.path.join(tmp_path, "primary")
+        os.makedirs(self.primary_dir)
+        self.broker = make_broker()
+        self.wal = FileJournal(self.primary_dir, fsync=False)
+        self.hub = ReplicationHub(
+            self.wal, mode=mode, quorum=quorum, ack_timeout=ack_timeout,
+        )
+        self.replicas = []
+        for index in range(followers):
+            replica = make_replica(
+                os.path.join(tmp_path, f"follower-{index}"),
+                f"follower-{index}",
+            )
+            attach(self.hub, replica)
+            self.replicas.append(replica)
+        self.service = BrokerService(
+            self.broker, workers=workers, shards=4,
+            wal=self.wal, replicator=self.hub,
+        )
+
+    def admit(self, count: int, *, start: int = 0):
+        """Drive admissions round-robin over the parallel paths;
+        returns the flow ids of acknowledged, admitted replies."""
+        nodes = pinned_nodes(self.broker)
+        acked = []
+        for offset in range(count):
+            index = start + offset
+            path = nodes[index % len(nodes)]
+            reply = self.service.request(
+                f"f{index}", SPEC, 2.44, path[0], path[-1],
+                path_nodes=path, now=float(index),
+            )
+            assert reply.status == "ok", reply.detail
+            if reply.admitted:
+                acked.append(f"f{index}")
+        return acked
+
+    def caught_up(self) -> bool:
+        return all(
+            replica.applied_seq >= self.wal.position
+            for replica in self.replicas
+        )
+
+    def close(self) -> None:
+        self.hub.close()
+        for replica in self.replicas:
+            replica.close()
+        self.wal.close()
+
+
+# ----------------------------------------------------------------------
+# transport
+# ----------------------------------------------------------------------
+
+
+class TestTransport:
+    def test_pipe_roundtrip_and_close(self):
+        a, b = pipe_pair()
+        a.send({"kind": "hello", "n": 1})
+        b.send({"kind": "ack", "n": 2})
+        assert b.recv(1.0) == {"kind": "hello", "n": 1}
+        assert a.recv(1.0) == {"kind": "ack", "n": 2}
+        assert a.recv(0.01) is None  # timeout, not an error
+        b.close()
+        with pytest.raises(TransportClosed):
+            a.recv(1.0)
+        with pytest.raises(TransportClosed):
+            a.send({"kind": "late"})
+
+    def test_pipe_drains_before_raising(self):
+        a, b = pipe_pair()
+        a.send({"seq": 1})
+        a.send({"seq": 2})
+        a.close()
+        # Frames delivered before the close are still readable.
+        assert b.recv(1.0) == {"seq": 1}
+        assert b.recv(1.0) == {"seq": 2}
+        with pytest.raises(TransportClosed):
+            b.recv(1.0)
+
+    def test_tcp_roundtrip(self):
+        listener = TcpListener()
+        dialed = connect_tcp(listener.host, listener.port)
+        accepted = listener.accept(timeout=5.0)
+        assert accepted is not None
+        try:
+            dialed.send({"kind": "hello", "payload": ["x"] * 100})
+            frame = accepted.recv(5.0)
+            assert frame == {"kind": "hello", "payload": ["x"] * 100}
+            accepted.send({"kind": "ack", "seq": 7})
+            assert dialed.recv(5.0) == {"kind": "ack", "seq": 7}
+            assert dialed.recv(0.01) is None  # timeout keeps the stream
+            accepted.close()
+            with pytest.raises(TransportClosed):
+                dialed.recv(5.0)
+        finally:
+            dialed.close()
+            accepted.close()
+            listener.close()
+
+    def test_tcp_interleaves_many_frames(self):
+        listener = TcpListener()
+        dialed = connect_tcp(listener.host, listener.port)
+        accepted = listener.accept(timeout=5.0)
+        try:
+            for index in range(200):
+                dialed.send({"seq": index, "blob": "z" * (index % 37)})
+            got = [accepted.recv(5.0)["seq"] for _ in range(200)]
+            assert got == list(range(200))  # ordered, none lost
+        finally:
+            dialed.close()
+            accepted.close()
+            listener.close()
+
+
+# ----------------------------------------------------------------------
+# journal epoch machinery
+# ----------------------------------------------------------------------
+
+
+class TestJournalEpochs:
+    def test_append_entry_validates_sequence(self, tmp_path):
+        wal = FileJournal(tmp_path, fsync=False)
+        wal.append_entry(JournalEntry(seq=1, kind="advance",
+                                      payload={"now": 1.0}))
+        with pytest.raises(StateError, match="does not continue"):
+            wal.append_entry(JournalEntry(seq=5, kind="advance",
+                                          payload={"now": 2.0}))
+        wal.close()
+
+    def test_append_entry_epoch_is_provenance(self, tmp_path):
+        """Shipped records keep their original epoch (a promoted
+        primary ships history written under older terms); the
+        journal's stamp only ever rises."""
+        wal = FileJournal(tmp_path, fsync=False)
+        wal.set_epoch(3)
+        # History from an older term is accepted verbatim...
+        wal.append_entry(JournalEntry(seq=1, kind="advance",
+                                      payload={"now": 1.0}, epoch=2))
+        assert wal.epoch == 3  # ...without regressing the stamp.
+        assert wal.entries_after(0)[0].epoch == 2
+        # A newer epoch raises the stamp.
+        wal.append_entry(JournalEntry(seq=2, kind="advance",
+                                      payload={"now": 2.0}, epoch=4))
+        assert wal.epoch == 4
+        wal.close()
+
+    def test_epoch_survives_reopen(self, tmp_path):
+        wal = FileJournal(tmp_path, fsync=False)
+        wal.set_epoch(2)
+        wal.append("advance", {"now": 1.0})
+        wal.commit()
+        wal.close()
+        reopened = FileJournal(tmp_path, fsync=False)
+        assert reopened.epoch == 2
+        assert reopened.entries_after(0)[0].epoch == 2
+        with pytest.raises(StateError, match="regress"):
+            reopened.set_epoch(1)
+        reopened.close()
+
+    def test_read_durable_ships_only_committed(self, tmp_path):
+        wal = FileJournal(tmp_path, fsync=False)
+        for index in range(3):
+            wal.append("advance", {"now": float(index)})
+        wal.commit()
+        # Appended but not yet committed: not shippable.
+        wal.append("advance", {"now": 3.0})
+        wal.append("advance", {"now": 4.0})
+        shipped = wal.read_durable(0)
+        assert [e.seq for e in shipped] == [1, 2, 3]
+        assert [e.seq for e in wal.read_durable(1, limit=1)] == [2]
+        wal.commit()
+        assert [e.seq for e in wal.read_durable(3)] == [4, 5]
+        assert wal.read_durable(5) == []
+        wal.close()
+
+    def test_read_durable_spans_rotated_segments(self, tmp_path):
+        wal = FileJournal(tmp_path, fsync=False, segment_bytes=128)
+        for index in range(20):
+            wal.append("advance", {"now": float(index)})
+            wal.commit()
+        assert [e.seq for e in wal.read_durable(7)] == list(range(8, 21))
+        wal.close()
+
+    def test_checkpoint_v3_embeds_epoch(self, tmp_path):
+        from repro.service import write_checkpoint
+
+        broker = make_broker()
+        wal = FileJournal(tmp_path, fsync=False)
+        wal.set_epoch(5)
+        path = write_checkpoint(tmp_path, broker, wal)
+        data = json.load(open(path))
+        assert data["version"] == CHECKPOINT_VERSION
+        assert data["epoch"] == 5
+        wal.close()
+        report = recover_broker(tmp_path)
+        assert report.epoch == 5
+
+
+# ----------------------------------------------------------------------
+# replication modes
+# ----------------------------------------------------------------------
+
+
+class TestReplicationModes:
+    @pytest.mark.parametrize("mode,quorum", [
+        (SYNC, 2), (SEMI_SYNC, 1), (ASYNC, 1),
+    ])
+    def test_standbys_converge_to_primary_state(self, tmp_path, mode,
+                                                quorum):
+        cluster = Cluster(tmp_path, mode=mode, quorum=quorum)
+        with cluster.service:
+            acked = cluster.admit(16)
+            assert acked
+            # sync: by the time a reply resolved, a quorum already
+            # acked — no wait needed for the *acknowledged* prefix.
+            if mode == SYNC:
+                acked_counts = sum(
+                    1 for s in cluster.hub.status()
+                    if s.acked_seq >= cluster.wal.durable_position
+                )
+                assert acked_counts >= quorum
+        assert wait_for(cluster.caught_up)
+        reference = canonical(cluster.broker)
+        for replica in cluster.replicas:
+            assert canonical(replica.broker) == reference
+            # The replica's own journal holds the full shipped log.
+            assert replica.journal.position == cluster.wal.position
+        cluster.close()
+
+    def test_sync_mode_blocks_until_quorum(self, tmp_path):
+        """With quorum 2 but only one live follower, a sync write
+        times out and the client gets an ERROR — never a false ack."""
+        cluster = Cluster(tmp_path, mode=SYNC, quorum=2, followers=1,
+                          ack_timeout=0.4)
+        with cluster.service:
+            nodes = pinned_nodes(cluster.broker)[0]
+            reply = cluster.service.request(
+                "f0", SPEC, 2.44, nodes[0], nodes[-1],
+                path_nodes=nodes, now=0.0,
+            )
+            assert reply.status == ERROR
+            assert "1/2" in reply.detail
+        stats = cluster.service.stats()
+        assert stats.replication_stalls >= 1
+        cluster.close()
+
+    def test_follower_reconnect_resumes_from_its_log(self, tmp_path):
+        """A follower that detaches and re-attaches ships only the
+        suffix it is missing (hello carries last_seq) and converges."""
+        cluster = Cluster(tmp_path, mode=SEMI_SYNC, followers=2)
+        replica = cluster.replicas[0]
+        with cluster.service:
+            cluster.admit(6)
+            assert wait_for(
+                lambda: replica.applied_seq >= cluster.wal.position
+            )
+            replica.disconnect()
+            cluster.admit(6, start=6)
+            # Re-attach: the hello announces the persisted position.
+            attach(cluster.hub, replica)
+            assert wait_for(cluster.caught_up)
+        assert canonical(replica.broker) == canonical(cluster.broker)
+        # No double-apply: the journal has each seq exactly once.
+        seqs = [e.seq for e in replica.journal.entries_after(0)]
+        assert seqs == sorted(set(seqs))
+        cluster.close()
+
+    def test_stats_surface_replication_state(self, tmp_path):
+        cluster = Cluster(tmp_path, mode=SYNC, quorum=2)
+        with cluster.service:
+            cluster.admit(4)
+            stats = cluster.service.stats()
+        assert stats.replication_mode == SYNC
+        assert stats.replication_quorum == 2
+        assert len(stats.followers) == 2
+        for name, acked_seq, lag, lag_s, ack_ms in stats.followers:
+            assert name.startswith("follower-")
+            assert acked_seq >= 0 and lag >= 0
+        payload = stats.as_dict()
+        assert payload["replication_mode"] == SYNC
+        assert len(payload["followers"]) == 2
+        cluster.close()
+
+    def test_hub_rejects_unknown_mode_and_bad_quorum(self, tmp_path):
+        wal = FileJournal(tmp_path, fsync=False)
+        with pytest.raises(StateError, match="unknown replication"):
+            ReplicationHub(wal, mode="paranoid")
+        with pytest.raises(StateError, match="quorum"):
+            ReplicationHub(wal, quorum=0)
+        wal.close()
+
+    def test_service_requires_wal_with_replicator(self, tmp_path):
+        wal = FileJournal(tmp_path, fsync=False)
+        hub = ReplicationHub(wal)
+        with pytest.raises(StateError, match="requires the wal"):
+            BrokerService(make_broker(), replicator=hub)
+        other = FileJournal(os.path.join(tmp_path, "other"), fsync=False)
+        with pytest.raises(StateError, match="own wal"):
+            BrokerService(make_broker(), wal=other, replicator=hub)
+        other.close()
+        wal.close()
+
+
+# ----------------------------------------------------------------------
+# read replicas
+# ----------------------------------------------------------------------
+
+
+class TestReadReplica:
+    def test_snapshot_and_dry_run_leave_state_untouched(self, tmp_path):
+        cluster = Cluster(tmp_path, mode=SYNC, quorum=2)
+        replica = cluster.replicas[0]
+        with cluster.service:
+            cluster.admit(8)
+            assert wait_for(cluster.caught_up)
+            before = canonical(replica.broker)
+
+            snapshot = replica.mib_snapshot()
+            assert snapshot["journal_seq"] == replica.applied_seq
+            assert len(snapshot["flows"]) == 8
+
+            nodes = pinned_nodes(replica.broker)[0]
+            decision = replica.dry_run(
+                "probe", SPEC, 2.44, nodes[0], nodes[-1],
+            )
+            assert decision.admitted
+            assert decision.rate > 0
+
+            stats = replica.stats()
+            assert stats.active_flows == 8
+
+            # None of the reads perturbed the replicated state — the
+            # replica still matches the primary bit for bit.
+            assert canonical(replica.broker) == before
+            assert canonical(replica.broker) == canonical(cluster.broker)
+        cluster.close()
+
+    def test_dry_run_rejections_are_read_only(self, tmp_path):
+        replica = make_replica(os.path.join(tmp_path, "r"), "r")
+        before = canonical(replica.broker)
+        # The parallel paths are link-disjoint: path 1's egress is
+        # unreachable from path 0's ingress -> NO_PATH, no exception.
+        nodes0 = pinned_nodes(replica.broker)[0]
+        nodes1 = pinned_nodes(replica.broker)[1]
+        decision = replica.dry_run(
+            "p", SPEC, 2.44, nodes0[0], nodes1[-1],
+        )
+        assert not decision.admitted
+        assert decision.reason is RejectionReason.NO_PATH
+        # The rejection was not counted anywhere.
+        assert replica.stats().rejected_total == 0
+        assert canonical(replica.broker) == before
+        replica.close()
+
+    def test_dry_run_matches_subsequent_admission(self, tmp_path):
+        """The dry-run verdict predicts the real admission on the
+        primary: same path, same rate-delay pair."""
+        cluster = Cluster(tmp_path, mode=SYNC, quorum=2)
+        replica = cluster.replicas[0]
+        with cluster.service:
+            cluster.admit(4)
+            assert wait_for(cluster.caught_up)
+            nodes = pinned_nodes(replica.broker)[1]
+            predicted = replica.dry_run(
+                "next", SPEC, 2.44, nodes[0], nodes[-1],
+                path_nodes=nodes,
+            )
+            reply = cluster.service.request(
+                "next", SPEC, 2.44, nodes[0], nodes[-1],
+                path_nodes=nodes, now=99.0,
+            )
+            actual = reply.decision
+        assert predicted.admitted == actual.admitted
+        assert predicted.path_id == actual.path_id
+        assert predicted.rate == pytest.approx(actual.rate)
+        cluster.close()
+
+
+# ----------------------------------------------------------------------
+# fencing + failover (the acceptance-criterion tests)
+# ----------------------------------------------------------------------
+
+
+class TestFailover:
+    def test_kill_primary_promote_follower(self, tmp_path):
+        """Kill the primary mid-load under sync/quorum-2: every
+        acknowledged admission survives on the promoted follower, and
+        the promoted broker is bit-identical to recovering the
+        follower's own WAL copy from disk."""
+        cluster = Cluster(tmp_path, mode=SYNC, quorum=2)
+        with cluster.service:
+            acked = cluster.admit(12)
+            assert len(acked) == 12
+        # The crash: tear the primary's journal tail mid-record, as if
+        # the machine died during a write that was never acknowledged.
+        cluster.hub.close()
+        cluster.wal.close()
+        segments = sorted(
+            name for name in os.listdir(cluster.primary_dir)
+            if name.startswith("wal-")
+        )
+        tail = os.path.join(cluster.primary_dir, segments[-1])
+        with open(tail, "r+b") as handle:
+            handle.truncate(os.path.getsize(tail) - 5)
+
+        survivor = cluster.replicas[0]
+        survivor.disconnect()
+        # Reference: recover the follower's directory as plain files,
+        # before promotion stamps a new-epoch checkpoint into it.
+        reference_dir = os.path.join(tmp_path, "reference")
+        shutil.copytree(survivor.directory, reference_dir)
+
+        report = survivor.promote()
+        assert report.epoch == 1
+        assert report.last_seq == survivor.journal.position
+
+        # Guarantee 1: every acknowledged admission is present.
+        for flow_id in acked:
+            assert report.broker.flow_mib.get(flow_id) is not None, (
+                f"acknowledged admission {flow_id} lost in failover"
+            )
+
+        # Guarantee 2: the promoted standby is bit-identical to a
+        # from-disk recovery of the same WAL.
+        disk = recover_broker(reference_dir, broker_factory=make_broker)
+        assert canonical(report.broker) == canonical(disk.broker)
+
+        # The fencing checkpoint is durable and carries the new epoch.
+        data = json.load(open(report.checkpoint_path))
+        assert data["version"] == CHECKPOINT_VERSION
+        assert data["epoch"] == 1
+        # A restart of the promoted node resumes at the fenced epoch.
+        assert recover_broker(survivor.directory,
+                              broker_factory=make_broker).epoch == 1
+        cluster.replicas[1].close()
+        survivor.journal.close()
+
+    def test_demoted_primary_writes_are_fenced(self, tmp_path):
+        """Split brain: once a follower has adopted a newer epoch, the
+        old primary's shipped writes bounce and its clients see
+        errors, not acknowledged-but-divergent state."""
+        cluster = Cluster(tmp_path, mode=SYNC, quorum=2,
+                          ack_timeout=5.0)
+        replica = cluster.replicas[0]
+        with cluster.service:
+            acked = cluster.admit(4)
+            assert wait_for(cluster.caught_up)
+            # The failover happened elsewhere: this follower adopts the
+            # new primary's epoch (as it would from a welcome frame).
+            replica.journal.set_epoch(1)
+            state_before = canonical(replica.broker)
+            nodes = pinned_nodes(cluster.broker)[0]
+            reply = cluster.service.request(
+                "late", SPEC, 2.44, nodes[0], nodes[-1],
+                path_nodes=nodes, now=50.0,
+            )
+            # The old primary is fenced: the write is answered ERROR.
+            assert reply.status == ERROR
+            assert "fenced" in reply.detail
+            assert cluster.hub.fenced
+            # The follower never applied the stale write.
+            assert canonical(replica.broker) == state_before
+            assert replica.rejected_frames >= 1
+            # Every pre-fence acknowledged admission is still intact.
+            for flow_id in acked:
+                assert replica.broker.flow_mib.get(flow_id) is not None
+        cluster.close()
+
+    def test_stale_primary_fenced_at_handshake(self, tmp_path):
+        """A primary that reconnects to a follower which outlived a
+        promotion is fenced during the handshake — before shipping a
+        single record."""
+        replica = make_replica(os.path.join(tmp_path, "r"), "r")
+        replica.journal.set_epoch(2)
+        wal = FileJournal(os.path.join(tmp_path, "p"), fsync=False)
+        hub = ReplicationHub(wal, mode=ASYNC, ack_timeout=2.0)
+        session = attach(hub, replica)
+        assert wait_for(lambda: not session.alive)
+        assert hub.fenced
+        assert "fenced" in session.status().detail
+        with pytest.raises(StateError, match="fenced"):
+            hub.wait_durable(0)
+        hub.close()
+        replica.close()
+        wal.close()
+
+    def test_follower_ahead_of_primary_is_refused(self, tmp_path):
+        """Shipping to a follower whose log is ahead would fork
+        history; the session refuses with the promote-the-most-
+        advanced-follower rule instead."""
+        replica = make_replica(os.path.join(tmp_path, "r"), "r")
+        replica.journal.append("advance", {"now": 1.0})
+        replica.journal.commit()
+        replica.applied_seq = replica.journal.position
+        wal = FileJournal(os.path.join(tmp_path, "p"), fsync=False)
+        hub = ReplicationHub(wal, mode=ASYNC, ack_timeout=2.0)
+        session = attach(hub, replica)
+        assert wait_for(lambda: not session.alive)
+        assert "ahead" in session.status().detail
+        assert wait_for(lambda: "most advanced" in replica.detail)
+        hub.close()
+        replica.close()
+        wal.close()
+
+    def test_promote_directory_offline(self, tmp_path):
+        """The CLI path: promote a replica's directory on disk."""
+        cluster = Cluster(tmp_path, mode=SYNC, quorum=2)
+        with cluster.service:
+            acked = cluster.admit(6)
+            assert wait_for(cluster.caught_up)
+        survivor_dir = cluster.replicas[0].directory
+        cluster.close()
+
+        report = promote_directory(
+            survivor_dir, broker_factory=make_broker,
+        )
+        assert report.epoch == 1
+        for flow_id in acked:
+            assert report.broker.flow_mib.get(flow_id) is not None
+        # New writes under the new epoch land in the same journal.
+        entry = report.journal.append("advance", {"now": 100.0})
+        assert entry.epoch == 1
+        report.journal.close()
+
+    def test_promoted_replica_serves_as_new_primary(self, tmp_path):
+        """End-to-end failover: the promoted standby takes writes
+        through a fresh BrokerService and its own new followers."""
+        cluster = Cluster(tmp_path, mode=SYNC, quorum=2)
+        with cluster.service:
+            acked = cluster.admit(6)
+            assert wait_for(cluster.caught_up)
+        cluster.hub.close()
+        survivor = cluster.replicas[0]
+        survivor.disconnect()
+        report = survivor.promote()
+
+        new_follower = make_replica(
+            os.path.join(tmp_path, "new-follower"), "new-follower",
+        )
+        new_hub = ReplicationHub(report.journal, mode=SEMI_SYNC)
+        attach(new_hub, new_follower)
+        with BrokerService(
+            report.broker, workers=2, wal=report.journal,
+            replicator=new_hub,
+        ) as service:
+            nodes = pinned_nodes(report.broker)[0]
+            reply = service.request(
+                "post-failover", SPEC, 2.44, nodes[0], nodes[-1],
+                path_nodes=nodes, now=200.0,
+            )
+            assert reply.status == "ok" and reply.admitted
+            assert service.stats().epoch == 1
+        assert wait_for(
+            lambda: new_follower.applied_seq >= report.journal.position
+        )
+        # The new follower replayed history + the post-failover write,
+        # all of it shipped from the promoted primary's journal.
+        assert canonical(new_follower.broker) == canonical(report.broker)
+        for flow_id in acked + ["post-failover"]:
+            assert new_follower.broker.flow_mib.get(flow_id) is not None
+        # Post-failover records carry the fenced epoch.
+        assert new_follower.journal.entries_after(0)[-1].epoch == 1
+        new_hub.close()
+        new_follower.close()
+        cluster.replicas[1].close()
+        report.journal.close()
+        cluster.wal.close()
+
+
+# ----------------------------------------------------------------------
+# concurrency
+# ----------------------------------------------------------------------
+
+
+class TestConcurrentReplication:
+    def test_concurrent_clients_sync_quorum(self, tmp_path):
+        """Multi-worker, multi-client sync/quorum-2 load: no errors,
+        and both standbys converge to the primary's exact state."""
+        cluster = Cluster(tmp_path, mode=SYNC, quorum=2, workers=4)
+        nodes = pinned_nodes(cluster.broker)
+        errors = []
+
+        def client(index: int) -> None:
+            path = nodes[index % len(nodes)]
+            for iteration in range(8):
+                reply = cluster.service.request(
+                    f"c{index}-r{iteration}", SPEC, 2.44,
+                    path[0], path[-1], path_nodes=path,
+                    now=float(iteration),
+                )
+                if reply.status != "ok":
+                    errors.append(reply.detail)
+
+        with cluster.service:
+            threads = [
+                threading.Thread(target=client, args=(index,))
+                for index in range(6)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert not errors
+        assert wait_for(cluster.caught_up)
+        reference = canonical(cluster.broker)
+        for replica in cluster.replicas:
+            assert canonical(replica.broker) == reference
+        cluster.close()
