@@ -1,0 +1,245 @@
+"""Admission hot path under admit/teardown churn: incremental vs naive.
+
+Drives the exact workload the concurrent service runtime generates —
+interleaved reserve / residual-service probe / admissibility test /
+release — against (a) the incremental Fenwick-tree
+:class:`~repro.core.schedulability.DeadlineLedger` and (b) a verbatim
+copy of the pre-incremental ledger (``_BaselineLedger`` below, whose
+every mutation invalidates O(M) prefix sums), at M distinct deadlines
+in {10^2, 10^3, 10^4}.
+
+Both engines run the same deterministic operation sequence and must
+produce the same fold of query results (the checksum), so the speedup
+numbers compare equal work.  At M = 10^4 the incremental engine must
+be >= 5x faster; set ``REPRO_BENCH_SMOKE=1`` (the CI smoke job does)
+to skip the timing assertion and the largest size while keeping the
+correctness comparison.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_admission_hotpath.py -q -s
+"""
+
+import bisect
+import os
+import time
+
+import pytest
+
+from repro.core.mibs import LinkQoSState, PathRecord
+from repro.core.schedulability import DeadlineLedger
+from repro.vtrs.timestamps import SchedulerKind
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+CAPACITY = 1e9
+
+
+class _BaselineLedger:
+    """The pre-incremental ledger, frozen here as the benchmark baseline.
+
+    Sorted distinct-deadline buckets with full prefix-sum arrays that
+    every mutation invalidates (``_rebuild_prefix`` is O(M)), and an
+    ``admissible`` that issues one bisect-backed ``residual_service``
+    per breakpoint.  Numerically identical to the old implementation —
+    only docstrings and validation were trimmed.
+    """
+
+    def __init__(self, capacity):
+        self.capacity = float(capacity)
+        self._entries = {}
+        self._deadlines = []
+        self._buckets = {}
+        self._total_rate = 0.0
+        self._prefix_dirty = True
+        self._prefix_rate = []
+        self._prefix_rate_deadline = []
+        self._prefix_packet = []
+
+    def add(self, key, rate, deadline, max_packet):
+        self._entries[key] = (rate, deadline, max_packet)
+        bucket = self._buckets.get(deadline)
+        if bucket is None:
+            bucket = [0.0, 0.0, 0.0, 0]
+            self._buckets[deadline] = bucket
+            bisect.insort(self._deadlines, deadline)
+        bucket[0] += rate
+        bucket[1] += rate * deadline
+        bucket[2] += max_packet
+        bucket[3] += 1
+        self._total_rate += rate
+        self._prefix_dirty = True
+
+    def remove(self, key):
+        rate, deadline, max_packet = self._entries.pop(key)
+        bucket = self._buckets[deadline]
+        bucket[0] -= rate
+        bucket[1] -= rate * deadline
+        bucket[2] -= max_packet
+        bucket[3] -= 1
+        if bucket[3] == 0:
+            del self._buckets[deadline]
+            del self._deadlines[bisect.bisect_left(self._deadlines, deadline)]
+        self._total_rate -= rate
+        self._prefix_dirty = True
+
+    def _rebuild_prefix(self):
+        if not self._prefix_dirty:
+            return
+        rate = rate_deadline = packet = 0.0
+        self._prefix_rate = []
+        self._prefix_rate_deadline = []
+        self._prefix_packet = []
+        for deadline in self._deadlines:
+            bucket = self._buckets[deadline]
+            rate += bucket[0]
+            rate_deadline += bucket[1]
+            packet += bucket[2]
+            self._prefix_rate.append(rate)
+            self._prefix_rate_deadline.append(rate_deadline)
+            self._prefix_packet.append(packet)
+        self._prefix_dirty = False
+
+    def _aggregates_upto(self, t):
+        self._rebuild_prefix()
+        index = bisect.bisect_right(self._deadlines, t) - 1
+        if index < 0:
+            return 0.0, 0.0, 0.0
+        return (
+            self._prefix_rate[index],
+            self._prefix_rate_deadline[index],
+            self._prefix_packet[index],
+        )
+
+    def residual_service(self, t):
+        rate, rate_deadline, packet = self._aggregates_upto(t)
+        return self.capacity * t - (rate * t - rate_deadline + packet)
+
+    def admissible(self, rate, deadline, max_packet):
+        slack = 1e-9 * self.capacity
+        if self._total_rate + rate > self.capacity + slack:
+            return False
+        if self.residual_service(deadline) + 1e-9 < max_packet:
+            return False
+        index = bisect.bisect_left(self._deadlines, deadline)
+        for existing in self._deadlines[index:]:
+            needed = rate * (existing - deadline) + max_packet
+            if self.residual_service(existing) + 1e-9 < needed:
+                return False
+        return True
+
+
+def churn_workload(m, ops):
+    """Deterministic admit/teardown churn over M distinct deadlines.
+
+    Pre-seeds one reservation per deadline (so M stays stable), then
+    each op releases the slot at a striding index, probes the residual
+    service at the churned deadline, tests an admission candidate, and
+    re-admits.  The candidate's deadline is drawn from the loosest
+    existing deadlines — the common shape of a *new* request against a
+    loaded link, and the one where the breakpoint sweep itself is
+    short, so the measurement isolates the per-mutation cost the
+    incremental engine removed (both engines pay the same sweep work).
+    Rates are tiny relative to capacity so every decision sits far
+    from the admission boundary — checksum equality is then robust by
+    a wide margin while still executing the full query code paths.
+    """
+    deadlines = [(k + 1) / 1024.0 for k in range(m)]
+    seq = []
+    for i in range(ops):
+        slot = (i * 7919) % m  # co-prime stride: visits every slot
+        candidate = deadlines[m - 1 - (i % min(16, m))]
+        seq.append(
+            (slot, deadlines[slot], float(100 + (i % 50)), candidate)
+        )
+    return deadlines, seq
+
+
+def run_churn(ledger, deadlines, seq):
+    """Apply the op sequence; fold query results into a checksum."""
+    for k, d in enumerate(deadlines):
+        ledger.add(f"s{k}", 100.0, d, 1000.0)
+    checksum = 0.0
+    for slot, deadline, rate, candidate in seq:
+        ledger.remove(f"s{slot}")
+        checksum += ledger.residual_service(deadline)
+        checksum += 1.0 if ledger.admissible(rate, candidate, 1000.0) else 0.0
+        ledger.add(f"s{slot}", rate, deadline, 1000.0)
+    for k in range(len(deadlines)):
+        ledger.remove(f"s{k}")
+    return checksum
+
+
+def timed_ops_per_sec(factory, deadlines, seq):
+    start = time.perf_counter()
+    checksum = run_churn(factory(CAPACITY), deadlines, seq)
+    elapsed = time.perf_counter() - start
+    return len(seq) / elapsed, checksum
+
+
+SIZES = [100, 1000] if SMOKE else [100, 1000, 10000]
+
+
+@pytest.mark.parametrize("m", SIZES)
+def test_bench_ledger_churn(benchmark, m):
+    """Incremental vs baseline ledger at M distinct deadlines."""
+    ops = 2000 if m >= 10000 else 1000
+    deadlines, seq = churn_workload(m, ops)
+
+    base_rate, base_sum = timed_ops_per_sec(_BaselineLedger, deadlines, seq)
+    incr_rate, incr_sum = timed_ops_per_sec(DeadlineLedger, deadlines, seq)
+    assert incr_sum == base_sum  # same decisions, same query results
+
+    result = benchmark.pedantic(
+        run_churn, args=(DeadlineLedger(CAPACITY), deadlines, seq),
+        rounds=1, warmup_rounds=0,
+    )
+    assert result == base_sum
+
+    ratio = incr_rate / base_rate
+    print()
+    print(
+        f"M={m}: baseline {base_rate:,.0f} ops/s, "
+        f"incremental {incr_rate:,.0f} ops/s, speedup {ratio:.1f}x"
+    )
+    if not SMOKE and m >= 10000:
+        assert ratio >= 5.0, (
+            f"expected >= 5x at M={m}, got {ratio:.2f}x "
+            f"({base_rate:,.0f} -> {incr_rate:,.0f} ops/s)"
+        )
+
+
+def test_bench_path_breakpoint_folding(benchmark):
+    """Path-level churn: delta folds must dominate full re-merges."""
+    links = [
+        LinkQoSState((f"n{i}", f"n{i+1}"), CAPACITY,
+                     SchedulerKind.DELAY_BASED, max_packet=12000.0)
+        for i in range(3)
+    ]
+    path = PathRecord("bench", [f"n{i}" for i in range(4)], links)
+    m = 200 if SMOKE else 2000
+    for k in range(m):
+        links[k % 3].reserve(f"s{k}", 100.0, deadline=(k + 1) / 1024.0,
+                             max_packet=1000.0)
+    path.deadline_breakpoints()  # prime the subscription
+
+    def fold_churn():
+        checksum = 0.0
+        for i in range(300):
+            index = (i * 7919) % m
+            link = links[index % 3]
+            key = f"s{index}"
+            rate = link.release(key)
+            checksum += path.deadline_breakpoints()[0][1]
+            link.reserve(key, rate, deadline=(index + 1) / 1024.0,
+                         max_packet=1000.0)
+            checksum += path.deadline_breakpoints()[-1][1]
+        return checksum
+
+    benchmark.pedantic(fold_churn, rounds=1, warmup_rounds=0)
+    assert path.bp_delta_folds > path.bp_full_rebuilds
+    print()
+    print(
+        f"path folding: {path.bp_delta_folds} delta folds, "
+        f"{path.bp_full_rebuilds} full rebuilds, "
+        f"{path.bp_cache_hits} cache hits over {m} deadlines"
+    )

@@ -185,7 +185,9 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     for workers in args.workers:
         for shards in args.shards:
             broker = BandwidthBroker()
-            pinned = provision_parallel_paths(broker, paths=args.paths)
+            pinned = provision_parallel_paths(
+                broker, paths=args.paths, delay_hops=args.delay_hops
+            )
             templates = [
                 FlowTemplate(
                     spec, 2.44, nodes[0], nodes[-1], path_nodes=nodes
@@ -232,6 +234,18 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
          "contention", "shed", "fsyncs", "grp"],
         rows,
     ))
+    last = results[-1].get("service", {}) if results else {}
+    if last.get("ledger_updates"):
+        print(
+            "admission engine: "
+            f"{last['ledger_updates']} incremental ledger updates, "
+            f"{last['ledger_compactions']} compactions, "
+            f"{last['bp_delta_folds']} breakpoint delta-folds vs "
+            f"{last['bp_full_rebuilds']} full rebuilds, "
+            f"{last['scan_tests']} Fig-4 scans @ "
+            f"{last['mean_scan_intervals']:.1f} intervals mean, "
+            f"{last['scan_early_breaks']} early breaks"
+        )
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(results, handle, indent=2)
@@ -456,6 +470,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="admit requests per client (default 25)")
     serve.add_argument("--paths", type=int, default=8,
                        help="link-disjoint paths in the domain (default 8)")
+    serve.add_argument("--delay-hops", type=int, default=0,
+                       help="delay-based hops per path (default 0 = all "
+                            "rate-based; >0 exercises the Figure-4 mixed "
+                            "scan and incremental deadline ledgers)")
     serve.add_argument("--edge-rtt-ms", type=float, default=2.0,
                        help="simulated edge-programming RTT in ms "
                             "(default 2.0)")

@@ -190,8 +190,12 @@ class PerFlowAdmission:
         a batch of identical ``(spec, D_req)`` requests and each flow
         then needs only the O(1) feasible-range check plus bookkeeping
         — the amortization the service layer's admission batcher
-        relies on.  Mixed rate/delay paths (whose Figure-4 breakpoints
-        shift with every admission) and heterogeneous batches fall
+        relies on.  Homogeneous batches on mixed rate/delay paths
+        share one Figure-4 scan state across the batch
+        (:meth:`_admit_batch_mixed`): each admission dirties only the
+        breakpoints at or above its granted deadline, and the next
+        request's scan replays just that suffix instead of
+        re-partitioning every breakpoint.  Heterogeneous batches fall
         back to the per-request sequential loop.
         """
         if not requests:
@@ -202,8 +206,10 @@ class PerFlowAdmission:
             and r.delay_requirement == first.delay_requirement
             for r in requests[1:]
         )
-        if not homogeneous or path.rate_based_hops != path.hops:
+        if not homogeneous:
             return [self.admit(r, path, now=now) for r in requests]
+        if path.rate_based_hops != path.hops:
+            return self._admit_batch_mixed(requests, path, now=now)
         spec = first.spec
         r_min = min_feasible_rate_rate_based(
             spec, first.delay_requirement, path.profile()
@@ -256,6 +262,73 @@ class PerFlowAdmission:
             )
             for link in path.links:
                 link.reserve(request.flow_id, decision.rate)
+            self.flow_mib.add(
+                FlowRecord(
+                    flow_id=request.flow_id,
+                    spec=request.spec,
+                    delay_requirement=request.delay_requirement,
+                    path_id=path.path_id,
+                    rate=decision.rate,
+                    delay=decision.delay,
+                    admitted_at=now,
+                )
+            )
+            decisions.append(decision)
+        return decisions
+
+    def _admit_batch_mixed(
+        self,
+        requests: Sequence[AdmissionRequest],
+        path: PathRecord,
+        *,
+        now: float = 0.0,
+    ) -> List[AdmissionDecision]:
+        """Homogeneous batch on a mixed path with a shared scan state.
+
+        Decision-identical to calling :meth:`admit` per request: the
+        shared state only caches per-breakpoint classifications and
+        bounds whose inputs (``spec``, ``D_req``, the breakpoint's
+        ``(d^k, S^k)``) are unchanged, so every reused value is the
+        value the sequential loop would have recomputed.
+        """
+        first = requests[0]
+        scan_state: dict = {}
+        decisions: List[AdmissionDecision] = []
+        for request in requests:
+            if request.flow_id in self.flow_mib:
+                decisions.append(AdmissionDecision(
+                    admitted=False,
+                    flow_id=request.flow_id,
+                    path_id=path.path_id,
+                    reason=RejectionReason.DUPLICATE,
+                    detail=f"flow {request.flow_id!r} is already admitted",
+                ))
+                continue
+            result = self._find_min_rate_pair(
+                first.spec, first.delay_requirement, path,
+                scan_state=scan_state,
+            )
+            if isinstance(result, AdmissionDecision):
+                decisions.append(result)
+                continue
+            rate, delay = result
+            decision = AdmissionDecision(
+                admitted=True,
+                flow_id=request.flow_id,
+                path_id=path.path_id,
+                rate=rate,
+                delay=delay,
+            )
+            for link in path.links:
+                if link.kind is SchedulerKind.DELAY_BASED:
+                    link.reserve(
+                        request.flow_id,
+                        decision.rate,
+                        deadline=decision.delay,
+                        max_packet=request.spec.max_packet,
+                    )
+                else:
+                    link.reserve(request.flow_id, decision.rate)
             self.flow_mib.add(
                 FlowRecord(
                     flow_id=request.flow_id,
@@ -343,14 +416,30 @@ class PerFlowAdmission:
             delay=delay,
         )
 
+    # Per-breakpoint classification codes for the cached scan state.
+    _BP_HI = 0      # d^k > t_nu: contributes a constant upper bound
+    _BP_FATAL = 1   # d^k == t_nu with insufficient slack: hard reject
+    _BP_NEUTRAL = 2  # d^k == t_nu with enough slack: no constraint
+    _BP_BELOW = 3   # d^k < t_nu: contributes an interval lower bound
+
     def _find_min_rate_pair(
-        self, spec: TSpec, delay_requirement: float, path: PathRecord
+        self, spec: TSpec, delay_requirement: float, path: PathRecord,
+        scan_state: Optional[dict] = None,
     ):
         """Figure 4: minimal feasible ``<r, d>`` on a mixed path.
 
         Returns either the pair or a rejecting
         :class:`AdmissionDecision` (flow id left blank — the caller
         fills it in).
+
+        ``scan_state`` is an opaque dict a batch caller threads through
+        consecutive calls with identical ``(spec, D_req)``: it caches
+        the per-breakpoint classifications and bound values, and each
+        call re-derives only the suffix of breakpoints that changed
+        since the previous call (an admission dirties breakpoints at
+        or above its granted deadline only).  Every cached value is a
+        pure function of unchanged inputs, so decisions are
+        bit-identical to the uncached scan.
         """
 
         def reject(reason: RejectionReason, detail: str) -> AdmissionDecision:
@@ -382,24 +471,61 @@ class PerFlowAdmission:
             )
 
         breakpoints = path.deadline_breakpoints()  # merged (d^k, S^k)
+        path.scan_tests += 1
+
+        # Classify every breakpoint relative to t_nu, reusing the
+        # classifications of the unchanged breakpoint prefix from a
+        # prior call in the same batch.  Each entry is
+        # (code, value): HI → upper bound (S^k - Xi - L)/(d^k - t_nu);
+        # FATAL → d^k; BELOW → (d^k, S^k, lower-bound coefficient).
+        cls: List[Tuple]
+        if (
+            scan_state is not None
+            and scan_state.get("params") == (spec, delay_requirement)
+        ):
+            old_bp = scan_state["bp"]
+            if old_bp is breakpoints:
+                cls = scan_state["cls"]
+            else:
+                prefix = 0
+                limit = min(len(old_bp), len(breakpoints))
+                while (
+                    prefix < limit
+                    and old_bp[prefix] == breakpoints[prefix]
+                ):
+                    prefix += 1
+                cls = scan_state["cls"][:prefix]
+                for index in range(prefix, len(breakpoints)):
+                    cls.append(self._classify_breakpoint(
+                        breakpoints[index], t_nu, xi, l_max
+                    ))
+        else:
+            cls = [
+                self._classify_breakpoint(entry, t_nu, xi, l_max)
+                for entry in breakpoints
+            ]
+        if scan_state is not None:
+            scan_state["params"] = (spec, delay_requirement)
+            scan_state["bp"] = breakpoints
+            scan_state["cls"] = cls
 
         # Upper bounds contributed by breakpoints at or beyond t_nu
         # (constant across intervals): r (d^k - t) + Xi + L <= S^k.
         hi_global = rate_cap
         below: List[Tuple[float, float]] = []  # (d^k, S^k) with d^k < t_nu
-        for d_k, s_k in breakpoints:
-            gap = d_k - t_nu
-            if gap > _EPS:
-                hi_global = min(hi_global, (s_k - xi - l_max) / gap)
-            elif gap >= -_EPS:  # d^k == t_nu
-                if s_k + _EPS < xi + l_max:
-                    return reject(
-                        RejectionReason.UNSCHEDULABLE,
-                        f"residual service at deadline {d_k:.6f}s cannot "
-                        f"absorb the new flow at any rate",
-                    )
-            else:
-                below.append((d_k, s_k))
+        bounds: List[float] = []  # matching (Xi + L - S^k) / (t_nu - d^k)
+        for code, value in cls:
+            if code == self._BP_BELOW:
+                below.append((value[0], value[1]))
+                bounds.append(value[2])
+            elif code == self._BP_HI:
+                hi_global = min(hi_global, value)
+            elif code == self._BP_FATAL:
+                return reject(
+                    RejectionReason.UNSCHEDULABLE,
+                    f"residual service at deadline {value:.6f}s cannot "
+                    f"absorb the new flow at any rate",
+                )
         if hi_global <= 0:
             return reject(
                 RejectionReason.UNSCHEDULABLE,
@@ -411,21 +537,32 @@ class PerFlowAdmission:
         #   r >= (Xi + L - S^k) / (t - d^k)
         suffix_lb = [0.0] * (len(below) + 1)
         for k in range(len(below) - 1, -1, -1):
-            d_k, s_k = below[k]
-            bound = (xi + l_max - s_k) / (t_nu - d_k)
-            suffix_lb[k] = max(suffix_lb[k + 1], bound)
+            suffix_lb[k] = max(suffix_lb[k + 1], bounds[k])
 
         delay_links = path.delay_based_links()
         boundaries = [0.0] + [d for d, _ in below]  # d^0 .. d^{m*-1}
 
         best: Optional[Tuple[float, float]] = None
         for m in range(len(boundaries), 0, -1):
+            # suffix_lb is non-increasing in index, so once it alone
+            # reaches the best rate no remaining interval can improve
+            # on it: a candidate only replaces `best` when its rate is
+            # strictly lower, and every remaining lo >= suffix_lb.
+            if best is not None and suffix_lb[m - 1] >= best[0]:
+                path.scan_early_breaks += 1
+                break
+            path.scan_intervals += 1
             d_lo = boundaries[m - 1]
             d_hi = below[m - 1][0] if m - 1 < len(below) else t_nu
             lo = max(spec.rho, suffix_lb[m - 1])
             if t_nu - d_lo <= _EPS:
                 continue
             lo = max(lo, xi / (t_nu - d_lo))
+            if best is not None and lo >= best[0]:
+                # Same argument per interval: this candidate's rate
+                # (even after the boundary nudge, which only raises
+                # it) can never beat the running best.
+                continue
             hi = hi_global
             if d_hi < t_nu - _EPS:
                 hi = min(hi, xi / (t_nu - d_hi))
@@ -440,6 +577,8 @@ class PerFlowAdmission:
                 continue
             lo = max(lo, lo_own)
             if lo > hi * (1 + _EPS):
+                continue
+            if best is not None and lo >= best[0]:
                 continue
             rate = lo
             delay = max(0.0, t_nu - xi / rate)
@@ -462,6 +601,21 @@ class PerFlowAdmission:
                 "no feasible rate-delay pair on any deadline interval",
             )
         return best
+
+    @classmethod
+    def _classify_breakpoint(
+        cls, entry: Tuple[float, float], t_nu: float, xi: float, l_max: float
+    ) -> Tuple:
+        """Classify one merged breakpoint against the scan's ``t_nu``."""
+        d_k, s_k = entry
+        gap = d_k - t_nu
+        if gap > _EPS:
+            return (cls._BP_HI, (s_k - xi - l_max) / gap)
+        if gap >= -_EPS:  # d^k == t_nu
+            if s_k + _EPS < xi + l_max:
+                return (cls._BP_FATAL, d_k)
+            return (cls._BP_NEUTRAL, None)
+        return (cls._BP_BELOW, (d_k, s_k, (xi + l_max - s_k) / (t_nu - d_k)))
 
     @staticmethod
     def _own_deadline_bound(

@@ -14,10 +14,18 @@ Three MIBs back the admission-control module:
   residual bandwidth ``C_res`` and the merged deadline/residual-service
   breakpoints ``(d^m, S^m)`` of Section 3.2.
 
-Path aggregates are cached against a sum of per-link version counters,
-so repeated admission tests on a quiescent path are O(1)/O(M) exactly
-as the paper claims, while any reservation change transparently
-invalidates the cache.
+Path aggregates are cached and **delta-maintained**: every delay-based
+link's ledger publishes per-mutation events (deadline added/removed,
+slack changed; see
+:meth:`~repro.core.schedulability.DeadlineLedger.events_since`), and a
+path folds the deltas into its merged ``(d^m, S^m)`` breakpoint view —
+recomputing only the slack suffix above the mutation watermark —
+instead of re-merging every hop.  A full rebuild happens only on the
+first query or when a subscription gap (the link's bounded event
+window was outrun) makes folding unsafe.  Repeated admission tests on
+a quiescent path stay O(1)/O(M) exactly as the paper claims, while a
+reservation change costs the subscribers O(suffix) instead of
+O(Q·M log M).
 
 Locking contract (see :mod:`repro.service` for the concurrent
 runtime):
@@ -35,6 +43,8 @@ runtime):
 
 from __future__ import annotations
 
+import bisect
+import math
 import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -314,8 +324,50 @@ class PathRecord:
         self.path_id = path_id
         self.nodes = tuple(nodes)
         self.links = tuple(links)
+        # Static aggregates: hop kinds, error terms, propagation and
+        # permissible packet sizes never change after construction, so
+        # the profile is computed once instead of re-scanned per call.
+        self._delay_links = tuple(
+            link for link in self.links
+            if link.kind is SchedulerKind.DELAY_BASED
+        )
+        self._hops = len(self.links)
+        self._rate_based_hops = self._hops - len(self._delay_links)
+        self._d_tot = sum(
+            link.error_term + link.propagation for link in self.links
+        )
+        self._max_packet = max(link.max_packet for link in self.links)
+        self._profile = PathProfile(
+            hops=self._hops,
+            rate_based_hops=self._rate_based_hops,
+            d_tot=self._d_tot,
+            max_packet=self._max_packet,
+        )
+        prefix = [0]
+        for link in self.links[:-1]:
+            prefix.append(
+                prefix[-1]
+                + (1 if link.kind is SchedulerKind.RATE_BASED else 0)
+            )
+        self._rate_based_prefix = prefix
         self._cres_cache: Optional[Tuple[int, float]] = None
-        self._breakpoints_cache: Optional[Tuple[int, Tuple]] = None
+        # Delta-maintained merged breakpoints (Section 3.2): sorted
+        # deadlines, aligned min-slacks, per-deadline contributing-link
+        # refcounts, and the last folded ledger version per delay hop
+        # (None until the first build).
+        self._bp_list: List[float] = []
+        self._bp_slack: List[float] = []
+        self._bp_ref: Dict[float, int] = {}
+        self._bp_versions: Optional[List[int]] = None
+        self._bp_tuple: Tuple[Tuple[float, float], ...] = ()
+        #: Engine counters (serialized with the path's mutations by the
+        #: owner — see the locking contract in the module docstring).
+        self.bp_delta_folds = 0
+        self.bp_full_rebuilds = 0
+        self.bp_cache_hits = 0
+        self.scan_tests = 0
+        self.scan_intervals = 0
+        self.scan_early_breaks = 0
 
     # ------------------------------------------------------------------
     # static aggregates
@@ -324,48 +376,38 @@ class PathRecord:
     @property
     def hops(self) -> int:
         """Total number of schedulers ``h``."""
-        return len(self.links)
+        return self._hops
 
     @property
     def rate_based_hops(self) -> int:
         """Number of rate-based schedulers ``q``."""
-        return sum(
-            1 for link in self.links if link.kind is SchedulerKind.RATE_BASED
-        )
+        return self._rate_based_hops
 
     @property
     def d_tot(self) -> float:
         """``D_tot = sum_i (Psi_i + pi_i)`` along the path."""
-        return sum(link.error_term + link.propagation for link in self.links)
+        return self._d_tot
 
     @property
     def max_packet(self) -> float:
         """``L_path`` — the largest permissible packet along the path."""
-        return max(link.max_packet for link in self.links)
+        return self._max_packet
 
     def profile(self) -> PathProfile:
-        """The :class:`PathProfile` used by the delay-bound formulas."""
-        return PathProfile(
-            hops=self.hops,
-            rate_based_hops=self.rate_based_hops,
-            d_tot=self.d_tot,
-            max_packet=self.max_packet,
-        )
+        """The :class:`PathProfile` used by the delay-bound formulas.
+
+        Computed once at construction (the inputs are immutable) and
+        returned by reference — callers treat it as read-only.
+        """
+        return self._profile
 
     def rate_based_prefix(self) -> List[int]:
         """``q_i`` per hop, for edge-conditioner delta computation."""
-        prefix = [0]
-        for link in self.links[:-1]:
-            prefix.append(
-                prefix[-1] + (1 if link.kind is SchedulerKind.RATE_BASED else 0)
-            )
-        return prefix
+        return list(self._rate_based_prefix)
 
     def delay_based_links(self) -> Tuple[LinkQoSState, ...]:
         """The delay-based hops, in path order."""
-        return tuple(
-            link for link in self.links if link.kind is SchedulerKind.DELAY_BASED
-        )
+        return self._delay_links
 
     # ------------------------------------------------------------------
     # dynamic aggregates (version-cached)
@@ -390,23 +432,104 @@ class PathRecord:
         delay-based schedulers that have a reservation with deadline
         ``d^m`` (the paper's definition in Section 3.2). Sorted by
         deadline.
+
+        Delta-maintained: each call folds the ledger events published
+        since the last one — refcounting deadline additions/removals
+        and recomputing the min-slack only for the suffix at or above
+        the lowest mutated deadline (``W`` is unchanged below it) —
+        instead of re-merging every hop.  Falls back to a full rebuild
+        only on the first call or when a link's bounded event window
+        was outrun (subscription gap).
         """
-        version = self._version_sum()
-        if (
-            self._breakpoints_cache is not None
-            and self._breakpoints_cache[0] == version
-        ):
-            return self._breakpoints_cache[1]
-        merged: Dict[float, float] = {}
-        for link in self.delay_based_links():
-            assert link.ledger is not None
-            for deadline in link.ledger.distinct_deadlines:
-                slack = link.ledger.residual_service(deadline)
-                if deadline not in merged or slack < merged[deadline]:
-                    merged[deadline] = slack
-        result = tuple(sorted(merged.items()))
-        self._breakpoints_cache = (version, result)
-        return result
+        dlinks = self._delay_links
+        if not dlinks:
+            return ()
+        if self._bp_versions is None:
+            return self._bp_rebuild()
+        pending: List[Tuple[int, "DeadlineLedger", Tuple]] = []
+        for index, link in enumerate(dlinks):
+            ledger = link.ledger
+            assert ledger is not None
+            if ledger.version == self._bp_versions[index]:
+                continue
+            events = ledger.events_since(self._bp_versions[index])
+            if events is None:
+                return self._bp_rebuild()
+            pending.append((index, ledger, events))
+        if not pending:
+            self.bp_cache_hits += 1
+            return self._bp_tuple
+        self._bp_fold(pending)
+        return self._bp_tuple
+
+    def _bp_rebuild(self) -> Tuple[Tuple[float, float], ...]:
+        """Full re-merge over every delay-based hop (O(Q·M))."""
+        refs: Dict[float, int] = {}
+        slacks: Dict[float, float] = {}
+        versions: List[int] = []
+        for link in self._delay_links:
+            ledger = link.ledger
+            assert ledger is not None
+            versions.append(ledger.version)
+            for deadline, slack in ledger.iter_deadline_slacks():
+                refs[deadline] = refs.get(deadline, 0) + 1
+                current = slacks.get(deadline)
+                if current is None or slack < current:
+                    slacks[deadline] = slack
+        self._bp_list = sorted(refs)
+        self._bp_slack = [slacks[d] for d in self._bp_list]
+        self._bp_ref = refs
+        self._bp_versions = versions
+        self._bp_tuple = tuple(zip(self._bp_list, self._bp_slack))
+        self.bp_full_rebuilds += 1
+        return self._bp_tuple
+
+    def _bp_fold(self, pending) -> None:
+        """Fold per-link mutation deltas into the merged view.
+
+        First replays the set changes (deadline refcounts), then
+        recomputes the min-slack suffix from the lowest mutated
+        deadline upward with one linear sweep per delay hop.
+        """
+        assert self._bp_versions is not None
+        watermark = math.inf
+        bp_list, bp_slack, bp_ref = self._bp_list, self._bp_slack, self._bp_ref
+        for index, ledger, events in pending:
+            self._bp_versions[index] = ledger.version
+            for _version, deadline, set_change in events:
+                if deadline < watermark:
+                    watermark = deadline
+                if set_change > 0:
+                    count = bp_ref.get(deadline, 0)
+                    bp_ref[deadline] = count + 1
+                    if count == 0:
+                        pos = bisect.bisect_left(bp_list, deadline)
+                        bp_list.insert(pos, deadline)
+                        bp_slack.insert(pos, 0.0)
+                elif set_change < 0:
+                    count = bp_ref[deadline] - 1
+                    if count == 0:
+                        del bp_ref[deadline]
+                        pos = bisect.bisect_left(bp_list, deadline)
+                        del bp_list[pos]
+                        del bp_slack[pos]
+                    else:
+                        bp_ref[deadline] = count
+        start = bisect.bisect_left(bp_list, watermark)
+        if start < len(bp_list):
+            index_of: Dict[float, int] = {}
+            for position in range(start, len(bp_list)):
+                bp_slack[position] = math.inf
+                index_of[bp_list[position]] = position
+            for link in self._delay_links:
+                ledger = link.ledger
+                assert ledger is not None
+                for deadline, slack in ledger.iter_deadline_slacks(watermark):
+                    position = index_of.get(deadline)
+                    if position is not None and slack < bp_slack[position]:
+                        bp_slack[position] = slack
+        self._bp_tuple = tuple(zip(bp_list, bp_slack))
+        self.bp_delta_folds += 1
 
 
 class PathMIB:

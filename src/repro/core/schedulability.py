@@ -27,18 +27,71 @@ reservation ``(r, d, L)`` is admissible iff
 The same condition, with per-hop reshaping to the reserved-rate
 envelope ``(r_j, L_j)``, is the classical RC-EDF schedulability test,
 so the IntServ baseline reuses this ledger.
+
+Incremental engine
+------------------
+
+The distinct-deadline aggregates live in a Fenwick (binary indexed)
+tree over the sorted *slot* array, so ``add``/``remove``/
+``update_rate`` and the ``W(t)`` prefix queries are O(log M) in the
+number of distinct deadlines M — instead of the rebuild-the-world
+prefix-sum pass a mutation used to trigger.  Two escape hatches keep
+the slot array append-only between compactions:
+
+* a new deadline that does not extend the sorted slot array lands in
+  a small sorted **overflow** side-table, scanned linearly by queries;
+* a bucket whose last reservation leaves becomes a **tombstone**: its
+  aggregates are subtracted from the tree but its slot remains, so a
+  deadline that churns (teardown then re-admit, the common service
+  workload) reuses its slot with two O(log M) point updates.
+
+A **lazy compaction** (O(M), counted in
+:attr:`DeadlineLedger.compactions`) re-sorts the slots only when the
+overflow or tombstone population outgrows fixed bounds, or after a
+fixed budget of point updates (which also re-derives every tree node
+from the bucket aggregates, bounding floating-point drift).  Every
+mutation that does *not* compact counts in
+:attr:`DeadlineLedger.incremental_updates` — each one is a full
+prefix rebuild the pre-incremental ledger would have paid.
+
+``admissible()`` and ``is_schedulable()`` are single linear sweeps
+over the breakpoints with O(1) work per step (a running-aggregate
+fold), instead of one bisect-backed prefix query per breakpoint.
+
+Every mutation also appends a ``(version, deadline, set_change)``
+event to a bounded ring buffer.  Path-level caches subscribe via
+:meth:`DeadlineLedger.events_since` and fold the deltas into their
+merged breakpoint view instead of re-merging every hop (see
+:meth:`repro.core.mibs.PathRecord.deadline_breakpoints`); a
+subscriber that falls behind the window is told to rebuild.
 """
 
 from __future__ import annotations
 
 import bisect
-import math
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import (
+    Deque,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
 
 from repro.errors import ConfigurationError, StateError
 
-__all__ = ["DeadlineLedger", "LedgerEntry"]
+__all__ = ["DeadlineLedger", "LedgerEntry", "LedgerEvent"]
+
+#: Overflow deadlines tolerated before a compaction re-sorts the slots.
+_OVERFLOW_LIMIT = 64
+#: Tombstoned slots tolerated (beyond the live count) before compaction.
+_TOMBSTONE_LIMIT = 64
+#: Point updates between drift-bounding compactions (amortized O(1)).
+_COMPACT_PERIOD = 4096
+#: Mutation events retained for delta subscribers (ring buffer).
+_EVENT_WINDOW = 256
 
 
 @dataclass(frozen=True)
@@ -49,6 +102,15 @@ class LedgerEntry:
     rate: float
     deadline: float
     max_packet: float
+
+
+#: One mutation, as published to delta subscribers:
+#: ``(version, deadline, set_change)`` where ``set_change`` is +1 when
+#: the mutation created a distinct deadline, -1 when it retired one,
+#: and 0 when only the aggregates at an existing deadline moved.  In
+#: every case the residual service ``W(t)`` changed for ``t >=
+#: deadline`` and is unchanged below it — the fold watermark.
+LedgerEvent = Tuple[int, float, int]
 
 
 class _DeadlineBucket:
@@ -79,10 +141,11 @@ class _DeadlineBucket:
 class DeadlineLedger:
     """Reservation ledger for one delay-based link of capacity ``C``.
 
-    Maintains the distinct-deadline buckets in sorted order so that
-    ``W(t)`` queries are ``O(log M)`` via prefix sums and admission
-    tests are ``O(M)`` in the number of *distinct* deadlines — the
-    complexity the paper claims for the Figure 4 algorithm.
+    Maintains the distinct-deadline buckets behind a Fenwick tree so
+    that mutations and ``W(t)`` queries are amortized ``O(log M)`` and
+    admission tests are ``O(M)`` in the number of *distinct* deadlines
+    — the complexity the paper claims for the Figure 4 algorithm —
+    with no rebuild-the-world pass on the mutation path.
 
     :param capacity: link capacity ``C`` in bits/s.
     """
@@ -92,15 +155,135 @@ class DeadlineLedger:
             raise ConfigurationError(f"capacity must be positive, got {capacity}")
         self.capacity = float(capacity)
         self._entries: Dict[str, LedgerEntry] = {}
-        self._deadlines: List[float] = []  # sorted distinct deadlines
+        # Buckets for every slot/overflow deadline, tombstones included.
         self._buckets: Dict[float, _DeadlineBucket] = {}
+        # Sorted deadlines with Fenwick positions (may hold tombstones).
+        self._slots: List[float] = []
+        self._slot_index: Dict[float, int] = {}
+        # Sorted deadlines not yet in the tree (scanned by queries).
+        self._overflow: List[float] = []
+        # Fenwick arrays, 1-indexed (index 0 unused).
+        self._bit_rate: List[float] = [0.0]
+        self._bit_rd: List[float] = [0.0]
+        self._bit_pkt: List[float] = [0.0]
+        self._live = 0  # buckets with count > 0
         self._total_rate = 0.0
-        # Prefix sums over buckets, rebuilt lazily.
-        self._prefix_dirty = True
-        self._prefix_rate: List[float] = []
-        self._prefix_rate_deadline: List[float] = []
-        self._prefix_packet: List[float] = []
+        self._ops_since_compact = 0
         self.version = 0  # bumped on every mutation (path-cache invalidation)
+        self._events: Deque[LedgerEvent] = deque(maxlen=_EVENT_WINDOW)
+        #: Mutations absorbed as O(log M) point updates — each one a
+        #: full prefix rebuild the pre-incremental ledger paid.
+        self.incremental_updates = 0
+        #: Lazy O(M) index compactions (overflow/tombstone/drift bound).
+        self.compactions = 0
+
+    # ------------------------------------------------------------------
+    # Fenwick tree primitives
+    # ------------------------------------------------------------------
+
+    def _bit_prefix(self, count: int) -> Tuple[float, float, float]:
+        """Aggregates over the first *count* slots (tombstones included)."""
+        rate = rd = pkt = 0.0
+        bit_rate, bit_rd, bit_pkt = self._bit_rate, self._bit_rd, self._bit_pkt
+        index = count
+        while index > 0:
+            rate += bit_rate[index]
+            rd += bit_rd[index]
+            pkt += bit_pkt[index]
+            index -= index & -index
+        return rate, rd, pkt
+
+    def _bit_update(self, pos: int, d_rate: float, d_rd: float,
+                    d_pkt: float) -> None:
+        """Point-update slot *pos* (0-based) by the given deltas."""
+        size = len(self._slots)
+        bit_rate, bit_rd, bit_pkt = self._bit_rate, self._bit_rd, self._bit_pkt
+        index = pos + 1
+        while index <= size:
+            bit_rate[index] += d_rate
+            bit_rd[index] += d_rd
+            bit_pkt[index] += d_pkt
+            index += index & -index
+
+    def _bit_append_zero(self) -> None:
+        """Grow the tree by one (empty) trailing slot in O(log M)."""
+        index = len(self._slots)  # new 1-based size
+        low = index & -index
+        if low == 1:
+            self._bit_rate.append(0.0)
+            self._bit_rd.append(0.0)
+            self._bit_pkt.append(0.0)
+            return
+        # The new node covers (index-low, index]; its children already
+        # hold (index-low, index-1] and the appended value is zero.
+        r1, rd1, p1 = self._bit_prefix(index - 1)
+        r0, rd0, p0 = self._bit_prefix(index - low)
+        self._bit_rate.append(r1 - r0)
+        self._bit_rd.append(rd1 - rd0)
+        self._bit_pkt.append(p1 - p0)
+
+    # ------------------------------------------------------------------
+    # slot/overflow placement and compaction
+    # ------------------------------------------------------------------
+
+    def _place_new_deadline(self, deadline: float) -> None:
+        """Make room for a first-seen distinct deadline."""
+        if not self._slots or deadline > self._slots[-1]:
+            self._slot_index[deadline] = len(self._slots)
+            self._slots.append(deadline)
+            self._bit_append_zero()
+        else:
+            bisect.insort(self._overflow, deadline)
+
+    def _tombstones(self) -> int:
+        return len(self._slots) + len(self._overflow) - self._live
+
+    def _compact(self) -> None:
+        """Re-sort live deadlines into fresh slots, rebuild the tree.
+
+        O(M); resets overflow, tombstones and accumulated
+        floating-point drift (every tree node is re-derived from the
+        bucket aggregates).  Does **not** bump the version: nothing
+        observable changed beyond last-ulp regrouping.
+        """
+        live = sorted(
+            d for d, bucket in self._buckets.items() if bucket.count > 0
+        )
+        self._buckets = {d: self._buckets[d] for d in live}
+        self._slots = live
+        self._slot_index = {d: i for i, d in enumerate(live)}
+        self._overflow = []
+        size = len(live)
+        bit_rate = [0.0] * (size + 1)
+        bit_rd = [0.0] * (size + 1)
+        bit_pkt = [0.0] * (size + 1)
+        for i, d in enumerate(live):
+            bucket = self._buckets[d]
+            bit_rate[i + 1] += bucket.sum_rate
+            bit_rd[i + 1] += bucket.sum_rate_deadline
+            bit_pkt[i + 1] += bucket.sum_packet
+        for index in range(1, size + 1):
+            parent = index + (index & -index)
+            if parent <= size:
+                bit_rate[parent] += bit_rate[index]
+                bit_rd[parent] += bit_rd[index]
+                bit_pkt[parent] += bit_pkt[index]
+        self._bit_rate, self._bit_rd, self._bit_pkt = bit_rate, bit_rd, bit_pkt
+        self._ops_since_compact = 0
+        self.compactions += 1
+
+    def _finish_mutation(self, deadline: float, set_change: int) -> None:
+        self.version += 1
+        self._events.append((self.version, deadline, set_change))
+        self._ops_since_compact += 1
+        if (
+            len(self._overflow) > _OVERFLOW_LIMIT
+            or self._tombstones() > _TOMBSTONE_LIMIT + self._live
+            or self._ops_since_compact >= _COMPACT_PERIOD
+        ):
+            self._compact()
+        else:
+            self.incremental_updates += 1
 
     # ------------------------------------------------------------------
     # mutation
@@ -119,14 +302,22 @@ class DeadlineLedger:
             )
         entry = LedgerEntry(key, float(rate), float(deadline), float(max_packet))
         self._entries[key] = entry
-        bucket = self._buckets.get(entry.deadline)
+        d = entry.deadline
+        bucket = self._buckets.get(d)
         if bucket is None:
-            bucket = _DeadlineBucket(entry.deadline)
-            self._buckets[entry.deadline] = bucket
-            bisect.insort(self._deadlines, entry.deadline)
+            bucket = _DeadlineBucket(d)
+            self._buckets[d] = bucket
+            self._place_new_deadline(d)
         bucket.add(entry.rate, entry.max_packet)
+        pos = self._slot_index.get(d)
+        if pos is not None:
+            self._bit_update(pos, entry.rate, entry.rate * d, entry.max_packet)
         self._total_rate += entry.rate
-        self._invalidate()
+        set_change = 0
+        if bucket.count == 1:  # new distinct deadline (or revived tombstone)
+            self._live += 1
+            set_change = 1
+        self._finish_mutation(d, set_change)
 
     def remove(self, key: str) -> LedgerEntry:
         """Remove reservation *key*, returning its entry.
@@ -136,24 +327,69 @@ class DeadlineLedger:
         entry = self._entries.pop(key, None)
         if entry is None:
             raise StateError(f"reservation {key!r} not in ledger")
-        bucket = self._buckets[entry.deadline]
+        d = entry.deadline
+        bucket = self._buckets[d]
         bucket.remove(entry.rate, entry.max_packet)
-        if bucket.count == 0:
-            del self._buckets[entry.deadline]
-            index = bisect.bisect_left(self._deadlines, entry.deadline)
-            del self._deadlines[index]
+        pos = self._slot_index.get(d)
+        if pos is not None:
+            self._bit_update(pos, -entry.rate, -entry.rate * d,
+                             -entry.max_packet)
         self._total_rate -= entry.rate
-        self._invalidate()
+        set_change = 0
+        if bucket.count == 0:  # tombstone: slot retained for reuse
+            self._live -= 1
+            set_change = -1
+        self._finish_mutation(d, set_change)
         return entry
 
     def update_rate(self, key: str, rate: float) -> None:
-        """Change the rate of an existing reservation (macroflow resizing)."""
-        entry = self.remove(key)
-        self.add(key, rate, entry.deadline, entry.max_packet)
+        """Change the rate of an existing reservation (macroflow resizing).
 
-    def _invalidate(self) -> None:
-        self._prefix_dirty = True
-        self.version += 1
+        Mutates the deadline bucket in place — one O(log M) point
+        update and exactly **one** version bump, so every path cache
+        over this link folds a single delta instead of a remove/add
+        pair.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            raise StateError(f"reservation {key!r} not in ledger")
+        if rate <= 0:
+            raise ConfigurationError(f"rate must be positive, got {rate}")
+        delta = float(rate) - entry.rate
+        d = entry.deadline
+        self._entries[key] = LedgerEntry(key, float(rate), d, entry.max_packet)
+        bucket = self._buckets[d]
+        bucket.sum_rate += delta
+        bucket.sum_rate_deadline += delta * d
+        pos = self._slot_index.get(d)
+        if pos is not None:
+            self._bit_update(pos, delta, delta * d, 0.0)
+        self._total_rate += delta
+        self._finish_mutation(d, 0)
+
+    # ------------------------------------------------------------------
+    # delta subscription
+    # ------------------------------------------------------------------
+
+    def events_since(self, version: int) -> Optional[Tuple[LedgerEvent, ...]]:
+        """Mutation events after *version*, oldest first.
+
+        Returns ``()`` when the subscriber is current, or ``None``
+        when the ring buffer no longer covers the gap — the
+        subscriber must then rebuild from scratch and resubscribe at
+        :attr:`version`.
+        """
+        if version >= self.version:
+            return ()
+        collected: List[LedgerEvent] = []
+        for event in reversed(self._events):
+            if event[0] <= version:
+                break
+            collected.append(event)
+        if not collected or collected[-1][0] != version + 1:
+            return None  # window evicted the oldest needed event
+        collected.reverse()
+        return tuple(collected)
 
     # ------------------------------------------------------------------
     # queries
@@ -184,37 +420,53 @@ class DeadlineLedger:
 
     @property
     def distinct_deadlines(self) -> Tuple[float, ...]:
-        """The sorted distinct deadlines ``d^1 < ... < d^M``."""
-        return tuple(self._deadlines)
+        """The sorted distinct (live) deadlines ``d^1 < ... < d^M``."""
+        return tuple(
+            d for d in self._iter_live_deadlines()
+        )
 
-    def _rebuild_prefix(self) -> None:
-        if not self._prefix_dirty:
-            return
-        rate = rate_deadline = packet = 0.0
-        self._prefix_rate = []
-        self._prefix_rate_deadline = []
-        self._prefix_packet = []
-        for deadline in self._deadlines:
-            bucket = self._buckets[deadline]
-            rate += bucket.sum_rate
-            rate_deadline += bucket.sum_rate_deadline
-            packet += bucket.sum_packet
-            self._prefix_rate.append(rate)
-            self._prefix_rate_deadline.append(rate_deadline)
-            self._prefix_packet.append(packet)
-        self._prefix_dirty = False
+    def _iter_live_deadlines(self) -> Iterator[float]:
+        """Sorted merge of live slot and overflow deadlines."""
+        slots, over, buckets = self._slots, self._overflow, self._buckets
+        si, oi = 0, 0
+        ns, no = len(slots), len(over)
+        while si < ns or oi < no:
+            if oi >= no or (si < ns and slots[si] <= over[oi]):
+                d = slots[si]
+                si += 1
+            else:
+                d = over[oi]
+                oi += 1
+            if buckets[d].count > 0:
+                yield d
 
     def _aggregates_upto(self, t: float) -> Tuple[float, float, float]:
         """``(sum r_j, sum r_j d_j, sum L_j)`` over flows with ``d_j <= t``."""
-        self._rebuild_prefix()
-        index = bisect.bisect_right(self._deadlines, t) - 1
-        if index < 0:
-            return 0.0, 0.0, 0.0
-        return (
-            self._prefix_rate[index],
-            self._prefix_rate_deadline[index],
-            self._prefix_packet[index],
-        )
+        rate, rd, pkt = self._bit_prefix(bisect.bisect_right(self._slots, t))
+        if self._overflow:
+            buckets = self._buckets
+            for d in self._overflow:
+                if d > t:
+                    break
+                bucket = buckets[d]
+                rate += bucket.sum_rate
+                rd += bucket.sum_rate_deadline
+                pkt += bucket.sum_packet
+        return rate, rd, pkt
+
+    def _aggregates_below(self, t: float) -> Tuple[float, float, float]:
+        """Like :meth:`_aggregates_upto` but over ``d_j < t`` strictly."""
+        rate, rd, pkt = self._bit_prefix(bisect.bisect_left(self._slots, t))
+        if self._overflow:
+            buckets = self._buckets
+            for d in self._overflow:
+                if d >= t:
+                    break
+                bucket = buckets[d]
+                rate += bucket.sum_rate
+                rd += bucket.sum_rate_deadline
+                pkt += bucket.sum_packet
+        return rate, rd, pkt
 
     def residual_service(self, t: float) -> float:
         """``W(t) = C t - sum_{d_j <= t} [r_j (t - d_j) + L_j]``.
@@ -239,13 +491,46 @@ class DeadlineLedger:
         """
         return self._aggregates_upto(t)
 
+    def iter_deadline_slacks(
+        self, from_t: Optional[float] = None
+    ) -> Iterator[Tuple[float, float]]:
+        """Yield ``(d^k, W(d^k))`` for live deadlines ``d^k >= from_t``.
+
+        One O(log M) prefix query seeds the running aggregates; every
+        subsequent breakpoint costs O(1) — the linear-sweep primitive
+        behind path-level breakpoint folding.
+        """
+        slots, over, buckets = self._slots, self._overflow, self._buckets
+        if from_t is None:
+            rate = rd = pkt = 0.0
+            si = oi = 0
+        else:
+            rate, rd, pkt = self._aggregates_below(from_t)
+            si = bisect.bisect_left(slots, from_t)
+            oi = bisect.bisect_left(over, from_t)
+        capacity = self.capacity
+        ns, no = len(slots), len(over)
+        while si < ns or oi < no:
+            if oi >= no or (si < ns and slots[si] <= over[oi]):
+                d = slots[si]
+                si += 1
+            else:
+                d = over[oi]
+                oi += 1
+            bucket = buckets[d]
+            if bucket.count == 0:
+                continue
+            rate += bucket.sum_rate
+            rd += bucket.sum_rate_deadline
+            pkt += bucket.sum_packet
+            yield d, capacity * d - (rate * d - rd + pkt)
+
     def is_schedulable(self) -> bool:
         """Does the current reservation set satisfy eq. (5)?"""
         if self._total_rate > self.capacity * (1 + 1e-12):
             return False
         return all(
-            self.residual_service(deadline) >= -1e-9
-            for deadline in self._deadlines
+            slack >= -1e-9 for _d, slack in self.iter_deadline_slacks()
         )
 
     def admissible(self, rate: float, deadline: float, max_packet: float) -> bool:
@@ -255,18 +540,40 @@ class DeadlineLedger:
         path-oriented algorithm avoids running it per hop, but it is
         the ground truth the path algorithm is tested against, and the
         IntServ baseline uses it directly.
+
+        One prefix query at ``deadline`` seeds a linear sweep over the
+        breakpoints above it: O(log M + K) with O(1) per breakpoint,
+        instead of one prefix query per breakpoint.
         """
         slack = 1e-9 * self.capacity
         if self._total_rate + rate > self.capacity + slack:
             return False
+        r_sum, rd_sum, p_sum = self._aggregates_upto(deadline)
+        capacity = self.capacity
         # Own deadline: W(d) >= L.
-        if self.residual_service(deadline) + 1e-9 < max_packet:
+        if capacity * deadline - (r_sum * deadline - rd_sum + p_sum) + 1e-9 < max_packet:
             return False
-        # Every existing breakpoint at or above d.
-        index = bisect.bisect_left(self._deadlines, deadline)
-        for existing in self._deadlines[index:]:
-            needed = rate * (existing - deadline) + max_packet
-            if self.residual_service(existing) + 1e-9 < needed:
+        # Every existing breakpoint above d, via a running-aggregate
+        # sweep (a breakpoint equal to d is the own-deadline check).
+        slots, over, buckets = self._slots, self._overflow, self._buckets
+        si = bisect.bisect_right(slots, deadline)
+        oi = bisect.bisect_right(over, deadline)
+        ns, no = len(slots), len(over)
+        while si < ns or oi < no:
+            if oi >= no or (si < ns and slots[si] <= over[oi]):
+                d = slots[si]
+                si += 1
+            else:
+                d = over[oi]
+                oi += 1
+            bucket = buckets[d]
+            if bucket.count == 0:
+                continue
+            r_sum += bucket.sum_rate
+            rd_sum += bucket.sum_rate_deadline
+            p_sum += bucket.sum_packet
+            needed = rate * (d - deadline) + max_packet
+            if capacity * d - (r_sum * d - rd_sum + p_sum) + 1e-9 < needed:
                 return False
         return True
 

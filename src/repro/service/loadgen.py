@@ -103,23 +103,33 @@ def provision_parallel_paths(
     hops: int = 3,
     capacity: float = mbps(45),
     max_packet: float = bytes_(1500),
+    delay_hops: int = 0,
 ) -> List[Tuple[str, ...]]:
     """Provision *paths* link-disjoint chains ``Ik -> Ck1.. -> Ek``.
 
-    Every link is rate-based (the hoistable fast path of the
-    admission batcher), sized so the benchmark workloads are
-    admission-conflict-free.  Returns the pinned node sequences, one
-    per path, for use as :class:`FlowTemplate` pins.
+    By default every link is rate-based (the hoistable fast path of
+    the admission batcher), sized so the benchmark workloads are
+    admission-conflict-free.  With ``delay_hops`` > 0 the last that
+    many hops of each chain are delay-based instead, which routes the
+    workload through the Figure-4 mixed scan and the incremental
+    deadline ledgers — the configuration that exercises the
+    incremental admission engine's counters.  Returns the pinned node
+    sequences, one per path, for use as :class:`FlowTemplate` pins.
     """
     pinned: List[Tuple[str, ...]] = []
     for index in range(paths):
         nodes = [f"I{index}"]
         nodes += [f"C{index}_{hop}" for hop in range(1, hops)]
         nodes.append(f"E{index}")
-        for src, dst in zip(nodes, nodes[1:]):
+        total = len(nodes) - 1
+        for hop_index, (src, dst) in enumerate(zip(nodes, nodes[1:])):
+            kind = (
+                SchedulerKind.DELAY_BASED
+                if hop_index >= total - delay_hops
+                else SchedulerKind.RATE_BASED
+            )
             broker.add_link(
-                src, dst, capacity, SchedulerKind.RATE_BASED,
-                max_packet=max_packet,
+                src, dst, capacity, kind, max_packet=max_packet,
             )
         broker.routing.pin_path(nodes)
         pinned.append(tuple(nodes))

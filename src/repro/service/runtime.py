@@ -495,6 +495,28 @@ class BrokerService:
             )
         elif self.wal is not None:
             epoch = self.wal.epoch
+        # Incremental-engine effectiveness counters.  They live on the
+        # per-link ledgers / per-path records (mutated only under the
+        # owning shard lock); summing them lock-free here reads each
+        # int atomically, so the totals are merely point-in-time.
+        ledger_updates = 0
+        ledger_compactions = 0
+        for link in self.broker.node_mib.links():
+            ledger = link.ledger
+            if ledger is not None:
+                ledger_updates += ledger.incremental_updates
+                ledger_compactions += ledger.compactions
+        bp_delta_folds = 0
+        bp_full_rebuilds = 0
+        scan_tests = 0
+        scan_intervals = 0
+        scan_early_breaks = 0
+        for path in self.broker.path_mib.records():
+            bp_delta_folds += path.bp_delta_folds
+            bp_full_rebuilds += path.bp_full_rebuilds
+            scan_tests += path.scan_tests
+            scan_intervals += path.scan_intervals
+            scan_early_breaks += path.scan_early_breaks
         return self._recorder.snapshot(
             workers=self.workers,
             shards=self.shards.num_shards,
@@ -511,6 +533,13 @@ class BrokerService:
             replication_mode=mode,
             replication_quorum=quorum,
             followers=followers,
+            ledger_updates=ledger_updates,
+            ledger_compactions=ledger_compactions,
+            bp_delta_folds=bp_delta_folds,
+            bp_full_rebuilds=bp_full_rebuilds,
+            scan_tests=scan_tests,
+            scan_intervals=scan_intervals,
+            scan_early_breaks=scan_early_breaks,
         )
 
     # ------------------------------------------------------------------

@@ -81,6 +81,22 @@ class ServiceStats:
     :param followers: per-follower replication health at snapshot
         time: ``(name, acked_seq, lag_records, lag_seconds, ack_ms)``
         tuples, session order.
+    :param ledger_updates: incremental (O(log M)) deadline-ledger point
+        updates applied across all links — each one is a prefix-sum
+        rebuild the pre-incremental engine would have paid O(M) for.
+    :param ledger_compactions: lazy ledger index compactions (the
+        amortized O(M) events; ``ledger_updates / ledger_compactions``
+        shows how much churn each compaction absorbed).
+    :param bp_delta_folds: path breakpoint refreshes served by folding
+        published ledger deltas into the cached merged view.
+    :param bp_full_rebuilds: path breakpoint refreshes that re-merged
+        every hop (first use or subscription gap) — the rebuilds the
+        delta subscription avoided is ``bp_delta_folds``.
+    :param scan_tests: Figure-4 mixed-path admission scans executed.
+    :param scan_intervals: deadline intervals those scans visited;
+        ``scan_intervals / scan_tests`` is the mean scan length.
+    :param scan_early_breaks: scans cut short because the suffix lower
+        bound already exceeded the best feasible rate.
     """
 
     workers: int
@@ -109,6 +125,13 @@ class ServiceStats:
     replication_quorum: int = 0
     replication_stalls: int = 0
     followers: Tuple[Tuple[str, int, int, float, float], ...] = ()
+    ledger_updates: int = 0
+    ledger_compactions: int = 0
+    bp_delta_folds: int = 0
+    bp_full_rebuilds: int = 0
+    scan_tests: int = 0
+    scan_intervals: int = 0
+    scan_early_breaks: int = 0
 
     @property
     def mean_batch(self) -> float:
@@ -124,6 +147,16 @@ class ServiceStats:
     def wal_mean_group(self) -> float:
         """Mean entries per journal flush (0.0 without a WAL)."""
         return self.wal_appends / self.wal_fsyncs if self.wal_fsyncs else 0.0
+
+    @property
+    def mean_scan_intervals(self) -> float:
+        """Mean deadline intervals visited per Figure-4 scan."""
+        return self.scan_intervals / self.scan_tests if self.scan_tests else 0.0
+
+    @property
+    def rebuilds_avoided(self) -> int:
+        """Full path re-merges the delta subscription made unnecessary."""
+        return self.bp_delta_folds
 
     @property
     def max_follower_lag(self) -> int:
@@ -173,6 +206,14 @@ class ServiceStats:
                 for name, acked_seq, lag_records, lag_seconds, ack_ms
                 in self.followers
             ],
+            "ledger_updates": self.ledger_updates,
+            "ledger_compactions": self.ledger_compactions,
+            "bp_delta_folds": self.bp_delta_folds,
+            "bp_full_rebuilds": self.bp_full_rebuilds,
+            "scan_tests": self.scan_tests,
+            "scan_intervals": self.scan_intervals,
+            "mean_scan_intervals": round(self.mean_scan_intervals, 3),
+            "scan_early_breaks": self.scan_early_breaks,
         }
 
 
@@ -256,6 +297,13 @@ class StatsRecorder:
         replication_mode: str = "",
         replication_quorum: int = 0,
         followers: Tuple[Tuple[str, int, int, float, float], ...] = (),
+        ledger_updates: int = 0,
+        ledger_compactions: int = 0,
+        bp_delta_folds: int = 0,
+        bp_full_rebuilds: int = 0,
+        scan_tests: int = 0,
+        scan_intervals: int = 0,
+        scan_early_breaks: int = 0,
     ) -> ServiceStats:
         """A consistent :class:`ServiceStats` at this instant."""
         with self._lock:
@@ -287,4 +335,11 @@ class StatsRecorder:
                 replication_quorum=replication_quorum,
                 replication_stalls=self.replication_stalls,
                 followers=followers,
+                ledger_updates=ledger_updates,
+                ledger_compactions=ledger_compactions,
+                bp_delta_folds=bp_delta_folds,
+                bp_full_rebuilds=bp_full_rebuilds,
+                scan_tests=scan_tests,
+                scan_intervals=scan_intervals,
+                scan_early_breaks=scan_early_breaks,
             )

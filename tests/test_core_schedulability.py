@@ -98,6 +98,38 @@ class TestBasics:
         ledger.add("f1", 50000, 0.1, 12000)
         assert ledger.version > v0
 
+    def test_update_rate_single_version_bump(self):
+        """A resize is one in-place bucket mutation — one version bump
+        (one downstream cache invalidation), not a remove+add pair."""
+        ledger = DeadlineLedger(1e6)
+        ledger.add("f1", 50000, 0.1, 12000)
+        version = ledger.version
+        ledger.update_rate("f1", 80000)
+        assert ledger.version == version + 1
+        # The published delta says "aggregates changed at 0.1, deadline
+        # set unchanged" — exactly one event for subscribers to fold.
+        assert ledger.events_since(version) == ((version + 1, 0.1, 0),)
+        assert ledger.distinct_deadlines == (0.1,)
+
+    def test_update_rate_keeps_queries_consistent(self):
+        ledger = DeadlineLedger(1e6)
+        ledger.add("f1", 50000, 0.1, 12000)
+        ledger.add("f2", 20000, 0.4, 12000)
+        ledger.update_rate("f1", 80000)
+        entries = [(80000, 0.1, 12000), (20000, 0.4, 12000)]
+        for t in (0.05, 0.1, 0.2, 0.4, 1.0):
+            expected = 1e6 * t - brute_force_demand(entries, t)
+            assert ledger.residual_service(t) == pytest.approx(expected)
+
+    def test_update_rate_invalid_rate_leaves_state_untouched(self):
+        ledger = DeadlineLedger(1e6)
+        ledger.add("f1", 50000, 0.1, 12000)
+        version = ledger.version
+        with pytest.raises(ConfigurationError):
+            ledger.update_rate("f1", -5.0)
+        assert ledger.version == version
+        assert ledger.entry("f1").rate == 50000
+
 
 class TestResidualService:
     def test_empty_is_ct(self):

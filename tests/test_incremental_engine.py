@@ -1,0 +1,411 @@
+"""Differential tests for the incremental admission engine.
+
+The Fenwick-tree ledger, the delta-folded path breakpoints and the
+cached Figure-4 scan are *optimizations*: every decision and every
+query they answer must be identical to a naive recompute-from-entries
+oracle.  These tests drive both through long random admit / release /
+resize churn sequences and compare after **every** operation.
+
+The workloads use dyadic deadlines (multiples of 1/1024) and integer
+rates/packet sizes, so every aggregate the two implementations sum is
+exact in IEEE-754 double regardless of summation grouping — agreement
+is checked with ``==``, not a tolerance.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.admission import AdmissionRequest, PerFlowAdmission
+from repro.core.mibs import FlowMIB, LinkQoSState, NodeMIB, PathMIB, PathRecord
+from repro.core.schedulability import DeadlineLedger
+from repro.traffic.spec import TSpec
+from repro.vtrs.timestamps import SchedulerKind
+
+R, D = SchedulerKind.RATE_BASED, SchedulerKind.DELAY_BASED
+
+CAPACITY = 10_000_000.0
+
+
+class NaiveLedgerOracle:
+    """Recompute-from-entries reference for :class:`DeadlineLedger`.
+
+    Stores the raw ``(rate, deadline, max_packet)`` entries and answers
+    every query with a fresh pass over them, using the exact tolerance
+    formulas of the incremental ledger.
+    """
+
+    def __init__(self, capacity):
+        self.capacity = float(capacity)
+        self.entries = {}
+
+    # -- mutations ----------------------------------------------------
+    def add(self, key, rate, deadline, max_packet):
+        self.entries[key] = (float(rate), float(deadline), float(max_packet))
+
+    def remove(self, key):
+        del self.entries[key]
+
+    def update_rate(self, key, rate):
+        _old, deadline, max_packet = self.entries[key]
+        self.entries[key] = (float(rate), deadline, max_packet)
+
+    # -- queries ------------------------------------------------------
+    def _aggregates_upto(self, t):
+        rate = rd = pkt = 0.0
+        for r, d, p in self.entries.values():
+            if d <= t:
+                rate += r
+                rd += r * d
+                pkt += p
+        return rate, rd, pkt
+
+    @property
+    def distinct_deadlines(self):
+        return tuple(sorted({d for _r, d, _p in self.entries.values()}))
+
+    def residual_service(self, t):
+        rate, rd, pkt = self._aggregates_upto(t)
+        return self.capacity * t - (rate * t - rd + pkt)
+
+    def admissible(self, rate, deadline, max_packet):
+        slack = 1e-9 * self.capacity
+        total = sum(r for r, _d, _p in self.entries.values())
+        if total + rate > self.capacity + slack:
+            return False
+        if self.residual_service(deadline) + 1e-9 < max_packet:
+            return False
+        for d in self.distinct_deadlines:
+            if d <= deadline:
+                continue
+            needed = rate * (d - deadline) + max_packet
+            if self.residual_service(d) + 1e-9 < needed:
+                return False
+        return True
+
+
+def dyadic(rng, lo=1, hi=4096):
+    """A deadline that is an exact dyadic rational (multiple of 2^-10)."""
+    return rng.randint(lo, hi) / 1024.0
+
+
+def make_op(rng, live, next_id):
+    """Pick one churn operation given the currently-live keys."""
+    roll = rng.random()
+    if live and roll < 0.35:
+        return ("remove", rng.choice(sorted(live)))
+    if live and roll < 0.50:
+        return ("resize", rng.choice(sorted(live)), float(rng.randint(1, 2000)))
+    return ("add", f"f{next_id}", float(rng.randint(1, 2000)),
+            dyadic(rng), float(rng.choice([512, 1000, 1500])))
+
+
+def apply_op(op, ledger, oracle, live):
+    if op[0] == "add":
+        _kind, key, rate, deadline, packet = op
+        ledger.add(key, rate, deadline, packet)
+        oracle.add(key, rate, deadline, packet)
+        live.add(key)
+    elif op[0] == "remove":
+        ledger.remove(op[1])
+        oracle.remove(op[1])
+        live.discard(op[1])
+    else:
+        ledger.update_rate(op[1], op[2])
+        oracle.update_rate(op[1], op[2])
+
+
+def assert_ledger_matches(ledger, oracle, rng):
+    assert ledger.distinct_deadlines == oracle.distinct_deadlines
+    probes = list(ledger.distinct_deadlines[:4])
+    probes.append(dyadic(rng))
+    for t in probes:
+        assert ledger.residual_service(t) == oracle.residual_service(t)
+    cand = (float(rng.randint(1, 2000)), dyadic(rng),
+            float(rng.choice([512, 1000, 1500])))
+    assert ledger.admissible(*cand) == oracle.admissible(*cand)
+
+
+class TestLedgerDifferential:
+    def test_long_churn_bit_identical(self):
+        """>=2000-op random churn: every query agrees exactly."""
+        rng = random.Random(0xBB)
+        ledger = DeadlineLedger(CAPACITY)
+        oracle = NaiveLedgerOracle(CAPACITY)
+        live = set()
+        for step in range(2000):
+            op = make_op(rng, live, step)
+            apply_op(op, ledger, oracle, live)
+            assert_ledger_matches(ledger, oracle, rng)
+        # The churn must actually have exercised the incremental paths.
+        assert ledger.incremental_updates > 1000
+        assert ledger.distinct_deadlines == oracle.distinct_deadlines
+
+    def test_churn_through_compactions(self):
+        """Deadlines drawn from a tiny window force overflow-table and
+        tombstone compactions; agreement must survive them."""
+        rng = random.Random(7)
+        ledger = DeadlineLedger(CAPACITY)
+        oracle = NaiveLedgerOracle(CAPACITY)
+        live = set()
+        for step in range(1500):
+            roll = rng.random()
+            if live and roll < 0.45:
+                key = rng.choice(sorted(live))
+                ledger.remove(key)
+                oracle.remove(key)
+                live.discard(key)
+            else:
+                key = f"c{step}"
+                # Descending deadlines: almost every new distinct
+                # deadline is a middle insertion, landing in the
+                # overflow side-table until a compaction fires.
+                deadline = (8192 - 4 * step - rng.randint(0, 3)) / 1024.0
+                rate = float(rng.randint(1, 500))
+                ledger.add(key, rate, deadline, 1000.0)
+                oracle.add(key, rate, deadline, 1000.0)
+                live.add(key)
+            assert_ledger_matches(ledger, oracle, rng)
+        assert ledger.compactions > 0
+
+    def test_segment_aggregates_match(self):
+        rng = random.Random(3)
+        ledger = DeadlineLedger(CAPACITY)
+        oracle = NaiveLedgerOracle(CAPACITY)
+        live = set()
+        for step in range(400):
+            apply_op(make_op(rng, live, step), ledger, oracle, live)
+            t = dyadic(rng)
+            assert ledger.segment_aggregates(t) == oracle._aggregates_upto(t)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2),   # op selector
+            st.integers(min_value=1, max_value=4096),  # dyadic deadline k
+            st.integers(min_value=1, max_value=2000),  # rate
+            st.integers(min_value=0, max_value=30),    # victim index
+        ),
+        min_size=1, max_size=120,
+    ))
+    def test_property_churn(self, ops):
+        ledger = DeadlineLedger(CAPACITY)
+        oracle = NaiveLedgerOracle(CAPACITY)
+        live = []
+        for index, (sel, k, rate, victim) in enumerate(ops):
+            if sel == 0 or not live:
+                key = f"h{index}"
+                ledger.add(key, float(rate), k / 1024.0, 1000.0)
+                oracle.add(key, float(rate), k / 1024.0, 1000.0)
+                live.append(key)
+            elif sel == 1:
+                key = live.pop(victim % len(live))
+                ledger.remove(key)
+                oracle.remove(key)
+            else:
+                key = live[victim % len(live)]
+                ledger.update_rate(key, float(rate))
+                oracle.update_rate(key, float(rate))
+            assert ledger.distinct_deadlines == oracle.distinct_deadlines
+            probe = k / 1024.0
+            assert (ledger.residual_service(probe)
+                    == oracle.residual_service(probe))
+            assert (ledger.admissible(float(rate), probe, 1000.0)
+                    == oracle.admissible(float(rate), probe, 1000.0))
+
+
+def naive_breakpoints(links):
+    """Merge-every-hop reference for ``PathRecord.deadline_breakpoints``."""
+    merged = {}
+    for link in links:
+        ledger = link.ledger
+        for deadline in ledger.distinct_deadlines:
+            slack = ledger.residual_service(deadline)
+            if deadline not in merged or slack < merged[deadline]:
+                merged[deadline] = slack
+    return tuple(sorted(merged.items()))
+
+
+def make_delay_path(path_id="p", hops=3):
+    links = [
+        LinkQoSState((f"n{i}", f"n{i+1}"), CAPACITY, D, max_packet=12000.0)
+        for i in range(hops)
+    ]
+    return PathRecord(path_id, [f"n{i}" for i in range(hops + 1)], links), links
+
+
+class TestPathBreakpointsDifferential:
+    def test_delta_folds_match_full_merge(self):
+        """~1200 mutations over 3 delay hops: the folded view always
+        equals the naive re-merge, and folding dominates rebuilds."""
+        rng = random.Random(42)
+        path, links = make_delay_path()
+        live = {}  # key -> link index
+        for step in range(1200):
+            link_index = rng.randrange(len(links))
+            link = links[link_index]
+            roll = rng.random()
+            mine = sorted(k for k, li in live.items() if li == link_index)
+            if mine and roll < 0.4:
+                key = rng.choice(mine)
+                link.release(key)
+                del live[key]
+            elif mine and roll < 0.55:
+                link.adjust_rate(rng.choice(mine), float(rng.randint(1, 2000)))
+            else:
+                key = f"b{step}"
+                link.reserve(key, float(rng.randint(1, 2000)),
+                             deadline=dyadic(rng), max_packet=1000.0)
+                live[key] = link_index
+            assert path.deadline_breakpoints() == naive_breakpoints(links)
+        assert path.bp_delta_folds > 10 * max(1, path.bp_full_rebuilds)
+
+    def test_event_window_gap_forces_rebuild(self):
+        """A burst longer than the ledger's event window between reads
+        must fall back to a full rebuild — and still be correct."""
+        rng = random.Random(9)
+        path, links = make_delay_path(hops=2)
+        assert path.deadline_breakpoints() == ()  # primes the subscription
+        rebuilds_before = path.bp_full_rebuilds
+        for step in range(300):  # > _EVENT_WINDOW = 256 on one ledger
+            links[0].reserve(f"g{step}", 10.0, deadline=dyadic(rng),
+                            max_packet=1000.0)
+        assert path.deadline_breakpoints() == naive_breakpoints(links)
+        assert path.bp_full_rebuilds == rebuilds_before + 1
+        # Small follow-up mutations fold again instead of rebuilding.
+        folds_before = path.bp_delta_folds
+        links[1].reserve("g-tail", 10.0, deadline=dyadic(rng),
+                         max_packet=1000.0)
+        assert path.deadline_breakpoints() == naive_breakpoints(links)
+        assert path.bp_delta_folds == folds_before + 1
+
+    def test_unchanged_ledgers_hit_cache(self):
+        path, links = make_delay_path(hops=2)
+        links[0].reserve("x", 100.0, deadline=0.25, max_packet=1000.0)
+        first = path.deadline_breakpoints()
+        hits = path.bp_cache_hits
+        assert path.deadline_breakpoints() is first
+        assert path.bp_cache_hits == hits + 1
+
+
+def build_mixed_stack():
+    """A fresh broker stack over one mixed path (2 rate + 2 delay hops)."""
+    node_mib = NodeMIB()
+    kinds = [R, D, D, R]
+    links = [
+        LinkQoSState((f"m{i}", f"m{i+1}"), CAPACITY, kind, max_packet=12000.0)
+        for i, kind in enumerate(kinds)
+    ]
+    for link in links:
+        node_mib.register_link(link)
+    path = PathRecord("mixed", [f"m{i}" for i in range(len(kinds) + 1)], links)
+    path_mib = PathMIB()
+    path_mib.register(path)
+    admission = PerFlowAdmission(node_mib, FlowMIB(), path_mib)
+    return admission, path, links
+
+
+def request(index, spec, delay_requirement):
+    return AdmissionRequest(
+        flow_id=f"flow{index}", spec=spec, delay_requirement=delay_requirement
+    )
+
+
+SPEC = TSpec(sigma=100_000.0, rho=200_000.0, peak=1_000_000.0,
+             max_packet=12_000.0)
+
+
+class TestMixedDecisionEquality:
+    def test_fresh_path_record_agrees_after_churn(self):
+        """After churn, decisions through the delta-maintained record
+        equal those through a brand-new record over the same links
+        (which can only do a from-scratch merge)."""
+        rng = random.Random(5)
+        admission, path, links = build_mixed_stack()
+        admitted = []
+        for index in range(60):
+            if admitted and rng.random() < 0.3:
+                admission.release(admitted.pop(rng.randrange(len(admitted))))
+            d_req = 0.05 + rng.randint(1, 100) / 1024.0
+            decision = admission.admit(request(index, SPEC, d_req), path)
+            if decision.admitted:
+                admitted.append(decision.flow_id)
+            fresh = PathRecord("fresh", path.nodes, links)
+            baseline = admission._find_min_rate_pair(SPEC, d_req, fresh)
+            incremental = admission._find_min_rate_pair(SPEC, d_req, path)
+            if isinstance(baseline, tuple):
+                assert incremental == baseline
+            else:
+                assert not isinstance(incremental, tuple)
+                assert incremental.reason == baseline.reason
+                assert incremental.detail == baseline.detail
+
+    def test_admit_batch_equals_sequential(self):
+        """The mixed-path batch fast path must be decision-identical to
+        per-request sequential admission on an identical twin stack."""
+        batch_adm, batch_path, _ = build_mixed_stack()
+        seq_adm, seq_path, _ = build_mixed_stack()
+        requests = [request(i, SPEC, 0.2) for i in range(40)]
+        batch_decisions = batch_adm.admit_batch(requests, batch_path, now=1.0)
+        seq_decisions = [
+            seq_adm.admit(r, seq_path, now=1.0) for r in requests
+        ]
+        assert len(batch_decisions) == len(seq_decisions)
+        for got, want in zip(batch_decisions, seq_decisions):
+            assert got.admitted == want.admitted
+            assert got.rate == want.rate
+            assert got.delay == want.delay
+            assert got.reason == want.reason
+        # The two stacks must end in the same ledger state.
+        batch_links = batch_path.delay_based_links()
+        seq_links = seq_path.delay_based_links()
+        for b_link, s_link in zip(batch_links, seq_links):
+            assert (b_link.ledger.distinct_deadlines
+                    == s_link.ledger.distinct_deadlines)
+            assert b_link.reserved_rate == s_link.reserved_rate
+
+    def test_admit_batch_saturation_equals_sequential(self):
+        """Same comparison at a capacity-saturating scale where rejects
+        and early scan breaks appear."""
+        big = TSpec(sigma=1_000_000.0, rho=900_000.0, peak=2_000_000.0,
+                    max_packet=12_000.0)
+        batch_adm, batch_path, _ = build_mixed_stack()
+        seq_adm, seq_path, _ = build_mixed_stack()
+        requests = [request(i, big, 0.3) for i in range(30)]
+        batch_decisions = batch_adm.admit_batch(requests, batch_path)
+        seq_decisions = [seq_adm.admit(r, seq_path) for r in requests]
+        assert any(not d.admitted for d in seq_decisions)  # saturated
+        for got, want in zip(batch_decisions, seq_decisions):
+            assert got.admitted == want.admitted
+            assert got.rate == want.rate
+            assert got.delay == want.delay
+            assert got.reason == want.reason
+            assert got.detail == want.detail
+
+    def test_early_break_changes_no_decision(self):
+        """Counters prove early termination fires while every granted
+        pair still matches the fresh-record baseline (full scan)."""
+        big = TSpec(sigma=1_000_000.0, rho=900_000.0, peak=2_000_000.0,
+                    max_packet=12_000.0)
+        admission, path, links = build_mixed_stack()
+        for index in range(12):
+            fresh = PathRecord("fresh", path.nodes, links)
+            baseline = admission._find_min_rate_pair(big, 0.3, fresh)
+            decision = admission.test(request(index, big, 0.3), path)
+            if isinstance(baseline, tuple):
+                assert decision.admitted
+                assert (decision.rate, decision.delay) == baseline
+                admission.admit(request(index, big, 0.3), path)
+            else:
+                assert not decision.admitted
+                assert decision.reason == baseline.reason
+                assert decision.detail == baseline.detail
+        # The saturating sequence must have exercised early
+        # termination: tight low-deadline slack pushes the suffix
+        # lower bound past the running best.
+        assert path.scan_early_breaks > 0
+        assert path.scan_intervals < path.scan_tests * (
+            len(path.deadline_breakpoints()) + 1
+        )
