@@ -424,6 +424,153 @@ def _cmd_promote(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_gateway(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.core.broker import BandwidthBroker
+    from repro.edge import EdgeGateway
+    from repro.service import BrokerService, provision_parallel_paths
+
+    broker = BandwidthBroker()
+    pinned = provision_parallel_paths(broker, paths=args.paths)
+    with BrokerService(
+        broker, workers=args.workers, shards=args.shards,
+    ) as service:
+        gateway = EdgeGateway(
+            service, name=args.name, lease_duration=args.lease,
+        )
+        host, port = gateway.listen(args.host, args.port)
+        with gateway:
+            print(f"edge gateway {args.name!r} listening on "
+                  f"{host}:{port} (lease {args.lease:g}s, "
+                  f"{args.paths} provisioned paths "
+                  f"{pinned[0][0]}->{pinned[0][-1]} .. "
+                  f"{pinned[-1][0]}->{pinned[-1][-1]})")
+            try:
+                if args.duration > 0:
+                    _time.sleep(args.duration)
+                else:  # pragma: no cover - interactive mode
+                    while True:
+                        _time.sleep(3600)
+            except KeyboardInterrupt:  # pragma: no cover
+                pass
+        counters = gateway.counters()
+    print(render_table(
+        ["counter", "value"],
+        [[key, str(value)] for key, value in counters.items()],
+    ))
+    return 0
+
+
+def _cmd_edge_bench(args: argparse.Namespace) -> int:
+    import json
+    import threading
+    import time as _time
+
+    from repro.core.broker import BandwidthBroker
+    from repro.edge import EdgeAgent, EdgeGateway, tcp_connector
+    from repro.service import (
+        BrokerService,
+        FlowTemplate,
+        provision_parallel_paths,
+    )
+    from repro.workloads.profiles import flow_type
+
+    spec = flow_type(0).spec
+    broker = BandwidthBroker()
+    pinned = provision_parallel_paths(broker, paths=args.paths)
+    templates = [
+        FlowTemplate(spec, 2.44, nodes[0], nodes[-1], path_nodes=nodes)
+        for nodes in pinned
+    ]
+    latencies: List[List[float]] = [[] for _ in range(args.agents)]
+    errors = [0] * args.agents
+    barrier = threading.Barrier(args.agents + 1)
+
+    with BrokerService(
+        broker, workers=args.workers, shards=args.shards,
+    ) as service:
+        gateway = EdgeGateway(service, lease_duration=args.lease)
+        host, port = gateway.listen("127.0.0.1", 0)
+        with gateway:
+            def run_agent(index: int) -> None:
+                template = templates[index % len(templates)]
+                agent = EdgeAgent(
+                    f"agent-{index}",
+                    tcp_connector(host, port),
+                    seed=index,
+                )
+                with agent:
+                    barrier.wait()
+                    for iteration in range(args.requests):
+                        flow_id = f"a{index}-r{iteration}"
+                        begin = _time.monotonic()
+                        reply = agent.admit(
+                            flow_id, template.spec,
+                            template.delay_requirement,
+                            template.ingress, template.egress,
+                            path_nodes=template.path_nodes,
+                        )
+                        latencies[index].append(
+                            _time.monotonic() - begin
+                        )
+                        if reply["status"] != "ok":
+                            errors[index] += 1
+                        elif reply["decision"]["admitted"]:
+                            agent.teardown(flow_id)
+
+            threads = [
+                threading.Thread(target=run_agent, args=(index,),
+                                 daemon=True)
+                for index in range(args.agents)
+            ]
+            for thread in threads:
+                thread.start()
+            barrier.wait()
+            begin = _time.monotonic()
+            for thread in threads:
+                thread.join()
+            duration = max(_time.monotonic() - begin, 1e-9)
+            counters = gateway.counters()
+
+    flat = sorted(lat for per_agent in latencies for lat in per_agent)
+    operations = len(flat)
+
+    def pct(fraction: float) -> float:
+        if not flat:
+            return 0.0
+        return flat[min(len(flat) - 1,
+                        int(fraction * (len(flat) - 1)))] * 1000.0
+
+    report = {
+        "agents": args.agents,
+        "requests_per_agent": args.requests,
+        "operations": operations,
+        "errors": sum(errors),
+        "duration_s": round(duration, 4),
+        "admit_throughput_rps": round(operations / duration, 1),
+        "setup_p50_ms": round(pct(0.50), 3),
+        "setup_p99_ms": round(pct(0.99), 3),
+        "gateway": counters,
+    }
+    print(f"Edge signaling benchmark ({args.agents} agents over TCP, "
+          f"{args.requests} admits each, {args.paths} disjoint paths):")
+    print(render_table(
+        ["agents", "admits/s", "setup p50(ms)", "setup p99(ms)",
+         "dedup hits", "leases granted", "errors"],
+        [[args.agents, f"{report['admit_throughput_rps']:.0f}",
+          f"{report['setup_p50_ms']:.2f}",
+          f"{report['setup_p99_ms']:.2f}",
+          counters["dedup_hits"], counters["leases"]["granted"],
+          sum(errors)]],
+    ))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"\nwrote {args.json}")
+    return 0 if sum(errors) == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -529,6 +676,53 @@ def build_parser() -> argparse.ArgumentParser:
                          help="the replica's checkpoint/journal "
                               "directory")
     promote.set_defaults(func=_cmd_promote)
+    gateway = sub.add_parser(
+        "gateway",
+        help="serve the edge signaling plane over TCP in front of a "
+             "provisioned broker (extension)",
+    )
+    gateway.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    gateway.add_argument("--port", type=int, default=0,
+                         help="bind port (default 0 = ephemeral)")
+    gateway.add_argument("--name", default="gateway",
+                         help="gateway name announced to agents")
+    gateway.add_argument("--paths", type=int, default=8,
+                         help="link-disjoint paths to provision "
+                              "(default 8)")
+    gateway.add_argument("--workers", type=int, default=4,
+                         help="broker service workers (default 4)")
+    gateway.add_argument("--shards", type=int, default=8,
+                         help="link-state shards (default 8)")
+    gateway.add_argument("--lease", type=float, default=30.0,
+                         help="soft-state lease duration in domain "
+                              "seconds (default 30)")
+    gateway.add_argument("--duration", type=float, default=0.0,
+                         help="serve for this many wall seconds then "
+                              "exit (default 0 = until Ctrl-C)")
+    gateway.set_defaults(func=_cmd_gateway)
+    edge_bench = sub.add_parser(
+        "edge-bench",
+        help="N edge agents over TCP against one gateway: setup "
+             "latency and admit throughput (extension)",
+    )
+    edge_bench.add_argument("--agents", type=int, default=8,
+                            help="concurrent edge agents (default 8)")
+    edge_bench.add_argument("--requests", type=int, default=25,
+                            help="admits per agent (default 25)")
+    edge_bench.add_argument("--paths", type=int, default=8,
+                            help="link-disjoint paths (default 8)")
+    edge_bench.add_argument("--workers", type=int, default=4,
+                            help="broker service workers (default 4)")
+    edge_bench.add_argument("--shards", type=int, default=8,
+                            help="link-state shards (default 8)")
+    edge_bench.add_argument("--lease", type=float, default=30.0,
+                            help="lease duration in domain seconds "
+                                 "(default 30)")
+    edge_bench.add_argument("--json", default="",
+                            help="also write the report to this JSON "
+                                 "file")
+    edge_bench.set_defaults(func=_cmd_edge_bench)
     everything = sub.add_parser("all", help="regenerate the whole evaluation")
     everything.add_argument("--runs", type=int, default=5)
     everything.add_argument("--fast", action="store_true")

@@ -157,6 +157,22 @@ class Macroflow:
             self.path.max_packet,
         )
 
+    def backlog_drain_bound(self) -> float:
+        """Worst-case time for the edge buffer to drain, from now.
+
+        The eq.-(16)/(17) argument, restated for the *current* state:
+        the backlog is at most the in-force edge delay bound times the
+        total allocated rate, and it drains at the total rate — so the
+        buffer is empty within ``edge_delay_bound()`` seconds.  This
+        is the hint a bandwidth broker hands the ingress so an edge
+        agent running the Section 4.2.1 *feedback* method knows by
+        when its conditioner must have reported empty (0.0 when no
+        contingency bandwidth is outstanding — nothing to release).
+        """
+        if not self.contingencies:
+            return 0.0
+        return self.edge_delay_bound()
+
 
 class AggregateAdmission:
     """Admission control for class-based services (Sections 4.2-4.3).
@@ -194,6 +210,12 @@ class AggregateAdmission:
         self.macroflows: Dict[str, Macroflow] = {}
         self._expirations: List[Tuple[float, int, str]] = []
         self._tokens = itertools.count(1)
+        #: Edge-feedback events that released at least one allocation,
+        #: and the total allocations they released (Section 4.2.1
+        #: effectiveness: how much contingency bandwidth came back
+        #: ahead of its eq.-(17) expiry).
+        self.feedback_events = 0
+        self.feedback_releases = 0
 
     # ------------------------------------------------------------------
     # class / macroflow management
@@ -438,6 +460,8 @@ class AggregateAdmission:
             return 0
         released = len(macro.contingencies)
         macro.contingencies.clear()
+        self.feedback_events += 1
+        self.feedback_releases += released
         self._apply_total_rate(macro)
         return released
 

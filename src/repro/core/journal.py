@@ -73,7 +73,7 @@ class JournalEntry:
     """
 
     seq: int
-    kind: str  # "request" | "terminate" | "advance"
+    kind: str  # "request" | "terminate" | "advance" | "feedback" | "lease"
     payload: Dict[str, Any]
     epoch: int = 0
 
@@ -212,6 +212,22 @@ def replay(broker: BandwidthBroker,
                 broker.terminate(payload["flow_id"], now=payload["now"])
             elif entry.kind == "advance":
                 broker.advance(payload["now"])
+            elif entry.kind == "feedback":
+                # Section 4.2.1 edge feedback: the macroflow's edge
+                # buffer drained, so its contingency bandwidth is
+                # released early.  Deterministic given state + inputs,
+                # exactly like the other kinds.
+                broker.aggregate.notify_edge_empty(
+                    payload["macroflow_key"], payload["now"]
+                )
+            elif entry.kind == "lease":
+                # Edge-plane soft-state marker (grant/expire/reap of a
+                # flow lease).  Leases live at the gateway, not in the
+                # broker MIBs: the broker-visible effect of a reap is
+                # its own "terminate" entry, so the marker replays as
+                # a no-op — it exists so a restarted gateway can
+                # rebuild its lease table from the same WAL.
+                pass
             else:
                 raise StateError(
                     f"unknown journal entry kind {entry.kind!r}"

@@ -1,0 +1,588 @@
+"""The edge agent: per-flow QoS state at the ingress edge router.
+
+:class:`EdgeAgent` is the paper's edge router made a client of the
+bandwidth broker: it owns the per-flow state table the architecture
+deliberately keeps out of the core, speaks the
+:mod:`repro.edge.protocol` frames to an
+:class:`~repro.edge.gateway.EdgeGateway`, and survives the failures a
+network path introduces:
+
+* **at-least-once retries, exactly-once effects** — every logical
+  operation gets one idempotency key for its whole lifetime; a
+  timeout, a dropped frame or a reconnect resends the *same* key, so
+  the gateway either answers from its dedup window or attaches the
+  retry to the still-running original.  The agent may retry freely
+  without ever double-admitting a flow.
+* **deadline propagation** — each operation runs under one overall
+  budget; every attempt ships the *remaining* budget as ``budget_ms``
+  so the gateway (and the service queue behind it) sheds work whose
+  client has already given up.
+* **exponential backoff with jitter** — retries after timeouts back
+  off exponentially (seeded RNG jitter, so tests are reproducible);
+  a ``try-again`` reply instead honours the gateway's machine-readable
+  ``retry_after`` hint (capped by the remaining budget).
+* **reconnect on** :class:`~repro.service.transport.TransportClosed` —
+  the agent redials through its connection factory and replays the
+  ``hello`` handshake; in-flight operations then retry over the new
+  connection and collect their replies from the dedup window.
+
+The agent also runs the Section 4.2.1 **feedback** method: an admit
+reply whose lease names a macroflow with outstanding contingency
+bandwidth carries the broker's ``drain_bound`` hint — the worst-case
+time until the edge conditioner's buffer empties.  The agent records
+``now + drain_bound`` as that macroflow's feedback due-time and
+:meth:`poll_feedback` emits ``feedback`` frames once the domain clock
+passes it, releasing the contingency bandwidth at the broker ahead of
+its eq.-(17) expiry.  (In this reproduction the analytic drain bound
+*is* the model of the conditioner draining; a data-plane deployment
+would watch the real buffer and typically report earlier.)
+
+Threading: all RPCs serialize on one internal lock — the optional
+heartbeat thread and the caller's thread share the connection safely,
+at the price of one outstanding operation per agent.  Scale-out is
+horizontal (many agents), which is exactly the paper's model of many
+edge routers against one broker.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.edge import protocol
+from repro.errors import SignalingError
+from repro.service.transport import (
+    TransportClosed,
+    connect_tcp,
+    is_pong,
+    ping_frame,
+)
+from repro.traffic.spec import TSpec
+
+__all__ = ["AgentTimeout", "FlowState", "EdgeAgent", "tcp_connector"]
+
+
+class AgentTimeout(SignalingError):
+    """An operation's retry budget ran out without a terminal reply."""
+
+
+@dataclass
+class FlowState:
+    """One admitted flow as the edge sees it (the per-flow QoS state
+    the paper keeps out of the core routers)."""
+
+    flow_id: str
+    spec: TSpec
+    delay_requirement: float
+    path_id: Optional[str]
+    rate: float
+    admitted_at: float
+    lease_expires_at: float
+    macroflow_key: str = ""
+
+
+def tcp_connector(host: str, port: int, *,
+                  timeout: float = 5.0) -> Callable[[], Any]:
+    """A reconnecting dial function for :class:`EdgeAgent` (TCP)."""
+
+    def connect():
+        return connect_tcp(host, port, timeout=timeout)
+
+    return connect
+
+
+class EdgeAgent:
+    """An edge router's signaling client against one gateway.
+
+    :param name: stable agent identity — leases and the dedup window
+        key on it, so a restarted agent that reuses its name resumes
+        its own state.
+    :param connect: zero-argument factory returning a fresh transport
+        connection (:func:`tcp_connector`, or a test's pipe/fault
+        wrapper).  Called on first use and after every
+        :class:`TransportClosed`.
+    :param op_budget: default overall wall-clock budget per logical
+        operation, in seconds (deadline propagation starts from it).
+    :param attempt_timeout: per-attempt reply wait before the agent
+        retransmits, in seconds.
+    :param base_backoff/max_backoff: exponential backoff bounds for
+        timeout-driven retries (jittered).
+    :param seed: RNG seed for the jitter (deterministic tests).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        connect: Callable[[], Any],
+        *,
+        op_budget: float = 5.0,
+        attempt_timeout: float = 0.25,
+        base_backoff: float = 0.01,
+        max_backoff: float = 0.5,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.name = name
+        self._connect = connect
+        self.op_budget = op_budget
+        self.attempt_timeout = attempt_timeout
+        self.base_backoff = base_backoff
+        self.max_backoff = max_backoff
+        self._rng = random.Random(seed)
+        self._rpc_lock = threading.RLock()
+        self._state_lock = threading.Lock()
+        self._conn: Optional[Any] = None
+        self._idem_counter = itertools.count(1)
+        self.flows: Dict[str, FlowState] = {}
+        #: macroflow key -> domain time its feedback frame is due.
+        self._feedback_due: Dict[str, float] = {}
+        self.lease_duration = 0.0   # learned from the welcome frame
+        self.gateway_name = ""
+        self._hb_thread: Optional[threading.Thread] = None
+        self._hb_stop = threading.Event()
+        self._domain_now = 0.0
+        # Lifetime counters (exposed via :meth:`counters`).
+        self.rpcs = 0
+        self.retries = 0
+        self.reconnects = 0
+        self.try_agains = 0
+        self.feedbacks_sent = 0
+        self.leases_lost = 0
+
+    # ------------------------------------------------------------------
+    # connection management
+    # ------------------------------------------------------------------
+
+    def _ensure_connected(self):
+        """Dial + ``hello`` handshake if there is no live connection."""
+        if self._conn is not None:
+            return self._conn
+        conn = self._connect()
+        try:
+            conn.send(protocol.make_hello(self.name))
+            deadline = time.monotonic() + max(self.attempt_timeout, 1.0)
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TransportClosed("no welcome from the gateway")
+                frame = conn.recv(timeout=remaining)
+                if frame is None:
+                    raise TransportClosed("no welcome from the gateway")
+                if frame.get("type") == "welcome":
+                    break
+                # Stale replies from a previous connection's in-flight
+                # operations may arrive first; they are honoured via
+                # the dedup window on retry, so skip them here.
+        except TransportClosed:
+            try:
+                conn.close()
+            except Exception:
+                pass
+            raise
+        self.lease_duration = float(frame.get("lease_duration", 0.0))
+        self.gateway_name = str(frame.get("gateway", ""))
+        self._conn = conn
+        return conn
+
+    def _drop_connection(self) -> None:
+        conn, self._conn = self._conn, None
+        if conn is not None:
+            try:
+                conn.close()
+            except Exception:
+                pass
+
+    def close(self) -> None:
+        """Stop the heartbeat and close the connection (``bye``)."""
+        self.stop_heartbeat()
+        with self._rpc_lock:
+            if self._conn is not None:
+                try:
+                    self._conn.send(protocol.make_bye(self.name))
+                except TransportClosed:
+                    pass
+            self._drop_connection()
+
+    def __enter__(self) -> "EdgeAgent":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # the retry loop
+    # ------------------------------------------------------------------
+
+    def next_idem(self) -> str:
+        """A fresh idempotency key (one per *logical* operation)."""
+        return f"{self.name}#{next(self._idem_counter)}"
+
+    def _call(self, build_frame: Callable[[float], protocol.Frame],
+              idem: str, *, budget: Optional[float] = None
+              ) -> protocol.Frame:
+        """Send a request until a terminal reply arrives.
+
+        *build_frame* receives the remaining budget in ms and returns
+        the frame for this attempt — same ``idem`` every time, so the
+        attempts are idempotent at the gateway.  Raises
+        :class:`AgentTimeout` when the budget is spent.
+        """
+        budget = self.op_budget if budget is None else budget
+        deadline = time.monotonic() + budget
+        attempt = 0
+        with self._rpc_lock:
+            self.rpcs += 1
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise AgentTimeout(
+                        f"{self.name}: operation {idem} exhausted its "
+                        f"{budget:.3f}s budget after {attempt} attempt(s)"
+                    )
+                try:
+                    conn = self._ensure_connected()
+                    conn.send(build_frame(remaining * 1000.0))
+                    reply = self._recv_reply(conn, idem, min(
+                        remaining, self.attempt_timeout
+                    ))
+                except TransportClosed:
+                    self._drop_connection()
+                    self.reconnects += 1
+                    reply = None
+                if reply is None:
+                    # Timed out (or reconnecting): back off, retransmit.
+                    attempt += 1
+                    self.retries += 1
+                    self._sleep(self._backoff(attempt), deadline)
+                    continue
+                if reply.get("status") == protocol.STATUS_TRY_AGAIN:
+                    # Never executed; honour the gateway's hint.
+                    attempt += 1
+                    self.try_agains += 1
+                    hint = float(reply.get("retry_after", 0.0))
+                    self._sleep(max(hint, self._backoff(attempt)),
+                                deadline)
+                    continue
+                return reply
+
+    def _recv_reply(self, conn, idem: str,
+                    timeout: float) -> Optional[protocol.Frame]:
+        """Next reply for *idem*; ``None`` on timeout.
+
+        Skips keepalive pongs and stale replies to earlier attempts'
+        keys — those operations already returned (or timed out and
+        will re-fetch from the dedup window).
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return None
+            frame = conn.recv(timeout=remaining)
+            if frame is None:
+                return None
+            if is_pong(frame):
+                continue
+            if frame.get("type") == "reply" and frame.get("idem") == idem:
+                return frame
+
+    def _backoff(self, attempt: int) -> float:
+        base = min(self.max_backoff,
+                   self.base_backoff * (2 ** (attempt - 1)))
+        return base * (0.5 + self._rng.random() / 2.0)
+
+    @staticmethod
+    def _sleep(duration: float, deadline: float) -> None:
+        time.sleep(max(0.0, min(duration, deadline - time.monotonic())))
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+
+    def admit(
+        self,
+        flow_id: str,
+        spec: TSpec,
+        delay_requirement: float,
+        ingress: str,
+        egress: str,
+        *,
+        service_class: str = "",
+        path_nodes: Optional[Sequence[str]] = None,
+        now: float = 0.0,
+        budget: Optional[float] = None,
+    ) -> protocol.Frame:
+        """Request admission for a new flow; returns the reply frame.
+
+        On an admitted ``ok`` reply the flow enters the agent's table
+        with its lease, and a macroflow feedback due-time is recorded
+        when the broker handed back a drain hint.
+        """
+        self.advance_clock(now)
+        idem = self.next_idem()
+        reply = self._call(
+            lambda ms: protocol.make_admit(
+                self.name, idem, flow_id, spec, delay_requirement,
+                ingress, egress, service_class=service_class,
+                path_nodes=path_nodes, now=now, budget_ms=ms,
+            ),
+            idem, budget=budget,
+        )
+        decision = reply.get("decision") or {}
+        if reply.get("status") == protocol.STATUS_OK and \
+                decision.get("admitted"):
+            lease = reply.get("lease") or {}
+            with self._state_lock:
+                self.flows[flow_id] = FlowState(
+                    flow_id=flow_id,
+                    spec=spec,
+                    delay_requirement=delay_requirement,
+                    path_id=decision.get("path_id"),
+                    rate=float(decision.get("rate", 0.0)),
+                    admitted_at=now,
+                    lease_expires_at=float(
+                        lease.get("expires_at", now)
+                    ),
+                    macroflow_key=str(
+                        lease.get("macroflow_key", "")
+                    ),
+                )
+                drain = float(lease.get("drain_bound", 0.0))
+                key = str(lease.get("macroflow_key", ""))
+                if key and drain > 0.0:
+                    # The conditioner's buffer is empty by now+drain;
+                    # keep the latest due-time if several joins pile
+                    # contingency onto the same macroflow.
+                    due = now + drain
+                    if due > self._feedback_due.get(key, 0.0):
+                        self._feedback_due[key] = due
+        return reply
+
+    def teardown(self, flow_id: str, *, now: float = 0.0,
+                 budget: Optional[float] = None) -> protocol.Frame:
+        """Tear an admitted flow down; drops it from the flow table."""
+        self.advance_clock(now)
+        idem = self.next_idem()
+        reply = self._call(
+            lambda ms: protocol.make_teardown(
+                self.name, idem, flow_id, now=now, budget_ms=ms,
+            ),
+            idem, budget=budget,
+        )
+        if reply.get("status") != protocol.STATUS_TRY_AGAIN:
+            with self._state_lock:
+                self.flows.pop(flow_id, None)
+        return reply
+
+    def refresh(self, *, now: float = 0.0,
+                budget: Optional[float] = None
+                ) -> Tuple[List[str], List[str]]:
+        """Heartbeat: refresh every owned lease.
+
+        Returns ``(refreshed, unknown)``; flows the gateway no longer
+        knows (their lease expired and was reaped — e.g. after a
+        partition longer than the lease) are dropped from the local
+        table, which is the edge converging to the broker's truth.
+        """
+        self.advance_clock(now)
+        with self._state_lock:
+            flow_ids = list(self.flows)
+        if not flow_ids:
+            return [], []
+        idem = self.next_idem()
+        reply = self._call(
+            lambda ms: protocol.make_refresh(
+                self.name, idem, flow_ids, now=now, budget_ms=ms,
+            ),
+            idem, budget=budget,
+        )
+        refreshed = list(reply.get("refreshed", []))
+        unknown = list(reply.get("unknown", []))
+        with self._state_lock:
+            for flow_id in unknown:
+                if self.flows.pop(flow_id, None) is not None:
+                    self.leases_lost += 1
+            horizon = now + self.lease_duration
+            for flow_id in refreshed:
+                state = self.flows.get(flow_id)
+                if state is not None:
+                    state.lease_expires_at = horizon
+        return refreshed, unknown
+
+    def feedback(self, macroflow_key: str, *, now: float = 0.0,
+                 budget: Optional[float] = None) -> protocol.Frame:
+        """Report the macroflow's edge buffer drained (Section 4.2.1)."""
+        self.advance_clock(now)
+        idem = self.next_idem()
+        reply = self._call(
+            lambda ms: protocol.make_feedback(
+                self.name, idem, macroflow_key, now=now, budget_ms=ms,
+            ),
+            idem, budget=budget,
+        )
+        if reply.get("status") == protocol.STATUS_OK:
+            self.feedbacks_sent += 1
+        return reply
+
+    def dry_run(
+        self,
+        flow_id: str,
+        spec: TSpec,
+        delay_requirement: float,
+        ingress: str,
+        egress: str,
+        *,
+        path_nodes: Optional[Sequence[str]] = None,
+        budget: Optional[float] = None,
+    ) -> protocol.Frame:
+        """Read-only admissibility probe (no reservation, no lease)."""
+        idem = self.next_idem()
+        return self._call(
+            lambda ms: protocol.make_dry_run(
+                self.name, idem, flow_id, spec, delay_requirement,
+                ingress, egress, path_nodes=path_nodes, budget_ms=ms,
+            ),
+            idem, budget=budget,
+        )
+
+    def ping(self, *, timeout: float = 1.0) -> bool:
+        """Keepalive probe; ``False`` when no pong arrived in time."""
+        with self._rpc_lock:
+            try:
+                conn = self._ensure_connected()
+                nonce = self._rng.randrange(1 << 30)
+                conn.send(ping_frame(nonce))
+                deadline = time.monotonic() + timeout
+                while True:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                    frame = conn.recv(timeout=remaining)
+                    if frame is not None and is_pong(frame) and \
+                            frame.get("nonce") == nonce:
+                        return True
+            except TransportClosed:
+                self._drop_connection()
+                return False
+
+    # ------------------------------------------------------------------
+    # the feedback watcher + heartbeat
+    # ------------------------------------------------------------------
+
+    def advance_clock(self, now: float) -> None:
+        """Move the agent's domain clock forward (never backward)."""
+        with self._state_lock:
+            if now > self._domain_now:
+                self._domain_now = now
+
+    @property
+    def domain_now(self) -> float:
+        with self._state_lock:
+            return self._domain_now
+
+    def due_feedback(self, now: Optional[float] = None) -> List[str]:
+        """Macroflow keys whose conditioner has drained by *now*."""
+        with self._state_lock:
+            if now is None:
+                now = self._domain_now
+            return [key for key, due in self._feedback_due.items()
+                    if due <= now]
+
+    def poll_feedback(self, now: Optional[float] = None) -> List[str]:
+        """Emit a ``feedback`` frame for every due macroflow.
+
+        Returns the keys reported.  A failed attempt stays queued for
+        the next poll — feedback is an optimization (the eq.-(17)
+        timer still releases the bandwidth), so it must never wedge
+        the heartbeat.
+        """
+        if now is not None:
+            self.advance_clock(now)
+        now = self.domain_now
+        reported: List[str] = []
+        for key in self.due_feedback(now):
+            try:
+                reply = self.feedback(key, now=now)
+            except (AgentTimeout, TransportClosed):
+                continue
+            if reply.get("status") == protocol.STATUS_OK:
+                with self._state_lock:
+                    self._feedback_due.pop(key, None)
+                reported.append(key)
+        return reported
+
+    def heartbeat(self, now: Optional[float] = None
+                  ) -> Tuple[List[str], List[str], List[str]]:
+        """One maintenance tick: refresh leases, then poll feedback.
+
+        Returns ``(refreshed, lost, feedback_sent)``.  Drive it from
+        a test with an explicit *now*, or let :meth:`start_heartbeat`
+        run it on a thread against the agent's domain clock.
+        """
+        if now is not None:
+            self.advance_clock(now)
+        now = self.domain_now
+        try:
+            refreshed, unknown = self.refresh(now=now)
+        except (AgentTimeout, TransportClosed):
+            refreshed, unknown = [], []
+        reported = self.poll_feedback(now)
+        return refreshed, unknown, reported
+
+    def start_heartbeat(self, interval: Optional[float] = None
+                        ) -> "EdgeAgent":
+        """Run :meth:`heartbeat` periodically on a daemon thread.
+
+        *interval* defaults to a third of the gateway's lease duration
+        (learned in the welcome), so an agent survives two lost
+        heartbeats before its leases expire.
+        """
+        if self._hb_thread is not None:
+            return self
+        if interval is None:
+            interval = max(self.lease_duration / 3.0, 0.01) \
+                if self.lease_duration > 0 else 1.0
+        self._hb_stop.clear()
+
+        def loop() -> None:
+            while not self._hb_stop.wait(interval):
+                try:
+                    self.heartbeat()
+                except Exception:
+                    continue  # the next tick retries
+
+        self._hb_thread = threading.Thread(
+            target=loop, name=f"edge-hb-{self.name}", daemon=True,
+        )
+        self._hb_thread.start()
+        return self
+
+    def stop_heartbeat(self) -> None:
+        if self._hb_thread is None:
+            return
+        self._hb_stop.set()
+        self._hb_thread.join(timeout=5.0)
+        self._hb_thread = None
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def counters(self) -> Dict[str, Any]:
+        """Lifetime agent-side counters (RPCs, retries, leases)."""
+        with self._state_lock:
+            flows = len(self.flows)
+            feedback_pending = len(self._feedback_due)
+        return {
+            "rpcs": self.rpcs,
+            "retries": self.retries,
+            "reconnects": self.reconnects,
+            "try_agains": self.try_agains,
+            "feedbacks_sent": self.feedbacks_sent,
+            "leases_lost": self.leases_lost,
+            "flows": flows,
+            "feedback_pending": feedback_pending,
+        }

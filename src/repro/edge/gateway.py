@@ -1,0 +1,646 @@
+"""The edge gateway: network front-end of the broker service.
+
+:class:`EdgeGateway` is what an ingress edge router actually talks
+to.  It terminates :mod:`repro.edge.protocol` sessions over any
+:mod:`repro.service.transport` connection and forwards operations to
+a running :class:`~repro.service.runtime.BrokerService`, adding the
+three things a *network* front-end needs that the in-process service
+does not:
+
+* **exactly-once execution** over an at-least-once client.  Every
+  mutating frame carries an idempotency key; the gateway answers a
+  retry from its :class:`~repro.edge.leases.DedupWindow` when the
+  original already executed, and *attaches* to the in-flight request
+  when it is still queued — the broker never sees a duplicate.  The
+  dedup check and the in-flight claim happen under one lock, and a
+  completing request publishes to the window *before* it leaves the
+  in-flight map, so there is no instant at which a duplicate can
+  slip between them and resubmit.
+
+* **soft-state flow leases** (:class:`~repro.edge.leases.LeaseTable`).
+  An admitted flow's reservation is held by a lease its agent must
+  refresh; the gateway's reaper tears down flows whose leases
+  expire, so an agent that crashes or partitions cannot strand
+  bandwidth in the broker — the paper's edge/broker split made
+  failure-tolerant without per-flow liveness tracking in the core.
+  Lease lifecycle events ride the service's WAL
+  (:meth:`BrokerService.journal_lease`).
+
+* **backpressure and deadline propagation**.  A service
+  ``TRY_AGAIN`` becomes a ``try-again`` frame carrying the service's
+  machine-readable ``retry_after`` hint, and a frame's remaining
+  client budget (``budget_ms``) becomes the service-side queueing
+  deadline, so work whose client already gave up is shed unserved.
+
+Replies are routed to the **agent's current session** (sessions are
+keyed by agent name, rebound on reconnect), not to the connection
+the request arrived on: a reply completed while the agent was
+disconnected lands in the dedup window and the agent's retry — over
+the new connection — fetches it from there.
+
+Time: the gateway lives in the repo's *domain* clock (the ``now``
+fields agents send).  It tracks the high-water mark of every ``now``
+it sees and expires leases against that, so tests drive reaping
+deterministically; the optional reaper thread only polls, it does
+not introduce wall time into lease decisions.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.admission import AdmissionDecision
+from repro.edge import protocol
+from repro.edge.leases import DedupWindow, LeaseTable
+from repro.errors import StateError
+from repro.service.replication import dry_run_admissibility
+from repro.service.runtime import BrokerService, ServiceReply, ServiceRequest
+from repro.service.transport import (
+    TcpListener,
+    TransportClosed,
+    is_ping,
+    pong_frame,
+)
+
+__all__ = ["EdgeGateway", "decision_to_dict"]
+
+
+def decision_to_dict(decision: AdmissionDecision) -> Dict[str, Any]:
+    """JSON-compatible representation of an admission decision."""
+    return {
+        "admitted": decision.admitted,
+        "flow_id": decision.flow_id,
+        "path_id": decision.path_id,
+        "rate": decision.rate,
+        "delay": decision.delay,
+        "reason": decision.reason.name if decision.reason else None,
+        "detail": decision.detail,
+    }
+
+
+class _Session:
+    """One agent's live connection (send serialized by the transport)."""
+
+    __slots__ = ("agent", "conn")
+
+    def __init__(self, agent: str, conn) -> None:
+        self.agent = agent
+        self.conn = conn
+
+
+class EdgeGateway:
+    """Serve edge-protocol sessions in front of a broker service.
+
+    :param service: the running :class:`BrokerService` to front.
+    :param name: gateway name announced in ``welcome`` frames.
+    :param lease_duration: soft-state lease length in *domain*
+        seconds; agents must refresh within it.
+    :param dedup_capacity: bound of the idempotent-reply window.
+    :param reap_interval: wall-clock poll period of the background
+        reaper thread (lease *expiry* itself is domain-clock).
+
+    Use :meth:`serve_connection` directly for in-process pipes, or
+    :meth:`listen` + :meth:`start`/:meth:`stop` for TCP.
+    """
+
+    def __init__(
+        self,
+        service: BrokerService,
+        *,
+        name: str = "gateway",
+        lease_duration: float = 30.0,
+        dedup_capacity: int = 4096,
+        reap_interval: float = 0.05,
+    ) -> None:
+        self.service = service
+        self.name = name
+        self.leases = LeaseTable(duration=lease_duration)
+        self.dedup = DedupWindow(capacity=dedup_capacity)
+        self.reap_interval = reap_interval
+        self._lock = threading.Lock()
+        self._inflight: Dict[Tuple[str, str], ServiceRequest] = {}
+        self._sessions: Dict[str, _Session] = {}
+        self._domain_now = 0.0
+        self._listener: Optional[TcpListener] = None
+        self._threads: List[threading.Thread] = []
+        self._running = False
+        self._stop_requested = False
+        # Frame/outcome counters (lock-free int bumps; snapshot only).
+        self.frames_served = 0
+        self.duplicates_attached = 0
+        self.protocol_errors = 0
+        self.reaped = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle (TCP mode)
+    # ------------------------------------------------------------------
+
+    def listen(self, host: str = "127.0.0.1", port: int = 0
+               ) -> Tuple[str, int]:
+        """Bind the accept socket; returns ``(host, port)`` (port 0
+        picks a free ephemeral port, read it from the return)."""
+        self._listener = TcpListener(host, port)
+        return self._listener.host, self._listener.port
+
+    def start(self) -> "EdgeGateway":
+        """Spawn the accept loop (if listening) and the lease reaper."""
+        with self._lock:
+            if self._running:
+                return self
+            self._running = True
+            self._stop_requested = False
+        if self._listener is not None:
+            accept = threading.Thread(
+                target=self._accept_loop, name="edge-accept", daemon=True
+            )
+            accept.start()
+            self._threads.append(accept)
+        reaper = threading.Thread(
+            target=self._reap_loop, name="edge-reaper", daemon=True
+        )
+        reaper.start()
+        self._threads.append(reaper)
+        return self
+
+    def stop(self) -> None:
+        """Close the listener and every session; join the threads."""
+        with self._lock:
+            self._running = False
+            self._stop_requested = True
+            sessions = list(self._sessions.values())
+            self._sessions.clear()
+        if self._listener is not None:
+            self._listener.close()
+        for session in sessions:
+            try:
+                session.conn.close()
+            except Exception:
+                pass
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self._threads = []
+
+    def __enter__(self) -> "EdgeGateway":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while self._running:
+            try:
+                conn = self._listener.accept(timeout=0.2)
+            except TransportClosed:
+                return
+            if conn is None:
+                continue
+            thread = threading.Thread(
+                target=self.serve_connection, args=(conn,),
+                name="edge-session", daemon=True,
+            )
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # session loop
+    # ------------------------------------------------------------------
+
+    def serve_connection(self, conn) -> None:
+        """Serve frames from *conn* until it closes (blocking).
+
+        This is the per-connection reader: the TCP accept loop runs it
+        on a thread per session, and pipe-based tests call it directly
+        from a thread of their own.
+        """
+        agent: Optional[str] = None
+        try:
+            while True:
+                frame = conn.recv(timeout=0.2)
+                if frame is None:
+                    # Idle is not shutdown: a gateway used in direct
+                    # pipe mode (never start()ed) keeps serving until
+                    # the connection closes or stop() is called.
+                    if self._stop_requested:
+                        return
+                    continue
+                if is_ping(frame):
+                    self._safe_send(conn, pong_frame(frame))
+                    continue
+                agent = self._handle_frame(conn, frame, agent)
+                if agent == _BYE:
+                    return
+        except TransportClosed:
+            pass
+        finally:
+            if agent and agent != _BYE:
+                with self._lock:
+                    session = self._sessions.get(agent)
+                    if session is not None and session.conn is conn:
+                        del self._sessions[agent]
+            try:
+                conn.close()
+            except Exception:
+                pass
+
+    def _handle_frame(self, conn, frame, agent: Optional[str]
+                      ) -> Optional[str]:
+        """Dispatch one request frame; returns the session's agent."""
+        self.frames_served += 1
+        try:
+            frame_type = protocol.validate_request(frame)
+        except protocol.ProtocolError as exc:
+            self.protocol_errors += 1
+            self._safe_send(conn, protocol.make_reply(
+                str(frame.get("type", "?")) if isinstance(frame, dict)
+                else "?",
+                str(frame.get("idem", "")) if isinstance(frame, dict)
+                else "",
+                protocol.STATUS_ERROR,
+                reason="protocol",
+                detail=str(exc),
+            ))
+            return agent
+        sender = frame["agent"]
+        self._advance_domain_clock(frame.get("now", 0.0))
+        if frame_type == "hello":
+            resumed = bool(self.leases.owned_by(sender))
+            with self._lock:
+                self._sessions[sender] = _Session(sender, conn)
+            self._safe_send(conn, protocol.make_welcome(
+                self.name,
+                lease_duration=self.leases.duration,
+                resumed=resumed,
+            ))
+            return sender
+        if frame_type == "bye":
+            with self._lock:
+                session = self._sessions.get(sender)
+                if session is not None and session.conn is conn:
+                    del self._sessions[sender]
+            return _BYE
+        idem = frame["idem"]
+        # Dedup check + in-flight claim, atomically: a retry either
+        # finds the cached terminal reply, finds the original still in
+        # flight (attach), or claims the key and executes.
+        with self._lock:
+            cached = self.dedup.get(sender, idem)
+            if cached is None and (sender, idem) in self._inflight:
+                attached = True
+            else:
+                attached = False
+                if cached is None:
+                    self._inflight[(sender, idem)] = frame
+            if sender not in self._sessions:
+                # Request without hello (or raced a reconnect): bind
+                # this connection so the reply has somewhere to go.
+                self._sessions[sender] = _Session(sender, conn)
+        if cached is not None:
+            self._send_to_agent(sender, cached)
+            return agent or sender
+        if attached:
+            # The original is still queued at the service; its
+            # completion callback will answer the current session.
+            self.duplicates_attached += 1
+            return agent or sender
+        try:
+            self._execute(frame_type, frame, sender, idem)
+        except Exception as exc:  # defensive: never kill the session
+            self._complete(sender, idem, protocol.make_reply(
+                frame_type, idem, protocol.STATUS_ERROR,
+                reason="internal", detail=str(exc),
+            ))
+        return agent or sender
+
+    # ------------------------------------------------------------------
+    # request execution
+    # ------------------------------------------------------------------
+
+    def _execute(self, frame_type: str, frame, agent: str,
+                 idem: str) -> None:
+        if frame_type == "admit":
+            self._execute_admit(frame, agent, idem)
+        elif frame_type == "teardown":
+            self._execute_teardown(frame, agent, idem)
+        elif frame_type == "refresh":
+            self._execute_refresh(frame, agent, idem)
+        elif frame_type == "feedback":
+            self._execute_feedback(frame, agent, idem)
+        elif frame_type == "dry-run":
+            self._execute_dry_run(frame, agent, idem)
+        else:  # pragma: no cover - validate_request gates the types
+            raise StateError(f"unroutable frame type {frame_type!r}")
+
+    @staticmethod
+    def _budget_timeout(frame) -> Optional[float]:
+        budget_ms = frame.get("budget_ms")
+        if budget_ms is None:
+            return None
+        # Propagate the *remaining* client deadline into the service's
+        # queueing deadline; a non-positive budget still submits with
+        # a zero timeout so the service sheds it with a try-again.
+        return max(0.0, float(budget_ms) / 1000.0)
+
+    def _execute_admit(self, frame, agent: str, idem: str) -> None:
+        spec = protocol.decode_spec(frame["spec"])
+        path_nodes = frame.get("path_nodes")
+        now = float(frame.get("now", 0.0))
+        request = ServiceRequest(
+            flow_id=frame["flow_id"],
+            op="admit",
+            spec=spec,
+            delay_requirement=float(frame["delay_requirement"]),
+            ingress=frame["ingress"],
+            egress=frame["egress"],
+            service_class=frame.get("service_class", ""),
+            path_nodes=tuple(path_nodes) if path_nodes else None,
+            now=now,
+            timeout=self._budget_timeout(frame),
+        )
+
+        def finish(reply: ServiceReply) -> None:
+            self._complete(agent, idem,
+                           self._admit_reply(reply, agent, idem, now))
+
+        self.service.submit(request).add_done_callback(finish)
+
+    def _admit_reply(self, reply: ServiceReply, agent: str, idem: str,
+                     now: float):
+        if reply.try_again:
+            return protocol.make_reply(
+                "admit", idem, protocol.STATUS_TRY_AGAIN,
+                detail=reply.detail, retry_after=reply.retry_after,
+            )
+        if reply.status != "ok" or reply.decision is None:
+            return protocol.make_reply(
+                "admit", idem, protocol.STATUS_ERROR,
+                reason="service", detail=reply.detail,
+            )
+        decision = reply.decision
+        lease_info = None
+        if decision.admitted:
+            macroflow_key, drain_bound = self._macroflow_hints(
+                decision.flow_id
+            )
+            lease = self.leases.grant(
+                decision.flow_id, agent, now,
+                macroflow_key=macroflow_key,
+            )
+            try:
+                self.service.journal_lease(
+                    "grant", decision.flow_id, agent,
+                    duration=lease.duration, now=now,
+                )
+            except StateError:
+                # The WAL/replication gate failed after the admit was
+                # already acknowledged durable; the lease still stands
+                # (its reap would journal a terminate through the same
+                # gate) — nothing coherent to unwind here.
+                pass
+            lease_info = {
+                "duration": lease.duration,
+                "expires_at": lease.expires_at,
+                "macroflow_key": macroflow_key,
+                "drain_bound": drain_bound,
+            }
+        return protocol.make_reply(
+            "admit", idem, protocol.STATUS_OK,
+            detail=reply.detail,
+            decision=decision_to_dict(decision),
+            lease=lease_info,
+        )
+
+    def _macroflow_hints(self, flow_id: str) -> Tuple[str, float]:
+        """(macroflow key, feedback drain hint) for an admitted flow.
+
+        Empty/0.0 for per-flow admissions.  Read lock-free: the hint
+        tells the agent *by when* its conditioner must report empty;
+        a concurrent state change only makes the hint conservative.
+        """
+        record = self.service.broker.flow_mib.get(flow_id)
+        if record is None or not record.class_id:
+            return "", 0.0
+        macro = self.service.broker.aggregate.macroflows.get(
+            record.class_id
+        )
+        if macro is None:
+            return record.class_id, 0.0
+        return record.class_id, macro.backlog_drain_bound()
+
+    def _execute_teardown(self, frame, agent: str, idem: str) -> None:
+        flow_id = frame["flow_id"]
+        now = float(frame.get("now", 0.0))
+        request = ServiceRequest(
+            flow_id=flow_id, op="teardown", now=now,
+            timeout=self._budget_timeout(frame),
+        )
+
+        def finish(reply: ServiceReply) -> None:
+            if reply.try_again:
+                answer = protocol.make_reply(
+                    "teardown", idem, protocol.STATUS_TRY_AGAIN,
+                    detail=reply.detail, retry_after=reply.retry_after,
+                )
+            elif reply.status != "ok":
+                self.leases.release(flow_id)
+                answer = protocol.make_reply(
+                    "teardown", idem, protocol.STATUS_ERROR,
+                    reason="service", detail=reply.detail,
+                )
+            else:
+                self.leases.release(flow_id)
+                try:
+                    self.service.journal_lease(
+                        "release", flow_id, agent, now=now,
+                    )
+                except StateError:
+                    pass
+                answer = protocol.make_reply(
+                    "teardown", idem, protocol.STATUS_OK,
+                    detail=reply.detail,
+                )
+            self._complete(agent, idem, answer)
+
+        self.service.submit(request).add_done_callback(finish)
+
+    def _execute_refresh(self, frame, agent: str, idem: str) -> None:
+        # Pure lease-table work; served in the reader thread.
+        refreshed, unknown = self.leases.refresh(
+            frame["flow_ids"], agent, float(frame.get("now", 0.0))
+        )
+        self._complete(agent, idem, protocol.make_reply(
+            "refresh", idem, protocol.STATUS_OK,
+            refreshed=refreshed, unknown=unknown,
+        ))
+
+    def _execute_feedback(self, frame, agent: str, idem: str) -> None:
+        request = ServiceRequest(
+            flow_id=frame["macroflow_key"], op="feedback",
+            now=float(frame.get("now", 0.0)),
+            timeout=self._budget_timeout(frame),
+        )
+
+        def finish(reply: ServiceReply) -> None:
+            if reply.try_again:
+                answer = protocol.make_reply(
+                    "feedback", idem, protocol.STATUS_TRY_AGAIN,
+                    detail=reply.detail, retry_after=reply.retry_after,
+                )
+            elif reply.status != "ok":
+                answer = protocol.make_reply(
+                    "feedback", idem, protocol.STATUS_ERROR,
+                    reason="service", detail=reply.detail,
+                )
+            else:
+                answer = protocol.make_reply(
+                    "feedback", idem, protocol.STATUS_OK,
+                    detail=reply.detail,
+                )
+            self._complete(agent, idem, answer)
+
+        self.service.submit(request).add_done_callback(finish)
+
+    def _execute_dry_run(self, frame, agent: str, idem: str) -> None:
+        # Read-only: run it in the reader thread under the candidate
+        # links' shard locks so the probe sees a consistent snapshot
+        # (the same synchronization contract dry_run_admissibility
+        # documents).
+        spec = protocol.decode_spec(frame["spec"])
+        path_nodes = frame.get("path_nodes")
+        shards = self.service.shards
+        with shards.locked(shards.all_shards()):
+            decision = dry_run_admissibility(
+                self.service.broker,
+                frame["flow_id"], spec,
+                float(frame["delay_requirement"]),
+                frame["ingress"], frame["egress"],
+                path_nodes=tuple(path_nodes) if path_nodes else None,
+            )
+        self._complete(agent, idem, protocol.make_reply(
+            "dry-run", idem, protocol.STATUS_OK,
+            decision=decision_to_dict(decision),
+        ))
+
+    # ------------------------------------------------------------------
+    # reply + completion plumbing
+    # ------------------------------------------------------------------
+
+    def _complete(self, agent: str, idem: str, reply) -> None:
+        """Publish a reply: dedup window first, in-flight pop second,
+        send last — so a concurrently arriving retry always observes
+        either the in-flight entry or the cached reply."""
+        with self._lock:
+            if reply.get("status") != protocol.STATUS_TRY_AGAIN:
+                self.dedup.put(agent, idem, reply)
+            self._inflight.pop((agent, idem), None)
+        self._send_to_agent(agent, reply)
+
+    def _send_to_agent(self, agent: str, frame) -> None:
+        with self._lock:
+            session = self._sessions.get(agent)
+        if session is None:
+            return  # disconnected; the reply waits in the dedup window
+        self._safe_send(session.conn, frame)
+
+    @staticmethod
+    def _safe_send(conn, frame) -> None:
+        try:
+            conn.send(frame)
+        except TransportClosed:
+            pass  # ditto: the retry will fetch it from the window
+
+    # ------------------------------------------------------------------
+    # lease reaping
+    # ------------------------------------------------------------------
+
+    def _advance_domain_clock(self, now) -> None:
+        try:
+            value = float(now)
+        except (TypeError, ValueError):
+            return
+        with self._lock:
+            if value > self._domain_now:
+                self._domain_now = value
+
+    @property
+    def domain_now(self) -> float:
+        """High-water mark of every ``now`` seen from any agent."""
+        with self._lock:
+            return self._domain_now
+
+    def reap(self, now: Optional[float] = None) -> List[str]:
+        """Tear down every flow whose lease expired by *now*.
+
+        Defaults to the domain high-water clock.  Expiry journals a
+        ``lease``-kind marker, then the teardown goes through the
+        service queue like any agent-initiated one (journaled as
+        ``terminate``, replicated, counted).  Returns the flow ids
+        reaped.  Called by the background reaper; tests call it
+        directly with an explicit *now*.
+        """
+        if now is None:
+            now = self.domain_now
+        else:
+            self._advance_domain_clock(now)
+        reaped: List[str] = []
+        for lease in self.leases.expire_due(now):
+            try:
+                self.service.journal_lease(
+                    "expire", lease.flow_id, lease.agent,
+                    duration=lease.duration, now=now,
+                )
+            except StateError:
+                pass
+            reply = self.service.request(
+                lease.flow_id, op="teardown", now=now,
+            )
+            if reply.status == "ok" or "not admitted" in reply.detail:
+                # "not admitted" = the flow raced an explicit teardown
+                # whose lease release lost; either way it is gone.
+                reaped.append(lease.flow_id)
+                self.reaped += 1
+            else:
+                # Shed or gate failure: re-grant so the next reap pass
+                # retries instead of leaking the reservation.
+                self.leases.grant(
+                    lease.flow_id, lease.agent,
+                    now - self.leases.duration,
+                    macroflow_key=lease.macroflow_key,
+                )
+        return reaped
+
+    def _reap_loop(self) -> None:
+        while self._running:
+            time.sleep(self.reap_interval)
+            if not self._running:
+                return
+            try:
+                self.reap()
+            except StateError:
+                continue
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def counters(self) -> Dict[str, Any]:
+        """Point-in-time gateway counters (leases, dedup, frames)."""
+        with self._lock:
+            inflight = len(self._inflight)
+            sessions = len(self._sessions)
+        return {
+            "frames_served": self.frames_served,
+            "duplicates_attached": self.duplicates_attached,
+            "protocol_errors": self.protocol_errors,
+            "reaped": self.reaped,
+            "inflight": inflight,
+            "sessions": sessions,
+            "dedup_hits": self.dedup.hits,
+            "dedup_entries": len(self.dedup),
+            "leases": self.leases.counters(),
+        }
+
+
+#: Sentinel returned by :meth:`EdgeGateway._handle_frame` on ``bye``.
+_BYE = "\x00bye"

@@ -1,0 +1,200 @@
+"""Soft-state flow leases and the idempotent-reply dedup window.
+
+Two small, thread-safe state machines the gateway composes:
+
+* :class:`LeaseTable` — the paper's "per-flow state lives at the
+  edge" made crash-tolerant: every admitted flow holds a **lease**
+  that its owning agent must refresh on heartbeat.  If the agent
+  dies or partitions, the lease expires and the gateway's reaper
+  tears the flow down at the broker, so reservations cannot leak —
+  the domain converges to the set of flows with live edges, without
+  the broker ever tracking edge liveness itself.
+
+* :class:`DedupWindow` — the gateway's memory of recently answered
+  idempotency keys.  A retried request whose original already
+  executed is answered from here instead of re-executing, which is
+  what turns the agent's at-least-once retry loop into exactly-once
+  effects at the broker.  Only *terminal* replies are stored:
+  ``try-again`` means "never executed", so caching it would pin a
+  retry to a stale backpressure answer.
+
+Both use a caller-supplied clock domain (the repo's logical seconds),
+not wall time, so tests drive expiry deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["Lease", "LeaseTable", "DedupWindow"]
+
+
+@dataclass
+class Lease:
+    """One flow's soft-state claim: who owns it and until when."""
+
+    flow_id: str
+    agent: str
+    expires_at: float
+    duration: float
+    macroflow_key: str = ""
+    refreshes: int = 0
+
+
+class LeaseTable:
+    """Thread-safe table of flow leases keyed by flow id.
+
+    One lease per flow; an agent may hold many.  All methods take the
+    current *domain* time explicitly — the table never reads a clock.
+    """
+
+    def __init__(self, *, duration: float) -> None:
+        if duration <= 0:
+            raise ValueError(f"lease duration must be > 0, got {duration}")
+        self.duration = duration
+        self._lock = threading.Lock()
+        self._leases: Dict[str, Lease] = {}
+        self.granted = 0
+        self.refreshed = 0
+        self.released = 0
+        self.expired = 0
+
+    def grant(self, flow_id: str, agent: str, now: float, *,
+              macroflow_key: str = "") -> Lease:
+        """Create (or re-own, on idempotent re-admit) a flow's lease."""
+        with self._lock:
+            lease = Lease(
+                flow_id=flow_id, agent=agent,
+                expires_at=now + self.duration,
+                duration=self.duration,
+                macroflow_key=macroflow_key,
+            )
+            self._leases[flow_id] = lease
+            self.granted += 1
+            return lease
+
+    def refresh(self, flow_ids, agent: str,
+                now: float) -> Tuple[List[str], List[str]]:
+        """Heartbeat: extend leases owned by *agent*.
+
+        Returns ``(refreshed, unknown)`` — ids in *unknown* either
+        never existed, already expired away, or belong to another
+        agent; the caller's edge must forget them.
+        """
+        refreshed: List[str] = []
+        unknown: List[str] = []
+        with self._lock:
+            for flow_id in flow_ids:
+                lease = self._leases.get(flow_id)
+                if lease is None or lease.agent != agent:
+                    unknown.append(flow_id)
+                    continue
+                lease.expires_at = now + self.duration
+                lease.refreshes += 1
+                self.refreshed += 1
+                refreshed.append(flow_id)
+        return refreshed, unknown
+
+    def release(self, flow_id: str) -> Optional[Lease]:
+        """Drop a lease (explicit teardown); returns it if present."""
+        with self._lock:
+            lease = self._leases.pop(flow_id, None)
+            if lease is not None:
+                self.released += 1
+            return lease
+
+    def expire_due(self, now: float) -> List[Lease]:
+        """Remove and return every lease with ``expires_at <= now``.
+
+        The reaper calls this, then tears the returned flows down at
+        the broker; removal-before-teardown means a late heartbeat
+        for a reaped flow reports ``unknown`` instead of resurrecting
+        state the broker no longer holds.
+        """
+        due: List[Lease] = []
+        with self._lock:
+            for flow_id in [
+                fid for fid, lease in self._leases.items()
+                if lease.expires_at <= now
+            ]:
+                due.append(self._leases.pop(flow_id))
+            self.expired += len(due)
+        return due
+
+    def owned_by(self, agent: str) -> List[str]:
+        """Flow ids currently leased to *agent* (snapshot)."""
+        with self._lock:
+            return [
+                fid for fid, lease in self._leases.items()
+                if lease.agent == agent
+            ]
+
+    def get(self, flow_id: str) -> Optional[Lease]:
+        with self._lock:
+            return self._leases.get(flow_id)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._leases)
+
+    def counters(self) -> Dict[str, int]:
+        """Lifetime lease-event counts (for stats/monitoring)."""
+        with self._lock:
+            return {
+                "granted": self.granted,
+                "refreshed": self.refreshed,
+                "released": self.released,
+                "expired": self.expired,
+                "active": len(self._leases),
+            }
+
+
+class DedupWindow:
+    """Bounded LRU of ``(agent, idem) -> terminal reply frame``.
+
+    ``put`` refuses non-terminal (``try-again``) statuses by design;
+    see the module docstring.  The window is bounded (LRU eviction)
+    so a long-lived gateway cannot grow without limit — the bound
+    only needs to cover the agents' maximum retry horizon.
+    """
+
+    def __init__(self, *, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._replies: "OrderedDict[Tuple[str, str], Dict[str, Any]]" = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.evicted = 0
+
+    def put(self, agent: str, idem: str, reply: Dict[str, Any]) -> None:
+        """Remember a terminal reply for (agent, idem)."""
+        if reply.get("status") == "try-again":
+            raise ValueError(
+                "refusing to cache a try-again reply: it was never "
+                "executed, so a retry must re-attempt it"
+            )
+        with self._lock:
+            self._replies[(agent, idem)] = reply
+            self._replies.move_to_end((agent, idem))
+            while len(self._replies) > self.capacity:
+                self._replies.popitem(last=False)
+                self.evicted += 1
+
+    def get(self, agent: str, idem: str) -> Optional[Dict[str, Any]]:
+        """The cached reply for (agent, idem), or None."""
+        with self._lock:
+            reply = self._replies.get((agent, idem))
+            if reply is not None:
+                self._replies.move_to_end((agent, idem))
+                self.hits += 1
+            return reply
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._replies)

@@ -58,9 +58,10 @@ class LoadReport:
     operations: int        # admits + teardowns actually answered
     admitted: int
     rejected: int
-    shed: int
+    shed: int              # TRY_AGAIN answers that were NOT retried away
     errors: int
     duration: float        # wall seconds, first submit -> last reply
+    retries: int = 0       # TRY_AGAIN answers retried after retry_after
     latencies: List[float] = field(default_factory=list)
     stats: Optional[ServiceStats] = None
 
@@ -86,6 +87,7 @@ class LoadReport:
             "rejected": self.rejected,
             "shed": self.shed,
             "errors": self.errors,
+            "retries": self.retries,
             "duration_s": round(self.duration, 4),
             "throughput_rps": round(self.throughput_rps, 1),
             "p50_ms": round(self.latency_ms(0.50), 3),
@@ -144,6 +146,7 @@ def run_closed_loop(
     requests_per_client: int = 50,
     teardown: bool = True,
     timeout: Optional[float] = None,
+    max_retries: int = 0,
 ) -> LoadReport:
     """Drive *service* with a closed loop of admit(+teardown) clients.
 
@@ -159,20 +162,25 @@ def run_closed_loop(
         the same residual capacity.
     :param timeout: per-request queueing deadline passed through to
         the service.
+    :param max_retries: retry a ``TRY_AGAIN`` answer up to this many
+        times, sleeping the reply's machine-readable ``retry_after``
+        hint between attempts (the honest backpressure loop a real
+        edge client runs).  0 keeps the legacy behavior: every
+        ``TRY_AGAIN`` counts as shed.
     """
     if not templates:
         raise ValueError("need at least one flow template")
     reports: List[Tuple[List[ServiceReply], List[float]]] = [
         ([], []) for _ in range(clients)
     ]
+    retry_counts = [0] * clients
     barrier = threading.Barrier(clients + 1)
 
-    def client(index: int) -> None:
-        template = templates[index % len(templates)]
-        replies, latencies = reports[index]
-        barrier.wait()
-        for iteration in range(requests_per_client):
-            flow_id = f"c{index}-r{iteration}"
+    def attempt(index: int, flow_id: str,
+                template: FlowTemplate) -> ServiceReply:
+        """One admit, retried per the service's retry-after hints."""
+        tries = 0
+        while True:
             reply = service.request(
                 flow_id,
                 template.spec,
@@ -183,6 +191,19 @@ def run_closed_loop(
                 path_nodes=template.path_nodes,
                 timeout=timeout,
             )
+            if not reply.try_again or tries >= max_retries:
+                return reply
+            tries += 1
+            retry_counts[index] += 1
+            time.sleep(min(reply.retry_after, 0.25))
+
+    def client(index: int) -> None:
+        template = templates[index % len(templates)]
+        replies, latencies = reports[index]
+        barrier.wait()
+        for iteration in range(requests_per_client):
+            flow_id = f"c{index}-r{iteration}"
+            reply = attempt(index, flow_id, template)
             replies.append(reply)
             latencies.append(reply.service_time)
             if teardown and reply.admitted:
@@ -211,6 +232,7 @@ def run_closed_loop(
         shed=0,
         errors=0,
         duration=duration,
+        retries=sum(retry_counts),
         stats=service.stats(),
     )
     for replies, latencies in reports:

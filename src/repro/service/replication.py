@@ -88,6 +88,7 @@ __all__ = [
     "ReplicaServer",
     "PromotionReport",
     "promote_directory",
+    "dry_run_admissibility",
 ]
 
 #: Fire-and-forget shipping; replies never wait for follower acks.
@@ -483,6 +484,72 @@ class ReplicationHub:
 # ----------------------------------------------------------------------
 
 
+def dry_run_admissibility(
+    broker: BandwidthBroker,
+    flow_id: str,
+    spec,
+    delay_requirement: float,
+    ingress: str,
+    egress: str,
+    *,
+    path_nodes: Optional[Sequence[str]] = None,
+) -> AdmissionDecision:
+    """Would *broker*'s domain admit this per-flow request right now?
+
+    A strictly read-only admissibility check: policy control, path
+    resolution over *ephemeral* (unregistered) path records, and the
+    schedulability test phase — no reservation, no MIB write, no
+    rejection counted.  Shared by the read-replica query path
+    (:meth:`ReplicaServer.dry_run`) and the edge gateway's ``dry-run``
+    frame; the caller is responsible for whatever synchronization its
+    consistency story needs (the replica holds its apply lock, the
+    gateway holds the candidate links' shard locks).
+
+    Class-based requests are not supported: a class join moves the
+    domain-wide contingency schedule, which has no side-effect-free
+    test phase.
+    """
+    request = AdmissionRequest(
+        flow_id=flow_id, spec=spec,
+        delay_requirement=delay_requirement,
+    )
+    verdict = broker.policy.evaluate(request, ingress, egress)
+    if not verdict.allowed:
+        return AdmissionDecision(
+            admitted=False, flow_id=flow_id,
+            reason=RejectionReason.POLICY,
+            detail=f"{verdict.rule}: {verdict.detail}",
+        )
+    if path_nodes is not None:
+        candidate_nodes = [list(path_nodes)]
+    else:
+        candidate_nodes = broker.routing.shortest_paths(ingress, egress)
+    if not candidate_nodes:
+        return AdmissionDecision(
+            admitted=False, flow_id=flow_id,
+            reason=RejectionReason.NO_PATH,
+            detail=f"{egress!r} unreachable from {ingress!r}",
+        )
+    ordered = sorted(
+        candidate_nodes,
+        key=lambda nodes: (
+            -broker.routing.bottleneck(nodes), list(nodes),
+        ),
+    )
+    decision: Optional[AdmissionDecision] = None
+    for nodes in ordered:
+        links = [
+            broker.node_mib.link(src, dst)
+            for src, dst in zip(nodes, nodes[1:])
+        ]
+        path = PathRecord("->".join(nodes), tuple(nodes), links)
+        decision = broker.perflow.test(request, path)
+        if decision.admitted:
+            return decision
+    assert decision is not None
+    return decision
+
+
 class ReplicaServer:
     """A hot-standby broker continuously replaying a primary's WAL.
 
@@ -746,50 +813,10 @@ class ReplicaServer:
         has no side-effect-free test phase.
         """
         with self._lock:
-            broker = self.broker
-            request = AdmissionRequest(
-                flow_id=flow_id, spec=spec,
-                delay_requirement=delay_requirement,
+            return dry_run_admissibility(
+                self.broker, flow_id, spec, delay_requirement,
+                ingress, egress, path_nodes=path_nodes,
             )
-            verdict = broker.policy.evaluate(request, ingress, egress)
-            if not verdict.allowed:
-                return AdmissionDecision(
-                    admitted=False, flow_id=flow_id,
-                    reason=RejectionReason.POLICY,
-                    detail=f"{verdict.rule}: {verdict.detail}",
-                )
-            if path_nodes is not None:
-                candidate_nodes = [list(path_nodes)]
-            else:
-                candidate_nodes = broker.routing.shortest_paths(
-                    ingress, egress
-                )
-            if not candidate_nodes:
-                return AdmissionDecision(
-                    admitted=False, flow_id=flow_id,
-                    reason=RejectionReason.NO_PATH,
-                    detail=f"{egress!r} unreachable from {ingress!r}",
-                )
-            ordered = sorted(
-                candidate_nodes,
-                key=lambda nodes: (
-                    -broker.routing.bottleneck(nodes), list(nodes),
-                ),
-            )
-            decision: Optional[AdmissionDecision] = None
-            for nodes in ordered:
-                links = [
-                    broker.node_mib.link(src, dst)
-                    for src, dst in zip(nodes, nodes[1:])
-                ]
-                path = PathRecord(
-                    "->".join(nodes), tuple(nodes), links
-                )
-                decision = broker.perflow.test(request, path)
-                if decision.admitted:
-                    return decision
-            assert decision is not None
-            return decision
 
     # -- failover -------------------------------------------------------
 

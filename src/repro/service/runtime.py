@@ -109,8 +109,10 @@ class ServiceRequest:
     """One unit of work submitted to the service.
 
     :param flow_id: the flow the operation concerns (empty for
-        ``"advance"``).
-    :param op: ``"admit"``, ``"teardown"`` or ``"advance"``.
+        ``"advance"``; the **macroflow key** for ``"feedback"``).
+    :param op: ``"admit"``, ``"teardown"``, ``"advance"`` or
+        ``"feedback"`` (Section 4.2.1 — the macroflow's edge buffer
+        drained, release its contingency bandwidth early).
     :param spec: traffic profile (admit only).
     :param delay_requirement: ``D_req``; 0 with a service class.
     :param ingress: ingress edge router (admit only).
@@ -145,6 +147,13 @@ class ServiceReply:
     :data:`~repro.core.admission.RejectionReason.TRY_AGAIN`, which is
     how clients distinguish "come back later" from a capacity
     rejection.  Completed teardowns have ``decision None``.
+
+    ``retry_after`` is the machine-readable half of the backpressure
+    contract: on a ``TRY_AGAIN`` reply it carries the service's
+    estimate (seconds) of when a retry will find room — the queued
+    backlog divided across the worker pool at the recent median
+    service time — so clients pace retries off the hint instead of
+    parsing the status string or guessing.  0.0 on real decisions.
     """
 
     request: ServiceRequest
@@ -153,6 +162,7 @@ class ServiceReply:
     detail: str = ""
     service_time: float = 0.0
     batch_size: int = 1
+    retry_after: float = 0.0
 
     @property
     def admitted(self) -> bool:
@@ -167,18 +177,45 @@ class ServiceReply:
 class PendingReply:
     """A future for one submitted request."""
 
-    __slots__ = ("_event", "_reply", "enqueued_at", "deadline")
+    __slots__ = ("_event", "_reply", "_callbacks", "_cb_lock",
+                 "enqueued_at", "deadline")
 
     def __init__(self, enqueued_at: float,
                  deadline: Optional[float]) -> None:
         self._event = threading.Event()
         self._reply: Optional[ServiceReply] = None
+        self._callbacks: List = []
+        self._cb_lock = threading.Lock()
         self.enqueued_at = enqueued_at
         self.deadline = deadline
 
     def _resolve(self, reply: ServiceReply) -> None:
-        self._reply = reply
-        self._event.set()
+        with self._cb_lock:
+            self._reply = reply
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(reply)
+
+    def add_done_callback(self, callback) -> "PendingReply":
+        """Run ``callback(reply)`` once the reply resolves.
+
+        Fires immediately (in the caller's thread) when the future is
+        already done — a shed submit resolves before :meth:`submit`
+        returns — and otherwise in the resolving worker's thread.
+        This is how a network front-end (the edge gateway) answers
+        many in-flight requests without parking a thread per request.
+        Callbacks must not block: they run on the worker that just
+        served the batch.
+        """
+        with self._cb_lock:
+            if not self._event.is_set():
+                self._callbacks.append(callback)
+                return self
+            reply = self._reply
+        assert reply is not None
+        callback(reply)
+        return self
 
     @property
     def done(self) -> bool:
@@ -378,6 +415,7 @@ class BrokerService:
                 ),
                 detail=f"service queue full ({depth} waiting)",
                 service_time=0.0,
+                retry_after=self._recorder.retry_hint(depth, self.workers),
             ))
         return pending
 
@@ -424,6 +462,16 @@ class BrokerService:
         and, with a WAL attached, journaled — like every other
         control operation."""
         return self.request("", op="advance", now=now, wait=wait)
+
+    def feedback(self, macroflow_key: str, *, now: float = 0.0,
+                 wait: Optional[float] = None) -> ServiceReply:
+        """Edge feedback (Section 4.2.1): the macroflow's edge buffer
+        drained, so its contingency bandwidth is released ahead of
+        the eq.-(17) expiry.  Serialized — and journaled — through
+        the service queue like every other control operation; the
+        reply detail carries the number of allocations released."""
+        return self.request(macroflow_key, op="feedback", now=now,
+                            wait=wait)
 
     # ------------------------------------------------------------------
     # signaling endpoint
@@ -591,7 +639,10 @@ class BrokerService:
                 self._recorder.on_expired(self._elapsed(job))
                 self._finish(job, EXPIRED, self._try_again(
                     job.request, "deadline passed while queued"
-                ), detail="deadline passed while queued")
+                ), detail="deadline passed while queued",
+                    retry_after=self._recorder.retry_hint(
+                        0, self.workers
+                    ))
             else:
                 live.append(job)
         if not live:
@@ -603,6 +654,10 @@ class BrokerService:
         if live[0].request.op == "advance":
             for job in live:
                 self._serve_advance(job)
+            return
+        if live[0].request.op == "feedback":
+            for job in live:
+                self._serve_feedback(job)
             return
         self._serve_admissions(live)
 
@@ -710,6 +765,34 @@ class BrokerService:
         self._recorder.on_reply("done", self._elapsed(job))
         self._finish(job, OK, None)
 
+    def _serve_feedback(self, job: _Job) -> None:
+        # Releasing a macroflow's contingency bandwidth mutates link
+        # reservations along its path; the macroflow may live on any
+        # path, so feedback serializes across all shards (same
+        # write-set argument as advance).
+        try:
+            with self.shards.locked(self.shards.all_shards()):
+                if self.wal is not None:
+                    self.wal.append("feedback", {
+                        "macroflow_key": job.request.flow_id,
+                        "now": job.request.now,
+                    })
+                released = self.broker.aggregate.notify_edge_empty(
+                    job.request.flow_id, job.request.now
+                )
+        except Exception as exc:
+            self._recorder.on_error(self._elapsed(job))
+            self._finish(job, ERROR, None, detail=str(exc))
+            return
+        stall = self._commit_wal()
+        if stall is not None:
+            self._fail_group([job], stall)
+            return
+        self._recorder.on_feedback(released)
+        self._recorder.on_reply("done", self._elapsed(job))
+        self._finish(job, OK, None,
+                     detail=f"released {released} allocation(s)")
+
     def _serve_advance(self, job: _Job) -> None:
         # An advance may release contingency bandwidth on any
         # macroflow in the domain, so it serializes across all shards
@@ -742,6 +825,33 @@ class BrokerService:
     # ------------------------------------------------------------------
     # durability plumbing
     # ------------------------------------------------------------------
+
+    def journal_lease(self, event: str, flow_id: str, agent: str, *,
+                      duration: float = 0.0, now: float = 0.0) -> None:
+        """Journal one edge-lease lifecycle event (no-op without WAL).
+
+        The edge gateway's soft-state flow leases live outside the
+        broker MIBs, but their lifecycle must ride the same WAL so a
+        restarted gateway rebuilds its lease table from the directory
+        it recovers the broker from (and replicas see the markers in
+        shipped order).  Replay treats ``"lease"`` entries as no-ops —
+        the broker-visible effect of a reap is its own ``terminate``
+        entry.  Group-committed like every other append: a lease is
+        not *granted* (acknowledged to the agent) before its marker is
+        durable.
+        """
+        if self.wal is None:
+            return
+        self.wal.append("lease", {
+            "event": event,
+            "flow_id": flow_id,
+            "agent": agent,
+            "duration": duration,
+            "now": now,
+        })
+        stall = self._commit_wal()
+        if stall is not None:
+            raise StateError(stall)
 
     def _journal_requests(self, jobs: List[_Job]) -> None:
         """Append one write-ahead entry per admission in the batch."""
@@ -799,7 +909,8 @@ class BrokerService:
 
     def _finish(self, job: _Job, status: str,
                 decision: Optional[AdmissionDecision], *,
-                detail: str = "", batch_size: int = 1) -> None:
+                detail: str = "", batch_size: int = 1,
+                retry_after: float = 0.0) -> None:
         job.pending._resolve(ServiceReply(
             request=job.request,
             status=status,
@@ -807,6 +918,7 @@ class BrokerService:
             detail=detail or (decision.detail if decision else ""),
             service_time=self._elapsed(job),
             batch_size=batch_size,
+            retry_after=retry_after,
         ))
 
     @staticmethod

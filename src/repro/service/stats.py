@@ -97,6 +97,11 @@ class ServiceStats:
         ``scan_intervals / scan_tests`` is the mean scan length.
     :param scan_early_breaks: scans cut short because the suffix lower
         bound already exceeded the best feasible rate.
+    :param feedbacks: Section 4.2.1 edge-feedback operations served
+        (``op="feedback"``) — a macroflow's edge conditioner reported
+        its buffer drained.
+    :param feedback_released: contingency allocations those feedbacks
+        released ahead of their eq.-(17) expiry.
     """
 
     workers: int
@@ -132,6 +137,8 @@ class ServiceStats:
     scan_tests: int = 0
     scan_intervals: int = 0
     scan_early_breaks: int = 0
+    feedbacks: int = 0
+    feedback_released: int = 0
 
     @property
     def mean_batch(self) -> float:
@@ -214,6 +221,8 @@ class ServiceStats:
             "scan_intervals": self.scan_intervals,
             "mean_scan_intervals": round(self.mean_scan_intervals, 3),
             "scan_early_breaks": self.scan_early_breaks,
+            "feedbacks": self.feedbacks,
+            "feedback_released": self.feedback_released,
         }
 
 
@@ -237,6 +246,8 @@ class StatsRecorder:
         self.batched_requests = 0
         self.max_batch = 0
         self.replication_stalls = 0
+        self.feedbacks = 0
+        self.feedback_released = 0
         self._samples: Deque[float] = deque(maxlen=SAMPLE_WINDOW)
 
     def on_submit(self) -> None:
@@ -273,6 +284,33 @@ class StatsRecorder:
         """A group commit's replication gate failed (timeout/fence)."""
         with self._lock:
             self.replication_stalls += 1
+
+    def on_feedback(self, released: int) -> None:
+        """An edge-feedback operation released *released* allocations."""
+        with self._lock:
+            self.feedbacks += 1
+            self.feedback_released += released
+
+    def retry_hint(self, queue_depth: int, workers: int) -> float:
+        """A machine-readable retry-after suggestion, in seconds.
+
+        When a submit is shed, the client's best move is to come back
+        once the backlog has drained: the hint is the queued work
+        (``queue_depth`` requests) divided across the worker pool at
+        the recent median service time.  With no samples yet (cold
+        service) a small constant keeps the first retries prompt
+        without stampeding.
+        """
+        with self._lock:
+            if self._samples:
+                ordered = tuple(sorted(self._samples))
+                p50 = _percentile(ordered, 0.50)
+            else:
+                p50 = 0.0
+        if p50 <= 0.0:
+            p50 = 0.005
+        hint = p50 * max(1, queue_depth) / max(1, workers)
+        return min(5.0, max(0.001, hint))
 
     def on_batch(self, size: int) -> None:
         with self._lock:
@@ -342,4 +380,6 @@ class StatsRecorder:
                 scan_tests=scan_tests,
                 scan_intervals=scan_intervals,
                 scan_early_breaks=scan_early_breaks,
+                feedbacks=self.feedbacks,
+                feedback_released=self.feedback_released,
             )

@@ -26,6 +26,13 @@ Connection contract (both implementations):
   lose sync), or raises :class:`TransportClosed` once the peer is
   gone *and* every already-delivered frame has been drained;
 * ``close()`` is idempotent and unblocks any pending ``recv``.
+
+The module also defines the transport-level **keepalive** frames
+shared by every protocol that rides a connection: a peer that has
+been idle for a while sends :func:`ping_frame`; the other side must
+answer with :func:`pong_frame`.  Keepalives are how an edge agent
+distinguishes "the gateway is slow" from "the connection is dead"
+without waiting for TCP's own (minutes-long) timeouts.
 """
 
 from __future__ import annotations
@@ -47,6 +54,12 @@ __all__ = [
     "TcpConnection",
     "TcpListener",
     "connect_tcp",
+    "PING",
+    "PONG",
+    "ping_frame",
+    "pong_frame",
+    "is_ping",
+    "is_pong",
 ]
 
 #: 4-byte big-endian frame-length prefix (TCP framing).
@@ -62,6 +75,35 @@ Frame = Dict[str, Any]
 
 class TransportClosed(SignalingError):
     """The peer closed the connection (or it was closed locally)."""
+
+
+# ----------------------------------------------------------------------
+# keepalive frames
+# ----------------------------------------------------------------------
+
+#: Frame ``type`` of a keepalive probe / its answer.
+PING = "ping"
+PONG = "pong"
+
+
+def ping_frame(nonce: int = 0) -> Frame:
+    """A keepalive probe; the peer must answer with the same nonce."""
+    return {"type": PING, "nonce": int(nonce)}
+
+
+def pong_frame(ping: Frame) -> Frame:
+    """The answer to *ping* (echoes its nonce so RTTs can be paired)."""
+    return {"type": PONG, "nonce": int(ping.get("nonce", 0))}
+
+
+def is_ping(frame: Frame) -> bool:
+    """Is *frame* a keepalive probe?"""
+    return frame.get("type") == PING
+
+
+def is_pong(frame: Frame) -> bool:
+    """Is *frame* a keepalive answer?"""
+    return frame.get("type") == PONG
 
 
 # ----------------------------------------------------------------------

@@ -96,3 +96,12 @@ def test_broker_replication():
     assert "every acked admission survived failover (8/8)" in out
     assert "stale primary fenced" in out
     assert "no split-brain" in out
+
+
+@pytest.mark.network
+def test_edge_agents():
+    out = run_example("edge_agents.py")
+    assert "admitted exactly once" in out
+    assert "lease reaper collected the orphans" in out
+    assert "broker holds 0 flows" in out
+    assert "exactly-once signaling over an at-least-once network" in out

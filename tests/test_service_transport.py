@@ -1,0 +1,227 @@
+"""Transport framing under adversarial byte boundaries.
+
+TCP delivers a byte stream, not frames: a sender's single frame may
+arrive split across many reads, and many frames may coalesce into one
+read.  :meth:`TcpConnection._parse_buffered` must reassemble the
+length-prefixed JSON frames identically under *every* chunking — these
+tests fuzz the split points.  Socket-backed cases carry the
+``network`` marker (deselect with ``-m "not network"`` on machines
+without loopback).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.service.transport import (
+    MAX_FRAME_BYTES,
+    TcpConnection,
+    TcpListener,
+    TransportClosed,
+    connect_tcp,
+    pipe_pair,
+)
+
+_HEADER = struct.Struct(">I")
+
+
+def encode_frame(frame) -> bytes:
+    """The wire form ``TcpConnection.send`` produces."""
+    blob = json.dumps(frame, separators=(",", ":")).encode("utf-8")
+    return _HEADER.pack(len(blob)) + blob
+
+
+def parser_only() -> TcpConnection:
+    """A TcpConnection with just the parser state — no socket, so the
+    split/coalesce logic can be fuzzed deterministically byte by byte.
+    """
+    conn = TcpConnection.__new__(TcpConnection)
+    conn._buffer = bytearray()
+    conn._closed = False
+    return conn
+
+
+def drain(conn: TcpConnection):
+    frames = []
+    while True:
+        frame = conn._parse_buffered()
+        if frame is None:
+            return frames
+        frames.append(frame)
+
+
+FRAMES = [
+    {"type": "hello", "agent": "edge-1"},
+    {"type": "admit", "idem": "edge-1#1", "payload": "x" * 200,
+     "nested": {"sigma": 60000.0, "nodes": ["I1", "R2", "E1"]}},
+    {"type": "reply", "status": "ok", "unicode": "π ≤ ∞", "n": 3},
+    {},
+    {"type": "bye"},
+]
+
+
+class TestParseBuffered:
+    def test_single_frame_round_trip(self):
+        conn = parser_only()
+        conn._buffer.extend(encode_frame(FRAMES[1]))
+        assert drain(conn) == [FRAMES[1]]
+        assert conn._buffer == bytearray()
+
+    def test_every_split_point_of_one_frame(self):
+        """Feed the frame in two chunks, split at every byte offset:
+        the parser must return nothing until the frame completes, then
+        exactly the frame."""
+        wire = encode_frame(FRAMES[2])
+        for cut in range(len(wire) + 1):
+            conn = parser_only()
+            conn._buffer.extend(wire[:cut])
+            early = drain(conn)
+            assert early == ([] if cut < len(wire) else [FRAMES[2]])
+            conn._buffer.extend(wire[cut:])
+            assert drain(conn) == ([FRAMES[2]] if cut < len(wire)
+                                   else [])
+
+    def test_coalesced_frames_parse_in_order(self):
+        conn = parser_only()
+        for frame in FRAMES:
+            conn._buffer.extend(encode_frame(frame))
+        assert drain(conn) == FRAMES
+        assert conn._buffer == bytearray()
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_chunking_round_trips(self, seed):
+        """Fuzz: a long multi-frame stream delivered in random-sized
+        chunks (1..17 bytes) yields the identical frame sequence."""
+        rng = random.Random(seed)
+        sent = [
+            {"type": "admit", "idem": f"a#{index}",
+             "blob": "y" * rng.randrange(0, 300),
+             "value": rng.random()}
+            for index in range(25)
+        ]
+        wire = b"".join(encode_frame(frame) for frame in sent)
+        conn = parser_only()
+        received = []
+        cursor = 0
+        while cursor < len(wire):
+            step = rng.randrange(1, 18)
+            conn._buffer.extend(wire[cursor:cursor + step])
+            cursor += step
+            received.extend(drain(conn))
+        assert received == sent
+        assert conn._buffer == bytearray()
+
+    def test_torn_tail_stays_pending(self):
+        """A complete frame followed by half of the next: the parser
+        hands out the first and keeps the tail buffered."""
+        first, second = encode_frame(FRAMES[0]), encode_frame(FRAMES[1])
+        conn = parser_only()
+        conn._buffer.extend(first + second[: len(second) // 2])
+        assert drain(conn) == [FRAMES[0]]
+        assert len(conn._buffer) == len(second) // 2
+
+    def test_oversize_length_prefix_is_rejected(self):
+        """A peer speaking another protocol reads as an absurd length
+        prefix — refuse it instead of allocating gigabytes."""
+        conn = parser_only()
+        conn._buffer.extend(_HEADER.pack(MAX_FRAME_BYTES + 1) + b"x")
+        with pytest.raises(TransportClosed, match="exceeds"):
+            conn._parse_buffered()
+
+    def test_header_alone_is_not_a_frame(self):
+        conn = parser_only()
+        conn._buffer.extend(_HEADER.pack(100))
+        assert conn._parse_buffered() is None
+
+
+class TestPipePair:
+    def test_round_trip_and_close_semantics(self):
+        a, b = pipe_pair()
+        a.send({"n": 1})
+        a.send({"n": 2})
+        assert b.recv(timeout=1.0) == {"n": 1}
+        assert b.recv(timeout=1.0) == {"n": 2}
+        assert b.recv(timeout=0.01) is None  # idle, not closed
+        b.close()
+        with pytest.raises(TransportClosed):
+            a.send({"n": 3})
+        with pytest.raises(TransportClosed):
+            a.recv(timeout=1.0)
+
+
+@pytest.mark.network
+class TestTcpSockets:
+    def setup_method(self):
+        self.listener = TcpListener()
+        self.raw: list = []
+
+    def teardown_method(self):
+        for sock in self.raw:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        self.listener.close()
+
+    def raw_client(self) -> socket.socket:
+        sock = socket.create_connection(
+            (self.listener.host, self.listener.port), timeout=5.0
+        )
+        self.raw.append(sock)
+        return sock
+
+    def test_dribbled_bytes_reassemble(self):
+        """One byte per segment — the worst split TCP can produce."""
+        client = self.raw_client()
+        server = self.listener.accept(timeout=5.0)
+        wire = b"".join(encode_frame(frame) for frame in FRAMES)
+
+        def dribble():
+            for offset in range(len(wire)):
+                client.sendall(wire[offset:offset + 1])
+
+        thread = threading.Thread(target=dribble)
+        thread.start()
+        received = [server.recv(timeout=5.0) for _ in FRAMES]
+        thread.join()
+        assert received == FRAMES
+        server.close()
+
+    def test_coalesced_burst_reassembles(self):
+        """All frames in a single send — maximal coalescing."""
+        client = self.raw_client()
+        server = self.listener.accept(timeout=5.0)
+        client.sendall(b"".join(encode_frame(frame) for frame in FRAMES))
+        received = [server.recv(timeout=5.0) for _ in FRAMES]
+        assert received == FRAMES
+        server.close()
+
+    def test_peer_close_mid_frame_raises(self):
+        client = self.raw_client()
+        server = self.listener.accept(timeout=5.0)
+        wire = encode_frame(FRAMES[1])
+        client.sendall(wire[: len(wire) - 3])
+        client.close()
+        with pytest.raises(TransportClosed, match="closed"):
+            server.recv(timeout=5.0)
+        server.close()
+
+    def test_tcp_connection_round_trip(self):
+        """The real client class against the real listener."""
+        client = connect_tcp(self.listener.host, self.listener.port)
+        server = self.listener.accept(timeout=5.0)
+        for frame in FRAMES:
+            client.send(frame)
+        received = [server.recv(timeout=5.0) for _ in FRAMES]
+        assert received == FRAMES
+        server.send({"type": "reply", "status": "ok"})
+        assert client.recv(timeout=5.0) == {"type": "reply",
+                                            "status": "ok"}
+        client.close()
+        server.close()
