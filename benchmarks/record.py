@@ -1,0 +1,97 @@
+"""Append a benchmark run to a repo-root ``BENCH_*.json`` ledger.
+
+The perf trajectory of the extensions (service runtime, edge plane,
+replication, cluster) only means something across re-anchors if every
+measured run lands in version control next to the code it measured.
+This helper appends one entry — machine figures plus provenance — to
+a ledger file that is a JSON list, newest entry last:
+
+    PYTHONPATH=src python -m repro shard-bench --json run.json
+    python benchmarks/record.py BENCH_cluster.json run.json \
+        --note "8-pod scaling sweep, 1 worker/shard"
+
+Importable too::
+
+    from record import record
+    record("BENCH_cluster.json", results, note="...")
+
+Entries never overwrite each other; the ledger is append-only by
+construction (re-recording an identical payload is the caller's
+mistake to avoid, not this script's to detect).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from typing import Any, Optional
+
+
+def _git_commit() -> Optional[str]:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except OSError:
+        return None
+    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
+def record(ledger_path: str, results: Any, *, note: str = "",
+           source: str = "", recorded: Optional[str] = None) -> dict:
+    """Append one entry holding *results* to the ledger; returns it."""
+    entry = {
+        "recorded": recorded or time.strftime("%Y-%m-%d"),
+        "commit": _git_commit(),
+        "note": note,
+        "source": source,
+        "results": results,
+    }
+    ledger = []
+    if os.path.exists(ledger_path):
+        with open(ledger_path) as handle:
+            ledger = json.load(handle)
+        if not isinstance(ledger, list):
+            raise SystemExit(
+                f"{ledger_path} is not a JSON list of run entries"
+            )
+    ledger.append(entry)
+    with open(ledger_path, "w") as handle:
+        json.dump(ledger, handle, indent=2)
+        handle.write("\n")
+    return entry
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="append a benchmark artifact to a BENCH_*.json "
+                    "ledger",
+    )
+    parser.add_argument("ledger", help="ledger file, e.g. "
+                                       "BENCH_cluster.json")
+    parser.add_argument("artifact", help="JSON artifact written by a "
+                                         "bench (--json) run")
+    parser.add_argument("--note", default="",
+                        help="one-line description of the run")
+    parser.add_argument("--source", default="",
+                        help="what produced the artifact, e.g. "
+                             "'repro shard-bench'")
+    args = parser.parse_args(argv)
+    with open(args.artifact) as handle:
+        results = json.load(handle)
+    entry = record(args.ledger, results, note=args.note,
+                   source=args.source)
+    print(f"recorded {args.artifact} -> {args.ledger} "
+          f"(commit {entry['commit'] or 'unknown'}, "
+          f"{entry['recorded']})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

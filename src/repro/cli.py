@@ -13,8 +13,14 @@ Commands regenerate the paper's evaluation artifacts from a terminal:
   service runtime (extension, see ``docs/SERVICE.md``); with
   ``--durability`` every decision goes through the write-ahead
   journal so the fsync cost shows up in the grid;
+* ``shard-bench`` — closed-loop throughput of the sharded broker
+  cluster across shard counts at a fixed workload shape, including
+  cross-shard two-phase admissions (extension, see
+  ``docs/CLUSTER.md``);
 * ``recover`` — rebuild a broker from a durability directory
-  (checkpoint + journal suffix) and report what was replayed;
+  (checkpoint + journal suffix) and report what was replayed; with
+  ``--shard-dir`` the directory is a cluster WAL root and every
+  shard subdirectory is recovered (cluster 2PC entries replayed);
 * ``replicate`` — drive a primary with N live hot-standby followers
   (WAL log shipping, ``--mode async|semi-sync|sync``) and report
   per-follower replication lag and state equivalence;
@@ -254,11 +260,125 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0 if errors == 0 else 1
 
 
+def _cmd_shard_bench(args: argparse.Namespace) -> int:
+    import json
+    import tempfile
+
+    from repro.cluster import build_pod_cluster, run_cluster_loop
+    from repro.workloads.profiles import flow_type
+
+    spec = flow_type(0).spec
+    pods = args.pods if args.pods else max(args.shards)
+    rows = []
+    results = []
+    for num_shards in args.shards:
+        with tempfile.TemporaryDirectory(prefix="repro-cluster-") as root:
+            wal_root = root if args.durability else None
+            cluster = build_pod_cluster(
+                num_shards,
+                pods=pods,
+                delay_hops=args.delay_hops,
+                wal_root=wal_root,
+                fsync=args.durability,
+                workers=args.workers,
+                edge_rtt=args.edge_rtt_ms / 1000.0,
+            )
+            with cluster:
+                report = run_cluster_loop(
+                    cluster, spec, 2.44,
+                    clients_per_pod=args.clients,
+                    requests_per_client=args.requests,
+                    spanning_every=args.spanning_every,
+                )
+                stranded = len(cluster.outstanding_holds())
+        rows.append([
+            num_shards, pods, f"{report.throughput_rps:.0f}",
+            f"{report.latency_ms(0.50):.2f}",
+            f"{report.latency_ms(0.99):.2f}",
+            report.spanning_requests, report.spanning_admitted,
+            report.shed, report.errors, stranded,
+        ])
+        results.append({
+            "shards": num_shards,
+            "pods": pods,
+            "durability": bool(args.durability),
+            "stranded_holds": stranded,
+            **report.as_dict(),
+        })
+    mode = "durable WAL" if args.durability else "no WAL"
+    print(f"Sharded cluster throughput ({args.clients} clients/pod, "
+          f"{pods} pods, every {args.spanning_every}th admit spanning, "
+          f"edge RTT {args.edge_rtt_ms:g} ms, {mode}):")
+    print(render_table(
+        ["shards", "pods", "req/s", "p50(ms)", "p99(ms)", "2pc",
+         "2pc ok", "shed", "errors", "stranded"],
+        rows,
+    ))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(results, handle, indent=2)
+        print(f"\nwrote {args.json}")
+    errors = sum(result["errors"] for result in results)
+    stranded = sum(result["stranded_holds"] for result in results)
+    return 0 if errors == 0 and stranded == 0 else 1
+
+
+def _cmd_recover_shard_dir(args: argparse.Namespace) -> int:
+    import os as _os
+
+    from repro.cluster import cluster_journal_extension
+    from repro.service import recover_broker
+
+    root = args.directory
+    if not _os.path.isdir(root):
+        print(f"recovery failed: no such directory: {root!r}",
+              file=sys.stderr)
+        return 1
+    shard_dirs = sorted(
+        entry for entry in _os.listdir(root)
+        if _os.path.isdir(_os.path.join(root, entry))
+        and entry != "coordinator"
+    )
+    if not shard_dirs:
+        print(f"recovery failed: no shard subdirectories under {root!r}",
+              file=sys.stderr)
+        return 1
+    rows = []
+    for name in shard_dirs:
+        state = cluster_journal_extension()
+        try:
+            report = recover_broker(
+                _os.path.join(root, name), extension=state,
+            )
+        except Exception as exc:
+            print(f"recovery of shard {name!r} failed: {exc}",
+                  file=sys.stderr)
+            return 1
+        stats = report.broker.stats()
+        rows.append([
+            name, report.checkpoint_seq, report.applied,
+            "yes" if report.torn_tail else "no", report.last_seq,
+            stats.active_flows, len(state.prepared()),
+        ])
+    if _os.path.isdir(_os.path.join(root, "coordinator")):
+        print("note: coordinator decision log present — replay it "
+              "with ClusterCoordinator.recover() to resolve in-doubt "
+              "transactions")
+    print(render_table(
+        ["shard", "checkpoint seq", "replayed", "torn tail",
+         "recovered to seq", "active flows", "prepared holds"],
+        rows,
+    ))
+    return 0
+
+
 def _cmd_recover(args: argparse.Namespace) -> int:
     import warnings as _warnings
 
     from repro.service import recover_broker
 
+    if args.shard_dir:
+        return _cmd_recover_shard_dir(args)
     try:
         with _warnings.catch_warnings(record=True) as caught:
             _warnings.simplefilter("always")
@@ -401,9 +521,54 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
         return 0 if all_equal else 1
 
 
+def _cmd_promote_shard_dir(args: argparse.Namespace) -> int:
+    import os as _os
+
+    from repro.cluster import cluster_journal_extension
+    from repro.service import promote_directory
+
+    root = args.directory
+    if not _os.path.isdir(root):
+        print(f"promotion failed: no such directory: {root!r}",
+              file=sys.stderr)
+        return 1
+    shard_dirs = sorted(
+        entry for entry in _os.listdir(root)
+        if _os.path.isdir(_os.path.join(root, entry))
+        and entry != "coordinator"
+    )
+    if not shard_dirs:
+        print(f"promotion failed: no shard subdirectories under {root!r}",
+              file=sys.stderr)
+        return 1
+    rows = []
+    for name in shard_dirs:
+        try:
+            report = promote_directory(
+                _os.path.join(root, name),
+                extension=cluster_journal_extension(),
+            )
+        except Exception as exc:
+            print(f"promotion of shard {name!r} failed: {exc}",
+                  file=sys.stderr)
+            return 1
+        stats = report.broker.stats()
+        rows.append([
+            name, report.epoch, report.last_seq, stats.active_flows,
+        ])
+        report.journal.close()
+    print(render_table(
+        ["shard", "new epoch", "took over at seq", "active flows"],
+        rows,
+    ))
+    return 0
+
+
 def _cmd_promote(args: argparse.Namespace) -> int:
     from repro.service import promote_directory
 
+    if args.shard_dir:
+        return _cmd_promote_shard_dir(args)
     try:
         report = promote_directory(args.directory)
     except Exception as exc:
@@ -632,6 +797,45 @@ def build_parser() -> argparse.ArgumentParser:
                             "write-ahead log (group-committed fsync) "
                             "so the durability cost shows in the grid")
     serve.set_defaults(func=_cmd_serve_bench)
+    shard_bench = sub.add_parser(
+        "shard-bench",
+        help="sharded-cluster throughput grid with cross-shard "
+             "two-phase admissions (extension)",
+    )
+    shard_bench.add_argument(
+        "--shards", type=int, nargs="+", default=[1, 2, 4, 8],
+        help="shard counts to sweep (default 1 2 4 8)")
+    shard_bench.add_argument(
+        "--pods", type=int, default=0,
+        help="pod chains in the domain; fixes the workload shape "
+             "across shard counts (default 0 = max of --shards)")
+    shard_bench.add_argument(
+        "--clients", type=int, default=4,
+        help="closed-loop client threads per pod (default 4)")
+    shard_bench.add_argument(
+        "--requests", type=int, default=50,
+        help="admit requests per client (default 50)")
+    shard_bench.add_argument(
+        "--spanning-every", type=int, default=10,
+        help="every Nth admit crosses into the neighbour pod and "
+             "pays the 2PC protocol (default 10, 0 = never)")
+    shard_bench.add_argument(
+        "--workers", type=int, default=2,
+        help="service workers per shard (default 2)")
+    shard_bench.add_argument(
+        "--delay-hops", type=int, default=0,
+        help="trailing delay-based hops per pod chain (default 0)")
+    shard_bench.add_argument(
+        "--edge-rtt-ms", type=float, default=0.0,
+        help="simulated edge-programming RTT in ms (default 0)")
+    shard_bench.add_argument(
+        "--durability", action="store_true",
+        help="give every shard and the coordinator a fsynced "
+             "write-ahead journal")
+    shard_bench.add_argument(
+        "--json", default="",
+        help="also write the per-config reports to this JSON file")
+    shard_bench.set_defaults(func=_cmd_shard_bench)
     recover = sub.add_parser(
         "recover",
         help="rebuild a broker from a durability directory "
@@ -640,6 +844,10 @@ def build_parser() -> argparse.ArgumentParser:
     recover.add_argument("directory",
                          help="directory holding checkpoint-*.json and "
                               "wal-*.log files")
+    recover.add_argument("--shard-dir", action="store_true",
+                         help="treat the directory as a cluster WAL "
+                              "root and recover every shard "
+                              "subdirectory (2PC entries replayed)")
     recover.set_defaults(func=_cmd_recover)
     replicate = sub.add_parser(
         "replicate",
@@ -675,6 +883,10 @@ def build_parser() -> argparse.ArgumentParser:
     promote.add_argument("directory",
                          help="the replica's checkpoint/journal "
                               "directory")
+    promote.add_argument("--shard-dir", action="store_true",
+                         help="treat the directory as a cluster WAL "
+                              "root and promote every shard "
+                              "subdirectory (one epoch bump each)")
     promote.set_defaults(func=_cmd_promote)
     gateway = sub.add_parser(
         "gateway",

@@ -1,0 +1,57 @@
+"""Shared-nothing domain partitioning: a sharded broker cluster.
+
+One logical bandwidth-broker domain split across N independent
+shards, each a full service stack (broker + WAL + optional replica
+chain) owning a disjoint slice of the links.  A deterministic,
+epoch-fenced :class:`~repro.cluster.partition.PartitionMap` routes
+links to shards; the
+:class:`~repro.cluster.coordinator.ClusterCoordinator` admits
+single-shard paths in one hop and spanning paths via a presumed-abort
+two-phase commit whose holds are WAL-journaled, idempotent by txid,
+and lease-reaped so a crashed coordinator never strands capacity.
+"""
+
+from repro.cluster.coordinator import (
+    ClusterCoordinator,
+    ClusterDecision,
+    CoordinatorRecovery,
+)
+from repro.cluster.partition import PartitionMap, link_id_str
+from repro.cluster.remote import (
+    LocalShardHandle,
+    RemoteShardHandle,
+    ShardServer,
+)
+from repro.cluster.shard import (
+    BrokerShard,
+    ClusterJournalState,
+    ShardRecovery,
+    cluster_journal_extension,
+    recover_shard,
+)
+from repro.cluster.topology import (
+    ClusterLoadReport,
+    PodCluster,
+    build_pod_cluster,
+    run_cluster_loop,
+)
+
+__all__ = [
+    "BrokerShard",
+    "ClusterCoordinator",
+    "ClusterDecision",
+    "ClusterJournalState",
+    "ClusterLoadReport",
+    "CoordinatorRecovery",
+    "LocalShardHandle",
+    "PartitionMap",
+    "PodCluster",
+    "RemoteShardHandle",
+    "ShardRecovery",
+    "ShardServer",
+    "build_pod_cluster",
+    "cluster_journal_extension",
+    "link_id_str",
+    "recover_shard",
+    "run_cluster_loop",
+]

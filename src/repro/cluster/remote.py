@@ -1,0 +1,226 @@
+"""Shard handles: in-process and over the length-prefixed transport.
+
+The coordinator talks to shards through a uniform duck-typed handle —
+``admit/teardown/prepare/commit/abort/release/reap/status`` each
+taking a JSON-compatible frame and returning one.  Two
+implementations:
+
+* :class:`LocalShardHandle` — direct method calls on a
+  :class:`~repro.cluster.shard.BrokerShard` in the same process (the
+  benchmark default; the shared-nothing isolation is the shard's own
+  locks and WAL, not the process boundary).
+* :class:`RemoteShardHandle` + :class:`ShardServer` — the same ops
+  framed over :mod:`repro.service.transport` (pipe or TCP).  Requests
+  carry a client sequence number; the handle resends on timeout and
+  matches replies by it.  Resends are safe end to end because every
+  shard op is idempotent by txid/flow id — the at-least-once
+  transport composes with the participant's exactly-once effects.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any, Dict, Optional
+
+from repro.errors import SignalingError
+from repro.service.transport import TransportClosed
+
+from repro.cluster.shard import BrokerShard
+
+__all__ = ["LocalShardHandle", "RemoteShardHandle", "ShardServer"]
+
+_OPS = (
+    "admit", "teardown", "prepare", "commit", "abort", "release",
+    "reap", "status",
+)
+
+
+class LocalShardHandle:
+    """Direct in-process handle to a :class:`BrokerShard`."""
+
+    def __init__(self, shard: BrokerShard) -> None:
+        self.shard = shard
+
+    def admit(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        return self.shard.admit(frame)
+
+    def teardown(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        return self.shard.teardown(frame)
+
+    def prepare(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        return self.shard.prepare(frame)
+
+    def commit(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        return self.shard.commit(frame)
+
+    def abort(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        return self.shard.abort(frame)
+
+    def release(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        return self.shard.release(frame)
+
+    def reap(self, now: float) -> Dict[str, Any]:
+        return self.shard.reap(now)
+
+    def status(self) -> Dict[str, Any]:
+        return self.shard.status()
+
+
+class ShardServer:
+    """Serves one shard's ops over a transport connection.
+
+    Single-connection, sequential dispatch: the shard's own operation
+    lock already serializes cluster ops, so one reader thread per
+    connection is the honest concurrency level.  ``accept_loop``
+    serves successive connections (a reconnecting coordinator) until
+    closed.
+    """
+
+    def __init__(self, shard: BrokerShard) -> None:
+        self.shard = shard
+        self.handle = LocalShardHandle(shard)
+        self.frames_served = 0
+        self._closing = threading.Event()
+        self._threads: list = []
+
+    def serve_connection(self, conn, *, background: bool = True):
+        """Serve frames from *conn* until it closes."""
+        if background:
+            thread = threading.Thread(
+                target=self._serve, args=(conn,), daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+            return thread
+        self._serve(conn)
+        return None
+
+    def serve_listener(self, listener) -> threading.Thread:
+        """Accept-and-serve loop for a :class:`TcpListener`."""
+        def loop() -> None:
+            while not self._closing.is_set():
+                try:
+                    conn = listener.accept(timeout=0.2)
+                except (OSError, TransportClosed):
+                    return
+                if conn is not None:
+                    self._serve(conn)
+        thread = threading.Thread(target=loop, daemon=True)
+        thread.start()
+        self._threads.append(thread)
+        return thread
+
+    def _serve(self, conn) -> None:
+        while not self._closing.is_set():
+            try:
+                frame = conn.recv(timeout=0.2)
+            except TransportClosed:
+                return
+            if frame is None:
+                continue
+            conn.send(self._dispatch(frame))
+            self.frames_served += 1
+
+    def _dispatch(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        op = frame.get("op", "")
+        seq = frame.get("client_seq")
+        if op not in _OPS:
+            return {
+                "status": "error", "error": "unknown-op",
+                "detail": f"op {op!r}", "client_seq": seq,
+            }
+        try:
+            if op == "reap":
+                result = self.handle.reap(frame.get("now", 0.0))
+            elif op == "status":
+                result = self.handle.status()
+            else:
+                result = getattr(self.handle, op)(frame)
+        except Exception as exc:  # surface, never kill the loop
+            result = {
+                "status": "error", "error": type(exc).__name__,
+                "detail": str(exc),
+            }
+        result = dict(result)
+        result["client_seq"] = seq
+        return result
+
+    def close(self) -> None:
+        self._closing.set()
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+        self._threads = []
+
+
+class RemoteShardHandle:
+    """Coordinator-side handle over a transport connection.
+
+    Each call sends an op frame stamped with a client sequence
+    number, then waits for the matching reply; on timeout the frame
+    is resent (idempotent receiver) up to ``retries`` times before
+    raising :class:`SignalingError`.  Stale replies (an earlier
+    attempt's answer arriving late) are discarded by sequence match.
+    """
+
+    def __init__(self, conn, *, timeout: float = 5.0,
+                 retries: int = 2) -> None:
+        self.conn = conn
+        self.timeout = timeout
+        self.retries = retries
+        self._seq = itertools.count(1)
+        self._lock = threading.Lock()
+        self.resends = 0
+
+    def _call(self, op: str, frame: Dict[str, Any]) -> Dict[str, Any]:
+        with self._lock:
+            seq = next(self._seq)
+            message = dict(frame)
+            message["op"] = op
+            message["client_seq"] = seq
+            for attempt in range(self.retries + 1):
+                if attempt:
+                    self.resends += 1
+                try:
+                    self.conn.send(message)
+                    deadline_budget = self.timeout
+                    while True:
+                        reply = self.conn.recv(timeout=deadline_budget)
+                        if reply is None:
+                            break  # timed out: resend
+                        if reply.get("client_seq") == seq:
+                            return reply
+                        # A stale reply from a resent earlier op.
+                except TransportClosed:
+                    break
+            raise SignalingError(
+                f"shard unreachable: no reply to {op!r} "
+                f"after {self.retries + 1} attempt(s)"
+            )
+
+    def admit(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        return self._call("admit", frame)
+
+    def teardown(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        return self._call("teardown", frame)
+
+    def prepare(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        return self._call("prepare", frame)
+
+    def commit(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        return self._call("commit", frame)
+
+    def abort(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        return self._call("abort", frame)
+
+    def release(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        return self._call("release", frame)
+
+    def reap(self, now: float) -> Dict[str, Any]:
+        return self._call("reap", {"now": now})
+
+    def status(self) -> Dict[str, Any]:
+        return self._call("status", {})
+
+    def close(self) -> None:
+        self.conn.close()

@@ -1,0 +1,844 @@
+"""One broker shard of a partitioned domain, with 2PC participant ops.
+
+A :class:`BrokerShard` wraps a full existing stack — a provisioned
+:class:`~repro.core.broker.BandwidthBroker` for the links this shard
+owns, a :class:`~repro.service.runtime.BrokerService` worker pool in
+front of it, and (optionally) a :class:`~repro.service.durability.
+FileJournal` WAL with a replica chain — and adds the **participant
+half** of the cross-shard admission protocol:
+
+``prepare``
+    Places a *bandwidth hold* for a transaction on this shard's
+    segment of a spanning path: a plain link reservation under the
+    key ``txn:<txid>``, so the eq.-6 / Figure-4 feasibility checks of
+    concurrent admissions naturally see held + committed state
+    through ``residual_rate`` and the deadline ledgers.  The hold is
+    journaled (``cprepare``) before it is placed and fsynced before
+    it is acked — a prepared shard that crashes recovers its promise.
+``commit``
+    Converts the hold into ordinary admitted-flow state: the hold key
+    is released and each contiguous run of the segment's links is
+    pinned as a real path with a :class:`~repro.core.mibs.FlowRecord`
+    reserved on it.  Committed spanning flows are therefore *native*
+    broker state — checkpoints capture them, ``restore_broker``
+    replays them, and teardown is a normal release.
+``abort``
+    Releases the hold and journals a **tombstone** even for an
+    unknown transaction (presumed abort): a late, retried prepare
+    that lost the race to its own abort finds the tombstone and
+    cannot re-strand capacity.
+``release``
+    Cross-shard teardown of a committed flow's local segment.
+
+Every operation is **idempotent by transaction id** (retries replay
+the cached verdict), serialized per shard by an operation lock, and
+guarded against superseded coordinators by the partition map's
+``(version, epoch)`` stamp.  Holds are leased
+(:class:`~repro.edge.leases.LeaseTable` keyed by txid): if the
+coordinator crashes between prepare and decision, :meth:`reap`
+expires the hold into a journaled abort, so capacity is never
+stranded — the recovering coordinator's retry then meets the
+tombstone and compensates.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.admission import AdmissionDecision, PerFlowAdmission, _EPS
+from repro.core.broker import BandwidthBroker
+from repro.core.journal import JournalEntry
+from repro.core.mibs import FlowRecord, LinkQoSState, PathRecord
+from repro.edge.leases import LeaseTable
+from repro.errors import StateError, TopologyError
+from repro.service.durability import (
+    FileJournal,
+    RecoveryReport,
+    recover_broker,
+    write_checkpoint,
+)
+from repro.service.runtime import BrokerService
+from repro.traffic.spec import TSpec
+from repro.vtrs.delay_bounds import PathProfile
+from repro.vtrs.timestamps import SchedulerKind
+
+from repro.cluster.partition import PartitionMap
+
+__all__ = [
+    "BrokerShard",
+    "ClusterJournalState",
+    "ShardRecovery",
+    "cluster_journal_extension",
+    "recover_shard",
+]
+
+#: Journal record kinds the cluster layer adds to the shared WAL.
+CLUSTER_KINDS = ("cprepare", "ccommit", "cabort", "crelease")
+
+
+def _hold_key(txid: str) -> str:
+    return f"txn:{txid}"
+
+
+def _spec_payload(spec: TSpec) -> Dict[str, float]:
+    return {
+        "sigma": spec.sigma, "rho": spec.rho,
+        "peak": spec.peak, "max_packet": spec.max_packet,
+    }
+
+
+def _spec_from(payload: Dict[str, Any]) -> TSpec:
+    return TSpec(
+        sigma=payload["sigma"], rho=payload["rho"],
+        peak=payload["peak"], max_packet=payload["max_packet"],
+    )
+
+
+def _resolve_links(broker: BandwidthBroker,
+                   pairs: Sequence[Sequence[str]]) -> List[LinkQoSState]:
+    return [broker.node_mib.link(src, dst) for src, dst in pairs]
+
+
+# ----------------------------------------------------------------------
+# deterministic state transitions (shared by the live ops and replay)
+# ----------------------------------------------------------------------
+
+def _apply_prepare(broker: BandwidthBroker, txn: Dict[str, Any]) -> None:
+    """Place the hold reservations a ``cprepare`` record describes."""
+    key = _hold_key(txn["txid"])
+    spec = _spec_from(txn["spec"])
+    for link in _resolve_links(broker, txn["links"]):
+        if link.kind is SchedulerKind.DELAY_BASED:
+            link.reserve(key, txn["rate"], deadline=txn["delay"],
+                         max_packet=spec.max_packet)
+        else:
+            link.reserve(key, txn["rate"])
+
+
+def _apply_abort(broker: BandwidthBroker, txn: Dict[str, Any]) -> None:
+    """Release a prepared transaction's holds."""
+    key = _hold_key(txn["txid"])
+    for link in _resolve_links(broker, txn["links"]):
+        if link.holds(key):
+            link.release(key)
+
+
+def _apply_commit(broker: BandwidthBroker, txn: Dict[str, Any],
+                  now: float) -> List[str]:
+    """Convert a prepared transaction's holds into native flow state.
+
+    Each maximal contiguous run of the segment's links becomes a
+    pinned path carrying a :class:`FlowRecord` (key ``<flow_id>`` for
+    the first run, ``<flow_id>#<n>`` for later ones — the
+    hash-fallback case where a shard owns non-adjacent hops).  Native
+    records are the point: checkpoint/restore and plain termination
+    handle committed spanning flows with zero cluster-specific code.
+    """
+    links = _resolve_links(broker, txn["links"])
+    hold = _hold_key(txn["txid"])
+    for link in links:
+        if link.holds(hold):
+            link.release(hold)
+    spec = _spec_from(txn["spec"])
+    runs: List[List[LinkQoSState]] = [[links[0]]]
+    for link in links[1:]:
+        if runs[-1][-1].link_id[1] == link.link_id[0]:
+            runs[-1].append(link)
+        else:
+            runs.append([link])
+    keys: List[str] = []
+    for index, run in enumerate(runs):
+        key = txn["flow_id"] if index == 0 else f"{txn['flow_id']}#{index}"
+        nodes = [run[0].link_id[0]] + [link.link_id[1] for link in run]
+        path = broker.routing.pin_path(nodes)
+        for link in run:
+            if link.kind is SchedulerKind.DELAY_BASED:
+                link.reserve(key, txn["rate"], deadline=txn["delay"],
+                             max_packet=spec.max_packet)
+            else:
+                link.reserve(key, txn["rate"])
+        broker.flow_mib.add(FlowRecord(
+            flow_id=key,
+            spec=spec,
+            delay_requirement=txn.get("delay_requirement", 0.0),
+            path_id=path.path_id,
+            rate=txn["rate"],
+            delay=txn["delay"],
+            admitted_at=now,
+        ))
+        keys.append(key)
+    return keys
+
+
+def _flow_keys(broker: BandwidthBroker, flow_id: str) -> List[str]:
+    """All local record keys of *flow_id* (base + segment suffixes)."""
+    keys = [flow_id] if flow_id in broker.flow_mib else []
+    index = 1
+    while f"{flow_id}#{index}" in broker.flow_mib:
+        keys.append(f"{flow_id}#{index}")
+        index += 1
+    return keys
+
+
+def _apply_release(broker: BandwidthBroker, flow_id: str) -> List[str]:
+    """Tear down every local record of *flow_id*; returns removed keys."""
+    removed = []
+    for key in _flow_keys(broker, flow_id):
+        record = broker.flow_mib.remove(key)
+        for link in broker.path_mib.get(record.path_id).links:
+            link.release(key)
+        removed.append(key)
+    return removed
+
+
+class ClusterJournalState:
+    """Stateful :func:`~repro.core.journal.replay` extension.
+
+    Applies the cluster's journal kinds to a broker during recovery
+    and accumulates the transaction table the live
+    :class:`BrokerShard` resumes from.  Replay is deterministic: a
+    ``ccommit``/``cabort`` for a transaction whose ``cprepare`` is
+    not in the suffix (impossible after a hold-quiescent checkpoint,
+    but tolerated) is a no-op tombstone, exactly as the live path
+    treats late decisions.
+    """
+
+    def __init__(self) -> None:
+        self.txns: Dict[str, Dict[str, Any]] = {}
+        self.applied = 0
+
+    def __call__(self, broker: BandwidthBroker,
+                 entry: JournalEntry) -> bool:
+        payload = entry.payload
+        if entry.kind == "cprepare":
+            txn = dict(payload)
+            txn["state"] = "prepared"
+            _apply_prepare(broker, txn)
+            self.txns[payload["txid"]] = txn
+        elif entry.kind == "ccommit":
+            txn = self.txns.get(payload["txid"])
+            if txn is not None and txn["state"] == "prepared":
+                _apply_commit(broker, txn, payload.get("now", 0.0))
+                txn["state"] = "committed"
+        elif entry.kind == "cabort":
+            txn = self.txns.get(payload["txid"])
+            if txn is not None and txn["state"] == "prepared":
+                _apply_abort(broker, txn)
+            base = txn if txn is not None else {"txid": payload["txid"]}
+            base["state"] = "aborted"
+            self.txns[payload["txid"]] = base
+        elif entry.kind == "crelease":
+            _apply_release(broker, payload["flow_id"])
+        else:
+            return False
+        self.applied += 1
+        return True
+
+    def prepared(self) -> List[Dict[str, Any]]:
+        """Transactions still holding capacity after replay."""
+        return [
+            txn for txn in self.txns.values()
+            if txn.get("state") == "prepared"
+        ]
+
+
+def cluster_journal_extension() -> ClusterJournalState:
+    """A fresh replay extension for cluster-kind journal entries.
+
+    Pass to :func:`~repro.service.durability.recover_broker` (or a
+    :class:`~repro.service.replication.ReplicaServer`) when the
+    directory belongs to a cluster shard.
+    """
+    return ClusterJournalState()
+
+
+# ----------------------------------------------------------------------
+# the shard
+# ----------------------------------------------------------------------
+
+class BrokerShard:
+    """One shard: a full broker stack plus 2PC participant operations.
+
+    :param name: shard name, as the partition map knows it.
+    :param broker: broker provisioned with this shard's links/paths.
+    :param partition: the map this shard validates frame stamps
+        against.
+    :param wal: optional shared WAL — the same journal the wrapped
+        :class:`BrokerService` write-aheads requests to; cluster
+        records interleave in lock order, so one replay pass rebuilds
+        both kinds of state.
+    :param hold_duration: seconds a prepare's hold survives without a
+        decision before :meth:`reap` may expire it.
+    :param workers / lock_shards / queue_limit / edge_rtt /
+        replicator: forwarded to the wrapped service.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        broker: BandwidthBroker,
+        partition: PartitionMap,
+        *,
+        wal: Optional[FileJournal] = None,
+        hold_duration: float = 30.0,
+        workers: int = 2,
+        lock_shards: int = 4,
+        queue_limit: int = 256,
+        edge_rtt: float = 0.0,
+        replicator=None,
+        default_timeout: Optional[float] = None,
+    ) -> None:
+        self.name = name
+        self.broker = broker
+        self.partition = partition
+        self.wal = wal
+        self.service = BrokerService(
+            broker,
+            workers=workers,
+            shards=lock_shards,
+            queue_limit=queue_limit,
+            edge_rtt=edge_rtt,
+            wal=wal,
+            replicator=replicator,
+            default_timeout=default_timeout,
+        )
+        self.holds = LeaseTable(duration=hold_duration)
+        self._admission = PerFlowAdmission(
+            broker.node_mib, broker.flow_mib, broker.path_mib
+        )
+        #: txid -> transaction dict (state machine: prepared ->
+        #: committed | aborted; rejected is terminal from the start).
+        self._txns: Dict[str, Dict[str, Any]] = {}
+        #: Serializes cluster ops against each other; the wrapped
+        #: service's workers take only the link-shard locks, so the
+        #: established order (_op_lock -> shard locks) cannot deadlock
+        #: against them.
+        self._op_lock = threading.RLock()
+        self.prepares = 0
+        self.prepared_total = 0
+        self.committed_total = 0
+        self.aborted_total = 0
+        self.reaped_total = 0
+        self.released_total = 0
+        self.duplicate_ops = 0
+        self.stale_frames = 0
+        self.replication_stalls = 0
+
+    def _commit_wal(self) -> None:
+        """Group-commit cluster records and ship them to replicas.
+
+        Cluster ops append to the same WAL the wrapped service ships,
+        so they must publish through the same replicator.  A failed
+        ack gate is counted, not raised: the record is durable locally
+        and the shipping threads deliver it when the follower set
+        recovers — unlike service admissions, a 2PC record's
+        authoritative copy is the coordinator's decision log.
+        """
+        if self.wal is None:
+            return
+        seq = self.wal.commit()
+        replicator = self.service.replicator
+        if replicator is not None:
+            try:
+                replicator.publish(seq)
+                replicator.wait_durable(seq)
+            except StateError:
+                self.replication_stalls += 1
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> "BrokerShard":
+        self.service.start()
+        return self
+
+    def stop(self, *, close_wal: bool = True) -> None:
+        self.service.stop()
+        if close_wal and self.wal is not None:
+            self.wal.close()
+
+    def __enter__(self) -> "BrokerShard":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- frame plumbing -------------------------------------------------
+
+    def _stale(self, frame: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        if self.partition.accepts(frame):
+            return None
+        self.stale_frames += 1
+        return {
+            "status": "error",
+            "error": "stale-map",
+            "shard": self.name,
+            "detail": (
+                f"shard holds map v{self.partition.version} "
+                f"e{self.partition.epoch}, frame stamped "
+                f"v{frame.get('map_version')} e{frame.get('map_epoch')}"
+            ),
+        }
+
+    def _reject(self, txid: str, reason: str, detail: str
+                ) -> Dict[str, Any]:
+        return {
+            "status": "rejected", "txid": txid, "shard": self.name,
+            "reason": reason, "detail": detail,
+        }
+
+    # -- one-hop (single-shard) service ---------------------------------
+
+    def admit(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Single-shard admission: one hop into the wrapped service."""
+        stale = self._stale(frame)
+        if stale is not None:
+            return stale
+        path_nodes = frame.get("path_nodes")
+        reply = self.service.request(
+            frame["flow_id"],
+            _spec_from(frame["spec"]),
+            frame.get("delay_requirement", 0.0),
+            frame.get("ingress", ""),
+            frame.get("egress", ""),
+            service_class=frame.get("service_class", ""),
+            path_nodes=tuple(path_nodes) if path_nodes else None,
+            now=frame.get("now", 0.0),
+        )
+        return self._service_reply(reply)
+
+    def teardown(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Single-shard teardown through the wrapped service."""
+        stale = self._stale(frame)
+        if stale is not None:
+            return stale
+        reply = self.service.teardown(
+            frame["flow_id"], now=frame.get("now", 0.0)
+        )
+        return self._service_reply(reply)
+
+    def _service_reply(self, reply) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "status": reply.status,
+            "admitted": bool(reply.admitted),
+            "shard": self.name,
+            "detail": reply.detail,
+            "retry_after": reply.retry_after,
+        }
+        decision = reply.decision
+        if decision is not None:
+            data.update({
+                "rate": decision.rate,
+                "delay": decision.delay,
+                "path_id": decision.path_id,
+                "reason": decision.reason.value if decision.reason else "",
+                "decision_detail": decision.detail,
+            })
+        return data
+
+    # -- 2PC participant ops --------------------------------------------
+
+    def prepare(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Phase 1: journal + place a bandwidth hold for ``txid``.
+
+        ``mode`` selects the feasibility check:
+
+        * ``"fixed"`` — the coordinator computed the grant from the
+          full path's static profile (eq. 6); this shard verifies the
+          rate against its local residuals — exactly the
+          ``low > high`` arm of the fused broker's rate-only test,
+          distributed (min over shards of the local bound *is* the
+          path bound).
+        * ``"choose"`` — this shard owns every delay-based hop: it
+          runs the Figure-4 scan over a synthetic segment record
+          carrying the full path's profile, and returns the granted
+          ``(rate, delay)`` pair for the remaining shards to verify.
+
+        A rejected prepare mutates nothing and journals nothing; the
+        verdict is cached so retries replay it.
+        """
+        stale = self._stale(frame)
+        if stale is not None:
+            return stale
+        txid = frame["txid"]
+        now = frame.get("now", 0.0)
+        with self._op_lock:
+            self.prepares += 1
+            cached = self._txns.get(txid)
+            if cached is not None:
+                self.duplicate_ops += 1
+                return dict(cached["reply"])
+            try:
+                links = _resolve_links(self.broker, frame["links"])
+            except TopologyError as exc:
+                return {
+                    "status": "error", "error": "unknown-link",
+                    "txid": txid, "shard": self.name, "detail": str(exc),
+                }
+            spec = _spec_from(frame["spec"])
+            flow_id = frame["flow_id"]
+            reply: Optional[Dict[str, Any]] = None
+            txn: Optional[Dict[str, Any]] = None
+            shard_ids = self.service.shards.shards_for(links)
+            with self.service.shards.locked(shard_ids):
+                if flow_id in self.broker.flow_mib:
+                    reply = self._reject(
+                        txid, "duplicate",
+                        f"flow {flow_id!r} already admitted on shard "
+                        f"{self.name!r}",
+                    )
+                else:
+                    verdict = self._feasible(frame, spec, links)
+                    if isinstance(verdict, dict):
+                        reply = verdict
+                    else:
+                        rate, delay = verdict
+                        txn = {
+                            "txid": txid,
+                            "flow_id": flow_id,
+                            "links": [list(l.link_id) for l in links],
+                            "rate": rate,
+                            "delay": delay,
+                            "spec": _spec_payload(spec),
+                            "delay_requirement": frame.get(
+                                "delay_requirement", 0.0
+                            ),
+                            "now": now,
+                            "state": "prepared",
+                        }
+                        if self.wal is not None:
+                            payload = dict(txn)
+                            payload.pop("state")
+                            self.wal.append("cprepare", payload)
+                        _apply_prepare(self.broker, txn)
+                        self.holds.grant(
+                            txid, frame.get("coordinator", "coordinator"),
+                            now,
+                        )
+            if txn is not None:
+                # Hold is durable before the promise leaves the shard.
+                self._commit_wal()
+                reply = {
+                    "status": "prepared", "txid": txid,
+                    "shard": self.name,
+                    "rate": txn["rate"], "delay": txn["delay"],
+                }
+                txn["reply"] = reply
+                self._txns[txid] = txn
+                self.prepared_total += 1
+            else:
+                assert reply is not None
+                self._txns[txid] = {
+                    "txid": txid, "state": "rejected", "links": [],
+                    "reply": reply,
+                }
+            return dict(reply)
+
+    def _feasible(self, frame: Dict[str, Any], spec: TSpec,
+                  links: Sequence[LinkQoSState]):
+        """Local feasibility for one prepare; pair or reject reply."""
+        txid = frame["txid"]
+        if frame.get("mode") == "choose":
+            profile = PathProfile(
+                hops=frame["profile"]["hops"],
+                rate_based_hops=frame["profile"]["rate_based_hops"],
+                d_tot=frame["profile"]["d_tot"],
+                max_packet=frame["profile"]["max_packet"],
+            )
+            nodes = [links[0].link_id[0]]
+            nodes += [link.link_id[1] for link in links]
+            segment = PathRecord(f"txn-seg:{txid}", nodes, links)
+            # The scan reads only profile constants, the local delay
+            # ledgers, and the local residual cap; installing the full
+            # path's profile makes the synthetic segment compute the
+            # fused broker's bounds (rate-cap monotonicity covers the
+            # remote residuals, which the other shards verify).
+            segment._profile = profile
+            result = self._admission.probe_min_rate_pair(
+                spec, frame["delay_requirement"], segment
+            )
+            if isinstance(result, AdmissionDecision):
+                return self._reject(
+                    txid,
+                    result.reason.value if result.reason else "rejected",
+                    result.detail,
+                )
+            return result
+        rate = frame["rate"]
+        high = min(
+            spec.peak, min(link.residual_rate for link in links)
+        )
+        if rate > high * (1 + _EPS) + _EPS:
+            return self._reject(
+                txid, "insufficient-bandwidth",
+                f"feasible range empty: need r in "
+                f"[{rate:.1f}, {high:.1f}] b/s on shard {self.name!r}",
+            )
+        return rate, frame.get("delay", 0.0)
+
+    def commit(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Phase 2: finalize a prepared hold into native flow state."""
+        stale = self._stale(frame)
+        if stale is not None:
+            return stale
+        txid = frame["txid"]
+        now = frame.get("now", 0.0)
+        with self._op_lock:
+            txn = self._txns.get(txid)
+            if txn is None:
+                # History may have been checkpoint-pruned: answer by
+                # effect so a re-driven commit stays idempotent.
+                flow_id = frame.get("flow_id", "")
+                if flow_id and flow_id in self.broker.flow_mib:
+                    return {
+                        "status": "committed", "txid": txid,
+                        "shard": self.name,
+                    }
+                return {
+                    "status": "unknown", "txid": txid, "shard": self.name,
+                }
+            if txn["state"] == "committed":
+                self.duplicate_ops += 1
+                return dict(txn["reply"])
+            if txn["state"] in ("aborted", "rejected"):
+                return {
+                    "status": "aborted", "txid": txid, "shard": self.name,
+                }
+            links = _resolve_links(self.broker, txn["links"])
+            shard_ids = self.service.shards.shards_for(links)
+            with self.service.shards.locked(shard_ids):
+                if self.wal is not None:
+                    self.wal.append("ccommit", {"txid": txid, "now": now})
+                keys = _apply_commit(self.broker, txn, now)
+            self._commit_wal()
+            self.holds.release(txid)
+            txn["state"] = "committed"
+            reply = {
+                "status": "committed", "txid": txid, "shard": self.name,
+                "rate": txn["rate"], "delay": txn["delay"], "flows": keys,
+            }
+            txn["reply"] = reply
+            self.committed_total += 1
+            return dict(reply)
+
+    def abort(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Phase 2 (negative) / reap path: release and tombstone."""
+        stale = self._stale(frame)
+        if stale is not None:
+            return stale
+        with self._op_lock:
+            return self._abort_locked(
+                frame["txid"], frame.get("now", 0.0)
+            )
+
+    def _abort_locked(self, txid: str, now: float) -> Dict[str, Any]:
+        txn = self._txns.get(txid)
+        if txn is not None and txn["state"] == "committed":
+            # Too late: the decision already landed.  The coordinator
+            # compensates with a release of the flow instead.
+            return dict(txn["reply"])
+        if txn is not None and txn["state"] == "aborted":
+            self.duplicate_ops += 1
+            return dict(txn["reply"])
+        prepared = txn is not None and txn["state"] == "prepared"
+        if prepared:
+            links = _resolve_links(self.broker, txn["links"])
+            shard_ids = self.service.shards.shards_for(links)
+            with self.service.shards.locked(shard_ids):
+                if self.wal is not None:
+                    self.wal.append("cabort", {"txid": txid, "now": now})
+                _apply_abort(self.broker, txn)
+        elif self.wal is not None:
+            # Tombstone for an unknown/rejected txid: deterministic on
+            # replay, and it blocks a late retried prepare for good.
+            self.wal.append("cabort", {"txid": txid, "now": now})
+        self._commit_wal()
+        self.holds.release(txid)
+        reply = {"status": "aborted", "txid": txid, "shard": self.name}
+        base = txn if txn is not None else {"txid": txid, "links": []}
+        base["state"] = "aborted"
+        base["reply"] = reply
+        self._txns[txid] = base
+        self.aborted_total += 1
+        return dict(reply)
+
+    def release(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Cross-shard teardown of a committed flow's local segment."""
+        stale = self._stale(frame)
+        if stale is not None:
+            return stale
+        flow_id = frame["flow_id"]
+        now = frame.get("now", 0.0)
+        with self._op_lock:
+            keys = _flow_keys(self.broker, flow_id)
+            if not keys:
+                return {
+                    "status": "released", "flows": [],
+                    "shard": self.name,
+                }
+            links: List[LinkQoSState] = []
+            for key in keys:
+                record = self.broker.flow_mib.get(key)
+                links.extend(self.broker.path_mib.get(record.path_id).links)
+            shard_ids = self.service.shards.shards_for(links)
+            with self.service.shards.locked(shard_ids):
+                if self.wal is not None:
+                    self.wal.append(
+                        "crelease", {"flow_id": flow_id, "now": now}
+                    )
+                removed = _apply_release(self.broker, flow_id)
+            self._commit_wal()
+            self.released_total += 1
+            return {
+                "status": "released", "flows": removed,
+                "shard": self.name,
+            }
+
+    def reap(self, now: float) -> Dict[str, Any]:
+        """Expire overdue holds into journaled aborts.
+
+        The anti-stranding guarantee: a coordinator that died between
+        prepare and decision leaves leased holds behind; reaping turns
+        each into the same tombstoned abort an explicit ABORT would
+        have produced, so the capacity returns and any later decision
+        retry meets a deterministic verdict.
+        """
+        with self._op_lock:
+            due = self.holds.expire_due(now)
+            reaped = []
+            for lease in due:
+                self._abort_locked(lease.flow_id, now)
+                reaped.append(lease.flow_id)
+            self.reaped_total += len(reaped)
+            return {
+                "status": "reaped", "txids": reaped, "shard": self.name,
+            }
+
+    # -- observability / durability -------------------------------------
+
+    def status(self, frame: Optional[Dict[str, Any]] = None
+               ) -> Dict[str, Any]:
+        """Control-plane counters (also served as a remote op)."""
+        with self._op_lock:
+            states: Dict[str, int] = {}
+            for txn in self._txns.values():
+                states[txn["state"]] = states.get(txn["state"], 0) + 1
+            return {
+                "status": "ok",
+                "shard": self.name,
+                "map_version": self.partition.version,
+                "map_epoch": self.partition.epoch,
+                "flows": len(self.broker.flow_mib),
+                "txns": states,
+                "holds": self.holds.counters(),
+                "prepares": self.prepares,
+                "prepared": self.prepared_total,
+                "committed": self.committed_total,
+                "aborted": self.aborted_total,
+                "reaped": self.reaped_total,
+                "released": self.released_total,
+                "duplicates": self.duplicate_ops,
+                "stale_frames": self.stale_frames,
+            }
+
+    def checkpoint(self) -> str:
+        """Write a hold-quiescent checkpoint of this shard's broker.
+
+        Holds are journal-only state (checkpoints serialize admitted
+        flows, not transactions), so checkpointing with outstanding
+        prepares would silently drop them; refuse instead.
+        """
+        if self.wal is None:
+            raise StateError(f"shard {self.name!r} has no WAL")
+        with self._op_lock:
+            if self.holds.counters()["active"]:
+                raise StateError(
+                    f"shard {self.name!r} has outstanding 2PC holds; "
+                    "resolve or reap them before checkpointing"
+                )
+            return write_checkpoint(
+                self.wal.directory, self.broker, self.wal
+            )
+
+
+# ----------------------------------------------------------------------
+# recovery
+# ----------------------------------------------------------------------
+
+@dataclass
+class ShardRecovery:
+    """What :func:`recover_shard` rebuilt.
+
+    :param shard: the recovered shard (service not yet started).
+    :param report: the underlying broker recovery report.
+    :param prepared: txids still holding capacity — the coordinator's
+        recovery (or a reap after the hold lease runs out) resolves
+        them.
+    """
+
+    shard: BrokerShard
+    report: RecoveryReport
+    prepared: Tuple[str, ...] = ()
+    cluster_entries: int = 0
+
+
+def recover_shard(
+    directory,
+    *,
+    name: str,
+    partition: PartitionMap,
+    broker_factory=None,
+    policy=None,
+    now: float = 0.0,
+    fsync: bool = True,
+    **shard_kwargs,
+) -> ShardRecovery:
+    """Rebuild a :class:`BrokerShard` from its journal directory.
+
+    One replay pass over the shared WAL rebuilds both the service
+    state (requests/terminations) and the cluster state (holds and
+    the transaction table) via :class:`ClusterJournalState`; the
+    journal is then reopened for appending (sequence numbers resume)
+    and a fresh shard is assembled around the recovered broker.
+    Recovered holds restart their expiry lease at *now* — the
+    conservative choice, since the original grant instant did not
+    survive the crash.
+    """
+    state = cluster_journal_extension()
+    report = recover_broker(
+        directory, policy=policy, broker_factory=broker_factory,
+        extension=state,
+    )
+    journal = FileJournal(directory, fsync=fsync)
+    shard = BrokerShard(
+        name, report.broker, partition, wal=journal, **shard_kwargs,
+    )
+    prepared: List[str] = []
+    for txid, txn in state.txns.items():
+        resumed = dict(txn)
+        if resumed["state"] == "prepared":
+            resumed["reply"] = {
+                "status": "prepared", "txid": txid, "shard": name,
+                "rate": resumed["rate"], "delay": resumed["delay"],
+            }
+            shard.holds.grant(txid, "recovered", now)
+            prepared.append(txid)
+        elif resumed["state"] == "committed":
+            resumed["reply"] = {
+                "status": "committed", "txid": txid, "shard": name,
+                "rate": resumed["rate"], "delay": resumed["delay"],
+                "flows": [],
+            }
+        else:
+            resumed.setdefault("links", [])
+            resumed["reply"] = {
+                "status": "aborted", "txid": txid, "shard": name,
+            }
+        shard._txns[txid] = resumed
+    return ShardRecovery(
+        shard=shard,
+        report=report,
+        prepared=tuple(prepared),
+        cluster_entries=state.applied,
+    )

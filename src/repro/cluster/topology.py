@@ -1,0 +1,392 @@
+"""Pod-per-shard cluster assembly and the shard-bench workload.
+
+:func:`build_pod_cluster` materializes a Figure-8-style domain scaled
+out sideways: ``pods`` link-disjoint ingress->core->egress chains
+(the same shape as :func:`~repro.service.loadgen.
+provision_parallel_paths`), joined by bridge links ``E<k> -> I<k+1>``
+so consecutive pods compose into spanning paths.  Pod paths are
+planned onto shards topology-aware (each pod wholly on one shard);
+bridge links deliberately take the rendezvous-hash fallback, so the
+assembly exercises both assignment layers.
+
+Each shard gets its own :class:`~repro.core.broker.BandwidthBroker`
+(only its links), its own optional
+:class:`~repro.service.durability.FileJournal` under
+``<wal_root>/<shard>/``, and a full
+:class:`~repro.cluster.shard.BrokerShard` stack; a
+:class:`~repro.cluster.coordinator.ClusterCoordinator` with an atlas
+of the whole domain fronts them.  With ``shards=1`` the exact same
+workload runs against one shard owning everything — the honest
+single-broker baseline of ``repro shard-bench``.
+
+:func:`run_cluster_loop` is the closed-loop driver: per-pod client
+threads admit+teardown flows through the coordinator, sending every
+``spanning_every``-th request down the pod's spanning path (paying
+the 2PC protocol) and the rest down the local pod path (one hop).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.broker import BandwidthBroker
+from repro.service.durability import FileJournal
+from repro.traffic.spec import TSpec
+from repro.units import bytes_, mbps
+from repro.vtrs.timestamps import SchedulerKind
+
+from repro.cluster.coordinator import ClusterCoordinator
+from repro.cluster.partition import PartitionMap
+from repro.cluster.remote import LocalShardHandle
+from repro.cluster.shard import BrokerShard
+
+__all__ = [
+    "PodCluster",
+    "ClusterLoadReport",
+    "build_pod_cluster",
+    "run_cluster_loop",
+]
+
+
+def _pod_nodes(index: int, hops: int) -> Tuple[str, ...]:
+    nodes = [f"I{index}"]
+    nodes += [f"C{index}_{hop}" for hop in range(1, hops)]
+    nodes.append(f"E{index}")
+    return tuple(nodes)
+
+
+@dataclass
+class PodCluster:
+    """A built cluster: shards, coordinator, and its workload paths."""
+
+    partition: PartitionMap
+    atlas: BandwidthBroker
+    shards: Dict[str, BrokerShard]
+    coordinator: ClusterCoordinator
+    pod_paths: List[Tuple[str, ...]]
+    spanning_paths: List[Tuple[str, ...]]
+    wal_root: Optional[str] = None
+
+    def start(self) -> "PodCluster":
+        for shard in self.shards.values():
+            shard.start()
+        return self
+
+    def stop(self) -> None:
+        for shard in self.shards.values():
+            shard.stop()
+        self.coordinator.close()
+
+    def __enter__(self) -> "PodCluster":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def link_loads(self) -> Dict[str, float]:
+        """Union of reserved rates over every shard's links."""
+        loads: Dict[str, float] = {}
+        for shard in self.shards.values():
+            for link in shard.broker.node_mib.links():
+                loads[f"{link.link_id[0]}->{link.link_id[1]}"] = (
+                    link.reserved_rate
+                )
+        return loads
+
+    def outstanding_holds(self) -> List[Tuple[str, str, str]]:
+        """Every ``txn:`` hold still reserved: (shard, link, key)."""
+        holds = []
+        for name, shard in sorted(self.shards.items()):
+            for link in shard.broker.node_mib.links():
+                for key in link.reservation_keys():
+                    if key.startswith("txn:"):
+                        holds.append((
+                            name,
+                            f"{link.link_id[0]}->{link.link_id[1]}",
+                            key,
+                        ))
+        return holds
+
+
+def build_pod_cluster(
+    num_shards: int,
+    *,
+    pods: Optional[int] = None,
+    hops: int = 3,
+    capacity: float = mbps(45),
+    bridge_capacity: Optional[float] = None,
+    max_packet: float = bytes_(1500),
+    delay_hops: int = 0,
+    wal_root: Optional[str] = None,
+    fsync: bool = True,
+    workers: int = 2,
+    lock_shards: int = 4,
+    queue_limit: int = 256,
+    edge_rtt: float = 0.0,
+    hold_duration: float = 30.0,
+    map_version: int = 1,
+    map_epoch: int = 0,
+) -> PodCluster:
+    """Build (without starting) a pod-per-shard cluster.
+
+    :param pods: number of pod chains (default: one per shard).  The
+        workload shape is a function of *pods* alone, so comparing
+        shard counts at fixed *pods* varies only the partitioning.
+    :param delay_hops: trailing delay-based hops per pod chain; the
+        planner co-locates each pod on one shard, so spanning paths
+        keep their delay hops on the egress pod's shard only when the
+        *ingress* pod is delay-free — mixed spanning layouts beyond
+        that are the coordinator's unsupported-layout rejection.
+    """
+    total_pods = pods if pods is not None else num_shards
+    if total_pods < 1:
+        raise ValueError("need >= 1 pod")
+    shard_names = [f"shard{index}" for index in range(num_shards)]
+    pod_paths = [_pod_nodes(k, hops) for k in range(total_pods)]
+
+    atlas = BandwidthBroker()
+    for nodes in pod_paths:
+        total = len(nodes) - 1
+        for hop_index, (src, dst) in enumerate(zip(nodes, nodes[1:])):
+            kind = (
+                SchedulerKind.DELAY_BASED
+                if hop_index >= total - delay_hops
+                else SchedulerKind.RATE_BASED
+            )
+            atlas.add_link(src, dst, capacity, kind,
+                           max_packet=max_packet)
+        atlas.routing.pin_path(nodes)
+    spanning_paths: List[Tuple[str, ...]] = []
+    for k in range(total_pods - 1):
+        atlas.add_link(
+            f"E{k}", f"I{k + 1}",
+            bridge_capacity if bridge_capacity is not None else capacity,
+            SchedulerKind.RATE_BASED, max_packet=max_packet,
+        )
+        spanning = pod_paths[k] + pod_paths[k + 1]
+        atlas.routing.pin_path(spanning)
+        spanning_paths.append(spanning)
+
+    partition = PartitionMap.plan(
+        shard_names, pod_paths, version=map_version, epoch=map_epoch,
+    )
+    brokers = {name: BandwidthBroker() for name in shard_names}
+    for link in atlas.node_mib.links():
+        owner = partition.shard_of(link.link_id)
+        brokers[owner].add_link(
+            link.link_id[0], link.link_id[1], link.capacity, link.kind,
+            propagation=link.propagation, max_packet=link.max_packet,
+        )
+    for nodes in pod_paths:
+        owner = partition.shard_of((nodes[0], nodes[1]))
+        brokers[owner].routing.pin_path(nodes)
+    # Spanning paths that collapse onto one shard (always true at
+    # num_shards == 1) are ordinary local paths there; pin them so the
+    # one-hop fast path can serve them.
+    for nodes in spanning_paths:
+        owners = partition.shards_for_path(nodes)
+        if len(owners) == 1:
+            brokers[owners[0]].routing.pin_path(nodes)
+
+    shards: Dict[str, BrokerShard] = {}
+    for name in shard_names:
+        wal = None
+        if wal_root is not None:
+            directory = os.path.join(os.fspath(wal_root), name)
+            os.makedirs(directory, exist_ok=True)
+            wal = FileJournal(directory, fsync=fsync)
+        shards[name] = BrokerShard(
+            name, brokers[name], partition,
+            wal=wal,
+            workers=workers,
+            lock_shards=lock_shards,
+            queue_limit=queue_limit,
+            edge_rtt=edge_rtt,
+            hold_duration=hold_duration,
+        )
+    coordinator_wal = None
+    if wal_root is not None:
+        directory = os.path.join(os.fspath(wal_root), "coordinator")
+        os.makedirs(directory, exist_ok=True)
+        coordinator_wal = FileJournal(directory, fsync=fsync)
+    coordinator = ClusterCoordinator(
+        partition,
+        {name: LocalShardHandle(shard) for name, shard in shards.items()},
+        atlas,
+        wal=coordinator_wal,
+    )
+    return PodCluster(
+        partition=partition,
+        atlas=atlas,
+        shards=shards,
+        coordinator=coordinator,
+        pod_paths=pod_paths,
+        spanning_paths=spanning_paths,
+        wal_root=os.fspath(wal_root) if wal_root is not None else None,
+    )
+
+
+@dataclass
+class ClusterLoadReport:
+    """Aggregate outcome of one :func:`run_cluster_loop` run."""
+
+    clients: int
+    requests: int
+    operations: int
+    admitted: int
+    rejected: int
+    shed: int
+    errors: int
+    spanning_requests: int
+    spanning_admitted: int
+    duration: float
+    latencies: List[float] = field(default_factory=list)
+
+    @property
+    def throughput_rps(self) -> float:
+        """Answered operations per wall-clock second."""
+        return self.operations / self.duration if self.duration > 0 else 0.0
+
+    @property
+    def spanning_fraction(self) -> float:
+        """Share of admit attempts that took the cross-shard path."""
+        return (
+            self.spanning_requests / self.requests if self.requests else 0.0
+        )
+
+    def latency_ms(self, fraction: float) -> float:
+        """Nearest-rank latency percentile over all admits, ms."""
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        rank = max(0, min(len(ordered) - 1, int(fraction * len(ordered))))
+        return ordered[rank] * 1000.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "clients": self.clients,
+            "requests": self.requests,
+            "operations": self.operations,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "shed": self.shed,
+            "errors": self.errors,
+            "spanning_requests": self.spanning_requests,
+            "spanning_admitted": self.spanning_admitted,
+            "spanning_fraction": round(self.spanning_fraction, 4),
+            "duration_s": round(self.duration, 4),
+            "throughput_rps": round(self.throughput_rps, 1),
+            "p50_ms": round(self.latency_ms(0.50), 3),
+            "p99_ms": round(self.latency_ms(0.99), 3),
+        }
+
+
+def run_cluster_loop(
+    cluster: PodCluster,
+    spec: TSpec,
+    delay_requirement: float,
+    *,
+    clients_per_pod: int = 4,
+    requests_per_client: int = 50,
+    spanning_every: int = 0,
+    teardown: bool = True,
+) -> ClusterLoadReport:
+    """Closed-loop admit(+teardown) workload through the coordinator.
+
+    Client *j* of pod *k* pins the pod-local path; when
+    ``spanning_every > 0``, every that-many-th request uses the pod's
+    spanning path instead (pods without a next-door neighbour fall
+    back to local).  Flow ids are unique per (pod, client, iteration),
+    so traces replay deterministically.
+    """
+    pods = len(cluster.pod_paths)
+    total_clients = pods * clients_per_pod
+    barrier = threading.Barrier(total_clients + 1)
+    results: List[Dict[str, Any]] = [
+        {
+            "operations": 0, "admitted": 0, "rejected": 0,
+            "shed": 0, "errors": 0, "spanning": 0,
+            "spanning_admitted": 0, "latencies": [],
+        }
+        for _ in range(total_clients)
+    ]
+
+    def client(pod: int, worker: int, slot: int) -> None:
+        local = cluster.pod_paths[pod]
+        spanning = (
+            cluster.spanning_paths[pod]
+            if pod < len(cluster.spanning_paths) else None
+        )
+        tally = results[slot]
+        coordinator = cluster.coordinator
+        barrier.wait()
+        for iteration in range(requests_per_client):
+            use_spanning = (
+                spanning is not None
+                and spanning_every > 0
+                and iteration % spanning_every == spanning_every - 1
+            )
+            nodes = spanning if use_spanning else local
+            flow_id = f"p{pod}c{worker}-r{iteration}"
+            started = time.monotonic()
+            decision = coordinator.admit(
+                flow_id, spec, delay_requirement,
+                nodes[0], nodes[-1], path_nodes=nodes,
+            )
+            tally["latencies"].append(time.monotonic() - started)
+            tally["operations"] += 1
+            if use_spanning:
+                tally["spanning"] += 1
+            if decision.status in ("shed", "expired"):
+                tally["shed"] += 1
+            elif decision.status not in ("ok", "rejected"):
+                tally["errors"] += 1
+            elif decision.admitted:
+                tally["admitted"] += 1
+                if use_spanning:
+                    tally["spanning_admitted"] += 1
+            else:
+                tally["rejected"] += 1
+            if teardown and decision.admitted:
+                down = coordinator.teardown(flow_id)
+                tally["operations"] += 1
+                if down.status not in ("ok", "released"):
+                    tally["errors"] += 1
+
+    threads = []
+    slot = 0
+    for pod in range(pods):
+        for worker in range(clients_per_pod):
+            threads.append(threading.Thread(
+                target=client, args=(pod, worker, slot), daemon=True,
+            ))
+            slot += 1
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.monotonic()
+    for thread in threads:
+        thread.join()
+    duration = time.monotonic() - started
+
+    report = ClusterLoadReport(
+        clients=total_clients,
+        requests=total_clients * requests_per_client,
+        operations=0, admitted=0, rejected=0, shed=0, errors=0,
+        spanning_requests=0, spanning_admitted=0,
+        duration=duration,
+    )
+    for tally in results:
+        report.operations += tally["operations"]
+        report.admitted += tally["admitted"]
+        report.rejected += tally["rejected"]
+        report.shed += tally["shed"]
+        report.errors += tally["errors"]
+        report.spanning_requests += tally["spanning"]
+        report.spanning_admitted += tally["spanning_admitted"]
+        report.latencies.extend(tally["latencies"])
+    return report

@@ -168,7 +168,8 @@ class JournaledBroker:
 
 
 def replay(broker: BandwidthBroker,
-           entries: Sequence[JournalEntry]) -> Tuple[int, int]:
+           entries: Sequence[JournalEntry],
+           *, extension=None) -> Tuple[int, int]:
     """Apply journal *entries* to *broker* in order.
 
     Rejected requests are re-executed and re-rejected (their outcome is
@@ -177,6 +178,13 @@ def replay(broker: BandwidthBroker,
     recorded) raise identically here and are **skipped** — in both
     runs they mutated nothing, so equivalence is preserved. Unknown
     entry kinds raise.
+
+    :param extension: optional hook ``extension(broker, entry) -> bool``
+        consulted for entry kinds this function does not know.  A
+        subsystem that journals its own record kinds into the shared
+        WAL (e.g. the cluster 2PC entries of :mod:`repro.cluster`)
+        passes a stateful applier here; returning ``False`` (or
+        omitting the hook) keeps the unknown-kind :class:`StateError`.
 
     Returns ``(applied, skipped)``: entries executed to a decision
     versus entries whose re-execution raised the primary's
@@ -229,9 +237,10 @@ def replay(broker: BandwidthBroker,
                 # rebuild its lease table from the same WAL.
                 pass
             else:
-                raise StateError(
-                    f"unknown journal entry kind {entry.kind!r}"
-                )
+                if extension is None or not extension(broker, entry):
+                    raise StateError(
+                        f"unknown journal entry kind {entry.kind!r}"
+                    )
         except StateError:
             if entry.kind not in ("request", "terminate"):
                 raise

@@ -192,6 +192,10 @@ class LinkQoSState:
         """Is there a reservation for *key* on this link?"""
         return key in self._rates
 
+    def reservation_keys(self) -> Tuple[str, ...]:
+        """Keys of every current reservation (flows and 2PC holds)."""
+        return tuple(self._rates)
+
     @property
     def reservation_count(self) -> int:
         """Number of reservations the broker tracks for this link."""

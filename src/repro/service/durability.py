@@ -633,6 +633,7 @@ def recover_broker(
     policy: Optional[PolicyModule] = None,
     broker_factory: Optional[Callable[[], BandwidthBroker]] = None,
     repair: bool = True,
+    extension=None,
 ) -> RecoveryReport:
     """Rebuild a broker from *directory* after a crash.
 
@@ -687,7 +688,7 @@ def recover_broker(
         checkpoint_seq = 0
     scan = read_journal(directory, repair=repair)
     suffix = [e for e in scan.entries if e.seq > checkpoint_seq]
-    applied, skipped = replay(broker, suffix)
+    applied, skipped = replay(broker, suffix, extension=extension)
     return RecoveryReport(
         broker=broker,
         checkpoint_path=checkpoint_path,

@@ -584,12 +584,18 @@ class ReplicaServer:
         policy: Optional[PolicyModule] = None,
         fsync: bool = True,
         segment_bytes: Optional[int] = None,
+        replay_extension=None,
     ) -> None:
         self.directory = os.fspath(directory)
         os.makedirs(self.directory, exist_ok=True)
         self.follower_id = follower_id
+        # Stateful applier for journal kinds beyond the core set (a
+        # cluster shard's 2PC records); shared by catch-up recovery and
+        # the live apply loop so both see one txn table.
+        self._replay_extension = replay_extension
         report = recover_broker(
             self.directory, policy=policy, broker_factory=broker_factory,
+            extension=replay_extension,
         )
         kwargs: Dict[str, Any] = {"fsync": fsync}
         if segment_bytes is not None:
@@ -764,7 +770,9 @@ class ReplicaServer:
             for entry in fresh:
                 self.journal.append_entry(entry)
             self.journal.commit()
-            applied, skipped = replay(self.broker, fresh)
+            applied, skipped = replay(
+                self.broker, fresh, extension=self._replay_extension,
+            )
             self.applied_entries += applied
             self.skipped_entries += skipped
             self.applied_seq = self.journal.position
@@ -880,6 +888,7 @@ def promote_directory(
     *,
     policy: Optional[PolicyModule] = None,
     broker_factory: Optional[Callable[[], BandwidthBroker]] = None,
+    extension=None,
 ) -> PromotionReport:
     """Promote a replica's journal *directory* to a new primary.
 
@@ -891,6 +900,7 @@ def promote_directory(
     """
     report = recover_broker(
         directory, policy=policy, broker_factory=broker_factory,
+        extension=extension,
     )
     journal = FileJournal(directory)
     new_epoch = max(report.epoch, journal.epoch) + 1

@@ -401,12 +401,16 @@ class BrokerService:
             if len(self._queue) >= self.queue_limit:
                 depth = len(self._queue)
                 shed = True
+                # Count the shed while the queue lock is still held:
+                # between on_submit and on_shed the identity above
+                # would otherwise show a phantom in-flight request to
+                # any stats() racing this submit.
+                self._recorder.on_shed()
             else:
                 self._queue.append(_Job(request, pending))
                 self._cond.notify()
                 shed = False
         if shed:
-            self._recorder.on_shed()
             pending._resolve(ServiceReply(
                 request=request,
                 status=SHED,
@@ -524,9 +528,15 @@ class BrokerService:
     # ------------------------------------------------------------------
 
     def stats(self) -> ServiceStats:
-        """A :class:`ServiceStats` snapshot, safe under load."""
-        with self._cond:
-            depth = len(self._queue)
+        """A :class:`ServiceStats` snapshot, safe under load.
+
+        Engine/replication counters are gathered lock-free first
+        (point-in-time totals); the queue depth and the request
+        counters are then read together under the queue lock, inside
+        one recorder-lock acquisition — so the
+        ``submitted == completed+shed+expired+depth+in_flight``
+        identity holds in every snapshot, not just at quiescence.
+        """
         acquisitions, contention = self.shards.counters()
         followers: Tuple[Tuple[str, int, int, float, float], ...] = ()
         epoch = 0
@@ -565,30 +575,34 @@ class BrokerService:
             scan_tests += path.scan_tests
             scan_intervals += path.scan_intervals
             scan_early_breaks += path.scan_early_breaks
-        return self._recorder.snapshot(
-            workers=self.workers,
-            shards=self.shards.num_shards,
-            queue_capacity=self.queue_limit,
-            queue_depth=depth,
-            shard_acquisitions=acquisitions,
-            shard_contention=contention,
-            wal_appends=self.wal.appends if self.wal is not None else 0,
-            wal_fsyncs=self.wal.fsyncs if self.wal is not None else 0,
-            wal_max_group=(
-                self.wal.max_group if self.wal is not None else 0
-            ),
-            epoch=epoch,
-            replication_mode=mode,
-            replication_quorum=quorum,
-            followers=followers,
-            ledger_updates=ledger_updates,
-            ledger_compactions=ledger_compactions,
-            bp_delta_folds=bp_delta_folds,
-            bp_full_rebuilds=bp_full_rebuilds,
-            scan_tests=scan_tests,
-            scan_intervals=scan_intervals,
-            scan_early_breaks=scan_early_breaks,
-        )
+        # Queue depth mutates only under self._cond, so holding it
+        # across the snapshot pins depth and counters to one instant
+        # (lock order _cond -> recorder lock, same as submit()).
+        with self._cond:
+            return self._recorder.snapshot(
+                workers=self.workers,
+                shards=self.shards.num_shards,
+                queue_capacity=self.queue_limit,
+                queue_depth=len(self._queue),
+                shard_acquisitions=acquisitions,
+                shard_contention=contention,
+                wal_appends=self.wal.appends if self.wal is not None else 0,
+                wal_fsyncs=self.wal.fsyncs if self.wal is not None else 0,
+                wal_max_group=(
+                    self.wal.max_group if self.wal is not None else 0
+                ),
+                epoch=epoch,
+                replication_mode=mode,
+                replication_quorum=quorum,
+                followers=followers,
+                ledger_updates=ledger_updates,
+                ledger_compactions=ledger_compactions,
+                bp_delta_folds=bp_delta_folds,
+                bp_full_rebuilds=bp_full_rebuilds,
+                scan_tests=scan_tests,
+                scan_intervals=scan_intervals,
+                scan_early_breaks=scan_early_breaks,
+            )
 
     # ------------------------------------------------------------------
     # worker internals

@@ -96,6 +96,88 @@ class TestExtensionCommands:
         assert all(entry["errors"] == 0 for entry in payload)
 
 
+class TestClusterCommands:
+    def test_shard_bench_defaults(self):
+        args = build_parser().parse_args(["shard-bench"])
+        assert args.shards == [1, 2, 4, 8]
+        assert args.pods == 0  # = max of --shards
+        assert args.spanning_every == 10
+        assert not args.durability
+
+    def test_shard_bench_small_grid(self, capsys, tmp_path):
+        artifact = tmp_path / "cluster.json"
+        assert main([
+            "shard-bench", "--shards", "1", "2", "--pods", "2",
+            "--clients", "1", "--requests", "5",
+            "--spanning-every", "2", "--json", str(artifact),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Sharded cluster throughput" in out
+        assert "2pc ok" in out
+        import json
+
+        payload = json.loads(artifact.read_text())
+        assert [entry["shards"] for entry in payload] == [1, 2]
+        assert all(entry["pods"] == 2 for entry in payload)
+        # Every config paid real 2PC traffic and finished clean.
+        assert all(entry["spanning_requests"] > 0 for entry in payload)
+        assert all(entry["errors"] == 0 for entry in payload)
+        assert all(entry["stranded_holds"] == 0 for entry in payload)
+
+    @staticmethod
+    def _crashed_cluster_root(tmp_path):
+        from repro.cluster import build_pod_cluster
+        from repro.workloads.profiles import flow_type
+
+        root = tmp_path / "cluster-wal"
+        spec = flow_type(0).spec
+        cluster = build_pod_cluster(
+            2, wal_root=str(root), fsync=False,
+        )
+        with cluster:
+            for pod, nodes in enumerate(cluster.pod_paths):
+                decision = cluster.coordinator.admit(
+                    f"pod{pod}-f0", spec, 2.44, nodes[0], nodes[-1],
+                    path_nodes=nodes,
+                )
+                assert decision.admitted
+            span = cluster.spanning_paths[0]
+            spanning = cluster.coordinator.admit(
+                "span-f0", spec, 2.44, span[0], span[-1],
+                path_nodes=span,
+            )
+            assert spanning.admitted
+            for shard in cluster.shards.values():
+                shard.checkpoint()
+        return root
+
+    def test_recover_shard_dir(self, capsys, tmp_path):
+        root = self._crashed_cluster_root(tmp_path)
+        assert main(["recover", str(root), "--shard-dir"]) == 0
+        out = capsys.readouterr().out
+        assert "shard0" in out
+        assert "shard1" in out
+        assert "prepared holds" in out
+        assert "coordinator decision log present" in out
+
+    def test_recover_shard_dir_rejects_empty_root(self, capsys,
+                                                  tmp_path):
+        assert main(["recover", str(tmp_path), "--shard-dir"]) == 1
+        err = capsys.readouterr().err
+        assert "no shard subdirectories" in err
+
+    def test_promote_shard_dir_bumps_every_epoch(self, capsys,
+                                                 tmp_path):
+        root = self._crashed_cluster_root(tmp_path)
+        assert main(["promote", str(root), "--shard-dir"]) == 0
+        out = capsys.readouterr().out
+        assert "shard0" in out
+        assert "new epoch" in out
+        # Promoting again fences above the first promotion.
+        assert main(["promote", str(root), "--shard-dir"]) == 0
+        assert "2" in capsys.readouterr().out
+
+
 class TestReplicationCommands:
     def test_replicate_defaults(self):
         args = build_parser().parse_args(["replicate"])

@@ -1,0 +1,150 @@
+"""Partition map: deterministic planning, rendezvous, fencing.
+
+Covers :mod:`repro.cluster.partition` — the link -> shard assignment
+underneath the sharded broker cluster.  The properties that matter:
+
+* **determinism** — two processes given the same shard names and
+  pinned paths build byte-identical maps (no ``PYTHONHASHSEED``
+  dependence), because the cross-shard protocol assumes coordinator
+  and shards agree on ownership;
+* **co-location** — every link of a planned path lands on one shard,
+  so single-shard admission stays a one-hop fast path and delay-based
+  hops never split across shards;
+* **rendezvous stability** — unplanned links hash consistently, and
+  growing the shard set only moves links onto the new shard;
+* **fencing** — a shard bounces frames stamped with any other
+  ``(version, epoch)``, old or new.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import PartitionMap, link_id_str
+from repro.cluster.shard import BrokerShard
+from repro.core.broker import BandwidthBroker
+from repro.errors import ConfigurationError
+from repro.units import mbps
+from repro.vtrs.timestamps import SchedulerKind
+
+PATH_A = ("I0", "C0", "E0")
+PATH_B = ("I1", "C1", "E1")
+PATH_C = ("I2", "C2", "E2")
+
+
+class TestPlan:
+    def test_plan_is_deterministic_and_order_insensitive(self):
+        first = PartitionMap.plan(
+            ["s1", "s0"], [PATH_B, PATH_A, PATH_C]
+        )
+        second = PartitionMap.plan(
+            ["s0", "s1"], [PATH_A, PATH_C, PATH_B]
+        )
+        assert first.to_dict() == second.to_dict()
+        assert first.shards == ("s0", "s1")
+
+    def test_planned_path_is_co_located(self):
+        pmap = PartitionMap.plan(["s0", "s1", "s2"],
+                                 [PATH_A, PATH_B, PATH_C])
+        for nodes in (PATH_A, PATH_B, PATH_C):
+            assert len(pmap.shards_for_path(nodes)) == 1
+
+    def test_shared_link_keeps_first_assignment(self):
+        overlapping = ("I0", "C0", "X")  # shares I0->C0 with PATH_A
+        pmap = PartitionMap.plan(["s0", "s1"], [PATH_A, overlapping])
+        owner = pmap.shard_of(("I0", "C0"))
+        # Both paths see the shared link on the same single shard.
+        assert owner in pmap.shards_for_path(PATH_A)
+        assert owner in pmap.shards_for_path(overlapping)
+
+    def test_empty_shard_set_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PartitionMap([])
+
+    def test_assign_unknown_shard_rejected(self):
+        pmap = PartitionMap(["s0"])
+        with pytest.raises(ConfigurationError):
+            pmap.assign(("a", "b"), "nope")
+
+
+class TestRendezvous:
+    def test_fallback_is_stable(self):
+        pmap = PartitionMap(["s0", "s1", "s2"])
+        for link in (("a", "b"), ("b", "c"), ("x", "y")):
+            assert pmap.shard_of(link) == pmap.shard_of(link)
+            assert pmap.shard_of(link) in pmap.shards
+
+    def test_growing_shards_only_moves_links_to_new_shard(self):
+        links = [(f"n{i}", f"n{i + 1}") for i in range(64)]
+        small = PartitionMap(["s0", "s1", "s2"])
+        grown = PartitionMap(["s0", "s1", "s2", "s3"])
+        for link in links:
+            before, after = small.shard_of(link), grown.shard_of(link)
+            if after != before:
+                assert after == "s3"
+
+    def test_direction_matters(self):
+        # a->b and b->a are distinct unidirectional links; the hash
+        # label keeps them independent.
+        assert link_id_str(("a", "b")) != link_id_str(("b", "a"))
+
+
+class TestSegments:
+    def test_segments_preserve_path_order(self):
+        pmap = PartitionMap(["s0", "s1"])
+        pmap.assign(("a", "b"), "s0")
+        pmap.assign(("b", "c"), "s0")
+        pmap.assign(("c", "d"), "s1")
+        segments = pmap.segments(("a", "b", "c", "d"))
+        assert segments == [
+            ("s0", [("a", "b"), ("b", "c")]),
+            ("s1", [("c", "d")]),
+        ]
+
+    def test_non_contiguous_ownership_groups_by_shard(self):
+        pmap = PartitionMap(["s0", "s1"])
+        pmap.assign(("a", "b"), "s0")
+        pmap.assign(("b", "c"), "s1")
+        pmap.assign(("c", "d"), "s0")
+        segments = pmap.segments(("a", "b", "c", "d"))
+        assert [shard for shard, _ in segments] == ["s0", "s1"]
+        assert segments[0][1] == [("a", "b"), ("c", "d")]
+
+
+class TestFencing:
+    def test_stamp_round_trip(self):
+        pmap = PartitionMap(["s0"], version=3, epoch=7)
+        assert pmap.accepts(pmap.stamp())
+        assert not pmap.accepts({"map_version": 3, "map_epoch": 6})
+        assert not pmap.accepts({"map_version": 2, "map_epoch": 7})
+        assert not pmap.accepts({"map_version": 3, "map_epoch": 8})
+        assert not pmap.accepts({})
+
+    def test_advanced_copy_keeps_assignment(self):
+        pmap = PartitionMap(["s0", "s1"])
+        pmap.assign(("a", "b"), "s1")
+        bumped = pmap.advanced(version=2, epoch=5)
+        assert bumped.version == 2 and bumped.epoch == 5
+        assert bumped.shard_of(("a", "b")) == "s1"
+        assert pmap.version == 1  # original untouched
+
+    def test_shard_bounces_stale_frame(self):
+        pmap = PartitionMap(["s0"])
+        broker = BandwidthBroker()
+        broker.add_link("a", "b", mbps(10), SchedulerKind.RATE_BASED)
+        shard = BrokerShard("s0", broker, pmap)
+        stale = pmap.advanced(epoch=pmap.epoch + 1).stamp()
+        reply = shard.prepare({"txid": "t1", **stale})
+        assert reply["status"] == "error"
+        assert reply["error"] == "stale-map"
+        assert shard.stale_frames == 1
+
+
+class TestSerialization:
+    def test_to_from_dict_round_trip(self):
+        pmap = PartitionMap.plan(
+            ["s0", "s1"], [PATH_A, PATH_B], version=4, epoch=2
+        )
+        clone = PartitionMap.from_dict(pmap.to_dict())
+        assert clone.to_dict() == pmap.to_dict()
+        assert clone.shard_of(("zz", "zz2")) == pmap.shard_of(("zz", "zz2"))

@@ -182,6 +182,103 @@ class TestLinkShards:
         assert LinkShards(-3).num_shards == 1
 
 
+class TestLinkShardsEdgeCases:
+    def test_single_link_path_locks_one_shard(self):
+        broker = BandwidthBroker()
+        pinned = provision_parallel_paths(
+            broker, paths=1, hops=1, capacity=TIGHT_CAPACITY
+        )
+        shards = LinkShards(8)
+        shards.plan_paths(broker.path_mib.records())
+        record = next(iter(broker.path_mib.records()))
+        assert len(record.links) == 1
+        assert len(shards.shards_for(record.links)) == 1
+        # Admissions on that path work end to end.
+        service = BrokerService(broker, workers=2, shards=8)
+        with service:
+            nodes = pinned[0]
+            reply = service.request(
+                "f1", SPEC, 2.44, nodes[0], nodes[-1],
+                path_nodes=tuple(nodes),
+            )
+            assert reply.admitted
+
+    def test_path_touching_every_shard(self):
+        # One long unplanned chain whose links hash across shards: the
+        # request's lock set is the full ascending shard range, and a
+        # concurrent total-order taker (class-based work) interleaves
+        # without deadlock.
+        shards = LinkShards(3)
+        links = [(f"n{i}", f"n{i + 1}") for i in range(24)]
+        covered = {shards.shard_of(link) for link in links}
+        assert covered == {0, 1, 2}  # crc32 spread over 24 links
+        done = []
+
+        def spanning_taker() -> None:
+            fake = [
+                type("L", (), {"link_id": link})() for link in links
+            ]
+            for _ in range(100):
+                with shards.locked(shards.shards_for(fake)):
+                    pass
+            done.append("spanning")
+
+        def global_taker() -> None:
+            for _ in range(100):
+                with shards.locked(shards.all_shards()):
+                    pass
+            done.append("global")
+
+        threads = [
+            threading.Thread(target=spanning_taker, daemon=True),
+            threading.Thread(target=global_taker, daemon=True),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30.0)
+        assert sorted(done) == ["global", "spanning"]
+
+    def test_reversed_path_direction_yields_same_ordered_lock_set(self):
+        # A forward path and its reverse are distinct links, but two
+        # requests covering both directions must still compute one
+        # ascending lock set each — no cyclic wait is possible.
+        shards = LinkShards(4)
+        forward = [(f"m{i}", f"m{i + 1}") for i in range(8)]
+        backward = [(dst, src) for src, dst in reversed(forward)]
+
+        def lock_set(link_ids):
+            fake = [
+                type("L", (), {"link_id": link})() for link in link_ids
+            ]
+            return shards.shards_for(fake)
+
+        fwd, bwd = lock_set(forward), lock_set(backward)
+        assert fwd == tuple(sorted(fwd))
+        assert bwd == tuple(sorted(bwd))
+        # The same physical links presented in reverse order produce
+        # the identical ordered set — order of presentation is
+        # irrelevant to acquisition order.
+        assert lock_set(list(reversed(forward))) == fwd
+        done = []
+
+        def worker(link_ids) -> None:
+            for _ in range(200):
+                with shards.locked(lock_set(link_ids)):
+                    pass
+            done.append(link_ids[0])
+
+        threads = [
+            threading.Thread(target=worker, args=(ids,), daemon=True)
+            for ids in (forward, backward)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30.0)
+        assert len(done) == 2, "reversed-direction traffic deadlocked"
+
+
 class TestBatchedAdmissionEquivalence:
     """``admit_batch`` must be decision-for-decision identical to a
     sequential loop of ``admit`` — it is what licenses the service to

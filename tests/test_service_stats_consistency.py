@@ -1,0 +1,137 @@
+"""Point-in-time consistency of :meth:`BrokerService.stats`.
+
+Regression coverage for a snapshot race: ``stats()`` used to read the
+queue depth under the queue lock but take the recorder snapshot after
+releasing it, and shed requests were counted outside the lock — so a
+snapshot hammered during load could double-count a request as both
+*queued* and *completed* (the accounting identity transiently went
+negative).  The fixed implementation pins the queue depth and every
+request counter to one instant, so
+
+    ``submitted == completed + shed + expired + depth + in_flight``
+
+with ``in_flight >= 0`` holds in **every** snapshot, and exactly
+(``in_flight == 0``) at quiescence.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.broker import BandwidthBroker
+from repro.service import BrokerService, ServiceRequest
+from repro.service.loadgen import provision_parallel_paths
+from repro.workloads.profiles import flow_type
+
+SPEC = flow_type(0).spec
+D_REQ = 2.44
+
+
+def build_service(**kwargs) -> tuple:
+    broker = BandwidthBroker()
+    pinned = provision_parallel_paths(broker, paths=2)
+    service = BrokerService(broker, **kwargs)
+    return service, pinned
+
+
+def identity_slack(stats) -> int:
+    """``in_flight`` reconstructed from the identity; must be >= 0."""
+    return stats.submitted - (
+        stats.completed + stats.shed + stats.expired + stats.queue_depth
+    )
+
+
+class TestSnapshotConsistency:
+    def test_identity_holds_in_every_snapshot_under_load(self):
+        # Tiny queue + deliberate per-request latency: submissions
+        # race ahead of the workers, so snapshots constantly catch
+        # requests mid-queue, mid-flight, and mid-shed.
+        service, pinned = build_service(
+            workers=2, queue_limit=4, edge_rtt=0.0005,
+        )
+        violations = []
+        stop = threading.Event()
+
+        def hammer() -> None:
+            while not stop.is_set():
+                stats = service.stats()
+                slack = identity_slack(stats)
+                if slack < 0:
+                    violations.append((slack, stats))
+
+        def client(offset: int) -> None:
+            nodes = pinned[offset % len(pinned)]
+            for index in range(150):
+                flow_id = f"c{offset}-r{index}"
+                pending = service.submit(ServiceRequest(
+                    flow_id=flow_id,
+                    op="admit",
+                    spec=SPEC,
+                    delay_requirement=D_REQ,
+                    ingress=nodes[0],
+                    egress=nodes[-1],
+                    path_nodes=tuple(nodes),
+                ))
+                reply = pending.wait(30.0)
+                if reply.admitted:
+                    service.request(flow_id, op="teardown")
+
+        with service:
+            hammers = [
+                threading.Thread(target=hammer, daemon=True)
+                for _ in range(2)
+            ]
+            clients = [
+                threading.Thread(target=client, args=(n,), daemon=True)
+                for n in range(4)
+            ]
+            for thread in hammers + clients:
+                thread.start()
+            for thread in clients:
+                thread.join(120.0)
+            stop.set()
+            for thread in hammers:
+                thread.join(10.0)
+            assert violations == [], (
+                f"{len(violations)} inconsistent snapshot(s); worst "
+                f"slack {min(v[0] for v in violations)}"
+            )
+            # Quiescent: the queue drained and nothing is in flight,
+            # so the identity closes exactly.
+            final = service.stats()
+            assert final.queue_depth == 0
+            assert identity_slack(final) == 0
+            assert final.submitted > 0
+            assert final.completed + final.shed + final.expired == (
+                final.submitted
+            )
+
+    def test_shed_requests_are_counted_inside_the_identity(self):
+        # Queue bound 1 and a single slow worker: most submissions
+        # shed immediately, and every shed must appear in the same
+        # locked region that made the queue-full decision.
+        service, pinned = build_service(
+            workers=1, queue_limit=1, edge_rtt=0.002,
+        )
+        nodes = pinned[0]
+        with service:
+            pendings = [
+                service.submit(ServiceRequest(
+                    flow_id=f"f{index}",
+                    op="admit",
+                    spec=SPEC,
+                    delay_requirement=D_REQ,
+                    ingress=nodes[0],
+                    egress=nodes[-1],
+                    path_nodes=tuple(nodes),
+                ))
+                for index in range(30)
+            ]
+            stats = service.stats()
+            assert identity_slack(stats) >= 0
+            replies = [pending.wait(30.0) for pending in pendings]
+            shed = sum(1 for reply in replies if reply.status == "shed")
+            assert shed > 0
+            final = service.stats()
+            assert final.shed == shed
+            assert identity_slack(final) == 0
