@@ -25,6 +25,7 @@ from typing import Any, Dict, Optional
 
 from repro.errors import SignalingError
 from repro.service.transport import TransportClosed
+from repro.service.wire import CODEC_JSON, CODECS, negotiate_codec
 
 from repro.cluster.shard import BrokerShard
 
@@ -119,6 +120,19 @@ class ShardServer:
                 return
             if frame is None:
                 continue
+            if frame.get("op") == "hello":
+                # Codec negotiation (the reply itself is sent in the
+                # pre-negotiation codec; an old coordinator never
+                # sends hello and stays on JSON).
+                codec = negotiate_codec(frame.get("codecs"))
+                conn.send({
+                    "status": "ok", "codec": codec,
+                    "client_seq": frame.get("client_seq"),
+                })
+                if hasattr(conn, "set_codec"):
+                    conn.set_codec(codec)
+                self.frames_served += 1
+                continue
             conn.send(self._dispatch(frame))
             self.frames_served += 1
 
@@ -164,16 +178,54 @@ class RemoteShardHandle:
     """
 
     def __init__(self, conn, *, timeout: float = 5.0,
-                 retries: int = 2) -> None:
+                 retries: int = 2,
+                 codecs: Optional[tuple] = None) -> None:
         self.conn = conn
         self.timeout = timeout
         self.retries = retries
+        self.codecs = tuple(codecs) if codecs is not None else CODECS
+        #: ``None`` until the first op triggers negotiation.
+        self.negotiated_codec: Optional[str] = None
         self._seq = itertools.count(1)
         self._lock = threading.Lock()
         self.resends = 0
 
+    def _negotiate(self) -> None:
+        """One-shot codec negotiation (caller holds ``_lock``).
+
+        Sends a ``hello`` op; a new server answers with the chosen
+        codec, an old server answers ``unknown-op`` — either way the
+        handle ends up on a codec both sides speak (JSON when in
+        doubt).  A transport error leaves JSON set; the next real op
+        surfaces the failure through its own retry path.
+        """
+        self.negotiated_codec = CODEC_JSON
+        seq = next(self._seq)
+        try:
+            self.conn.send({
+                "op": "hello", "client_seq": seq,
+                "codecs": list(self.codecs),
+            })
+            deadline_budget = self.timeout
+            while True:
+                reply = self.conn.recv(timeout=deadline_budget)
+                if reply is None:
+                    return
+                if reply.get("client_seq") != seq:
+                    continue
+                codec = reply.get("codec")
+                if reply.get("status") == "ok" and codec in self.codecs:
+                    self.negotiated_codec = codec
+                    if hasattr(self.conn, "set_codec"):
+                        self.conn.set_codec(codec)
+                return
+        except TransportClosed:
+            return
+
     def _call(self, op: str, frame: Dict[str, Any]) -> Dict[str, Any]:
         with self._lock:
+            if self.negotiated_codec is None:
+                self._negotiate()
             seq = next(self._seq)
             message = dict(frame)
             message["op"] = op

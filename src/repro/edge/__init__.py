@@ -11,7 +11,8 @@ protocol on top of the :mod:`repro.service` stack:
   idempotent-reply dedup window;
 * :mod:`repro.edge.gateway` — :class:`EdgeGateway`, the broker-side
   server terminating agent sessions over pipes or length-prefixed
-  JSON TCP, with lease reaping and exactly-once execution;
+  TCP (JSON or negotiated binary payloads), with lease reaping and
+  exactly-once execution;
 * :mod:`repro.edge.agent` — :class:`EdgeAgent`, the edge-router-side
   client owning the per-flow state table, with idempotent retries,
   reconnects, lease heartbeats and Section 4.2.1 edge feedback.
@@ -21,15 +22,18 @@ and the failure matrix.
 """
 
 from repro.edge.agent import (
+    AdmitOp,
     AgentTimeout,
     EdgeAgent,
     FlowState,
+    default_codecs,
     tcp_connector,
 )
 from repro.edge.gateway import EdgeGateway, decision_to_dict
 from repro.edge.leases import DedupWindow, Lease, LeaseTable
 from repro.edge.protocol import (
     PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
     STATUS_ERROR,
     STATUS_OK,
     STATUS_TRY_AGAIN,
@@ -37,9 +41,11 @@ from repro.edge.protocol import (
 )
 
 __all__ = [
+    "AdmitOp",
     "AgentTimeout",
     "EdgeAgent",
     "FlowState",
+    "default_codecs",
     "tcp_connector",
     "EdgeGateway",
     "decision_to_dict",
@@ -47,6 +53,7 @@ __all__ = [
     "Lease",
     "LeaseTable",
     "PROTOCOL_VERSION",
+    "SUPPORTED_VERSIONS",
     "STATUS_OK",
     "STATUS_TRY_AGAIN",
     "STATUS_ERROR",

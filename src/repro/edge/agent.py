@@ -47,6 +47,7 @@ edge routers against one broker.
 from __future__ import annotations
 
 import itertools
+import os
 import random
 import threading
 import time
@@ -61,9 +62,17 @@ from repro.service.transport import (
     is_pong,
     ping_frame,
 )
+from repro.service.wire import CODEC_JSON, CODECS
 from repro.traffic.spec import TSpec
 
-__all__ = ["AgentTimeout", "FlowState", "EdgeAgent", "tcp_connector"]
+__all__ = [
+    "AgentTimeout",
+    "FlowState",
+    "AdmitOp",
+    "EdgeAgent",
+    "tcp_connector",
+    "default_codecs",
+]
 
 
 class AgentTimeout(SignalingError):
@@ -83,6 +92,32 @@ class FlowState:
     admitted_at: float
     lease_expires_at: float
     macroflow_key: str = ""
+
+
+@dataclass
+class AdmitOp:
+    """One admission in a pipelined :meth:`EdgeAgent.admit_many` batch."""
+
+    flow_id: str
+    spec: TSpec
+    delay_requirement: float
+    ingress: str
+    egress: str
+    service_class: str = ""
+    path_nodes: Optional[Sequence[str]] = None
+
+
+def default_codecs() -> Tuple[str, ...]:
+    """The codec preference list an agent offers in its ``hello``.
+
+    ``REPRO_EDGE_CODEC=json`` pins the fleet to the v1 JSON payload
+    (the CI matrix lever); ``binary`` — or unset — prefers the binary
+    codec with JSON as the universal fallback.
+    """
+    preference = os.environ.get("REPRO_EDGE_CODEC", "").strip().lower()
+    if preference == CODEC_JSON:
+        return (CODEC_JSON,)
+    return CODECS
 
 
 def tcp_connector(host: str, port: int, *,
@@ -112,6 +147,11 @@ class EdgeAgent:
     :param base_backoff/max_backoff: exponential backoff bounds for
         timeout-driven retries (jittered).
     :param seed: RNG seed for the jitter (deterministic tests).
+    :param codecs: payload codecs to offer in the ``hello``, best
+        first (default: :func:`default_codecs`, which honours
+        ``REPRO_EDGE_CODEC``).  The gateway picks the best codec both
+        sides speak; an old gateway that rejects the v2 hello makes
+        the agent fall back to the v1 JSON protocol automatically.
     """
 
     def __init__(
@@ -124,9 +164,12 @@ class EdgeAgent:
         base_backoff: float = 0.01,
         max_backoff: float = 0.5,
         seed: Optional[int] = None,
+        codecs: Optional[Sequence[str]] = None,
     ) -> None:
         self.name = name
         self._connect = connect
+        self.codecs = tuple(codecs) if codecs is not None \
+            else default_codecs()
         self.op_budget = op_budget
         self.attempt_timeout = attempt_timeout
         self.base_backoff = base_backoff
@@ -141,6 +184,12 @@ class EdgeAgent:
         self._feedback_due: Dict[str, float] = {}
         self.lease_duration = 0.0   # learned from the welcome frame
         self.gateway_name = ""
+        #: Protocol version spoken on the current session; drops to 1
+        #: after an old gateway rejects the v2 hello (and is re-tried
+        #: at the newest version on every fresh connection).
+        self._proto_version = protocol.PROTOCOL_VERSION
+        #: Payload codec the current session negotiated.
+        self.negotiated_codec = CODEC_JSON
         self._hb_thread: Optional[threading.Thread] = None
         self._hb_stop = threading.Event()
         self._domain_now = 0.0
@@ -157,12 +206,24 @@ class EdgeAgent:
     # ------------------------------------------------------------------
 
     def _ensure_connected(self):
-        """Dial + ``hello`` handshake if there is no live connection."""
+        """Dial + ``hello`` handshake if there is no live connection.
+
+        Every fresh connection first tries the newest protocol (a v2
+        hello advertising versions and codecs).  An old gateway
+        answers that with a ``bad-version`` error reply — the agent
+        then resends a v1 hello *on the same connection* and runs the
+        session as v1 JSON.  A v2 welcome instead carries the codec
+        the gateway chose; the agent switches its send codec to it
+        (receives are auto-detected, so no switchover race exists).
+        """
         if self._conn is not None:
             return self._conn
         conn = self._connect()
+        version = protocol.PROTOCOL_VERSION
         try:
-            conn.send(protocol.make_hello(self.name))
+            conn.send(protocol.make_hello(
+                self.name, version=version, codecs=self.codecs,
+            ))
             deadline = time.monotonic() + max(self.attempt_timeout, 1.0)
             while True:
                 remaining = deadline - time.monotonic()
@@ -173,6 +234,18 @@ class EdgeAgent:
                     raise TransportClosed("no welcome from the gateway")
                 if frame.get("type") == "welcome":
                     break
+                if (
+                    version > 1
+                    and frame.get("type") == "reply"
+                    and frame.get("status") == protocol.STATUS_ERROR
+                    and frame.get("re") == "hello"
+                    and "bad-version" in str(frame.get("detail", ""))
+                ):
+                    # An old gateway refused the v2 hello: downgrade
+                    # to the original protocol on this connection.
+                    version = 1
+                    conn.send(protocol.make_hello(self.name, version=1))
+                    continue
                 # Stale replies from a previous connection's in-flight
                 # operations may arrive first; they are honoured via
                 # the dedup window on retry, so skip them here.
@@ -184,6 +257,13 @@ class EdgeAgent:
             raise
         self.lease_duration = float(frame.get("lease_duration", 0.0))
         self.gateway_name = str(frame.get("gateway", ""))
+        self._proto_version = min(version, int(frame.get("v", 1)))
+        codec = frame.get("codec")
+        if codec not in self.codecs or self._proto_version < 2:
+            codec = CODEC_JSON
+        self.negotiated_codec = codec
+        if hasattr(conn, "set_codec"):
+            conn.set_codec(codec)
         self._conn = conn
         return conn
 
@@ -201,7 +281,9 @@ class EdgeAgent:
         with self._rpc_lock:
             if self._conn is not None:
                 try:
-                    self._conn.send(protocol.make_bye(self.name))
+                    self._conn.send(protocol.make_bye(
+                        self.name, version=self._proto_version,
+                    ))
                 except TransportClosed:
                     pass
             self._drop_connection()
@@ -289,6 +371,101 @@ class EdgeAgent:
             if frame.get("type") == "reply" and frame.get("idem") == idem:
                 return frame
 
+    def _call_many(
+        self,
+        builders: "Dict[str, Callable[[float], protocol.Frame]]",
+        *,
+        budget: Optional[float] = None,
+    ) -> Dict[str, protocol.Frame]:
+        """Run many operations pipelined on one connection.
+
+        *builders* maps each operation's idempotency key to its frame
+        builder (remaining budget in ms -> frame).  Every pending
+        frame is written with **one** coalesced ``send_many``, then
+        replies are collected as they arrive, correlated by key —
+        N operations in flight cost one round trip, not N.
+
+        Timeouts and ``try-again`` replies leave their operations
+        pending; the next round resends *only* those (same keys, so
+        the gateway's dedup window keeps the effects exactly-once).
+        Raises :class:`AgentTimeout` when the budget runs out with
+        operations still unanswered; terminal replies collected so
+        far are reported in the exception's ``partial`` attribute.
+        """
+        budget = self.op_budget if budget is None else budget
+        deadline = time.monotonic() + budget
+        replies: Dict[str, protocol.Frame] = {}
+        with self._rpc_lock:
+            self.rpcs += len(builders)
+            pending = dict(builders)
+            attempt = 0
+            while pending:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    error = AgentTimeout(
+                        f"{self.name}: {len(pending)} of "
+                        f"{len(builders)} pipelined operation(s) "
+                        f"exhausted the {budget:.3f}s budget"
+                    )
+                    error.partial = replies
+                    raise error
+                ms = remaining * 1000.0
+                try:
+                    conn = self._ensure_connected()
+                    if hasattr(conn, "send_many"):
+                        conn.send_many(
+                            build(ms) for build in pending.values()
+                        )
+                    else:
+                        for build in pending.values():
+                            conn.send(build(ms))
+                    self._collect_replies(
+                        conn, pending, replies,
+                        min(remaining, self.attempt_timeout),
+                    )
+                except TransportClosed:
+                    self._drop_connection()
+                    self.reconnects += 1
+                if pending:
+                    attempt += 1
+                    self.retries += 1
+                    self._sleep(self._backoff(attempt), deadline)
+        return replies
+
+    def _collect_replies(self, conn, pending: Dict[str, Any],
+                         replies: Dict[str, protocol.Frame],
+                         timeout: float) -> None:
+        """Drain replies for *pending* keys until done or idle.
+
+        Terminal replies move their key from *pending* to *replies*;
+        a ``try-again`` bumps the counter and leaves the key pending
+        for the next (backed-off) resend round.  *timeout* is an
+        **idle** timeout: every reply that lands re-arms it, so a
+        window whose replies are still streaming in is never resent
+        wholesale just because it is large.
+        """
+        deadline = time.monotonic() + timeout
+        while pending:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return
+            frame = conn.recv(timeout=remaining)
+            if frame is None:
+                return
+            if is_pong(frame):
+                continue
+            if frame.get("type") != "reply":
+                continue
+            idem = frame.get("idem")
+            if idem not in pending:
+                continue  # stale reply to an already-finished op
+            deadline = time.monotonic() + timeout
+            if frame.get("status") == protocol.STATUS_TRY_AGAIN:
+                self.try_agains += 1
+                continue
+            del pending[idem]
+            replies[idem] = frame
+
     def _backoff(self, attempt: int) -> float:
         base = min(self.max_backoff,
                    self.base_backoff * (2 ** (attempt - 1)))
@@ -328,38 +505,47 @@ class EdgeAgent:
                 self.name, idem, flow_id, spec, delay_requirement,
                 ingress, egress, service_class=service_class,
                 path_nodes=path_nodes, now=now, budget_ms=ms,
+                version=self._proto_version,
             ),
             idem, budget=budget,
         )
-        decision = reply.get("decision") or {}
-        if reply.get("status") == protocol.STATUS_OK and \
-                decision.get("admitted"):
-            lease = reply.get("lease") or {}
-            with self._state_lock:
-                self.flows[flow_id] = FlowState(
-                    flow_id=flow_id,
-                    spec=spec,
-                    delay_requirement=delay_requirement,
-                    path_id=decision.get("path_id"),
-                    rate=float(decision.get("rate", 0.0)),
-                    admitted_at=now,
-                    lease_expires_at=float(
-                        lease.get("expires_at", now)
-                    ),
-                    macroflow_key=str(
-                        lease.get("macroflow_key", "")
-                    ),
-                )
-                drain = float(lease.get("drain_bound", 0.0))
-                key = str(lease.get("macroflow_key", ""))
-                if key and drain > 0.0:
-                    # The conditioner's buffer is empty by now+drain;
-                    # keep the latest due-time if several joins pile
-                    # contingency onto the same macroflow.
-                    due = now + drain
-                    if due > self._feedback_due.get(key, 0.0):
-                        self._feedback_due[key] = due
+        self._note_admit_reply(flow_id, spec, delay_requirement, now,
+                               reply)
         return reply
+
+    def _note_admit_reply(self, flow_id: str, spec: TSpec,
+                          delay_requirement: float, now: float,
+                          reply: protocol.Frame) -> None:
+        """Fold an admit reply into the flow table + feedback queue."""
+        decision = reply.get("decision") or {}
+        if reply.get("status") != protocol.STATUS_OK or \
+                not decision.get("admitted"):
+            return
+        lease = reply.get("lease") or {}
+        with self._state_lock:
+            self.flows[flow_id] = FlowState(
+                flow_id=flow_id,
+                spec=spec,
+                delay_requirement=delay_requirement,
+                path_id=decision.get("path_id"),
+                rate=float(decision.get("rate", 0.0)),
+                admitted_at=now,
+                lease_expires_at=float(
+                    lease.get("expires_at", now)
+                ),
+                macroflow_key=str(
+                    lease.get("macroflow_key", "")
+                ),
+            )
+            drain = float(lease.get("drain_bound", 0.0))
+            key = str(lease.get("macroflow_key", ""))
+            if key and drain > 0.0:
+                # The conditioner's buffer is empty by now+drain;
+                # keep the latest due-time if several joins pile
+                # contingency onto the same macroflow.
+                due = now + drain
+                if due > self._feedback_due.get(key, 0.0):
+                    self._feedback_due[key] = due
 
     def teardown(self, flow_id: str, *, now: float = 0.0,
                  budget: Optional[float] = None) -> protocol.Frame:
@@ -369,6 +555,7 @@ class EdgeAgent:
         reply = self._call(
             lambda ms: protocol.make_teardown(
                 self.name, idem, flow_id, now=now, budget_ms=ms,
+                version=self._proto_version,
             ),
             idem, budget=budget,
         )
@@ -376,6 +563,82 @@ class EdgeAgent:
             with self._state_lock:
                 self.flows.pop(flow_id, None)
         return reply
+
+    def admit_many(
+        self,
+        ops: Sequence[AdmitOp],
+        *,
+        now: float = 0.0,
+        budget: Optional[float] = None,
+    ) -> Dict[str, protocol.Frame]:
+        """Pipeline many admissions over one connection.
+
+        All frames go out in one coalesced write and the replies are
+        collected as the broker answers — the paper's "many edge
+        routers, cheap signaling" made cheap *per flow* too.  Sharing
+        one ``now`` (and path/class) across the batch also lets the
+        service coalesce the admissions into its batched hot path.
+        Returns ``{flow_id: reply}``; admitted flows enter the flow
+        table exactly as :meth:`admit` records them.
+        """
+        self.advance_clock(now)
+        builders: Dict[str, Callable[[float], protocol.Frame]] = {}
+        by_idem: Dict[str, AdmitOp] = {}
+        for op in ops:
+            idem = self.next_idem()
+            by_idem[idem] = op
+
+            def build(ms: float, op: AdmitOp = op,
+                      idem: str = idem) -> protocol.Frame:
+                return protocol.make_admit(
+                    self.name, idem, op.flow_id, op.spec,
+                    op.delay_requirement, op.ingress, op.egress,
+                    service_class=op.service_class,
+                    path_nodes=op.path_nodes, now=now, budget_ms=ms,
+                    version=self._proto_version,
+                )
+
+            builders[idem] = build
+        replies = self._call_many(builders, budget=budget)
+        results: Dict[str, protocol.Frame] = {}
+        for idem, reply in replies.items():
+            op = by_idem[idem]
+            self._note_admit_reply(op.flow_id, op.spec,
+                                   op.delay_requirement, now, reply)
+            results[op.flow_id] = reply
+        return results
+
+    def teardown_many(
+        self,
+        flow_ids: Sequence[str],
+        *,
+        now: float = 0.0,
+        budget: Optional[float] = None,
+    ) -> Dict[str, protocol.Frame]:
+        """Pipeline many teardowns; returns ``{flow_id: reply}``."""
+        self.advance_clock(now)
+        builders: Dict[str, Callable[[float], protocol.Frame]] = {}
+        by_idem: Dict[str, str] = {}
+        for flow_id in flow_ids:
+            idem = self.next_idem()
+            by_idem[idem] = flow_id
+
+            def build(ms: float, flow_id: str = flow_id,
+                      idem: str = idem) -> protocol.Frame:
+                return protocol.make_teardown(
+                    self.name, idem, flow_id, now=now, budget_ms=ms,
+                    version=self._proto_version,
+                )
+
+            builders[idem] = build
+        replies = self._call_many(builders, budget=budget)
+        results: Dict[str, protocol.Frame] = {}
+        with self._state_lock:
+            for idem, reply in replies.items():
+                flow_id = by_idem[idem]
+                self.flows.pop(flow_id, None)
+                results[flow_id] = reply
+        return results
 
     def refresh(self, *, now: float = 0.0,
                 budget: Optional[float] = None
@@ -396,6 +659,7 @@ class EdgeAgent:
         reply = self._call(
             lambda ms: protocol.make_refresh(
                 self.name, idem, flow_ids, now=now, budget_ms=ms,
+                version=self._proto_version,
             ),
             idem, budget=budget,
         )
@@ -419,7 +683,8 @@ class EdgeAgent:
         idem = self.next_idem()
         reply = self._call(
             lambda ms: protocol.make_feedback(
-                self.name, idem, macroflow_key, now=now, budget_ms=ms,
+                self.name, idem, macroflow_key, now=now,
+                budget_ms=ms, version=self._proto_version,
             ),
             idem, budget=budget,
         )
@@ -443,7 +708,8 @@ class EdgeAgent:
         return self._call(
             lambda ms: protocol.make_dry_run(
                 self.name, idem, flow_id, spec, delay_requirement,
-                ingress, egress, path_nodes=path_nodes, budget_ms=ms,
+                ingress, egress, path_nodes=path_nodes,
+                budget_ms=ms, version=self._proto_version,
             ),
             idem, budget=budget,
         )

@@ -81,13 +81,30 @@ def decision_to_dict(decision: AdmissionDecision) -> Dict[str, Any]:
 
 
 class _Session:
-    """One agent's live connection (send serialized by the transport)."""
+    """One agent's live connection plus its reply outbox.
 
-    __slots__ = ("agent", "conn")
+    Replies are not written directly: they are appended to the outbox
+    and whichever thread finds the session un-flushed becomes the
+    flusher, draining the whole outbox with one coalesced
+    ``send_many`` (one ``sendall`` of N frames).  Under a pipelined
+    burst the service's completion callbacks land faster than a
+    syscall each, so most replies ride a batch write.
+    """
 
-    def __init__(self, agent: str, conn) -> None:
+    __slots__ = ("agent", "conn", "version", "outbox", "flushing",
+                 "lock")
+
+    def __init__(self, agent: str, conn,
+                 version: int = protocol.PROTOCOL_VERSION) -> None:
         self.agent = agent
         self.conn = conn
+        #: Protocol version negotiated at hello — every reply routed
+        #: through this session is stamped with it, so a v1 agent
+        #: never sees a v2 frame.
+        self.version = version
+        self.outbox: List[Any] = []
+        self.flushing = False
+        self.lock = threading.Lock()
 
 
 class EdgeGateway:
@@ -266,13 +283,31 @@ class EdgeGateway:
         self._advance_domain_clock(frame.get("now", 0.0))
         if frame_type == "hello":
             resumed = bool(self.leases.owned_by(sender))
+            version = min(int(frame["v"]), protocol.PROTOCOL_VERSION)
+            if version not in protocol.SUPPORTED_VERSIONS:
+                # A future peer clamped past our newest: pick the best
+                # version both sides advertised (validate_request only
+                # let the hello through because the lists overlap).
+                version = max(
+                    v for v in frame.get("versions", ())
+                    if v in protocol.SUPPORTED_VERSIONS
+                )
+            codec = protocol.negotiate_codec(frame.get("codecs"))
             with self._lock:
-                self._sessions[sender] = _Session(sender, conn)
+                self._sessions[sender] = _Session(sender, conn,
+                                                  version)
+            # The welcome itself rides the pre-negotiation codec; only
+            # frames after it use the negotiated one (recv auto-detects
+            # per frame, so the switchover point cannot desynchronize).
             self._safe_send(conn, protocol.make_welcome(
                 self.name,
                 lease_duration=self.leases.duration,
                 resumed=resumed,
+                version=version,
+                codec=codec,
             ))
+            if hasattr(conn, "set_codec"):
+                conn.set_codec(codec)
             return sender
         if frame_type == "bye":
             with self._lock:
@@ -294,8 +329,12 @@ class EdgeGateway:
                     self._inflight[(sender, idem)] = frame
             if sender not in self._sessions:
                 # Request without hello (or raced a reconnect): bind
-                # this connection so the reply has somewhere to go.
-                self._sessions[sender] = _Session(sender, conn)
+                # this connection so the reply has somewhere to go,
+                # at the version the request itself speaks.
+                self._sessions[sender] = _Session(
+                    sender, conn,
+                    min(int(frame["v"]), protocol.PROTOCOL_VERSION),
+                )
         if cached is not None:
             self._send_to_agent(sender, cached)
             return agent or sender
@@ -541,7 +580,41 @@ class EdgeGateway:
             session = self._sessions.get(agent)
         if session is None:
             return  # disconnected; the reply waits in the dedup window
-        self._safe_send(session.conn, frame)
+        # Answer in the session's negotiated version (a dedup-cached
+        # reply may have been built for an earlier session).
+        if frame.get("v", session.version) != session.version:
+            frame = dict(frame, v=session.version)
+        with session.lock:
+            session.outbox.append(frame)
+            if session.flushing:
+                return  # the current flusher will pick this frame up
+            session.flushing = True
+        self._flush_outbox(session)
+
+    @staticmethod
+    def _flush_outbox(session: _Session) -> None:
+        """Drain the session outbox with coalesced writes.
+
+        Exactly one thread flushes at a time; frames enqueued while a
+        ``send_many`` is in flight are drained by the same flusher on
+        its next loop, so N concurrent completions cost far fewer
+        than N syscalls.
+        """
+        while True:
+            with session.lock:
+                batch = session.outbox
+                if not batch:
+                    session.flushing = False
+                    return
+                session.outbox = []
+            try:
+                session.conn.send_many(batch)
+            except TransportClosed:
+                # Disconnected: drop the batch — every reply is also
+                # in the dedup window, where the retry will find it.
+                with session.lock:
+                    session.flushing = False
+                return
 
     @staticmethod
     def _safe_send(conn, frame) -> None:
@@ -558,6 +631,12 @@ class EdgeGateway:
         try:
             value = float(now)
         except (TypeError, ValueError):
+            return
+        # Racy pre-check: the clock only moves forward, so reading a
+        # stale (smaller) value can only cause a harmless extra lock
+        # acquisition — and a pipelined burst reuses one ``now``, so
+        # this skips the lock on all but the first frame of a burst.
+        if value <= self._domain_now:
             return
         with self._lock:
             if value > self._domain_now:

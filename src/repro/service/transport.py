@@ -1,31 +1,51 @@
-"""Replication transport: framed peer-to-peer frame exchange.
+"""Framed peer-to-peer frame exchange (pipes and TCP).
 
-The log-shipping protocol (:mod:`repro.service.replication`) is
-transport-agnostic: a primary's follower session and a replica's
-apply loop each hold one *connection* — an ordered, bidirectional
-channel of JSON-compatible **frames** (plain dicts) — and never care
-how the bytes move.  Two implementations are provided:
+Every inter-process protocol in this repo — replication log-shipping
+(:mod:`repro.service.replication`), edge signaling
+(:mod:`repro.edge`), cluster shard RPC (:mod:`repro.cluster.remote`)
+— holds one *connection*: an ordered, bidirectional channel of
+JSON-compatible **frames** (plain dicts) that never cares how the
+bytes move.  Two implementations are provided:
 
 * :func:`pipe_pair` — an in-process pipe (two mailboxes guarded by
   condition variables).  Zero setup, deterministic, used by the tests
   and the single-process demos; also the honest model of "the standby
   runs in the same failure domain", which is exactly what it is.
-* :class:`TcpConnection` / :class:`TcpListener` — a length-prefixed
-  TCP socket (4-byte big-endian frame length, then the UTF-8 JSON of
-  the frame), for a standby on another machine.  The primary listens
-  (:class:`TcpListener`), followers dial in (:func:`connect_tcp`) —
-  the same direction as classic streaming replication, so only the
-  primary needs a well-known address.
+* :class:`TcpConnection` / :class:`TcpListener` — a TCP socket
+  carrying length-prefixed payloads (4-byte big-endian payload
+  length, then the payload), for a peer on another machine.
+
+The payload is **self-describing** per frame
+(:mod:`repro.service.wire`): UTF-8 JSON (the v1 fallback every peer
+speaks) or the v2 binary codec (struct-packed records + tagged
+fallback).  ``recv`` decodes whatever arrives; ``send`` uses the
+connection's current codec, which starts at JSON and is switched with
+:meth:`TcpConnection.set_codec` once the application-level handshake
+(edge ``hello``/``welcome``, replication ``hello``, shard-RPC
+``hello`` op) has proven the peer understands binary.  Because the
+receive side never needs connection state, JSON and binary frames may
+interleave on one stream — mid-negotiation traffic is always safe.
 
 Connection contract (both implementations):
 
 * ``send(frame)`` delivers the whole frame or raises
-  :class:`TransportClosed`;
+  :class:`TransportClosed`; ``send_many(frames)`` delivers a batch
+  with **one** coalesced write (one ``sendall`` of N frames — the
+  pipelining write path);
 * ``recv(timeout)`` returns the next frame, ``None`` on timeout
   (a partially received TCP frame stays buffered — timeouts never
   lose sync), or raises :class:`TransportClosed` once the peer is
-  gone *and* every already-delivered frame has been drained;
-* ``close()`` is idempotent and unblocks any pending ``recv``.
+  gone *and* every already-delivered frame has been drained.  A
+  ``timeout`` of 0 polls: buffered frames drain without a syscall.
+  The wait never touches the socket's blocking mode (it is
+  ``select``-based), so a concurrent ``send`` keeps its own
+  semantics — a short receive timeout can never fail an in-flight
+  ``sendall`` on the shared socket;
+* ``close()`` is idempotent and unblocks any pending ``recv``/
+  ``send``; it shuts the socket down first and only releases the fd
+  once no call is inside a socket op, so racing operations surface
+  as :class:`TransportClosed`, never ``ENOTSOCK`` or an fd-reuse
+  corruption.
 
 The module also defines the transport-level **keepalive** frames
 shared by every protocol that rides a connection: a peer that has
@@ -37,15 +57,22 @@ without waiting for TCP's own (minutes-long) timeouts.
 
 from __future__ import annotations
 
-import json
+import select
 import socket
 import struct
 import threading
 import time
 from collections import deque
-from typing import Any, Deque, Dict, Optional, Tuple
+from typing import Any, Deque, Dict, Iterable, Optional, Tuple
 
 from repro.errors import SignalingError
+from repro.service.wire import (
+    CODEC_JSON,
+    WireError,
+    decode_payload,
+    encode_payload,
+    payload_codec,
+)
 
 __all__ = [
     "TransportClosed",
@@ -62,7 +89,7 @@ __all__ = [
     "is_pong",
 ]
 
-#: 4-byte big-endian frame-length prefix (TCP framing).
+#: 4-byte big-endian payload-length prefix (TCP framing).
 _FRAME_HEADER = struct.Struct(">I")
 
 #: Refuse absurd frame lengths instead of allocating them (a stray
@@ -126,6 +153,13 @@ class _Mailbox:
             self._frames.append(frame)
             self._cond.notify_all()
 
+    def put_many(self, frames: Iterable[Frame]) -> None:
+        with self._cond:
+            if self._closed:
+                raise TransportClosed("pipe is closed")
+            self._frames.extend(frames)
+            self._cond.notify_all()
+
     def get(self, timeout: Optional[float]) -> Optional[Frame]:
         deadline = (
             time.monotonic() + timeout if timeout is not None else None
@@ -156,10 +190,20 @@ class PipeConnection:
     def __init__(self, outbox: _Mailbox, inbox: _Mailbox) -> None:
         self._outbox = outbox
         self._inbox = inbox
+        self.codec = CODEC_JSON
 
     def send(self, frame: Frame) -> None:
         """Deliver *frame* to the peer."""
         self._outbox.put(frame)
+
+    def send_many(self, frames: Iterable[Frame]) -> None:
+        """Deliver a batch of frames atomically, in order."""
+        self._outbox.put_many(frames)
+
+    def set_codec(self, codec: str) -> None:
+        """Record the negotiated codec (pipes move dicts directly, so
+        this only mirrors the TCP API for codec-agnostic callers)."""
+        self.codec = codec
 
     def recv(self, timeout: Optional[float] = None) -> Optional[Frame]:
         """Next frame from the peer; ``None`` on timeout."""
@@ -193,24 +237,68 @@ def pipe_pair() -> Tuple[PipeConnection, PipeConnection]:
 class TcpConnection:
     """A connection over a TCP socket with length-prefixed frames."""
 
-    def __init__(self, sock: socket.socket) -> None:
+    def __init__(self, sock: socket.socket,
+                 codec: str = CODEC_JSON) -> None:
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        # The socket stays in plain blocking mode for its whole life:
+        # receive timeouts are select()-based (below), so they can
+        # never leak a short timeout onto a concurrent sendall.
+        sock.settimeout(None)
         self._sock = sock
         self._send_lock = threading.Lock()
         self._recv_lock = threading.Lock()
+        self._close_lock = threading.Lock()
         self._buffer = bytearray()
+        self._offset = 0
         self._closed = False
+        self._fd_closed = False
+        self.codec = codec
+        #: Codec of the most recently received frame (``None`` until
+        #: the first frame arrives) — lets a server answer in kind.
+        self.peer_codec: Optional[str] = None
+
+    # -- sending -------------------------------------------------------
 
     def send(self, frame: Frame) -> None:
         """Serialize and deliver *frame* (whole or not at all)."""
-        blob = json.dumps(frame, separators=(",", ":")).encode("utf-8")
+        payload = encode_payload(frame, self.codec)
+        self._sendall(_FRAME_HEADER.pack(len(payload)) + payload)
+
+    def send_many(self, frames: Iterable[Frame]) -> None:
+        """Deliver a batch of frames with one coalesced ``sendall``.
+
+        This is the pipelining write path: N frames, one syscall, one
+        TCP segment train — the peer's parser slices them back apart.
+        """
+        codec = self.codec
+        pack = _FRAME_HEADER.pack
+        chunks = []
+        for frame in frames:
+            payload = encode_payload(frame, codec)
+            chunks.append(pack(len(payload)))
+            chunks.append(payload)
+        if chunks:
+            self._sendall(b"".join(chunks))
+
+    def _sendall(self, blob: bytes) -> None:
         with self._send_lock:
             if self._closed:
                 raise TransportClosed("connection is closed")
             try:
-                self._sock.sendall(_FRAME_HEADER.pack(len(blob)) + blob)
+                self._sock.sendall(blob)
             except OSError as exc:
                 raise TransportClosed(f"send failed: {exc}") from exc
+
+    def set_codec(self, codec: str) -> None:
+        """Switch the codec used for subsequent sends.
+
+        Call only after the peer advertised support (negotiation is
+        the application protocol's job); receiving needs no switch —
+        payloads are self-describing.
+        """
+        self.codec = codec
+
+    # -- receiving -----------------------------------------------------
 
     def recv(self, timeout: Optional[float] = None) -> Optional[Frame]:
         """Next frame; ``None`` on timeout (partial reads buffered)."""
@@ -229,11 +317,20 @@ class TcpConnection:
                     remaining = deadline - time.monotonic()
                     if remaining <= 0:
                         return None
+                # select()-based wait: the socket's own blocking mode
+                # is never touched, so a concurrent sendall on this
+                # fd keeps blocking semantics regardless of how short
+                # this receive timeout is.
                 try:
-                    self._sock.settimeout(remaining)
-                    chunk = self._sock.recv(65536)
-                except socket.timeout:
+                    ready, _, _ = select.select(
+                        (self._sock,), (), (), remaining
+                    )
+                except (OSError, ValueError) as exc:
+                    raise TransportClosed(f"recv failed: {exc}") from exc
+                if not ready:
                     return None
+                try:
+                    chunk = self._sock.recv(65536)
                 except OSError as exc:
                     raise TransportClosed(f"recv failed: {exc}") from exc
                 if not chunk:
@@ -241,29 +338,80 @@ class TcpConnection:
                 self._buffer.extend(chunk)
 
     def _parse_buffered(self) -> Optional[Frame]:
-        if len(self._buffer) < _FRAME_HEADER.size:
+        """Parse one frame from the receive buffer, or ``None``.
+
+        The buffer is consumed by advancing an offset and the payload
+        is handed to the decoder as a :class:`memoryview` slice — no
+        per-frame byte-stream copy while a burst drains.  The consumed
+        prefix is dropped only once no complete frame remains (one
+        compaction per wakeup, not per frame).
+        """
+        buffer = self._buffer
+        offset = self._offset
+        header_end = offset + _FRAME_HEADER.size
+        if len(buffer) < header_end:
+            self._compact()
             return None
-        (length,) = _FRAME_HEADER.unpack_from(self._buffer, 0)
+        (length,) = _FRAME_HEADER.unpack_from(buffer, offset)
         if length > MAX_FRAME_BYTES:
             raise TransportClosed(
                 f"frame length {length} exceeds {MAX_FRAME_BYTES} "
-                "(peer is not speaking the replication protocol)"
+                "(peer is not speaking the framed protocol)"
             )
-        end = _FRAME_HEADER.size + length
-        if len(self._buffer) < end:
+        end = header_end + length
+        if len(buffer) < end:
+            self._compact()
             return None
-        blob = bytes(self._buffer[_FRAME_HEADER.size:end])
-        del self._buffer[:end]
-        return json.loads(blob.decode("utf-8"))
+        # Consume before decoding: a corrupt payload must not wedge
+        # the stream by being re-parsed forever.
+        self._offset = end
+        view = memoryview(buffer)[header_end:end]
+        try:
+            self.peer_codec = payload_codec(view[0]) if length else None
+            frame = decode_payload(view)
+        except WireError as exc:
+            raise TransportClosed(f"undecodable frame: {exc}") from exc
+        finally:
+            view.release()
+        if end == len(buffer):
+            buffer.clear()
+            self._offset = 0
+        return frame
+
+    def _compact(self) -> None:
+        if self._offset:
+            del self._buffer[:self._offset]
+            self._offset = 0
+
+    # -- closing -------------------------------------------------------
 
     def close(self) -> None:
-        """Close the socket (idempotent; unblocks pending recv)."""
-        self._closed = True
-        try:
-            self._sock.shutdown(socket.SHUT_RDWR)
-        except OSError:
-            pass
-        self._sock.close()
+        """Close the connection (idempotent; unblocks send/recv).
+
+        Ordered teardown: mark closed, shut the socket down (which
+        makes any in-flight blocking ``sendall``/``recv`` return with
+        an error that maps to :class:`TransportClosed`), then release
+        the fd only while briefly holding both operation locks — so
+        no thread can be inside a socket op when the fd number is
+        freed for reuse.
+        """
+        with self._close_lock:
+            if self._closed:
+                first = False
+            else:
+                self._closed = True
+                first = True
+        if first:
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+        with self._send_lock:
+            with self._recv_lock:
+                with self._close_lock:
+                    if not self._fd_closed:
+                        self._fd_closed = True
+                        self._sock.close()
 
 
 class TcpListener:
@@ -298,12 +446,11 @@ class TcpListener:
 
 def connect_tcp(host: str, port: int, *,
                 timeout: float = 5.0) -> TcpConnection:
-    """Dial a primary's :class:`TcpListener` and return the connection."""
+    """Dial a peer's :class:`TcpListener` and return the connection."""
     try:
         sock = socket.create_connection((host, port), timeout=timeout)
     except OSError as exc:
         raise TransportClosed(
-            f"cannot reach primary at {host}:{port}: {exc}"
+            f"cannot reach peer at {host}:{port}: {exc}"
         ) from exc
-    sock.settimeout(None)
     return TcpConnection(sock)

@@ -396,3 +396,191 @@ class TestFeedbackWatcher:
                 assert refreshed == ["g1"]
                 assert lost == []
                 assert reported == [key]
+
+
+class V1OnlyGateway:
+    """A stub of the *previous* release's gateway: speaks only
+    protocol v1 over JSON, rejects anything newer with the
+    ``bad-version`` error reply the old ``validate_request`` produced.
+    Serves just enough of the vocabulary for the downgrade tests."""
+
+    def __init__(self) -> None:
+        self.hellos: List[int] = []
+
+    def connector(self):
+        def connect():
+            client, server = pipe_pair()
+            threading.Thread(
+                target=self._serve, args=(server,), daemon=True,
+            ).start()
+            return client
+        return connect
+
+    def _serve(self, conn) -> None:
+        from repro.edge import protocol
+        from repro.service.transport import is_ping, pong_frame
+        while True:
+            try:
+                frame = conn.recv(timeout=5.0)
+            except TransportClosed:
+                return
+            if frame is None:
+                return
+            if is_ping(frame):
+                conn.send(pong_frame(frame))
+                continue
+            kind = frame.get("type", "")
+            if frame.get("v") != 1:
+                conn.send(protocol.make_reply(
+                    kind, frame.get("idem", ""),
+                    protocol.STATUS_ERROR, reason="protocol",
+                    detail="bad-version: speaking v{1}, frame says 2",
+                    version=1,
+                ))
+                continue
+            if kind == "hello":
+                self.hellos.append(frame.get("v"))
+                assert "codecs" not in frame, (
+                    "a v1 hello must not carry v2 capability fields"
+                )
+                conn.send({
+                    "v": 1, "type": "welcome", "gateway": "old-gw",
+                    "lease_duration": 30.0, "resumed": False,
+                })
+            elif kind == "admit":
+                conn.send(protocol.make_reply(
+                    "admit", frame["idem"], protocol.STATUS_OK,
+                    decision={"admitted": True, "flow_id":
+                              frame["flow_id"], "path_id": "p0",
+                              "rate": 1.0, "delay": 1.0,
+                              "reason": "", "detail": ""},
+                    lease={"duration": 30.0, "expires_at": 30.0,
+                           "macroflow_key": "", "drain_bound": 0.0},
+                    version=1,
+                ))
+            elif kind == "bye":
+                return
+
+
+class TestVersionNegotiation:
+    def test_agent_downgrades_to_a_v1_only_gateway(self):
+        """The fallback path: a v2 agent dialing last release's
+        gateway must land on v1 JSON on the same connection, not
+        error out — newer edges keep working against older brokers."""
+        stub = V1OnlyGateway()
+        with EdgeAgent("edge-new", stub.connector(), seed=3) as agent:
+            reply = agent.admit("f1", SPEC, 2.44, "I1", "E1", now=0.0)
+            assert reply["status"] == "ok"
+            assert agent._proto_version == 1
+            assert agent.negotiated_codec == "json"
+            # One rejected v2 hello, then the v1 retry — no redial.
+            assert stub.hellos == [1]
+            assert agent.reconnects == 0
+
+    def test_v2_gateway_negotiates_binary(self):
+        broker = make_broker()
+        with BrokerService(broker, workers=2, shards=4) as service:
+            gateway = EdgeGateway(service, lease_duration=60.0)
+            with EdgeAgent("edge-1", pipe_connector(gateway),
+                           seed=5,
+                           codecs=("binary", "json")) as agent:
+                assert agent.ping()
+                assert agent._proto_version == 2
+                assert agent.negotiated_codec == "binary"
+
+    def test_json_pinned_agent_stays_on_json(self):
+        broker = make_broker()
+        with BrokerService(broker, workers=2, shards=4) as service:
+            gateway = EdgeGateway(service, lease_duration=60.0)
+            with EdgeAgent("edge-1", pipe_connector(gateway),
+                           seed=5, codecs=("json",)) as agent:
+                assert agent.ping()
+                assert agent._proto_version == 2
+                assert agent.negotiated_codec == "json"
+
+    def test_default_codecs_honours_env_pin(self, monkeypatch):
+        from repro.edge import default_codecs
+        monkeypatch.delenv("REPRO_EDGE_CODEC", raising=False)
+        assert default_codecs() == ("binary", "json")
+        monkeypatch.setenv("REPRO_EDGE_CODEC", "json")
+        assert default_codecs() == ("json",)
+
+
+class TestPipelinedOps:
+    def ops(self, count: int, tag: str = "pl") -> list:
+        from repro.edge import AdmitOp
+        return [
+            AdmitOp(f"{tag}-{index}", SPEC, 2.44, "I1", "E1")
+            for index in range(count)
+        ]
+
+    def test_admit_many_then_teardown_many_is_clean(self):
+        broker = make_broker()
+        baseline = mib_fingerprint(broker)
+        with BrokerService(broker, workers=2, shards=4) as service:
+            gateway = EdgeGateway(service, lease_duration=60.0)
+            with EdgeAgent("edge-1", pipe_connector(gateway),
+                           seed=7) as agent:
+                replies = agent.admit_many(self.ops(20), now=0.0)
+                assert len(replies) == 20
+                assert all(r["status"] == "ok"
+                           for r in replies.values())
+                assert all(r["decision"]["admitted"]
+                           for r in replies.values())
+                assert len(agent.flows) == 20
+                downs = agent.teardown_many(sorted(replies), now=1.0)
+                assert len(downs) == 20
+                assert agent.flows == {}
+        assert mib_fingerprint(broker) == baseline
+        assert broker.stats().active_flows == 0
+
+    def test_duplicating_transport_never_double_admits(self):
+        broker = make_broker()
+        with BrokerService(broker, workers=2, shards=4) as service:
+            gateway = EdgeGateway(service, lease_duration=60.0)
+            rng = __import__("random").Random(13)
+            connector = pipe_connector(
+                gateway,
+                wrap=lambda conn: FaultyConnection(
+                    conn, rng, duplicate=0.4),
+            )
+            with EdgeAgent("edge-1", connector, seed=13) as agent:
+                replies = agent.admit_many(self.ops(16), now=0.0)
+                assert len(replies) == 16
+                assert all(r["decision"]["admitted"]
+                           for r in replies.values())
+        assert broker.stats().active_flows == 16
+        flows = {record.flow_id
+                 for record in broker.flow_mib.records()}
+        assert flows == {f"pl-{index}" for index in range(16)}
+
+    def test_lossy_transport_resends_only_pending(self):
+        broker = make_broker()
+        with BrokerService(broker, workers=2, shards=4) as service:
+            gateway = EdgeGateway(service, lease_duration=60.0)
+            rng = __import__("random").Random(29)
+            connector = pipe_connector(
+                gateway,
+                wrap=lambda conn: FaultyConnection(
+                    conn, rng, drop=0.25),
+            )
+            with EdgeAgent("edge-1", connector, seed=29,
+                           attempt_timeout=0.1) as agent:
+                replies = agent.admit_many(self.ops(16), now=0.0,
+                                           budget=30.0)
+                assert len(replies) == 16
+                assert agent.retries > 0
+        # Drops forced resend rounds, yet nothing double-admitted.
+        assert broker.stats().active_flows == 16
+
+    def test_budget_exhaustion_reports_partial_results(self):
+        def connect():
+            client, server = pipe_pair()
+            return client  # nobody serves: every reply times out
+
+        agent = EdgeAgent("edge-1", connect, seed=1,
+                          attempt_timeout=0.02)
+        with pytest.raises(AgentTimeout) as info:
+            agent.admit_many(self.ops(4), now=0.0, budget=0.2)
+        assert info.value.partial == {}
+        agent.close()

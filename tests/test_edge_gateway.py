@@ -447,3 +447,130 @@ class TestDurability:
         assert macro.total_rate == \
             broker.aggregate.macroflows[key].total_rate
         assert report.applied > 0 and report.skipped == 0
+
+
+class TestCodecNegotiation:
+    def test_v1_hello_gets_a_v1_welcome(self, stack):
+        """An old agent's hello has no capability fields; the welcome
+        must come back in the old shape (no codec talk at all)."""
+        _service, gateway = stack
+        session = RawSession(gateway, hello=False)
+        session.conn.send(protocol.make_hello("edge-old", version=1))
+        welcome = session.recv()
+        assert welcome["type"] == "welcome"
+        assert welcome["v"] == 1
+        for absent in ("versions", "codecs", "codec"):
+            assert absent not in welcome
+        session.close()
+
+    def test_v2_hello_negotiates_the_best_common_codec(self, stack):
+        _service, gateway = stack
+        session = RawSession(gateway, hello=False)
+        session.conn.send(protocol.make_hello(
+            "edge-new", codecs=("binary", "json")))
+        welcome = session.recv()
+        assert welcome["v"] == 2
+        assert welcome["codec"] == "binary"
+        assert welcome["versions"] == [1, 2]
+        session.close()
+
+    def test_json_only_offer_negotiates_json(self, stack):
+        _service, gateway = stack
+        session = RawSession(gateway, hello=False)
+        session.conn.send(protocol.make_hello(
+            "edge-new", codecs=("json",)))
+        assert session.recv()["codec"] == "json"
+        session.close()
+
+    def test_future_version_hello_is_clamped_not_rejected(self, stack):
+        """A v3 agent (some future release) advertising v2 support
+        must get a v2 session, not an error."""
+        _service, gateway = stack
+        session = RawSession(gateway, hello=False)
+        hello = protocol.make_hello("edge-future")
+        hello["v"] = 3
+        hello["versions"] = [1, 2, 3]
+        session.conn.send(hello)
+        welcome = session.recv()
+        assert welcome["type"] == "welcome"
+        assert welcome["v"] == 2
+        session.close()
+
+
+@pytest.mark.network
+class TestMixedFleet:
+    def test_legacy_json_and_binary_agents_share_a_gateway(self):
+        """The deployment story: a fleet upgrades edge by edge, so
+        one gateway terminates v1 JSON sessions and v2 binary
+        sessions at the same time — both exactly-once."""
+        from repro.edge import AdmitOp, EdgeAgent, tcp_connector
+        from repro.service.transport import connect_tcp
+
+        broker = make_broker()
+        with BrokerService(broker, workers=2, shards=4) as service:
+            gateway = EdgeGateway(service, lease_duration=60.0)
+            host, port = gateway.listen()
+            gateway.start()
+            try:
+                # The legacy edge: raw v1 JSON frames over TCP.
+                legacy = connect_tcp(host, port)
+                legacy.send(protocol.make_hello("edge-old",
+                                                version=1))
+                welcome = legacy.recv(timeout=5.0)
+                assert welcome["type"] == "welcome"
+                assert welcome["v"] == 1
+
+                # The upgraded edge: the real client, binary codec.
+                with EdgeAgent("edge-new", tcp_connector(host, port),
+                               seed=1,
+                               codecs=("binary", "json")) as agent:
+                    assert agent.ping()
+                    assert agent.negotiated_codec == "binary"
+                    new_replies = agent.admit_many(
+                        [AdmitOp(f"new-{k}", SPEC, 2.44, "I1", "E1")
+                         for k in range(8)],
+                        now=0.0,
+                    )
+                    assert all(r["decision"]["admitted"]
+                               for r in new_replies.values())
+
+                    old_flows = []
+                    for k in range(8):
+                        frame = protocol.make_admit(
+                            "edge-old", f"old#{k}", f"old-{k}", SPEC,
+                            2.44, "I1", "E1", service_class="",
+                            path_nodes=None, now=0.0, version=1,
+                        )
+                        legacy.send(frame)
+                        while True:
+                            reply = legacy.recv(timeout=5.0)
+                            if reply.get("type") == "reply" and \
+                                    reply.get("idem") == f"old#{k}":
+                                break
+                        assert reply["v"] == 1
+                        assert reply["status"] == "ok", reply
+                        assert reply["decision"]["admitted"]
+                        old_flows.append(f"old-{k}")
+
+                    # 16 distinct flows, no cross-talk, every reply
+                    # went back in its own session's codec.
+                    assert broker.stats().active_flows == 16
+
+                    agent.teardown_many(sorted(new_replies), now=1.0)
+                    for k, flow_id in enumerate(old_flows):
+                        legacy.send(protocol.make_teardown(
+                            "edge-old", f"old-down#{k}", flow_id,
+                            now=1.0, version=1,
+                        ))
+                        while True:
+                            reply = legacy.recv(timeout=5.0)
+                            if reply.get("idem") == f"old-down#{k}":
+                                break
+                        assert reply["status"] == "ok", reply
+                legacy.close()
+                counters = gateway.counters()
+            finally:
+                gateway.stop()
+        assert broker.stats().active_flows == 0
+        assert counters["leases"]["granted"] == 16
+        assert counters["leases"]["released"] == 16

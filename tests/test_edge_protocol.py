@@ -66,9 +66,59 @@ class TestRequestFrames:
                          "refresh", "feedback", "dry-run"]
 
     def test_version_mismatch_rejected(self):
-        frame = protocol.make_hello("a")
+        # A non-hello frame from an unknown version is always bounced.
+        frame = protocol.make_teardown("a", "i", "f")
         frame["v"] = protocol.PROTOCOL_VERSION + 1
         with pytest.raises(ProtocolError, match="bad-version"):
+            protocol.validate_request(frame)
+
+    def test_future_hello_without_overlap_rejected(self):
+        # A future hello is tolerated only when its advertised list
+        # overlaps ours; a peer from another planet still bounces.
+        frame = protocol.make_hello("a")
+        frame["v"] = protocol.PROTOCOL_VERSION + 1
+        frame["versions"] = [protocol.PROTOCOL_VERSION + 1]
+        with pytest.raises(ProtocolError, match="bad-version"):
+            protocol.validate_request(frame)
+        del frame["versions"]
+        with pytest.raises(ProtocolError, match="bad-version"):
+            protocol.validate_request(frame)
+
+    def test_future_hello_with_overlap_is_accepted(self):
+        frame = protocol.make_hello("a")
+        frame["v"] = protocol.PROTOCOL_VERSION + 1
+        frame["versions"] = [1, 2, protocol.PROTOCOL_VERSION + 1]
+        assert protocol.validate_request(frame) == "hello"
+
+    def test_hello_capability_fields_by_version(self):
+        v2 = protocol.make_hello("a")
+        assert v2["v"] == 2
+        assert v2["versions"] == [1, 2]
+        assert v2["codecs"] == ["binary", "json"]
+        v1 = protocol.make_hello("a", version=1)
+        assert v1["v"] == 1
+        for absent in ("versions", "codecs"):
+            assert absent not in v1
+
+    def test_welcome_capability_fields_by_version(self):
+        v2 = protocol.make_welcome("gw", lease_duration=30.0,
+                                   resumed=False, codec="binary")
+        assert v2["codec"] == "binary"
+        assert v2["versions"] == [1, 2]
+        v1 = protocol.make_welcome("gw", lease_duration=30.0,
+                                   resumed=False, version=1)
+        for absent in ("versions", "codecs", "codec"):
+            assert absent not in v1
+
+    def test_v1_frames_still_validate(self):
+        frames = [
+            protocol.make_hello("a", version=1),
+            protocol.make_admit("a", "i1", "f", SPEC, 1.0, "I", "E",
+                                version=1),
+            protocol.make_teardown("a", "i2", "f", version=1),
+        ]
+        for frame in frames:
+            assert frame["v"] == 1
             protocol.validate_request(frame)
 
     def test_unknown_type_rejected(self):

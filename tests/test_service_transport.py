@@ -27,13 +27,20 @@ from repro.service.transport import (
     connect_tcp,
     pipe_pair,
 )
+from repro.service.wire import CODEC_BINARY, encode_binary
 
 _HEADER = struct.Struct(">I")
 
 
 def encode_frame(frame) -> bytes:
-    """The wire form ``TcpConnection.send`` produces."""
+    """The wire form ``TcpConnection.send`` produces (JSON codec)."""
     blob = json.dumps(frame, separators=(",", ":")).encode("utf-8")
+    return _HEADER.pack(len(blob)) + blob
+
+
+def encode_frame_binary(frame) -> bytes:
+    """The wire form under the negotiated binary codec."""
+    blob = encode_binary(frame)
     return _HEADER.pack(len(blob)) + blob
 
 
@@ -43,7 +50,9 @@ def parser_only() -> TcpConnection:
     """
     conn = TcpConnection.__new__(TcpConnection)
     conn._buffer = bytearray()
+    conn._offset = 0
     conn._closed = False
+    conn.peer_codec = None
     return conn
 
 
@@ -140,6 +149,71 @@ class TestParseBuffered:
         assert conn._parse_buffered() is None
 
 
+class TestParseBufferedBinary:
+    """The same adversarial chunking, binary and mixed codecs.
+
+    Payloads are self-describing (first byte names the codec), so a
+    stream may interleave JSON and binary frames arbitrarily — the
+    receiver needs no negotiation state to parse it.
+    """
+
+    def canonical(self, frame):
+        return json.loads(json.dumps(frame))
+
+    def test_every_split_point_of_a_binary_frame(self):
+        frame = {"type": "reply", "re": "admit", "idem": "a#1",
+                 "status": "ok"}
+        wire = encode_frame_binary(frame)
+        want = self.canonical(frame)
+        for cut in range(len(wire) + 1):
+            conn = parser_only()
+            conn._buffer.extend(wire[:cut])
+            early = drain(conn)
+            assert early == ([] if cut < len(wire) else [want])
+            conn._buffer.extend(wire[cut:])
+            assert drain(conn) == ([want] if cut < len(wire) else [])
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_chunking_of_mixed_codecs(self, seed):
+        """JSON and binary frames interleaved on one stream, delivered
+        in random 1..17-byte chunks, parse to the same sequence."""
+        rng = random.Random(seed)
+        sent, wire = [], b""
+        for index in range(25):
+            frame = {"type": "admit", "idem": f"a#{index}",
+                     "blob": "y" * rng.randrange(0, 300),
+                     "value": rng.random(),
+                     "nodes": ["I1", "R2", "E1"][: rng.randrange(4)]}
+            sent.append(self.canonical(frame))
+            encode = rng.choice((encode_frame, encode_frame_binary))
+            wire += encode(frame)
+        conn = parser_only()
+        received = []
+        cursor = 0
+        while cursor < len(wire):
+            step = rng.randrange(1, 18)
+            conn._buffer.extend(wire[cursor:cursor + step])
+            cursor += step
+            received.extend(drain(conn))
+        assert received == sent
+        assert conn._buffer == bytearray()
+
+    def test_peer_codec_tracks_last_frame(self):
+        conn = parser_only()
+        conn._buffer.extend(encode_frame({"a": 1}))
+        conn._buffer.extend(encode_frame_binary({"b": 2}))
+        assert drain(conn) == [{"a": 1}, {"b": 2}]
+        assert conn.peer_codec == CODEC_BINARY
+
+    def test_corrupt_binary_frame_is_a_transport_error(self):
+        """A frame whose payload fails to decode poisons the stream —
+        framing is lost, so the connection must surface closure."""
+        conn = parser_only()
+        conn._buffer.extend(_HEADER.pack(3) + bytes([0xF1, 0, 0]))
+        with pytest.raises(TransportClosed):
+            conn._parse_buffered()
+
+
 class TestPipePair:
     def test_round_trip_and_close_semantics(self):
         a, b = pipe_pair()
@@ -224,4 +298,108 @@ class TestTcpSockets:
         assert client.recv(timeout=5.0) == {"type": "reply",
                                             "status": "ok"}
         client.close()
+        server.close()
+
+    def test_send_many_coalesces_into_the_same_stream(self):
+        client = connect_tcp(self.listener.host, self.listener.port)
+        server = self.listener.accept(timeout=5.0)
+        client.send_many(FRAMES)
+        received = [server.recv(timeout=5.0) for _ in FRAMES]
+        assert received == FRAMES
+        client.close()
+        server.close()
+
+    def test_short_recv_timeouts_never_fail_a_concurrent_send(self):
+        """Regression: ``recv(timeout=...)`` used to settimeout() the
+        shared socket, so a blocking ``sendall`` racing with it could
+        hit a spurious ``socket.timeout`` and report a false
+        TransportClosed.  With a slow reader and the send buffer full,
+        sendall blocks for long stretches — hammer recv() with short
+        timeouts meanwhile and require every byte to land anyway.
+        """
+        client = connect_tcp(self.listener.host, self.listener.port)
+        server = self.listener.accept(timeout=5.0)
+        # Shrink the buffers so a modest frame is enough to block.
+        for conn in (client, server):
+            conn._sock.setsockopt(
+                socket.SOL_SOCKET, socket.SO_SNDBUF, 16 * 1024)
+            conn._sock.setsockopt(
+                socket.SOL_SOCKET, socket.SO_RCVBUF, 16 * 1024)
+        frames = [{"seq": index, "blob": "z" * (512 * 1024)}
+                  for index in range(4)]
+        send_errors = []
+
+        def sender():
+            try:
+                for frame in frames:
+                    client.send(frame)
+            except Exception as exc:
+                send_errors.append(repr(exc))
+
+        thread = threading.Thread(target=sender)
+        thread.start()
+        # The send buffer is full almost immediately (nobody reads).
+        # Spin short-timeout recvs on the SAME connection: with the
+        # settimeout leak these poisoned the in-flight sendall.
+        for _ in range(40):
+            assert client.recv(timeout=0.005) is None
+        received = [server.recv(timeout=10.0) for _ in frames]
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        assert send_errors == []
+        assert received == frames
+        client.close()
+        server.close()
+
+    def test_close_during_concurrent_ops_raises_transport_closed(self):
+        """Ordered close: threads blocked in send/recv while close()
+        runs must observe TransportClosed — never ENOTSOCK/EBADF from
+        a released fd (which could also hit an unrelated reused fd).
+        """
+        for _ in range(5):
+            client = connect_tcp(self.listener.host,
+                                 self.listener.port)
+            server = self.listener.accept(timeout=5.0)
+            client._sock.setsockopt(
+                socket.SOL_SOCKET, socket.SO_SNDBUF, 16 * 1024)
+            unexpected = []
+            stop = threading.Event()
+
+            def hammer(op):
+                while not stop.is_set():
+                    try:
+                        op()
+                    except TransportClosed:
+                        return  # the one acceptable outcome
+                    except Exception as exc:
+                        unexpected.append(repr(exc))
+                        return
+
+            big = {"blob": "q" * (256 * 1024)}
+            threads = [
+                threading.Thread(
+                    target=hammer, args=(lambda: client.send(big),)),
+                threading.Thread(
+                    target=hammer,
+                    args=(lambda: client.recv(timeout=0.01),)),
+            ]
+            for thread in threads:
+                thread.start()
+            client.close()
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=5.0)
+                assert not thread.is_alive()
+            assert unexpected == []
+            server.close()
+
+    def test_close_is_idempotent_and_ops_fail_cleanly_after(self):
+        client = connect_tcp(self.listener.host, self.listener.port)
+        server = self.listener.accept(timeout=5.0)
+        client.close()
+        client.close()
+        with pytest.raises(TransportClosed):
+            client.send({"a": 1})
+        with pytest.raises(TransportClosed):
+            client.recv(timeout=0.1)
         server.close()

@@ -1,0 +1,316 @@
+"""The binary wire codec: differential correctness against JSON.
+
+:mod:`repro.service.wire` promises one invariant above all others:
+``decode_payload(encode_binary(f))`` equals
+``json.loads(json.dumps(f))`` for every JSON-compatible frame — the
+binary codec is a drop-in representation, never a different protocol.
+These tests sweep every frame vocabulary in the repo (edge signaling,
+replication log-shipping, cluster shard RPC) through that property,
+pin the packed-record fast paths to their tags, and exercise the
+rejection paths (truncation, corruption, trailing garbage).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.edge import protocol
+from repro.service import wire
+from repro.service.wire import (
+    CODEC_BINARY,
+    CODEC_JSON,
+    CODECS,
+    WireError,
+    decode_payload,
+    encode_binary,
+    encode_payload,
+    negotiate_codec,
+    payload_codec,
+)
+from repro.workloads.profiles import flow_type
+
+SPEC = flow_type(0).spec
+SPEC_DICT = protocol.encode_spec(SPEC)
+
+
+def canonical(frame):
+    """What the JSON wire would deliver for *frame*."""
+    return json.loads(json.dumps(frame))
+
+
+def edge_frames():
+    """One of every edge-protocol frame shape, v1 and v2."""
+    frames = []
+    for version in protocol.SUPPORTED_VERSIONS:
+        frames += [
+            protocol.make_hello("edge-1", version=version),
+            protocol.make_bye("edge-1", version=version),
+            protocol.make_admit(
+                "edge-1", "edge-1#7", "flow-1", SPEC, 2.44, "I1",
+                "E1", service_class="gold",
+                path_nodes=("I1", "R2", "E1"), now=3.0,
+                budget_ms=120.0, version=version,
+            ),
+            protocol.make_admit(   # minimal admit: no class/path/budget
+                "edge-1", "edge-1#8", "flow-2", SPEC, 1.0, "I1", "E1",
+                now=0.0, version=version,
+            ),
+            protocol.make_teardown("edge-1", "edge-1#9", "flow-1",
+                                   now=4.0, version=version),
+            protocol.make_refresh("edge-1", "edge-1#10",
+                                  ["flow-1", "flow-2"], now=5.0,
+                                  version=version),
+            protocol.make_feedback("edge-1", "edge-1#11", "I1->E1",
+                                   now=6.0, version=version),
+            protocol.make_dry_run("edge-1", "edge-1#12", "flow-3",
+                                  SPEC, 2.0, "I1", "E1",
+                                  version=version),
+            protocol.make_welcome("gw", lease_duration=30.0,
+                                  resumed=False, version=version),
+            protocol.make_reply("admit", "edge-1#7", "ok",
+                                decision={"admitted": True,
+                                          "path_id": "p0",
+                                          "rate": 1.5, "delay": 2.2},
+                                lease={"flow_id": "flow-1",
+                                       "expires_at": 33.0,
+                                       "duration": 30.0},
+                                version=version),
+            protocol.make_reply("teardown", "edge-1#9", "ok",
+                                version=version),
+            protocol.make_reply("refresh", "edge-1#10", "ok",
+                                refreshed=["flow-1"],
+                                unknown=["flow-2"], version=version),
+            protocol.make_reply("admit", "edge-1#13", "try-again",
+                                reason="queue-full", retry_after=0.05,
+                                version=version),
+            protocol.make_reply("hello", "", "error",
+                                detail="bad-version: speaking v{1, 2}",
+                                version=version),
+        ]
+    return frames
+
+
+def other_frames():
+    """Replication + cluster + transport frame shapes."""
+    return [
+        {"kind": "hello", "follower_id": "f1", "last_seq": 17,
+         "codecs": list(CODECS)},
+        {"kind": "welcome", "epoch": 3, "welcome_seq": 17,
+         "codec": CODEC_BINARY},
+        {"kind": "records", "records": [
+            {"seq": 18, "payload": {"type": "admit",
+                                    "flow_id": "f"},
+             "crc": 123456789},
+        ]},
+        {"kind": "ack", "follower_id": "f1", "last_seq": 18},
+        {"op": "prepare", "client_seq": 9, "txid": "tx-1",
+         "holds": [{"flow_id": "f", "links": ["a-b", "b-c"],
+                    "rate": 2.5}]},
+        {"op": "status", "client_seq": 10},
+        {"status": "ok", "client_seq": 10, "map_version": 4,
+         "shard": 2},
+        {"type": "ping", "nonce": 42},
+        {"type": "pong", "nonce": 42},
+    ]
+
+
+def adversarial_frames():
+    """Shapes that must fall back to the tagged generic encoding."""
+    return [
+        {},
+        {"type": "admit"},                       # missing packed keys
+        {"v": 2, "type": "admit", "agent": "a", "idem": "i",
+         "now": 0.0, "flow_id": "f", "spec": SPEC_DICT,
+         "delay_requirement": 1.0, "ingress": "I", "egress": "E",
+         "service_class": "", "path_nodes": None, "budget_ms": None,
+         "extra": True},                          # extra key
+        {"nested": {"deep": [{"er": [1, 2.5, None, False, "x"]}]}},
+        {"long": "x" * 70_000},                   # str32 path
+        {"many": list(range(300))},               # list32 path
+        {("x" * 300): 1},                         # long key, map8
+        {"ints": [0, -1, 127, -128, 128, 2**31 - 1, -2**31,
+                  2**31, 2**63 - 1, -2**63]},
+        {"floats": [0.0, -0.0, 1e308, -1e-308, 3.14159]},
+        {"unicode": "π∞→ ribbon 🎀", "π": "key"},
+        {str(i): i for i in range(300)},          # map32 path
+    ]
+
+
+class TestDifferentialRoundTrip:
+    @pytest.mark.parametrize("frame", edge_frames())
+    def test_edge_frames(self, frame):
+        assert decode_payload(encode_binary(frame)) == canonical(frame)
+
+    @pytest.mark.parametrize("frame", other_frames())
+    def test_service_frames(self, frame):
+        assert decode_payload(encode_binary(frame)) == canonical(frame)
+
+    @pytest.mark.parametrize("frame", adversarial_frames())
+    def test_generic_shapes(self, frame):
+        assert decode_payload(encode_binary(frame)) == canonical(frame)
+
+    def test_memoryview_input(self):
+        frame = edge_frames()[2]
+        view = memoryview(encode_binary(frame))
+        assert decode_payload(view) == canonical(frame)
+
+    def test_random_frames(self):
+        rng = random.Random(7)
+
+        def value(depth):
+            kinds = "int float str bool none sym"
+            if depth < 3:
+                kinds += " list map"
+            kind = rng.choice(kinds.split())
+            if kind == "int":
+                return rng.randint(-2**40, 2**40)
+            if kind == "float":
+                return rng.uniform(-1e6, 1e6)
+            if kind == "str":
+                return "".join(rng.choice("abπ🎀")
+                               for _ in range(rng.randint(0, 40)))
+            if kind == "sym":
+                return rng.choice(wire._SYMBOLS)
+            if kind == "bool":
+                return rng.random() < 0.5
+            if kind == "none":
+                return None
+            if kind == "list":
+                return [value(depth + 1)
+                        for _ in range(rng.randint(0, 6))]
+            return {f"k{i}": value(depth + 1)
+                    for i in range(rng.randint(0, 6))}
+
+        for _ in range(200):
+            frame = {f"k{i}": value(0)
+                     for i in range(rng.randint(0, 8))}
+            assert (decode_payload(encode_binary(frame))
+                    == canonical(frame))
+
+
+class TestPackedRecords:
+    def test_admit_takes_the_packed_path(self):
+        frame = protocol.make_admit(
+            "edge-1", "edge-1#7", "flow-1", SPEC, 2.44, "I1", "E1",
+            service_class="gold", path_nodes=("I1", "R2", "E1"),
+            now=3.0, budget_ms=120.0,
+        )
+        blob = encode_binary(frame)
+        assert blob[0] == 0xF1
+        assert decode_payload(blob) == canonical(frame)
+
+    def test_packed_tags_per_type(self):
+        cases = [
+            (protocol.make_teardown("a", "i", "f", now=1.0), 0xF2),
+            (protocol.make_refresh("a", "i", ["f"], now=1.0), 0xF3),
+            (protocol.make_feedback("a", "i", "mk", now=1.0), 0xF4),
+            (protocol.make_reply("admit", "i", "ok"), 0xF5),
+        ]
+        for frame, tag in cases:
+            assert encode_binary(frame)[0] == tag, frame
+
+    def test_nonconforming_admit_falls_back_to_tagged(self):
+        frame = protocol.make_admit(
+            "edge-1", "i", "f", SPEC, 1.0, "I", "E", now=0.0,
+        )
+        frame["surprise"] = 1
+        blob = encode_binary(frame)
+        assert blob[0] != 0xF1
+        assert decode_payload(blob) == canonical(frame)
+
+    def test_packed_is_much_smaller_than_json(self):
+        frame = protocol.make_admit(
+            "edge-1", "edge-1#7", "flow-1", SPEC, 2.44, "I1", "E1",
+            path_nodes=("I1", "R2", "E1"), now=3.0,
+        )
+        packed = len(encode_binary(frame))
+        as_json = len(json.dumps(frame).encode())
+        assert packed < as_json / 2, (packed, as_json)
+
+    def test_interned_symbols_encode_in_two_bytes(self):
+        out = bytearray()
+        wire._enc_str(out, "flow_id")
+        assert len(out) == 2
+        out2 = bytearray()
+        wire._enc_str(out2, "definitely-not-a-symbol")
+        assert len(out2) > 2
+
+    def test_symbol_table_is_stable_wire_format(self):
+        # Ids are wire format: spot-check a few anchors so a refactor
+        # that reorders the table fails loudly here, not on the wire.
+        assert wire._SYMBOLS.index("v") == 0
+        assert wire._SYMBOLS.index("type") == 1
+        assert len(wire._SYMBOLS) <= 256
+        assert len(set(wire._SYMBOLS)) == len(wire._SYMBOLS)
+
+
+class TestRejection:
+    def test_truncated_payloads_raise_wire_error(self):
+        blob = encode_binary(edge_frames()[2])
+        for cut in range(1, len(blob)):
+            with pytest.raises(WireError):
+                decode_payload(blob[:cut])
+
+    def test_truncated_tagged_payloads_raise_wire_error(self):
+        blob = encode_binary({"nested": {"a": [1, "xy", None]}})
+        assert blob[0] in (0xEC, 0xED)
+        for cut in range(1, len(blob)):
+            with pytest.raises(WireError):
+                decode_payload(blob[:cut])
+
+    def test_trailing_garbage_raises_wire_error(self):
+        for frame in ({"a": 1}, edge_frames()[2]):
+            blob = encode_binary(frame)
+            with pytest.raises(WireError):
+                decode_payload(blob + b"\x00")
+
+    def test_unknown_tag_raises_wire_error(self):
+        with pytest.raises(WireError):
+            decode_payload(bytes([0xFF, 0, 0]))
+
+    def test_bad_json_raises_wire_error(self):
+        with pytest.raises(WireError):
+            decode_payload(b"{not json")
+
+    def test_non_dict_payload_rejected(self):
+        with pytest.raises(WireError):
+            decode_payload(b"[1, 2]")
+        with pytest.raises(WireError):
+            encode_binary(["not", "a", "dict"])
+
+    def test_unencodable_value_raises_wire_error(self):
+        with pytest.raises(WireError):
+            encode_binary({"x": object()})
+        with pytest.raises(WireError):
+            encode_binary({"x": {1: "non-string key"}})
+
+
+class TestNegotiation:
+    def test_prefers_binary_when_both_offer_it(self):
+        assert negotiate_codec(["binary", "json"]) == CODEC_BINARY
+        assert negotiate_codec(["json", "binary"]) == CODEC_BINARY
+
+    def test_json_only_peer_gets_json(self):
+        assert negotiate_codec(["json"]) == CODEC_JSON
+
+    def test_old_or_malformed_peer_gets_json(self):
+        assert negotiate_codec(None) == CODEC_JSON
+        assert negotiate_codec([]) == CODEC_JSON
+        assert negotiate_codec("binary") == CODEC_JSON  # not a list
+        assert negotiate_codec(["zstd", "msgpack"]) == CODEC_JSON
+        assert negotiate_codec({"binary": True}) == CODEC_JSON
+
+    def test_payload_codec_dispatch(self):
+        assert payload_codec(ord("{")) == CODEC_JSON
+        assert payload_codec(0xF1) == CODEC_BINARY
+        assert payload_codec(0xEC) == CODEC_BINARY
+
+    def test_encode_payload_respects_codec(self):
+        frame = {"type": "ping", "nonce": 1}
+        assert encode_payload(frame, CODEC_JSON)[0] == ord("{")
+        assert encode_payload(frame, CODEC_BINARY)[0] != ord("{")
+        assert (decode_payload(encode_payload(frame, CODEC_BINARY))
+                == decode_payload(encode_payload(frame, CODEC_JSON)))
