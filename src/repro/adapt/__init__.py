@@ -1,0 +1,28 @@
+"""Closed-loop adaptive re-dimensioning of macroflow aggregates.
+
+The measurement half lives in :mod:`repro.telemetry`; this package is
+the decision half: an :class:`AdaptiveController` runs a periodic
+collect→compare→act loop over the broker's live macroflows —
+
+* **shrink** over-provisioned aggregates by running the Theorem 2/3
+  sizing in reverse (the join-time ratchet never lowers a rate, so
+  departed demand strands bandwidth), journaled through the WAL like
+  any admission decision and clamped broker-side to the safe floor;
+* **reclaim** leases of flows the edge reports idle, through the
+  gateway's existing reaper;
+* **pre-inflate** aggregates whose EWMA arrival-rate trend crosses a
+  hysteresis band, so the next joins find the bandwidth already
+  reserved.
+
+Every action is bounded so an adaptation can never violate an
+admitted flow's delay guarantee — shrinks re-verify the eq.-(19)
+bound and the delay-hop schedulability before committing.
+"""
+
+from repro.adapt.controller import (
+    AdaptPolicy,
+    AdaptTick,
+    AdaptiveController,
+)
+
+__all__ = ["AdaptPolicy", "AdaptTick", "AdaptiveController"]

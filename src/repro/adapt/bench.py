@@ -1,0 +1,250 @@
+"""The adaptation-on/off differential benchmark (Figure-10 style).
+
+The paper's Figure 10 plots admitted calls against offered load for
+the static schemes; this harness replays that comparison for the
+closed loop.  One pass drives the *whole* new pipeline end to end —
+an :class:`~repro.edge.EdgeAgent` with an attached
+:class:`~repro.telemetry.EdgeSampler` admits a wave of class-based
+flows through an :class:`~repro.edge.EdgeGateway`, heartbeats stream
+``report`` frames into the broker's
+:class:`~repro.telemetry.TelemetryStore`, and (when enabled) an
+:class:`~repro.adapt.AdaptiveController` ticks its
+collect→compare→act loop against the live service.  A second wave of
+per-flow calls then competes for whatever the first wave left on the
+bottleneck path: with adaptation ON the controller has shrunk the
+over-ratcheted aggregate and reclaimed the idle flows' leases, so
+strictly more of the second wave fits — at the same (zero) delay
+violation rate, re-verified against the eq.-(19) oracle after the
+run.
+
+Everything runs in the domain clock over in-process pipes, so a pass
+is deterministic and fast enough for CI.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.adapt.controller import AdaptPolicy, AdaptiveController
+from repro.core.aggregate import ContingencyMethod, ServiceClass
+from repro.core.broker import BandwidthBroker
+from repro.edge import EdgeAgent, EdgeGateway
+from repro.service import BrokerService, provision_parallel_paths
+from repro.service.transport import pipe_pair
+from repro.telemetry import EdgeSampler, TelemetryStore
+from repro.units import mbps
+from repro.vtrs.delay_bounds import macroflow_e2e_delay_bound
+from repro.workloads.profiles import flow_type
+
+__all__ = ["run_adapt_pass", "run_adapt_comparison"]
+
+#: Delay requirement of every call in the bench (the repo's canonical
+#: Table 1 type-0 bound) and the matching service class.
+DELAY_REQUIREMENT = 2.44
+GOLD = ServiceClass("gold", delay_bound=2.44, class_delay=0.24)
+
+
+def _pipe_connector(gateway: EdgeGateway):
+    """A reconnecting in-process dial function (pipe per call)."""
+
+    def connect():
+        client, server = pipe_pair()
+        threading.Thread(
+            target=gateway.serve_connection, args=(server,),
+            daemon=True,
+        ).start()
+        return client
+
+    return connect
+
+
+def _macroflow_violations(broker: BandwidthBroker) -> int:
+    """Live macroflows whose eq.-(19) bound exceeds their class bound.
+
+    The post-run oracle: every committed adaptation must have left
+    every admitted flow's end-to-end delay bound intact, so this is
+    zero for the static run *and* the adaptive run.
+    """
+    violations = 0
+    for macro in broker.aggregate.macroflows.values():
+        if macro.member_count == 0 or macro.aggregate is None:
+            continue
+        bound = macroflow_e2e_delay_bound(
+            macro.aggregate, macro.base_rate,
+            macro.service_class.class_delay,
+            macro.path.profile(), macro.path.max_packet,
+        )
+        if bound > macro.service_class.delay_bound * (1 + 1e-9):
+            violations += 1
+    return violations
+
+
+def run_adapt_pass(
+    *,
+    adapt: bool,
+    load: int,
+    gold_flows: int = 16,
+    idle_fraction: float = 0.5,
+    ticks_up: int = 4,
+    ticks_down: int = 4,
+    peak_utilization: float = 1.0,
+    trickle_utilization: float = 0.05,
+    capacity: float = mbps(3),
+    seed: int = 1,
+) -> Dict[str, Any]:
+    """One full pass at one offered *load*; returns its report dict.
+
+    The telemetry phase is a ramp: the active first-wave flows offer
+    rising traffic for ``ticks_up`` heartbeats (the EWMA trend crosses
+    the hysteresis band and the controller pre-inflates the
+    aggregate), then fall back to a trickle for ``ticks_down``
+    heartbeats (the smoothed demand drops below the utilization
+    trigger and the controller shrinks the pre-grant back to the
+    eq.-(19) floor, journaling the release as contingency).  The
+    silent ``idle_fraction`` never records a byte, ages past the
+    idle threshold, and has its leases reclaimed mid-ramp.
+
+    :param adapt: run the controller's tick alongside each heartbeat.
+    :param load: second-wave calls offered to the bottleneck path.
+    :param gold_flows: first-wave class-based flows forming the
+        aggregate the controller re-dimensions.
+    :param idle_fraction: fraction of the first wave that stays silent
+        (candidates for early lease reclaim).
+    :param ticks_up: heartbeats of rising offered traffic.
+    :param ticks_down: heartbeats of trickle traffic afterwards.
+    :param peak_utilization: top of the ramp, as a fraction of each
+        active flow's declared mean rate.
+    :param trickle_utilization: offered fraction during the fall-off.
+    :param capacity: bottleneck link capacity, b/s.
+    """
+    spec = flow_type(0).spec
+    broker = BandwidthBroker(
+        contingency_method=ContingencyMethod.FEEDBACK
+    )
+    pinned = provision_parallel_paths(broker, paths=1,
+                                      capacity=capacity)
+    broker.register_class(GOLD)
+    nodes = pinned[0]
+    store = TelemetryStore()
+    policy = AdaptPolicy(min_points=2, idle_reclaim_after=2.5,
+                         max_actions=32)
+    with BrokerService(broker, workers=2, shards=2) as service:
+        service.attach_telemetry(store)
+        gateway = EdgeGateway(service, lease_duration=5000.0)
+        agent = EdgeAgent("adapt-bench", _pipe_connector(gateway),
+                          seed=seed)
+        sampler = EdgeSampler()
+        agent.attach_sampler(sampler)
+        controller = AdaptiveController(
+            service, store, policy=policy, gateway=gateway,
+        )
+        try:
+            now = 0.0
+            wave1: List[str] = []
+            for index in range(gold_flows):
+                reply = agent.admit(
+                    f"gold-{index}", spec, DELAY_REQUIREMENT,
+                    nodes[0], nodes[-1], service_class="gold",
+                    path_nodes=nodes, now=now,
+                )
+                if reply["status"] == "ok" and \
+                        reply["decision"]["admitted"]:
+                    wave1.append(f"gold-{index}")
+            active = wave1[
+                : max(1, int(len(wave1) * (1.0 - idle_fraction)))
+            ]
+            # Ramp up: offered traffic climbs to *peak_utilization*;
+            # the EWMA trend crosses the hysteresis band and the
+            # controller pre-inflates ahead of the apparent surge.
+            for step in range(ticks_up):
+                now += 1.0
+                fraction = peak_utilization * (step + 1) / ticks_up
+                for flow_id in active:
+                    sampler.record(flow_id, fraction * spec.rho, now)
+                agent.heartbeat(now)
+                if adapt:
+                    controller.tick(now)
+            # Fall off: the surge never materializes — demand decays
+            # to a trickle, the smoothed rate drops below the
+            # utilization trigger, and the controller shrinks the
+            # pre-granted headroom back to the eq.-(19) floor.  The
+            # silent flows age past the idle threshold here and lose
+            # their leases.
+            for _ in range(ticks_down):
+                now += 1.0
+                for flow_id in active:
+                    sampler.record(
+                        flow_id, trickle_utilization * spec.rho, now,
+                    )
+                agent.heartbeat(now)
+                if adapt:
+                    controller.tick(now)
+            # Let every eq.-(17) contingency window (from shrinks and
+            # reclaim-driven leaves) run out before the second wave —
+            # the released bandwidth is only *link-visible* after the
+            # deferred drop, exactly like a leave's.  No controller
+            # tick after the jump: the edge has been silent for the
+            # whole gap, so every flow would *look* idle.
+            now += 1000.0
+            service.advance(now)
+            wave2_admitted = 0
+            for index in range(load):
+                reply = agent.admit(
+                    f"probe-{index}", spec, DELAY_REQUIREMENT,
+                    nodes[0], nodes[-1], path_nodes=nodes, now=now,
+                )
+                if reply["status"] == "ok" and \
+                        reply["decision"]["admitted"]:
+                    wave2_admitted += 1
+            violations = _macroflow_violations(broker)
+            stats = service.stats()
+            counters = gateway.counters()
+        finally:
+            agent.close()
+            gateway.stop()
+    admitted_total = len(wave1) + wave2_admitted
+    return {
+        "adapt": adapt,
+        "load": load,
+        "wave1_admitted": len(wave1),
+        "wave2_admitted": wave2_admitted,
+        "admitted_total": admitted_total,
+        "violations": violations,
+        "violation_rate": violations / max(1, admitted_total),
+        "adapt_shrinks": stats.adapt_shrinks,
+        "adapt_rate_reclaimed": round(stats.adapt_rate_reclaimed, 1),
+        "adapt_inflates": stats.adapt_inflates,
+        "leases_reclaimed": counters["idle_reclaimed"],
+        "telemetry_reports": stats.telemetry_reports,
+        "telemetry_samples": stats.telemetry_samples,
+        "errors": stats.errors,
+    }
+
+
+def run_adapt_comparison(
+    loads: Sequence[int] = (24, 48, 72),
+    *,
+    seed: int = 1,
+    **knobs: Any,
+) -> List[Dict[str, Any]]:
+    """Adaptation off vs on across *loads*; one row per load.
+
+    Each row pairs the two passes plus the differential the benchmark
+    asserts on: ``gain`` (extra admitted calls with adaptation) and
+    both violation counts (equal — and zero — by the safety
+    invariant).
+    """
+    rows: List[Dict[str, Any]] = []
+    for load in loads:
+        off = run_adapt_pass(adapt=False, load=load, seed=seed,
+                             **knobs)
+        on = run_adapt_pass(adapt=True, load=load, seed=seed,
+                            **knobs)
+        rows.append({
+            "load": load,
+            "off": off,
+            "on": on,
+            "gain": on["admitted_total"] - off["admitted_total"],
+        })
+    return rows

@@ -1,0 +1,261 @@
+"""The adaptive re-dimensioning controller.
+
+Runs the collect→compare→act loop (the adaptive-network-slicing
+monitor pattern): collect the broker's reverse-sizing plans and the
+telemetry store's EWMA estimates, compare them against the policy's
+utilization and hysteresis bands, and act by submitting ``shrink`` /
+``inflate`` operations through the service queue — where they are
+serialized under the all-shard lock, clamped to the safe floor, and
+WAL-journaled like any admission decision.
+
+The compare pass here is deliberately *advisory*: it reads live
+broker state without holding shard locks, so a racing join can make a
+plan stale by the time the resize is served.  That is safe — the
+authoritative clamp (:meth:`AggregateAdmission.shrink` re-running the
+floor math and the delay-hop ledger check) happens inside the service
+worker, under the locks.  The controller can only ever *propose* a
+rate; the broker decides.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.dimensioning import shrink_plans
+from repro.vtrs.delay_bounds import macroflow_e2e_delay_bound
+
+__all__ = ["AdaptPolicy", "AdaptTick", "AdaptiveController"]
+
+
+@dataclass(frozen=True)
+class AdaptPolicy:
+    """Knobs of the collect→compare→act loop.
+
+    :param interval: seconds between ticks when the controller runs
+        its own thread (:meth:`AdaptiveController.start`).
+    :param min_points: telemetry samples a macroflow's series must
+        hold before the controller acts on it — never resize on one
+        noisy reading.
+    :param shrink_utilization: shrink only when the smoothed offered
+        rate is below this fraction of the reserved base rate (the
+        over-provisioning trigger).
+    :param shrink_margin: proposed target is the measured demand times
+        ``1 + shrink_margin`` — headroom kept above the EWMA so normal
+        jitter does not immediately trigger re-inflation.
+    :param min_shrink_fraction: ignore headroom smaller than this
+        fraction of the base rate (not worth a WAL entry).
+    :param idle_reclaim_after: reclaim a flow's lease once the edge
+        has reported it idle this many seconds (0 disables).
+    :param inflate_hysteresis: pre-inflate only when the EWMA trend
+        (fast minus slow) exceeds this fraction of the base rate —
+        the band that keeps shrink/inflate from oscillating.
+    :param inflate_lead: pre-grant ``trend * inflate_lead`` b/s (how
+        many seconds of acceleration to reserve ahead of).
+    :param max_actions: resize operations per tick (budget bound).
+    """
+
+    interval: float = 1.0
+    min_points: int = 3
+    shrink_utilization: float = 0.7
+    shrink_margin: float = 0.25
+    min_shrink_fraction: float = 0.05
+    idle_reclaim_after: float = 0.0
+    inflate_hysteresis: float = 0.10
+    inflate_lead: float = 2.0
+    max_actions: int = 8
+
+
+@dataclass
+class AdaptTick:
+    """What one controller tick did."""
+
+    at: float
+    shrinks: int = 0
+    rate_reclaimed: float = 0.0
+    inflates: int = 0
+    rate_pregranted: float = 0.0
+    leases_reclaimed: int = 0
+    skipped_unsafe: int = 0
+    errors: int = 0
+    details: List[str] = field(default_factory=list)
+
+
+class AdaptiveController:
+    """Drives adaptive re-dimensioning against one broker service.
+
+    :param service: the :class:`~repro.service.BrokerService` whose
+        broker is re-dimensioned (resizes go through its queue).
+    :param store: the :class:`~repro.telemetry.TelemetryStore` the
+        gateway feeds.
+    :param policy: loop knobs (:class:`AdaptPolicy`).
+    :param gateway: optional :class:`~repro.edge.EdgeGateway` — when
+        given and ``idle_reclaim_after`` is set, idle flows' leases
+        are reclaimed early through its reaper.
+
+    Call :meth:`tick` with the domain clock for deterministic driving
+    (tests, benchmarks), or :meth:`start` to run a daemon thread that
+    ticks every ``policy.interval`` wall seconds.
+    """
+
+    def __init__(self, service, store, *,
+                 policy: Optional[AdaptPolicy] = None,
+                 gateway=None) -> None:
+        self.service = service
+        self.store = store
+        self.policy = policy or AdaptPolicy()
+        self.gateway = gateway
+        self.ticks = 0
+        self.last: Optional[AdaptTick] = None
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    # ------------------------------------------------------------------
+    # the loop body
+    # ------------------------------------------------------------------
+
+    def tick(self, now: float) -> AdaptTick:
+        """One collect→compare→act pass at domain time *now*."""
+        policy = self.policy
+        report = AdaptTick(at=now)
+        budget = policy.max_actions
+        aggregate = self.service.broker.aggregate
+
+        # -- shrink over-provisioned macroflows ------------------------
+        plans = shrink_plans(
+            aggregate, min_fraction=policy.min_shrink_fraction,
+        )
+        for plan in plans:
+            if budget <= 0:
+                break
+            series = self.store.series(plan.macroflow_key)
+            if series is None or len(series) < policy.min_points:
+                continue  # never shrink blind
+            demand = series.ewma_rate
+            if demand >= policy.shrink_utilization * plan.base_rate:
+                continue  # well utilized, leave it alone
+            target = max(
+                plan.floor_rate, demand * (1.0 + policy.shrink_margin),
+            )
+            if plan.base_rate - target < \
+                    policy.min_shrink_fraction * plan.base_rate:
+                continue
+            if not self._shrink_is_safe(plan.macroflow_key, target):
+                report.skipped_unsafe += 1
+                continue
+            reply = self.service.shrink(
+                plan.macroflow_key, target, now=now,
+            )
+            if reply.status != "ok":
+                report.errors += 1
+                report.details.append(
+                    f"shrink {plan.macroflow_key}: {reply.detail}"
+                )
+                continue
+            budget -= 1
+            report.shrinks += 1
+            report.rate_reclaimed += max(0.0, plan.base_rate - target)
+
+        # -- pre-inflate on rising trends ------------------------------
+        for key in self.store.macroflow_keys():
+            if budget <= 0:
+                break
+            macro = aggregate.macroflows.get(key)
+            if macro is None or macro.member_count == 0:
+                continue
+            series = self.store.series(key)
+            if series is None or len(series) < policy.min_points:
+                continue
+            trend = series.trend
+            if trend <= policy.inflate_hysteresis * max(
+                macro.base_rate, 1.0,
+            ):
+                continue
+            amount = trend * policy.inflate_lead
+            reply = self.service.inflate(key, amount, now=now)
+            if reply.status != "ok":
+                report.errors += 1
+                report.details.append(f"inflate {key}: {reply.detail}")
+                continue
+            budget -= 1
+            report.inflates += 1
+            report.rate_pregranted += amount
+
+        # -- reclaim idle leases early ---------------------------------
+        if self.gateway is not None and policy.idle_reclaim_after > 0:
+            idle = self.store.idle_flows(policy.idle_reclaim_after, now)
+            if idle:
+                reclaimed = self.gateway.reclaim_idle(
+                    [flow_id for flow_id, _est in idle], now,
+                )
+                report.leases_reclaimed += reclaimed
+
+        self.ticks += 1
+        self.last = report
+        return report
+
+    def _shrink_is_safe(self, macroflow_key: str,
+                        target: float) -> bool:
+        """Pre-commit eq.-(19) re-verification of a proposed shrink.
+
+        The broker re-checks under its locks anyway (the floor clamp
+        plus the delay-hop ledger scan); this advisory check keeps a
+        doomed proposal from ever entering the queue.  ``False`` also
+        covers the macroflow vanishing mid-compare.
+        """
+        macro = self.service.broker.aggregate.macroflows.get(
+            macroflow_key
+        )
+        if macro is None or macro.aggregate is None:
+            return False
+        if target <= 0:
+            return False
+        try:
+            bound = macroflow_e2e_delay_bound(
+                macro.aggregate, target,
+                macro.service_class.class_delay,
+                macro.path.profile(), macro.path.max_packet,
+            )
+        except Exception:
+            return False
+        return bound <= macro.service_class.delay_bound * (1 + 1e-9)
+
+    # ------------------------------------------------------------------
+    # daemon mode
+    # ------------------------------------------------------------------
+
+    def start(self, *, clock=time.monotonic) -> "AdaptiveController":
+        """Tick every ``policy.interval`` wall seconds until stopped.
+
+        *clock* supplies the domain time handed to :meth:`tick` (the
+        default wall clock suits deployments whose domain clock is
+        real time; simulations pass their own).
+        """
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+
+        def run() -> None:
+            while not self._stop.wait(self.policy.interval):
+                try:
+                    self.tick(clock())
+                except Exception:
+                    # The loop must survive a racing shutdown; the
+                    # next tick sees consistent state again.
+                    continue
+
+        self._thread = threading.Thread(
+            target=run, name="adapt-controller", daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the daemon thread (no-op when not running)."""
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join()
+        self._thread = None

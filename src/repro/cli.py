@@ -13,6 +13,11 @@ Commands regenerate the paper's evaluation artifacts from a terminal:
   service runtime (extension, see ``docs/SERVICE.md``); with
   ``--durability`` every decision goes through the write-ahead
   journal so the fsync cost shows up in the grid;
+* ``stats`` — run a short closed loop and dump the live service
+  counters as Prometheus text exposition (extension);
+* ``adapt-bench`` — admitted-calls differential with the adaptive
+  re-dimensioning controller on vs off (extension, see
+  ``docs/TELEMETRY.md``);
 * ``shard-bench`` — closed-loop throughput of the sharded broker
   cluster across shard counts at a fixed workload shape, including
   cross-shard two-phase admissions (extension, see
@@ -252,12 +257,135 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             f"{last['mean_scan_intervals']:.1f} intervals mean, "
             f"{last['scan_early_breaks']} early breaks"
         )
+    if "aggregate_feedback_events" in last:
+        print(
+            "aggregate feedback: "
+            f"{last['aggregate_feedback_events']} Section-4.2.1 "
+            f"contingency events released "
+            f"{last['aggregate_feedback_releases']:.0f} b/s early"
+        )
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(results, handle, indent=2)
         print(f"\nwrote {args.json}")
     errors = sum(result["errors"] for result in results)
     return 0 if errors == 0 else 1
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.core.broker import BandwidthBroker
+    from repro.service import (
+        BrokerService,
+        FlowTemplate,
+        prometheus_exposition,
+        provision_parallel_paths,
+        run_closed_loop,
+    )
+    from repro.workloads.profiles import flow_type
+
+    labels = {}
+    for item in args.label:
+        key, sep, value = item.partition("=")
+        if not key or not sep:
+            print(f"bad --label {item!r} (want key=value)",
+                  file=sys.stderr)
+            return 2
+        labels[key] = value
+    spec = flow_type(0).spec
+    broker = BandwidthBroker()
+    pinned = provision_parallel_paths(broker, paths=args.paths)
+    templates = [
+        FlowTemplate(spec, 2.44, nodes[0], nodes[-1], path_nodes=nodes)
+        for nodes in pinned
+    ]
+    with BrokerService(
+        broker, workers=args.workers, shards=args.shards
+    ) as service:
+        run_closed_loop(
+            service,
+            templates,
+            clients=args.clients,
+            requests_per_client=args.requests,
+        )
+        stats = service.stats()
+    sys.stdout.write(
+        prometheus_exposition(stats, labels=labels or None)
+    )
+    return 0
+
+
+def _cmd_adapt_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.adapt.bench import run_adapt_comparison, run_adapt_pass
+
+    results = []
+    failures = []
+    if args.adapt == "both":
+        comparison = run_adapt_comparison(loads=args.loads)
+        rows = []
+        for row in comparison:
+            off, on = row["off"], row["on"]
+            rows.append([
+                row["load"], off["admitted_total"],
+                on["admitted_total"], f"{row['gain']:+d}",
+                f"{off['violations']}/{on['violations']}",
+                on["adapt_shrinks"], on["adapt_inflates"],
+                on["leases_reclaimed"],
+            ])
+            if row["gain"] < 0:
+                failures.append(
+                    f"load {row['load']}: adaptation admitted fewer "
+                    f"calls ({row['gain']:+d})"
+                )
+            if off["violations"] != on["violations"]:
+                failures.append(
+                    f"load {row['load']}: violation rates differ "
+                    f"({off['violations']} vs {on['violations']})"
+                )
+        print("Admitted calls vs offered load, adaptation off vs on "
+              "(Figure-10 style):")
+        print(render_table(
+            ["load", "off", "on", "gain", "viol off/on",
+             "shrinks", "inflates", "reclaimed"],
+            rows,
+        ))
+        if all(row["gain"] <= 0 for row in comparison):
+            failures.append(
+                "no load showed an admitted-calls gain with "
+                "adaptation on"
+            )
+        results = comparison
+    else:
+        adapt = args.adapt == "on"
+        rows = []
+        for load in args.loads:
+            result = run_adapt_pass(adapt=adapt, load=load)
+            results.append(result)
+            rows.append([
+                load, result["admitted_total"], result["violations"],
+                result["adapt_shrinks"], result["adapt_inflates"],
+                result["leases_reclaimed"],
+            ])
+            if result["violations"]:
+                failures.append(
+                    f"load {load}: {result['violations']} macroflows "
+                    "violate their eq.-(19) bound"
+                )
+        print(f"Admitted calls vs offered load (adaptation "
+              f"{args.adapt}):")
+        print(render_table(
+            ["load", "admitted", "violations", "shrinks", "inflates",
+             "reclaimed"],
+            rows,
+        ))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(results, handle, indent=2)
+        print(f"\nwrote {args.json}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 0 if not failures else 1
 
 
 def _cmd_shard_bench(args: argparse.Namespace) -> int:
@@ -845,6 +973,43 @@ def build_parser() -> argparse.ArgumentParser:
                             "write-ahead log (group-committed fsync) "
                             "so the durability cost shows in the grid")
     serve.set_defaults(func=_cmd_serve_bench)
+    stats = sub.add_parser(
+        "stats",
+        help="run a short closed loop and dump the live service "
+             "counters as Prometheus text exposition (extension)",
+    )
+    stats.add_argument("--workers", type=int, default=2,
+                       help="service worker threads (default 2)")
+    stats.add_argument("--shards", type=int, default=4,
+                       help="link-state shards (default 4)")
+    stats.add_argument("--clients", type=int, default=4,
+                       help="closed-loop client threads (default 4)")
+    stats.add_argument("--requests", type=int, default=25,
+                       help="admit requests per client (default 25)")
+    stats.add_argument("--paths", type=int, default=4,
+                       help="link-disjoint paths in the domain "
+                            "(default 4)")
+    stats.add_argument("--label", action="append", default=[],
+                       metavar="KEY=VALUE",
+                       help="attach a label to every exported metric "
+                            "(repeatable, e.g. --label broker=bb0)")
+    stats.set_defaults(func=_cmd_stats)
+    adapt_bench = sub.add_parser(
+        "adapt-bench",
+        help="closed-loop adaptation on/off admitted-calls "
+             "differential (extension, see docs/TELEMETRY.md)",
+    )
+    adapt_bench.add_argument(
+        "--adapt", choices=("on", "off", "both"), default="both",
+        help="run with the controller on, off, or both and compare "
+             "(default both)")
+    adapt_bench.add_argument(
+        "--loads", type=int, nargs="+", default=[24, 48, 72],
+        help="second-wave offered loads to sweep (default 24 48 72)")
+    adapt_bench.add_argument(
+        "--json", default="",
+        help="also write the per-load reports to this JSON file")
+    adapt_bench.set_defaults(func=_cmd_adapt_bench)
     shard_bench = sub.add_parser(
         "shard-bench",
         help="sharded-cluster throughput grid with cross-shard "

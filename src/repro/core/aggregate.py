@@ -216,6 +216,12 @@ class AggregateAdmission:
         #: ahead of its eq.-(17) expiry).
         self.feedback_events = 0
         self.feedback_releases = 0
+        #: Closed-loop re-dimensioning counters: committed shrinks /
+        #: pre-inflations and the bandwidth they moved (b/s).
+        self.adapt_shrinks = 0
+        self.adapt_inflates = 0
+        self.adapt_rate_reclaimed = 0.0
+        self.adapt_rate_pregranted = 0.0
 
     # ------------------------------------------------------------------
     # class / macroflow management
@@ -464,6 +470,102 @@ class AggregateAdmission:
         self.feedback_releases += released
         self._apply_total_rate(macro)
         return released
+
+    # ------------------------------------------------------------------
+    # closed-loop re-dimensioning (telemetry-driven, Theorems 2/3 reversed)
+    # ------------------------------------------------------------------
+
+    def min_steady_rate(self, macro: Macroflow) -> float:
+        """The smallest base rate that still honors the class bound.
+
+        The Theorem 2/3 sizing run in reverse: for the macroflow's
+        *current* profile, the minimum rate satisfying eq. (19) with no
+        old-rate floor.  Because a shrink only ever lowers the rate,
+        eq. (18)'s ``max(d_core(r), d_core(r'))`` is governed by the
+        *new* (slower) rate — which is exactly the term
+        :func:`min_macroflow_rate` bounds when called without a floor,
+        so this value is safe to shrink to in one step.
+        """
+        if macro.aggregate is None or macro.member_count == 0:
+            return 0.0
+        return min_macroflow_rate(
+            macro.aggregate,
+            macro.service_class.delay_bound,
+            macro.path.profile(),
+            macro.service_class.class_delay,
+        )
+
+    def shrink(
+        self, macroflow_key: str, target_rate: float, *, now: float = 0.0
+    ) -> float:
+        """Lower a macroflow's base rate toward *target_rate*.
+
+        The rate drop is deferred exactly like a member leave (Theorem
+        3): the base rate is lowered immediately but the difference is
+        carried as contingency bandwidth for the eq.-(17) period, so
+        packets paced at the old rate still drain in time.  The target
+        is clamped to :meth:`min_steady_rate` — a shrink can therefore
+        never make an admitted member's delay bound infeasible — and
+        the resized macroflow is re-verified against every delay-based
+        hop's ledger like any admission decision.
+
+        Returns the released bandwidth (0.0 when there was nothing to
+        reclaim).  Raises :class:`StateError` for an unknown macroflow.
+        """
+        self.advance(now)
+        macro = self.macroflows.get(macroflow_key)
+        if macro is None:
+            raise StateError(f"unknown macroflow {macroflow_key!r}")
+        floor = self.min_steady_rate(macro)
+        if math.isinf(floor):
+            return 0.0  # profile churn left no safe target; keep the rate
+        target = max(target_rate, floor)
+        released = macro.base_rate - target
+        if released <= _EPS:
+            return 0.0
+        prior_edge_bound = macro.edge_delay_bound()
+        prior_total = macro.total_rate
+        if not self._delay_hops_accept(macro, prior_total):
+            return 0.0
+        macro.base_rate = target
+        if self.method is not ContingencyMethod.NONE:
+            # Theorem 3: hold the old total through the drain window.
+            self._grant_contingency(
+                macro, released, prior_edge_bound, now,
+                prior_total=prior_total,
+            )
+        self.adapt_shrinks += 1
+        self.adapt_rate_reclaimed += released
+        self._apply_total_rate(macro)
+        return released
+
+    def inflate(
+        self, macroflow_key: str, amount: float, *, now: float = 0.0
+    ) -> float:
+        """Grow a macroflow's base rate by *amount* ahead of demand.
+
+        Pre-provisioning for a rising arrival-rate trend: a larger base
+        rate only tightens the edge and core delay bounds (both are
+        non-increasing in the rate), so the only gates are link
+        capacity and delay-hop schedulability at the higher total.
+        Returns the granted amount, or 0.0 when the path cannot supply
+        it.
+        """
+        self.advance(now)
+        macro = self.macroflows.get(macroflow_key)
+        if macro is None:
+            raise StateError(f"unknown macroflow {macroflow_key!r}")
+        if amount <= _EPS or macro.member_count == 0:
+            return 0.0
+        if not self._path_can_grow(macro, amount):
+            return 0.0
+        if not self._delay_hops_accept(macro, macro.total_rate + amount):
+            return 0.0
+        macro.base_rate += amount
+        self.adapt_inflates += 1
+        self.adapt_rate_pregranted += amount
+        self._apply_total_rate(macro)
+        return amount
 
     # ------------------------------------------------------------------
     # link bookkeeping

@@ -24,14 +24,21 @@ queue depths in the packet simulator by the test suite.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
 
+from repro.core.aggregate import AggregateAdmission
 from repro.core.broker import BandwidthBroker
 from repro.core.mibs import LinkQoSState
 from repro.vtrs.timestamps import SchedulerKind
 
-__all__ = ["LinkBufferBound", "buffer_requirements"]
+__all__ = [
+    "LinkBufferBound",
+    "ShrinkPlan",
+    "buffer_requirements",
+    "shrink_plans",
+]
 
 
 @dataclass(frozen=True)
@@ -52,6 +59,72 @@ def _flow_bound(rate: float, per_hop_delay: float, error_term: float,
                 max_packet: float) -> float:
     """``r (d_hop + Psi) + L`` — one reservation's backlog bound."""
     return rate * (per_hop_delay + error_term) + max_packet
+
+
+@dataclass(frozen=True)
+class ShrinkPlan:
+    """How far one macroflow's base rate can safely come down.
+
+    Produced by :func:`shrink_plans` — the *compare* half of the
+    adaptive controller's collect→compare→act loop.  ``floor_rate`` is
+    the Theorem 2/3 sizing run in reverse for the macroflow's current
+    profile (:meth:`AggregateAdmission.min_steady_rate`), and
+    ``headroom`` is the bandwidth stranded above it by join-time
+    ratcheting (a join never lowers the rate, so the base rate only
+    tracks the historical maximum of the members' requirement).
+    """
+
+    macroflow_key: str
+    base_rate: float
+    floor_rate: float
+    members: int
+
+    @property
+    def headroom(self) -> float:
+        """Reclaimable bandwidth, b/s (0.0 when already at the floor)."""
+        return max(0.0, self.base_rate - self.floor_rate)
+
+    @property
+    def headroom_fraction(self) -> float:
+        """Headroom as a fraction of the current base rate."""
+        if self.base_rate <= 0:
+            return 0.0
+        return self.headroom / self.base_rate
+
+
+def shrink_plans(
+    aggregate: AggregateAdmission,
+    *,
+    min_fraction: float = 0.0,
+) -> List[ShrinkPlan]:
+    """Reverse-size every live macroflow; report the over-provisioned.
+
+    Returns one :class:`ShrinkPlan` per macroflow whose headroom is at
+    least ``min_fraction`` of its base rate, sorted by absolute
+    headroom (largest first) so a budget-limited controller reclaims
+    the most bandwidth per committed resize.  Macroflows whose profile
+    currently has no finite safe rate (transient churn) are skipped.
+    """
+    plans: List[ShrinkPlan] = []
+    for macro in aggregate.macroflows.values():
+        if macro.member_count == 0 or macro.base_rate <= 0:
+            continue
+        floor = aggregate.min_steady_rate(macro)
+        if math.isinf(floor):
+            continue
+        plan = ShrinkPlan(
+            macroflow_key=macro.key,
+            base_rate=macro.base_rate,
+            floor_rate=floor,
+            members=macro.member_count,
+        )
+        if plan.headroom <= 0:
+            continue
+        if plan.headroom_fraction < min_fraction:
+            continue
+        plans.append(plan)
+    plans.sort(key=lambda plan: -plan.headroom)
+    return plans
 
 
 def buffer_requirements(

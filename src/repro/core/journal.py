@@ -73,7 +73,8 @@ class JournalEntry:
     """
 
     seq: int
-    kind: str  # "request" | "terminate" | "advance" | "feedback" | "lease"
+    kind: str  # "request" | "terminate" | "advance" | "feedback"
+               # | "resize" | "lease"
     payload: Dict[str, Any]
     epoch: int = 0
 
@@ -228,6 +229,21 @@ def replay(broker: BandwidthBroker,
                 broker.aggregate.notify_edge_empty(
                     payload["macroflow_key"], payload["now"]
                 )
+            elif entry.kind == "resize":
+                # Adaptive re-dimensioning (shrink clamps to the safe
+                # floor broker-side; inflate is gated by capacity).
+                # Both are deterministic functions of state + inputs,
+                # so replay reproduces the committed rate exactly.
+                if payload["mode"] == "shrink":
+                    broker.aggregate.shrink(
+                        payload["macroflow_key"], payload["rate"],
+                        now=payload["now"],
+                    )
+                else:
+                    broker.aggregate.inflate(
+                        payload["macroflow_key"], payload["rate"],
+                        now=payload["now"],
+                    )
             elif entry.kind == "lease":
                 # Edge-plane soft-state marker (grant/expire/reap of a
                 # flow lease).  Leases live at the gateway, not in the
@@ -242,7 +258,7 @@ def replay(broker: BandwidthBroker,
                         f"unknown journal entry kind {entry.kind!r}"
                     )
         except StateError:
-            if entry.kind not in ("request", "terminate"):
+            if entry.kind not in ("request", "terminate", "resize"):
                 raise
             # The same deterministic failure occurred on the primary;
             # neither run mutated state for this entry.

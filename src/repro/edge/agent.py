@@ -193,6 +193,10 @@ class EdgeAgent:
         self._hb_thread: Optional[threading.Thread] = None
         self._hb_stop = threading.Event()
         self._domain_now = 0.0
+        #: Optional :class:`~repro.telemetry.EdgeSampler` the data
+        #: plane feeds; when attached, admitted flows are tracked and
+        #: the heartbeat drains it into ``report`` frames.
+        self.sampler: Optional[Any] = None
         # Lifetime counters (exposed via :meth:`counters`).
         self.rpcs = 0
         self.retries = 0
@@ -200,6 +204,7 @@ class EdgeAgent:
         self.try_agains = 0
         self.feedbacks_sent = 0
         self.leases_lost = 0
+        self.reports_sent = 0
 
     # ------------------------------------------------------------------
     # connection management
@@ -539,6 +544,8 @@ class EdgeAgent:
             )
             drain = float(lease.get("drain_bound", 0.0))
             key = str(lease.get("macroflow_key", ""))
+            if self.sampler is not None:
+                self.sampler.track(flow_id, key, now)
             if key and drain > 0.0:
                 # The conditioner's buffer is empty by now+drain;
                 # keep the latest due-time if several joins pile
@@ -562,6 +569,8 @@ class EdgeAgent:
         if reply.get("status") != protocol.STATUS_TRY_AGAIN:
             with self._state_lock:
                 self.flows.pop(flow_id, None)
+            if self.sampler is not None:
+                self.sampler.forget(flow_id)
         return reply
 
     def admit_many(
@@ -638,6 +647,9 @@ class EdgeAgent:
                 flow_id = by_idem[idem]
                 self.flows.pop(flow_id, None)
                 results[flow_id] = reply
+        if self.sampler is not None:
+            for flow_id in results:
+                self.sampler.forget(flow_id)
         return results
 
     def refresh(self, *, now: float = 0.0,
@@ -669,6 +681,8 @@ class EdgeAgent:
             for flow_id in unknown:
                 if self.flows.pop(flow_id, None) is not None:
                     self.leases_lost += 1
+                if self.sampler is not None:
+                    self.sampler.forget(flow_id)
             horizon = now + self.lease_duration
             for flow_id in refreshed:
                 state = self.flows.get(flow_id)
@@ -690,6 +704,48 @@ class EdgeAgent:
         )
         if reply.get("status") == protocol.STATUS_OK:
             self.feedbacks_sent += 1
+        return reply
+
+    def attach_sampler(self, sampler) -> "EdgeAgent":
+        """Attach an :class:`~repro.telemetry.EdgeSampler`.
+
+        Admitted flows are tracked in it (and forgotten on teardown
+        or lease loss), and every heartbeat drains it into a
+        ``report`` frame.  The data plane — or a workload driver —
+        feeds it via ``sampler.record``.
+        """
+        self.sampler = sampler
+        return self
+
+    def report(self, now: Optional[float] = None, *,
+               budget: Optional[float] = None
+               ) -> Optional[protocol.Frame]:
+        """Drain the sampler and ship one telemetry ``report`` frame.
+
+        Returns the reply, or ``None`` when no sampler is attached or
+        the interval produced no samples.  Telemetry is advisory: the
+        drained counters are simply gone if the frame is lost, and
+        the next interval reports fresh ones — so unlike admissions
+        there is nothing to re-queue on failure.
+        """
+        if self.sampler is None:
+            return None
+        if now is not None:
+            self.advance_clock(now)
+        now = self.domain_now
+        samples = self.sampler.drain(now)
+        if not samples:
+            return None
+        idem = self.next_idem()
+        reply = self._call(
+            lambda ms: protocol.make_report(
+                self.name, idem, samples, now=now, budget_ms=ms,
+                version=self._proto_version,
+            ),
+            idem, budget=budget,
+        )
+        if reply.get("status") == protocol.STATUS_OK:
+            self.reports_sent += 1
         return reply
 
     def dry_run(
@@ -796,6 +852,11 @@ class EdgeAgent:
         except (AgentTimeout, TransportClosed):
             refreshed, unknown = [], []
         reported = self.poll_feedback(now)
+        if self.sampler is not None:
+            try:
+                self.report(now)
+            except (AgentTimeout, TransportClosed):
+                pass  # advisory; the next tick reports fresh counters
         return refreshed, unknown, reported
 
     def start_heartbeat(self, interval: Optional[float] = None
@@ -849,6 +910,11 @@ class EdgeAgent:
             "try_agains": self.try_agains,
             "feedbacks_sent": self.feedbacks_sent,
             "leases_lost": self.leases_lost,
+            "reports_sent": self.reports_sent,
+            "sampled_flows": (
+                self.sampler.tracked() if self.sampler is not None
+                else 0
+            ),
             "flows": flows,
             "feedback_pending": feedback_pending,
         }

@@ -149,6 +149,8 @@ class EdgeGateway:
         self.duplicates_attached = 0
         self.protocol_errors = 0
         self.reaped = 0
+        self.telemetry_frames = 0
+        self.idle_reclaimed = 0
 
     # ------------------------------------------------------------------
     # lifecycle (TCP mode)
@@ -366,6 +368,8 @@ class EdgeGateway:
             self._execute_refresh(frame, agent, idem)
         elif frame_type == "feedback":
             self._execute_feedback(frame, agent, idem)
+        elif frame_type == "report":
+            self._execute_report(frame, agent, idem)
         elif frame_type == "dry-run":
             self._execute_dry_run(frame, agent, idem)
         else:  # pragma: no cover - validate_request gates the types
@@ -540,6 +544,25 @@ class EdgeGateway:
 
         self.service.submit(request).add_done_callback(finish)
 
+    def _execute_report(self, frame, agent: str, idem: str) -> None:
+        # Telemetry is advisory — it never touches reservation state —
+        # so like refresh it is served in the reader thread, feeding
+        # the service's TelemetryStore when one is attached.  The
+        # reply still rides the idempotency machinery for uniformity;
+        # a duplicate report is harmless either way.
+        self.telemetry_frames += 1
+        samples = frame["samples"]
+        accepted = 0
+        store = self.service.telemetry
+        if store is not None:
+            accepted = store.ingest(
+                agent, samples, float(frame.get("now", 0.0))
+            )
+        self._complete(agent, idem, protocol.make_reply(
+            "report", idem, protocol.STATUS_OK,
+            detail=f"accepted {accepted}/{len(samples)} samples",
+        ))
+
     def _execute_dry_run(self, frame, agent: str, idem: str) -> None:
         # Read-only: run it in the reader thread under the candidate
         # links' shard locks so the probe sees a consistent snapshot
@@ -689,6 +712,50 @@ class EdgeGateway:
                 )
         return reaped
 
+    def reclaim_idle(self, flow_ids, now: Optional[float] = None) -> int:
+        """Tear down flows the telemetry plane reports idle, early.
+
+        Same shape as :meth:`reap`, but driven by the adaptive
+        controller rather than lease expiry: the lease is released
+        first (so a late heartbeat reports ``unknown``), a ``reclaim``
+        lease marker is journaled, then the teardown goes through the
+        service queue.  A shed teardown re-grants the lease expired so
+        the next reap pass retries it.  Returns how many flows were
+        reclaimed.
+        """
+        if now is None:
+            now = self.domain_now
+        else:
+            self._advance_domain_clock(now)
+        reclaimed = 0
+        for flow_id in flow_ids:
+            lease = self.leases.release(flow_id)
+            if lease is None:
+                continue  # already torn down or reaped
+            try:
+                self.service.journal_lease(
+                    "reclaim", flow_id, lease.agent,
+                    duration=lease.duration, now=now,
+                )
+            except StateError:
+                pass
+            reply = self.service.request(
+                flow_id, op="teardown", now=now,
+            )
+            if reply.status == "ok" or "not admitted" in reply.detail:
+                reclaimed += 1
+                self.idle_reclaimed += 1
+                store = self.service.telemetry
+                if store is not None:
+                    store.forget_flow(flow_id)
+            else:
+                self.leases.grant(
+                    flow_id, lease.agent,
+                    now - self.leases.duration,
+                    macroflow_key=lease.macroflow_key,
+                )
+        return reclaimed
+
     def _reap_loop(self) -> None:
         while self._running:
             time.sleep(self.reap_interval)
@@ -713,6 +780,8 @@ class EdgeGateway:
             "duplicates_attached": self.duplicates_attached,
             "protocol_errors": self.protocol_errors,
             "reaped": self.reaped,
+            "telemetry_frames": self.telemetry_frames,
+            "idle_reclaimed": self.idle_reclaimed,
             "inflight": inflight,
             "sessions": sessions,
             "dedup_hits": self.dedup.hits,

@@ -59,12 +59,14 @@ __all__ = [
     "REQUEST_TYPES",
     "encode_spec",
     "decode_spec",
+    "encode_sample",
     "make_hello",
     "make_bye",
     "make_admit",
     "make_teardown",
     "make_refresh",
     "make_feedback",
+    "make_report",
     "make_dry_run",
     "make_welcome",
     "make_reply",
@@ -89,13 +91,13 @@ STATUS_ERROR = "error"
 #: are defined by the transport layer and handled below the protocol).
 REQUEST_TYPES = (
     "hello", "bye", "admit", "teardown", "refresh", "feedback",
-    "dry-run",
+    "report", "dry-run",
 )
 
 #: Request types that must carry an idempotency key (they execute
 #: against broker or lease state; hello/bye are connection-scoped).
 _IDEMPOTENT_TYPES = ("admit", "teardown", "refresh", "feedback",
-                     "dry-run")
+                     "report", "dry-run")
 
 Frame = Dict[str, Any]
 
@@ -240,6 +242,51 @@ def make_feedback(agent: str, idem: str, macroflow_key: str, *,
     return frame
 
 
+def encode_sample(
+    scope: str,
+    key: str,
+    offered_rate: float,
+    backlog: float,
+    idle: float,
+    flows: int,
+) -> Dict[str, Any]:
+    """One utilization sample of a flow or macroflow conditioner.
+
+    ``scope`` is ``"flow"`` (key is a flow id) or ``"macro"`` (key is
+    a macroflow key); ``offered_rate`` is the measured arrival rate in
+    b/s, ``backlog`` the conditioner backlog in bits, ``idle`` the
+    seconds since the scope last saw traffic or a refresh, ``flows``
+    how many of the agent's flows the sample aggregates.
+    """
+    return {
+        "scope": scope,
+        "key": key,
+        "offered_rate": float(offered_rate),
+        "backlog": float(backlog),
+        "idle": float(idle),
+        "flows": int(flows),
+    }
+
+
+def make_report(agent: str, idem: str,
+                samples: Sequence[Dict[str, Any]], *,
+                now: float = 0.0,
+                budget_ms: Optional[float] = None,
+                version: int = PROTOCOL_VERSION) -> Frame:
+    """Telemetry report: utilization samples for the closed loop.
+
+    Each entry of *samples* is an :func:`encode_sample` dict.  Reports
+    feed the broker-side :class:`~repro.telemetry.TelemetryStore`
+    (time series + trend estimates) that the adaptive re-dimensioning
+    controller acts on; they never mutate reservation state, so a
+    duplicated report is harmless — the idempotency key still dedups
+    it to keep the exactly-once accounting uniform.
+    """
+    frame = _request("report", agent, idem, budget_ms, version)
+    frame.update({"samples": list(samples), "now": float(now)})
+    return frame
+
+
 def make_dry_run(
     agent: str,
     idem: str,
@@ -349,6 +396,7 @@ _REQUIRED: Dict[str, Tuple[str, ...]] = {
     "teardown": ("flow_id", "now"),
     "refresh": ("flow_ids", "now"),
     "feedback": ("macroflow_key", "now"),
+    "report": ("samples", "now"),
     "dry-run": ("flow_id", "spec", "delay_requirement", "ingress",
                 "egress"),
 }

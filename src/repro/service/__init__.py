@@ -55,7 +55,11 @@ from repro.service.runtime import (
     ServiceRequest,
 )
 from repro.service.shards import LinkShards
-from repro.service.stats import ServiceStats, StatsRecorder
+from repro.service.stats import (
+    ServiceStats,
+    StatsRecorder,
+    prometheus_exposition,
+)
 from repro.service.transport import (
     PipeConnection,
     TcpConnection,
@@ -81,6 +85,7 @@ __all__ = [
     "LinkShards",
     "ServiceStats",
     "StatsRecorder",
+    "prometheus_exposition",
     "FlowTemplate",
     "LoadReport",
     "provision_parallel_paths",

@@ -109,11 +109,18 @@ class ServiceRequest:
     """One unit of work submitted to the service.
 
     :param flow_id: the flow the operation concerns (empty for
-        ``"advance"``; the **macroflow key** for ``"feedback"``).
-    :param op: ``"admit"``, ``"teardown"``, ``"advance"`` or
+        ``"advance"``; the **macroflow key** for ``"feedback"``,
+        ``"shrink"`` and ``"inflate"``).
+    :param op: ``"admit"``, ``"teardown"``, ``"advance"``,
         ``"feedback"`` (Section 4.2.1 — the macroflow's edge buffer
-        drained, release its contingency bandwidth early).
+        drained, release its contingency bandwidth early),
+        ``"shrink"`` (adaptive re-dimensioning: lower the macroflow's
+        base rate toward ``rate``, Theorem 3 deferral applies) or
+        ``"inflate"`` (pre-grant ``rate`` b/s ahead of a rising
+        arrival trend).
     :param spec: traffic profile (admit only).
+    :param rate: the shrink target rate / inflate amount in b/s
+        (resize ops only).
     :param delay_requirement: ``D_req``; 0 with a service class.
     :param ingress: ingress edge router (admit only).
     :param egress: egress edge router (admit only).
@@ -136,6 +143,7 @@ class ServiceRequest:
     path_nodes: Optional[Tuple[str, ...]] = None
     now: float = 0.0
     timeout: Optional[float] = None
+    rate: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -317,6 +325,8 @@ class BrokerService:
         self._threads: List[threading.Thread] = []
         self._running = False
         self.bus_name: Optional[str] = None
+        #: optional TelemetryStore (see :meth:`attach_telemetry`).
+        self.telemetry = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -437,6 +447,7 @@ class BrokerService:
         now: float = 0.0,
         timeout: Optional[float] = None,
         wait: Optional[float] = None,
+        rate: float = 0.0,
     ) -> ServiceReply:
         """Submit one request and block for its reply (closed loop)."""
         pending = self.submit(ServiceRequest(
@@ -450,6 +461,7 @@ class BrokerService:
             path_nodes=tuple(path_nodes) if path_nodes is not None else None,
             now=now,
             timeout=timeout,
+            rate=rate,
         ))
         return pending.wait(wait)
 
@@ -476,6 +488,43 @@ class BrokerService:
         reply detail carries the number of allocations released."""
         return self.request(macroflow_key, op="feedback", now=now,
                             wait=wait)
+
+    def shrink(self, macroflow_key: str, target_rate: float, *,
+               now: float = 0.0,
+               wait: Optional[float] = None) -> ServiceReply:
+        """Adaptive re-dimensioning: lower a macroflow's base rate
+        toward *target_rate* (clamped broker-side to the Theorem
+        2/3-in-reverse safe floor; the drop is deferred by a
+        contingency period exactly like a member leave).  Serialized
+        and WAL-journaled like every other admission decision; the
+        reply detail carries the bandwidth actually reclaimed."""
+        return self.request(macroflow_key, op="shrink", now=now,
+                            wait=wait, rate=target_rate)
+
+    def inflate(self, macroflow_key: str, amount: float, *,
+                now: float = 0.0,
+                wait: Optional[float] = None) -> ServiceReply:
+        """Adaptive pre-provisioning: grow a macroflow's base rate by
+        *amount* b/s ahead of a rising arrival-rate trend (gated by
+        path capacity and delay-hop schedulability broker-side)."""
+        return self.request(macroflow_key, op="inflate", now=now,
+                            wait=wait, rate=amount)
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+
+    def attach_telemetry(self, store) -> "BrokerService":
+        """Attach a :class:`~repro.telemetry.TelemetryStore`.
+
+        The edge gateway routes accepted ``report`` frames into the
+        attached store; :meth:`stats` then surfaces its counters.  The
+        store is a passive sink — attaching one never changes an
+        admission decision (only the adaptive controller, reading the
+        store, submits resize operations).
+        """
+        self.telemetry = store
+        return self
 
     # ------------------------------------------------------------------
     # signaling endpoint
@@ -575,6 +624,15 @@ class BrokerService:
             scan_tests += path.scan_tests
             scan_intervals += path.scan_intervals
             scan_early_breaks += path.scan_early_breaks
+        # Aggregation-module counters (mutated only under the all-shard
+        # lock; each read is an atomic point-in-time value) and the
+        # telemetry sink's own counters, when a store is attached.
+        aggregate = self.broker.aggregate
+        telemetry_reports = 0
+        telemetry_samples = 0
+        if self.telemetry is not None:
+            telemetry_reports = self.telemetry.reports
+            telemetry_samples = self.telemetry.samples
         # Queue depth mutates only under self._cond, so holding it
         # across the snapshot pins depth and counters to one instant
         # (lock order _cond -> recorder lock, same as submit()).
@@ -602,6 +660,14 @@ class BrokerService:
                 scan_tests=scan_tests,
                 scan_intervals=scan_intervals,
                 scan_early_breaks=scan_early_breaks,
+                aggregate_feedback_events=aggregate.feedback_events,
+                aggregate_feedback_releases=aggregate.feedback_releases,
+                adapt_shrinks=aggregate.adapt_shrinks,
+                adapt_inflates=aggregate.adapt_inflates,
+                adapt_rate_reclaimed=aggregate.adapt_rate_reclaimed,
+                adapt_rate_pregranted=aggregate.adapt_rate_pregranted,
+                telemetry_reports=telemetry_reports,
+                telemetry_samples=telemetry_samples,
             )
 
     # ------------------------------------------------------------------
@@ -672,6 +738,10 @@ class BrokerService:
         if live[0].request.op == "feedback":
             for job in live:
                 self._serve_feedback(job)
+            return
+        if live[0].request.op in ("shrink", "inflate"):
+            for job in live:
+                self._serve_resize(job)
             return
         self._serve_admissions(live)
 
@@ -806,6 +876,41 @@ class BrokerService:
         self._recorder.on_reply("done", self._elapsed(job))
         self._finish(job, OK, None,
                      detail=f"released {released} allocation(s)")
+
+    def _serve_resize(self, job: _Job) -> None:
+        # A resize mutates link reservations along the macroflow's
+        # path and (for a shrink) the global contingency schedule, so
+        # it serializes across all shards like feedback/advance —
+        # and is journaled write-ahead like any admission decision.
+        request = job.request
+        try:
+            with self.shards.locked(self.shards.all_shards()):
+                if self.wal is not None:
+                    self.wal.append("resize", {
+                        "macroflow_key": request.flow_id,
+                        "mode": request.op,
+                        "rate": request.rate,
+                        "now": request.now,
+                    })
+                if request.op == "shrink":
+                    moved = self.broker.aggregate.shrink(
+                        request.flow_id, request.rate, now=request.now
+                    )
+                else:
+                    moved = self.broker.aggregate.inflate(
+                        request.flow_id, request.rate, now=request.now
+                    )
+        except Exception as exc:
+            self._recorder.on_error(self._elapsed(job))
+            self._finish(job, ERROR, None, detail=str(exc))
+            return
+        stall = self._commit_wal()
+        if stall is not None:
+            self._fail_group([job], stall)
+            return
+        self._recorder.on_reply("done", self._elapsed(job))
+        self._finish(job, OK, None,
+                     detail=f"{request.op} moved {moved:.1f} b/s")
 
     def _serve_advance(self, job: _Job) -> None:
         # An advance may release contingency bandwidth on any

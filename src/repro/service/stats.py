@@ -22,7 +22,12 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, Tuple
 
-__all__ = ["ServiceStats", "StatsRecorder", "SAMPLE_WINDOW"]
+__all__ = [
+    "ServiceStats",
+    "StatsRecorder",
+    "SAMPLE_WINDOW",
+    "prometheus_exposition",
+]
 
 #: Size of the service-time reservoir (most recent replies).
 SAMPLE_WINDOW = 4096
@@ -102,6 +107,24 @@ class ServiceStats:
         its buffer drained.
     :param feedback_released: contingency allocations those feedbacks
         released ahead of their eq.-(17) expiry.
+    :param aggregate_feedback_events: broker-side count of feedback
+        signals that actually released at least one allocation
+        (:attr:`AggregateAdmission.feedback_events` — distinct from
+        ``feedbacks``, which counts served operations including
+        no-ops under the bounding method).
+    :param aggregate_feedback_releases: total allocations those events
+        released (:attr:`AggregateAdmission.feedback_releases`).
+    :param adapt_shrinks: committed macroflow shrinks (the adaptive
+        controller's Theorem 2/3-in-reverse re-dimensioning).
+    :param adapt_inflates: committed pre-inflations (EWMA trend above
+        the hysteresis band).
+    :param adapt_rate_reclaimed: bandwidth returned by shrinks, b/s
+        summed over all commits.
+    :param adapt_rate_pregranted: bandwidth pre-granted by inflations,
+        b/s summed over all commits.
+    :param telemetry_reports: edge utilization report frames accepted
+        into the telemetry store (0 when none is attached).
+    :param telemetry_samples: individual samples those reports carried.
     """
 
     workers: int
@@ -139,6 +162,14 @@ class ServiceStats:
     scan_early_breaks: int = 0
     feedbacks: int = 0
     feedback_released: int = 0
+    aggregate_feedback_events: int = 0
+    aggregate_feedback_releases: int = 0
+    adapt_shrinks: int = 0
+    adapt_inflates: int = 0
+    adapt_rate_reclaimed: float = 0.0
+    adapt_rate_pregranted: float = 0.0
+    telemetry_reports: int = 0
+    telemetry_samples: int = 0
 
     @property
     def mean_batch(self) -> float:
@@ -223,7 +254,94 @@ class ServiceStats:
             "scan_early_breaks": self.scan_early_breaks,
             "feedbacks": self.feedbacks,
             "feedback_released": self.feedback_released,
+            "aggregate_feedback_events": self.aggregate_feedback_events,
+            "aggregate_feedback_releases":
+                self.aggregate_feedback_releases,
+            "adapt_shrinks": self.adapt_shrinks,
+            "adapt_inflates": self.adapt_inflates,
+            "adapt_rate_reclaimed": round(self.adapt_rate_reclaimed, 1),
+            "adapt_rate_pregranted": round(self.adapt_rate_pregranted, 1),
+            "telemetry_reports": self.telemetry_reports,
+            "telemetry_samples": self.telemetry_samples,
         }
+
+
+#: Snapshot fields that are point-in-time values, not monotonic
+#: counts — typed ``gauge`` in the exposition; everything else is a
+#: lifetime count and typed ``counter``.
+_PROM_GAUGES = frozenset((
+    "workers", "shards", "queue_capacity", "queue_depth",
+    "p50_ms", "p99_ms", "epoch", "replication_quorum",
+    "mean_batch", "max_batch", "mean_scan_intervals",
+    "wal_mean_group", "wal_max_group",
+))
+
+
+def _prom_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{value}"' for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def prometheus_exposition(stats: ServiceStats, *,
+                          labels: Dict[str, str] = None) -> str:
+    """Render a snapshot in the Prometheus text exposition format.
+
+    One metric per counter under the ``repro_service_`` namespace.
+    Scalar fields carry the caller's *labels* verbatim (e.g.
+    ``{"broker": "bb-0"}``); the per-shard lock counters additionally
+    get a ``shard`` label per element, and per-follower replication
+    lag gets a ``follower`` label — so one scrape of a sharded,
+    replicated service stays a flat sample set.
+    """
+    labels = dict(labels or {})
+    lines = []
+
+    def emit(name: str, value, extra: Dict[str, str] = None) -> None:
+        kind = "gauge" if name in _PROM_GAUGES else "counter"
+        metric = f"repro_service_{name}"
+        lines.append(f"# TYPE {metric} {kind}")
+        merged = dict(labels)
+        if extra:
+            merged.update(extra)
+        if isinstance(value, float):
+            rendered = repr(round(value, 6))
+        else:
+            rendered = str(value)
+        lines.append(f"{metric}{_prom_labels(merged)} {rendered}")
+
+    for key, value in stats.as_dict().items():
+        if key in ("shard_acquisitions", "shard_contention"):
+            kind = "counter"
+            metric = f"repro_service_{key}"
+            lines.append(f"# TYPE {metric} {kind}")
+            for index, count in enumerate(value):
+                merged = dict(labels, shard=str(index))
+                lines.append(
+                    f"{metric}{_prom_labels(merged)} {count}"
+                )
+        elif key == "followers":
+            metric = "repro_service_follower_lag_records"
+            lines.append(f"# TYPE {metric} gauge")
+            for follower in value:
+                merged = dict(labels, follower=follower["name"])
+                lines.append(
+                    f"{metric}{_prom_labels(merged)} "
+                    f"{follower['lag_records']}"
+                )
+        elif key == "replication_mode":
+            # A string is not a sample; expose it the textbook way,
+            # as a constant-1 info metric labeled with the value.
+            metric = "repro_service_replication_mode"
+            lines.append(f"# TYPE {metric} gauge")
+            merged = dict(labels, mode=value or "none")
+            lines.append(f"{metric}{_prom_labels(merged)} 1")
+        else:
+            emit(key, value)
+    return "\n".join(lines) + "\n"
 
 
 class StatsRecorder:
@@ -342,6 +460,14 @@ class StatsRecorder:
         scan_tests: int = 0,
         scan_intervals: int = 0,
         scan_early_breaks: int = 0,
+        aggregate_feedback_events: int = 0,
+        aggregate_feedback_releases: int = 0,
+        adapt_shrinks: int = 0,
+        adapt_inflates: int = 0,
+        adapt_rate_reclaimed: float = 0.0,
+        adapt_rate_pregranted: float = 0.0,
+        telemetry_reports: int = 0,
+        telemetry_samples: int = 0,
     ) -> ServiceStats:
         """A consistent :class:`ServiceStats` at this instant."""
         with self._lock:
@@ -382,4 +508,12 @@ class StatsRecorder:
                 scan_early_breaks=scan_early_breaks,
                 feedbacks=self.feedbacks,
                 feedback_released=self.feedback_released,
+                aggregate_feedback_events=aggregate_feedback_events,
+                aggregate_feedback_releases=aggregate_feedback_releases,
+                adapt_shrinks=adapt_shrinks,
+                adapt_inflates=adapt_inflates,
+                adapt_rate_reclaimed=adapt_rate_reclaimed,
+                adapt_rate_pregranted=adapt_rate_pregranted,
+                telemetry_reports=telemetry_reports,
+                telemetry_samples=telemetry_samples,
             )

@@ -110,6 +110,7 @@ _T_TEARDOWN = 0xF2
 _T_REFRESH = 0xF3
 _T_FEEDBACK = 0xF4
 _T_REPLY = 0xF5
+_T_REPORT = 0xF6
 
 _U8 = struct.Struct(">B")
 _U16 = struct.Struct(">H")
@@ -152,6 +153,9 @@ _SYMBOLS: Tuple[str, ...] = (
     "op", "client_seq", "txid", "prepare", "commit", "abort",
     "release", "reap", "map_version", "links", "holds", "shard",
     "coordinator", "generation",
+    # telemetry reports (closed-loop re-dimensioning)
+    "report", "samples", "scope", "key", "offered_rate", "backlog",
+    "idle", "flows", "flow", "macro", "accepted",
 )
 _SYM_ID: Dict[str, int] = {name: i for i, name in enumerate(_SYMBOLS)}
 assert len(_SYMBOLS) <= 256
@@ -319,6 +323,15 @@ _REFRESH_KEYS = frozenset((
 _FEEDBACK_KEYS = frozenset((
     "v", "type", "agent", "idem", "macroflow_key", "now",
 ))
+_REPORT_KEYS = frozenset((
+    "v", "type", "agent", "idem", "samples", "now",
+))
+_SAMPLE_KEYS = frozenset((
+    "scope", "key", "offered_rate", "backlog", "idle", "flows",
+))
+#: Sample scope byte on the wire (order is wire format, append-only).
+_SAMPLE_SCOPES = ("flow", "macro")
+_SAMPLE_SCOPE_ID = {name: i for i, name in enumerate(_SAMPLE_SCOPES)}
 _REPLY_KEYS = frozenset(("v", "type", "re", "idem", "status"))
 _REPLY_OPTIONAL = ("detail", "reason", "retry_after", "decision",
                    "lease", "refreshed", "unknown")
@@ -336,6 +349,8 @@ _ADMIT_NUMS = struct.Struct(">6d")
 _DECISION_NUMS = struct.Struct(">2d")
 #: lease numerics: duration expires_at drain_bound
 _LEASE_NUMS = struct.Struct(">3d")
+#: sample numerics: offered_rate backlog idle
+_SAMPLE_NUMS = struct.Struct(">3d")
 
 
 class _Unpackable(Exception):
@@ -549,6 +564,81 @@ def _unpack_refresh(buf) -> Dict[str, Any]:
     return frame, offset
 
 
+def _pack_report(frame: Dict[str, Any]) -> Optional[bytearray]:
+    extra = frame.keys() - _REPORT_KEYS
+    if extra and extra != {"budget_ms"}:
+        return None
+    if _REPORT_KEYS - frame.keys():
+        return None
+    samples = frame["samples"]
+    if type(samples) not in (list, tuple) or len(samples) >= _NONE_LEN:
+        return None
+    budget = "budget_ms" in frame
+    out = bytearray((_T_REPORT, 1 if budget else 0))
+    _pack_version(out, frame)
+    _pack_envelope(out, frame, budget)
+    out += _F64.pack(_num(frame["now"]))
+    out += _U16.pack(len(samples))
+    for sample in samples:
+        if type(sample) is not dict or sample.keys() != _SAMPLE_KEYS:
+            raise _Unpackable
+        scope = _SAMPLE_SCOPE_ID.get(sample["scope"])
+        flows = sample["flows"]
+        if scope is None or type(flows) is not int or \
+                not -(1 << 31) <= flows < (1 << 31):
+            raise _Unpackable
+        out += _U8.pack(scope)
+        _pack_str(out, sample["key"])
+        out += _SAMPLE_NUMS.pack(
+            _num(sample["offered_rate"]), _num(sample["backlog"]),
+            _num(sample["idle"]),
+        )
+        out += _I32.pack(flows)
+    return out
+
+
+def _unpack_report(buf) -> Dict[str, Any]:
+    budget = buf[1] != 0
+    version = buf[2]
+    offset = 3
+    agent, offset = _unpack_str(buf, offset)
+    idem, offset = _unpack_str(buf, offset)
+    budget_ms = None
+    if budget:
+        (budget_ms,) = _F64.unpack_from(buf, offset)
+        offset += 8
+    (now,) = _F64.unpack_from(buf, offset)
+    offset += 8
+    (count,) = _U16.unpack_from(buf, offset)
+    offset += 2
+    samples: List[Dict[str, Any]] = []
+    for _ in range(count):
+        scope_id = buf[offset]
+        offset += 1
+        if scope_id >= len(_SAMPLE_SCOPES):
+            raise WireError(
+                f"unknown sample scope 0x{scope_id:02X} in report"
+            )
+        key, offset = _unpack_str(buf, offset)
+        offered_rate, backlog, idle = \
+            _SAMPLE_NUMS.unpack_from(buf, offset)
+        offset += _SAMPLE_NUMS.size
+        (flows,) = _I32.unpack_from(buf, offset)
+        offset += 4
+        samples.append({
+            "scope": _SAMPLE_SCOPES[scope_id], "key": key,
+            "offered_rate": offered_rate, "backlog": backlog,
+            "idle": idle, "flows": flows,
+        })
+    frame = {
+        "v": version, "type": "report", "agent": agent, "idem": idem,
+        "samples": samples, "now": now,
+    }
+    if budget:
+        frame["budget_ms"] = budget_ms
+    return frame, offset
+
+
 def _pack_reply(frame: Dict[str, Any]) -> Optional[bytearray]:
     present = frame.keys() - _REPLY_KEYS
     if _REPLY_KEYS - frame.keys():
@@ -676,6 +766,7 @@ _PACKERS = {
     "refresh": _pack_refresh,
     "feedback": lambda f: _pack_flow_op(
         _T_FEEDBACK, _FEEDBACK_KEYS, "macroflow_key", f),
+    "report": _pack_report,
     "reply": _pack_reply,
 }
 
@@ -685,6 +776,7 @@ _UNPACKERS = {
     _T_REFRESH: _unpack_refresh,
     _T_FEEDBACK: lambda b: _unpack_flow_op(
         b, "feedback", "macroflow_key"),
+    _T_REPORT: _unpack_report,
     _T_REPLY: _unpack_reply,
 }
 

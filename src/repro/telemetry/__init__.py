@@ -1,0 +1,32 @@
+"""Edge telemetry for the closed-loop adaptive broker.
+
+The paper's broker sizes macroflows once, at admission time, with the
+Theorem 2/3 contingency math; the only feedback it ever receives is
+the Section 4.2.1 "edge buffer drained" hint.  This package adds the
+measurement half of a real closed loop while keeping the paper's core
+design rule intact (all state lives at the edge and the broker — core
+routers stay untouched):
+
+* :class:`EdgeSampler` — per-flow utilization metering at the edge
+  agent (offered rate, conditioner backlog, idle time since the flow
+  last saw traffic), aggregated per macroflow and drained into the
+  compact ``report`` frames of :mod:`repro.edge.protocol`;
+* :class:`TelemetryStore` — the broker-side sink: ring-buffered time
+  series and EWMA trend estimates per macroflow, plus an idle-flow
+  index the re-dimensioning controller (:mod:`repro.adapt`) uses to
+  reclaim leases early.
+"""
+
+from repro.telemetry.sampler import EdgeSampler
+from repro.telemetry.store import (
+    MacroflowSeries,
+    SeriesPoint,
+    TelemetryStore,
+)
+
+__all__ = [
+    "EdgeSampler",
+    "MacroflowSeries",
+    "SeriesPoint",
+    "TelemetryStore",
+]

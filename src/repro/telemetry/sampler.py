@@ -1,0 +1,144 @@
+"""Edge-side utilization metering.
+
+An edge agent owns the domain's only per-flow state (the paper's core
+design rule), so it is also the only place per-flow *utilization* can
+be measured.  :class:`EdgeSampler` is the meter: the data plane (or a
+workload driver standing in for one) calls :meth:`EdgeSampler.record`
+with the bits each flow offered, and the agent's heartbeat calls
+:meth:`EdgeSampler.drain` to turn the interval's counters into the
+sample dicts a ``report`` frame carries — per-flow samples first,
+then one aggregated sample per macroflow.
+
+The meter is deliberately dumb: offered rate is bits-since-last-drain
+over the drain interval, backlog is whatever gauge the conditioner
+last reported, idle is wall time since the flow last saw traffic.
+All smoothing (EWMA, trends) happens broker-side in the
+:class:`~repro.telemetry.store.TelemetryStore`, so every consumer of
+the series sees the same estimates.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional
+
+from repro.edge.protocol import encode_sample
+
+__all__ = ["EdgeSampler"]
+
+
+class _FlowMeter:
+    """Interval counters of one tracked flow."""
+
+    __slots__ = ("macroflow_key", "bits", "backlog", "last_active",
+                 "tracked_at")
+
+    def __init__(self, macroflow_key: str, now: float) -> None:
+        self.macroflow_key = macroflow_key
+        self.bits = 0.0          # offered since the last drain
+        self.backlog = 0.0       # conditioner queue gauge, bits
+        self.last_active = now   # last record() with bits > 0
+        self.tracked_at = now
+
+
+class EdgeSampler:
+    """Meters per-flow utilization for an edge agent.
+
+    Thread-safe: the data plane records from its own threads while
+    the heartbeat drains.  Flows are tracked/forgotten in lockstep
+    with the agent's flow table, keyed by flow id with the macroflow
+    key (empty for per-flow service) carried for aggregation.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._flows: Dict[str, _FlowMeter] = {}
+        self._last_drain: Optional[float] = None
+        #: lifetime counters (exposed via ``EdgeAgent.counters``).
+        self.recorded_bits = 0.0
+        self.drains = 0
+
+    def track(self, flow_id: str, macroflow_key: str,
+              now: float) -> None:
+        """Start metering *flow_id* (idempotent; admit-reply hook)."""
+        with self._lock:
+            if flow_id not in self._flows:
+                self._flows[flow_id] = _FlowMeter(macroflow_key, now)
+
+    def forget(self, flow_id: str) -> None:
+        """Stop metering *flow_id* (teardown/reap hook)."""
+        with self._lock:
+            self._flows.pop(flow_id, None)
+
+    def record(self, flow_id: str, bits: float, now: float, *,
+               backlog: Optional[float] = None) -> None:
+        """Offered traffic: *flow_id* presented *bits* more bits.
+
+        ``backlog`` (bits), when given, replaces the flow's backlog
+        gauge — conditioners know their queue depth exactly, so it is
+        a gauge, not a delta.  Unknown flows are ignored (the data
+        plane can race a teardown).
+        """
+        with self._lock:
+            meter = self._flows.get(flow_id)
+            if meter is None:
+                return
+            if bits > 0:
+                meter.bits += bits
+                meter.last_active = now
+                self.recorded_bits += bits
+            if backlog is not None:
+                meter.backlog = float(backlog)
+
+    def tracked(self) -> int:
+        """Number of flows currently metered."""
+        with self._lock:
+            return len(self._flows)
+
+    def drain(self, now: float) -> List[Dict[str, Any]]:
+        """The interval's samples; resets the per-interval counters.
+
+        Returns per-flow samples followed by one aggregate sample per
+        macroflow (per-flow-service flows carry an empty macroflow key
+        and get no aggregate).  Empty when nothing is tracked — the
+        heartbeat then skips the report frame entirely.
+        """
+        with self._lock:
+            if not self._flows:
+                self._last_drain = now
+                return []
+            since = self._last_drain
+            interval = (now - since) if since is not None else 0.0
+            samples: List[Dict[str, Any]] = []
+            macro: Dict[str, List[float]] = {}
+            for flow_id, meter in self._flows.items():
+                if interval > 0:
+                    rate = meter.bits / interval
+                elif meter.bits > 0:
+                    # First drain ever: no interval to divide by, but
+                    # the traffic is real — report it over the flow's
+                    # own tracked lifetime when there is one.
+                    lifetime = now - meter.tracked_at
+                    rate = meter.bits / lifetime if lifetime > 0 else 0.0
+                else:
+                    rate = 0.0
+                idle = max(0.0, now - meter.last_active)
+                samples.append(encode_sample(
+                    "flow", flow_id, rate, meter.backlog, idle, 1,
+                ))
+                if meter.macroflow_key:
+                    agg = macro.setdefault(
+                        meter.macroflow_key, [0.0, 0.0, idle, 0],
+                    )
+                    agg[0] += rate
+                    agg[1] += meter.backlog
+                    agg[2] = min(agg[2], idle)
+                    agg[3] += 1
+                meter.bits = 0.0
+            for key, (rate, backlog, idle, flows) in macro.items():
+                samples.append(encode_sample(
+                    "macro", key, rate, backlog, idle, int(flows),
+                ))
+            self._last_drain = now
+            self.drains += 1
+            return samples

@@ -1,0 +1,213 @@
+"""Broker-side telemetry sink: time series and trend estimates.
+
+One :class:`TelemetryStore` hangs off a broker service; every edge
+``report`` frame the gateway accepts lands here.  Per macroflow the
+store keeps a bounded ring of raw samples (:class:`SeriesPoint`) and
+two exponentially-weighted moving averages of the offered rate — a
+fast and a slow one.  Their difference is the **trend**: fast above
+slow means arrivals are accelerating, which is what the adaptive
+controller's pre-inflation rule triggers on; both far below the
+reserved rate means the macroflow is over-provisioned, the shrink
+trigger.  Per-flow samples feed an idle index used to reclaim leases
+whose flows stopped offering traffic long before their soft state
+would expire.
+
+The store never touches reservation state — it is a passive sink the
+:class:`~repro.adapt.AdaptiveController` reads, so a lost or
+duplicated report can never corrupt admission control.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["SeriesPoint", "MacroflowSeries", "TelemetryStore"]
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One accepted macroflow sample."""
+
+    at: float            # sender's clock at the sample
+    offered_rate: float  # measured arrival rate, b/s
+    backlog: float       # edge conditioner backlog, bits
+    idle: float          # seconds since the macroflow saw traffic
+    flows: int           # member flows the sample aggregates
+
+
+class MacroflowSeries:
+    """Ring-buffered samples + EWMA estimates of one macroflow."""
+
+    def __init__(self, *, window: int = 128, fast_alpha: float = 0.5,
+                 slow_alpha: float = 0.125) -> None:
+        if not 0 < slow_alpha <= fast_alpha <= 1:
+            raise ValueError(
+                "need 0 < slow_alpha <= fast_alpha <= 1, got "
+                f"{slow_alpha}/{fast_alpha}"
+            )
+        self.points: deque = deque(maxlen=window)
+        self._fast_alpha = fast_alpha
+        self._slow_alpha = slow_alpha
+        self.fast_rate: Optional[float] = None
+        self.slow_rate: Optional[float] = None
+
+    def add(self, point: SeriesPoint) -> None:
+        self.points.append(point)
+        if self.fast_rate is None:
+            self.fast_rate = point.offered_rate
+            self.slow_rate = point.offered_rate
+            return
+        self.fast_rate += self._fast_alpha * (
+            point.offered_rate - self.fast_rate
+        )
+        self.slow_rate += self._slow_alpha * (
+            point.offered_rate - self.slow_rate
+        )
+
+    @property
+    def latest(self) -> Optional[SeriesPoint]:
+        return self.points[-1] if self.points else None
+
+    @property
+    def ewma_rate(self) -> float:
+        """The smoothed offered rate (slow EWMA), b/s."""
+        return self.slow_rate if self.slow_rate is not None else 0.0
+
+    @property
+    def trend(self) -> float:
+        """Fast minus slow EWMA, b/s — positive when accelerating."""
+        if self.fast_rate is None or self.slow_rate is None:
+            return 0.0
+        return self.fast_rate - self.slow_rate
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+class _FlowActivity:
+    """Latest per-flow idle report (for early lease reclaim)."""
+
+    __slots__ = ("agent", "idle", "at")
+
+    def __init__(self, agent: str, idle: float, at: float) -> None:
+        self.agent = agent
+        self.idle = idle
+        self.at = at
+
+
+class TelemetryStore:
+    """Thread-safe sink for edge utilization reports.
+
+    :param window: ring size per macroflow series.
+    :param fast_alpha: fast EWMA smoothing factor.
+    :param slow_alpha: slow EWMA smoothing factor.
+    """
+
+    def __init__(self, *, window: int = 128, fast_alpha: float = 0.5,
+                 slow_alpha: float = 0.125) -> None:
+        self._lock = threading.Lock()
+        self._window = window
+        self._fast_alpha = fast_alpha
+        self._slow_alpha = slow_alpha
+        self._series: Dict[str, MacroflowSeries] = {}
+        self._flows: Dict[str, _FlowActivity] = {}
+        #: lifetime counters, surfaced through ``ServiceStats``.
+        self.reports = 0
+        self.samples = 0
+
+    def ingest(self, agent: str, samples: Sequence[Dict[str, Any]],
+               now: float) -> int:
+        """Accept one report frame's samples; returns how many.
+
+        Malformed entries are skipped, not fatal: a report is advisory
+        and the controller must survive a buggy agent.
+        """
+        accepted = 0
+        with self._lock:
+            for sample in samples:
+                try:
+                    scope = sample["scope"]
+                    key = sample["key"]
+                    offered = float(sample["offered_rate"])
+                    backlog = float(sample["backlog"])
+                    idle = float(sample["idle"])
+                    flows = int(sample["flows"])
+                except (KeyError, TypeError, ValueError):
+                    continue
+                if not isinstance(key, str) or not key:
+                    continue
+                if scope == "macro":
+                    series = self._series.get(key)
+                    if series is None:
+                        series = MacroflowSeries(
+                            window=self._window,
+                            fast_alpha=self._fast_alpha,
+                            slow_alpha=self._slow_alpha,
+                        )
+                        self._series[key] = series
+                    series.add(SeriesPoint(
+                        at=now, offered_rate=offered, backlog=backlog,
+                        idle=idle, flows=flows,
+                    ))
+                elif scope == "flow":
+                    self._flows[key] = _FlowActivity(agent, idle, now)
+                else:
+                    continue
+                accepted += 1
+            if accepted:
+                self.reports += 1
+                self.samples += accepted
+        return accepted
+
+    def series(self, macroflow_key: str) -> Optional[MacroflowSeries]:
+        with self._lock:
+            return self._series.get(macroflow_key)
+
+    def macroflow_keys(self) -> List[str]:
+        with self._lock:
+            return list(self._series)
+
+    def forget_flow(self, flow_id: str) -> None:
+        """Drop a flow from the idle index (teardown/reap hook)."""
+        with self._lock:
+            self._flows.pop(flow_id, None)
+
+    def idle_flows(self, min_idle: float,
+                   now: float) -> List[Tuple[str, float]]:
+        """Flows idle for at least *min_idle* seconds, with estimates.
+
+        A flow's current idle time is its last reported idle plus the
+        age of that report — if it had woken since, a fresher report
+        would have reset it.  Sorted most-idle first.
+        """
+        idle: List[Tuple[str, float]] = []
+        with self._lock:
+            for flow_id, activity in self._flows.items():
+                estimate = activity.idle + max(0.0, now - activity.at)
+                if estimate >= min_idle:
+                    idle.append((flow_id, estimate))
+        idle.sort(key=lambda pair: -pair[1])
+        return idle
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-compatible summary (CLI / stats exposition)."""
+        with self._lock:
+            series = {
+                key: {
+                    "points": len(s),
+                    "ewma_rate": round(s.ewma_rate, 3),
+                    "trend": round(s.trend, 3),
+                    "flows": s.latest.flows if s.latest else 0,
+                    "backlog": s.latest.backlog if s.latest else 0.0,
+                }
+                for key, s in self._series.items()
+            }
+            return {
+                "reports": self.reports,
+                "samples": self.samples,
+                "macroflows": series,
+                "tracked_flows": len(self._flows),
+            }

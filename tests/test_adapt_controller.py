@@ -1,0 +1,379 @@
+"""The adaptive re-dimensioning controller and its safety invariant.
+
+Drives :class:`repro.adapt.AdaptiveController` ticks against a live
+:class:`~repro.service.BrokerService`: shrink fires only on a
+sufficiently-sampled, under-utilized macroflow and is clamped to the
+eq.-(19) floor; inflate fires only when the EWMA trend crosses the
+hysteresis band; idle leases are reclaimed through the gateway; the
+``max_actions`` budget bounds a tick.  The central property: **no
+committed resize ever pushes an admitted macroflow's end-to-end delay
+bound past its service class's** — checked against the
+:func:`macroflow_e2e_delay_bound` oracle after every action.  Resize
+operations are WAL-journaled, so recovery replays them bit-identical.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.aggregate import ContingencyMethod, ServiceClass
+from repro.core.broker import BandwidthBroker
+from repro.adapt import AdaptPolicy, AdaptiveController
+from repro.edge import EdgeGateway, protocol
+from repro.service import (
+    BrokerService,
+    FileJournal,
+    prometheus_exposition,
+    provision_parallel_paths,
+    recover_broker,
+)
+from repro.telemetry import TelemetryStore
+from repro.units import mbps
+from repro.vtrs.delay_bounds import macroflow_e2e_delay_bound
+from repro.workloads.profiles import flow_type
+
+SPEC = flow_type(0).spec
+GOLD = ServiceClass("gold", delay_bound=2.44, class_delay=0.24)
+
+
+def make_broker(capacity=mbps(3)):
+    broker = BandwidthBroker(
+        contingency_method=ContingencyMethod.FEEDBACK
+    )
+    nodes = provision_parallel_paths(broker, paths=1,
+                                     capacity=capacity)[0]
+    broker.register_class(GOLD)
+    return broker, nodes
+
+
+def admit_gold(service, nodes, count, *, now=0.0):
+    for index in range(count):
+        reply = service.request(
+            f"gold-{index}", SPEC, 2.44, nodes[0], nodes[-1],
+            service_class="gold", path_nodes=list(nodes), now=now,
+        )
+        assert reply.status == "ok" and reply.decision.admitted
+    return next(iter(service.broker.aggregate.macroflows))
+
+
+def macro_sample(key, rate, flows=4):
+    return protocol.encode_sample("macro", key, rate, 0.0, 0.0,
+                                  flows)
+
+
+def feed(store, key, rates, *, start=0.0):
+    for step, rate in enumerate(rates):
+        store.ingest("edge-1", [macro_sample(key, rate)],
+                     now=start + step)
+
+
+def assert_bound_holds(macro):
+    """The safety oracle: the live base rate still meets eq. (19)."""
+    bound = macroflow_e2e_delay_bound(
+        macro.aggregate, macro.base_rate,
+        macro.service_class.class_delay,
+        macro.path.profile(), macro.path.max_packet,
+    )
+    assert bound <= macro.service_class.delay_bound * (1 + 1e-9)
+
+
+@pytest.fixture
+def stack():
+    broker, nodes = make_broker()
+    with BrokerService(broker, workers=2, shards=2) as service:
+        store = TelemetryStore()
+        service.attach_telemetry(store)
+        yield service, store, nodes
+
+
+class TestShrink:
+    def inflate_headroom(self, service, store, nodes, *,
+                         amount=300_000.0):
+        """Admit a wave, then pre-grant headroom to shrink back.
+
+        The clock is advanced past the joins' own eq.-(17)
+        contingency windows first, so the only contingency a later
+        shrink leaves behind is its own.
+        """
+        key = admit_gold(service, nodes, 4)
+        service.advance(500.0)
+        reply = service.inflate(key, amount, now=500.0)
+        assert reply.status == "ok"
+        return key, service.broker.aggregate.macroflows[key]
+
+    def test_shrinks_underutilized_macroflow_to_floor(self, stack):
+        service, store, nodes = stack
+        key, macro = self.inflate_headroom(service, store, nodes)
+        inflated = macro.base_rate
+        feed(store, key, [0.05 * inflated] * 3, start=501.0)
+        controller = AdaptiveController(service, store)
+        tick = controller.tick(504.0)
+        assert tick.shrinks == 1
+        assert tick.errors == 0
+        assert macro.base_rate < inflated
+        # The drop is deferred Theorem-3 style: the released rate is
+        # carried as contingency, so the link total is unchanged
+        # until the eq.-(17) window expires.
+        assert macro.contingency_rate > 0
+        assert macro.total_rate == pytest.approx(inflated)
+        assert service.stats().adapt_shrinks == 1
+        assert service.stats().adapt_rate_reclaimed > 0
+        assert_bound_holds(macro)
+
+    def test_never_shrinks_below_min_points(self, stack):
+        service, store, nodes = stack
+        key, macro = self.inflate_headroom(service, store, nodes)
+        inflated = macro.base_rate
+        feed(store, key, [0.0])  # one lone sample
+        tick = AdaptiveController(service, store).tick(1.0)
+        assert tick.shrinks == 0
+        assert macro.base_rate == inflated
+
+    def test_never_shrinks_a_well_utilized_macroflow(self, stack):
+        service, store, nodes = stack
+        key, macro = self.inflate_headroom(service, store, nodes)
+        inflated = macro.base_rate
+        feed(store, key, [0.9 * inflated] * 4)
+        tick = AdaptiveController(service, store).tick(4.0)
+        assert tick.shrinks == 0
+        assert macro.base_rate == inflated
+
+    def test_keeps_margin_above_measured_demand(self, stack):
+        service, store, nodes = stack
+        key, macro = self.inflate_headroom(service, store, nodes,
+                                           amount=600_000.0)
+        demand = 0.5 * macro.base_rate
+        feed(store, key, [demand] * 6)
+        policy = AdaptPolicy(shrink_utilization=0.9)
+        tick = AdaptiveController(service, store,
+                                  policy=policy).tick(6.0)
+        assert tick.shrinks == 1
+        smoothed = store.series(key).ewma_rate
+        assert macro.base_rate >= smoothed * 1.25  # shrink_margin
+        assert_bound_holds(macro)
+
+    def test_shrink_is_floor_clamped_never_unsafe(self, stack):
+        """Zero demand proposes the deepest cut the policy allows;
+        the committed rate must still satisfy the delay oracle."""
+        service, store, nodes = stack
+        key, macro = self.inflate_headroom(service, store, nodes)
+        feed(store, key, [0.0] * 4)
+        tick = AdaptiveController(service, store).tick(4.0)
+        assert tick.shrinks == 1
+        floor = service.broker.aggregate.min_steady_rate(macro)
+        assert macro.base_rate >= floor - 1e-6
+        assert_bound_holds(macro)
+
+
+class TestInflate:
+    def test_pre_inflates_on_rising_trend(self, stack):
+        service, store, nodes = stack
+        key = admit_gold(service, nodes, 4)
+        macro = service.broker.aggregate.macroflows[key]
+        before = macro.base_rate
+        feed(store, key, [0.0, 0.3 * before, 0.6 * before, before])
+        tick = AdaptiveController(service, store).tick(4.0)
+        assert tick.inflates == 1
+        assert tick.rate_pregranted > 0
+        assert macro.base_rate > before
+        assert service.stats().adapt_inflates == 1
+        assert_bound_holds(macro)
+
+    def test_flat_series_stays_inside_hysteresis(self, stack):
+        service, store, nodes = stack
+        key = admit_gold(service, nodes, 4)
+        macro = service.broker.aggregate.macroflows[key]
+        before = macro.base_rate
+        feed(store, key, [0.5 * before] * 5)
+        tick = AdaptiveController(service, store).tick(5.0)
+        assert tick.inflates == 0
+        assert macro.base_rate == before
+
+    def test_stale_series_for_dead_macroflow_is_skipped(self, stack):
+        service, store, nodes = stack
+        feed(store, "gold@nowhere", [100.0, 5000.0, 50000.0])
+        tick = AdaptiveController(service, store).tick(3.0)
+        assert tick.inflates == 0
+        assert tick.errors == 0
+
+
+class TestBudgetAndSafety:
+    def test_max_actions_budget_bounds_a_tick(self, stack):
+        service, store, nodes = stack
+        key = admit_gold(service, nodes, 4)
+        service.inflate(key, 300_000.0, now=0.0)
+        feed(store, key, [0.0] * 4)
+        policy = AdaptPolicy(max_actions=0)
+        tick = AdaptiveController(service, store,
+                                  policy=policy).tick(4.0)
+        assert tick.shrinks == 0 and tick.inflates == 0
+
+    def test_every_committed_resize_keeps_the_oracle(self, stack):
+        """Property sweep: alternate surge/slump telemetry for many
+        ticks; after every tick each live macroflow still meets its
+        class delay bound at the committed base rate."""
+        service, store, nodes = stack
+        key = admit_gold(service, nodes, 8)
+        macro = service.broker.aggregate.macroflows[key]
+        controller = AdaptiveController(service, store)
+        now = 0.0
+        base = macro.base_rate
+        for cycle in range(6):
+            surge = [0.2 * base, 0.6 * base, 1.4 * base]
+            slump = [0.3 * base, 0.1 * base, 0.0]
+            for rate in surge + slump:
+                now += 1.0
+                store.ingest("edge-1", [macro_sample(key, rate)],
+                             now=now)
+                controller.tick(now)
+                assert_bound_holds(macro)
+            now += 1000.0  # expire shrink contingency windows
+            service.advance(now)
+        stats = service.stats()
+        assert stats.adapt_shrinks + stats.adapt_inflates > 0
+        assert stats.errors == 0
+
+
+class TestIdleReclaim:
+    def test_idle_flows_are_reclaimed_through_gateway(self, stack):
+        service, store, nodes = stack
+        key = admit_gold(service, nodes, 2)
+        gateway = EdgeGateway(service, lease_duration=1000.0)
+        try:
+            for flow_id in ("gold-0", "gold-1"):
+                gateway.leases.grant(flow_id, "edge-1", 0.0,
+                                     macroflow_key=key)
+            store.ingest("edge-1", [
+                protocol.encode_sample("flow", "gold-0", 0.0, 0.0,
+                                       8.0, 1),
+                protocol.encode_sample("flow", "gold-1", 100.0, 0.0,
+                                       0.0, 1),
+            ], now=10.0)
+            policy = AdaptPolicy(idle_reclaim_after=5.0)
+            controller = AdaptiveController(
+                service, store, policy=policy, gateway=gateway,
+            )
+            tick = controller.tick(10.0)
+            assert tick.leases_reclaimed == 1
+            assert gateway.leases.get("gold-0") is None
+            assert gateway.leases.get("gold-1") is not None
+            assert "gold-0" not in service.broker.flow_mib
+            assert gateway.counters()["idle_reclaimed"] == 1
+            # Reclaimed flows leave the idle index: the next tick
+            # must not tear the same flow down twice.
+            remaining = [f for f, _ in store.idle_flows(0.0,
+                                                        now=10.0)]
+            assert remaining == ["gold-1"]
+        finally:
+            gateway.stop()
+
+    def test_reclaim_disabled_without_gateway(self, stack):
+        service, store, nodes = stack
+        admit_gold(service, nodes, 1)
+        store.ingest("edge-1", [
+            protocol.encode_sample("flow", "gold-0", 0.0, 0.0, 99.0,
+                                   1),
+        ], now=0.0)
+        policy = AdaptPolicy(idle_reclaim_after=5.0)
+        tick = AdaptiveController(service, store,
+                                  policy=policy).tick(100.0)
+        assert tick.leases_reclaimed == 0
+        assert "gold-0" in service.broker.flow_mib
+
+
+class TestDurability:
+    def test_resize_ops_replay_from_the_wal(self, tmp_path):
+        broker, nodes = make_broker()
+        wal = FileJournal(tmp_path)
+        with BrokerService(broker, workers=1, shards=2,
+                           wal=wal) as service:
+            store = TelemetryStore()
+            service.attach_telemetry(store)
+            key = admit_gold(service, nodes, 4)
+            assert service.inflate(key, 250_000.0,
+                                   now=1.0).status == "ok"
+            feed(store, key, [0.0] * 3, start=2.0)
+            tick = AdaptiveController(service, store).tick(5.0)
+            assert tick.shrinks == 1
+            live = broker.aggregate.macroflows[key]
+            base, contingency = live.base_rate, live.contingency_rate
+        wal.close()
+        report = recover_broker(
+            tmp_path, broker_factory=lambda: make_broker()[0],
+        )
+        assert report.skipped == 0
+        recovered = report.broker.aggregate.macroflows[key]
+        assert recovered.base_rate == base
+        assert recovered.contingency_rate == contingency
+
+    def test_lease_reclaim_markers_are_journal_noise(self, tmp_path):
+        """``reclaim`` lease markers are observability records; replay
+        must skip them without touching reservation state."""
+        broker, nodes = make_broker()
+        wal = FileJournal(tmp_path)
+        with BrokerService(broker, workers=1, shards=2,
+                           wal=wal) as service:
+            store = TelemetryStore()
+            service.attach_telemetry(store)
+            key = admit_gold(service, nodes, 2)
+            gateway = EdgeGateway(service, lease_duration=100.0)
+            gateway.leases.grant("gold-0", "edge-1", 0.0,
+                                 macroflow_key=key)
+            assert gateway.reclaim_idle(["gold-0"], now=1.0) == 1
+            gateway.stop()
+        wal.close()
+        report = recover_broker(
+            tmp_path, broker_factory=lambda: make_broker()[0],
+        )
+        assert "gold-0" not in report.broker.flow_mib
+        assert "gold-1" in report.broker.flow_mib
+
+
+class TestDaemonMode:
+    def test_start_ticks_and_stop_joins(self, stack):
+        service, store, nodes = stack
+        policy = AdaptPolicy(interval=0.005)
+        controller = AdaptiveController(service, store,
+                                        policy=policy)
+        controller.start(clock=lambda: 1.0)
+        deadline = time.monotonic() + 5.0
+        while controller.ticks == 0 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        controller.stop()
+        assert controller.ticks > 0
+        assert controller.last is not None
+        controller.stop()  # idempotent
+
+
+class TestPrometheusExposition:
+    def test_adapt_counters_are_exported(self, stack):
+        service, store, nodes = stack
+        key = admit_gold(service, nodes, 4)
+        service.inflate(key, 300_000.0, now=0.0)
+        feed(store, key, [0.0] * 3)
+        AdaptiveController(service, store).tick(3.0)
+        text = prometheus_exposition(service.stats(),
+                                     labels={"broker": "bb0"})
+        assert '# TYPE repro_service_adapt_shrinks counter' in text
+        assert 'repro_service_adapt_shrinks{broker="bb0"} 1' in text
+        assert 'repro_service_telemetry_samples{broker="bb0"} 3' \
+            in text
+        assert 'repro_service_adapt_rate_reclaimed{broker="bb0"}' \
+            in text
+
+    def test_shard_counters_get_a_shard_label(self, stack):
+        service, store, nodes = stack
+        admit_gold(service, nodes, 1)
+        text = prometheus_exposition(service.stats())
+        assert 'repro_service_shard_acquisitions{shard="0"}' in text
+        assert 'repro_service_shard_acquisitions{shard="1"}' in text
+        assert text.endswith("\n")
+
+    def test_caller_labels_merge_with_shard_labels(self, stack):
+        service, store, nodes = stack
+        text = prometheus_exposition(service.stats(),
+                                     labels={"broker": "bb0"})
+        assert 'shard="0"' in text
+        assert text.count('broker="bb0"') > 10

@@ -1,0 +1,229 @@
+"""DedupWindow LRU eviction racing in-flight idempotent retries.
+
+The gateway's exactly-once contract hinges on two structures sharing
+one lock discipline: the bounded :class:`DedupWindow` of terminal
+replies, and the in-flight claim table a retry *attaches* to while
+the original is still executing.  The hazard pinned down here: the
+window is LRU-bounded, so unrelated traffic can evict entries at any
+moment — including the moment a retry is attached to an in-flight
+original.  Eviction must never drop that original's reply: the
+in-flight claim lives outside the window, so no amount of eviction
+pressure can detach it, and the completion still answers the session.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.aggregate import ContingencyMethod, ServiceClass
+from repro.core.broker import BandwidthBroker
+from repro.edge import EdgeGateway, protocol
+from repro.edge.leases import DedupWindow
+from repro.service import BrokerService
+from repro.service.transport import pipe_pair
+from repro.workloads.profiles import flow_type
+from repro.workloads.topologies import SchedulerSetting, fig8_domain
+
+SPEC = flow_type(0).spec
+
+
+class TestDedupWindowLRU:
+    def test_eviction_is_oldest_first(self):
+        window = DedupWindow(capacity=2)
+        for idem in ("a", "b", "c"):
+            window.put("e", idem, {"status": "ok", "idem": idem})
+        assert window.get("e", "a") is None
+        assert window.get("e", "b")["idem"] == "b"
+        assert window.evicted == 1
+
+    def test_get_refreshes_recency(self):
+        window = DedupWindow(capacity=2)
+        window.put("e", "a", {"status": "ok"})
+        window.put("e", "b", {"status": "ok"})
+        assert window.get("e", "a") is not None  # touch a
+        window.put("e", "c", {"status": "ok"})   # evicts b, not a
+        assert window.get("e", "a") is not None
+        assert window.get("e", "b") is None
+
+    def test_try_again_is_never_cached(self):
+        window = DedupWindow(capacity=2)
+        with pytest.raises(ValueError):
+            window.put("e", "a", {"status": "try-again"})
+
+    def test_concurrent_churn_respects_capacity(self):
+        window = DedupWindow(capacity=8)
+        errors = []
+
+        def churn(worker: int) -> None:
+            try:
+                for step in range(300):
+                    idem = f"{worker}-{step % 16}"
+                    window.put("e", idem, {"status": "ok"})
+                    window.get("e", idem)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=churn, args=(worker,))
+            for worker in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert len(window) <= 8
+
+
+class GatewayHarness:
+    """One raw-frame session against a gateway with a tiny window."""
+
+    def __init__(self, *, dedup_capacity: int, workers: int = 1):
+        self.broker = BandwidthBroker(
+            contingency_method=ContingencyMethod.FEEDBACK
+        )
+        fig8_domain(SchedulerSetting.RATE_ONLY).provision_broker(
+            self.broker
+        )
+        self.broker.register_class(
+            ServiceClass("gold", delay_bound=2.44, class_delay=0.24)
+        )
+        self.service = BrokerService(
+            self.broker, workers=workers, shards=2
+        ).start()
+        self.gateway = EdgeGateway(
+            self.service, lease_duration=60.0,
+            dedup_capacity=dedup_capacity,
+        )
+        self.conn, server_end = pipe_pair()
+        self.thread = threading.Thread(
+            target=self.gateway.serve_connection, args=(server_end,),
+            daemon=True,
+        )
+        self.thread.start()
+        self.conn.send(protocol.make_hello("edge-1"))
+        assert self.recv()["type"] == "welcome"
+
+    def recv(self, timeout: float = 5.0):
+        frame = self.conn.recv(timeout=timeout)
+        assert frame is not None, "expected a frame, got a timeout"
+        return frame
+
+    def recv_reply(self, idem: str, timeout: float = 5.0):
+        while True:
+            reply = self.recv(timeout)
+            if reply.get("type") == "reply" and \
+                    reply.get("idem") == idem:
+                return reply
+
+    def admit_frame(self, idem: str, flow_id: str):
+        return protocol.make_admit(
+            "edge-1", idem, flow_id, SPEC, 2.44, "I1", "E1",
+            service_class="", path_nodes=None, now=0.0,
+        )
+
+    def close(self) -> None:
+        self.conn.close()
+        self.thread.join(timeout=5.0)
+        self.gateway.stop()
+        self.service.stop()
+
+
+def wait_until(predicate, timeout: float = 5.0) -> bool:
+    import time
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.002)
+    return predicate()
+
+
+class TestEvictionVsInflightAttach:
+    def test_eviction_cannot_drop_an_attached_retry(self):
+        """The headline race: a retry attaches to an in-flight admit,
+        then unrelated terminal replies churn the capacity-1 window.
+        The claim is not a window entry, so the churn cannot evict
+        it, and the completion must still answer the session."""
+        harness = GatewayHarness(dedup_capacity=1)
+        try:
+            gateway, service = harness.gateway, harness.service
+            release = threading.Event()
+            original = service.broker.perflow.admit_batch
+            calls = []
+
+            def gated(requests, path, **kwargs):
+                ids = [request.flow_id for request in requests]
+                calls.extend(ids)
+                if "slow" in ids:
+                    assert release.wait(timeout=10.0)
+                return original(requests, path, **kwargs)
+
+            service.broker.perflow.admit_batch = gated
+            try:
+                # Original admit parks inside the service worker.
+                harness.conn.send(harness.admit_frame("i-slow",
+                                                      "slow"))
+                assert wait_until(lambda: "slow" in calls)
+                # Retry of the same key attaches to the claim.
+                harness.conn.send(harness.admit_frame("i-slow",
+                                                      "slow"))
+                assert wait_until(
+                    lambda: gateway.duplicates_attached == 1
+                )
+                # Unrelated terminal replies churn the window while
+                # the claim is attached (capacity 1: every put after
+                # the first evicts).
+                for round_ in range(3):
+                    harness.conn.send(protocol.make_refresh(
+                        "edge-1", f"i-r{round_}", ["nope"], now=0.0,
+                    ))
+                    harness.recv_reply(f"i-r{round_}")
+                assert gateway.dedup.evicted >= 2
+            finally:
+                release.set()
+            reply = harness.recv_reply("i-slow")
+            assert reply["status"] == protocol.STATUS_OK
+            assert reply["decision"]["admitted"] is True
+            # Exactly-once at the broker: one execution, one lease,
+            # one reservation — the retry rode the claim.
+            assert calls.count("slow") == 1
+            assert gateway.duplicates_attached == 1
+            assert "slow" in service.broker.flow_mib
+            assert gateway.leases.get("slow") is not None
+            assert gateway.counters()["inflight"] == 0
+        finally:
+            harness.close()
+
+    def test_evicted_key_reexecutes_idempotently(self):
+        """After the cached reply *is* evicted, a late retry of the
+        same idempotency key re-claims and re-executes.  Re-executing
+        an admit for a flow the broker already holds must converge
+        (still admitted, still one reservation), not double-book."""
+        harness = GatewayHarness(dedup_capacity=1)
+        try:
+            gateway, service = harness.gateway, harness.service
+            harness.conn.send(harness.admit_frame("i-1", "f1"))
+            first = harness.recv_reply("i-1")
+            assert first["status"] == protocol.STATUS_OK
+            # Evict i-1's cached reply with an unrelated terminal.
+            harness.conn.send(protocol.make_refresh(
+                "edge-1", "i-r", ["f1"], now=0.0,
+            ))
+            harness.recv_reply("i-r")
+            assert gateway.dedup.evicted >= 1
+            assert gateway.dedup.get("edge-1", "i-1") is None
+            # The late retry re-executes.  The broker recognizes the
+            # duplicate and refuses a second reservation; what must
+            # NOT happen is a dropped reply or a double booking.
+            harness.conn.send(harness.admit_frame("i-1", "f1"))
+            again = harness.recv_reply("i-1")
+            assert again["status"] == protocol.STATUS_OK
+            assert again["decision"]["admitted"] is False
+            assert again["decision"]["reason"] == "DUPLICATE"
+            assert "f1" in service.broker.flow_mib
+            assert len(service.broker.flow_mib) == 1
+        finally:
+            harness.close()
