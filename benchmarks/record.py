@@ -43,14 +43,51 @@ def _git_commit() -> Optional[str]:
     return out.stdout.strip() or None if out.returncode == 0 else None
 
 
+def _host_info() -> dict:
+    """CPU count and platform of the machine the run executed on.
+
+    Recorded in every entry so speedup claims are interpretable: a
+    6.7x parallel win on a 16-core runner and the same sweep on a
+    1-core container are different facts, and the ledger must say
+    which one it is holding.  Uses the repo's hostinfo module when
+    importable, else a minimal inline fallback.
+    """
+    try:
+        sys.path.insert(0, os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "src"))
+        from repro.hostinfo import host_info
+        return host_info()
+    except Exception:
+        import platform
+        try:
+            cpus = len(os.sched_getaffinity(0))
+        except AttributeError:
+            cpus = os.cpu_count() or 1
+        return {
+            "cpus": cpus,
+            "cpus_logical": os.cpu_count() or 1,
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+        }
+
+
 def record(ledger_path: str, results: Any, *, note: str = "",
            source: str = "", recorded: Optional[str] = None) -> dict:
-    """Append one entry holding *results* to the ledger; returns it."""
+    """Append one entry holding *results* to the ledger; returns it.
+
+    Every entry is stamped with the recording host's CPU topology —
+    bench results without core counts are not comparable across
+    runners.
+    """
     entry = {
         "recorded": recorded or time.strftime("%Y-%m-%d"),
         "commit": _git_commit(),
         "note": note,
         "source": source,
+        "host": _host_info(),
         "results": results,
     }
     ledger = []

@@ -1,0 +1,183 @@
+"""Extension bench: multi-process cluster vs the in-process baseline.
+
+``benchmarks/test_bench_cluster.py`` shows shard *partitioning* wins
+when the bottleneck is the simulated edge RTT — waits overlap fine
+under one GIL.  This bench removes the RTT entirely so the workload
+is pure interpreter time, which a single process cannot parallelise:
+8 in-process shards still share one GIL.  ``repro.cluster.procs``
+moves each shard into its own OS process behind the binary wire
+codec, so the same workload spreads across real cores.
+
+The acceptance floor (multi-process >= 2.5x the single-process
+8-shard baseline) is a statement about *cores*, so it is asserted
+only when the runner actually has them: >= 4 usable CPUs for the
+2.5x figure, >= 2 for a weaker "procs beat threads" check.  On a
+1-CPU runner the bench still runs end to end — process spawn, wire
+round trips, 2PC, drain — and records the honest (likely < 1x)
+ratio plus the host topology, because a ledger entry that hides the
+core count is worse than none.
+
+Set ``REPRO_BENCH_SMOKE=1`` (the CI smoke job does) to shrink the
+workload to a correctness pass.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cluster import (
+    build_pod_cluster,
+    build_proc_cluster,
+    run_cluster_loop,
+)
+from repro.experiments.reporting import render_table
+from repro.hostinfo import cpu_count, host_info, process_topology
+from repro.workloads.profiles import flow_type
+
+pytestmark = pytest.mark.procs
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+SPEC = flow_type(0).spec
+D_REQ = 2.44
+SHARDS = 2 if SMOKE else 8
+PODS = SHARDS
+CLIENTS_PER_POD = 1 if SMOKE else 2
+REQUESTS = 4 if SMOKE else 25
+SPAN_EVERY = 0  # pure shard-local: the GIL-escape headline number
+#: No simulated edge RTT: sleeps overlap fine under one GIL, so any
+#: RTT would hand the single-process baseline free concurrency and
+#: understate what process isolation buys.  Pure interpreter time is
+#: the workload a single process cannot parallelise.
+EDGE_RTT = 0.0
+WORKERS = 1
+
+
+def measure_threads(num_shards: int) -> dict:
+    cluster = build_pod_cluster(
+        num_shards, pods=PODS, edge_rtt=EDGE_RTT, workers=WORKERS,
+    )
+    with cluster:
+        report = run_cluster_loop(
+            cluster, SPEC, D_REQ,
+            clients_per_pod=CLIENTS_PER_POD,
+            requests_per_client=REQUESTS,
+            spanning_every=SPAN_EVERY,
+        )
+        stranded = cluster.outstanding_holds()
+    assert report.errors == 0
+    assert stranded == [], stranded
+    return {
+        "topology": process_topology(
+            "threads", workers_per_shard=WORKERS),
+        "shards": num_shards,
+        **report.as_dict(),
+    }
+
+
+def measure_procs(num_shards: int, run_dir) -> dict:
+    cluster = build_proc_cluster(
+        num_shards, run_dir=run_dir, pods=PODS,
+        edge_rtt=EDGE_RTT, workers=WORKERS,
+    )
+    with cluster:
+        report = run_cluster_loop(
+            cluster, SPEC, D_REQ,
+            clients_per_pod=CLIENTS_PER_POD,
+            requests_per_client=REQUESTS,
+            spanning_every=SPAN_EVERY,
+        )
+        stranded = cluster.outstanding_holds()
+        stats = cluster.merged_stats()
+    assert report.errors == 0
+    assert stranded == [], stranded
+    # Every shard really is a distinct OS process.
+    pids = {entry["pid"] for entry in stats["shards"].values()}
+    assert len(pids) == num_shards
+    assert os.getpid() not in pids
+    return {
+        "topology": process_topology(
+            "procs", shard_processes=num_shards,
+            workers_per_shard=WORKERS),
+        "shards": num_shards,
+        "restarts": stats["supervisor"]["restarts_total"],
+        **report.as_dict(),
+    }
+
+
+def test_bench_procs_vs_threads(benchmark, tmp_path):
+    """Same shard count, same workload; the only variable is whether
+    the shards share one interpreter or run as OS processes."""
+    results = benchmark.pedantic(
+        lambda: [measure_threads(SHARDS),
+                 measure_procs(SHARDS, tmp_path / "procs")],
+        rounds=1, warmup_rounds=0,
+    )
+    threads, procs = results
+    payload = {"host": host_info(), "results": results}
+    artifact = tmp_path / "cluster_procs.json"
+    artifact.write_text(json.dumps(payload, indent=2))
+
+    cpus = cpu_count()
+    ratio = (procs["throughput_rps"] / threads["throughput_rps"]
+             if threads["throughput_rps"] else float("inf"))
+    print()
+    print(f"Multi-process vs in-process ({SHARDS} shards, "
+          f"{CLIENTS_PER_POD} clients/pod x {REQUESTS} reqs, "
+          f"{cpus} usable CPUs):")
+    print(render_table(
+        ["mode", "req/s", "p50(ms)", "p99(ms)", "admitted"],
+        [[entry["topology"]["mode"],
+          f"{entry['throughput_rps']:.0f}",
+          f"{entry['p50_ms']:.2f}", f"{entry['p99_ms']:.2f}",
+          entry["admitted"]]
+         for entry in results],
+    ))
+    print(f"procs/threads ratio: {ratio:.2f}x")
+    print(f"artifact: {artifact}")
+
+    # Both modes did identical admission work.
+    assert procs["admitted"] == threads["admitted"]
+    assert procs["restarts"] == 0, "bench must not mask crashes"
+    if SMOKE:
+        return
+    # The speedup floor is a multi-core claim; assert it only where
+    # the cores exist.  A 1-CPU container pays the wire overhead and
+    # gets no parallelism back — recording that honestly is the
+    # point, failing on it would be fiction.
+    if cpus >= 4:
+        assert ratio >= 2.5, (
+            f"{SHARDS} shard processes on {cpus} CPUs must clear "
+            f">= 2.5x the single-process baseline, got {ratio:.2f}x"
+        )
+    elif cpus >= 2:
+        assert ratio >= 1.2, (
+            f"even on {cpus} CPUs, process isolation must beat one "
+            f"GIL, got {ratio:.2f}x"
+        )
+
+
+def test_bench_procs_spanning_correctness(benchmark, tmp_path):
+    """Spanning 2PC over the wire under bench load: zero errors,
+    zero stranded holds, commits land on both sides."""
+    span = 2 if SMOKE else 5
+
+    def run() -> dict:
+        cluster = build_proc_cluster(
+            2, run_dir=tmp_path / "span", pods=2,
+            edge_rtt=EDGE_RTT, workers=WORKERS,
+        )
+        with cluster:
+            report = run_cluster_loop(
+                cluster, SPEC, D_REQ,
+                clients_per_pod=CLIENTS_PER_POD,
+                requests_per_client=REQUESTS,
+                spanning_every=span,
+            )
+            stranded = cluster.outstanding_holds()
+        assert report.errors == 0
+        assert stranded == [], stranded
+        return report.as_dict()
+
+    result = benchmark.pedantic(run, rounds=1, warmup_rounds=0)
+    assert result["spanning_admitted"] > 0

@@ -291,6 +291,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
         labels[key] = value
+    if args.procs > 0:
+        return _stats_procs(args, labels)
     spec = flow_type(0).spec
     broker = BandwidthBroker()
     pinned = provision_parallel_paths(broker, paths=args.paths)
@@ -311,6 +313,47 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     sys.stdout.write(
         prometheus_exposition(stats, labels=labels or None)
     )
+    return 0
+
+
+def _stats_procs(args: argparse.Namespace, labels: dict) -> int:
+    """``repro stats --procs N``: drive a multi-process cluster and
+    merge every process's ServiceStats into one scrape, each series
+    labelled with the process name and pid it came from."""
+    import tempfile
+
+    from repro.cluster import build_proc_cluster, run_cluster_loop
+    from repro.service import prometheus_exposition
+    from repro.workloads.profiles import flow_type
+
+    spec = flow_type(0).spec
+    with tempfile.TemporaryDirectory(prefix="repro-procs-") as root:
+        with build_proc_cluster(args.procs, run_dir=root) as cluster:
+            run_cluster_loop(
+                cluster, spec, 2.44,
+                clients_per_pod=args.clients,
+                requests_per_client=args.requests,
+                spanning_every=4,
+            )
+            merged = cluster.merged_stats()
+    for name in sorted(merged["shards"]):
+        frame = merged["shards"][name]
+        service = frame.get("service")
+        if not service:
+            print(f"# process {name}: {frame.get('detail', 'no stats')}",
+                  file=sys.stderr)
+            continue
+        sys.stdout.write(prometheus_exposition(service, labels={
+            **labels, "process": name, "pid": str(frame.get("pid", "")),
+        }))
+    coordinator = merged.get("coordinator", {})
+    coord_labels = {**labels, "process": "coordinator",
+                    "pid": str(coordinator.get("pid", ""))}
+    sys.stdout.write(prometheus_exposition(
+        {key: value for key, value in coordinator.items()
+         if isinstance(value, (int, float)) and key != "pid"},
+        labels=coord_labels,
+    ))
     return 0
 
 
@@ -392,25 +435,51 @@ def _cmd_shard_bench(args: argparse.Namespace) -> int:
     import json
     import tempfile
 
-    from repro.cluster import build_pod_cluster, run_cluster_loop
+    from repro.cluster import (
+        build_pod_cluster,
+        build_proc_cluster,
+        run_cluster_loop,
+    )
+    from repro.hostinfo import host_info, process_topology
     from repro.workloads.profiles import flow_type
 
     spec = flow_type(0).spec
-    pods = args.pods if args.pods else max(args.shards)
+    shard_counts = [args.procs] if args.procs > 0 else args.shards
+    pods = args.pods if args.pods else max(shard_counts)
+    host = host_info()
     rows = []
     results = []
-    for num_shards in args.shards:
+    for num_shards in shard_counts:
         with tempfile.TemporaryDirectory(prefix="repro-cluster-") as root:
-            wal_root = root if args.durability else None
-            cluster = build_pod_cluster(
-                num_shards,
-                pods=pods,
-                delay_hops=args.delay_hops,
-                wal_root=wal_root,
-                fsync=args.durability,
-                workers=args.workers,
-                edge_rtt=args.edge_rtt_ms / 1000.0,
-            )
+            if args.procs > 0:
+                cluster = build_proc_cluster(
+                    num_shards,
+                    run_dir=root,
+                    pods=pods,
+                    delay_hops=args.delay_hops,
+                    durable=bool(args.durability),
+                    fsync=bool(args.durability),
+                    workers=args.workers,
+                    edge_rtt=args.edge_rtt_ms / 1000.0,
+                )
+                topology = process_topology(
+                    "shard-procs", shard_processes=num_shards,
+                    workers_per_shard=args.workers,
+                )
+            else:
+                wal_root = root if args.durability else None
+                cluster = build_pod_cluster(
+                    num_shards,
+                    pods=pods,
+                    delay_hops=args.delay_hops,
+                    wal_root=wal_root,
+                    fsync=args.durability,
+                    workers=args.workers,
+                    edge_rtt=args.edge_rtt_ms / 1000.0,
+                )
+                topology = process_topology(
+                    "single-process", workers_per_shard=args.workers,
+                )
             with cluster:
                 report = run_cluster_loop(
                     cluster, spec, 2.44,
@@ -431,12 +500,17 @@ def _cmd_shard_bench(args: argparse.Namespace) -> int:
             "pods": pods,
             "durability": bool(args.durability),
             "stranded_holds": stranded,
+            "host": host,
+            "topology": topology,
             **report.as_dict(),
         })
     mode = "durable WAL" if args.durability else "no WAL"
+    flavour = ("one process per shard" if args.procs > 0
+               else "single process")
     print(f"Sharded cluster throughput ({args.clients} clients/pod, "
           f"{pods} pods, every {args.spanning_every}th admit spanning, "
-          f"edge RTT {args.edge_rtt_ms:g} ms, {mode}):")
+          f"edge RTT {args.edge_rtt_ms:g} ms, {mode}, {flavour}, "
+          f"{host['cpus']} CPUs):")
     print(render_table(
         ["shards", "pods", "req/s", "p50(ms)", "p99(ms)", "2pc",
          "2pc ok", "shed", "errors", "stranded"],
@@ -797,6 +871,7 @@ def _cmd_edge_bench(args: argparse.Namespace) -> int:
 
     from repro.core.broker import BandwidthBroker
     from repro.edge import AdmitOp, EdgeAgent, EdgeGateway, tcp_connector
+    from repro.hostinfo import host_info, process_topology
     from repro.service import (
         BrokerService,
         FlowTemplate,
@@ -805,71 +880,113 @@ def _cmd_edge_bench(args: argparse.Namespace) -> int:
     from repro.workloads.profiles import flow_type
 
     spec = flow_type(0).spec
-    broker = BandwidthBroker()
-    pinned = provision_parallel_paths(broker, paths=args.paths)
-    templates = [
-        FlowTemplate(spec, 2.44, nodes[0], nodes[-1], path_nodes=nodes)
-        for nodes in pinned
-    ]
     latencies: List[List[float]] = [[] for _ in range(args.agents)]
     errors = [0] * args.agents
     barrier = threading.Barrier(args.agents + 1)
+    codecs = (("json",) if args.codec == "json"
+              else ("binary", "json"))
 
-    with BrokerService(
-        broker, workers=args.workers, shards=args.shards,
-    ) as service:
-        gateway = EdgeGateway(service, lease_duration=args.lease)
-        host, port = gateway.listen("127.0.0.1", 0)
-        with gateway:
-            codecs = (("json",) if args.codec == "json"
-                      else ("binary", "json"))
+    def drive_agents(host: str, port: int,
+                     templates: List[FlowTemplate]) -> float:
+        def run_agent(index: int) -> None:
+            template = templates[index % len(templates)]
+            agent = EdgeAgent(
+                f"agent-{index}",
+                tcp_connector(host, port),
+                seed=index,
+                codecs=codecs,
+            )
+            with agent:
+                barrier.wait()
+                if args.pipeline > 1:
+                    _run_agent_pipelined(
+                        agent, index, template, args, AdmitOp,
+                        latencies, errors, _time,
+                    )
+                    return
+                for iteration in range(args.requests):
+                    flow_id = f"a{index}-r{iteration}"
+                    begin = _time.monotonic()
+                    reply = agent.admit(
+                        flow_id, template.spec,
+                        template.delay_requirement,
+                        template.ingress, template.egress,
+                        path_nodes=template.path_nodes,
+                    )
+                    latencies[index].append(
+                        _time.monotonic() - begin
+                    )
+                    if reply["status"] != "ok":
+                        errors[index] += 1
+                    elif reply["decision"]["admitted"]:
+                        agent.teardown(flow_id)
 
-            def run_agent(index: int) -> None:
-                template = templates[index % len(templates)]
-                agent = EdgeAgent(
-                    f"agent-{index}",
-                    tcp_connector(host, port),
-                    seed=index,
-                    codecs=codecs,
+        threads = [
+            threading.Thread(target=run_agent, args=(index,),
+                             daemon=True)
+            for index in range(args.agents)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        begin = _time.monotonic()
+        for thread in threads:
+            thread.join()
+        return max(_time.monotonic() - begin, 1e-9)
+
+    if args.gateway_workers > 0:
+        import tempfile
+
+        from repro.cluster import build_proc_cluster
+
+        with tempfile.TemporaryDirectory(prefix="repro-edge-") as root:
+            cluster = build_proc_cluster(
+                args.cluster_shards,
+                run_dir=root,
+                gateway_workers=args.gateway_workers,
+                gateway_lease=args.lease,
+                workers=args.workers,
+            )
+            with cluster:
+                templates = [
+                    FlowTemplate(spec, 2.44, nodes[0], nodes[-1],
+                                 path_nodes=tuple(nodes))
+                    for nodes in cluster.pod_paths
+                ]
+                duration = drive_agents(
+                    "127.0.0.1", cluster.gateway_port, templates,
                 )
-                with agent:
-                    barrier.wait()
-                    if args.pipeline > 1:
-                        _run_agent_pipelined(
-                            agent, index, template, args, AdmitOp,
-                            latencies, errors, _time,
-                        )
-                        return
-                    for iteration in range(args.requests):
-                        flow_id = f"a{index}-r{iteration}"
-                        begin = _time.monotonic()
-                        reply = agent.admit(
-                            flow_id, template.spec,
-                            template.delay_requirement,
-                            template.ingress, template.egress,
-                            path_nodes=template.path_nodes,
-                        )
-                        latencies[index].append(
-                            _time.monotonic() - begin
-                        )
-                        if reply["status"] != "ok":
-                            errors[index] += 1
-                        elif reply["decision"]["admitted"]:
-                            agent.teardown(flow_id)
-
-            threads = [
-                threading.Thread(target=run_agent, args=(index,),
-                                 daemon=True)
-                for index in range(args.agents)
-            ]
-            for thread in threads:
-                thread.start()
-            barrier.wait()
-            begin = _time.monotonic()
-            for thread in threads:
-                thread.join()
-            duration = max(_time.monotonic() - begin, 1e-9)
-            counters = gateway.counters()
+                # The sessions/dedup live in the worker processes;
+                # parent-side counters cover the broker tier.
+                counters = {
+                    "dedup_hits": 0,
+                    "leases": {"granted": 0},
+                    "cluster": cluster.merged_stats(),
+                }
+        topology = process_topology(
+            "edge-procs", shard_processes=args.cluster_shards,
+            gateway_workers=args.gateway_workers,
+            workers_per_shard=args.workers,
+        )
+    else:
+        broker = BandwidthBroker()
+        pinned = provision_parallel_paths(broker, paths=args.paths)
+        templates = [
+            FlowTemplate(spec, 2.44, nodes[0], nodes[-1],
+                         path_nodes=nodes)
+            for nodes in pinned
+        ]
+        with BrokerService(
+            broker, workers=args.workers, shards=args.shards,
+        ) as service:
+            gateway = EdgeGateway(service, lease_duration=args.lease)
+            host, port = gateway.listen("127.0.0.1", 0)
+            with gateway:
+                duration = drive_agents(host, port, templates)
+                counters = gateway.counters()
+        topology = process_topology(
+            "single-process", workers_per_shard=args.workers,
+        )
 
     flat = sorted(lat for per_agent in latencies for lat in per_agent)
     operations = len(flat)
@@ -891,6 +1008,8 @@ def _cmd_edge_bench(args: argparse.Namespace) -> int:
         "admit_throughput_rps": round(operations / duration, 1),
         "setup_p50_ms": round(pct(0.50), 3),
         "setup_p99_ms": round(pct(0.99), 3),
+        "host": host_info(),
+        "topology": topology,
         "gateway": counters,
     }
     print(f"Edge signaling benchmark ({args.agents} agents over TCP, "
@@ -993,6 +1112,11 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="KEY=VALUE",
                        help="attach a label to every exported metric "
                             "(repeatable, e.g. --label broker=bb0)")
+    stats.add_argument("--procs", type=int, default=0,
+                       help="run N shard processes instead of one "
+                            "in-process service and merge every "
+                            "process's stats into one scrape with "
+                            "process/pid labels (default 0 = off)")
     stats.set_defaults(func=_cmd_stats)
     adapt_bench = sub.add_parser(
         "adapt-bench",
@@ -1045,6 +1169,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--durability", action="store_true",
         help="give every shard and the coordinator a fsynced "
              "write-ahead journal")
+    shard_bench.add_argument(
+        "--procs", type=int, default=0,
+        help="run N broker shards as separate OS processes (escapes "
+             "the GIL; overrides --shards with a single N-process "
+             "row; default 0 = in-process threads)")
     shard_bench.add_argument(
         "--json", default="",
         help="also write the per-config reports to this JSON file")
@@ -1155,6 +1284,16 @@ def build_parser() -> argparse.ArgumentParser:
                                  "(1 = classic one-at-a-time RPC; "
                                  ">1 pipelines N admits per "
                                  "coalesced write)")
+    edge_bench.add_argument("--gateway-workers", type=int, default=0,
+                            help="fork N gateway worker processes "
+                                 "sharing one SO_REUSEPORT listen "
+                                 "socket in front of a multi-process "
+                                 "shard cluster (default 0 = one "
+                                 "in-process gateway)")
+    edge_bench.add_argument("--cluster-shards", type=int, default=2,
+                            help="shard processes behind the forked "
+                                 "gateway tier (only with "
+                                 "--gateway-workers; default 2)")
     edge_bench.add_argument("--json", default="",
                             help="also write the report to this JSON "
                                  "file")

@@ -17,8 +17,19 @@ from repro.cluster.coordinator import (
     CoordinatorRecovery,
 )
 from repro.cluster.partition import PartitionMap, link_id_str
+from repro.cluster.procs import (
+    ClusterServiceClient,
+    CoordinatorServer,
+    ProcCluster,
+    ProcessSupervisor,
+    ReconnectingShardHandle,
+    RemoteCoordinatorHandle,
+    build_proc_cluster,
+)
 from repro.cluster.remote import (
+    FrameServer,
     LocalShardHandle,
+    RemoteOpClient,
     RemoteShardHandle,
     ShardServer,
 )
@@ -32,8 +43,12 @@ from repro.cluster.shard import (
 from repro.cluster.topology import (
     ClusterLoadReport,
     PodCluster,
+    PodDomainSpec,
     build_pod_cluster,
+    domain_atlas,
+    plan_pod_domain,
     run_cluster_loop,
+    shard_broker,
 )
 
 __all__ = [
@@ -42,16 +57,29 @@ __all__ = [
     "ClusterDecision",
     "ClusterJournalState",
     "ClusterLoadReport",
+    "ClusterServiceClient",
     "CoordinatorRecovery",
+    "CoordinatorServer",
+    "FrameServer",
     "LocalShardHandle",
     "PartitionMap",
     "PodCluster",
+    "PodDomainSpec",
+    "ProcCluster",
+    "ProcessSupervisor",
+    "ReconnectingShardHandle",
+    "RemoteCoordinatorHandle",
+    "RemoteOpClient",
     "RemoteShardHandle",
     "ShardRecovery",
     "ShardServer",
     "build_pod_cluster",
+    "build_proc_cluster",
     "cluster_journal_extension",
+    "domain_atlas",
     "link_id_str",
+    "plan_pod_domain",
     "recover_shard",
     "run_cluster_loop",
+    "shard_broker",
 ]

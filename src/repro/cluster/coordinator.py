@@ -137,11 +137,16 @@ class ClusterCoordinator:
         #: Guards the flow registry (flow -> placement for teardown).
         self._lock = threading.Lock()
         self._registry: Dict[str, Dict[str, Any]] = {}
+        #: shard -> op key -> pending op a crashed/unreachable shard
+        #: still owes us (abort/commit/release); drained by
+        #: :meth:`reconcile_shard` when the shard comes back.
+        self._unresolved: Dict[str, Dict[str, Dict[str, Any]]] = {}
         self.local_admits = 0
         self.spanning_admits = 0
         self.spanning_commits = 0
         self.spanning_aborts = 0
         self.compensations = 0
+        self.reconciled = 0
 
     # ------------------------------------------------------------------
     # admission
@@ -203,16 +208,24 @@ class ClusterCoordinator:
                      nodes: Tuple[str, ...], now: float
                      ) -> ClusterDecision:
         self.local_admits += 1
-        reply = self.handles[shard].admit({
-            "flow_id": flow_id,
-            "spec": _spec_payload(spec),
-            "delay_requirement": delay_requirement,
-            "ingress": ingress,
-            "egress": egress,
-            "path_nodes": list(nodes),
-            "now": now,
-            **self.partition.stamp(),
-        })
+        try:
+            reply = self.handles[shard].admit({
+                "flow_id": flow_id,
+                "spec": _spec_payload(spec),
+                "delay_requirement": delay_requirement,
+                "ingress": ingress,
+                "egress": egress,
+                "path_nodes": list(nodes),
+                "now": now,
+                **self.partition.stamp(),
+            })
+        except Exception as exc:  # shard process down / unreachable
+            return ClusterDecision(
+                flow_id=flow_id, admitted=False, status="error",
+                path_nodes=nodes, shards=(shard,),
+                reason="shard-unreachable",
+                detail=f"admit on {shard!r} failed: {exc}",
+            )
         if reply.get("status") == "ok" and reply.get("admitted"):
             with self._lock:
                 self._registry[flow_id] = {
@@ -395,14 +408,15 @@ class ClusterCoordinator:
         })
         # Abort every shard we touched (the failing one included: its
         # tombstone blocks a late retried prepare); unreachable shards
-        # are the reaper's problem — presumed abort.
+        # get the abort re-driven on reconnect, with the lease reaper
+        # as the backstop — presumed abort either way.
         for shard in shard_names:
             try:
                 self.handles[shard].abort({
                     "txid": txid, "now": now, **self.partition.stamp(),
                 })
             except Exception:
-                pass
+                self._note_unresolved(shard, "abort", txid=txid, now=now)
         self._journal("cdone", {"txid": txid, "outcome": "abort"})
         return ClusterDecision(
             flow_id=flow_id, admitted=False, status="rejected",
@@ -432,6 +446,10 @@ class ClusterCoordinator:
                 })
             except Exception:
                 unreachable.append(shard)
+                self._note_unresolved(
+                    shard, "commit", txid=txid, flow_id=flow_id,
+                    shards=list(shard_names), now=now,
+                )
                 continue
             if reply.get("status") == "committed":
                 committed.append(shard)
@@ -452,7 +470,10 @@ class ClusterCoordinator:
                         **self.partition.stamp(),
                     })
                 except Exception:
-                    pass
+                    self._note_unresolved(
+                        shard, "compensate", txid=txid,
+                        flow_id=flow_id, now=now,
+                    )
             self._journal("cdone", {
                 "txid": txid, "outcome": "compensated",
             })
@@ -480,10 +501,21 @@ class ClusterCoordinator:
             self._journal("cteardown", {
                 "flow_id": flow_id, "shards": [shard], "now": now,
             })
-            reply = self.handles[shard].teardown({
-                "flow_id": flow_id, "now": now,
-                **self.partition.stamp(),
-            })
+            try:
+                reply = self.handles[shard].teardown({
+                    "flow_id": flow_id, "now": now,
+                    **self.partition.stamp(),
+                })
+            except Exception as exc:
+                # Shard unreachable: restore the registry entry so a
+                # retried teardown still knows where the flow lives.
+                with self._lock:
+                    self._registry.setdefault(flow_id, entry)
+                return ClusterDecision(
+                    flow_id=flow_id, admitted=False, status="error",
+                    shards=(shard,), reason="shard-unreachable",
+                    detail=f"teardown on {shard!r} failed: {exc}",
+                )
             return ClusterDecision(
                 flow_id=flow_id, admitted=False,
                 status=reply.get("status", "error"),
@@ -496,10 +528,18 @@ class ClusterCoordinator:
         })
         released: List[str] = []
         for shard in shards:
-            reply = self.handles[shard].release({
-                "flow_id": flow_id, "now": now,
-                **self.partition.stamp(),
-            })
+            try:
+                reply = self.handles[shard].release({
+                    "flow_id": flow_id, "now": now,
+                    **self.partition.stamp(),
+                })
+            except Exception:
+                # Release the segment when the shard comes back; the
+                # flow still nets to torn-down everywhere.
+                self._note_unresolved(
+                    shard, "release", flow_id=flow_id, now=now,
+                )
+                continue
             released.extend(reply.get("flows", ()))
         return ClusterDecision(
             flow_id=flow_id, admitted=False, status="ok",
@@ -513,10 +553,101 @@ class ClusterCoordinator:
 
     def reap(self, now: float) -> Dict[str, List[str]]:
         """Ask every shard to expire overdue holds (operator hook)."""
-        return {
-            shard: handle.reap(now).get("txids", [])
-            for shard, handle in sorted(self.handles.items())
-        }
+        reaped: Dict[str, List[str]] = {}
+        for shard, handle in sorted(self.handles.items()):
+            try:
+                reaped[shard] = handle.reap(now).get("txids", [])
+            except Exception:
+                reaped[shard] = []
+        return reaped
+
+    def _note_unresolved(self, shard: str, op: str, *,
+                         txid: str = "", flow_id: str = "",
+                         shards: Optional[List[str]] = None,
+                         now: float = 0.0) -> None:
+        """Remember an op an unreachable shard still owes us."""
+        key = f"{op}:{txid or flow_id}"
+        with self._lock:
+            self._unresolved.setdefault(shard, {})[key] = {
+                "op": op, "txid": txid, "flow_id": flow_id,
+                "shards": list(shards) if shards else [],
+                "now": now,
+            }
+
+    def unresolved(self) -> Dict[str, List[str]]:
+        """Pending per-shard ops awaiting a reconnect (observability)."""
+        with self._lock:
+            return {
+                shard: sorted(ops)
+                for shard, ops in self._unresolved.items() if ops
+            }
+
+    def reconcile_shard(self, shard: str, *, now: float = 0.0) -> int:
+        """Re-drive every op *shard* missed while it was unreachable.
+
+        The reap-on-reconnect path: a shard process that died during
+        an in-flight 2PC recovers its journaled ``txn:`` holds, and
+        this delivers the decisions it missed — explicit aborts for
+        aborted transactions (no waiting out the hold lease), commit
+        re-drives for in-doubt ones, and segment releases for
+        teardowns that could not reach it.  Idempotent: every re-driven
+        op is idempotent by txid/flow id, and an op that fails again
+        is re-noted for the next reconnect.  Returns how many ops were
+        resolved.
+        """
+        with self._lock:
+            pending = self._unresolved.pop(shard, None) or {}
+        if not pending:
+            return 0
+        handle = self.handles.get(shard)
+        resolved = 0
+        for _key, info in sorted(pending.items()):
+            op = info["op"]
+            try:
+                if op == "abort":
+                    handle.abort({
+                        "txid": info["txid"], "now": now,
+                        **self.partition.stamp(),
+                    })
+                elif op == "release":
+                    handle.release({
+                        "flow_id": info["flow_id"], "now": now,
+                        **self.partition.stamp(),
+                    })
+                elif op == "compensate":
+                    handle.release({
+                        "flow_id": info["flow_id"], "now": now,
+                        **self.partition.stamp(),
+                    })
+                    handle.abort({
+                        "txid": info["txid"], "now": now,
+                        **self.partition.stamp(),
+                    })
+                elif op == "commit":
+                    outcome = self._drive_commit(
+                        info["txid"], info["flow_id"],
+                        info["shards"], now,
+                    )
+                    if outcome == "committed":
+                        with self._lock:
+                            first = info["flow_id"] not in self._registry
+                            self._registry[info["flow_id"]] = {
+                                "kind": "spanning",
+                                "shards": info["shards"],
+                                "txid": info["txid"],
+                            }
+                        if first:
+                            self.spanning_commits += 1
+                    elif outcome == "in-doubt":
+                        # _drive_commit re-noted the unreachable
+                        # shard(s); nothing resolved for this txn yet.
+                        continue
+                resolved += 1
+            except Exception:
+                with self._lock:
+                    self._unresolved.setdefault(shard, {})[_key] = info
+        self.reconciled += resolved
+        return resolved
 
     def flows(self) -> Dict[str, Dict[str, Any]]:
         with self._lock:

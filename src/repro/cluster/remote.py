@@ -1,8 +1,8 @@
 """Shard handles: in-process and over the length-prefixed transport.
 
 The coordinator talks to shards through a uniform duck-typed handle —
-``admit/teardown/prepare/commit/abort/release/reap/status`` each
-taking a JSON-compatible frame and returning one.  Two
+``admit/teardown/prepare/commit/abort/release/reap/status/stats/dump``
+each taking a JSON-compatible frame and returning one.  Two
 implementations:
 
 * :class:`LocalShardHandle` — direct method calls on a
@@ -15,25 +15,42 @@ implementations:
   matches replies by it.  Resends are safe end to end because every
   shard op is idempotent by txid/flow id — the at-least-once
   transport composes with the participant's exactly-once effects.
+
+The server and client halves are split into reusable bases —
+:class:`FrameServer` (accept loop, per-connection reader threads,
+hello codec negotiation, keepalive pongs) and :class:`RemoteOpClient`
+(seq-matched request/reply with resend) — so the multi-process layer
+(:mod:`repro.cluster.procs`) serves its coordinator over the exact
+same machinery.
 """
 
 from __future__ import annotations
 
 import itertools
 import threading
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 from repro.errors import SignalingError
-from repro.service.transport import TransportClosed
+from repro.service.transport import (
+    TransportClosed,
+    is_ping,
+    pong_frame,
+)
 from repro.service.wire import CODEC_JSON, CODECS, negotiate_codec
 
 from repro.cluster.shard import BrokerShard
 
-__all__ = ["LocalShardHandle", "RemoteShardHandle", "ShardServer"]
+__all__ = [
+    "FrameServer",
+    "LocalShardHandle",
+    "RemoteOpClient",
+    "RemoteShardHandle",
+    "ShardServer",
+]
 
 _OPS = (
     "admit", "teardown", "prepare", "commit", "abort", "release",
-    "reap", "status",
+    "reap", "status", "stats", "dump",
 )
 
 
@@ -67,23 +84,43 @@ class LocalShardHandle:
     def status(self) -> Dict[str, Any]:
         return self.shard.status()
 
+    def stats(self) -> Dict[str, Any]:
+        return self.shard.stats()
 
-class ShardServer:
-    """Serves one shard's ops over a transport connection.
+    def dump(self) -> Dict[str, Any]:
+        return self.shard.dump()
 
-    Single-connection, sequential dispatch: the shard's own operation
-    lock already serializes cluster ops, so one reader thread per
-    connection is the honest concurrency level.  ``accept_loop``
-    serves successive connections (a reconnecting coordinator) until
-    closed.
+
+class FrameServer:
+    """Serve op frames from any number of transport connections.
+
+    Each accepted connection gets its own reader thread (concurrent
+    coordinator connections — a pooled handle — are served in
+    parallel; per-op serialization is the handle's own job, e.g. the
+    shard's operation lock).  The server answers transport keepalive
+    pings and negotiates the wire codec on a ``hello`` op.
+
+    :param handle: the object ops are dispatched to.
+    :param ops: the allowed op names (anything else is answered with
+        ``unknown-op`` instead of being looked up — the wire surface
+        is a allow-list, not ``getattr`` on arbitrary strings).
     """
 
-    def __init__(self, shard: BrokerShard) -> None:
-        self.shard = shard
-        self.handle = LocalShardHandle(shard)
+    #: Ops invoked as ``handle.<op>()`` with no frame argument.
+    _NO_FRAME_OPS: Tuple[str, ...] = ("status", "stats", "dump")
+
+    def __init__(self, handle: Any, ops: Tuple[str, ...]) -> None:
+        self.handle = handle
+        self.ops = tuple(ops)
         self.frames_served = 0
         self._closing = threading.Event()
         self._threads: list = []
+        self._conns: list = []
+        self._lock = threading.Lock()
+
+    @property
+    def closing(self) -> bool:
+        return self._closing.is_set()
 
     def serve_connection(self, conn, *, background: bool = True):
         """Serve frames from *conn* until it closes."""
@@ -92,13 +129,20 @@ class ShardServer:
                 target=self._serve, args=(conn,), daemon=True,
             )
             thread.start()
-            self._threads.append(thread)
+            with self._lock:
+                self._threads.append(thread)
             return thread
         self._serve(conn)
         return None
 
     def serve_listener(self, listener) -> threading.Thread:
-        """Accept-and-serve loop for a :class:`TcpListener`."""
+        """Accept-and-serve loop for a :class:`TcpListener`.
+
+        Every accepted connection is served on its own thread, so N
+        client connections (a pooled remote handle, or several
+        gateway workers dialing one coordinator) proceed
+        concurrently.
+        """
         def loop() -> None:
             while not self._closing.is_set():
                 try:
@@ -106,10 +150,13 @@ class ShardServer:
                 except (OSError, TransportClosed):
                     return
                 if conn is not None:
-                    self._serve(conn)
+                    with self._lock:
+                        self._conns.append(conn)
+                    self.serve_connection(conn)
         thread = threading.Thread(target=loop, daemon=True)
         thread.start()
-        self._threads.append(thread)
+        with self._lock:
+            self._threads.append(thread)
         return thread
 
     def _serve(self, conn) -> None:
@@ -120,37 +167,54 @@ class ShardServer:
                 return
             if frame is None:
                 continue
+            if is_ping(frame):
+                try:
+                    conn.send(pong_frame(frame))
+                except TransportClosed:
+                    return
+                continue
             if frame.get("op") == "hello":
                 # Codec negotiation (the reply itself is sent in the
                 # pre-negotiation codec; an old coordinator never
                 # sends hello and stays on JSON).
                 codec = negotiate_codec(frame.get("codecs"))
-                conn.send({
-                    "status": "ok", "codec": codec,
-                    "client_seq": frame.get("client_seq"),
-                })
+                try:
+                    conn.send({
+                        "status": "ok", "codec": codec,
+                        "client_seq": frame.get("client_seq"),
+                    })
+                except TransportClosed:
+                    return
                 if hasattr(conn, "set_codec"):
                     conn.set_codec(codec)
                 self.frames_served += 1
                 continue
-            conn.send(self._dispatch(frame))
+            reply = self._dispatch(frame)
+            try:
+                conn.send(reply)
+            except TransportClosed:
+                return
             self.frames_served += 1
+
+    def _invoke(self, op: str, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Run one allowed op against the handle (override to adapt
+        argument shapes)."""
+        if op == "reap":
+            return self.handle.reap(frame.get("now", 0.0))
+        if op in self._NO_FRAME_OPS:
+            return getattr(self.handle, op)()
+        return getattr(self.handle, op)(frame)
 
     def _dispatch(self, frame: Dict[str, Any]) -> Dict[str, Any]:
         op = frame.get("op", "")
         seq = frame.get("client_seq")
-        if op not in _OPS:
+        if op not in self.ops:
             return {
                 "status": "error", "error": "unknown-op",
                 "detail": f"op {op!r}", "client_seq": seq,
             }
         try:
-            if op == "reap":
-                result = self.handle.reap(frame.get("now", 0.0))
-            elif op == "status":
-                result = self.handle.status()
-            else:
-                result = getattr(self.handle, op)(frame)
+            result = self._invoke(op, frame)
         except Exception as exc:  # surface, never kill the loop
             result = {
                 "status": "error", "error": type(exc).__name__,
@@ -162,19 +226,41 @@ class ShardServer:
 
     def close(self) -> None:
         self._closing.set()
-        for thread in self._threads:
+        with self._lock:
+            threads, self._threads = self._threads, []
+            conns, self._conns = self._conns, []
+        for thread in threads:
             thread.join(timeout=2.0)
-        self._threads = []
+        for conn in conns:
+            try:
+                conn.close()
+            except Exception:
+                pass
 
 
-class RemoteShardHandle:
-    """Coordinator-side handle over a transport connection.
+class ShardServer(FrameServer):
+    """Serves one shard's ops over transport connections."""
+
+    def __init__(self, shard: BrokerShard, *,
+                 handle: Optional[Any] = None) -> None:
+        super().__init__(
+            handle if handle is not None else LocalShardHandle(shard),
+            _OPS,
+        )
+        self.shard = shard
+
+
+class RemoteOpClient:
+    """Client half of the op-frame protocol (seq-matched, resending).
 
     Each call sends an op frame stamped with a client sequence
     number, then waits for the matching reply; on timeout the frame
     is resent (idempotent receiver) up to ``retries`` times before
     raising :class:`SignalingError`.  Stale replies (an earlier
     attempt's answer arriving late) are discarded by sequence match.
+    ``_call`` holds the handle lock for the whole round trip — one
+    connection carries one op at a time; use a pool of handles for
+    concurrency.
     """
 
     def __init__(self, conn, *, timeout: float = 5.0,
@@ -246,9 +332,16 @@ class RemoteShardHandle:
                 except TransportClosed:
                     break
             raise SignalingError(
-                f"shard unreachable: no reply to {op!r} "
+                f"peer unreachable: no reply to {op!r} "
                 f"after {self.retries + 1} attempt(s)"
             )
+
+    def close(self) -> None:
+        self.conn.close()
+
+
+class RemoteShardHandle(RemoteOpClient):
+    """Coordinator-side shard handle over a transport connection."""
 
     def admit(self, frame: Dict[str, Any]) -> Dict[str, Any]:
         return self._call("admit", frame)
@@ -274,5 +367,8 @@ class RemoteShardHandle:
     def status(self) -> Dict[str, Any]:
         return self._call("status", {})
 
-    def close(self) -> None:
-        self.conn.close()
+    def stats(self) -> Dict[str, Any]:
+        return self._call("stats", {})
+
+    def dump(self) -> Dict[str, Any]:
+        return self._call("dump", {})

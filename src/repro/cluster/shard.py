@@ -43,6 +43,7 @@ tombstone and compensates.
 
 from __future__ import annotations
 
+import os
 import threading
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -740,6 +741,52 @@ class BrokerShard:
                 "released": self.released_total,
                 "duplicates": self.duplicate_ops,
                 "stale_frames": self.stale_frames,
+            }
+
+    def stats(self, frame: Optional[Dict[str, Any]] = None
+              ) -> Dict[str, Any]:
+        """Cross-process stats snapshot (served as the ``stats`` op).
+
+        Bundles the wrapped service's :class:`~repro.service.stats.
+        ServiceStats` with the shard's 2PC counters and the serving
+        pid, so a parent aggregating N shard processes can label each
+        sample set with the process it came from.
+        """
+        service = self.service.stats().as_dict()
+        cluster = self.status()
+        cluster.pop("status", None)
+        return {
+            "status": "ok",
+            "shard": self.name,
+            "pid": os.getpid(),
+            "service": service,
+            "cluster": cluster,
+        }
+
+    def dump(self, frame: Optional[Dict[str, Any]] = None
+             ) -> Dict[str, Any]:
+        """Per-link reservation state (served as the ``dump`` op).
+
+        The differential harness compares this against a fused
+        single-broker oracle, and cross-process clusters use it to
+        prove zero stranded ``txn:`` holds after a crash — the shard's
+        own view of its links, not the parent's stale copy.
+        """
+        with self._op_lock:
+            links: Dict[str, Dict[str, Any]] = {}
+            for link in self.broker.node_mib.links():
+                links[f"{link.link_id[0]}->{link.link_id[1]}"] = {
+                    "reserved_rate": link.reserved_rate,
+                    "keys": sorted(link.reservation_keys()),
+                }
+            return {
+                "status": "ok",
+                "shard": self.name,
+                "flows": sorted(
+                    record.flow_id
+                    for record in self.broker.flow_mib.records()
+                ),
+                "links": links,
             }
 
     def checkpoint(self) -> str:

@@ -46,7 +46,11 @@ from repro.cluster.shard import BrokerShard
 
 __all__ = [
     "PodCluster",
+    "PodDomainSpec",
     "ClusterLoadReport",
+    "plan_pod_domain",
+    "domain_atlas",
+    "shard_broker",
     "build_pod_cluster",
     "run_cluster_loop",
 ]
@@ -57,6 +61,126 @@ def _pod_nodes(index: int, hops: int) -> Tuple[str, ...]:
     nodes += [f"C{index}_{hop}" for hop in range(1, hops)]
     nodes.append(f"E{index}")
     return tuple(nodes)
+
+
+@dataclass(frozen=True)
+class PodDomainSpec:
+    """The picklable plan of a pod-per-shard domain.
+
+    Everything needed to *materialize* the domain — the full atlas,
+    or any single shard's broker — as plain data: link tuples
+    ``(src, dst, capacity, scheduler-kind name, max_packet)``, the
+    pinned paths, and the partition map's ``to_dict()`` form.  A
+    shard child process receives this spec (pickled through the spawn
+    entrypoint) and rebuilds exactly the broker the in-process
+    builder would have handed it, so multi-process clusters stay
+    decision-identical with single-process ones by construction.
+    """
+
+    shard_names: Tuple[str, ...]
+    links: Tuple[Tuple[str, str, float, str, float], ...]
+    pod_paths: Tuple[Tuple[str, ...], ...]
+    spanning_paths: Tuple[Tuple[str, ...], ...]
+    partition: Dict[str, Any]
+
+    def partition_map(self) -> PartitionMap:
+        return PartitionMap.from_dict(self.partition)
+
+
+def plan_pod_domain(
+    num_shards: int,
+    *,
+    pods: Optional[int] = None,
+    hops: int = 3,
+    capacity: float = mbps(45),
+    bridge_capacity: Optional[float] = None,
+    max_packet: float = bytes_(1500),
+    delay_hops: int = 0,
+    map_version: int = 1,
+    map_epoch: int = 0,
+) -> PodDomainSpec:
+    """Plan a pod-per-shard domain without building any broker."""
+    total_pods = pods if pods is not None else num_shards
+    if total_pods < 1:
+        raise ValueError("need >= 1 pod")
+    shard_names = tuple(f"shard{index}" for index in range(num_shards))
+    pod_paths = tuple(_pod_nodes(k, hops) for k in range(total_pods))
+
+    links: List[Tuple[str, str, float, str, float]] = []
+    for nodes in pod_paths:
+        total = len(nodes) - 1
+        for hop_index, (src, dst) in enumerate(zip(nodes, nodes[1:])):
+            kind = (
+                SchedulerKind.DELAY_BASED
+                if hop_index >= total - delay_hops
+                else SchedulerKind.RATE_BASED
+            )
+            links.append((src, dst, capacity, kind.name, max_packet))
+    spanning_paths: List[Tuple[str, ...]] = []
+    for k in range(total_pods - 1):
+        links.append((
+            f"E{k}", f"I{k + 1}",
+            bridge_capacity if bridge_capacity is not None else capacity,
+            SchedulerKind.RATE_BASED.name, max_packet,
+        ))
+        spanning_paths.append(pod_paths[k] + pod_paths[k + 1])
+
+    partition = PartitionMap.plan(
+        list(shard_names), list(pod_paths),
+        version=map_version, epoch=map_epoch,
+    )
+    return PodDomainSpec(
+        shard_names=shard_names,
+        links=tuple(links),
+        pod_paths=pod_paths,
+        spanning_paths=tuple(spanning_paths),
+        partition=partition.to_dict(),
+    )
+
+
+def domain_atlas(domain: PodDomainSpec) -> BandwidthBroker:
+    """The coordinator's full-domain atlas for *domain*."""
+    atlas = BandwidthBroker()
+    for src, dst, capacity, kind_name, max_packet in domain.links:
+        atlas.add_link(
+            src, dst, capacity, SchedulerKind[kind_name],
+            max_packet=max_packet,
+        )
+    for nodes in domain.pod_paths:
+        atlas.routing.pin_path(nodes)
+    for nodes in domain.spanning_paths:
+        atlas.routing.pin_path(nodes)
+    return atlas
+
+
+def shard_broker(domain: PodDomainSpec, name: str) -> BandwidthBroker:
+    """Materialize shard *name*'s broker (its links + local paths).
+
+    The single place that decides what one shard owns — the
+    in-process builder and the shard child-process entrypoint both
+    call it, so every deployment shape provisions identical per-shard
+    state.
+    """
+    partition = domain.partition_map()
+    broker = BandwidthBroker()
+    for src, dst, capacity, kind_name, max_packet in domain.links:
+        if partition.shard_of((src, dst)) != name:
+            continue
+        broker.add_link(
+            src, dst, capacity, SchedulerKind[kind_name],
+            max_packet=max_packet,
+        )
+    for nodes in domain.pod_paths:
+        if partition.shard_of((nodes[0], nodes[1])) == name:
+            broker.routing.pin_path(nodes)
+    # Spanning paths that collapse onto one shard (always true at one
+    # shard) are ordinary local paths there; pin them so the one-hop
+    # fast path can serve them.
+    for nodes in domain.spanning_paths:
+        owners = partition.shards_for_path(nodes)
+        if len(owners) == 1 and owners[0] == name:
+            broker.routing.pin_path(nodes)
+    return broker
 
 
 @dataclass
@@ -142,65 +266,31 @@ def build_pod_cluster(
         *ingress* pod is delay-free — mixed spanning layouts beyond
         that are the coordinator's unsupported-layout rejection.
     """
-    total_pods = pods if pods is not None else num_shards
-    if total_pods < 1:
-        raise ValueError("need >= 1 pod")
-    shard_names = [f"shard{index}" for index in range(num_shards)]
-    pod_paths = [_pod_nodes(k, hops) for k in range(total_pods)]
-
-    atlas = BandwidthBroker()
-    for nodes in pod_paths:
-        total = len(nodes) - 1
-        for hop_index, (src, dst) in enumerate(zip(nodes, nodes[1:])):
-            kind = (
-                SchedulerKind.DELAY_BASED
-                if hop_index >= total - delay_hops
-                else SchedulerKind.RATE_BASED
-            )
-            atlas.add_link(src, dst, capacity, kind,
-                           max_packet=max_packet)
-        atlas.routing.pin_path(nodes)
-    spanning_paths: List[Tuple[str, ...]] = []
-    for k in range(total_pods - 1):
-        atlas.add_link(
-            f"E{k}", f"I{k + 1}",
-            bridge_capacity if bridge_capacity is not None else capacity,
-            SchedulerKind.RATE_BASED, max_packet=max_packet,
-        )
-        spanning = pod_paths[k] + pod_paths[k + 1]
-        atlas.routing.pin_path(spanning)
-        spanning_paths.append(spanning)
-
-    partition = PartitionMap.plan(
-        shard_names, pod_paths, version=map_version, epoch=map_epoch,
+    domain = plan_pod_domain(
+        num_shards,
+        pods=pods,
+        hops=hops,
+        capacity=capacity,
+        bridge_capacity=bridge_capacity,
+        max_packet=max_packet,
+        delay_hops=delay_hops,
+        map_version=map_version,
+        map_epoch=map_epoch,
     )
-    brokers = {name: BandwidthBroker() for name in shard_names}
-    for link in atlas.node_mib.links():
-        owner = partition.shard_of(link.link_id)
-        brokers[owner].add_link(
-            link.link_id[0], link.link_id[1], link.capacity, link.kind,
-            propagation=link.propagation, max_packet=link.max_packet,
-        )
-    for nodes in pod_paths:
-        owner = partition.shard_of((nodes[0], nodes[1]))
-        brokers[owner].routing.pin_path(nodes)
-    # Spanning paths that collapse onto one shard (always true at
-    # num_shards == 1) are ordinary local paths there; pin them so the
-    # one-hop fast path can serve them.
-    for nodes in spanning_paths:
-        owners = partition.shards_for_path(nodes)
-        if len(owners) == 1:
-            brokers[owners[0]].routing.pin_path(nodes)
+    atlas = domain_atlas(domain)
+    partition = domain.partition_map()
+    pod_paths = list(domain.pod_paths)
+    spanning_paths = list(domain.spanning_paths)
 
     shards: Dict[str, BrokerShard] = {}
-    for name in shard_names:
+    for name in domain.shard_names:
         wal = None
         if wal_root is not None:
             directory = os.path.join(os.fspath(wal_root), name)
             os.makedirs(directory, exist_ok=True)
             wal = FileJournal(directory, fsync=fsync)
         shards[name] = BrokerShard(
-            name, brokers[name], partition,
+            name, shard_broker(domain, name), partition,
             wal=wal,
             workers=workers,
             lock_shards=lock_shards,

@@ -156,11 +156,16 @@ class EdgeGateway:
     # lifecycle (TCP mode)
     # ------------------------------------------------------------------
 
-    def listen(self, host: str = "127.0.0.1", port: int = 0
-               ) -> Tuple[str, int]:
+    def listen(self, host: str = "127.0.0.1", port: int = 0, *,
+               reuseport: bool = False) -> Tuple[str, int]:
         """Bind the accept socket; returns ``(host, port)`` (port 0
-        picks a free ephemeral port, read it from the return)."""
-        self._listener = TcpListener(host, port)
+        picks a free ephemeral port, read it from the return).
+
+        ``reuseport=True`` joins an ``SO_REUSEPORT`` accept group —
+        several gateway worker processes bind the same port and the
+        kernel load-balances incoming agent connections across them.
+        """
+        self._listener = TcpListener(host, port, reuseport=reuseport)
         return self._listener.host, self._listener.port
 
     def start(self) -> "EdgeGateway":
@@ -182,6 +187,33 @@ class EdgeGateway:
         reaper.start()
         self._threads.append(reaper)
         return self
+
+    def stop_accepting(self) -> None:
+        """First half of a graceful drain: close the listener so no
+        new agent connections land here, while live sessions keep
+        being served.  Safe to call before :meth:`stop` (closing a
+        closed listener is a no-op)."""
+        if self._listener is not None:
+            self._listener.close()
+
+    def drain_outboxes(self, timeout: float = 2.0) -> bool:
+        """Second half of a graceful drain: wait until no request is
+        in flight and every session's reply outbox has been flushed.
+        Returns ``False`` if *timeout* elapsed with work still
+        pending (the caller may still :meth:`stop`; undelivered
+        replies are covered by the agents' idempotent retries)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            with self._lock:
+                busy = bool(self._inflight) or any(
+                    session.outbox or session.flushing
+                    for session in self._sessions.values()
+                )
+            if not busy:
+                return True
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(0.01)
 
     def stop(self) -> None:
         """Close the listener and every session; join the threads."""

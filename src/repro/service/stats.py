@@ -286,7 +286,7 @@ def _prom_labels(labels: Dict[str, str]) -> str:
     return "{" + inner + "}"
 
 
-def prometheus_exposition(stats: ServiceStats, *,
+def prometheus_exposition(stats, *,
                           labels: Dict[str, str] = None) -> str:
     """Render a snapshot in the Prometheus text exposition format.
 
@@ -296,6 +296,11 @@ def prometheus_exposition(stats: ServiceStats, *,
     get a ``shard`` label per element, and per-follower replication
     lag gets a ``follower`` label — so one scrape of a sharded,
     replicated service stays a flat sample set.
+
+    *stats* is a :class:`ServiceStats` or an ``as_dict()``-shaped
+    mapping — the latter is how cross-process snapshots (a remote
+    shard's ``stats`` frame) are rendered without reconstructing the
+    dataclass.
     """
     labels = dict(labels or {})
     lines = []
@@ -313,7 +318,8 @@ def prometheus_exposition(stats: ServiceStats, *,
             rendered = str(value)
         lines.append(f"{metric}{_prom_labels(merged)} {rendered}")
 
-    for key, value in stats.as_dict().items():
+    data = stats.as_dict() if hasattr(stats, "as_dict") else dict(stats)
+    for key, value in data.items():
         if key in ("shard_acquisitions", "shard_contention"):
             kind = "counter"
             metric = f"repro_service_{key}"

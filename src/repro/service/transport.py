@@ -287,6 +287,17 @@ class TcpConnection:
             try:
                 self._sock.sendall(blob)
             except OSError as exc:
+                # A failed sendall may have written a *prefix* of the
+                # blob (a close() racing a send_many lands here), so
+                # the byte stream is no longer frame-aligned.  Poison
+                # the connection: every later send/recv surfaces
+                # TransportClosed instead of corrupting framing.
+                with self._close_lock:
+                    self._closed = True
+                try:
+                    self._sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
                 raise TransportClosed(f"send failed: {exc}") from exc
 
     def set_codec(self, codec: str) -> None:
@@ -421,9 +432,19 @@ class TcpListener:
     read it back from :attr:`port`.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 reuseport: bool = False) -> None:
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        if reuseport:
+            # Shared accept group: N processes bind the same port and
+            # the kernel load-balances incoming connections across the
+            # *listening* sockets (the multi-process gateway's accept
+            # path).  Raises on platforms without SO_REUSEPORT rather
+            # than silently serving from one process.
+            self._sock.setsockopt(
+                socket.SOL_SOCKET, socket.SO_REUSEPORT, 1
+            )
         self._sock.bind((host, port))
         self._sock.listen(16)
         self.host, self.port = self._sock.getsockname()[:2]

@@ -16,6 +16,7 @@ import random
 import socket
 import struct
 import threading
+import time
 
 import pytest
 
@@ -403,3 +404,113 @@ class TestTcpSockets:
         with pytest.raises(TransportClosed):
             client.recv(timeout=0.1)
         server.close()
+
+    def test_failed_send_poisons_the_connection(self):
+        """A sendall that dies mid-write may have emitted a *prefix*
+        of the frame, so the byte stream is no longer frame-aligned.
+        The connection must poison itself: the failing send raises
+        TransportClosed and every later send/recv does too — never a
+        fresh frame appended after half of an old one.
+        """
+        client = connect_tcp(self.listener.host, self.listener.port)
+        server = self.listener.accept(timeout=5.0)
+        real_sock = client._sock
+
+        class _PartialWriteSock:
+            """Writes a prefix, then fails — an interrupted sendall."""
+
+            def sendall(self, blob):
+                real_sock.sendall(blob[: len(blob) // 2])
+                raise OSError("simulated mid-write failure")
+
+            def __getattr__(self, name):
+                return getattr(real_sock, name)
+
+        client._sock = _PartialWriteSock()
+        with pytest.raises(TransportClosed, match="send failed"):
+            client.send({"blob": "x" * 1024})
+        # Poisoned: the half-written frame must never be "repaired"
+        # by later traffic on a desynchronized stream.
+        client._sock = real_sock
+        with pytest.raises(TransportClosed):
+            client.send({"seq": 2})
+        with pytest.raises(TransportClosed):
+            client.recv(timeout=0.1)
+        # The peer sees the prefix then the shutdown — a clean
+        # TransportClosed, not a garbled frame.
+        with pytest.raises(TransportClosed):
+            server.recv(timeout=5.0)
+        client.close()
+        server.close()
+
+    def test_close_racing_send_many_surfaces_transport_closed(self):
+        """close() landing mid-``send_many`` must surface as
+        TransportClosed to the sender — not a silent partial batch
+        the caller believes was delivered.
+        """
+        for _ in range(5):
+            client = connect_tcp(self.listener.host, self.listener.port)
+            server = self.listener.accept(timeout=5.0)
+            # Tiny buffers + a huge batch: sendall WILL block with
+            # the batch partially written, which is exactly the
+            # window close() has to race into.
+            client._sock.setsockopt(
+                socket.SOL_SOCKET, socket.SO_SNDBUF, 16 * 1024)
+            server._sock.setsockopt(
+                socket.SOL_SOCKET, socket.SO_RCVBUF, 16 * 1024)
+            batch = [{"seq": index, "blob": "y" * (128 * 1024)}
+                     for index in range(16)]
+            outcome = []
+
+            def send_batch():
+                try:
+                    client.send_many(batch)
+                    outcome.append("sent")
+                except TransportClosed:
+                    outcome.append("closed")
+                except Exception as exc:
+                    outcome.append(repr(exc))
+
+            thread = threading.Thread(target=send_batch)
+            thread.start()
+            time.sleep(0.02)  # let sendall fill the buffer and block
+            client.close()
+            thread.join(timeout=5.0)
+            assert not thread.is_alive()
+            # Nobody drained the 2 MiB batch through a 16 KiB pipe in
+            # 20 ms: the close raced an in-flight write and the sender
+            # must have seen TransportClosed, nothing else.
+            assert outcome == ["closed"]
+            with pytest.raises(TransportClosed):
+                client.send({"after": True})
+            server.close()
+
+    def test_reuseport_listeners_share_one_accept_group(self):
+        """Two listeners on the same port with ``reuseport=True`` —
+        the kernel balances connections across them (the gateway
+        worker group's accept path).
+        """
+        first = TcpListener(reuseport=True)
+        second = TcpListener(first.host, first.port, reuseport=True)
+        try:
+            assert second.port == first.port
+            hits = {"first": 0, "second": 0}
+            for index in range(8):
+                sock = socket.create_connection(
+                    (first.host, first.port), timeout=5.0)
+                self.raw.append(sock)
+                sock.sendall(encode_frame({"seq": index}))
+                for name, listener in (("first", first),
+                                       ("second", second)):
+                    conn = listener.accept(timeout=0.2)
+                    if conn is not None:
+                        assert conn.recv(timeout=5.0) == {"seq": index}
+                        conn.close()
+                        hits[name] += 1
+                        break
+                else:
+                    pytest.fail("no listener accepted the connection")
+            assert hits["first"] + hits["second"] == 8
+        finally:
+            first.close()
+            second.close()
