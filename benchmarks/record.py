@@ -16,8 +16,15 @@ Importable too::
     record("BENCH_cluster.json", results, note="...")
 
 Entries never overwrite each other; the ledger is append-only by
-construction (re-recording an identical payload is the caller's
-mistake to avoid, not this script's to detect).
+construction.  Two guards keep it trustworthy:
+
+* every entry is validated against :data:`REQUIRED_KEYS` (and the
+  ``host`` stamp against :data:`REQUIRED_HOST_KEYS`) before the
+  ledger is rewritten — a ledger with entries missing provenance or
+  CPU topology cannot back a perf claim;
+* re-recording the same ``(source, config)`` pair is rejected unless
+  ``--force`` is given, so a re-run script cannot silently double an
+  entry and skew any later averaging over the ledger.
 """
 
 from __future__ import annotations
@@ -74,13 +81,58 @@ def _host_info() -> dict:
         }
 
 
+#: Keys every ledger entry must carry to be a usable perf record.
+REQUIRED_KEYS = ("recorded", "commit", "note", "source", "host",
+                 "results")
+
+#: The minimum host stamp that makes results comparable across runners.
+REQUIRED_HOST_KEYS = ("cpus", "platform", "python")
+
+
+def validate_entry(entry: Any) -> None:
+    """Raise ``ValueError`` unless *entry* is a well-formed record."""
+    if not isinstance(entry, dict):
+        raise ValueError(f"entry is {type(entry).__name__}, not a dict")
+    missing = [key for key in REQUIRED_KEYS if key not in entry]
+    if missing:
+        raise ValueError(f"entry missing keys: {', '.join(missing)}")
+    host = entry["host"]
+    if not isinstance(host, dict):
+        raise ValueError("entry 'host' is not a dict")
+    lost = [key for key in REQUIRED_HOST_KEYS if key not in host]
+    if lost:
+        raise ValueError(
+            f"entry host stamp missing: {', '.join(lost)} — results "
+            "without CPU topology are not comparable across runners"
+        )
+
+
+def entry_key(entry: dict) -> str:
+    """Identity of a run for duplicate detection: what produced it
+    (``source``) plus the canonical JSON of its configuration.
+
+    The config is ``results["config"]`` when the artifact carries one,
+    else the whole results payload — so even schemaless artifacts
+    collide when byte-identical.
+    """
+    results = entry.get("results")
+    config = results
+    if isinstance(results, dict):
+        config = results.get("config", results)
+    return json.dumps([entry.get("source", ""), config],
+                      sort_keys=True, separators=(",", ":"),
+                      default=str)
+
+
 def record(ledger_path: str, results: Any, *, note: str = "",
-           source: str = "", recorded: Optional[str] = None) -> dict:
+           source: str = "", recorded: Optional[str] = None,
+           force: bool = False) -> dict:
     """Append one entry holding *results* to the ledger; returns it.
 
     Every entry is stamped with the recording host's CPU topology —
     bench results without core counts are not comparable across
-    runners.
+    runners.  Appending a ``(source, config)`` pair the ledger already
+    holds raises ``SystemExit`` unless *force* is true.
     """
     entry = {
         "recorded": recorded or time.strftime("%Y-%m-%d"),
@@ -90,6 +142,7 @@ def record(ledger_path: str, results: Any, *, note: str = "",
         "host": _host_info(),
         "results": results,
     }
+    validate_entry(entry)
     ledger = []
     if os.path.exists(ledger_path):
         with open(ledger_path) as handle:
@@ -98,6 +151,16 @@ def record(ledger_path: str, results: Any, *, note: str = "",
             raise SystemExit(
                 f"{ledger_path} is not a JSON list of run entries"
             )
+        key = entry_key(entry)
+        for index, prior in enumerate(ledger):
+            if isinstance(prior, dict) and entry_key(prior) == key:
+                if force:
+                    break
+                raise SystemExit(
+                    f"{ledger_path} entry {index} already records this "
+                    f"(source, config) pair — pass --force to append "
+                    "a deliberate re-run"
+                )
     ledger.append(entry)
     with open(ledger_path, "w") as handle:
         json.dump(ledger, handle, indent=2)
@@ -119,11 +182,14 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--source", default="",
                         help="what produced the artifact, e.g. "
                              "'repro shard-bench'")
+    parser.add_argument("--force", action="store_true",
+                        help="append even if the ledger already holds "
+                             "this (source, config) pair")
     args = parser.parse_args(argv)
     with open(args.artifact) as handle:
         results = json.load(handle)
     entry = record(args.ledger, results, note=args.note,
-                   source=args.source)
+                   source=args.source, force=args.force)
     print(f"recorded {args.artifact} -> {args.ledger} "
           f"(commit {entry['commit'] or 'unknown'}, "
           f"{entry['recorded']})")

@@ -41,6 +41,7 @@ as a smoke test in CI pipelines.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -1031,6 +1032,65 @@ def _cmd_edge_bench(args: argparse.Namespace) -> int:
     return 0 if sum(errors) == 0 else 1
 
 
+def _cmd_soak(args: argparse.Namespace) -> int:
+    from repro.hostinfo import host_info, process_topology
+    from repro.soak import ScenarioConfig, SoakConfig, run_soak
+
+    scenario = ScenarioConfig(
+        seed=args.seed,
+        target_events=args.events,
+        refresh_interval=args.refresh_interval,
+    )
+    config = SoakConfig(
+        scenario=scenario,
+        shards=args.shards,
+        gateway_workers=args.gateway_workers,
+        drivers=args.drivers,
+        chaos_injections=args.chaos,
+        fsync=args.fsync,
+    )
+    report = run_soak(config, run_dir=args.run_dir, log=print)
+    payload = report.as_dict()
+    payload["host"] = host_info()
+    payload["topology"] = process_topology(
+        "procs", shard_processes=args.shards,
+        gateway_workers=args.gateway_workers,
+        workers_per_shard=config.service_workers,
+        drivers=args.drivers,
+    )
+    print(render_table(
+        ["events", "events/s", "survivors", "chaos kinds",
+         "live findings", "replay findings", "audit"],
+        [[report.events, f"{report.events_per_second:.0f}",
+          report.survivors, ",".join(report.chaos_kinds),
+          len(report.live_audit.findings),
+          len(report.replay_audit.findings),
+          "CLEAN" if report.ok else "DIRTY"]],
+    ))
+    if not report.ok:
+        for finding in (report.live_audit.findings
+                        + report.replay_audit.findings):
+            print(f"  {finding.kind}: {finding.subject}: "
+                  f"{finding.detail}", file=sys.stderr)
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"\nwrote {args.json}")
+    return 0 if report.ok else 1
+
+
+def _cmd_verify_state(args: argparse.Namespace) -> int:
+    from repro.soak.audit import audit_shard_dirs
+
+    report = audit_shard_dirs(args.shard_dir)
+    print(report.summary())
+    print(f"state: {'CLEAN' if report.ok else 'DIRTY'}")
+    for finding in report.findings:
+        print(f"  {finding.kind}: {finding.subject}: {finding.detail}",
+              file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -1298,6 +1358,50 @@ def build_parser() -> argparse.ArgumentParser:
                             help="also write the report to this JSON "
                                  "file")
     edge_bench.set_defaults(func=_cmd_edge_bench)
+    soak = sub.add_parser(
+        "soak",
+        help="open-loop soak/chaos run: REST control plane over a "
+             "multi-process cluster, ending in the invariant audit "
+             "(extension)",
+    )
+    soak.add_argument("--run-dir", required=True,
+                      help="cluster run directory (keeps the WAL for "
+                           "a later verify-state)")
+    soak.add_argument("--events", type=int, default=1_000_000,
+                      help="flow-lifecycle events to replay "
+                           "(default 1000000)")
+    soak.add_argument("--seed", type=int, default=0,
+                      help="scenario + chaos seed (default 0)")
+    soak.add_argument("--shards", type=int, default=2,
+                      help="shard processes (default 2)")
+    soak.add_argument("--gateway-workers", type=int, default=2,
+                      help="SO_REUSEPORT gateway workers (default 2)")
+    soak.add_argument("--drivers", type=int, default=4,
+                      help="driver threads == REST agent pool "
+                           "(default 4)")
+    soak.add_argument("--chaos", type=int, default=3,
+                      help="chaos injections (default 3; cycles "
+                           "kill_shard/kill_gateway/partition)")
+    soak.add_argument("--refresh-interval", type=float, default=8.0,
+                      help="per-flow refresh cadence in domain "
+                           "seconds (default 8; 0 disables)")
+    soak.add_argument("--fsync", action="store_true",
+                      help="fsync shard WAL appends (slower, "
+                           "crash-stronger)")
+    soak.add_argument("--json", default="",
+                      help="also write the report to this JSON file")
+    soak.set_defaults(func=_cmd_soak)
+    verify_state = sub.add_parser(
+        "verify-state",
+        help="standalone invariant audit of a cluster data directory "
+             "(WAL replay, stranded holds, double admits, in-doubt "
+             "2PC)",
+    )
+    verify_state.add_argument("--shard-dir", required=True,
+                              help="soak run dir or bare WAL root "
+                                   "holding per-shard journal "
+                                   "subdirectories")
+    verify_state.set_defaults(func=_cmd_verify_state)
     everything = sub.add_parser("all", help="regenerate the whole evaluation")
     everything.add_argument("--runs", type=int, default=5)
     everything.add_argument("--fast", action="store_true")

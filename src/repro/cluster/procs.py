@@ -903,6 +903,13 @@ class _Child:
     endpoint: Optional[Callable[[], Tuple[str, int]]] = None
     restarts: int = 0
     ping_failures: int = 0
+    #: True once this incarnation has answered a ping — readiness.
+    #: Liveness kills only apply after it; a restarting shard can
+    #: legitimately spend an unbounded stretch replaying its WAL
+    #: before it binds, and killing it mid-recovery restarts the
+    #: replay from scratch (a crash-loop that also starves the
+    #: whole coordinator wire on dead-endpoint dials).
+    responsive: bool = False
     next_restart_at: float = 0.0
     stopping: bool = False
     failed: bool = False
@@ -1015,12 +1022,16 @@ class ProcessSupervisor:
     def _check_ping(self, child: _Child) -> None:
         if self._ping_once(child):
             child.ping_failures = 0
+            child.responsive = True
             return
         child.ping_failures += 1
         self.pings_failed += 1
-        if child.ping_failures >= self.ping_grace:
-            # Alive but deaf: treat as hung, kill and let the restart
-            # path bring back a responsive replacement.
+        if child.ping_failures >= self.ping_grace and child.responsive:
+            # Responsive once, deaf now: treat as hung, kill and let
+            # the restart path bring back a replacement.  A child
+            # that has *never* answered is still starting up (e.g.
+            # replaying a long WAL before it binds) — leave it be;
+            # a startup crash shows up via ``is_alive`` instead.
             child.ping_failures = 0
             try:
                 child.process.kill()
@@ -1065,6 +1076,7 @@ class ProcessSupervisor:
         child.restarts += 1
         self.restarts_total += 1
         child.ping_failures = 0
+        child.responsive = False
         child.process = self._spawn(child.target, child.restart_spec)
 
     # -- control -------------------------------------------------------

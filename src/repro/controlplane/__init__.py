@@ -1,0 +1,28 @@
+"""North-facing REST control plane over the edge signaling tier.
+
+The paper keeps QoS logic in the bandwidth broker and state at the
+edge; this package adds the one missing production surface — a thin
+HTTP/JSON API — without moving an ounce of either.  The WSGI app in
+:mod:`repro.controlplane.app` fronts a pool of
+:class:`~repro.edge.agent.EdgeAgent` connections to the gateway, so
+REST clients inherit the exactly-once machinery for free: a client's
+``Idempotency-Key`` header becomes the agent-level idempotency key,
+replays dedup at the gateway, backpressure surfaces as ``429`` +
+``Retry-After``, and deadline headers become the agent's op budget.
+
+:mod:`repro.controlplane.server` serves the app on stdlib
+``wsgiref`` (threaded, keep-alive); :mod:`repro.controlplane.client`
+is the matching minimal HTTP client the soak harness drives.
+"""
+
+from repro.controlplane.app import ControlPlaneApp
+from repro.controlplane.client import ControlPlaneClient, RestReply
+from repro.controlplane.server import ControlPlaneServer, serve_controlplane
+
+__all__ = [
+    "ControlPlaneApp",
+    "ControlPlaneClient",
+    "ControlPlaneServer",
+    "RestReply",
+    "serve_controlplane",
+]

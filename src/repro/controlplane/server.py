@@ -1,0 +1,80 @@
+"""Threaded stdlib WSGI serving for the control plane.
+
+``wsgiref.simple_server`` with two production-shaped fixes: a
+``ThreadingMixIn`` server (one thread per connection — concurrency
+is bounded by the app's agent pool, which serializes per agent), and
+``HTTP/1.1`` keep-alive (the app always sets ``Content-Length``, so
+persistent connections frame correctly; the soak clients reuse one
+connection for thousands of requests instead of paying a TCP
+handshake per flow event).
+"""
+
+from __future__ import annotations
+
+import threading
+from socketserver import ThreadingMixIn
+from typing import Optional
+from wsgiref.simple_server import WSGIRequestHandler, WSGIServer, make_server
+
+__all__ = ["ControlPlaneServer", "serve_controlplane"]
+
+
+class _ThreadedWSGIServer(ThreadingMixIn, WSGIServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+
+class _QuietHandler(WSGIRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib name
+        pass  # per-request stderr lines would drown a million-event soak
+
+    def address_string(self) -> str:
+        return self.client_address[0]  # skip reverse DNS on every request
+
+
+class ControlPlaneServer:
+    """Own a listening socket + serving thread for a WSGI app."""
+
+    def __init__(self, app, *, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.app = app
+        self._httpd = make_server(
+            host, port, app,
+            server_class=_ThreadedWSGIServer,
+            handler_class=_QuietHandler,
+        )
+        self.host = self._httpd.server_address[0]
+        self.port = self._httpd.server_address[1]
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "ControlPlaneServer":
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name=f"controlplane-{self.port}", daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "ControlPlaneServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def serve_controlplane(app, *, host: str = "127.0.0.1",
+                       port: int = 0) -> ControlPlaneServer:
+    """Build and start a :class:`ControlPlaneServer` in one call."""
+    return ControlPlaneServer(app, host=host, port=port).start()

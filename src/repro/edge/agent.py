@@ -308,14 +308,21 @@ class EdgeAgent:
         return f"{self.name}#{next(self._idem_counter)}"
 
     def _call(self, build_frame: Callable[[float], protocol.Frame],
-              idem: str, *, budget: Optional[float] = None
-              ) -> protocol.Frame:
+              idem: str, *, budget: Optional[float] = None,
+              surface_try_again: bool = False) -> protocol.Frame:
         """Send a request until a terminal reply arrives.
 
         *build_frame* receives the remaining budget in ms and returns
         the frame for this attempt — same ``idem`` every time, so the
         attempts are idempotent at the gateway.  Raises
         :class:`AgentTimeout` when the budget is spent.
+
+        With *surface_try_again* a ``try-again`` reply is returned to
+        the caller instead of being retried here — the shape a proxy
+        tier (the REST control plane) needs to map backpressure to its
+        own protocol (``429`` + ``Retry-After``) and let the *remote*
+        client own the retry.  Transport losses still retry locally
+        either way: they carry no backpressure signal to propagate.
         """
         budget = self.op_budget if budget is None else budget
         deadline = time.monotonic() + budget
@@ -346,9 +353,11 @@ class EdgeAgent:
                     self._sleep(self._backoff(attempt), deadline)
                     continue
                 if reply.get("status") == protocol.STATUS_TRY_AGAIN:
+                    self.try_agains += 1
+                    if surface_try_again:
+                        return reply
                     # Never executed; honour the gateway's hint.
                     attempt += 1
-                    self.try_agains += 1
                     hint = float(reply.get("retry_after", 0.0))
                     self._sleep(max(hint, self._backoff(attempt)),
                                 deadline)
@@ -496,15 +505,23 @@ class EdgeAgent:
         path_nodes: Optional[Sequence[str]] = None,
         now: float = 0.0,
         budget: Optional[float] = None,
+        idem: Optional[str] = None,
+        surface_try_again: bool = False,
     ) -> protocol.Frame:
         """Request admission for a new flow; returns the reply frame.
 
         On an admitted ``ok`` reply the flow enters the agent's table
         with its lease, and a macroflow feedback due-time is recorded
         when the broker handed back a drain hint.
+
+        *idem* overrides the generated idempotency key — a fronting
+        tier that accepts client-supplied keys (``Idempotency-Key``)
+        passes them through here so a replayed client request dedups
+        at the gateway exactly like the agent's own retransmits.
         """
         self.advance_clock(now)
-        idem = self.next_idem()
+        if idem is None:
+            idem = self.next_idem()
         reply = self._call(
             lambda ms: protocol.make_admit(
                 self.name, idem, flow_id, spec, delay_requirement,
@@ -512,7 +529,7 @@ class EdgeAgent:
                 path_nodes=path_nodes, now=now, budget_ms=ms,
                 version=self._proto_version,
             ),
-            idem, budget=budget,
+            idem, budget=budget, surface_try_again=surface_try_again,
         )
         self._note_admit_reply(flow_id, spec, delay_requirement, now,
                                reply)
@@ -555,16 +572,19 @@ class EdgeAgent:
                     self._feedback_due[key] = due
 
     def teardown(self, flow_id: str, *, now: float = 0.0,
-                 budget: Optional[float] = None) -> protocol.Frame:
+                 budget: Optional[float] = None,
+                 idem: Optional[str] = None,
+                 surface_try_again: bool = False) -> protocol.Frame:
         """Tear an admitted flow down; drops it from the flow table."""
         self.advance_clock(now)
-        idem = self.next_idem()
+        if idem is None:
+            idem = self.next_idem()
         reply = self._call(
             lambda ms: protocol.make_teardown(
                 self.name, idem, flow_id, now=now, budget_ms=ms,
                 version=self._proto_version,
             ),
-            idem, budget=budget,
+            idem, budget=budget, surface_try_again=surface_try_again,
         )
         if reply.get("status") != protocol.STATUS_TRY_AGAIN:
             with self._state_lock:
@@ -653,7 +673,9 @@ class EdgeAgent:
         return results
 
     def refresh(self, *, now: float = 0.0,
-                budget: Optional[float] = None
+                budget: Optional[float] = None,
+                flow_ids: Optional[Sequence[str]] = None,
+                idem: Optional[str] = None
                 ) -> Tuple[List[str], List[str]]:
         """Heartbeat: refresh every owned lease.
 
@@ -661,13 +683,21 @@ class EdgeAgent:
         knows (their lease expired and was reaped — e.g. after a
         partition longer than the lease) are dropped from the local
         table, which is the edge converging to the broker's truth.
+
+        *flow_ids* narrows the refresh to a subset (the REST tier's
+        per-flow ``POST /v1/flows/<id>/refresh``); the default is
+        every flow in the local table.
         """
         self.advance_clock(now)
-        with self._state_lock:
-            flow_ids = list(self.flows)
+        if flow_ids is None:
+            with self._state_lock:
+                flow_ids = list(self.flows)
+        else:
+            flow_ids = list(flow_ids)
         if not flow_ids:
             return [], []
-        idem = self.next_idem()
+        if idem is None:
+            idem = self.next_idem()
         reply = self._call(
             lambda ms: protocol.make_refresh(
                 self.name, idem, flow_ids, now=now, budget_ms=ms,

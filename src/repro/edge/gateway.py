@@ -149,6 +149,7 @@ class EdgeGateway:
         self.duplicates_attached = 0
         self.protocol_errors = 0
         self.reaped = 0
+        self.leases_adopted = 0
         self.telemetry_frames = 0
         self.idle_reclaimed = 0
 
@@ -454,7 +455,22 @@ class EdgeGateway:
             )
         decision = reply.decision
         lease_info = None
-        if decision.admitted:
+        adopt = (
+            not decision.admitted
+            and "already admitted" in decision.detail
+            and self.leases.get(decision.flow_id) is None
+        )
+        if adopt:
+            # The broker holds capacity for this flow but no edge
+            # leases it here — the classic orphan after a gateway
+            # worker died with its in-memory lease table.  The flow's
+            # rightful owner re-signaling its admit (same flow, fresh
+            # idempotency key through a surviving worker) re-adopts
+            # the lease instead of racing the reaper for its own
+            # capacity.  The admission stays refused (no double
+            # reservation); only ownership transfers.
+            self.leases_adopted += 1
+        if decision.admitted or adopt:
             macroflow_key, drain_bound = self._macroflow_hints(
                 decision.flow_id
             )
@@ -623,9 +639,17 @@ class EdgeGateway:
     def _complete(self, agent: str, idem: str, reply) -> None:
         """Publish a reply: dedup window first, in-flight pop second,
         send last — so a concurrently arriving retry always observes
-        either the in-flight entry or the cached reply."""
+        either the in-flight entry or the cached reply.
+
+        Only ``ok`` replies are cached.  ``try-again`` and ``error``
+        outcomes left no effect worth replaying (a shed op never ran;
+        an errored op is idempotent to re-run), and caching them
+        would pin a transient failure — e.g. a shard unreachable
+        during a partition — onto the idempotency key forever, so a
+        client's retry after the partition heals could never succeed.
+        """
         with self._lock:
-            if reply.get("status") != protocol.STATUS_TRY_AGAIN:
+            if reply.get("status") == protocol.STATUS_OK:
                 self.dedup.put(agent, idem, reply)
             self._inflight.pop((agent, idem), None)
         self._send_to_agent(agent, reply)
@@ -812,6 +836,7 @@ class EdgeGateway:
             "duplicates_attached": self.duplicates_attached,
             "protocol_errors": self.protocol_errors,
             "reaped": self.reaped,
+            "leases_adopted": self.leases_adopted,
             "telemetry_frames": self.telemetry_frames,
             "idle_reclaimed": self.idle_reclaimed,
             "inflight": inflight,

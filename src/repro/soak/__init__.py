@@ -1,0 +1,66 @@
+"""Million-event soak + chaos harness against the REST control plane.
+
+The paper's claim is that one decoupled bandwidth broker can carry an
+entire domain's QoS control; this package is the production-shaped
+proof obligation.  :mod:`repro.soak.scenario` generates deterministic
+open-loop workloads (diurnal arrival curves, flash crowds, heavy-tail
+Pareto holding times), :mod:`repro.soak.chaos` composes them with
+fault injections (SIGKILL a shard, kill the gateway workers,
+partition a shard handle), :mod:`repro.soak.engine` drives the whole
+thing through :mod:`repro.controlplane` against a multi-process
+cluster, and :mod:`repro.soak.audit` is the mandatory end-of-run
+invariant check: WAL replay == live MIB state, zero orphaned leases,
+zero double-admits, zero stranded ``txn:`` holds.
+"""
+
+from repro.soak.audit import (
+    AuditReport,
+    Finding,
+    audit_proc_cluster,
+    audit_recovered_shards,
+    audit_shard_dirs,
+    diff_link_views,
+    find_double_admits,
+    find_stranded_holds,
+    fused_from_atlas,
+    link_view_of_broker,
+    link_view_of_dumps,
+    load_domain_spec,
+    save_domain_spec,
+    scan_orphans,
+)
+from repro.soak.chaos import ChaosEvent, ChaosLog, chaos_schedule
+from repro.soak.engine import SoakConfig, SoakReport, run_soak
+from repro.soak.scenario import (
+    ScenarioConfig,
+    SoakEvent,
+    generate_schedule,
+    schedule_digest,
+)
+
+__all__ = [
+    "AuditReport",
+    "ChaosEvent",
+    "ChaosLog",
+    "Finding",
+    "ScenarioConfig",
+    "SoakConfig",
+    "SoakEvent",
+    "SoakReport",
+    "audit_proc_cluster",
+    "audit_recovered_shards",
+    "audit_shard_dirs",
+    "chaos_schedule",
+    "diff_link_views",
+    "find_double_admits",
+    "find_stranded_holds",
+    "fused_from_atlas",
+    "generate_schedule",
+    "link_view_of_broker",
+    "link_view_of_dumps",
+    "load_domain_spec",
+    "run_soak",
+    "save_domain_spec",
+    "scan_orphans",
+    "schedule_digest",
+]

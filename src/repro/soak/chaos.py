@@ -1,0 +1,181 @@
+"""Deterministic chaos schedules and their application to a cluster.
+
+A chaos schedule is *data* — a tuple of :class:`ChaosEvent` drawn
+from the same seeded RNG as the workload — so the same ``--seed``
+kills the same processes at the same points in the event stream.
+:class:`ChaosLog` is the applier: it drives the injections against a
+live :class:`~repro.cluster.procs.ProcCluster` (reusing the
+``ProcessSupervisor`` restart machinery the fault suites exercise)
+and records exactly what was done for the run report.
+
+Injection kinds:
+
+``kill_shard``
+    SIGKILL a shard process; the supervisor restarts it and the
+    shard recovers from its WAL.  In-flight ops ride the handle's
+    redial-and-retry path.
+``kill_gateway``
+    SIGKILL a gateway worker; its in-memory lease table dies with it
+    (the orphan source the audit scans for) while its siblings keep
+    serving the shared ``SO_REUSEPORT`` port.
+``partition``
+    Make a shard unreachable *and keep it down*: park the
+    supervisor's restarts, kill the process, and shrink the handle's
+    redial window so coordinator ops fail fast and queue as
+    unresolved.
+``heal``
+    Undo a partition: respawn the shard from its clean restart spec
+    and restore the redial window; the next op's reconnect hook
+    reaps and re-drives the parked work.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+__all__ = [
+    "CHAOS_KINDS",
+    "ChaosEvent",
+    "ChaosLog",
+    "chaos_schedule",
+]
+
+CHAOS_KINDS = ("kill_shard", "kill_gateway", "partition")
+
+#: How long (as a fraction of run duration) a partition lasts before
+#: its paired ``heal``.
+_PARTITION_SPAN = 0.08
+
+#: Redial window while a shard is partitioned: fail fast, park the op.
+#: Kept near one connect attempt — every failed dial occupies a
+#: coordinator-wire slot, and a million-event partition window sends
+#: thousands of them; a generous window here head-of-line blocks the
+#: healthy shards' traffic behind dead dials.
+_PARTITIONED_DIAL = 0.05
+
+
+class ChaosEvent(NamedTuple):
+    """One injection: *kind* against *target* at domain time *at*."""
+
+    at: float
+    kind: str
+    target: str
+
+
+def chaos_schedule(
+    rng: random.Random,
+    *,
+    duration: float,
+    shards: Sequence[str],
+    gateways: Sequence[str] = (),
+    count: int = 3,
+    kinds: Sequence[str] = CHAOS_KINDS,
+) -> Tuple[ChaosEvent, ...]:
+    """Draw *count* injections from *rng*, spread over the middle of
+    the run (never the first or last 10% — the workload must be in
+    flight for the injection to mean anything).
+
+    Kinds cycle through *kinds* so ``count >= len(kinds)`` guarantees
+    every kind fires at least once.  A ``partition`` automatically
+    appends its paired ``heal``.  Returns the events sorted by time.
+    """
+    usable = [
+        kind for kind in kinds
+        if kind != "kill_gateway" or gateways
+    ]
+    if not usable:
+        return ()
+    events: List[ChaosEvent] = []
+    for index in range(count):
+        kind = usable[index % len(usable)]
+        at = rng.uniform(0.1 * duration, 0.9 * duration)
+        if kind == "kill_gateway":
+            target = gateways[rng.randrange(len(gateways))]
+        else:
+            target = shards[rng.randrange(len(shards))]
+        events.append(ChaosEvent(at, kind, target))
+        if kind == "partition":
+            events.append(ChaosEvent(
+                min(duration, at + _PARTITION_SPAN * duration),
+                "heal", target,
+            ))
+    events.sort(key=lambda event: event.at)
+    return tuple(events)
+
+
+@dataclass
+class ChaosLog:
+    """Applies a chaos schedule to a live proc-cluster and keeps the
+    ledger of what actually happened (for the soak report)."""
+
+    cluster: Any
+    applied: List[Dict[str, Any]] = field(default_factory=list)
+    _saved_dial: Dict[str, float] = field(default_factory=dict)
+
+    def apply(self, event: ChaosEvent, *, now: float) -> None:
+        handler = getattr(self, f"_apply_{event.kind}", None)
+        if handler is None:
+            raise ValueError(f"unknown chaos kind {event.kind!r}")
+        handler(event.target)
+        self.applied.append({
+            "at": event.at,
+            "applied_now": now,
+            "kind": event.kind,
+            "target": event.target,
+        })
+
+    def kinds_applied(self) -> Tuple[str, ...]:
+        return tuple(sorted({entry["kind"] for entry in self.applied
+                             if entry["kind"] != "heal"}))
+
+    def heal_all(self) -> None:
+        """End-of-run safety net: heal every partition still open so
+        the audit sees a whole cluster."""
+        for target in list(self._saved_dial):
+            self._apply_heal(target)
+            self.applied.append({
+                "at": None, "applied_now": None,
+                "kind": "heal", "target": target,
+            })
+
+    def as_dict(self) -> List[Dict[str, Any]]:
+        return list(self.applied)
+
+    # -- the injections ------------------------------------------------
+
+    def _apply_kill_shard(self, target: str) -> None:
+        self.cluster.supervisor.kill(target)
+
+    def _apply_kill_gateway(self, target: str) -> None:
+        self.cluster.supervisor.kill(target)
+
+    def _apply_partition(self, target: str) -> None:
+        if target in self._saved_dial:
+            return  # already partitioned
+        handle = self.cluster.handles[target]
+        self._saved_dial[target] = handle.dial_timeout
+        handle.dial_timeout = _PARTITIONED_DIAL
+        child = self.cluster.supervisor._children[target]
+        child.stopping = True  # park the supervisor's restarts
+        child.process.kill()
+        child.process.join(timeout=5.0)
+
+    def _apply_heal(self, target: str) -> None:
+        saved = self._saved_dial.pop(target, None)
+        if saved is None:
+            return  # not partitioned
+        child = self.cluster.supervisor._children[target]
+        # Spawn BEFORE clearing ``stopping``: the monitor polls every
+        # 50ms, and seeing (dead process, stopping=False) it would
+        # schedule its own restart — two shard processes sharing one
+        # WAL directory.  With the live process assigned first the
+        # monitor only ever observes a healthy child.
+        child.ping_failures = 0
+        child.responsive = False  # readiness restarts with the respawn
+        child.process = self.cluster.supervisor._spawn(
+            child.target, child.restart_spec,
+        )
+        child.stopping = False
+        self.cluster.handles[target].dial_timeout = saved

@@ -1,0 +1,193 @@
+"""Deterministic open-loop workload generation for soak runs.
+
+Production-shaped arrivals, not uniform noise: a diurnal sinusoid
+modulates the base arrival rate (the day/night swing every operator
+graph shows), flash crowds multiply it for short windows (the event
+spike), and holding times are heavy-tail Pareto (most flows are
+short; a few hold capacity for orders of magnitude longer — the tail
+that breaks naive lease reapers).
+
+Everything is driven by **one** seeded :class:`random.Random`: the
+same :class:`ScenarioConfig` always yields the byte-identical event
+schedule (see :func:`schedule_digest`), so a soak failure replays
+exactly and the chaos schedule derived from the same seed lands at
+the same points in the workload.
+
+The schedule is *abstract*: events carry a path **index**, not node
+names, so the same schedule drives any topology with at least
+``num_paths`` pinned paths.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, NamedTuple, Sequence, Tuple
+
+__all__ = [
+    "ScenarioConfig",
+    "SoakEvent",
+    "generate_schedule",
+    "iter_flows",
+    "schedule_digest",
+]
+
+
+class SoakEvent(NamedTuple):
+    """One flow-lifecycle event: ``admit``, ``refresh`` or
+    ``teardown`` for *flow_id* at domain time *at* on path index
+    *path*."""
+
+    at: float
+    op: str
+    flow_id: str
+    path: int
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Knobs for one deterministic soak workload.
+
+    ``target_events`` bounds generation: flows are added until the
+    schedule holds at least that many lifecycle events (each flow
+    contributes one admit, one teardown, and any refreshes its
+    holding time spans).
+    """
+
+    seed: int = 0
+    target_events: int = 10_000
+    #: Mean arrival rate (flows per domain-second) before modulation.
+    base_rate: float = 50.0
+    #: Diurnal swing as a fraction of base rate (0 disables).
+    diurnal_amplitude: float = 0.6
+    #: Domain-seconds per simulated "day".
+    diurnal_period: float = 240.0
+    #: Number of flash-crowd bursts spread across the run.
+    flash_crowds: int = 2
+    #: Rate multiplier inside a flash-crowd window.
+    flash_multiplier: float = 6.0
+    #: Width of each flash-crowd window (domain-seconds).
+    flash_duration: float = 5.0
+    #: Pareto shape for holding times; 1 < alpha < 2 gives the
+    #: heavy tail (finite mean, infinite variance).
+    pareto_alpha: float = 1.5
+    #: Mean holding time (domain-seconds) of the Pareto draw.
+    mean_hold: float = 20.0
+    #: Hard cap on a single holding time.
+    max_hold: float = 600.0
+    #: Emit a refresh event every this many domain-seconds while a
+    #: flow holds (0 disables refresh events).  Keep below half the
+    #: gateway lease or the reaper wins.
+    refresh_interval: float = 0.0
+    #: Number of distinct pinned paths events are spread across.
+    num_paths: int = 4
+
+    def __post_init__(self) -> None:
+        if self.seed < 0:
+            raise ValueError("seed must be non-negative")
+        if self.target_events < 2:
+            raise ValueError("target_events must be at least 2")
+        if self.base_rate <= 0:
+            raise ValueError("base_rate must be positive")
+        if not 0 <= self.diurnal_amplitude < 1:
+            raise ValueError("diurnal_amplitude must be in [0, 1)")
+        if self.pareto_alpha <= 1:
+            raise ValueError("pareto_alpha must exceed 1 (finite mean)")
+        if self.num_paths < 1:
+            raise ValueError("num_paths must be at least 1")
+
+    # -- the rate curve ------------------------------------------------
+
+    def flash_windows(self, rng: random.Random) -> Tuple[Tuple[float, float], ...]:
+        """Deterministic flash-crowd windows: one per simulated day,
+        jittered inside it, so crowds land regardless of how long the
+        event budget stretches the run."""
+        windows = []
+        for index in range(self.flash_crowds):
+            day_start = (index + 1) * self.diurnal_period
+            start = day_start + rng.uniform(0, self.diurnal_period * 0.5)
+            windows.append((start, start + self.flash_duration))
+        return tuple(windows)
+
+    def rate_at(self, t: float,
+                flash: Sequence[Tuple[float, float]]) -> float:
+        rate = self.base_rate * (
+            1.0 + self.diurnal_amplitude
+            * math.sin(2.0 * math.pi * t / self.diurnal_period)
+        )
+        for start, end in flash:
+            if start <= t < end:
+                rate *= self.flash_multiplier
+                break
+        return rate
+
+    @property
+    def peak_rate(self) -> float:
+        return (self.base_rate * (1.0 + self.diurnal_amplitude)
+                * self.flash_multiplier)
+
+
+def iter_flows(
+    config: ScenarioConfig,
+) -> Iterator[Tuple[str, float, float, int]]:
+    """Yield ``(flow_id, arrival, holding, path_index)`` forever.
+
+    The non-homogeneous Poisson arrivals come from Lewis thinning at
+    the peak rate — every candidate consumes the same rng draws no
+    matter the acceptance, so the stream is a pure function of the
+    seed.  Holding times are ``xm * Pareto(alpha)`` with *xm* chosen
+    so the uncapped mean equals ``mean_hold``.
+    """
+    rng = random.Random(config.seed)
+    flash = config.flash_windows(rng)
+    peak = config.peak_rate
+    alpha = config.pareto_alpha
+    scale = config.mean_hold * (alpha - 1.0) / alpha
+    t = 0.0
+    index = 0
+    while True:
+        t += rng.expovariate(peak)
+        accept = rng.random()
+        if accept >= config.rate_at(t, flash) / peak:
+            continue
+        holding = min(config.max_hold, scale * rng.paretovariate(alpha))
+        path = rng.randrange(config.num_paths)
+        yield f"s{config.seed}-{index}", t, holding, path
+        index += 1
+
+
+def generate_schedule(config: ScenarioConfig) -> List[SoakEvent]:
+    """The full deterministic schedule, sorted by domain time.
+
+    Flows are appended until ``target_events`` lifecycle events
+    exist; Python's stable sort keeps same-timestamp events in
+    generation order, so the result is a pure function of *config*.
+    """
+    events: List[SoakEvent] = []
+    for flow_id, arrival, holding, path in iter_flows(config):
+        events.append(SoakEvent(arrival, "admit", flow_id, path))
+        if config.refresh_interval > 0:
+            due = arrival + config.refresh_interval
+            while due < arrival + holding:
+                events.append(SoakEvent(due, "refresh", flow_id, path))
+                due += config.refresh_interval
+        events.append(
+            SoakEvent(arrival + holding, "teardown", flow_id, path))
+        if len(events) >= config.target_events:
+            break
+    events.sort(key=lambda event: event.at)
+    return events
+
+
+def schedule_digest(events: Sequence[SoakEvent]) -> str:
+    """SHA-256 over the canonical encoding of *events* — the
+    byte-identical determinism check (same seed, same digest)."""
+    digest = hashlib.sha256()
+    for event in events:
+        digest.update(
+            f"{event.at!r} {event.op} {event.flow_id} "
+            f"{event.path}\n".encode("ascii")
+        )
+    return digest.hexdigest()

@@ -1,0 +1,127 @@
+"""The benchmark ledger recorder: schema + duplicate guards.
+
+``benchmarks/record.py`` is the only writer of the ``BENCH_*.json``
+ledgers, so its two guarantees are pinned here: every appended entry
+carries the full provenance schema (including the host CPU topology
+that makes perf figures comparable across runners), and re-recording
+the same ``(source, config)`` pair is refused unless forced.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_RECORD_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "benchmarks", "record.py",
+)
+_spec = importlib.util.spec_from_file_location("bench_record",
+                                               _RECORD_PATH)
+record_mod = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(record_mod)
+
+RESULTS = {
+    "config": {"shards": 2, "events": 1000, "seed": 7},
+    "events_per_s": 1610.0,
+}
+
+
+class TestRecord:
+    def test_entry_carries_schema_and_host(self, tmp_path):
+        ledger = str(tmp_path / "BENCH_x.json")
+        entry = record_mod.record(ledger, RESULTS, note="n",
+                                  source="repro soak")
+        for key in record_mod.REQUIRED_KEYS:
+            assert key in entry
+        for key in record_mod.REQUIRED_HOST_KEYS:
+            assert key in entry["host"]
+        with open(ledger) as handle:
+            stored = json.load(handle)
+        assert stored == [entry]
+
+    def test_appends_preserve_order(self, tmp_path):
+        ledger = str(tmp_path / "BENCH_x.json")
+        record_mod.record(ledger, RESULTS, source="a")
+        other = dict(RESULTS, config={"shards": 4})
+        record_mod.record(ledger, other, source="a")
+        with open(ledger) as handle:
+            stored = json.load(handle)
+        assert [e["results"] for e in stored] == [RESULTS, other]
+
+    def test_duplicate_source_config_rejected(self, tmp_path):
+        ledger = str(tmp_path / "BENCH_x.json")
+        record_mod.record(ledger, RESULTS, source="repro soak")
+        rerun = dict(RESULTS, events_per_s=9.0)  # same config
+        with pytest.raises(SystemExit, match="already records"):
+            record_mod.record(ledger, rerun, source="repro soak")
+        with open(ledger) as handle:
+            assert len(json.load(handle)) == 1
+
+    def test_force_appends_duplicate(self, tmp_path):
+        ledger = str(tmp_path / "BENCH_x.json")
+        record_mod.record(ledger, RESULTS, source="repro soak")
+        record_mod.record(ledger, RESULTS, source="repro soak",
+                          force=True)
+        with open(ledger) as handle:
+            assert len(json.load(handle)) == 2
+
+    def test_same_config_other_source_is_fine(self, tmp_path):
+        ledger = str(tmp_path / "BENCH_x.json")
+        record_mod.record(ledger, RESULTS, source="repro soak")
+        record_mod.record(ledger, RESULTS, source="other bench")
+        with open(ledger) as handle:
+            assert len(json.load(handle)) == 2
+
+    def test_non_list_ledger_rejected(self, tmp_path):
+        ledger = tmp_path / "BENCH_x.json"
+        ledger.write_text('{"not": "a list"}')
+        with pytest.raises(SystemExit, match="not a JSON list"):
+            record_mod.record(str(ledger), RESULTS, source="s")
+
+
+class TestValidation:
+    def test_missing_keys_listed(self):
+        with pytest.raises(ValueError, match="host"):
+            record_mod.validate_entry({"recorded": "x"})
+
+    def test_host_topology_required(self):
+        entry = {key: "x" for key in record_mod.REQUIRED_KEYS}
+        entry["host"] = {"cpus": 4}  # platform + python missing
+        with pytest.raises(ValueError, match="platform"):
+            record_mod.validate_entry(entry)
+
+    def test_non_dict_entry_rejected(self):
+        with pytest.raises(ValueError):
+            record_mod.validate_entry([1, 2])
+
+    def test_entry_key_uses_config_when_present(self):
+        with_config = {"source": "s", "results": RESULTS}
+        same_config = {"source": "s", "results": dict(
+            RESULTS, events_per_s=1.0)}
+        assert record_mod.entry_key(with_config) == \
+            record_mod.entry_key(same_config)
+        schemaless = {"source": "s", "results": [1, 2, 3]}
+        assert record_mod.entry_key(schemaless) != \
+            record_mod.entry_key(with_config)
+
+
+class TestCli:
+    def test_main_roundtrip_and_duplicate(self, tmp_path, capsys):
+        artifact = tmp_path / "run.json"
+        artifact.write_text(json.dumps(RESULTS))
+        ledger = str(tmp_path / "BENCH_x.json")
+        assert record_mod.main([ledger, str(artifact),
+                                "--source", "repro soak"]) == 0
+        assert "recorded" in capsys.readouterr().out
+        with pytest.raises(SystemExit):
+            record_mod.main([ledger, str(artifact),
+                             "--source", "repro soak"])
+        assert record_mod.main([ledger, str(artifact),
+                                "--source", "repro soak",
+                                "--force"]) == 0
+        with open(ledger) as handle:
+            assert len(json.load(handle)) == 2

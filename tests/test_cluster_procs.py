@@ -25,12 +25,12 @@ import pytest
 
 from repro.cluster import (
     build_proc_cluster,
-    domain_atlas,
     run_cluster_loop,
 )
 from repro.cluster.procs import ProcessSupervisor, reserve_port
 from repro.edge import EdgeAgent, tcp_connector
 from repro.errors import SignalingError
+from repro.soak.audit import audit_proc_cluster
 from repro.workloads.profiles import flow_type
 
 pytestmark = [pytest.mark.network, pytest.mark.procs]
@@ -63,38 +63,16 @@ def wait_for_shard(cluster, name, *, timeout=20.0):
 def assert_matches_oracle(cluster, surviving):
     """Differential check against a fused single-broker oracle.
 
-    *surviving* maps flow id -> path nodes for every flow that should
-    still hold capacity.  The per-link reserved rate and reservation
-    keys across all shard processes must equal a pristine single
-    broker that admitted exactly those flows, and no ``txn:`` hold may
-    remain anywhere.
+    Thin wrapper over :func:`repro.soak.audit.audit_proc_cluster` —
+    the same invariant suite the million-event soak runs (oracle link
+    loads/keys, zero ``txn:`` holds, zero double admits, registry ==
+    survivors), asserted here for pytest reporting.
     """
-    fused = domain_atlas(cluster.domain)
-    for flow_id in sorted(surviving):
-        nodes = surviving[flow_id]
-        verdict = fused.request_service(
-            flow_id, SPEC, D_REQ, nodes[0], nodes[-1],
-            path_nodes=tuple(nodes),
-        )
-        assert verdict.admitted, f"oracle rejected survivor {flow_id}"
-    recovered = {}
-    for name, dump in cluster.dumps().items():
-        assert dump.get("status") == "ok", dump
-        for link, state in dump["links"].items():
-            recovered[link] = state
-    for link in fused.node_mib.links():
-        label = f"{link.link_id[0]}->{link.link_id[1]}"
-        state = recovered[label]
-        assert state["reserved_rate"] == pytest.approx(
-            link.reserved_rate, abs=1e-6
-        ), f"load divergence on {label}"
-        want = sorted(link.reservation_keys())
-        got = sorted(key.split("#")[0] for key in state["keys"])
-        assert got == want, f"reservation divergence on {label}"
-        assert not any(key.startswith("txn:") for key in state["keys"]
-                       ), f"stranded hold on {label}"
-    registry = set(cluster.coordinator.flows())
-    assert registry == set(surviving)
+    report = audit_proc_cluster(cluster, dict(surviving), SPEC, D_REQ)
+    assert report.ok, report.summary() + "".join(
+        f"\n  {f.kind}: {f.subject}: {f.detail}"
+        for f in report.findings
+    )
 
 
 class TestProcClusterBasics:
@@ -406,6 +384,28 @@ class TestSupervisorUnit:
         finally:
             supervisor.stop()
 
+    def test_liveness_kill_requires_readiness(self, monkeypatch):
+        """A child that has never answered a ping is still starting
+        up (e.g. replaying a long WAL before it binds) — the monitor
+        must not treat it as hung, or a slow recovery crash-loops.
+        Once it has been responsive, going deaf IS a hang."""
+        from repro.cluster.procs import _Child
+
+        supervisor = ProcessSupervisor(ping_grace=3)
+        child = _Child(
+            name="s", target=None, spec=None, restart_spec=None,
+            endpoint=lambda: ("127.0.0.1", 1),
+        )
+        child.process = _StubProcess()
+        monkeypatch.setattr(supervisor, "_ping_once", lambda c: False)
+        for _ in range(10):
+            supervisor._check_ping(child)
+        assert not child.process.killed  # never ready: spared
+        child.responsive = True
+        for _ in range(3):
+            supervisor._check_ping(child)
+        assert child.process.killed  # ready then deaf: hung
+
     def test_reserve_port_never_accepts(self):
         sock, port = reserve_port()
         try:
@@ -422,3 +422,11 @@ class TestSupervisorUnit:
 
 def _exit_now(spec):  # module-level: must be picklable for spawn
     os._exit(3)
+
+
+class _StubProcess:
+    def __init__(self):
+        self.killed = False
+
+    def kill(self):
+        self.killed = True

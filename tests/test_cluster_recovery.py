@@ -41,6 +41,7 @@ from repro.service.replication import (
     promote_directory,
 )
 from repro.service.transport import pipe_pair
+from repro.soak.audit import audit_recovered_shards
 from repro.units import mbps
 from repro.vtrs.timestamps import SchedulerKind
 from repro.workloads.profiles import flow_type
@@ -159,44 +160,21 @@ def recover_cluster(root, partition, *, now=1000.0):
 
 
 def assert_matches_oracle(shards, coordinator, surviving):
-    """The differential check: recovered union == fused oracle."""
-    registry = coordinator.flows()
-    assert set(registry) == set(surviving)
-    oracle = fresh_twin()
-    fused = BandwidthBroker()
-    for link in oracle.atlas.node_mib.links():
-        fused.add_link(
-            link.link_id[0], link.link_id[1], link.capacity, link.kind,
-            propagation=link.propagation, max_packet=link.max_packet,
-        )
-    for record in oracle.atlas.path_mib.records():
-        fused.routing.pin_path(record.nodes)
-    for flow_id in sorted(surviving):
-        nodes = surviving[flow_id]
-        verdict = fused.request_service(
-            flow_id, SPEC, D_REQ, nodes[0], nodes[-1], path_nodes=nodes
-        )
-        assert verdict.admitted, f"oracle rejected survivor {flow_id}"
-    # Build the recovered domain's per-link view.
-    owners = {}
-    for name, rec in shards.items():
-        for link in rec.shard.broker.node_mib.links():
-            owners[link_id_str(link.link_id)] = link
-    for link in fused.node_mib.links():
-        label = link_id_str(link.link_id)
-        recovered = owners[label]
-        assert recovered.reserved_rate == pytest.approx(
-            link.reserved_rate, abs=1e-6
-        ), f"load divergence on {label}"
-        want = sorted(key for key in link.reservation_keys())
-        got = sorted(
-            key.split("#")[0] for key in recovered.reservation_keys()
-        )
-        assert got == want, f"reservation divergence on {label}"
-        assert not any(
-            key.startswith("txn:")
-            for key in recovered.reservation_keys()
-        ), f"stranded hold on {label}"
+    """The differential check: recovered union == fused oracle.
+
+    Thin wrapper over :func:`repro.soak.audit.audit_recovered_shards`
+    — the same invariant suite the million-event soak runs (oracle
+    link loads/keys, zero ``txn:`` holds, zero double admits,
+    registry == survivors), asserted here for pytest reporting.
+    """
+    report = audit_recovered_shards(
+        shards, coordinator, dict(surviving), SPEC, D_REQ,
+        fresh_twin().atlas,
+    )
+    assert report.ok, report.summary() + "".join(
+        f"\n  {f.kind}: {f.subject}: {f.detail}"
+        for f in report.findings
+    )
 
 
 class TestDifferentialConsistency:

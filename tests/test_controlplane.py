@@ -1,0 +1,257 @@
+"""REST control plane over a real TCP stack: the error-mapping pins.
+
+Every test drives :class:`repro.controlplane.app.ControlPlaneApp`
+through a real ``wsgiref`` server socket, with the agent pool talking
+real TCP to an :class:`~repro.edge.gateway.EdgeGateway` in front of a
+live :class:`~repro.service.runtime.BrokerService` — the same path a
+remote client takes.  Pinned mappings:
+
+* malformed JSON (and a non-object body) -> ``400``, never ``500``;
+* teardown/refresh/GET of a flow nobody admitted -> ``404``;
+* gateway backpressure -> ``429`` with a ``Retry-After`` header;
+* a replayed ``Idempotency-Key`` -> byte-identical response body
+  (the gateway dedup window answers, the broker never re-executes).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.client import HTTPConnection
+
+import pytest
+
+from repro.controlplane import (
+    ControlPlaneApp,
+    ControlPlaneClient,
+    ControlPlaneServer,
+)
+from repro.core.broker import BandwidthBroker
+from repro.edge import EdgeGateway, protocol
+from repro.edge.agent import EdgeAgent, tcp_connector
+from repro.service import BrokerService
+from repro.workloads.profiles import flow_type
+from repro.workloads.topologies import SchedulerSetting, fig8_domain
+
+pytestmark = pytest.mark.network
+
+SPEC = flow_type(0).spec
+SPEC_JSON = protocol.encode_spec(SPEC)
+D_REQ = 2.44
+
+
+def make_broker() -> BandwidthBroker:
+    broker = BandwidthBroker()
+    fig8_domain(SchedulerSetting.RATE_ONLY).provision_broker(broker)
+    return broker
+
+
+class _Stack:
+    """service + gateway (TCP) + agent pool + REST server + client."""
+
+    def __init__(self, *, agents: int = 2, workers: int = 2,
+                 queue_limit: int = 256, edge_rtt: float = 0.0) -> None:
+        self.broker = make_broker()
+        self.service = BrokerService(
+            self.broker, workers=workers, shards=4,
+            queue_limit=queue_limit, edge_rtt=edge_rtt,
+        ).start()
+        self.gateway = EdgeGateway(self.service, lease_duration=60.0)
+        host, port = self.gateway.listen()
+        self.gateway.start()
+        self.agents = [
+            EdgeAgent(f"rest-{index}", tcp_connector(host, port))
+            for index in range(agents)
+        ]
+        self.app = ControlPlaneApp(
+            self.agents,
+            mib_view=lambda: {"flows": len(self.app.registry)},
+            stats_source=self.service.stats,
+        )
+        self.server = ControlPlaneServer(self.app).start()
+        self.client = ControlPlaneClient(
+            self.server.host, self.server.port)
+
+    def close(self) -> None:
+        self.client.close()
+        self.server.close()
+        for agent in self.agents:
+            agent.close()
+        self.gateway.stop()
+        self.service.stop()
+
+    def __enter__(self) -> "_Stack":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+@pytest.fixture
+def stack():
+    with _Stack() as built:
+        yield built
+
+
+def admit(client, flow_id, **kwargs):
+    return client.admit(flow_id, SPEC_JSON, D_REQ, "I1", "E1",
+                        now=10.0, **kwargs)
+
+
+class TestHappyPath:
+    def test_admit_get_teardown_roundtrip(self, stack):
+        reply = admit(stack.client, "f1")
+        assert reply.status == 201
+        assert reply.headers["location"] == "/v1/flows/f1"
+        assert reply.body["decision"]["admitted"] is True
+        assert reply.body["lease"]
+
+        record = stack.client.get_flow("f1")
+        assert record.status == 200
+        assert record.body["flow_id"] == "f1"
+
+        listing = stack.client.list_flows()
+        assert "f1" in listing.body["flows"]
+
+        gone = stack.client.teardown("f1", now=20.0)
+        assert gone.status == 200
+        assert stack.client.get_flow("f1").status == 404
+
+    def test_health_mib_metrics(self, stack):
+        health = stack.client.healthz()
+        assert health.status == 200
+        assert health.body["status"] == "ok"
+        assert stack.client.mib().status == 200
+        metrics = stack.client.metrics()
+        assert metrics.status == 200
+        assert "repro_controlplane_requests" in metrics.body
+        assert "repro_service_" in metrics.body
+
+    def test_duplicate_admit_is_conflict(self, stack):
+        assert admit(stack.client, "f1").status == 201
+        # No Idempotency-Key: a second admit of a live flow is a
+        # genuine conflict, not a replay.
+        dup = admit(stack.client, "f1")
+        assert dup.status == 409
+
+
+class TestIdempotency:
+    def test_replayed_key_returns_same_body(self, stack):
+        first = admit(stack.client, "f1", idempotency_key="req-1")
+        assert first.status == 201
+        replay = admit(stack.client, "f1", idempotency_key="req-1")
+        # A re-execution would be a 409 conflict (the flow is live);
+        # an identical 201 body proves the gateway's dedup window
+        # answered the replay without touching the broker again.
+        assert replay.status == first.status
+        assert replay.body == first.body
+        assert stack.broker.flow_mib.get("f1") is not None
+
+    def test_replay_from_second_connection(self, stack):
+        first = admit(stack.client, "f1", idempotency_key="req-9")
+        assert first.status == 201
+        with ControlPlaneClient(stack.server.host,
+                                stack.server.port) as other:
+            replay = admit(other, "f1", idempotency_key="req-9")
+        assert replay.status == 201
+        assert replay.body == first.body
+
+
+class TestErrorMapping:
+    def _raw(self, stack, body: bytes,
+             content_type: str = "application/json"):
+        conn = HTTPConnection(stack.server.host, stack.server.port,
+                              timeout=10.0)
+        try:
+            conn.request("POST", "/v1/flows", body=body,
+                         headers={"Content-Type": content_type})
+            response = conn.getresponse()
+            return response.status, json.loads(response.read())
+        finally:
+            conn.close()
+
+    def test_malformed_json_is_400_not_500(self, stack):
+        status, body = self._raw(stack, b"{not json at all")
+        assert status == 400
+        assert "malformed JSON" in body["error"]
+
+    def test_non_object_body_is_400(self, stack):
+        status, body = self._raw(stack, b"[1, 2, 3]")
+        assert status == 400
+        assert "object" in body["error"]
+
+    def test_missing_field_is_400(self, stack):
+        status, body = self._raw(stack, json.dumps(
+            {"flow_id": "f1"}).encode())
+        assert status == 400
+        assert "missing field" in body["error"]
+
+    def test_bad_spec_is_400(self, stack):
+        bad = {"flow_id": "f1", "spec": {"sigma": "wat"},
+               "delay_requirement": D_REQ,
+               "ingress": "I1", "egress": "E1"}
+        status, body = self._raw(stack, json.dumps(bad).encode())
+        assert status == 400
+
+    def test_unknown_flow_teardown_is_404(self, stack):
+        reply = stack.client.teardown("never-admitted", now=5.0)
+        assert reply.status == 404
+
+    def test_unknown_flow_refresh_is_404(self, stack):
+        reply = stack.client.refresh("never-admitted", now=5.0)
+        assert reply.status == 404
+
+    def test_unknown_flow_get_is_404(self, stack):
+        assert stack.client.get_flow("never-admitted").status == 404
+
+    def test_unknown_route_is_404(self, stack):
+        reply = stack.client.request("GET", "/v2/nothing")
+        assert reply.status == 404
+
+    def test_wrong_method_is_405(self, stack):
+        reply = stack.client.request("PUT", "/v1/flows")
+        assert reply.status == 405
+        assert "POST" in reply.headers["allow"]
+
+    def test_bad_timeout_header_is_400(self, stack):
+        reply = stack.client.request(
+            "POST", "/v1/flows",
+            body={"flow_id": "f1", "spec": SPEC_JSON,
+                  "delay_requirement": D_REQ,
+                  "ingress": "I1", "egress": "E1"},
+            headers={"X-Request-Timeout": "soon"},
+        )
+        assert reply.status == 400
+
+
+class TestBackpressure:
+    def test_overload_maps_to_429_with_retry_after(self):
+        # One slow worker + a depth-1 queue: parallel admits must shed
+        # at the gateway, and the shed must surface as HTTP 429 with
+        # the machine-readable Retry-After hint — the remote client
+        # owns the retry.
+        with _Stack(agents=4, workers=1, queue_limit=1,
+                    edge_rtt=0.2) as stack:
+            replies = [None] * 10
+
+            def drive(index: int) -> None:
+                with ControlPlaneClient(stack.server.host,
+                                        stack.server.port) as client:
+                    replies[index] = admit(client, f"bp-{index}")
+
+            threads = [threading.Thread(target=drive, args=(i,))
+                       for i in range(len(replies))]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30.0)
+            statuses = [r.status for r in replies if r is not None]
+            assert statuses, "no replies collected"
+            shed = [r for r in replies
+                    if r is not None and r.status == 429]
+            assert shed, f"expected 429s under overload, got {statuses}"
+            for reply in shed:
+                assert reply.retry_after > 0
+                assert reply.body["error"] == "backpressure"
+            # Nothing leaked past the mapping as a 500.
+            assert all(status != 500 for status in statuses)

@@ -1,0 +1,209 @@
+"""The end-of-run invariant audit: findings, not assertions.
+
+:mod:`repro.soak.audit` is the mandatory check every soak run ends
+with, and what ``repro verify-state`` runs standalone.  These tests
+pin both directions: a cleanly shut-down cluster WAL root audits
+clean (zero findings), and deliberate damage — a torn journal tail,
+a coordinator commit decision with no completion record, an orphaned
+registry entry — is *detected*, never repaired (``repair=False``
+end to end: the audit must not rewrite the evidence).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.cluster import build_pod_cluster
+from repro.cluster.topology import plan_pod_domain
+from repro.soak.audit import (
+    audit_shard_dirs,
+    diff_link_views,
+    find_double_admits,
+    find_stranded_holds,
+    link_view_of_broker,
+    load_domain_spec,
+    save_domain_spec,
+    scan_orphans,
+)
+from repro.workloads.profiles import flow_type
+
+SPEC = flow_type(0).spec
+D_REQ = 2.44
+
+
+def run_small_workload(root: str):
+    """A 2-shard pod cluster, a few flows, clean shutdown.
+
+    Returns the surviving ``flow_id -> path_nodes`` map and the
+    cluster's domain spec (saved next to the WALs, as a soak run
+    does).
+    """
+    domain = plan_pod_domain(2)
+    cluster = build_pod_cluster(2, wal_root=root, fsync=False)
+    save_domain_spec(root, domain)
+    surviving = {}
+    with cluster:
+        for pod, nodes in enumerate(cluster.pod_paths):
+            flow_id = f"local-p{pod}"
+            decision = cluster.coordinator.admit(
+                flow_id, SPEC, D_REQ, nodes[0], nodes[-1],
+                path_nodes=nodes,
+            )
+            assert decision.admitted, decision
+            surviving[flow_id] = nodes
+        span = cluster.spanning_paths[0]
+        decision = cluster.coordinator.admit(
+            "span-ok", SPEC, D_REQ, span[0], span[-1],
+            path_nodes=span,
+        )
+        assert decision.admitted, decision
+        surviving["span-ok"] = span
+        assert cluster.coordinator.teardown("local-p0").status == "ok"
+        del surviving["local-p0"]
+    return surviving, domain
+
+
+@pytest.fixture
+def clean_root(tmp_path):
+    root = str(tmp_path)
+    surviving, domain = run_small_workload(root)
+    return root, surviving, domain
+
+
+class TestDirectoryAudit:
+    def test_clean_shutdown_audits_clean(self, clean_root):
+        root, _surviving, _domain = clean_root
+        report = audit_shard_dirs(root)
+        assert report.ok, report.summary() + repr(report.findings)
+        assert report.checked["shards"] == 2
+        assert report.checked["links"] > 0
+
+    def test_torn_journal_tail_detected(self, clean_root):
+        root, _surviving, _domain = clean_root
+        shard_dir = os.path.join(root, "shard0")
+        segments = sorted(
+            name for name in os.listdir(shard_dir)
+            if not name.startswith(".")
+        )
+        assert segments, "shard WAL must hold at least one segment"
+        target = os.path.join(shard_dir, segments[-1])
+        with open(target, "ab") as handle:
+            handle.write(b'{"kind": "cprepare", "torn')
+        report = audit_shard_dirs(root)
+        assert not report.ok
+        assert any(f.kind in ("torn-tail", "unreadable")
+                   for f in report.findings)
+
+    def test_in_doubt_coordinator_decision_detected(self, clean_root):
+        root, _surviving, _domain = clean_root
+        coord_dir = os.path.join(root, "coordinator")
+        segments = sorted(os.listdir(coord_dir))
+        target = os.path.join(coord_dir, segments[-1])
+        # Truncate at the frame boundary of the first ``cdone``
+        # record: commit decided, never driven to done — the crash
+        # window the in-doubt scan exists for.  Each WAL frame is a
+        # 4-byte length + 4-byte CRC + JSON payload.
+        with open(target, "rb") as handle:
+            raw = handle.read()
+        cut = None
+        offset = 0
+        while offset < len(raw):
+            (length,) = struct.unpack(">I", raw[offset:offset + 4])
+            payload = raw[offset + 8:offset + 8 + length]
+            if b'"cdone"' in payload:
+                cut = offset
+                break
+            offset += 8 + length
+        assert cut is not None, "workload must span a completed 2PC"
+        with open(target, "wb") as handle:
+            handle.write(raw[:cut])
+        report = audit_shard_dirs(root)
+        assert not report.ok
+        assert any(f.kind == "in-doubt" for f in report.findings)
+
+    def test_missing_directory_is_a_finding(self, tmp_path):
+        report = audit_shard_dirs(str(tmp_path / "nope"))
+        assert not report.ok
+        assert any(f.kind == "unreadable" for f in report.findings)
+
+    def test_empty_directory_is_a_finding(self, tmp_path):
+        report = audit_shard_dirs(str(tmp_path))
+        assert not report.ok
+
+    def test_domain_spec_roundtrip(self, clean_root):
+        root, _surviving, domain = clean_root
+        loaded = load_domain_spec(root)
+        assert loaded == domain
+
+
+class TestVerifyStateCli:
+    def test_clean_dir_exits_zero(self, clean_root, capsys):
+        root, _surviving, _domain = clean_root
+        assert cli_main(["verify-state", "--shard-dir", root]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out.lower()
+
+    def test_corrupted_dir_exits_nonzero(self, clean_root, capsys):
+        root, _surviving, _domain = clean_root
+        shard_dir = os.path.join(root, "shard1")
+        segments = sorted(os.listdir(shard_dir))
+        with open(os.path.join(shard_dir, segments[-1]), "ab") as fh:
+            fh.write(b"{torn")
+        assert cli_main(["verify-state", "--shard-dir", root]) == 1
+        err = capsys.readouterr().err
+        assert err.strip(), "findings must land on stderr"
+
+
+class TestScanners:
+    def test_scan_orphans_both_directions(self):
+        findings = scan_orphans(["a", "b"], ["b", "c"])
+        kinds = {(f.kind, f.subject) for f in findings}
+        assert ("orphaned-flow", "a") in kinds
+        assert ("lost-flow", "c") in kinds
+        assert not scan_orphans(["a"], ["a"])
+
+    def test_stranded_hold_detected(self, clean_root):
+        root, _surviving, domain = clean_root
+        from repro.cluster.topology import shard_broker
+
+        broker = shard_broker(domain, "shard0")
+        nodes = domain.pod_paths[0]
+        verdict = broker.request_service(
+            "txn:tx1#hold", SPEC, D_REQ, nodes[0], nodes[-1],
+            path_nodes=nodes,
+        )
+        assert verdict.admitted
+        view = link_view_of_broker(broker)
+        findings = find_stranded_holds(view)
+        assert findings
+        assert all(f.kind == "stranded-hold" for f in findings)
+
+    def test_double_admit_detected(self):
+        from repro.soak.audit import LinkView
+
+        view = {"A->B": LinkView(
+            reserved_rate=2.0, keys=("f1#0", "f1#1"),
+        )}
+        findings = find_double_admits(view)
+        assert findings and findings[0].kind == "double-admit"
+
+    def test_diff_link_views_divergence(self, clean_root):
+        root, _surviving, domain = clean_root
+        from repro.cluster.topology import shard_broker
+
+        left = link_view_of_broker(shard_broker(domain, "shard0"))
+        nodes = domain.pod_paths[0]
+        loaded = shard_broker(domain, "shard0")
+        verdict = loaded.request_service(
+            "extra", SPEC, D_REQ, nodes[0], nodes[-1],
+            path_nodes=nodes,
+        )
+        assert verdict.admitted
+        right = link_view_of_broker(loaded)
+        findings = diff_link_views(left, right)
+        assert findings, "an extra reservation must diverge"
+        assert not diff_link_views(left, left)

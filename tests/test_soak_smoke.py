@@ -1,0 +1,57 @@
+"""A miniature soak run end to end: the CI-sized acceptance check.
+
+The full million-event run lives behind ``repro soak``; this is the
+same pipeline — deterministic schedule, REST control plane over real
+TCP, multi-process cluster, chaos injections, end-of-run invariant
+audit — at a few thousand events, small enough for CI.  Marked
+``soak`` (excluded from the default tier-1 run) on top of
+``network``/``procs``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.soak import ScenarioConfig, SoakConfig, run_soak
+from repro.soak.audit import audit_shard_dirs
+
+pytestmark = [pytest.mark.soak, pytest.mark.network, pytest.mark.procs]
+
+
+def test_small_soak_with_chaos_audits_clean(tmp_path):
+    run_dir = str(tmp_path / "run")
+    config = SoakConfig(
+        scenario=ScenarioConfig(seed=7, target_events=2_000,
+                                refresh_interval=8.0),
+        shards=2, gateway_workers=2, drivers=4,
+        chaos_injections=3,
+    )
+    report = run_soak(config, run_dir=run_dir)
+    assert report.ok, (
+        report.live_audit.summary() + report.replay_audit.summary()
+    )
+    assert report.events == 2_000 or report.events >= 2_000
+    # The three-kind cycle guarantees every chaos kind fired once.
+    assert set(report.chaos_kinds) == {
+        "kill_shard", "kill_gateway", "partition"}
+    assert report.outcomes.get("admitted", 0) > 0
+    assert report.outcomes.get("torn_down", 0) > 0
+    # The run dir the engine left behind audits clean standalone —
+    # exactly what ``repro verify-state --shard-dir`` would report.
+    standalone = audit_shard_dirs(run_dir)
+    assert standalone.ok, standalone.summary()
+
+
+def test_soak_report_is_json_compatible(tmp_path):
+    import json
+
+    config = SoakConfig(
+        scenario=ScenarioConfig(seed=3, target_events=400),
+        shards=2, gateway_workers=1, drivers=2,
+        chaos_injections=1,
+    )
+    report = run_soak(config, run_dir=str(tmp_path / "run"))
+    payload = json.loads(json.dumps(report.as_dict()))
+    assert payload["seed"] == 3
+    assert payload["events"] >= 400
+    assert "outcomes" in payload and "chaos" in payload
